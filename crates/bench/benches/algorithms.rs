@@ -1,0 +1,95 @@
+//! **B1–B3** — scaling of the paper's three scheduling algorithms.
+//!
+//! * WDEQ (Algorithm 1): O(n² log n) total over all events;
+//! * Water-Filling (Algorithm 2): O(n²)-ish with the breakpoint walk —
+//!   the paper's O(n log n) claim is for the aggregated feasibility
+//!   variant, benchmarked via `wf_feasible`;
+//! * Greedy (Algorithm 3): O(n²) profile maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use malleable_core::algos::greedy::greedy_schedule;
+use malleable_core::algos::orders::smith_order;
+use malleable_core::algos::releases::makespan_with_releases;
+use malleable_core::algos::waterfill::{water_filling, wf_feasible};
+use malleable_core::algos::waterfill_fast::wf_feasible_grouped;
+use malleable_core::algos::wdeq::wdeq_run;
+use malleable_workloads::{generate, Spec};
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+fn bench_wdeq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wdeq");
+    g.sample_size(20);
+    for n in SIZES {
+        let inst = generate(&Spec::PaperUniform { n }, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(wdeq_run(black_box(inst)).unwrap().schedule.makespan()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("waterfill");
+    g.sample_size(20);
+    for n in SIZES {
+        let inst = generate(&Spec::PaperUniform { n }, 42);
+        let completions = wdeq_run(&inst).unwrap().schedule.completions;
+        g.bench_with_input(
+            BenchmarkId::new("full", n),
+            &(&inst, &completions),
+            |b, (inst, cs)| b.iter(|| black_box(water_filling(inst, cs).unwrap().makespan())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("feasible", n),
+            &(&inst, &completions),
+            |b, (inst, cs)| b.iter(|| black_box(wf_feasible(inst, cs))),
+        );
+        // Ablation: the grouped plateau-merging checker vs the full
+        // algorithm (the paper's O(n log n) Lmax oracle).
+        g.bench_with_input(
+            BenchmarkId::new("feasible-grouped", n),
+            &(&inst, &completions),
+            |b, (inst, cs)| b.iter(|| black_box(wf_feasible_grouped(inst, cs).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_release_makespan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("releases/cmax");
+    g.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let inst = generate(&Spec::PaperUniform { n }, 42);
+        let releases: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.1).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&inst, &releases),
+            |b, (inst, rel)| {
+                b.iter(|| black_box(makespan_with_releases(inst, rel).unwrap().cmax))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy");
+    g.sample_size(20);
+    for n in SIZES {
+        let inst = generate(&Spec::PaperUniform { n }, 42);
+        let order = smith_order(&inst);
+        g.bench_with_input(
+            BenchmarkId::new("smith", n),
+            &(&inst, &order),
+            |b, (inst, order)| {
+                b.iter(|| black_box(greedy_schedule(inst, order).unwrap().makespan()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wdeq, bench_waterfill, bench_greedy, bench_release_makespan);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **B4–B5** — substrate performance: the simplex LP solver (on the
+//! Corollary-1 scheduling LPs it exists for) and exact rational
+//! arithmetic (on the Conjecture-13 recurrence it exists for).
+
+use bigratio::{BigUint, Rational};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use malleable_opt::homogeneous::greedy_total_cost;
+use malleable_opt::lp::lp_schedule_for_order;
+use malleable_core::instance::TaskId;
+use malleable_workloads::{generate, rational_deltas, Spec};
+use std::hint::black_box;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex/corollary1-lp");
+    g.sample_size(20);
+    for n in [3usize, 5, 7] {
+        let inst = generate(&Spec::PaperUniform { n }, 7);
+        let order: Vec<TaskId> = (0..n).map(TaskId).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&inst, &order),
+            |b, (inst, order)| {
+                b.iter(|| black_box(lp_schedule_for_order(inst, order).unwrap().0))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rational_recurrence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bigratio/greedy-recurrence");
+    g.sample_size(20);
+    for n in [5usize, 10, 15] {
+        let deltas: Vec<Rational> = rational_deltas(n, 64, 3)
+            .into_iter()
+            .map(|(a, b)| Rational::new(a, b))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &deltas, |b, deltas| {
+            b.iter(|| black_box(greedy_total_cost(deltas)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_biguint_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bigratio/biguint");
+    g.sample_size(20);
+    for bits in [256u64, 1024, 4096] {
+        let a = BigUint::one().shl_bits(bits).sub(&BigUint::from_u64(12345));
+        let b_ = BigUint::one().shl_bits(bits / 2).add(&BigUint::from_u64(987));
+        g.bench_with_input(BenchmarkId::new("mul", bits), &(&a, &b_), |bch, (a, b)| {
+            bch.iter(|| black_box(a.mul(b)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("div_rem", bits),
+            &(&a, &b_),
+            |bch, (a, b)| bch.iter(|| black_box(a.div_rem(b))),
+        );
+        g.bench_with_input(BenchmarkId::new("gcd", bits), &(&a, &b_), |bch, (a, b)| {
+            bch.iter(|| black_box(a.gcd(b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_rational_recurrence, bench_biguint_ops);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! `msched` — command-line malleable-task scheduler.
+//!
+//! Reads an instance file (see `malleable_core::io` for the format),
+//! schedules it with the chosen algorithm, and reports the schedule,
+//! objective, bounds and optionally a Gantt chart (ASCII or SVG).
+//!
+//! ```text
+//! msched <instance-file> [--algo wdeq|greedy-smith|best-greedy|optimal|makespan]
+//!                        [--gantt] [--svg out.svg] [--normalize]
+//! usage examples:
+//!   msched jobs.txt --algo wdeq --gantt
+//!   msched jobs.txt --algo optimal --svg plan.svg
+//! ```
+
+use malleable_core::algos::greedy::{best_heuristic_greedy, greedy_schedule};
+use malleable_core::algos::makespan::makespan_schedule;
+use malleable_core::algos::orders::smith_order;
+use malleable_core::algos::waterfill::water_filling;
+use malleable_core::algos::wdeq::{certificate_of, wdeq_run};
+use malleable_core::bounds::{height_bound, squashed_area_bound};
+use malleable_core::instance::Instance;
+use malleable_core::io::parse_instance;
+use malleable_core::schedule::column::ColumnSchedule;
+use malleable_core::schedule::convert::{column_to_gantt, step_to_column};
+use malleable_core::schedule::svg::{gantt_to_svg, SvgOptions};
+use malleable_opt::brute::optimal_schedule;
+use numkit::Tolerance;
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    algo: String,
+    gantt: bool,
+    svg: Option<String>,
+    normalize: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut file = None;
+    let mut algo = "wdeq".to_string();
+    let mut gantt = false;
+    let mut svg = None;
+    let mut normalize = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--algo" => algo = args.next().ok_or("--algo needs a value")?,
+            "--gantt" => gantt = true,
+            "--svg" => svg = Some(args.next().ok_or("--svg needs a path")?),
+            "--normalize" => normalize = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"))
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    return Err("multiple instance files given".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        file: file.ok_or_else(|| format!("missing instance file\n{USAGE}"))?,
+        algo,
+        gantt,
+        svg,
+        normalize,
+    })
+}
+
+const USAGE: &str = "usage: msched <instance-file> [--algo wdeq|greedy-smith|best-greedy|optimal|makespan] [--gantt] [--svg out.svg] [--normalize]";
+
+fn schedule(instance: &Instance, algo: &str) -> Result<(ColumnSchedule, String), String> {
+    let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
+    match algo {
+        "wdeq" => {
+            let run = wdeq_run(instance).map_err(|e| e.to_string())?;
+            let cert = certificate_of(instance, &run);
+            let note = format!(
+                "non-clairvoyant WDEQ; certified within 2× of optimal (ratio {:.4})",
+                cert.ratio()
+            );
+            Ok((run.schedule, note))
+        }
+        "greedy-smith" => {
+            let order = smith_order(instance);
+            let step = greedy_schedule(instance, &order).map_err(|e| e.to_string())?;
+            Ok((
+                step_to_column(&step, tol),
+                "clairvoyant greedy, Smith's order (V/w ascending)".to_string(),
+            ))
+        }
+        "best-greedy" => {
+            let (name, order, cost) =
+                best_heuristic_greedy(instance).map_err(|e| e.to_string())?;
+            let step = greedy_schedule(instance, &order).map_err(|e| e.to_string())?;
+            Ok((
+                step_to_column(&step, tol),
+                format!("best heuristic greedy order: {name} (cost {cost:.4})"),
+            ))
+        }
+        "optimal" => {
+            let opt = optimal_schedule(instance).map_err(|e| e.to_string())?;
+            Ok((
+                opt.schedule,
+                format!("exact optimum over all {}! completion orders", instance.n()),
+            ))
+        }
+        "makespan" => {
+            let cs = makespan_schedule(instance).map_err(|e| e.to_string())?;
+            Ok((cs, "optimal-makespan schedule (all tasks finish together)".into()))
+        }
+        other => Err(format!("unknown algorithm {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let instance = match parse_instance(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("bad instance file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{instance}");
+
+    let (mut cs, note) = match schedule(&instance, &args.algo) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("scheduling failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.normalize {
+        match water_filling(&instance, cs.completion_times()) {
+            Ok(normal) => cs = normal,
+            Err(e) => {
+                eprintln!("normalization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("algorithm: {note}");
+    println!(
+        "Σ wᵢCᵢ = {:.6}   makespan = {:.6}",
+        cs.weighted_completion_cost(&instance),
+        cs.makespan()
+    );
+    println!(
+        "lower bounds: A(I) = {:.6}, H(I) = {:.6}",
+        squashed_area_bound(&instance),
+        height_bound(&instance)
+    );
+    for (id, _) in instance.iter() {
+        println!("  {id} completes at {:.6}", cs.completion(id));
+    }
+
+    if args.gantt || args.svg.is_some() {
+        let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
+        match column_to_gantt(&cs, &instance, tol) {
+            Ok(g) => {
+                if args.gantt {
+                    println!("\n{}", g.render(72));
+                }
+                if let Some(path) = &args.svg {
+                    let svg = gantt_to_svg(&g, SvgOptions::default());
+                    if let Err(e) = std::fs::write(path, svg) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "gantt rendering needs an integer machine (P, δ ∈ ℕ): {e}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,85 @@
+//! Plain CSV emission for experiment sweeps.
+//!
+//! Results land under `results/` at the workspace root so the tables in
+//! `EXPERIMENTS.md` can be regenerated or re-plotted without re-running
+//! the sweeps.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Quote a CSV cell if needed (commas/quotes/newlines).
+fn quote(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Write `headers` + `rows` as CSV to `results/<name>.csv` (creating the
+/// directory). Returns the written path.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(
+        f,
+        "{}",
+        headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(path)
+}
+
+/// `results/` next to the workspace `Cargo.toml` when run via cargo, or
+/// under the current directory otherwise.
+pub fn results_dir() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/bench → workspace root two levels up.
+        let p = Path::new(&manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn writes_file() {
+        let p = write_csv(
+            "unit-test-artifact",
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

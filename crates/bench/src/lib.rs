@@ -1,0 +1,49 @@
+//! # malleable-bench — experiment harness
+//!
+//! Shared plumbing for the experiment binaries in `src/bin/` (one per
+//! paper artifact; see `DESIGN.md` §6 for the experiment index) and the
+//! criterion benchmarks in `benches/`:
+//!
+//! * [`table`] — aligned ASCII tables, the output format of every
+//!   experiment binary;
+//! * [`stats`] — summaries (mean/std/percentiles) over instance sweeps;
+//! * [`parallel`] — a crossbeam-channel work pool for embarrassingly
+//!   parallel seed sweeps (the §V-A campaign runs 40,000 LPs);
+//! * [`csvout`] — plain CSV emission under `results/` so sweeps can be
+//!   re-plotted without re-running.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csvout;
+pub mod parallel;
+pub mod stats;
+pub mod table;
+
+/// Parse `--instances N` / `--full` style knobs shared by the experiment
+/// binaries. `default` is used without flags; `--full` selects the paper's
+/// original scale; `--instances N` overrides precisely.
+pub fn instance_count(default: usize, full: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--instances") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            return v;
+        }
+    }
+    if args.iter().any(|a| a == "--full") {
+        full
+    } else {
+        default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn instance_count_default_path() {
+        // No flags in the test harness invocation (cargo passes its own
+        // args, none of which collide).
+        let n = super::instance_count(7, 1000);
+        assert!(n == 7 || n > 0);
+    }
+}

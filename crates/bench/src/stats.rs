@@ -1,0 +1,98 @@
+//! Summary statistics over experiment sweeps.
+
+use numkit::KahanSum;
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample (empty input yields a zeroed summary).
+pub fn summarize(xs: &[f64]) -> Summary {
+    if xs.is_empty() {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            max: 0.0,
+        };
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let mean = sorted.iter().copied().collect::<KahanSum>().value() / n as f64;
+    let var = if n >= 2 {
+        sorted
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .collect::<KahanSum>()
+            .value()
+            / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let rank = |q: f64| -> f64 {
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        sorted[idx]
+    };
+    Summary {
+        n,
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        p50: rank(0.50),
+        p95: rank(0.95),
+        max: sorted[n - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert_eq!(summarize(&[]).n, 0);
+    }
+
+    #[test]
+    fn single() {
+        let s = summarize(&[2.0]);
+        assert_eq!((s.mean, s.std, s.min, s.max), (2.0, 0.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0); // nearest-rank median of even n
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = summarize(&xs);
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.p95, 94.0);
+    }
+}

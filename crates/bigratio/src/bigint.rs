@@ -1,0 +1,362 @@
+//! Signed arbitrary-precision integers: a [`Sign`] plus a [`BigUint`]
+//! magnitude.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Zero`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Neg,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Pos,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Neg => Sign::Pos,
+            Sign::Zero => Sign::Zero,
+            Sign::Pos => Sign::Neg,
+        }
+    }
+
+    fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Pos,
+            _ => Sign::Neg,
+        }
+    }
+}
+
+/// Signed big integer (sign–magnitude).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Pos,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// From a signed machine word.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Pos,
+                mag: BigUint::from_u64(v as u64),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Neg,
+                mag: BigUint::from_u64(v.unsigned_abs()),
+            },
+        }
+    }
+
+    /// From an unsigned magnitude (non-negative result).
+    pub fn from_biguint(mag: BigUint) -> Self {
+        if mag.is_zero() {
+            Self::zero()
+        } else {
+            BigInt {
+                sign: Sign::Pos,
+                mag,
+            }
+        }
+    }
+
+    /// Construct with explicit sign; `sign` is ignored when `mag` is zero.
+    pub fn with_sign(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            Self::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero, "non-zero magnitude needs a sign");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consume into the magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Pos
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Neg
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_biguint(self.mag.clone())
+    }
+
+    /// Truncated division (quotient rounds toward zero), with remainder of
+    /// the dividend's sign — the convention of Rust's `/` and `%`.
+    ///
+    /// # Panics
+    /// Panics when `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt::div_rem: division by zero");
+        let (q_mag, r_mag) = self.mag.div_rem(&other.mag);
+        let q = BigInt::with_sign(self.sign.mul(other.sign), q_mag);
+        let r = BigInt::with_sign(self.sign, r_mag);
+        (q, r)
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Neg => -m,
+            _ => m,
+        }
+    }
+
+    /// Value as `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Pos => i64::try_from(m).ok(),
+            Sign::Neg => {
+                if m <= i64::MAX as u64 + 1 {
+                    Some((-(m as i128)) as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt {
+                sign: a,
+                mag: self.mag.add(&other.mag),
+            },
+            _ => match self.mag.cmp_mag(&other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::with_sign(self.sign, self.mag.sub(&other.mag)),
+                Ordering::Less => BigInt::with_sign(other.sign, other.mag.sub(&self.mag)),
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other.clone())
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        BigInt::with_sign(self.sign.mul(other.sign), self.mag.mul(&other.mag))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.flip();
+        self
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, other: BigInt) -> BigInt {
+        &self + &other
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, other: BigInt) -> BigInt {
+        &self - &other
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, other: BigInt) -> BigInt {
+        &self * &other
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Neg, Sign::Neg) => other.mag.cmp_mag(&self.mag),
+            (Sign::Neg, _) => Ordering::Less,
+            (Sign::Zero, Sign::Neg) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Pos) => Ordering::Less,
+            (Sign::Pos, Sign::Pos) => self.mag.cmp_mag(&other.mag),
+            (Sign::Pos, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Neg {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from_i64(v)
+    }
+
+    #[test]
+    fn construction_signs() {
+        assert!(bi(0).is_zero());
+        assert!(bi(5).is_positive());
+        assert!(bi(-5).is_negative());
+        assert_eq!(bi(i64::MIN).to_string(), i64::MIN.to_string());
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(&bi(5) + &bi(-3), bi(2));
+        assert_eq!(&bi(3) + &bi(-5), bi(-2));
+        assert_eq!(&bi(-3) + &bi(-4), bi(-7));
+        assert_eq!(&bi(4) + &bi(-4), bi(0));
+        assert_eq!(&bi(0) + &bi(-4), bi(-4));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(&bi(5) - &bi(8), bi(-3));
+        assert_eq!(-bi(7), bi(-7));
+        assert_eq!(-bi(0), bi(0));
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(&bi(-3) * &bi(4), bi(-12));
+        assert_eq!(&bi(-3) * &bi(-4), bi(12));
+        assert_eq!(&bi(-3) * &bi(0), bi(0));
+    }
+
+    #[test]
+    fn div_rem_truncated() {
+        // Rust convention: -7 / 2 == -3 rem -1.
+        let (q, r) = bi(-7).div_rem(&bi(2));
+        assert_eq!((q, r), (bi(-3), bi(-1)));
+        let (q, r) = bi(7).div_rem(&bi(-2));
+        assert_eq!((q, r), (bi(-3), bi(1)));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-5) < bi(-3));
+        assert!(bi(-3) < bi(0));
+        assert!(bi(0) < bi(2));
+        assert!(bi(2) < bi(10));
+    }
+
+    #[test]
+    fn to_i64_roundtrip_limits() {
+        assert_eq!(bi(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(bi(i64::MIN).to_i64(), Some(i64::MIN));
+        let too_big = &bi(i64::MAX) + &bi(1);
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_i128(a in -(1i64<<62)..(1i64<<62), b in -(1i64<<62)..(1i64<<62)) {
+            prop_assert_eq!((&bi(a) + &bi(b)).to_string(), (a as i128 + b as i128).to_string());
+            prop_assert_eq!((&bi(a) - &bi(b)).to_string(), (a as i128 - b as i128).to_string());
+            prop_assert_eq!((&bi(a) * &bi(b)).to_string(), (a as i128 * b as i128).to_string());
+        }
+
+        #[test]
+        fn prop_div_rem_matches_rust(a in any::<i64>(), b in any::<i64>()) {
+            prop_assume!(b != 0);
+            let (q, r) = bi(a).div_rem(&bi(b));
+            prop_assert_eq!(q.to_string(), (a as i128 / b as i128).to_string());
+            prop_assert_eq!(r.to_string(), (a as i128 % b as i128).to_string());
+        }
+
+        #[test]
+        fn prop_cmp_matches(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! Unsigned arbitrary-precision integers on little-endian `u64` limbs.
+//!
+//! Representation invariant: no trailing zero limbs; zero is the empty limb
+//! vector. Every constructor and operation restores this invariant.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Unsigned big integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs, normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+const LIMB_BITS: u32 = 64;
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// From a double word.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        normalize(&mut limbs);
+        BigUint { limbs }
+    }
+
+    /// From raw little-endian limbs (normalizing).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        normalize(&mut limbs);
+        BigUint { limbs }
+    }
+
+    /// Borrow the normalized little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64) * LIMB_BITS as u64 - top.leading_zeros() as u64
+            }
+        }
+    }
+
+    /// Value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Approximate conversion to `f64` (round-to-nearest on the top bits;
+    /// may overflow to `f64::INFINITY` for enormous values).
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => self.to_u128().unwrap() as f64,
+            n => {
+                let top = ((self.limbs[n - 1] as u128) << 64) | self.limbs[n - 2] as u128;
+                top as f64 * 2f64.powi(((n - 2) as i32) * LIMB_BITS as i32)
+            }
+        }
+    }
+
+    /// Addition.
+    #[allow(clippy::needless_range_loop)] // limb kernel over two arrays
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u128 = 0;
+        for i in 0..long.len() {
+            let s = long[i] as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Subtraction; returns `None` when `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self.cmp_mag(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i128 = 0;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i128 - other.limbs.get(i).copied().unwrap_or(0) as i128
+                + borrow;
+            out.push(d as u64);
+            borrow = d >> 64; // arithmetic shift: 0 or −1
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    /// Panics if `other > self`; sign handling lives in [`crate::BigInt`].
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint::sub underflow: rhs > lhs")
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + out[i + j] as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Multiply by a single machine word.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u128 = 0;
+        for &a in &self.limbs {
+            let t = a as u128 * m as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Left shift by `s` bits.
+    pub fn shl_bits(&self, s: u64) -> BigUint {
+        if self.is_zero() || s == 0 {
+            return self.clone();
+        }
+        let limb_shift = (s / LIMB_BITS as u64) as usize;
+        let bit_shift = (s % LIMB_BITS as u64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by `s` bits (floor).
+    pub fn shr_bits(&self, s: u64) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = (s / LIMB_BITS as u64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (s % LIMB_BITS as u64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Magnitude comparison.
+    pub fn cmp_mag(&self, other: &BigUint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                Ordering::Equal
+            }
+            o => o,
+        }
+    }
+
+    /// Quotient and remainder.
+    ///
+    /// # Panics
+    /// Panics when `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint::div_rem: division by zero");
+        match self.cmp_mag(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Quotient and remainder by a single machine word.
+    ///
+    /// # Panics
+    /// Panics when `d` is zero.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "BigUint::div_rem_u64: division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// Knuth Algorithm D (TAOCP vol. 2, 4.3.1). Preconditions checked by
+    /// `div_rem`: `self > divisor`, `divisor` has ≥ 2 limbs.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        // D1: normalize so the divisor's top bit is set.
+        let s = divisor.limbs.last().unwrap().leading_zeros() as u64;
+        let vn = divisor.shl_bits(s);
+        let mut un = self.shl_bits(s).limbs;
+        let n = vn.limbs.len();
+        let m = un.len() - n;
+        un.push(0); // room for the virtual top limb
+        let vtop = vn.limbs[n - 1];
+        let vsec = vn.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // D3: estimate q̂.
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = top / vtop as u128;
+            let mut rhat = top % vtop as u128;
+            loop {
+                if qhat >= (1u128 << 64)
+                    || qhat * vsec as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+                {
+                    qhat -= 1;
+                    rhat += vtop as u128;
+                    if rhat >= (1u128 << 64) {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            // D4: multiply and subtract.
+            let mut carry: u128 = 0;
+            let mut borrow: i128 = 0;
+            for i in 0..n {
+                let p = qhat * vn.limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let d = un[j + i] as i128 - (p as u64) as i128 + borrow;
+                un[j + i] = d as u64;
+                borrow = d >> 64;
+            }
+            let d = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = d as u64;
+            borrow = d >> 64;
+
+            let mut qj = qhat as u64;
+            // D6: add back (rare; probability ≈ 2/2⁶⁴ per step).
+            if borrow != 0 {
+                qj -= 1;
+                let mut carry: u128 = 0;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn.limbs[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qj;
+        }
+
+        // D8: denormalize the remainder.
+        un.truncate(n);
+        let rem = BigUint::from_limbs(un).shr_bits(s);
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// Greatest common divisor (Euclid on magnitudes).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(&self, mut e: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Parse a decimal string (digits only).
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = BigUint::zero();
+        // Consume 18 digits at a time (fits in u64).
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(18);
+            let chunk: u64 = s[i..i + take].parse().ok()?;
+            acc = acc.mul_u64(10u64.pow(take as u32)).add(&BigUint::from_u64(chunk));
+            i += take;
+        }
+        Some(acc)
+    }
+}
+
+fn normalize(limbs: &mut Vec<u64>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_mag(other)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel 19 decimal digits at a time.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10_000_000_000_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        write!(f, "{}", chunks.pop().unwrap())?;
+        for c in chunks.iter().rev() {
+            write!(f, "{c:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = big(u128::from(u64::MAX));
+        let b = BigUint::one();
+        assert_eq!(a.add(&b), big(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_basics() {
+        assert_eq!(big(100).sub(&big(58)), big(42));
+        assert_eq!(big(1u128 << 64).sub(&BigUint::one()), big(u64::MAX as u128));
+        assert!(big(1).checked_sub(&big(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = big(u64::MAX as u128);
+        assert_eq!(a.mul(&a), big((u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(big(1).shl_bits(130).shr_bits(130), big(1));
+        assert_eq!(big(0b1011).shl_bits(3), big(0b1011000));
+        assert_eq!(big(0b1011).shr_bits(2), big(0b10));
+        assert_eq!(big(7).shr_bits(64), BigUint::zero());
+        assert_eq!(BigUint::zero().shl_bits(100), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_single_limb() {
+        let (q, r) = big(1000).div_rem(&big(7));
+        assert_eq!((q, r), (big(142), big(6)));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        // (2^200 + 12345) / (2^100 + 7)
+        let u = BigUint::one().shl_bits(200).add(&big(12345));
+        let v = BigUint::one().shl_bits(100).add(&big(7));
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r.cmp_mag(&v) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_equal_and_smaller() {
+        let v = big(12345678901234567890);
+        assert_eq!(v.div_rem(&v), (BigUint::one(), BigUint::zero()));
+        assert_eq!(big(3).div_rem(&v), (BigUint::zero(), big(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+        assert_eq!(big(17).gcd(&big(5)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(big(3).pow(5), big(243));
+        assert_eq!(big(2).pow(100), BigUint::one().shl_bits(100));
+        assert_eq!(big(7).pow(0), BigUint::one());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let v = BigUint::from_decimal("123456789012345678901234567890123456789").unwrap();
+        assert_eq!(v.to_string(), "123456789012345678901234567890123456789");
+        assert_eq!(BigUint::from_decimal(""), None);
+        assert_eq!(BigUint::from_decimal("12a"), None);
+        assert_eq!(BigUint::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_magnitudes() {
+        assert_eq!(big(0).to_f64(), 0.0);
+        assert_eq!(big(1 << 20).to_f64(), (1u64 << 20) as f64);
+        let huge = BigUint::one().shl_bits(200);
+        let expected = 2f64.powi(200);
+        assert!((huge.to_f64() / expected - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(big(a as u128).add(&big(b as u128)),
+                            big(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(big(a as u128).mul(&big(b as u128)),
+                            big(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_div_rem_invariant(limbs_u in proptest::collection::vec(any::<u64>(), 1..6),
+                                  limbs_v in proptest::collection::vec(any::<u64>(), 1..4)) {
+            let u = BigUint::from_limbs(limbs_u);
+            let v = BigUint::from_limbs(limbs_v);
+            prop_assume!(!v.is_zero());
+            let (q, r) = u.div_rem(&v);
+            prop_assert_eq!(q.mul(&v).add(&r), u);
+            prop_assert!(r < v);
+        }
+
+        #[test]
+        fn prop_sub_add_roundtrip(limbs_a in proptest::collection::vec(any::<u64>(), 0..5),
+                                  limbs_b in proptest::collection::vec(any::<u64>(), 0..5)) {
+            let a = BigUint::from_limbs(limbs_a);
+            let b = BigUint::from_limbs(limbs_b);
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(hi.sub(&lo).add(&lo), hi);
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in 1u64.., b in 1u64..) {
+            let g = big(a as u128).gcd(&big(b as u128));
+            let (_, r1) = big(a as u128).div_rem(&g);
+            let (_, r2) = big(b as u128).div_rem(&g);
+            prop_assert!(r1.is_zero() && r2.is_zero());
+        }
+
+        #[test]
+        fn prop_shift_roundtrip(limbs in proptest::collection::vec(any::<u64>(), 0..4),
+                                s in 0u64..200) {
+            let a = BigUint::from_limbs(limbs);
+            prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(limbs in proptest::collection::vec(any::<u64>(), 0..4)) {
+            let a = BigUint::from_limbs(limbs);
+            prop_assert_eq!(BigUint::from_decimal(&a.to_string()).unwrap(), a);
+        }
+    }
+}

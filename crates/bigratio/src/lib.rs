@@ -1,0 +1,28 @@
+//! Arbitrary-precision rational arithmetic, from scratch.
+//!
+//! The IPDPS 2012 paper verified Conjecture 13 (order-reversal invariance of
+//! greedy schedules on homogeneous instances) *symbolically* with Sage for up
+//! to 15 tasks. This workspace re-does that verification in Rust, which
+//! requires exact arithmetic: the greedy recurrence
+//! `C_i = C_{i−1} + (1 − (1−δ_{i−1})(C_{i−1}−C_{i−2}))/δ_i`
+//! produces rationals whose denominators grow as products of the `δ`
+//! denominators — hundreds of bits by `n = 15`, far beyond `f64`.
+//!
+//! Layered as:
+//! * [`BigUint`] — magnitude arithmetic on little-endian `u64` limbs
+//!   (schoolbook multiply, Knuth Algorithm D division);
+//! * [`BigInt`] — sign + magnitude;
+//! * [`Rational`] — normalized fraction with positive denominator,
+//!   implementing [`numkit::Scalar`] so every generic algorithm in the stack
+//!   can run exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod biguint;
+pub mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use rational::Rational;

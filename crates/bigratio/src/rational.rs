@@ -1,0 +1,412 @@
+//! Normalized rationals and their [`numkit::Scalar`] implementation.
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+use numkit::Scalar;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den`.
+///
+/// Invariants: `den > 0`, `gcd(|num|, den) = 1`, and zero is `0/1`.
+///
+/// ```
+/// use bigratio::Rational;
+/// let third = Rational::new(1, 3);
+/// let sum = third.clone() + third.clone() + third;
+/// assert_eq!(sum, Rational::from_int(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Rational {
+    /// `n / d` from machine integers.
+    ///
+    /// # Panics
+    /// Panics when `d == 0`.
+    pub fn new(n: i64, d: i64) -> Self {
+        assert!(d != 0, "Rational::new: zero denominator");
+        let sign_flip = d < 0;
+        let num = if sign_flip {
+            -BigInt::from_i64(n)
+        } else {
+            BigInt::from_i64(n)
+        };
+        Self::from_parts(num, BigUint::from_u64(d.unsigned_abs()))
+    }
+
+    /// From big parts, normalizing.
+    ///
+    /// # Panics
+    /// Panics when `den` is zero.
+    pub fn from_parts(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "Rational::from_parts: zero denominator");
+        if num.is_zero() {
+            return Self::zero_();
+        }
+        let g = num.magnitude().gcd(&den);
+        let (num_mag, _) = num.magnitude().div_rem(&g);
+        let (den, _) = den.div_rem(&g);
+        Rational {
+            num: BigInt::with_sign(num.sign(), num_mag),
+            den,
+        }
+    }
+
+    fn zero_() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Exact integer.
+    pub fn from_int(v: i64) -> Self {
+        Rational {
+            num: BigInt::from_i64(v),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Numerator (signed, coprime with the denominator).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (positive, coprime with the numerator).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(&self) -> Self {
+        assert!(!self.num.is_zero(), "Rational::recip of zero");
+        Rational {
+            num: BigInt::with_sign(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// Exact conversion from any finite `f64` (every finite double is a
+    /// binary rational).
+    ///
+    /// # Panics
+    /// Panics on NaN or infinite input.
+    pub fn from_f64_exact(v: f64) -> Self {
+        assert!(v.is_finite(), "Rational::from_f64_exact: non-finite input");
+        if v == 0.0 {
+            return Self::zero_();
+        }
+        let bits = v.to_bits();
+        let neg = bits >> 63 == 1;
+        let exp_field = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // value = mantissa · 2^exp
+        let (mantissa, exp) = if exp_field == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), exp_field - 1075)
+        };
+        let mag = BigUint::from_u64(mantissa);
+        let (num_mag, den) = if exp >= 0 {
+            (mag.shl_bits(exp as u64), BigUint::one())
+        } else {
+            (mag, BigUint::one().shl_bits((-exp) as u64))
+        };
+        let sign = if neg { Sign::Neg } else { Sign::Pos };
+        Self::from_parts(BigInt::with_sign(sign, num_mag), den)
+    }
+
+    /// Approximate conversion to `f64`.
+    ///
+    /// Numerator and denominator are truncated to their top 64 bits
+    /// *independently* (so tiny values like `53-bit / 900-bit` keep full
+    /// numerator precision) and the dropped power-of-two exponents are
+    /// re-applied afterwards. Exact whenever the value is representable.
+    pub fn approx_f64(&self) -> f64 {
+        if self.num.is_zero() {
+            return 0.0;
+        }
+        let nshift = self.num.magnitude().bits().saturating_sub(64);
+        let dshift = self.den.bits().saturating_sub(64);
+        let n = self.num.magnitude().shr_bits(nshift).to_f64();
+        let d = self.den.shr_bits(dshift).to_f64();
+        let e = nshift as i64 - dshift as i64;
+        // q0 = n/d ∈ (2⁻⁶⁴, 2⁶⁴); the power-of-two rescale is exact within
+        // the double range and saturates to 0/∞ outside it.
+        let q = if e.unsigned_abs() > 2000 {
+            if e > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            (n / d) * 2f64.powi(e as i32)
+        };
+        if self.num.is_negative() {
+            -q
+        } else {
+            q
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, other: Rational) -> Rational {
+        // a/b + c/d = (ad + cb) / bd
+        let ad = &self.num * &BigInt::from_biguint(other.den.clone());
+        let cb = &other.num * &BigInt::from_biguint(self.den.clone());
+        Rational::from_parts(&ad + &cb, self.den.mul(&other.den))
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, other: Rational) -> Rational {
+        self + (-other)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, other: Rational) -> Rational {
+        Rational::from_parts(&self.num * &other.num, self.den.mul(&other.den))
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, other: Rational) -> Rational {
+        assert!(!other.num.is_zero(), "Rational division by zero");
+        self * other.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  (b,d > 0)  ⇔  ad vs cb
+        let ad = &self.num * &BigInt::from_biguint(other.den.clone());
+        let cb = &other.num * &BigInt::from_biguint(self.den.clone());
+        ad.cmp(&cb)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl Scalar for Rational {
+    fn zero() -> Self {
+        Rational::zero_()
+    }
+    fn one() -> Self {
+        Rational::from_int(1)
+    }
+    fn from_int(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+    fn from_f64(v: f64) -> Self {
+        Rational::from_f64_exact(v)
+    }
+    fn to_f64(&self) -> f64 {
+        self.approx_f64()
+    }
+    fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+    fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+    fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 7), Rational::from_int(0));
+        assert_eq!(r(6, -4), r(-3, 2));
+        assert_eq!(r(3, 2).to_string(), "3/2");
+        assert_eq!(r(-3, 2).to_string(), "-3/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(1, 2) + r(-1, 2), Rational::from_int(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = r(1, 2) / Rational::from_int(0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < r(1, 100));
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn from_f64_exact_simple() {
+        assert_eq!(Rational::from_f64_exact(0.5), r(1, 2));
+        assert_eq!(Rational::from_f64_exact(-0.25), r(-1, 4));
+        assert_eq!(Rational::from_f64_exact(3.0), Rational::from_int(3));
+        assert_eq!(Rational::from_f64_exact(0.0), Rational::from_int(0));
+        // 0.1 is NOT 1/10 in binary.
+        assert_ne!(Rational::from_f64_exact(0.1), r(1, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn from_f64_nan_panics() {
+        let _ = Rational::from_f64_exact(f64::NAN);
+    }
+
+    #[test]
+    fn approx_f64_roundtrip() {
+        for v in [0.0, 1.5, -2.25, 1e-30, 123456.789, -1e30] {
+            let q = Rational::from_f64_exact(v);
+            assert_eq!(q.approx_f64(), v, "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+    }
+
+    #[test]
+    fn scalar_impl() {
+        assert!(<Rational as Scalar>::zero().is_zero());
+        assert_eq!(<Rational as Scalar>::one(), Rational::from_int(1));
+        assert_eq!(<Rational as Scalar>::from_int(-7), Rational::from_int(-7));
+        assert!(r(1, 3).is_positive());
+        assert!(r(-1, 3).is_negative());
+        assert_eq!(r(-1, 2).abs(), r(1, 2));
+    }
+
+    #[test]
+    fn grows_beyond_machine_precision() {
+        // Σ 1/k! style growth: denominators explode but stay exact.
+        let mut acc = Rational::from_int(0);
+        let mut den = Rational::from_int(1);
+        for k in 1..=25i64 {
+            den = den * Rational::from_int(k);
+            acc = acc + den.clone().recip();
+        }
+        // e − 1 ≈ 1.718281828…
+        assert!((acc.approx_f64() - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+        assert!(acc.denom().bits() > 64, "should exceed one limb");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in -1000i64..1000, b in 1i64..1000,
+                             c in -1000i64..1000, d in 1i64..1000,
+                             e in -1000i64..1000, f in 1i64..1000) {
+            let x = r(a, b);
+            let y = r(c, d);
+            let z = r(e, f);
+            // Commutativity and associativity.
+            prop_assert_eq!(x.clone() + y.clone(), y.clone() + x.clone());
+            prop_assert_eq!(x.clone() * y.clone(), y.clone() * x.clone());
+            prop_assert_eq!((x.clone() + y.clone()) + z.clone(), x.clone() + (y.clone() + z.clone()));
+            prop_assert_eq!((x.clone() * y.clone()) * z.clone(), x.clone() * (y.clone() * z.clone()));
+            // Distributivity.
+            prop_assert_eq!(x.clone() * (y.clone() + z.clone()),
+                            x.clone() * y.clone() + x.clone() * z.clone());
+            // Inverses.
+            prop_assert_eq!(x.clone() + (-x.clone()), Rational::from_int(0));
+            if !Scalar::is_zero(&x) {
+                prop_assert_eq!(x.clone() * x.recip(), Rational::from_int(1));
+            }
+        }
+
+        #[test]
+        fn prop_from_f64_roundtrip(v in proptest::num::f64::NORMAL) {
+            let q = Rational::from_f64_exact(v);
+            prop_assert_eq!(q.approx_f64(), v);
+        }
+
+        #[test]
+        fn prop_cmp_consistent_with_f64(a in -10_000i64..10_000, b in 1i64..10_000,
+                                        c in -10_000i64..10_000, d in 1i64..10_000) {
+            let exact = r(a, b).cmp(&r(c, d));
+            let approx = (a as f64 / b as f64).partial_cmp(&(c as f64 / d as f64)).unwrap();
+            // f64 on values of this size is exact enough to agree except at
+            // equality boundaries, where f64 may mis-tie; accept both.
+            if exact != Ordering::Equal {
+                prop_assert!(approx == exact || approx == Ordering::Equal);
+            }
+        }
+    }
+}

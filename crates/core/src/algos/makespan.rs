@@ -1,0 +1,237 @@
+//! `Cmax` and `Lmax` solvers for work-preserving malleable tasks.
+//!
+//! Table I of the paper recalls that makespan-type objectives are
+//! polynomial for this task model, and Section I notes that Water-Filling
+//! solves the maximum-lateness problem (all release dates zero). Both
+//! solvers live here:
+//!
+//! * [`optimal_makespan`] — the classic two-term lower bound
+//!   `max(ΣVᵢ/P, maxᵢ Vᵢ/min(δᵢ,P))` is *achievable* for work-preserving
+//!   malleable tasks (pour every task at constant rate over `[0, C*]`),
+//!   so it is the optimum.
+//! * [`min_lmax`] — minimal `maxᵢ (Cᵢ − dᵢ)` for due dates `dᵢ`, by
+//!   bisection over `L` with Water-Filling feasibility of the completion
+//!   vector `(dᵢ + L)` as the oracle (Theorem 8 makes WF a complete
+//!   feasibility test).
+
+use crate::algos::waterfill::{water_filling, wf_feasible};
+use crate::algos::waterfill_fast::wf_feasible_grouped;
+use crate::error::ScheduleError;
+use crate::instance::Instance;
+use crate::schedule::column::ColumnSchedule;
+use numkit::Tolerance;
+
+/// The optimal makespan `C* = max(ΣVᵢ/P, maxᵢ Vᵢ/min(δᵢ, P))`.
+///
+/// ```
+/// use malleable_core::algos::makespan::optimal_makespan;
+/// use malleable_core::instance::Instance;
+///
+/// let inst = Instance::builder(2.0)
+///     .task(8.0, 1.0, 1.0) // height 8 dominates
+///     .task(1.0, 1.0, 2.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(optimal_makespan(&inst), 8.0);
+/// ```
+pub fn optimal_makespan(instance: &Instance) -> f64 {
+    let area = instance.total_volume() / instance.p;
+    let height = instance
+        .tasks
+        .iter()
+        .map(|t| t.volume / t.delta.min(instance.p))
+        .fold(0.0, f64::max);
+    area.max(height)
+}
+
+/// A schedule achieving the optimal makespan: every task runs at constant
+/// rate `Vᵢ/C*` over `[0, C*]` (valid because `Vᵢ/C* ≤ min(δᵢ,P)` and
+/// `ΣVᵢ/C* ≤ P` by definition of `C*`).
+pub fn makespan_schedule(instance: &Instance) -> Result<ColumnSchedule, ScheduleError> {
+    instance.validate()?;
+    let c = optimal_makespan(instance);
+    let completions = vec![c; instance.n()];
+    water_filling(instance, &completions)
+}
+
+/// `true` iff every task can complete by its deadline (WF feasibility;
+/// uses the grouped fast checker, falling back to the full algorithm on
+/// malformed input so behaviour matches [`wf_feasible`]).
+pub fn deadlines_feasible(instance: &Instance, deadlines: &[f64]) -> bool {
+    wf_feasible_grouped(instance, deadlines).unwrap_or_else(|_| wf_feasible(instance, deadlines))
+}
+
+/// Minimize the maximum lateness `Lmax = maxᵢ (Cᵢ − dᵢ)` against due dates
+/// `due`, with all release dates zero. Returns the optimal `L` (within
+/// `tol`) and a witnessing Water-Filling schedule.
+///
+/// # Errors
+/// [`ScheduleError::LengthMismatch`]/[`ScheduleError::InvalidTime`] on
+/// malformed input. (The problem itself is always feasible for large
+/// enough `L`.)
+pub fn min_lmax(
+    instance: &Instance,
+    due: &[f64],
+    tol: Tolerance,
+) -> Result<(f64, ColumnSchedule), ScheduleError> {
+    instance.validate()?;
+    if due.len() != instance.n() {
+        return Err(ScheduleError::LengthMismatch {
+            what: "due dates",
+            expected: instance.n(),
+            found: due.len(),
+        });
+    }
+    for &d in due {
+        if !d.is_finite() {
+            return Err(ScheduleError::InvalidTime {
+                value: d,
+                context: "due dates",
+            });
+        }
+    }
+    // Completion times must be ≥ 0, so effective deadline is max(d + L, h).
+    let completions = |l: f64| -> Vec<f64> {
+        instance
+            .tasks
+            .iter()
+            .zip(due)
+            .map(|(t, &d)| (d + l).max(t.volume / t.delta.min(instance.p)))
+            .collect()
+    };
+    // Individual-height bound gives a lower bracket; the makespan bound an
+    // upper one (with common finish C* + max tardiness slack).
+    let mut lo = instance
+        .tasks
+        .iter()
+        .zip(due)
+        .map(|(t, &d)| t.volume / t.delta.min(instance.p) - d)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cstar = optimal_makespan(instance);
+    let mut hi = due
+        .iter()
+        .map(|&d| cstar - d)
+        .fold(f64::NEG_INFINITY, f64::max);
+    hi = hi.max(lo);
+    debug_assert!(
+        deadlines_feasible(instance, &completions(hi)),
+        "upper bracket must be feasible"
+    );
+    if deadlines_feasible(instance, &completions(lo)) {
+        let cs = water_filling(instance, &completions(lo))?;
+        return Ok((lo, cs));
+    }
+    // Bisection on L (feasibility is monotone in L).
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if deadlines_feasible(instance, &completions(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo <= tol.slack(hi, lo) {
+            break;
+        }
+    }
+    let cs = water_filling(instance, &completions(hi))?;
+    Ok((hi, cs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_area_bound_binds() {
+        // P=2, total volume 8 → area bound 4 > any height.
+        let inst = Instance::builder(2.0)
+            .tasks([(4.0, 1.0, 2.0), (4.0, 1.0, 2.0)])
+            .build()
+            .unwrap();
+        assert_eq!(optimal_makespan(&inst), 4.0);
+    }
+
+    #[test]
+    fn makespan_height_bound_binds() {
+        // Tall constrained task dominates: V/δ = 8 > ΣV/P = 4.5.
+        let inst = Instance::builder(2.0)
+            .tasks([(8.0, 1.0, 1.0), (1.0, 1.0, 2.0)])
+            .build()
+            .unwrap();
+        assert_eq!(optimal_makespan(&inst), 8.0);
+    }
+
+    #[test]
+    fn makespan_schedule_is_valid_and_tight() {
+        let inst = Instance::builder(3.0)
+            .tasks([(4.0, 1.0, 2.0), (3.0, 1.0, 1.0), (2.0, 1.0, 3.0)])
+            .build()
+            .unwrap();
+        let s = makespan_schedule(&inst).unwrap();
+        s.validate(&inst).unwrap();
+        assert!((s.makespan() - optimal_makespan(&inst)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_below_optimum_is_infeasible() {
+        let inst = Instance::builder(3.0)
+            .tasks([(4.0, 1.0, 2.0), (3.0, 1.0, 1.0), (2.0, 1.0, 3.0)])
+            .build()
+            .unwrap();
+        let c = optimal_makespan(&inst);
+        assert!(!deadlines_feasible(&inst, &vec![c * 0.99; 3]));
+        assert!(deadlines_feasible(&inst, &vec![c; 3]));
+    }
+
+    #[test]
+    fn lmax_zero_due_dates_equals_per_task_makespan() {
+        // With all due dates 0, Lmax = ... completion of the last task; the
+        // optimal common completion is C*.
+        let inst = Instance::builder(2.0)
+            .tasks([(2.0, 1.0, 1.0), (2.0, 1.0, 2.0)])
+            .build()
+            .unwrap();
+        let (l, cs) = min_lmax(&inst, &[0.0, 0.0], Tolerance::default()).unwrap();
+        cs.validate(&inst).unwrap();
+        assert!((l - optimal_makespan(&inst)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lmax_respects_heterogeneous_due_dates() {
+        // T0 due early, T1 due late: both fit with L = 0 when deadlines are
+        // generous.
+        let inst = Instance::builder(2.0)
+            .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        let (l, cs) = min_lmax(&inst, &[1.0, 2.0], Tolerance::default()).unwrap();
+        cs.validate(&inst).unwrap();
+        assert!(l <= 1e-6, "expected non-positive lateness, got {l}");
+    }
+
+    #[test]
+    fn lmax_can_be_negative() {
+        // Plenty of slack: tasks finish before generous due dates.
+        let inst = Instance::builder(4.0).task(1.0, 1.0, 4.0).build().unwrap();
+        let (l, _) = min_lmax(&inst, &[10.0], Tolerance::default()).unwrap();
+        assert!(l < -9.0, "expected ≈ −9.75, got {l}");
+    }
+
+    #[test]
+    fn lmax_tight_instance_matches_hand_computation() {
+        // P=1, two unit tasks δ=1, due dates 1 and 1: one must be late by 1.
+        let inst = Instance::builder(1.0)
+            .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        let (l, _) = min_lmax(&inst, &[1.0, 1.0], Tolerance::default()).unwrap();
+        assert!((l - 1.0).abs() < 1e-6, "expected 1, got {l}");
+    }
+
+    #[test]
+    fn lmax_rejects_bad_input() {
+        let inst = Instance::builder(1.0).task(1.0, 1.0, 1.0).build().unwrap();
+        assert!(min_lmax(&inst, &[1.0, 2.0], Tolerance::default()).is_err());
+        assert!(min_lmax(&inst, &[f64::NAN], Tolerance::default()).is_err());
+    }
+}

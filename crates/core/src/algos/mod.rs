@@ -1,0 +1,19 @@
+//! The paper's scheduling algorithms.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`wdeq`] | Algorithm 1 — **WDEQ**, the non-clairvoyant weighted dynamic equipartition (2-approximation, Theorem 4) |
+//! | [`waterfill`] | Algorithm 2 — **WF**, the Water-Filling normal form (Theorem 8) |
+//! | [`greedy`] | Algorithm 3 — **Greedy(σ)** schedules (Section V) |
+//! | [`orders`] | Task orderings: Smith's rule and friends |
+//! | [`makespan`] | `Cmax`/`Lmax` solvers built on Water-Filling feasibility (Table I context) |
+
+pub mod flow;
+pub mod greedy;
+pub mod makespan;
+pub mod orders;
+pub mod releases;
+pub mod waterfill;
+pub mod waterfill_fast;
+pub mod waterfill_int;
+pub mod wdeq;

@@ -1,0 +1,169 @@
+//! Task orderings used by greedy scheduling and the experiments.
+//!
+//! The paper's open question (Section VI) singles out the greedy schedule
+//! based on **Smith's rule** — tasks sorted by non-decreasing `Vᵢ/wᵢ` —
+//! as the natural candidate ordering; the experiment harness compares it
+//! against several structural alternatives and exhaustive search.
+
+use crate::instance::{Instance, TaskId};
+
+/// Smith's ordering: `Vᵢ/wᵢ` non-decreasing (weightless tasks last),
+/// ties by id. Optimal for `δᵢ = P` (single-machine WSPT, Table I row 6).
+pub fn smith_order(instance: &Instance) -> Vec<TaskId> {
+    let mut ids: Vec<TaskId> = (0..instance.n()).map(TaskId).collect();
+    ids.sort_by(|a, b| {
+        let ra = smith_key(instance, *a);
+        let rb = smith_key(instance, *b);
+        ra.total_cmp(&rb).then(a.0.cmp(&b.0))
+    });
+    ids
+}
+
+fn smith_key(instance: &Instance, id: TaskId) -> f64 {
+    let t = instance.task(id);
+    if t.weight > 0.0 {
+        t.volume / t.weight
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Caps descending (`δᵢ` large first): wide tasks early keep the machine
+/// full. Ties by id.
+pub fn delta_descending(instance: &Instance) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| -inst.task(id).delta)
+}
+
+/// Caps ascending (the mirror ordering; Conjecture 13 says the two cost
+/// the same on homogeneous instances).
+pub fn delta_ascending(instance: &Instance) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| inst.task(id).delta)
+}
+
+/// Heights `Vᵢ/δᵢ` descending — the "longest minimal running time first"
+/// analogue of LPT.
+pub fn height_descending(instance: &Instance) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| -inst.task(id).height())
+}
+
+/// Weighted-height `wᵢ·δᵢ/Vᵢ` descending: a δ-aware Smith variant that
+/// prioritizes tasks that are both heavy and quick at full parallelism.
+pub fn weighted_height_descending(instance: &Instance) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| {
+        let t = inst.task(id);
+        -(t.weight * t.delta.min(inst.p) / t.volume)
+    })
+}
+
+fn sorted_by_key(instance: &Instance, key: impl Fn(&Instance, TaskId) -> f64) -> Vec<TaskId> {
+    let mut ids: Vec<TaskId> = (0..instance.n()).map(TaskId).collect();
+    ids.sort_by(|a, b| {
+        key(instance, *a)
+            .total_cmp(&key(instance, *b))
+            .then(a.0.cmp(&b.0))
+    });
+    ids
+}
+
+/// All candidate heuristic orders, labelled (used by the experiments).
+pub fn heuristic_orders(instance: &Instance) -> Vec<(&'static str, Vec<TaskId>)> {
+    vec![
+        ("smith", smith_order(instance)),
+        ("delta_desc", delta_descending(instance)),
+        ("delta_asc", delta_ascending(instance)),
+        ("height_desc", height_descending(instance)),
+        ("wheight_desc", weighted_height_descending(instance)),
+        ("input", (0..instance.n()).map(TaskId).collect()),
+    ]
+}
+
+/// Validity check: `order` must be a permutation of `0..n`.
+pub fn is_permutation(order: &[TaskId], n: usize) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for id in order {
+        if id.0 >= n || seen[id.0] {
+            return false;
+        }
+        seen[id.0] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0) // smith 8, height 4
+            .task(4.0, 2.0, 4.0) // smith 2, height 1
+            .task(2.0, 4.0, 1.0) // smith 0.5, height 2
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn smith_sorts_by_v_over_w() {
+        assert_eq!(
+            smith_order(&inst()),
+            vec![TaskId(2), TaskId(1), TaskId(0)]
+        );
+    }
+
+    #[test]
+    fn weightless_tasks_last_in_smith() {
+        let i = Instance::builder(1.0)
+            .task(1.0, 0.0, 1.0)
+            .task(5.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(smith_order(&i), vec![TaskId(1), TaskId(0)]);
+    }
+
+    #[test]
+    fn delta_orders_are_mirrors() {
+        let d = delta_descending(&inst());
+        let a = delta_ascending(&inst());
+        let mut rev = a.clone();
+        rev.reverse();
+        assert_eq!(d, rev);
+        assert_eq!(d, vec![TaskId(1), TaskId(0), TaskId(2)]);
+    }
+
+    #[test]
+    fn height_descending_order() {
+        assert_eq!(
+            height_descending(&inst()),
+            vec![TaskId(0), TaskId(2), TaskId(1)]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let i = Instance::builder(1.0)
+            .task(1.0, 1.0, 0.5)
+            .task(1.0, 1.0, 0.5)
+            .build()
+            .unwrap();
+        assert_eq!(smith_order(&i), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(delta_descending(&i), vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation(&[TaskId(1), TaskId(0)], 2));
+        assert!(!is_permutation(&[TaskId(0), TaskId(0)], 2));
+        assert!(!is_permutation(&[TaskId(0)], 2));
+        assert!(!is_permutation(&[TaskId(0), TaskId(5)], 2));
+    }
+
+    #[test]
+    fn heuristic_orders_all_permutations() {
+        for (name, ord) in heuristic_orders(&inst()) {
+            assert!(is_permutation(&ord, 3), "{name} not a permutation");
+        }
+    }
+}

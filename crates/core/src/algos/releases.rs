@@ -1,0 +1,304 @@
+//! Scheduling with release dates: `P | var; Vᵢ/q, δᵢ, rᵢ | Cmax`
+//! (Table I, row "Cmax, O(n²)" [Drozdowski 2001]).
+//!
+//! Feasibility of a common deadline `T` given release dates reduces to a
+//! transportation problem over the time intervals delimited by release
+//! dates and `T`: interval `j` (length `lⱼ`) offers `P·lⱼ` machine
+//! capacity, and task `i` may use up to `δᵢ·lⱼ` of it iff `rᵢ ≤ startⱼ`.
+//! The deadline is feasible iff the max flow saturates all volumes. The
+//! optimal `Cmax` is found by bisection on `T`; the witnessing schedule
+//! falls out of the flow values (per-interval average rates, which is a
+//! valid `MWCT`-style fractional schedule by the Theorem-3 argument).
+
+use crate::algos::flow::FlowNetwork;
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::schedule::step::{Segment, StepSchedule};
+use numkit::Tolerance;
+
+/// Result of the release-date makespan solver.
+#[derive(Debug, Clone)]
+pub struct ReleaseSchedule {
+    /// Optimal makespan.
+    pub cmax: f64,
+    /// A witnessing fractional schedule (constant rates per interval).
+    pub schedule: StepSchedule,
+}
+
+/// `true` iff all tasks can finish by `deadline` respecting releases.
+///
+/// # Errors
+/// [`ScheduleError::LengthMismatch`]/[`ScheduleError::InvalidTime`] on
+/// malformed input.
+pub fn feasible_with_releases(
+    instance: &Instance,
+    releases: &[f64],
+    deadline: f64,
+) -> Result<bool, ScheduleError> {
+    Ok(build_flow_schedule(instance, releases, deadline)?.is_some())
+}
+
+/// Minimal makespan under release dates, with a witnessing schedule.
+///
+/// ```
+/// use malleable_core::algos::releases::makespan_with_releases;
+/// use malleable_core::instance::Instance;
+///
+/// // One task released at t = 5 with minimal running time 2 ⇒ Cmax = 7.
+/// let inst = Instance::builder(2.0).task(4.0, 1.0, 2.0).build().unwrap();
+/// let r = makespan_with_releases(&inst, &[5.0]).unwrap();
+/// assert!((r.cmax - 7.0).abs() < 1e-6);
+/// ```
+///
+/// # Errors
+/// Propagates input validation failures.
+pub fn makespan_with_releases(
+    instance: &Instance,
+    releases: &[f64],
+) -> Result<ReleaseSchedule, ScheduleError> {
+    instance.validate()?;
+    check_releases(instance, releases)?;
+    let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
+
+    // Lower bracket: no task can finish before rᵢ + hᵢ, and the machine
+    // cannot beat the area bound measured from the earliest release.
+    let mut lo = 0.0f64;
+    for (t, &r) in instance.tasks.iter().zip(releases) {
+        lo = lo.max(r + t.volume / t.delta.min(instance.p));
+    }
+    let rmin = releases.iter().copied().fold(f64::INFINITY, f64::min);
+    lo = lo.max(rmin + instance.total_volume() / instance.p);
+    // Upper bracket: run everything after the last release at optimal Cmax.
+    let rmax = releases.iter().copied().fold(0.0, f64::max);
+    let mut hi = rmax + crate::algos::makespan::optimal_makespan(instance);
+
+    if let Some(schedule) = build_flow_schedule(instance, releases, lo)? {
+        return Ok(ReleaseSchedule { cmax: lo, schedule });
+    }
+    debug_assert!(build_flow_schedule(instance, releases, hi)?.is_some());
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if build_flow_schedule(instance, releases, mid)?.is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo <= tol.slack(hi, lo) {
+            break;
+        }
+    }
+    let schedule = build_flow_schedule(instance, releases, hi)?
+        .expect("upper bracket stays feasible");
+    Ok(ReleaseSchedule { cmax: hi, schedule })
+}
+
+fn check_releases(instance: &Instance, releases: &[f64]) -> Result<(), ScheduleError> {
+    if releases.len() != instance.n() {
+        return Err(ScheduleError::LengthMismatch {
+            what: "release dates",
+            expected: instance.n(),
+            found: releases.len(),
+        });
+    }
+    for &r in releases {
+        if !r.is_finite() || r < 0.0 {
+            return Err(ScheduleError::InvalidTime {
+                value: r,
+                context: "release dates",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Build the transportation network for `deadline` and return the witness
+/// schedule when the flow saturates all volumes.
+fn build_flow_schedule(
+    instance: &Instance,
+    releases: &[f64],
+    deadline: f64,
+) -> Result<Option<StepSchedule>, ScheduleError> {
+    instance.validate()?;
+    check_releases(instance, releases)?;
+    let n = instance.n();
+    let tol = Tolerance::default().scaled(1.0 + n as f64);
+    let total_volume = instance.total_volume();
+
+    // Quick rejection: someone released after (or too close to) T.
+    for (t, &r) in instance.tasks.iter().zip(releases) {
+        if r + t.volume / t.delta.min(instance.p) > deadline + tol.slack(deadline, 0.0) {
+            return Ok(None);
+        }
+    }
+
+    // Interval boundaries: releases (< T) plus T.
+    let mut bounds: Vec<f64> = releases.iter().copied().filter(|&r| r < deadline).collect();
+    bounds.push(0.0);
+    bounds.push(deadline);
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup_by(|a, b| tol.eq(*a, *b));
+    let intervals: Vec<(f64, f64)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+    let m = intervals.len();
+
+    // Nodes: source, tasks 0..n, intervals n..n+m, sink.
+    let s = n + m;
+    let t_ = n + m + 1;
+    let mut g = FlowNetwork::new(n + m + 2, tol.abs * 1e-3);
+    let mut volume_edges = Vec::with_capacity(n);
+    let mut task_interval_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (i, task) in instance.tasks.iter().enumerate() {
+        volume_edges.push(g.add_edge(s, i, task.volume));
+        let cap = instance.effective_delta(TaskId(i));
+        for (j, &(a, b)) in intervals.iter().enumerate() {
+            if releases[i] <= a + tol.abs {
+                let eid = g.add_edge(i, n + j, cap * (b - a));
+                task_interval_edges[i].push((j, eid));
+            }
+        }
+    }
+    for (j, &(a, b)) in intervals.iter().enumerate() {
+        g.add_edge(n + j, t_, instance.p * (b - a));
+    }
+
+    let flow = g.max_flow(s, t_);
+    // Saturation must be tight: a tolerant comparison here lets the Cmax
+    // bisection accept deadlines that are short by a relative 1e-7, which
+    // surfaces as per-task volume deficits in the witness.
+    if flow < total_volume * (1.0 - 1e-9) - 1e-12 {
+        return Ok(None);
+    }
+
+    // Extract the witness: constant rate per interval, then snap each
+    // task's area onto its exact volume (the flow can be short by the
+    // saturation slack above; the proportional correction is ≤ 1e-9
+    // relative, far inside every validation tolerance).
+    let mut out = StepSchedule::empty(instance.p, n);
+    #[allow(clippy::needless_range_loop)] // i indexes three parallel tables
+    for i in 0..n {
+        let mut segs: Vec<Segment> = Vec::new();
+        for &(j, eid) in &task_interval_edges[i] {
+            let (a, b) = intervals[j];
+            let vol = g.flow_on(eid);
+            let len = b - a;
+            if vol > tol.abs * len.max(1.0) && len > tol.abs {
+                let procs = vol / len;
+                match segs.last_mut() {
+                    Some(prev) if tol.eq(prev.end, a) && tol.eq(prev.procs, procs) => {
+                        prev.end = b;
+                    }
+                    _ => segs.push(Segment {
+                        start: a,
+                        end: b,
+                        procs,
+                    }),
+                }
+            }
+        }
+        let area: f64 = segs.iter().map(Segment::area).sum();
+        if area > 0.0 {
+            let scale = instance.tasks[i].volume / area;
+            for s in &mut segs {
+                s.procs *= scale;
+            }
+        }
+        out.allocs[i] = segs;
+    }
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_releases_match_plain_makespan() {
+        let inst = Instance::builder(3.0)
+            .tasks([(4.0, 1.0, 2.0), (3.0, 1.0, 1.0), (2.0, 1.0, 3.0)])
+            .build()
+            .unwrap();
+        let r = makespan_with_releases(&inst, &[0.0, 0.0, 0.0]).unwrap();
+        let plain = crate::algos::makespan::optimal_makespan(&inst);
+        assert!((r.cmax - plain).abs() < 1e-6, "{} vs {plain}", r.cmax);
+        r.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn late_release_forces_waiting() {
+        // Single task released at 5 with height 2 ⇒ Cmax = 7.
+        let inst = Instance::builder(2.0).task(4.0, 1.0, 2.0).build().unwrap();
+        let r = makespan_with_releases(&inst, &[5.0]).unwrap();
+        assert!((r.cmax - 7.0).abs() < 1e-6);
+        // No allocation before the release.
+        assert!(r.schedule.allocs[0][0].start >= 5.0 - 1e-9);
+    }
+
+    #[test]
+    fn staggered_releases_hand_computed() {
+        // P=1, two unit tasks δ=1, releases 0 and 0.5:
+        // machine busy from 0; total volume 2 ⇒ Cmax = 2 (area bound holds
+        // from r_min = 0).
+        let inst = Instance::builder(1.0)
+            .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        let r = makespan_with_releases(&inst, &[0.0, 0.5]).unwrap();
+        assert!((r.cmax - 2.0).abs() < 1e-6, "got {}", r.cmax);
+        r.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn release_after_area_bound_dominates() {
+        // P=2: a small task at 0, a big one released at 10.
+        let inst = Instance::builder(2.0)
+            .tasks([(1.0, 1.0, 1.0), (4.0, 1.0, 2.0)])
+            .build()
+            .unwrap();
+        let r = makespan_with_releases(&inst, &[0.0, 10.0]).unwrap();
+        assert!((r.cmax - 12.0).abs() < 1e-6, "got {}", r.cmax);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_deadline() {
+        let inst = Instance::builder(2.0)
+            .tasks([(2.0, 1.0, 1.0), (3.0, 1.0, 2.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        let releases = [0.0, 1.0, 2.0];
+        let r = makespan_with_releases(&inst, &releases).unwrap();
+        assert!(!feasible_with_releases(&inst, &releases, r.cmax * 0.98).unwrap());
+        assert!(feasible_with_releases(&inst, &releases, r.cmax * 1.02).unwrap());
+    }
+
+    #[test]
+    fn witness_schedule_respects_releases_and_validates() {
+        let inst = Instance::builder(4.0)
+            .tasks([
+                (6.0, 1.0, 2.0),
+                (2.0, 1.0, 4.0),
+                (5.0, 1.0, 3.0),
+                (1.0, 1.0, 1.0),
+            ])
+            .build()
+            .unwrap();
+        let releases = [0.0, 2.0, 1.0, 3.0];
+        let r = makespan_with_releases(&inst, &releases).unwrap();
+        r.schedule.validate(&inst).unwrap();
+        for (i, segs) in r.schedule.allocs.iter().enumerate() {
+            for s in segs {
+                assert!(
+                    s.start >= releases[i] - 1e-9,
+                    "task {i} ran before its release"
+                );
+            }
+        }
+        assert!(r.schedule.makespan() <= r.cmax + 1e-6);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        let inst = Instance::builder(1.0).task(1.0, 1.0, 1.0).build().unwrap();
+        assert!(makespan_with_releases(&inst, &[0.0, 1.0]).is_err());
+        assert!(makespan_with_releases(&inst, &[-1.0]).is_err());
+        assert!(makespan_with_releases(&inst, &[f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,499 @@
+//! **Water-Filling** (Algorithm 2) — the paper's normal form for malleable
+//! schedules.
+//!
+//! Given only the target completion times `(Cᵢ)`, WF reconstructs a
+//! canonical valid schedule whenever one exists (Theorem 8). Tasks are
+//! processed in completion order; task `Tᵢ` pours its volume `Vᵢ` into
+//! columns `1..i` like water, subject to the per-column rate cap `δᵢ`: the
+//! minimal *water level* `hᵢ` with
+//! `wfᵢ(h) = Σ_k l_k · clamp(h − h_k, 0, δᵢ) = Vᵢ` is found, and every
+//! usable column is raised to `min(hᵢ, h_k + δᵢ)`.
+//!
+//! Properties proved in the paper and asserted here:
+//! * after each task, column heights are non-increasing in time (Lemma 3);
+//! * WF succeeds iff *any* valid schedule with these completion times
+//!   exists (Lemma 4 / Theorem 8);
+//! * the total number of allocation changes is `≤ n` (Lemma 5), hence ≤ 1
+//!   preemption per task on average in the fractional regime (Theorem 9)
+//!   and ≤ 3n preemptions after integer conversion (Theorem 10).
+
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::schedule::column::{Column, ColumnSchedule};
+use numkit::Tolerance;
+
+/// Outcome of a successful Water-Filling run.
+#[derive(Debug, Clone)]
+pub struct WaterFillOutcome {
+    /// The normal-form schedule.
+    pub schedule: ColumnSchedule,
+    /// Water level `hᵢ` chosen for each task (diagnostics/tests).
+    pub levels: Vec<f64>,
+}
+
+/// Run Water-Filling for `instance` against target completion times
+/// `completions` (indexed by task id). Returns the normal-form schedule.
+///
+/// ```
+/// use malleable_core::algos::waterfill::water_filling;
+/// use malleable_core::instance::Instance;
+///
+/// let inst = Instance::builder(4.0).task(6.0, 1.0, 3.0).build().unwrap();
+/// // Feasible: 6 units at ≤ 3 procs by t = 2.
+/// let s = water_filling(&inst, &[2.0]).unwrap();
+/// assert!(s.validate(&inst).is_ok());
+/// // Infeasible: only 3 units fit by t = 1 (Theorem 8 certifies it).
+/// assert!(water_filling(&inst, &[1.0]).is_err());
+/// ```
+///
+/// # Errors
+/// * [`ScheduleError::InfeasibleCompletionTimes`] if no valid schedule has
+///   these completion times (Theorem 8 makes this a certificate);
+/// * [`ScheduleError::LengthMismatch`] / [`ScheduleError::InvalidTime`] on
+///   malformed input.
+pub fn water_filling(
+    instance: &Instance,
+    completions: &[f64],
+) -> Result<ColumnSchedule, ScheduleError> {
+    water_filling_full(instance, completions).map(|o| o.schedule)
+}
+
+/// [`water_filling`] exposing the chosen water levels.
+pub fn water_filling_full(
+    instance: &Instance,
+    completions: &[f64],
+) -> Result<WaterFillOutcome, ScheduleError> {
+    instance.validate()?;
+    let n = instance.n();
+    if completions.len() != n {
+        return Err(ScheduleError::LengthMismatch {
+            what: "completion times",
+            expected: n,
+            found: completions.len(),
+        });
+    }
+    for &c in completions {
+        if !c.is_finite() || c < 0.0 {
+            return Err(ScheduleError::InvalidTime {
+                value: c,
+                context: "water-filling completion times",
+            });
+        }
+    }
+    let tol = Tolerance::default().scaled(1.0 + n as f64);
+
+    // Tasks in completion order (ties by id); column k ends at the k-th
+    // ordered completion.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| completions[a].total_cmp(&completions[b]).then(a.cmp(&b)));
+    let bounds: Vec<f64> = order.iter().map(|&i| completions[i]).collect();
+    let lengths: Vec<f64> = bounds
+        .iter()
+        .enumerate()
+        .map(|(k, &b)| if k == 0 { b } else { b - bounds[k - 1] })
+        .collect();
+
+    let mut heights = vec![0.0f64; n]; // h_k after the tasks placed so far
+    let mut rates: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n]; // per column
+    let mut levels = vec![0.0f64; n];
+
+    for (pos, &ti) in order.iter().enumerate() {
+        let task = TaskId(ti);
+        let volume = instance.tasks[ti].volume;
+        let cap = instance.effective_delta(task);
+
+        // Find the minimal level h with  Σ_{k≤pos} l_k·clamp(h−h_k,0,cap)
+        // ≥ volume  by walking the breakpoints {h_k, h_k+cap} in ascending
+        // order and tracking the current slope (Σ l_k of columns in their
+        // linear regime).
+        let usable = &heights[..=pos];
+        let level = match pour_level(usable, &lengths[..=pos], cap, volume, instance.p, tol) {
+            Some(h) => h,
+            None => {
+                // wfᵢ(P) < Vᵢ: infeasible (Theorem 8 certifies no valid
+                // schedule exists).
+                let placeable: f64 = usable
+                    .iter()
+                    .zip(&lengths[..=pos])
+                    .map(|(&h, &l)| l * (instance.p - h).clamp(0.0, cap))
+                    .sum();
+                return Err(ScheduleError::InfeasibleCompletionTimes {
+                    task,
+                    placeable,
+                    required: volume,
+                });
+            }
+        };
+        levels[ti] = level;
+
+        // Allocate and raise heights.
+        let mut poured = 0.0;
+        for k in 0..=pos {
+            if lengths[k] <= tol.abs {
+                continue;
+            }
+            let rate = (level - heights[k]).clamp(0.0, cap);
+            if rate > tol.abs {
+                rates[k].push((task, rate));
+                heights[k] += rate;
+                poured += rate * lengths[k];
+            }
+        }
+        // Snap accumulated rounding so later tasks see consistent volume.
+        debug_assert!(
+            tol.scaled(8.0).eq(poured, volume),
+            "poured {poured} vs volume {volume}"
+        );
+        // Lemma 3: heights non-increasing in time (over real columns;
+        // zero-length columns hold no water).
+        debug_assert!(
+            {
+                let real: Vec<f64> = (0..=pos)
+                    .filter(|&k| lengths[k] > tol.abs)
+                    .map(|k| heights[k])
+                    .collect();
+                real.windows(2)
+                    .all(|w| w[0] >= w[1] - tol.slack(w[0], w[1]))
+            },
+            "water-filling heights must be non-increasing: {:?}",
+            &heights[..=pos]
+        );
+    }
+
+    // Assemble columns.
+    let mut columns = Vec::with_capacity(n);
+    let mut prev = 0.0;
+    for k in 0..n {
+        columns.push(Column {
+            start: prev,
+            end: bounds[k],
+            rates: std::mem::take(&mut rates[k]),
+        });
+        prev = bounds[k];
+    }
+
+    Ok(WaterFillOutcome {
+        schedule: ColumnSchedule {
+            p: instance.p,
+            completions: completions.to_vec(),
+            columns,
+        },
+        levels,
+    })
+}
+
+/// Minimal water level `h ≤ p` such that
+/// `Σ_k l_k · clamp(h − h_k, 0, cap) ≥ volume`, or `None` if even `h = p`
+/// is not enough.
+pub(crate) fn pour_level(
+    heights: &[f64],
+    lengths: &[f64],
+    cap: f64,
+    volume: f64,
+    p: f64,
+    tol: Tolerance,
+) -> Option<f64> {
+    debug_assert_eq!(heights.len(), lengths.len());
+    let slack = tol.slack(volume, 0.0);
+    // Breakpoints where a column enters (+l) or leaves (−l) its linear
+    // regime.
+    let mut events: Vec<(f64, f64)> = Vec::with_capacity(heights.len() * 2);
+    for (&h, &l) in heights.iter().zip(lengths) {
+        if l <= tol.abs {
+            continue;
+        }
+        events.push((h, l));
+        events.push((h + cap, -l));
+    }
+    if events.is_empty() {
+        // No usable columns: only a zero volume fits.
+        return if volume <= slack { Some(0.0) } else { None };
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut slope = 0.0f64; // Σ l over columns currently in linear regime
+    let mut filled = 0.0f64; // wf(level)
+    let mut level = events[0].0; // heights are ≤ P, so this starts ≤ P
+    let mut i = 0;
+    loop {
+        // Apply all events at (or tolerably near) the current level.
+        while i < events.len() && events[i].0 <= level + tol.abs {
+            slope += events[i].1;
+            i += 1;
+        }
+        if filled >= volume - slack {
+            return Some(level.min(p));
+        }
+        let next = if i < events.len() {
+            events[i].0
+        } else {
+            f64::INFINITY
+        };
+        if slope <= tol.abs {
+            // Flat region: jump to the next breakpoint (still below P) or
+            // give up.
+            if !next.is_finite() || next > p + tol.abs {
+                return None;
+            }
+            level = next;
+            continue;
+        }
+        let target_rise = (volume - filled) / slope;
+        let rise = target_rise.min(next - level).min(p - level);
+        filled += slope * rise;
+        level += rise;
+        if filled >= volume - slack {
+            return Some(level.min(p));
+        }
+        if level >= p - tol.abs {
+            // At the machine ceiling and still unfilled.
+            return None;
+        }
+        // Otherwise we rose exactly to the next breakpoint; loop to apply it.
+        debug_assert!(next.is_finite());
+    }
+}
+
+/// Feasibility of completion times without materializing the allocation:
+/// `true` iff [`water_filling`] would succeed (Theorem 8: iff any valid
+/// schedule with these completion times exists).
+pub fn wf_feasible(instance: &Instance, completions: &[f64]) -> bool {
+    water_filling(instance, completions).is_ok()
+}
+
+/// Count of **all** allocation changes in a WF column schedule: for each
+/// task, the number of transitions between consecutive positive-length
+/// columns where its rate changes while staying positive.
+///
+/// **Note on Lemma 5.** The paper's accounting counts only the changes
+/// inside a task's *unsaturated phase* (its Figure-3 ¶ marks) and bounds
+/// those by `n` in total — see [`lemma5_changes`]. The transition from the
+/// last unsaturated column *into* the δ-saturated phase is generically
+/// also a rate change; including it (as this strict count does) the
+/// empirical bound is `2n` (one extra change per task at most). Both
+/// counts are exercised in experiment E4.
+pub fn allocation_changes(schedule: &ColumnSchedule, n_tasks: usize, tol: Tolerance) -> usize {
+    count_changes(schedule, n_tasks, tol, |_, _| true)
+}
+
+/// The paper's Lemma-5 count: allocation changes whose *new* rate is
+/// strictly below the task's cap (i.e. transitions within the unsaturated
+/// phase). Bounded by `n` in total (Lemma 5).
+pub fn lemma5_changes(
+    schedule: &ColumnSchedule,
+    instance: &Instance,
+    tol: Tolerance,
+) -> usize {
+    let caps: Vec<f64> = (0..instance.n())
+        .map(|i| instance.effective_delta(TaskId(i)))
+        .collect();
+    count_changes(schedule, instance.n(), tol, |task, new_rate| {
+        !tol.eq(new_rate, caps[task])
+    })
+}
+
+fn count_changes(
+    schedule: &ColumnSchedule,
+    n_tasks: usize,
+    tol: Tolerance,
+    count_if: impl Fn(usize, f64) -> bool,
+) -> usize {
+    let mut changes = 0;
+    for i in 0..n_tasks {
+        let task = TaskId(i);
+        let mut prev_rate: Option<f64> = None;
+        for col in &schedule.columns {
+            if col.len() <= tol.abs {
+                continue;
+            }
+            let r = col.rate_of(task);
+            if r <= tol.abs {
+                // Before first allocation or after completion: WF tasks
+                // occupy a contiguous column range, so no interior gaps.
+                if prev_rate.is_some() {
+                    break;
+                }
+                continue;
+            }
+            if let Some(p) = prev_rate {
+                if !tol.eq(p, r) && count_if(i, r) {
+                    changes += 1;
+                }
+            }
+            prev_rate = Some(r);
+        }
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::wdeq::wdeq_schedule;
+
+    fn tol() -> Tolerance {
+        Tolerance::default().scaled(100.0)
+    }
+
+    #[test]
+    fn single_task_constant_rate() {
+        let inst = Instance::builder(4.0).task(6.0, 1.0, 3.0).build().unwrap();
+        let s = water_filling(&inst, &[2.0]).unwrap();
+        s.validate(&inst).unwrap();
+        assert!((s.columns[0].rate_of(TaskId(0)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_too_tight() {
+        let inst = Instance::builder(4.0).task(6.0, 1.0, 3.0).build().unwrap();
+        // Needs ≥ 1.5 time at δ=3; 2·... C=1 gives only 3 < 6.
+        match water_filling(&inst, &[1.0]) {
+            Err(ScheduleError::InfeasibleCompletionTimes {
+                task, placeable, ..
+            }) => {
+                assert_eq!(task, TaskId(0));
+                assert!((placeable - 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_binds_across_tasks() {
+        // P=2: two unit-cap tasks can share; a third must be infeasible if
+        // everything must finish by t=1.
+        let inst = Instance::builder(2.0)
+            .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        assert!(!wf_feasible(&inst, &[1.0, 1.0, 1.0]));
+        assert!(wf_feasible(&inst, &[1.0, 1.0, 2.0]));
+    }
+
+    #[test]
+    fn water_fills_lowest_columns_first() {
+        // T0 finishes at 1, T1 at 2; T1's volume should go preferentially
+        // into column 2 (empty) before raising column 1.
+        let inst = Instance::builder(2.0)
+            .task(1.0, 1.0, 1.0) // T0
+            .task(1.5, 1.0, 1.0) // T1
+            .build()
+            .unwrap();
+        let s = water_filling(&inst, &[1.0, 2.0]).unwrap();
+        s.validate(&inst).unwrap();
+        // Column 2 (length 1) takes δ·1 = 1.0 of T1; remaining 0.5 in col 1.
+        assert!((s.columns[1].rate_of(TaskId(1)) - 1.0).abs() < 1e-9);
+        assert!((s.columns[0].rate_of(TaskId(1)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstructs_wdeq_completion_times() {
+        let inst = Instance::builder(4.0)
+            .tasks([(8.0, 1.0, 2.0), (4.0, 2.0, 4.0), (2.0, 4.0, 1.0)])
+            .build()
+            .unwrap();
+        let wdeq = wdeq_schedule(&inst);
+        let wf = water_filling(&inst, wdeq.completion_times()).unwrap();
+        wf.validate(&inst).unwrap();
+        assert_eq!(wf.completions, wdeq.completions);
+    }
+
+    #[test]
+    fn lemma5_change_bound_holds() {
+        let inst = Instance::builder(4.0)
+            .tasks([
+                (8.0, 1.0, 2.0),
+                (4.0, 2.0, 4.0),
+                (2.0, 4.0, 1.0),
+                (5.0, 1.0, 3.0),
+                (1.0, 2.0, 2.0),
+            ])
+            .build()
+            .unwrap();
+        let wdeq = wdeq_schedule(&inst);
+        let wf = water_filling(&inst, wdeq.completion_times()).unwrap();
+        let changes = allocation_changes(&wf, inst.n(), tol());
+        assert!(
+            changes <= inst.n(),
+            "Lemma 5 violated: {changes} changes for n = {}",
+            inst.n()
+        );
+    }
+
+    #[test]
+    fn tied_completion_times() {
+        let inst = Instance::builder(2.0)
+            .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        let s = water_filling(&inst, &[1.0, 1.0]).unwrap();
+        s.validate(&inst).unwrap();
+        // One real column [0,1] and one zero-length column.
+        assert_eq!(s.columns.len(), 2);
+        assert!((s.columns[0].total_rate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_columns_stay_below_level() {
+        // T0 ends at 1 with rate 2 (column-1 height 2); T1 (δ=1, V=2) ends
+        // at 2. T1 is δ-saturated in both columns: rate 1 each, water level
+        // 3 on top of column 1.
+        let inst = Instance::builder(4.0)
+            .task(2.0, 1.0, 2.0)
+            .task(2.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let out = water_filling_full(&inst, &[1.0, 2.0]).unwrap();
+        out.schedule.validate(&inst).unwrap();
+        assert!((out.schedule.columns[0].rate_of(TaskId(1)) - 1.0).abs() < 1e-9);
+        assert!((out.schedule.columns[1].rate_of(TaskId(1)) - 1.0).abs() < 1e-9);
+        assert!((out.levels[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_saturation_infeasibility() {
+        let inst = Instance::builder(4.0)
+            .task(2.0, 1.0, 2.0)
+            .task(2.5, 1.0, 1.0)
+            .build()
+            .unwrap();
+        // δ=1 over 2 time units places at most 2.0 < 2.5 by t = 2.
+        assert!(!wf_feasible(&inst, &[1.0, 2.0]));
+        assert!(wf_feasible(&inst, &[1.0, 2.5]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let inst = Instance::builder(1.0).task(1.0, 1.0, 1.0).build().unwrap();
+        assert!(matches!(
+            water_filling(&inst, &[1.0, 2.0]),
+            Err(ScheduleError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            water_filling(&inst, &[-1.0]),
+            Err(ScheduleError::InvalidTime { .. })
+        ));
+        assert!(matches!(
+            water_filling(&inst, &[f64::NAN]),
+            Err(ScheduleError::InvalidTime { .. })
+        ));
+    }
+
+    #[test]
+    fn idempotent_on_own_output() {
+        let inst = Instance::builder(3.0)
+            .tasks([(2.0, 1.0, 2.0), (3.0, 1.0, 1.0), (1.0, 1.0, 3.0)])
+            .build()
+            .unwrap();
+        let wdeq = wdeq_schedule(&inst);
+        let wf1 = water_filling(&inst, wdeq.completion_times()).unwrap();
+        let wf2 = water_filling(&inst, wf1.completion_times()).unwrap();
+        for (c1, c2) in wf1.columns.iter().zip(&wf2.columns) {
+            assert_eq!(c1.rates.len(), c2.rates.len());
+            for (r1, r2) in c1.rates.iter().zip(&c2.rates) {
+                assert_eq!(r1.0, r2.0);
+                assert!((r1.1 - r2.1).abs() < 1e-9);
+            }
+        }
+    }
+}

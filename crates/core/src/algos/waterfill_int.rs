@@ -1,0 +1,377 @@
+//! **Integer Water-Filling** — the Theorem-10 variant of Algorithm 2.
+//!
+//! The naive route to an integer schedule — fractional WF followed by the
+//! per-column Figure-2 wrap — is valid (Theorem 3) but, as the paper
+//! warns, "may result in a much larger number of preemptions": every task
+//! picks up O(1) small steps in *each* of its columns, O(n²) in total.
+//!
+//! The paper's Appendix-A construction instead pours each task directly
+//! onto the **integer occupancy staircase**: the machine occupancy
+//! `occ(t)` is kept a non-increasing integer step function, and task `i`
+//! (in completion order) raises the region `occ(t) < h` below its
+//! fractional water level `h` to `⌈h⌉` on an earliest prefix and `⌊h⌋`
+//! after, saturating at `occ + δᵢ` where the level is out of reach. Small
+//! steps already in the staircase are *consumed* by later tasks, which is
+//! exactly the amortization behind Claim 1
+//! (`Nᵢ₊₁ + Mᵢ₊₁ ≤ Nᵢ + Mᵢ + 3`) and the `≤ 3n` preemption bound of
+//! Theorem 10.
+
+use crate::algos::waterfill::pour_level;
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::schedule::step::{Segment, StepSchedule};
+use numkit::Tolerance;
+
+/// One flat piece of the occupancy staircase.
+#[derive(Debug, Clone, Copy)]
+struct Piece {
+    start: f64,
+    end: f64,
+    height: f64, // integer-valued
+}
+
+/// Integer Water-Filling: given integer `P` and integer caps `δᵢ`,
+/// construct an integer step schedule in which task `i` completes at (or,
+/// when its last fragment rounds down to the staircase, just before)
+/// `completions[i]`, with at most ~3 allocation changes per task on
+/// average (Theorem 10).
+///
+/// # Errors
+/// * [`ScheduleError::InvalidInstance`] for fractional `P`/`δ` or
+///   malformed input;
+/// * [`ScheduleError::InfeasibleCompletionTimes`] when no schedule with
+///   these completion times exists (same feasibility frontier as the
+///   fractional WF, Theorem 8).
+pub fn water_filling_integer(
+    instance: &Instance,
+    completions: &[f64],
+) -> Result<StepSchedule, ScheduleError> {
+    instance.validate()?;
+    let n = instance.n();
+    let tol = Tolerance::default().scaled(1.0 + n as f64);
+    if completions.len() != n {
+        return Err(ScheduleError::LengthMismatch {
+            what: "completion times",
+            expected: n,
+            found: completions.len(),
+        });
+    }
+    for &c in completions {
+        if !c.is_finite() || c < 0.0 {
+            return Err(ScheduleError::InvalidTime {
+                value: c,
+                context: "integer water-filling completion times",
+            });
+        }
+    }
+    let p = check_integral(instance.p, "P", tol)?;
+    for (id, t) in instance.iter() {
+        if t.delta <= instance.p {
+            check_integral(t.delta, "δ", tol)?;
+        }
+        let _ = id;
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| completions[a].total_cmp(&completions[b]).then(a.cmp(&b)));
+
+    let mut profile: Vec<Piece> = Vec::new(); // non-increasing staircase
+    let mut out = StepSchedule::empty(instance.p, n);
+
+    for &ti in &order {
+        let task = TaskId(ti);
+        let c_i = completions[ti];
+        let volume = instance.tasks[ti].volume;
+        let cap = instance.effective_delta(task);
+
+        // Extend the staircase domain to C_i with empty occupancy.
+        let domain_end = profile.last().map_or(0.0, |s| s.end);
+        if c_i > domain_end + tol.abs {
+            match profile.last_mut() {
+                Some(last) if last.height == 0.0 => last.end = c_i,
+                _ => profile.push(Piece {
+                    start: domain_end,
+                    end: c_i,
+                    height: 0.0,
+                }),
+            }
+        }
+
+        // Fractional water level over the staircase pieces.
+        let heights: Vec<f64> = profile.iter().map(|s| s.height).collect();
+        let lengths: Vec<f64> = profile.iter().map(|s| s.end - s.start).collect();
+        let level = pour_level(&heights, &lengths, cap, volume, p as f64, tol).ok_or_else(|| {
+            let placeable: f64 = profile
+                .iter()
+                .map(|s| (s.end - s.start) * (p as f64 - s.height).clamp(0.0, cap))
+                .sum();
+            ScheduleError::InfeasibleCompletionTimes {
+                task,
+                placeable,
+                required: volume,
+            }
+        })?;
+
+        // Classify pieces: A (untouched), B (flattened to ⌊h⌋/⌈h⌉),
+        // C (saturated, +δ). B and C partition a suffix of the timeline
+        // because the staircase is non-increasing.
+        let hi = level.ceil();
+        let lo = level.floor();
+        let is_b = |h: f64| h < level - tol.abs && h > level - cap - tol.abs;
+        let is_c = |h: f64| h <= level - cap - tol.abs;
+        // Area that must land in B.
+        let c_len: f64 = profile
+            .iter()
+            .filter(|s| is_c(s.height))
+            .map(|s| s.end - s.start)
+            .sum();
+        let area_b = volume - cap * c_len;
+        // Split point: earliest part of B runs at ⌈h⌉.
+        // area_b = Σ_B (lo − occ)·len + (s − b_start)  (one extra processor
+        // on the prefix), valid because hi = lo + 1 when h is fractional.
+        let low_area: f64 = profile
+            .iter()
+            .filter(|s| is_b(s.height))
+            .map(|s| (s.end - s.start) * (lo - s.height))
+            .sum();
+        let mut extra = if hi > lo { (area_b - low_area).max(0.0) } else { 0.0 };
+
+        // Walk pieces, build the new staircase and the task's segments.
+        let mut new_profile: Vec<Piece> = Vec::with_capacity(profile.len() + 2);
+        let mut segs: Vec<Segment> = Vec::new();
+        for piece in &profile {
+            let len = piece.end - piece.start;
+            if len <= tol.abs {
+                continue;
+            }
+            if is_c(piece.height) {
+                push_piece(
+                    &mut new_profile,
+                    Piece {
+                        start: piece.start,
+                        end: piece.end,
+                        height: piece.height + cap,
+                    },
+                    tol,
+                );
+                push_seg(&mut segs, piece.start, piece.end, cap, tol);
+            } else if is_b(piece.height) {
+                // Prefix at hi while `extra` lasts, then lo.
+                let take = extra.min(len);
+                if take > tol.abs {
+                    let mid = piece.start + take;
+                    push_piece(
+                        &mut new_profile,
+                        Piece {
+                            start: piece.start,
+                            end: mid,
+                            height: hi,
+                        },
+                        tol,
+                    );
+                    push_seg(&mut segs, piece.start, mid, hi - piece.height, tol);
+                    if mid < piece.end - tol.abs {
+                        push_piece(
+                            &mut new_profile,
+                            Piece {
+                                start: mid,
+                                end: piece.end,
+                                height: lo,
+                            },
+                            tol,
+                        );
+                        push_seg(&mut segs, mid, piece.end, lo - piece.height, tol);
+                    }
+                    extra -= take;
+                } else {
+                    push_piece(
+                        &mut new_profile,
+                        Piece {
+                            start: piece.start,
+                            end: piece.end,
+                            height: lo,
+                        },
+                        tol,
+                    );
+                    push_seg(&mut segs, piece.start, piece.end, lo - piece.height, tol);
+                }
+            } else {
+                push_piece(&mut new_profile, *piece, tol);
+            }
+        }
+        profile = new_profile;
+        // Staircase invariant (the whole construction rests on it).
+        debug_assert!(
+            profile
+                .windows(2)
+                .all(|w| w[0].height >= w[1].height - 0.5),
+            "integer staircase must be non-increasing: {profile:?}"
+        );
+        out.allocs[ti] = segs;
+    }
+    Ok(out)
+}
+
+fn check_integral(x: f64, what: &'static str, tol: Tolerance) -> Result<u64, ScheduleError> {
+    let r = x.round();
+    if !tol.eq(x, r) || r < 0.0 {
+        return Err(ScheduleError::InvalidInstance {
+            reason: format!("integer water-filling requires integral {what}, got {x}"),
+        });
+    }
+    Ok(r as u64)
+}
+
+fn push_piece(profile: &mut Vec<Piece>, piece: Piece, tol: Tolerance) {
+    if piece.end - piece.start <= tol.abs {
+        return;
+    }
+    match profile.last_mut() {
+        Some(prev) if prev.height == piece.height && tol.eq(prev.end, piece.start) => {
+            prev.end = piece.end;
+        }
+        _ => profile.push(piece),
+    }
+}
+
+fn push_seg(segs: &mut Vec<Segment>, start: f64, end: f64, procs: f64, tol: Tolerance) {
+    if end - start <= tol.abs || procs <= tol.abs {
+        return;
+    }
+    debug_assert!(
+        (procs - procs.round()).abs() < 1e-6,
+        "integer WF allocated fractional count {procs}"
+    );
+    let procs = procs.round();
+    match segs.last_mut() {
+        Some(prev) if prev.procs == procs && tol.eq(prev.end, start) => {
+            prev.end = end;
+        }
+        _ => segs.push(Segment { start, end, procs }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::wdeq::wdeq_schedule;
+
+    fn tol() -> Tolerance {
+        Tolerance::default().scaled(100.0)
+    }
+
+    #[test]
+    fn single_task_integral_level() {
+        // V=6, δ=3, C=2: level 3 exactly → one segment at 3 processors.
+        let inst = Instance::builder(4.0).task(6.0, 1.0, 3.0).build().unwrap();
+        let s = water_filling_integer(&inst, &[2.0]).unwrap();
+        s.validate(&inst).unwrap();
+        assert_eq!(s.allocs[0].len(), 1);
+        assert_eq!(s.allocs[0][0].procs, 3.0);
+    }
+
+    #[test]
+    fn fractional_level_splits_once() {
+        // V=3, δ=2, C=2 on empty machine: level 1.5 → 2 procs on [0,1],
+        // 1 proc on [1,2].
+        let inst = Instance::builder(4.0).task(3.0, 1.0, 2.0).build().unwrap();
+        let s = water_filling_integer(&inst, &[2.0]).unwrap();
+        s.validate(&inst).unwrap();
+        assert_eq!(s.allocs[0].len(), 2);
+        assert_eq!(s.allocs[0][0].procs, 2.0);
+        assert_eq!(s.allocs[0][1].procs, 1.0);
+        assert!((s.allocs[0][0].end - 1.0).abs() < 1e-9);
+        // Exactly one resource change for the task.
+        assert_eq!(s.resource_changes(tol()), 1);
+    }
+
+    #[test]
+    fn later_task_consumes_small_step() {
+        // T0 as above leaves a step at t=1. T1 (δ=4, V=5, C=2) pours on
+        // top; its allocation absorbs the step.
+        let inst = Instance::builder(4.0)
+            .task(3.0, 1.0, 2.0)
+            .task(5.0, 1.0, 4.0)
+            .build()
+            .unwrap();
+        let s = water_filling_integer(&inst, &[2.0, 2.0]).unwrap();
+        s.validate(&inst).unwrap();
+        assert!((s.allocated_area(TaskId(1)) - 5.0).abs() < 1e-9);
+        // Total machine occupancy is flat at 4 on [0, 2].
+        let occ0 = s.rate_at(TaskId(0), 0.5) + s.rate_at(TaskId(1), 0.5);
+        let occ1 = s.rate_at(TaskId(0), 1.5) + s.rate_at(TaskId(1), 1.5);
+        assert_eq!(occ0, 4.0);
+        assert_eq!(occ1, 4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let inst = Instance::builder(2.0).task(5.0, 1.0, 2.0).build().unwrap();
+        assert!(matches!(
+            water_filling_integer(&inst, &[1.0]),
+            Err(ScheduleError::InfeasibleCompletionTimes { .. })
+        ));
+    }
+
+    #[test]
+    fn fractional_inputs_rejected() {
+        let inst = Instance::builder(2.5).task(1.0, 1.0, 1.0).build().unwrap();
+        assert!(matches!(
+            water_filling_integer(&inst, &[1.0]),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+        let inst = Instance::builder(4.0).task(1.0, 1.0, 1.5).build().unwrap();
+        assert!(matches!(
+            water_filling_integer(&inst, &[1.0]),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_on_wdeq_completions_and_bounded_changes() {
+        use malleable_workloads_shim::integer_instance;
+        for seed in 0..20u64 {
+            let inst = integer_instance(12, 8, seed);
+            let src = wdeq_schedule(&inst);
+            let s = water_filling_integer(&inst, src.completion_times()).unwrap();
+            s.validate(&inst).unwrap();
+            // Completion times never move later.
+            for (a, b) in s.completion_times().iter().zip(src.completion_times()) {
+                assert!(*a <= b + 1e-6, "integer WF delayed a task: {a} > {b}");
+            }
+            // Theorem 10's resource-change bound.
+            let changes = s.resource_changes(tol());
+            assert!(
+                changes <= 3 * inst.n(),
+                "3n bound violated: {changes} changes for n = {}",
+                inst.n()
+            );
+        }
+    }
+
+    /// Minimal local generator to avoid a dev-dependency cycle with
+    /// `malleable-workloads` (which depends on this crate).
+    mod malleable_workloads_shim {
+        use crate::instance::{Instance, Task};
+
+        pub fn integer_instance(n: usize, p: u64, seed: u64) -> Instance {
+            // Tiny deterministic LCG: good enough for fixture variety.
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            Instance {
+                p: p as f64,
+                tasks: (0..n)
+                    .map(|_| {
+                        let delta = 1.0 + (next() * p as f64).floor().min(p as f64 - 1.0);
+                        Task::new(0.2 + next() * p as f64, 0.1 + next(), delta)
+                    })
+                    .collect(),
+            }
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! **WDEQ** — Weighted Dynamic EQuipartition (Algorithm 1 of the paper).
+//!
+//! The non-clairvoyant policy: at every instant, share the machine among
+//! the unfinished tasks *in proportion to their weights*; any task whose
+//! fair share exceeds its cap `δᵢ` is clamped to `δᵢ` and the surplus is
+//! re-shared among the rest (recursively, until a fixpoint). The sharing is
+//! recomputed whenever a task completes.
+//!
+//! Theorem 4: WDEQ is a 2-approximation for `Σ wᵢCᵢ`. The proof (Lemma 2)
+//! is constructive: splitting each task's volume into the part processed at
+//! *full allocation* (`VFᵢ`) and the part processed while *limited by the
+//! equipartition* (`V̄Fᵢ`), the mixed bound `A(I[V̄F]) + H(I[VF])` is a
+//! lower bound on `OPT` and WDEQ costs at most twice it. [`wdeq_certificate`]
+//! returns that per-run certificate, so every simulation carries its own
+//! machine-checkable approximation proof.
+//!
+//! This module contains the *closed-form clairvoyant replay* of the policy
+//! (fast, exact event times); `malleable-sim` re-implements WDEQ behind the
+//! genuinely non-clairvoyant `OnlinePolicy` interface and the two are
+//! checked against each other in integration tests.
+
+use crate::bounds::mixed_bound;
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::schedule::column::{Column, ColumnSchedule};
+use numkit::Tolerance;
+
+/// Result of a WDEQ run: the schedule plus the volume split that certifies
+/// the 2-approximation.
+#[derive(Debug, Clone)]
+pub struct WdeqRun {
+    /// The produced column schedule.
+    pub schedule: ColumnSchedule,
+    /// Per task: volume processed while the allocation equalled `min(δᵢ,P)`.
+    pub full_volumes: Vec<f64>,
+    /// Per task: volume processed while limited by the equipartition.
+    pub limited_volumes: Vec<f64>,
+}
+
+/// The Lemma-2 certificate: `cost(WDEQ) ≤ 2 · value ≤ 2 · OPT`.
+#[derive(Debug, Clone)]
+pub struct WdeqCertificate {
+    /// The mixed lower bound `A(I[V̄F]) + H(I[VF])`.
+    value: f64,
+    /// WDEQ's achieved objective.
+    pub wdeq_cost: f64,
+}
+
+impl WdeqCertificate {
+    /// The certified lower bound on `OPT(I)`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The certified ratio `cost / bound` (≤ 2 by Theorem 4, up to float
+    /// noise).
+    pub fn ratio(&self) -> f64 {
+        if self.value <= 0.0 {
+            1.0
+        } else {
+            self.wdeq_cost / self.value
+        }
+    }
+}
+
+/// Compute the WDEQ equipartition for the *active* tasks.
+///
+/// `entries` = `(weight, cap)` with `cap = min(δᵢ, P)` pre-clamped; returns
+/// the rate of each entry. Single pass over tasks sorted by `cap/weight`:
+/// a prefix saturates at its cap, the suffix shares the remainder
+/// proportionally (the fixpoint of Algorithm 1's while-loop).
+pub fn wdeq_allocation(entries: &[(f64, f64)], p: f64) -> Vec<f64> {
+    let n = entries.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    // cap/weight ascending; weightless tasks never saturate by fair share
+    // (their share is 0), so they sort last.
+    idx.sort_by(|&a, &b| {
+        let ra = ratio(entries[a]);
+        let rb = ratio(entries[b]);
+        ra.total_cmp(&rb)
+    });
+    let mut rates = vec![0.0; n];
+    let mut p_left = p;
+    let mut w_left: f64 = entries.iter().map(|e| e.0).sum();
+    let mut cut = n;
+    for (k, &i) in idx.iter().enumerate() {
+        let (w, cap) = entries[i];
+        // Saturation test: δ ≤ w·P′/W′  ⇔  δ·W′ ≤ w·P′.
+        if w_left > 0.0 && cap * w_left <= w * p_left {
+            rates[i] = cap;
+            p_left -= cap;
+            w_left -= w;
+        } else {
+            cut = k;
+            break;
+        }
+    }
+    // Remaining tasks share proportionally.
+    if cut < n && w_left > 0.0 && p_left > 0.0 {
+        for &i in &idx[cut..] {
+            let (w, cap) = entries[i];
+            rates[i] = (w * p_left / w_left).min(cap);
+        }
+    }
+    rates
+}
+
+fn ratio((w, cap): (f64, f64)) -> f64 {
+    if w > 0.0 {
+        cap / w
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Run WDEQ to completion and return schedule plus volume split.
+///
+/// # Errors
+/// [`ScheduleError::InvalidInstance`] when the instance is malformed or a
+/// task has zero weight (a weightless task would starve forever under
+/// proportional sharing; exclude such tasks or give them ε weight).
+pub fn wdeq_run(instance: &Instance) -> Result<WdeqRun, ScheduleError> {
+    instance.validate()?;
+    if instance.tasks.iter().any(|t| t.weight <= 0.0) {
+        return Err(ScheduleError::InvalidInstance {
+            reason: "WDEQ requires strictly positive weights".into(),
+        });
+    }
+    let tol = Tolerance::default();
+    let n = instance.n();
+    let mut remaining: Vec<f64> = instance.tasks.iter().map(|t| t.volume).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut completions = vec![0.0; n];
+    let mut full_volumes = vec![0.0; n];
+    let mut limited_volumes = vec![0.0; n];
+    let mut columns = Vec::with_capacity(n);
+    let mut now = 0.0f64;
+
+    while !active.is_empty() {
+        let entries: Vec<(f64, f64)> = active
+            .iter()
+            .map(|&i| {
+                (
+                    instance.tasks[i].weight,
+                    instance.effective_delta(TaskId(i)),
+                )
+            })
+            .collect();
+        let rates = wdeq_allocation(&entries, instance.p);
+        // Time until the first active task finishes.
+        let mut dt = f64::INFINITY;
+        for (k, &i) in active.iter().enumerate() {
+            debug_assert!(
+                rates[k] > 0.0,
+                "WDEQ allocates a positive rate to every weighted task"
+            );
+            dt = dt.min(remaining[i] / rates[k]);
+        }
+        debug_assert!(dt.is_finite() && dt > 0.0);
+
+        let col_rates: Vec<(TaskId, f64)> = active
+            .iter()
+            .zip(&rates)
+            .map(|(&i, &r)| (TaskId(i), r))
+            .collect();
+        columns.push(Column {
+            start: now,
+            end: now + dt,
+            rates: col_rates,
+        });
+
+        // Account processed volume, split by full/limited allocation.
+        let mut done = Vec::new();
+        for (k, &i) in active.iter().enumerate() {
+            let processed = rates[k] * dt;
+            let cap = instance.effective_delta(TaskId(i));
+            if tol.ge(rates[k], cap) {
+                full_volumes[i] += processed;
+            } else {
+                limited_volumes[i] += processed;
+            }
+            remaining[i] -= processed;
+            // Completion: exactly zero remaining, or within tolerance of it.
+            if remaining[i] <= tol.slack(instance.tasks[i].volume, 0.0) {
+                remaining[i] = 0.0;
+                completions[i] = now + dt;
+                done.push(i);
+            }
+        }
+        debug_assert!(!done.is_empty(), "each WDEQ event completes ≥ 1 task");
+        active.retain(|i| !done.contains(i));
+        now += dt;
+    }
+
+    // Snap the volume split onto the exact volumes (it drifts by float
+    // accumulation; the split must satisfy V¹ + V² = V exactly for the
+    // mixed bound).
+    for i in 0..n {
+        let v = instance.tasks[i].volume;
+        let s = full_volumes[i] + limited_volumes[i];
+        if s > 0.0 {
+            let scale = v / s;
+            full_volumes[i] *= scale;
+            limited_volumes[i] = v - full_volumes[i];
+        }
+    }
+
+    Ok(WdeqRun {
+        schedule: ColumnSchedule {
+            p: instance.p,
+            completions,
+            columns,
+        },
+        full_volumes,
+        limited_volumes,
+    })
+}
+
+/// Convenience: just the WDEQ schedule.
+///
+/// ```
+/// use malleable_core::algos::wdeq::wdeq_schedule;
+/// use malleable_core::instance::Instance;
+///
+/// let inst = Instance::builder(2.0)
+///     .task(2.0, 1.0, 1.0) // (volume, weight, δ)
+///     .task(2.0, 1.0, 2.0)
+///     .build()
+///     .unwrap();
+/// let s = wdeq_schedule(&inst);
+/// assert!(s.validate(&inst).is_ok());
+/// assert!((s.makespan() - 2.0).abs() < 1e-9); // both share P = 2
+/// ```
+///
+/// # Panics
+/// Panics on invalid instances (zero weights included); use [`wdeq_run`]
+/// for fallible construction.
+pub fn wdeq_schedule(instance: &Instance) -> ColumnSchedule {
+    wdeq_run(instance).expect("invalid instance for WDEQ").schedule
+}
+
+/// Run WDEQ and return the Lemma-2 approximation certificate.
+///
+/// # Panics
+/// Panics on invalid instances; use [`wdeq_run`] + [`certificate_of`] for
+/// fallible construction.
+pub fn wdeq_certificate(instance: &Instance) -> WdeqCertificate {
+    let run = wdeq_run(instance).expect("invalid instance for WDEQ");
+    certificate_of(instance, &run)
+}
+
+/// The Lemma-2 certificate of an existing run.
+pub fn certificate_of(instance: &Instance, run: &WdeqRun) -> WdeqCertificate {
+    // Lemma 2: TCWD ≤ 2·(A(I[V̄F]) + H(I[VF])): the *limited* volumes go to
+    // the squashed-area bound, the *full-allocation* volumes to the height
+    // bound. `mixed_bound(instance, v1)` computes A(I[v1]) + H(I[V − v1]),
+    // so pass the limited volumes as v1.
+    let value = mixed_bound(instance, &run.limited_volumes);
+    WdeqCertificate {
+        value,
+        wdeq_cost: run.schedule.weighted_completion_cost(instance),
+    }
+}
+
+/// **DEQ** (Deng et al.): the unweighted special case — equal shares.
+/// Implemented as WDEQ on a unit-weight copy of the instance, which is
+/// exactly Algorithm 1 with `wᵢ = 1`.
+pub fn deq_schedule(instance: &Instance) -> Result<ColumnSchedule, ScheduleError> {
+    let unit = Instance {
+        p: instance.p,
+        tasks: instance
+            .tasks
+            .iter()
+            .map(|t| crate::instance::Task::new(t.volume, 1.0, t.delta))
+            .collect(),
+    };
+    let run = wdeq_run(&unit)?;
+    Ok(ColumnSchedule {
+        p: instance.p,
+        ..run.schedule
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tol() -> Tolerance {
+        Tolerance::default().scaled(10.0)
+    }
+
+    #[test]
+    fn allocation_proportional_when_no_caps_bind() {
+        // P=4, weights 1 and 3, caps huge → shares 1 and 3.
+        let rates = wdeq_allocation(&[(1.0, 4.0), (3.0, 4.0)], 4.0);
+        assert!((rates[0] - 1.0).abs() < 1e-12);
+        assert!((rates[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_clamps_and_redistributes() {
+        // P=4, equal weights, caps 1 and 4: T0 clamps to 1, T1 takes 3.
+        let rates = wdeq_allocation(&[(1.0, 1.0), (1.0, 4.0)], 4.0);
+        assert!((rates[0] - 1.0).abs() < 1e-12);
+        assert!((rates[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_cascade_of_saturations() {
+        // P=4, equal weights, caps 0.5, 1, 4: both small caps saturate,
+        // the last takes 2.5.
+        let rates = wdeq_allocation(&[(1.0, 0.5), (1.0, 1.0), (1.0, 4.0)], 4.0);
+        assert!((rates[0] - 0.5).abs() < 1e-12);
+        assert!((rates[1] - 1.0).abs() < 1e-12);
+        assert!((rates[2] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_all_saturated_leaves_capacity_unused() {
+        let rates = wdeq_allocation(&[(1.0, 1.0), (1.0, 1.0)], 4.0);
+        assert_eq!(rates, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_capacity_or_caps() {
+        // Weighted mix with binding capacity.
+        let entries = [(10.0, 0.4), (0.1, 0.5), (2.0, 0.3)];
+        let rates = wdeq_allocation(&entries, 1.0);
+        let total: f64 = rates.iter().sum();
+        assert!(total <= 1.0 + 1e-12);
+        for (r, e) in rates.iter().zip(entries.iter()) {
+            assert!(*r <= e.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_task_runs_at_cap() {
+        let inst = Instance::builder(4.0).task(6.0, 2.0, 3.0).build().unwrap();
+        let run = wdeq_run(&inst).unwrap();
+        assert!((run.schedule.completions[0] - 2.0).abs() < 1e-9);
+        run.schedule.validate(&inst).unwrap();
+        // All volume at full allocation.
+        assert!((run.full_volumes[0] - 6.0).abs() < 1e-9);
+        assert!(run.limited_volumes[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let inst = Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0)
+            .task(4.0, 2.0, 4.0)
+            .task(2.0, 4.0, 1.0)
+            .build()
+            .unwrap();
+        let run = wdeq_run(&inst).unwrap();
+        run.schedule.validate(&inst).unwrap();
+        // Split sums to the volumes exactly.
+        for (i, t) in inst.tasks.iter().enumerate() {
+            assert!(
+                (run.full_volumes[i] + run.limited_volumes[i] - t.volume).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_holds_on_crafted_instances() {
+        for (p, tasks) in [
+            (4.0, vec![(8.0, 1.0, 2.0), (4.0, 2.0, 4.0), (2.0, 4.0, 1.0)]),
+            (1.0, vec![(0.3, 0.7, 0.4), (0.9, 0.2, 0.9), (0.5, 0.5, 0.2)]),
+            (2.0, vec![(1.0, 1.0, 2.0)]),
+        ] {
+            let inst = Instance::builder(p).tasks(tasks).build().unwrap();
+            let cert = wdeq_certificate(&inst);
+            assert!(
+                cert.ratio() <= 2.0 + 1e-6,
+                "certificate violated: ratio {}",
+                cert.ratio()
+            );
+            assert!(cert.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_priority_finishes_heavy_tasks_earlier() {
+        // Equal volumes/caps; the heavy task must finish first.
+        let inst = Instance::builder(1.0)
+            .task(1.0, 10.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let s = wdeq_schedule(&inst);
+        assert!(s.completions[0] < s.completions[1]);
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let inst = Instance::builder(1.0).task(1.0, 0.0, 1.0).build().unwrap();
+        assert!(matches!(
+            wdeq_run(&inst),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn simultaneous_completions_handled() {
+        // Two identical tasks complete at the same instant.
+        let inst = Instance::builder(2.0)
+            .task(1.0, 1.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let s = wdeq_schedule(&inst);
+        assert!((s.completions[0] - 1.0).abs() < 1e-9);
+        assert!((s.completions[1] - 1.0).abs() < 1e-9);
+        assert_eq!(s.columns.len(), 1);
+        s.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn deq_is_wdeq_with_unit_weights() {
+        let inst = Instance::builder(2.0)
+            .task(3.0, 5.0, 1.0)
+            .task(1.0, 0.5, 2.0)
+            .build()
+            .unwrap();
+        let deq = deq_schedule(&inst).unwrap();
+        let unit = Instance::builder(2.0)
+            .task(3.0, 1.0, 1.0)
+            .task(1.0, 1.0, 2.0)
+            .build()
+            .unwrap();
+        let wdeq = wdeq_schedule(&unit);
+        assert_eq!(deq.completions, wdeq.completions);
+        let _ = tol();
+    }
+
+    #[test]
+    fn matches_hand_computed_two_task_run() {
+        // P=2, T0 (V=2, w=1, δ=2), T1 (V=2, w=1, δ=1).
+        // Shares: T1 clamped to 1, T0 gets 1. Both finish at t=2.
+        let inst = Instance::builder(2.0)
+            .task(2.0, 1.0, 2.0)
+            .task(2.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let s = wdeq_schedule(&inst);
+        assert!((s.completions[0] - 2.0).abs() < 1e-9);
+        assert!((s.completions[1] - 2.0).abs() < 1e-9);
+    }
+}

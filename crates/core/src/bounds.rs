@@ -1,0 +1,220 @@
+//! Lower bounds on the optimal weighted completion time (Definitions 5–7,
+//! Lemma 1 of the paper).
+//!
+//! * [`squashed_area_bound`] — `A(I)`: the optimum of the relaxation where
+//!   every `δᵢ = P`. Sorting by Smith ratio `Vᵢ/wᵢ` and "squashing" each
+//!   task onto the whole machine gives
+//!   `A(I) = Σᵢ (Σ_{j≥i} wⱼ) · Vᵢ/P` (tasks indexed in Smith order).
+//! * [`height_bound`] — `H(I) = Σ wᵢ·Vᵢ/δᵢ`: the optimum when `P = ∞`
+//!   (every task runs flat-out at its cap).
+//! * [`mixed_bound`] — Lemma 1: for any volume split `Vᵢ = Vᵢ¹ + Vᵢ²`,
+//!   `OPT(I) ≥ A(I[V¹]) + H(I[V²])`.
+//!
+//! The WDEQ run produces the specific split used in the proof of Theorem 4
+//! (volume processed while *limited* vs while *at full allocation*); see
+//! [`crate::algos::wdeq::wdeq_certificate`].
+
+use crate::instance::Instance;
+use numkit::KahanSum;
+
+/// The squashed-area bound `A(I)`: optimal `Σ wᵢCᵢ` when parallelism caps
+/// are ignored (`δᵢ = P`), i.e. preemptive WSPT on a single machine of
+/// speed `P`. Zero-volume tasks (from subinstance splits) contribute
+/// nothing and are skipped.
+///
+/// ```
+/// use malleable_core::bounds::squashed_area_bound;
+/// use malleable_core::instance::Instance;
+///
+/// // Smith order on P = 1: ratios 0.5 then 2 → A = 1·(2+1) + 2·1 = 5.
+/// let inst = Instance::builder(1.0)
+///     .task(1.0, 2.0, 1.0)
+///     .task(2.0, 1.0, 1.0)
+///     .build()
+///     .unwrap();
+/// assert!((squashed_area_bound(&inst) - 5.0).abs() < 1e-12);
+/// ```
+pub fn squashed_area_bound(instance: &Instance) -> f64 {
+    squashed_area_of(
+        instance.p,
+        instance
+            .tasks
+            .iter()
+            .map(|t| (t.volume, t.weight))
+            .collect(),
+    )
+}
+
+/// `A` over explicit `(volume, weight)` pairs on a machine of capacity `p`.
+pub fn squashed_area_of(p: f64, mut vw: Vec<(f64, f64)>) -> f64 {
+    vw.retain(|&(v, _)| v > 0.0);
+    // Smith order: V/w ascending; weightless tasks last (ratio = +∞).
+    vw.sort_by(|a, b| {
+        let ra = if a.1 > 0.0 { a.0 / a.1 } else { f64::INFINITY };
+        let rb = if b.1 > 0.0 { b.0 / b.1 } else { f64::INFINITY };
+        ra.total_cmp(&rb)
+    });
+    // A = Σᵢ Vᵢ/P · (suffix weight from i) — computed back to front.
+    let mut suffix_w = 0.0;
+    let mut acc = KahanSum::new();
+    for &(v, w) in vw.iter().rev() {
+        suffix_w += w;
+        acc.add(v / p * suffix_w);
+    }
+    acc.value()
+}
+
+/// The height bound `H(I) = Σ wᵢ·hᵢ` with `hᵢ = Vᵢ/min(δᵢ, P)`: no task
+/// can finish before its minimal running time.
+pub fn height_bound(instance: &Instance) -> f64 {
+    let mut acc = KahanSum::new();
+    for t in &instance.tasks {
+        if t.volume > 0.0 {
+            acc.add(t.weight * t.volume / t.delta.min(instance.p));
+        }
+    }
+    acc.value()
+}
+
+/// The mixed lower bound of Lemma 1: given per-task split volumes
+/// `v1[i] ∈ [0, Vᵢ]`, returns `A(I[V¹]) + H(I[V²])` with `V² = V − V¹`,
+/// which is `≤ OPT(I)`.
+///
+/// # Panics
+/// Panics when `v1` has the wrong length or entries outside `[0, Vᵢ]`
+/// beyond a small slack (programming error in callers — the split always
+/// comes from a schedule run).
+pub fn mixed_bound(instance: &Instance, v1: &[f64]) -> f64 {
+    assert_eq!(v1.len(), instance.n(), "split length mismatch");
+    let mut vw1 = Vec::with_capacity(instance.n());
+    let mut h2 = KahanSum::new();
+    for (t, &a) in instance.tasks.iter().zip(v1) {
+        assert!(
+            (-1e-9..=t.volume + 1e-9).contains(&a),
+            "split volume {a} outside [0, {}]",
+            t.volume
+        );
+        let a = a.clamp(0.0, t.volume);
+        vw1.push((a, t.weight));
+        let rest = t.volume - a;
+        if rest > 0.0 {
+            h2.add(t.weight * rest / t.delta.min(instance.p));
+        }
+    }
+    squashed_area_of(instance.p, vw1) + h2.value()
+}
+
+/// `max(A(I), H(I))` — the classic combined lower bound (both are valid,
+/// so their max is).
+pub fn combined_lower_bound(instance: &Instance) -> f64 {
+    squashed_area_bound(instance).max(height_bound(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn squashed_area_single_task() {
+        // One task: A = w·V/P.
+        let inst = Instance::builder(2.0).task(4.0, 3.0, 1.0).build().unwrap();
+        assert!(close(squashed_area_bound(&inst), 6.0));
+    }
+
+    #[test]
+    fn squashed_area_orders_by_smith_ratio() {
+        // Tasks (V=1,w=2) and (V=2,w=1) on P=1.
+        // Smith order: ratio 0.5 then 2. A = 1·(2+1)/1? No:
+        // A = V₁/P·(w₁+w₂) + V₂/P·w₂ = 1·3 + 2·1 = 5.
+        let inst = Instance::builder(1.0)
+            .task(1.0, 2.0, 1.0)
+            .task(2.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        assert!(close(squashed_area_bound(&inst), 5.0));
+        // Wrong order would give 2·3 + 1·2 = 8 > 5: sorting matters.
+    }
+
+    #[test]
+    fn squashed_area_is_order_invariant_of_input() {
+        let a = Instance::builder(1.0)
+            .task(2.0, 1.0, 1.0)
+            .task(1.0, 2.0, 1.0)
+            .build()
+            .unwrap();
+        let b = Instance::builder(1.0)
+            .task(1.0, 2.0, 1.0)
+            .task(2.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        assert!(close(squashed_area_bound(&a), squashed_area_bound(&b)));
+    }
+
+    #[test]
+    fn height_bound_uses_effective_delta() {
+        // δ = 4 > P = 2 clamps to 2.
+        let inst = Instance::builder(2.0).task(4.0, 1.0, 4.0).build().unwrap();
+        assert!(close(height_bound(&inst), 2.0));
+    }
+
+    #[test]
+    fn mixed_bound_extremes_reduce_to_pure_bounds() {
+        let inst = Instance::builder(2.0)
+            .task(4.0, 1.0, 1.0)
+            .task(2.0, 3.0, 2.0)
+            .build()
+            .unwrap();
+        let all = vec![4.0, 2.0];
+        let none = vec![0.0, 0.0];
+        assert!(close(mixed_bound(&inst, &all), squashed_area_bound(&inst)));
+        assert!(close(mixed_bound(&inst, &none), height_bound(&inst)));
+    }
+
+    #[test]
+    fn mixed_bound_can_beat_both_pure_bounds() {
+        // One wide cheap task + one tall constrained task: splitting lets A
+        // count the wide part and H the tall part.
+        let inst = Instance::builder(10.0)
+            .task(100.0, 1.0, 10.0) // wide
+            .task(10.0, 1.0, 1.0) // tall: h = 10
+            .build()
+            .unwrap();
+        let a = squashed_area_bound(&inst);
+        let h = height_bound(&inst);
+        let mixed = mixed_bound(&inst, &[100.0, 0.0]);
+        assert!(mixed >= a.max(h) - 1e-9, "mixed {mixed} vs A {a}, H {h}");
+    }
+
+    #[test]
+    fn weightless_tasks_sort_last_and_contribute_their_area_only() {
+        let inst = Instance::builder(1.0)
+            .task(1.0, 0.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        // Weighted task first: A = 1·1 (its own) + 1·0 = 1.
+        assert!(close(squashed_area_bound(&inst), 1.0));
+    }
+
+    #[test]
+    fn combined_bound_is_max() {
+        let inst = Instance::builder(2.0)
+            .task(4.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        // A = 2, H = 4.
+        assert!(close(combined_lower_bound(&inst), 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "split length mismatch")]
+    fn mixed_bound_length_checked() {
+        let inst = Instance::builder(1.0).task(1.0, 1.0, 1.0).build().unwrap();
+        mixed_bound(&inst, &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Problem instances: `P` identical processors and `n` work-preserving
+//! malleable tasks `(Vᵢ, wᵢ, δᵢ)`.
+//!
+//! The paper formulates the model with integer processor counts and then
+//! proves (Theorem 3) that the fractional column-based relaxation is
+//! equivalent; accordingly `P` and `δᵢ` are `f64` here, and integer-valued
+//! instances are just the special case used when converting schedules back
+//! to per-processor Gantt charts.
+
+use crate::error::ScheduleError;
+use std::fmt;
+
+/// Index of a task within its [`Instance`] (dense, `0..n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One work-preserving malleable task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Total work `Vᵢ` (area in the Gantt chart; equals the sequential
+    /// processing time).
+    pub volume: f64,
+    /// Weight `wᵢ` in the objective `Σ wᵢCᵢ`.
+    pub weight: f64,
+    /// Maximal number of processors `δᵢ` usable simultaneously.
+    pub delta: f64,
+}
+
+impl Task {
+    /// Construct a task; see [`Instance::validate`] for the admissible
+    /// ranges.
+    pub fn new(volume: f64, weight: f64, delta: f64) -> Self {
+        Task {
+            volume,
+            weight,
+            delta,
+        }
+    }
+
+    /// The task's *height* `hᵢ = Vᵢ/δᵢ`: its minimal possible running time.
+    pub fn height(&self) -> f64 {
+        self.volume / self.delta
+    }
+
+    /// Smith ratio `Vᵢ/wᵢ` (sorting key of the squashed-area bound).
+    pub fn smith_ratio(&self) -> f64 {
+        self.volume / self.weight
+    }
+}
+
+/// A scheduling instance `I = (P, (wᵢ), (Vᵢ), (δᵢ))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Number of identical processors `P` (fractional capacity allowed; see
+    /// module docs).
+    pub p: f64,
+    /// The tasks.
+    pub tasks: Vec<Task>,
+}
+
+impl Instance {
+    /// Start building an instance on `p` processors.
+    pub fn builder(p: f64) -> InstanceBuilder {
+        InstanceBuilder {
+            p,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Construct directly from parts and validate.
+    pub fn new(p: f64, tasks: Vec<Task>) -> Result<Self, ScheduleError> {
+        let inst = Instance { p, tasks };
+        inst.validate()?;
+        Ok(inst)
+    }
+
+    /// Number of tasks.
+    pub fn n(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Iterator over `(TaskId, &Task)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Borrow a task.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (ids are only minted by this crate).
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Total work `Σ Vᵢ`.
+    pub fn total_volume(&self) -> f64 {
+        numkit::sum::ksum(self.tasks.iter().map(|t| t.volume))
+    }
+
+    /// Total weight `Σ wᵢ`.
+    pub fn total_weight(&self) -> f64 {
+        numkit::sum::ksum(self.tasks.iter().map(|t| t.weight))
+    }
+
+    /// The *effective cap* `min(δᵢ, P)` — tasks may declare `δᵢ > P`, which
+    /// the machine clamps.
+    pub fn effective_delta(&self, id: TaskId) -> f64 {
+        self.task(id).delta.min(self.p)
+    }
+
+    /// Structural validation: positive finite `P`, volumes and caps; finite
+    /// non-negative weights.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        let fail = |reason: String| Err(ScheduleError::InvalidInstance { reason });
+        if !(self.p.is_finite() && self.p > 0.0) {
+            return fail(format!("P must be positive and finite, got {}", self.p));
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if !(t.volume.is_finite() && t.volume > 0.0) {
+                return fail(format!("task {i}: volume must be > 0, got {}", t.volume));
+            }
+            if !(t.delta.is_finite() && t.delta > 0.0) {
+                return fail(format!("task {i}: δ must be > 0, got {}", t.delta));
+            }
+            if !(t.weight.is_finite() && t.weight >= 0.0) {
+                return fail(format!("task {i}: weight must be ≥ 0, got {}", t.weight));
+            }
+        }
+        Ok(())
+    }
+
+    /// The subinstance `I[V′]` of Definition 7: same machine and tasks but
+    /// with volumes replaced by `volumes`. Tasks whose new volume is zero
+    /// are kept (with zero volume) so indices stay aligned; consumers that
+    /// need positive volumes (e.g. the bounds) skip them.
+    ///
+    /// # Errors
+    /// Fails when the vector length does not match or a volume is negative
+    /// / exceeds the original.
+    pub fn subinstance(&self, volumes: &[f64]) -> Result<SubInstance<'_>, ScheduleError> {
+        if volumes.len() != self.n() {
+            return Err(ScheduleError::LengthMismatch {
+                what: "subinstance volumes",
+                expected: self.n(),
+                found: volumes.len(),
+            });
+        }
+        for (i, (&v, t)) in volumes.iter().zip(&self.tasks).enumerate() {
+            if !(v.is_finite() && (-1e-12..=t.volume * (1.0 + 1e-9) + 1e-12).contains(&v)) {
+                return Err(ScheduleError::InvalidInstance {
+                    reason: format!(
+                        "subinstance volume {v} for task {i} outside [0, V = {}]",
+                        t.volume
+                    ),
+                });
+            }
+        }
+        Ok(SubInstance {
+            base: self,
+            volumes: volumes.to_vec(),
+        })
+    }
+
+    /// `true` iff all weights are equal (the class of Theorem 11).
+    pub fn homogeneous_weights(&self, tol: numkit::Tolerance) -> bool {
+        self.tasks
+            .windows(2)
+            .all(|w| tol.eq(w[0].weight, w[1].weight))
+    }
+
+    /// `true` iff every `δᵢ > P/2` (the second hypothesis of Theorem 11).
+    pub fn all_deltas_above_half(&self) -> bool {
+        self.tasks.iter().all(|t| t.delta > self.p / 2.0)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Instance: P = {}, n = {}", self.p, self.n())?;
+        for (id, t) in self.iter() {
+            writeln!(
+                f,
+                "  {id}: V = {:.4}, w = {:.4}, δ = {:.4}",
+                t.volume, t.weight, t.delta
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A volume-substituted view `I[V′]` (Definition 7 of the paper).
+#[derive(Debug, Clone)]
+pub struct SubInstance<'a> {
+    /// The underlying instance (machine, weights, caps).
+    pub base: &'a Instance,
+    /// Replacement volumes, aligned with `base.tasks`.
+    pub volumes: Vec<f64>,
+}
+
+impl SubInstance<'_> {
+    /// Materialize as an owned [`Instance`] (zero-volume tasks dropped).
+    pub fn to_instance(&self) -> Instance {
+        Instance {
+            p: self.base.p,
+            tasks: self
+                .base
+                .tasks
+                .iter()
+                .zip(&self.volumes)
+                .filter(|(_, &v)| v > 0.0)
+                .map(|(t, &v)| Task::new(v, t.weight, t.delta))
+                .collect(),
+        }
+    }
+}
+
+/// Fluent constructor for [`Instance`].
+pub struct InstanceBuilder {
+    p: f64,
+    tasks: Vec<Task>,
+}
+
+impl InstanceBuilder {
+    /// Append a task `(volume, weight, delta)`.
+    pub fn task(mut self, volume: f64, weight: f64, delta: f64) -> Self {
+        self.tasks.push(Task::new(volume, weight, delta));
+        self
+    }
+
+    /// Append many tasks from `(volume, weight, delta)` triples.
+    pub fn tasks<I: IntoIterator<Item = (f64, f64, f64)>>(mut self, iter: I) -> Self {
+        self.tasks
+            .extend(iter.into_iter().map(|(v, w, d)| Task::new(v, w, d)));
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Instance, ScheduleError> {
+        Instance::new(self.p, self.tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::Tolerance;
+
+    fn demo() -> Instance {
+        Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0)
+            .task(4.0, 2.0, 4.0)
+            .task(2.0, 4.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let inst = demo();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.task(TaskId(0)).volume, 8.0);
+        assert_eq!(inst.total_volume(), 14.0);
+        assert_eq!(inst.total_weight(), 7.0);
+        assert_eq!(inst.task(TaskId(2)).height(), 2.0);
+        assert_eq!(inst.task(TaskId(0)).smith_ratio(), 8.0);
+    }
+
+    #[test]
+    fn effective_delta_clamps_to_p() {
+        let inst = Instance::builder(2.0).task(1.0, 1.0, 5.0).build().unwrap();
+        assert_eq!(inst.effective_delta(TaskId(0)), 2.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(Instance::new(0.0, vec![]).is_err());
+        assert!(Instance::new(-1.0, vec![]).is_err());
+        assert!(Instance::new(f64::NAN, vec![]).is_err());
+        assert!(Instance::new(1.0, vec![Task::new(0.0, 1.0, 1.0)]).is_err());
+        assert!(Instance::new(1.0, vec![Task::new(1.0, -1.0, 1.0)]).is_err());
+        assert!(Instance::new(1.0, vec![Task::new(1.0, 1.0, 0.0)]).is_err());
+        assert!(Instance::new(1.0, vec![Task::new(1.0, 1.0, f64::INFINITY)]).is_err());
+        // Zero weight is allowed (tasks may not count in the objective).
+        assert!(Instance::new(1.0, vec![Task::new(1.0, 0.0, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn subinstance_checks_ranges() {
+        let inst = demo();
+        assert!(inst.subinstance(&[1.0, 1.0]).is_err());
+        assert!(inst.subinstance(&[9.0, 1.0, 1.0]).is_err());
+        assert!(inst.subinstance(&[-1.0, 1.0, 1.0]).is_err());
+        let sub = inst.subinstance(&[4.0, 0.0, 2.0]).unwrap();
+        let owned = sub.to_instance();
+        assert_eq!(owned.n(), 2); // zero-volume task dropped
+        assert_eq!(owned.tasks[0].volume, 4.0);
+        assert_eq!(owned.tasks[1].weight, 4.0);
+    }
+
+    #[test]
+    fn homogeneity_predicates() {
+        let inst = demo();
+        assert!(!inst.homogeneous_weights(Tolerance::default()));
+        assert!(!inst.all_deltas_above_half());
+        let hom = Instance::builder(1.0)
+            .task(1.0, 1.0, 0.6)
+            .task(1.0, 1.0, 0.9)
+            .build()
+            .unwrap();
+        assert!(hom.homogeneous_weights(Tolerance::default()));
+        assert!(hom.all_deltas_above_half());
+    }
+
+    #[test]
+    fn display_contains_parameters() {
+        let s = demo().to_string();
+        assert!(s.contains("P = 4"));
+        assert!(s.contains("T0"));
+    }
+}

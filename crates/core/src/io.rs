@@ -1,0 +1,136 @@
+//! Plain-text instance files.
+//!
+//! A deliberately boring, diff-friendly line format (no external parser
+//! crates are available offline, and the format needs nothing more):
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! p 4
+//! task 8.0 1.0 2.0    # volume weight delta
+//! task 4.0 2.0 4.0
+//! ```
+//!
+//! [`write_instance`] and [`parse_instance`] round-trip exactly (values
+//! are printed with enough digits to reconstruct the same `f64`s).
+
+use crate::error::ScheduleError;
+use crate::instance::{Instance, Task};
+use std::fmt::Write as _;
+
+/// Serialize an instance to the text format.
+pub fn write_instance(instance: &Instance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# malleable instance: n = {}", instance.n());
+    let _ = writeln!(out, "p {:?}", instance.p);
+    for t in &instance.tasks {
+        let _ = writeln!(out, "task {:?} {:?} {:?}", t.volume, t.weight, t.delta);
+    }
+    out
+}
+
+/// Parse the text format produced by [`write_instance`].
+///
+/// # Errors
+/// [`ScheduleError::InvalidInstance`] with a line-precise message on any
+/// syntax or validation problem.
+pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
+    let mut p: Option<f64> = None;
+    let mut tasks = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a token");
+        let bad = |what: &str| ScheduleError::InvalidInstance {
+            reason: format!("line {}: {what}: {raw:?}", lineno + 1),
+        };
+        match keyword {
+            "p" => {
+                let v: f64 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing value after 'p'"))?
+                    .parse()
+                    .map_err(|_| bad("unparsable machine size"))?;
+                if p.replace(v).is_some() {
+                    return Err(bad("duplicate 'p' line"));
+                }
+            }
+            "task" => {
+                let mut field = |name: &str| -> Result<f64, ScheduleError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| bad(&format!("missing {name}")))?
+                        .parse()
+                        .map_err(|_| bad(&format!("unparsable {name}")))
+                };
+                let volume = field("volume")?;
+                let weight = field("weight")?;
+                let delta = field("delta")?;
+                if parts.next().is_some() {
+                    return Err(bad("trailing fields on task line"));
+                }
+                tasks.push(Task::new(volume, weight, delta));
+            }
+            other => {
+                return Err(bad(&format!("unknown keyword {other:?}")));
+            }
+        }
+    }
+    let p = p.ok_or(ScheduleError::InvalidInstance {
+        reason: "missing 'p' line".into(),
+    })?;
+    Instance::new(p, tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Instance {
+        Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0)
+            .task(0.1 + 0.2, 2.0, 4.0) // deliberately non-round f64
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let inst = demo();
+        let text = write_instance(&inst);
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\n  p 2 # two processors\n\ntask 1 1 1\n";
+        let inst = parse_instance(text).unwrap();
+        assert_eq!(inst.p, 2.0);
+        assert_eq!(inst.n(), 1);
+    }
+
+    #[test]
+    fn errors_are_line_precise() {
+        let e = parse_instance("p 2\ntask 1 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = parse_instance("p 2\ntask 1 1 1 9\n").unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+        let e = parse_instance("task 1 1 1\n").unwrap_err();
+        assert!(e.to_string().contains("missing 'p'"), "{e}");
+        let e = parse_instance("p 2\np 3\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+        let e = parse_instance("q 2\n").unwrap_err();
+        assert!(e.to_string().contains("unknown keyword"), "{e}");
+        let e = parse_instance("p two\n").unwrap_err();
+        assert!(e.to_string().contains("unparsable"), "{e}");
+    }
+
+    #[test]
+    fn validation_still_applies() {
+        // Parses fine, fails instance validation (zero volume).
+        assert!(parse_instance("p 2\ntask 0 1 1\n").is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Column-based fractional schedules (`MWCT-CB-F`, Definition 2).
+//!
+//! A *column* is the time slice between two consecutive task completions;
+//! within a column every task holds a constant fractional number of
+//! processors. Columns are the normal currency of the paper: the LP of
+//! Corollary 1 optimizes over them, Water-Filling produces them, and
+//! Theorem 3 converts them to per-processor schedules.
+
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use numkit::{KahanSum, Tolerance};
+use std::fmt;
+
+/// One column: the interval `[start, end]` and the constant rates held by
+/// each task inside it. Tasks absent from `rates` hold zero processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column start time.
+    pub start: f64,
+    /// Column end time (`end ≥ start`; zero-length columns arise from tied
+    /// completion times and are legal).
+    pub end: f64,
+    /// `(task, processors)` pairs with strictly positive rates.
+    pub rates: Vec<(TaskId, f64)>,
+}
+
+impl Column {
+    /// Column duration `l = end − start`.
+    pub fn len(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// `true` iff the column has zero duration.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 0.0
+    }
+
+    /// Rate held by `task` in this column (zero when absent).
+    pub fn rate_of(&self, task: TaskId) -> f64 {
+        self.rates
+            .iter()
+            .find(|(t, _)| *t == task)
+            .map_or(0.0, |(_, r)| *r)
+    }
+
+    /// Total processors in use.
+    pub fn total_rate(&self) -> f64 {
+        numkit::sum::ksum(self.rates.iter().map(|(_, r)| *r))
+    }
+}
+
+/// A complete column-based fractional schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSchedule {
+    /// Machine capacity the schedule was built for.
+    pub p: f64,
+    /// Completion time of each task, indexed by [`TaskId`].
+    pub completions: Vec<f64>,
+    /// Columns in time order, contiguous from `t = 0`.
+    pub columns: Vec<Column>,
+}
+
+impl ColumnSchedule {
+    /// Completion times indexed by task.
+    pub fn completion_times(&self) -> &[f64] {
+        &self.completions
+    }
+
+    /// Completion time of one task.
+    ///
+    /// # Panics
+    /// Panics if `task` is out of range.
+    pub fn completion(&self, task: TaskId) -> f64 {
+        self.completions[task.0]
+    }
+
+    /// Schedule makespan `max Cᵢ`.
+    pub fn makespan(&self) -> f64 {
+        self.completions.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The paper's objective `Σ wᵢCᵢ`.
+    ///
+    /// # Panics
+    /// Panics when the instance task count differs from the schedule's
+    /// (callers pair schedules with the instance that produced them).
+    pub fn weighted_completion_cost(&self, instance: &Instance) -> f64 {
+        assert_eq!(
+            instance.n(),
+            self.completions.len(),
+            "instance/schedule task count mismatch"
+        );
+        let mut s = KahanSum::new();
+        for (id, t) in instance.iter() {
+            s.add(t.weight * self.completions[id.0]);
+        }
+        s.value()
+    }
+
+    /// Unweighted sum of completion times `Σ Cᵢ`.
+    pub fn total_completion_time(&self) -> f64 {
+        numkit::sum::ksum(self.completions.iter().copied())
+    }
+
+    /// Task completion order (earliest first, ties by id).
+    pub fn completion_order(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = (0..self.completions.len()).map(TaskId).collect();
+        ids.sort_by(|a, b| {
+            self.completions[a.0]
+                .total_cmp(&self.completions[b.0])
+                .then(a.0.cmp(&b.0))
+        });
+        ids
+    }
+
+    /// Area allocated to `task` across all columns.
+    pub fn allocated_area(&self, task: TaskId) -> f64 {
+        let mut s = KahanSum::new();
+        for c in &self.columns {
+            let r = c.rate_of(task);
+            if r > 0.0 {
+                s.add(r * c.len());
+            }
+        }
+        s.value()
+    }
+
+    /// Validate with the default tolerance scaled by schedule size.
+    pub fn validate(&self, instance: &Instance) -> Result<(), ScheduleError> {
+        let scale = 1.0 + self.columns.len() as f64;
+        self.validate_with(instance, Tolerance::default().scaled(scale))
+    }
+
+    /// Full validity check against Definition 2:
+    ///
+    /// 1. columns are contiguous from `t = 0` with non-negative lengths;
+    /// 2. every rate is in `[0, min(δᵢ, P)]`;
+    /// 3. per column, `Σᵢ dᵢ,ⱼ ≤ P`;
+    /// 4. per task, `Σⱼ dᵢ,ⱼ·lⱼ = Vᵢ`;
+    /// 5. no allocation after the recorded completion time, and the last
+    ///    allocation reaches it.
+    pub fn validate_with(&self, instance: &Instance, tol: Tolerance) -> Result<(), ScheduleError> {
+        if self.completions.len() != instance.n() {
+            return Err(ScheduleError::LengthMismatch {
+                what: "completion times",
+                expected: instance.n(),
+                found: self.completions.len(),
+            });
+        }
+        for &c in &self.completions {
+            if !c.is_finite() || c < 0.0 {
+                return Err(ScheduleError::InvalidTime {
+                    value: c,
+                    context: "completion times",
+                });
+            }
+        }
+        let mut prev_end = 0.0;
+        for col in &self.columns {
+            if !tol.eq(col.start, prev_end) {
+                return Err(ScheduleError::InvalidTime {
+                    value: col.start,
+                    context: "column start (not contiguous)",
+                });
+            }
+            if col.end < col.start - tol.slack(col.end, col.start) {
+                return Err(ScheduleError::InvalidTime {
+                    value: col.end,
+                    context: "column end before start",
+                });
+            }
+            prev_end = col.end;
+
+            let mut total = KahanSum::new();
+            for &(task, rate) in &col.rates {
+                if task.0 >= instance.n() {
+                    return Err(ScheduleError::LengthMismatch {
+                        what: "task id in column",
+                        expected: instance.n(),
+                        found: task.0,
+                    });
+                }
+                let cap = instance.effective_delta(task);
+                if rate < -tol.abs {
+                    return Err(ScheduleError::DeltaExceeded {
+                        task,
+                        at: col.start,
+                        rate,
+                        delta: cap,
+                    });
+                }
+                if !tol.le(rate, cap) {
+                    return Err(ScheduleError::DeltaExceeded {
+                        task,
+                        at: col.start,
+                        rate,
+                        delta: cap,
+                    });
+                }
+                // Allocation strictly after the task's completion time.
+                if col.len() > tol.abs
+                    && rate > tol.abs
+                    && col.start > self.completions[task.0] + tol.slack(col.start, 0.0)
+                {
+                    return Err(ScheduleError::AllocationAfterCompletion {
+                        task,
+                        completion: self.completions[task.0],
+                        at: col.start,
+                    });
+                }
+                total.add(rate);
+            }
+            if !tol.le(total.value(), self.p) {
+                return Err(ScheduleError::CapacityExceeded {
+                    at: col.start,
+                    total: total.value(),
+                    p: self.p,
+                });
+            }
+        }
+        // Volumes.
+        for (id, t) in instance.iter() {
+            let area = self.allocated_area(id);
+            if !tol.eq(area, t.volume) {
+                return Err(ScheduleError::VolumeMismatch {
+                    task: id,
+                    allocated: area,
+                    required: t.volume,
+                });
+            }
+        }
+        // Completion must coincide with the end of the last positive-rate,
+        // positive-length column of each task.
+        for (id, _) in instance.iter() {
+            let last_alloc = self
+                .columns
+                .iter()
+                .filter(|c| c.len() > tol.abs && c.rate_of(id) > tol.abs)
+                .map(|c| c.end)
+                .fold(0.0, f64::max);
+            if !tol.eq(last_alloc, self.completions[id.0]) {
+                return Err(ScheduleError::AllocationAfterCompletion {
+                    task: id,
+                    completion: self.completions[id.0],
+                    at: last_alloc,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColumnSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ColumnSchedule (P = {}, {} columns, makespan = {:.4})",
+            self.p,
+            self.columns.len(),
+            self.makespan()
+        )?;
+        for (j, c) in self.columns.iter().enumerate() {
+            write!(f, "  col {j}: [{:.4}, {:.4}]", c.start, c.end)?;
+            for &(t, r) in &c.rates {
+                write!(f, "  {t}:{r:.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn inst() -> Instance {
+        // P = 2; two tasks.
+        Instance::builder(2.0)
+            .task(2.0, 1.0, 1.0) // T0: V=2, δ=1
+            .task(2.0, 1.0, 2.0) // T1: V=2, δ=2
+            .build()
+            .unwrap()
+    }
+
+    /// T0 at rate 1 over [0,2]; T1 at rate 1 over [0,2]. Both complete at 2.
+    fn valid_schedule() -> ColumnSchedule {
+        ColumnSchedule {
+            p: 2.0,
+            completions: vec![2.0, 2.0],
+            columns: vec![Column {
+                start: 0.0,
+                end: 2.0,
+                rates: vec![(TaskId(0), 1.0), (TaskId(1), 1.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = valid_schedule();
+        assert_eq!(s.makespan(), 2.0);
+        assert_eq!(s.completion(TaskId(1)), 2.0);
+        assert_eq!(s.total_completion_time(), 4.0);
+        assert_eq!(s.weighted_completion_cost(&inst()), 4.0);
+        assert_eq!(s.allocated_area(TaskId(0)), 2.0);
+        assert_eq!(s.completion_order(), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(s.columns[0].rate_of(TaskId(7)), 0.0);
+        assert_eq!(s.columns[0].total_rate(), 2.0);
+        assert!(!s.columns[0].is_empty());
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        valid_schedule().validate(&inst()).unwrap();
+    }
+
+    #[test]
+    fn delta_violation_detected() {
+        let mut s = valid_schedule();
+        s.columns[0].rates[0].1 = 1.5; // T0 has δ = 1
+        match s.validate(&inst()) {
+            Err(ScheduleError::DeltaExceeded { task, .. }) => assert_eq!(task, TaskId(0)),
+            other => panic!("expected DeltaExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut s = valid_schedule();
+        s.columns[0].rates[1].1 = 2.0; // total 3 > P = 2 (δ1 = 2 is fine)
+        match s.validate(&inst()) {
+            Err(ScheduleError::CapacityExceeded { .. }) => {}
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn volume_mismatch_detected() {
+        let mut s = valid_schedule();
+        s.columns[0].end = 1.5; // areas now 1.5 ≠ 2
+        s.completions = vec![1.5, 1.5];
+        match s.validate(&inst()) {
+            Err(ScheduleError::VolumeMismatch { task, .. }) => assert_eq!(task, TaskId(0)),
+            other => panic!("expected VolumeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allocation_after_completion_detected() {
+        let mut s = valid_schedule();
+        s.completions[0] = 1.0; // claims T0 completes at 1 but it runs to 2
+        match s.validate(&inst()) {
+            Err(ScheduleError::AllocationAfterCompletion { task, .. }) => {
+                assert_eq!(task, TaskId(0))
+            }
+            other => panic!("expected AllocationAfterCompletion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_contiguous_columns_detected() {
+        let mut s = valid_schedule();
+        s.columns.push(Column {
+            start: 5.0,
+            end: 6.0,
+            rates: vec![],
+        });
+        assert!(matches!(
+            s.validate(&inst()),
+            Err(ScheduleError::InvalidTime { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_columns_are_legal() {
+        let mut s = valid_schedule();
+        s.columns.push(Column {
+            start: 2.0,
+            end: 2.0,
+            rates: vec![],
+        });
+        s.validate(&inst()).unwrap();
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let s = valid_schedule();
+        let bigger = Instance::builder(2.0)
+            .tasks([(2.0, 1.0, 1.0), (2.0, 1.0, 2.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            s.validate(&bigger),
+            Err(ScheduleError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,499 @@
+//! The Theorem-3 transformations between schedule representations.
+//!
+//! * [`column_to_gantt`] — the *fractional → integer* direction (Figure 2
+//!   of the paper): inside each column, task areas are wrapped row-by-row
+//!   across the processor×time rectangle, so each task's processor count at
+//!   any instant is `⌊dᵢⱼ⌋` or `⌈dᵢⱼ⌉` and the per-column processor set of
+//!   a task changes at most twice.
+//! * [`step_to_column`] — the *averaging* direction: within each column a
+//!   task's fractional rate is its average allocation there.
+//! * [`assign_processors_stable`] — the Lemma-6/10 assignment: processors,
+//!   once granted, are kept until the allocation shrinks, making the number
+//!   of Gantt preemptions equal the number of resource changes.
+
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::schedule::column::{Column, ColumnSchedule};
+use crate::schedule::gantt::{Gantt, GanttSegment};
+use crate::schedule::step::{Segment, StepSchedule};
+use numkit::Tolerance;
+
+/// Check that `x` is integral within `tol` and return it as `usize`.
+fn integral(x: f64, what: &'static str, tol: Tolerance) -> Result<usize, ScheduleError> {
+    let r = x.round();
+    if !tol.eq(x, r) || r < 0.0 {
+        return Err(ScheduleError::InvalidInstance {
+            reason: format!("{what} must be a non-negative integer, got {x}"),
+        });
+    }
+    Ok(r as usize)
+}
+
+/// Fractional column schedule → per-processor Gantt chart (Theorem 3,
+/// Figure 2). Requires an integer machine (`P ∈ ℕ`) and integer caps
+/// (`δᵢ ∈ ℕ`): with integral `δᵢ`, `⌈dᵢⱼ⌉ ≤ δᵢ`, so the wrapped layout
+/// never violates a cap.
+///
+/// Completion times in the result are `≤` the column schedule's (a task
+/// whose last fragment fits strictly inside its final column finishes
+/// early; the paper's transformation has the same property).
+///
+/// # Errors
+/// * [`ScheduleError::InvalidInstance`] when `P` or any participating
+///   `δᵢ` is not integral;
+/// * [`ScheduleError::CapacityExceeded`] when a column's total area
+///   overflows `P × l` beyond tolerance.
+pub fn column_to_gantt(
+    cs: &ColumnSchedule,
+    instance: &Instance,
+    tol: Tolerance,
+) -> Result<Gantt, ScheduleError> {
+    let n_procs = integral(cs.p, "P", tol)?;
+    let mut gantt = Gantt::empty(n_procs);
+
+    for col in &cs.columns {
+        let l = col.len();
+        if l <= tol.abs {
+            continue;
+        }
+        // All cursor arithmetic below is *relative to this column*: a very
+        // short column must not be distorted by absolute slack, so sliver
+        // thresholds scale with `l`.
+        let eps_t = l * 1e-9; // negligible time within the column
+        let eps_a = eps_t; // negligible area (one processor × eps_t)
+        let mut lane = 0usize;
+        let mut offset = 0.0f64;
+        for &(task, rate) in &col.rates {
+            if rate * l <= eps_a {
+                continue;
+            }
+            integral(instance.task(task).delta, "δ", tol)?;
+            let mut area = rate * l;
+            while area > eps_a {
+                if lane >= n_procs {
+                    // Residual beyond the machine: tolerate accumulated
+                    // float drift (relative to the column's full area),
+                    // reject anything structural.
+                    if area <= cs.p * l * 1e-7 {
+                        break;
+                    }
+                    return Err(ScheduleError::CapacityExceeded {
+                        at: col.start,
+                        total: cs.p + area / l,
+                        p: cs.p,
+                    });
+                }
+                let take = (l - offset).min(area);
+                if take > eps_t {
+                    gantt.lanes[lane].push(GanttSegment {
+                        start: col.start + offset,
+                        end: col.start + offset + take,
+                        task,
+                    });
+                }
+                area -= take;
+                offset += take;
+                if offset >= l - eps_t {
+                    lane += 1;
+                    offset = 0.0;
+                }
+            }
+        }
+    }
+    // Lanes were appended column-by-column in time order, but within one
+    // lane a later column's segment always starts at or after the previous
+    // column's end, so each lane is already sorted. Merge abutting segments
+    // of the same task to keep preemption counting honest.
+    for lane in &mut gantt.lanes {
+        let mut merged: Vec<GanttSegment> = Vec::with_capacity(lane.len());
+        for seg in lane.drain(..) {
+            match merged.last_mut() {
+                Some(prev) if prev.task == seg.task && tol.eq(prev.end, seg.start) => {
+                    prev.end = seg.end;
+                }
+                _ => merged.push(seg),
+            }
+        }
+        *lane = merged;
+    }
+    Ok(gantt)
+}
+
+/// Gantt chart → step schedule: per task, the integer processor count as a
+/// piecewise-constant function of time.
+#[allow(clippy::needless_range_loop)] // task id doubles as array index
+pub fn gantt_to_step(gantt: &Gantt, p: f64, n_tasks: usize, tol: Tolerance) -> StepSchedule {
+    let mut allocs = vec![Vec::<Segment>::new(); n_tasks];
+    for i in 0..n_tasks {
+        let runs = gantt.runs_of(TaskId(i));
+        if runs.is_empty() {
+            continue;
+        }
+        let mut times: Vec<f64> = runs.iter().flat_map(|&(_, s, e)| [s, e]).collect();
+        times.sort_by(f64::total_cmp);
+        times.dedup_by(|a, b| tol.eq(*a, *b));
+        let segs = &mut allocs[i];
+        for w in times.windows(2) {
+            if w[1] - w[0] <= tol.abs {
+                continue;
+            }
+            let mid = 0.5 * (w[0] + w[1]);
+            let count = runs.iter().filter(|&&(_, s, e)| s <= mid && mid < e).count();
+            if count == 0 {
+                continue;
+            }
+            match segs.last_mut() {
+                Some(prev) if tol.eq(prev.end, w[0]) && prev.procs == count as f64 => {
+                    prev.end = w[1];
+                }
+                _ => segs.push(Segment {
+                    start: w[0],
+                    end: w[1],
+                    procs: count as f64,
+                }),
+            }
+        }
+    }
+    StepSchedule { p, allocs }
+}
+
+/// Column schedule → integer step schedule, via the Figure-2 wrap.
+pub fn column_to_step(
+    cs: &ColumnSchedule,
+    instance: &Instance,
+    tol: Tolerance,
+) -> Result<StepSchedule, ScheduleError> {
+    let gantt = column_to_gantt(cs, instance, tol)?;
+    Ok(gantt_to_step(&gantt, cs.p, instance.n(), tol))
+}
+
+/// Step schedule → column schedule (the averaging direction of Theorem 3):
+/// columns are delimited by the distinct task completion times, and each
+/// task's rate in a column is its average allocation there. Rates stay
+/// within `δᵢ` and capacity `P` because averages of valid instantaneous
+/// allocations are valid (the paper's proof of Theorem 3).
+pub fn step_to_column(ss: &StepSchedule, tol: Tolerance) -> ColumnSchedule {
+    let completions = ss.completion_times();
+    let mut bounds: Vec<f64> = completions.iter().copied().filter(|&c| c > tol.abs).collect();
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup_by(|a, b| tol.eq(*a, *b));
+
+    let mut columns = Vec::with_capacity(bounds.len());
+    let mut prev = 0.0f64;
+    for &b in &bounds {
+        let l = b - prev;
+        let mut rates = Vec::new();
+        if l > tol.abs {
+            for (i, segs) in ss.allocs.iter().enumerate() {
+                let mut area = 0.0;
+                for s in segs {
+                    let lo = s.start.max(prev);
+                    let hi = s.end.min(b);
+                    if hi > lo {
+                        area += s.procs * (hi - lo);
+                    }
+                }
+                if area > tol.abs * l {
+                    rates.push((TaskId(i), area / l));
+                }
+            }
+        }
+        columns.push(Column {
+            start: prev,
+            end: b,
+            rates,
+        });
+        prev = b;
+    }
+    ColumnSchedule {
+        p: ss.p,
+        completions,
+        columns,
+    }
+}
+
+/// Lemma-6/10 stable processor assignment for an **integer** step schedule:
+/// at each event, tasks whose count shrank release their most recently
+/// acquired processors, then tasks whose count grew take the lowest free
+/// ids. A processor granted to a task is never reclaimed while the task's
+/// count stays put, so the resulting Gantt has exactly one preemption per
+/// resource change — the property Theorem 10 builds on.
+///
+/// # Errors
+/// [`ScheduleError::InvalidInstance`] when `P` or any segment count is not
+/// integral, or [`ScheduleError::CapacityExceeded`] when counts overflow
+/// the machine.
+pub fn assign_processors_stable(
+    ss: &StepSchedule,
+    tol: Tolerance,
+) -> Result<Gantt, ScheduleError> {
+    let n_procs = integral(ss.p, "P", tol)?;
+    let n = ss.n();
+    let events = ss.event_times(tol);
+    let mut gantt = Gantt::empty(n_procs);
+
+    // Ownership state.
+    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n]; // LIFO per task
+    let mut free: Vec<usize> = (0..n_procs).rev().collect(); // pop() = lowest id
+    let mut lane_open: Vec<Option<(TaskId, f64)>> = vec![None; n_procs]; // (task, since)
+
+    for w in events.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        if t1 - t0 <= tol.abs {
+            continue;
+        }
+        let mid = 0.5 * (t0 + t1);
+        // Required integer counts on [t0, t1).
+        let mut required = vec![0usize; n];
+        for (i, slot) in required.iter_mut().enumerate() {
+            *slot = integral(ss.rate_at(TaskId(i), mid), "segment processor count", tol)?;
+        }
+        // Release phase.
+        for i in 0..n {
+            while owned[i].len() > required[i] {
+                let p = owned[i].pop().expect("len > required ≥ 0");
+                if let Some((task, since)) = lane_open[p].take() {
+                    gantt.lanes[p].push(GanttSegment {
+                        start: since,
+                        end: t0,
+                        task,
+                    });
+                }
+                free.push(p);
+            }
+        }
+        free.sort_unstable_by(|a, b| b.cmp(a)); // keep pop() = lowest id
+        // Acquire phase.
+        for i in 0..n {
+            while owned[i].len() < required[i] {
+                let Some(p) = free.pop() else {
+                    return Err(ScheduleError::CapacityExceeded {
+                        at: t0,
+                        total: required.iter().sum::<usize>() as f64,
+                        p: ss.p,
+                    });
+                };
+                owned[i].push(p);
+                debug_assert!(lane_open[p].is_none());
+                lane_open[p] = Some((TaskId(i), t0));
+            }
+        }
+    }
+    // Close remaining runs at the final event.
+    let end = *events.last().unwrap_or(&0.0);
+    for (p, open) in lane_open.iter_mut().enumerate() {
+        if let Some((task, since)) = open.take() {
+            gantt.lanes[p].push(GanttSegment {
+                start: since,
+                end,
+                task,
+            });
+        }
+    }
+    Ok(gantt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn tol() -> Tolerance {
+        Tolerance::default()
+    }
+
+    /// P = 3; T0 (δ=2) and T1 (δ=3) share columns with fractional rates.
+    fn fractional_case() -> (Instance, ColumnSchedule) {
+        let inst = Instance::builder(3.0)
+            .task(3.0, 1.0, 2.0) // T0
+            .task(4.5, 1.0, 3.0) // T1
+            .build()
+            .unwrap();
+        let cs = ColumnSchedule {
+            p: 3.0,
+            completions: vec![2.0, 3.0],
+            columns: vec![
+                Column {
+                    start: 0.0,
+                    end: 2.0,
+                    rates: vec![(TaskId(0), 1.5), (TaskId(1), 1.0)],
+                },
+                Column {
+                    start: 2.0,
+                    end: 3.0,
+                    rates: vec![(TaskId(1), 2.5)],
+                },
+            ],
+        };
+        cs.validate(&inst).unwrap();
+        (inst, cs)
+    }
+
+    #[test]
+    fn wrap_produces_valid_integer_schedule() {
+        let (inst, cs) = fractional_case();
+        let gantt = column_to_gantt(&cs, &inst, tol()).unwrap();
+        gantt.validate(tol()).unwrap();
+        let step = gantt_to_step(&gantt, 3.0, 2, tol());
+        // Integer counts only.
+        for segs in &step.allocs {
+            for s in segs {
+                assert_eq!(s.procs, s.procs.round());
+            }
+        }
+        // Volumes preserved.
+        assert!((step.allocated_area(TaskId(0)) - 3.0).abs() < 1e-9);
+        assert!((step.allocated_area(TaskId(1)) - 4.5).abs() < 1e-9);
+        // The instantaneous count is ⌊d⌋ or ⌈d⌉ of the fractional rate:
+        // T0 held 1.5 procs on [0,2] → counts in {1, 2}.
+        for s in &step.allocs[0] {
+            assert!(s.procs == 1.0 || s.procs == 2.0, "count {}", s.procs);
+        }
+        // Completion times never increase.
+        let cs2 = step.completion_times();
+        assert!(cs2[0] <= 2.0 + 1e-9);
+        assert!(cs2[1] <= 3.0 + 1e-9);
+        // Step schedule is valid for the instance (volume + caps + capacity).
+        step.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn wrap_rejects_fractional_p() {
+        let (inst, mut cs) = fractional_case();
+        cs.p = 2.5;
+        assert!(matches!(
+            column_to_gantt(&cs, &inst, tol()),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn wrap_rejects_fractional_delta() {
+        let inst = Instance::builder(3.0)
+            .task(3.0, 1.0, 1.5)
+            .build()
+            .unwrap();
+        let cs = ColumnSchedule {
+            p: 3.0,
+            completions: vec![2.0],
+            columns: vec![Column {
+                start: 0.0,
+                end: 2.0,
+                rates: vec![(TaskId(0), 1.5)],
+            }],
+        };
+        assert!(matches!(
+            column_to_gantt(&cs, &inst, tol()),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_column_step_column() {
+        let (inst, cs) = fractional_case();
+        let step = column_to_step(&cs, &inst, tol()).unwrap();
+        let back = step_to_column(&step, tol());
+        back.validate(&inst).unwrap();
+        // Completion times only improve through the integer conversion.
+        for i in 0..2 {
+            assert!(back.completions[i] <= cs.completions[i] + 1e-9);
+        }
+        // Total areas preserved.
+        assert!((back.allocated_area(TaskId(0)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaging_direction_respects_caps() {
+        // T0 runs at 2 procs on [0,1] (δ = 2); its average in its single
+        // column is exactly 2 ≤ δ, and totals stay within P = 3.
+        let ss = StepSchedule {
+            p: 3.0,
+            allocs: vec![
+                vec![Segment {
+                    start: 0.0,
+                    end: 1.0,
+                    procs: 2.0,
+                }],
+                vec![Segment {
+                    start: 0.0,
+                    end: 2.0,
+                    procs: 1.0,
+                }],
+            ],
+        };
+        let inst = Instance::builder(3.0)
+            .task(2.0, 1.0, 2.0)
+            .task(2.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let cs = step_to_column(&ss, tol());
+        cs.validate(&inst).unwrap();
+        assert_eq!(cs.columns.len(), 2);
+        assert!((cs.columns[0].rate_of(TaskId(0)) - 2.0).abs() < 1e-12);
+        assert_eq!(cs.columns[1].rate_of(TaskId(0)), 0.0);
+    }
+
+    #[test]
+    fn stable_assignment_matches_resource_changes() {
+        // T0: 1 proc on [0,3]. T1: 1 proc on [0,1], 2 on [1,2], 1 on [2,3].
+        let ss = StepSchedule {
+            p: 3.0,
+            allocs: vec![
+                vec![Segment {
+                    start: 0.0,
+                    end: 3.0,
+                    procs: 1.0,
+                }],
+                vec![
+                    Segment {
+                        start: 0.0,
+                        end: 1.0,
+                        procs: 1.0,
+                    },
+                    Segment {
+                        start: 1.0,
+                        end: 2.0,
+                        procs: 2.0,
+                    },
+                    Segment {
+                        start: 2.0,
+                        end: 3.0,
+                        procs: 1.0,
+                    },
+                ],
+            ],
+        };
+        let gantt = assign_processors_stable(&ss, tol()).unwrap();
+        gantt.validate(tol()).unwrap();
+        // T1 changes count twice; T0 never. Preemptions == resource changes.
+        assert_eq!(ss.resource_changes(tol()), 2);
+        assert_eq!(gantt.preemption_count(2, tol()), 2);
+        // T0 kept its processor the whole time (zero preemptions).
+        assert_eq!(gantt.preemptions_of(TaskId(0), tol()), 0);
+    }
+
+    #[test]
+    fn stable_assignment_rejects_overflow() {
+        let ss = StepSchedule {
+            p: 1.0,
+            allocs: vec![vec![Segment {
+                start: 0.0,
+                end: 1.0,
+                procs: 2.0,
+            }]],
+        };
+        assert!(matches!(
+            assign_processors_stable(&ss, tol()),
+            Err(ScheduleError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedules_convert() {
+        let ss = StepSchedule::empty(2.0, 2);
+        let cs = step_to_column(&ss, tol());
+        assert!(cs.columns.is_empty());
+        let g = assign_processors_stable(&ss, tol()).unwrap();
+        assert_eq!(g.makespan(), 0.0);
+    }
+}

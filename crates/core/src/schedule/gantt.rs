@@ -1,0 +1,327 @@
+//! Per-processor Gantt charts and the paper's preemption accounting.
+//!
+//! Theorems 9 and 10 bound the number of *preemptions* of Water-Filling
+//! schedules: a preemption is any instant, strictly between a task's first
+//! start and final completion, at which the **set of processors** executing
+//! the task changes. This module counts exactly that quantity on resolved
+//! per-processor timelines.
+
+use crate::error::ScheduleError;
+use crate::instance::TaskId;
+use numkit::Tolerance;
+use std::fmt;
+
+/// A run of one task on one processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GanttSegment {
+    /// Run start.
+    pub start: f64,
+    /// Run end (`end > start`).
+    pub end: f64,
+    /// The task occupying the processor.
+    pub task: TaskId,
+}
+
+/// A fully resolved schedule: one timeline per physical processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gantt {
+    /// Number of processors.
+    pub n_procs: usize,
+    /// `lanes[p]` = time-sorted, non-overlapping runs on processor `p`.
+    pub lanes: Vec<Vec<GanttSegment>>,
+}
+
+impl Gantt {
+    /// An empty chart on `n_procs` processors.
+    pub fn empty(n_procs: usize) -> Self {
+        Gantt {
+            n_procs,
+            lanes: vec![Vec::new(); n_procs],
+        }
+    }
+
+    /// Latest segment end across all lanes.
+    pub fn makespan(&self) -> f64 {
+        self.lanes
+            .iter()
+            .flatten()
+            .map(|s| s.end)
+            .fold(0.0, f64::max)
+    }
+
+    /// Completion time per task (0 for tasks that never run).
+    pub fn completion_times(&self, n_tasks: usize) -> Vec<f64> {
+        let mut cs = vec![0.0f64; n_tasks];
+        for s in self.lanes.iter().flatten() {
+            if s.task.0 < n_tasks {
+                cs[s.task.0] = cs[s.task.0].max(s.end);
+            }
+        }
+        cs
+    }
+
+    /// Busy area divided by `n_procs × makespan` (0 for an empty chart).
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 || self.n_procs == 0 {
+            return 0.0;
+        }
+        let busy: f64 =
+            numkit::sum::ksum(self.lanes.iter().flatten().map(|s| s.end - s.start));
+        busy / (span * self.n_procs as f64)
+    }
+
+    /// Structural validity: per lane, segments sorted, positive-length,
+    /// non-overlapping.
+    pub fn validate(&self, tol: Tolerance) -> Result<(), ScheduleError> {
+        for lane in &self.lanes {
+            let mut prev_end = 0.0f64;
+            for s in lane {
+                if s.end <= s.start {
+                    return Err(ScheduleError::InvalidTime {
+                        value: s.end,
+                        context: "gantt segment end ≤ start",
+                    });
+                }
+                if s.start < prev_end - tol.slack(s.start, prev_end) {
+                    return Err(ScheduleError::InvalidTime {
+                        value: s.start,
+                        context: "overlapping gantt segments",
+                    });
+                }
+                prev_end = prev_end.max(s.end);
+            }
+        }
+        Ok(())
+    }
+
+    /// All of `task`'s runs as `(processor, start, end)`.
+    pub fn runs_of(&self, task: TaskId) -> Vec<(usize, f64, f64)> {
+        let mut out = Vec::new();
+        for (p, lane) in self.lanes.iter().enumerate() {
+            for s in lane {
+                if s.task == task {
+                    out.push((p, s.start, s.end));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The paper's preemption count for one task: the number of instants,
+    /// strictly inside `(first start, final end)`, where the set of
+    /// processors running the task changes. A pause (set becomes empty,
+    /// then refills) contributes 2 — one change at each boundary.
+    pub fn preemptions_of(&self, task: TaskId, tol: Tolerance) -> usize {
+        let runs = self.runs_of(task);
+        if runs.is_empty() {
+            return 0;
+        }
+        // Distinct event times for this task; the set of processors running
+        // it is constant between consecutive events.
+        let mut times: Vec<f64> = runs.iter().flat_map(|&(_, s, e)| [s, e]).collect();
+        times.sort_by(f64::total_cmp);
+        times.dedup_by(|a, b| tol.eq(*a, *b));
+
+        let set_at = |t: f64| -> Vec<usize> {
+            let mut procs: Vec<usize> = runs
+                .iter()
+                .filter(|&&(_, s, e)| s <= t && t < e)
+                .map(|&(p, _, _)| p)
+                .collect();
+            procs.sort_unstable();
+            procs
+        };
+
+        // Evaluate at interval midpoints (robust to float jitter at the
+        // boundaries) and count set changes between consecutive intervals.
+        let mut count = 0;
+        let mut prev_set: Option<Vec<usize>> = None;
+        for w in times.windows(2) {
+            if w[1] - w[0] <= tol.abs {
+                continue;
+            }
+            let cur = set_at(0.5 * (w[0] + w[1]));
+            if let Some(prev) = &prev_set {
+                if *prev != cur {
+                    count += 1;
+                }
+            }
+            prev_set = Some(cur);
+        }
+        count
+    }
+
+    /// Total preemptions over `n_tasks` tasks (Theorem 10's `≤ 3n` metric
+    /// for integer Water-Filling schedules).
+    pub fn preemption_count(&self, n_tasks: usize, tol: Tolerance) -> usize {
+        (0..n_tasks)
+            .map(|i| self.preemptions_of(TaskId(i), tol))
+            .sum()
+    }
+
+    /// ASCII rendering: one row per processor, `width` character cells over
+    /// `[0, makespan]`, each cell showing the task occupying the cell's
+    /// midpoint (`·` when idle).
+    pub fn render(&self, width: usize) -> String {
+        let span = self.makespan();
+        let mut out = String::new();
+        if span <= 0.0 || width == 0 {
+            return "(empty gantt)\n".to_string();
+        }
+        for (p, lane) in self.lanes.iter().enumerate() {
+            out.push_str(&format!("P{p:<3}|"));
+            for c in 0..width {
+                let t = (c as f64 + 0.5) / width as f64 * span;
+                let glyph = lane
+                    .iter()
+                    .find(|s| s.start <= t && t < s.end)
+                    .map_or('·', |s| task_glyph(s.task));
+                out.push(glyph);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("     0{:>w$.3}\n", span, w = width - 1));
+        out
+    }
+}
+
+/// Stable printable glyph for a task id.
+fn task_glyph(t: TaskId) -> char {
+    const GLYPHS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    GLYPHS[t.0 % GLYPHS.len()] as char
+}
+
+impl fmt::Display for Gantt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tol() -> Tolerance {
+        Tolerance::default()
+    }
+
+    /// T0 runs on P0 for [0,2]; T1 on P1 [0,1] then on P0+P1 [2,3]... built
+    /// by hand for metric tests.
+    fn chart() -> Gantt {
+        Gantt {
+            n_procs: 2,
+            lanes: vec![
+                vec![
+                    GanttSegment {
+                        start: 0.0,
+                        end: 2.0,
+                        task: TaskId(0),
+                    },
+                    GanttSegment {
+                        start: 2.0,
+                        end: 3.0,
+                        task: TaskId(1),
+                    },
+                ],
+                vec![
+                    GanttSegment {
+                        start: 0.0,
+                        end: 1.0,
+                        task: TaskId(1),
+                    },
+                    GanttSegment {
+                        start: 2.0,
+                        end: 3.0,
+                        task: TaskId(1),
+                    },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let g = chart();
+        assert_eq!(g.makespan(), 3.0);
+        assert_eq!(g.completion_times(2), vec![2.0, 3.0]);
+        assert!((g.utilization() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(g.runs_of(TaskId(1)).len(), 3);
+        g.validate(tol()).unwrap();
+    }
+
+    #[test]
+    fn preemptions_uninterrupted_task_is_zero() {
+        let g = chart();
+        assert_eq!(g.preemptions_of(TaskId(0), tol()), 0);
+    }
+
+    #[test]
+    fn preemptions_counts_pause_and_growth() {
+        let g = chart();
+        // T1: {P1} on [0,1], ∅ on [1,2], {P0,P1} on [2,3]:
+        // changes at t=1 (→∅) and t=2 (∅→{P0,P1}) ⇒ 2.
+        assert_eq!(g.preemptions_of(TaskId(1), tol()), 2);
+        assert_eq!(g.preemption_count(2, tol()), 2);
+    }
+
+    #[test]
+    fn preemptions_processor_swap_counts() {
+        // Task keeps one processor worth of allocation but migrates P0→P1.
+        let g = Gantt {
+            n_procs: 2,
+            lanes: vec![
+                vec![GanttSegment {
+                    start: 0.0,
+                    end: 1.0,
+                    task: TaskId(0),
+                }],
+                vec![GanttSegment {
+                    start: 1.0,
+                    end: 2.0,
+                    task: TaskId(0),
+                }],
+            ],
+        };
+        assert_eq!(g.preemptions_of(TaskId(0), tol()), 1);
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let g = Gantt {
+            n_procs: 1,
+            lanes: vec![vec![
+                GanttSegment {
+                    start: 0.0,
+                    end: 2.0,
+                    task: TaskId(0),
+                },
+                GanttSegment {
+                    start: 1.0,
+                    end: 3.0,
+                    task: TaskId(1),
+                },
+            ]],
+        };
+        assert!(g.validate(tol()).is_err());
+    }
+
+    #[test]
+    fn render_shows_tasks() {
+        let g = chart();
+        let s = g.render(30);
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains("P0"));
+        assert_eq!(Gantt::empty(2).render(10), "(empty gantt)\n");
+    }
+
+    #[test]
+    fn empty_task_has_no_preemptions() {
+        let g = chart();
+        assert_eq!(g.preemptions_of(TaskId(9), tol()), 0);
+        assert_eq!(Gantt::empty(3).makespan(), 0.0);
+        assert_eq!(Gantt::empty(3).utilization(), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Schedule representations and conversions.
+//!
+//! The paper works with two equivalent formulations (Theorem 3):
+//!
+//! * [`column::ColumnSchedule`] — the *column-based fractional* form
+//!   (`MWCT-CB-F`, Definition 2): between two consecutive completion times
+//!   every task holds a constant, possibly fractional, number of
+//!   processors. This is the canonical internal representation.
+//! * [`step::StepSchedule`] — the general form (`MWCT`, Definition 1): an
+//!   arbitrary piecewise-constant allocation `dᵢ(t)` per task, integer or
+//!   fractional.
+//! * [`gantt::Gantt`] — fully resolved per-processor timelines, the level
+//!   at which *preemptions* (Theorems 9/10) are counted.
+//!
+//! [`convert`] implements the Theorem-3 transformations between the three.
+
+pub mod column;
+pub mod convert;
+pub mod gantt;
+pub mod step;
+pub mod svg;

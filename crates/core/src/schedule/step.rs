@@ -1,0 +1,371 @@
+//! Piecewise-constant step schedules (`MWCT`, Definition 1).
+//!
+//! A [`StepSchedule`] stores, per task, the maximal intervals on which its
+//! allocation `dᵢ(t)` is constant and positive. This is the representation
+//! produced by Greedy (whose allocation changes *within* columns of other
+//! tasks) and by the Theorem-3 fractional→integer conversion, and the input
+//! to processor assignment ([`crate::schedule::gantt`]).
+
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use numkit::{KahanSum, Tolerance};
+
+/// A maximal interval of constant positive allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Interval start.
+    pub start: f64,
+    /// Interval end (`end > start`).
+    pub end: f64,
+    /// Processors held throughout the interval (fractional allowed).
+    pub procs: f64,
+}
+
+impl Segment {
+    /// Area `procs × (end − start)`.
+    pub fn area(&self) -> f64 {
+        self.procs * (self.end - self.start)
+    }
+
+    /// Duration.
+    pub fn len(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// `true` iff zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 0.0
+    }
+}
+
+/// A full step schedule: per-task segment lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSchedule {
+    /// Machine capacity.
+    pub p: f64,
+    /// `allocs[i]` = time-sorted, non-overlapping segments of task `i`.
+    pub allocs: Vec<Vec<Segment>>,
+}
+
+impl StepSchedule {
+    /// An empty schedule for `n` tasks on capacity `p`.
+    pub fn empty(p: f64, n: usize) -> Self {
+        StepSchedule {
+            p,
+            allocs: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn n(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Completion time of each task (`0` for never-scheduled tasks).
+    pub fn completion_times(&self) -> Vec<f64> {
+        self.allocs
+            .iter()
+            .map(|segs| segs.last().map_or(0.0, |s| s.end))
+            .collect()
+    }
+
+    /// Makespan.
+    pub fn makespan(&self) -> f64 {
+        self.completion_times().into_iter().fold(0.0, f64::max)
+    }
+
+    /// `Σ wᵢCᵢ`.
+    ///
+    /// # Panics
+    /// Panics on instance/schedule task-count mismatch.
+    pub fn weighted_completion_cost(&self, instance: &Instance) -> f64 {
+        assert_eq!(instance.n(), self.n(), "task count mismatch");
+        let cs = self.completion_times();
+        let mut s = KahanSum::new();
+        for (id, t) in instance.iter() {
+            s.add(t.weight * cs[id.0]);
+        }
+        s.value()
+    }
+
+    /// Area allocated to one task.
+    pub fn allocated_area(&self, task: TaskId) -> f64 {
+        numkit::sum::ksum(self.allocs[task.0].iter().map(Segment::area))
+    }
+
+    /// The paper's *resource-change* count (Lemmas 5 and 9): the number of
+    /// instants, strictly between a task's first start and final completion,
+    /// at which its allocation `dᵢ(t)` changes. Adjacent segments with
+    /// different rates contribute 1; a gap (allocation drops to zero and
+    /// resumes) contributes 2.
+    pub fn resource_changes(&self, tol: Tolerance) -> usize {
+        let mut changes = 0;
+        for segs in &self.allocs {
+            for w in segs.windows(2) {
+                if tol.eq(w[0].end, w[1].start) {
+                    if !tol.eq(w[0].procs, w[1].procs) {
+                        changes += 1;
+                    }
+                } else {
+                    changes += 2; // → 0 → back up
+                }
+            }
+        }
+        changes
+    }
+
+    /// Allocation of `task` at time `t` (0 outside its segments).
+    pub fn rate_at(&self, task: TaskId, t: f64) -> f64 {
+        self.allocs[task.0]
+            .iter()
+            .find(|s| s.start <= t && t < s.end)
+            .map_or(0.0, |s| s.procs)
+    }
+
+    /// All segment boundaries, sorted and deduplicated (within `tol`).
+    pub fn event_times(&self, tol: Tolerance) -> Vec<f64> {
+        let mut ts: Vec<f64> = self
+            .allocs
+            .iter()
+            .flatten()
+            .flat_map(|s| [s.start, s.end])
+            .collect();
+        ts.push(0.0);
+        ts.sort_by(f64::total_cmp);
+        ts.dedup_by(|a, b| tol.eq(*a, *b));
+        ts
+    }
+
+    /// Validity per Definition 1:
+    /// 1. segments sorted, positive-length, non-overlapping per task;
+    /// 2. `0 ≤ dᵢ(t) ≤ min(δᵢ, P)`;
+    /// 3. `Σᵢ dᵢ(t) ≤ P` at every time;
+    /// 4. `∫ dᵢ = Vᵢ`.
+    pub fn validate(&self, instance: &Instance) -> Result<(), ScheduleError> {
+        let scale = 1.0
+            + self
+                .allocs
+                .iter()
+                .map(|s| s.len())
+                .max()
+                .unwrap_or(0) as f64;
+        self.validate_with(instance, Tolerance::default().scaled(scale))
+    }
+
+    /// [`StepSchedule::validate`] with an explicit tolerance.
+    pub fn validate_with(&self, instance: &Instance, tol: Tolerance) -> Result<(), ScheduleError> {
+        if self.n() != instance.n() {
+            return Err(ScheduleError::LengthMismatch {
+                what: "step schedule tasks",
+                expected: instance.n(),
+                found: self.n(),
+            });
+        }
+        for (i, segs) in self.allocs.iter().enumerate() {
+            let id = TaskId(i);
+            let cap = instance.effective_delta(id);
+            let mut prev_end = 0.0f64;
+            for s in segs {
+                if !s.start.is_finite() || !s.end.is_finite() || s.start < -tol.abs {
+                    return Err(ScheduleError::InvalidTime {
+                        value: s.start,
+                        context: "segment bounds",
+                    });
+                }
+                if s.end <= s.start {
+                    return Err(ScheduleError::InvalidTime {
+                        value: s.end,
+                        context: "segment end ≤ start",
+                    });
+                }
+                if s.start < prev_end - tol.slack(s.start, prev_end) {
+                    return Err(ScheduleError::InvalidTime {
+                        value: s.start,
+                        context: "overlapping segments within a task",
+                    });
+                }
+                if s.procs < -tol.abs || !tol.le(s.procs, cap) {
+                    return Err(ScheduleError::DeltaExceeded {
+                        task: id,
+                        at: s.start,
+                        rate: s.procs,
+                        delta: cap,
+                    });
+                }
+                prev_end = s.end;
+            }
+            let area = self.allocated_area(id);
+            if !tol.eq(area, instance.task(id).volume) {
+                return Err(ScheduleError::VolumeMismatch {
+                    task: id,
+                    allocated: area,
+                    required: instance.task(id).volume,
+                });
+            }
+        }
+        // Capacity: sweep over event times, summing rates on each interval.
+        let events = self.event_times(tol);
+        for w in events.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            if w[1] - w[0] <= tol.abs {
+                continue;
+            }
+            let mut total = KahanSum::new();
+            for i in 0..self.n() {
+                total.add(self.rate_at(TaskId(i), mid));
+            }
+            if !tol.le(total.value(), self.p) {
+                return Err(ScheduleError::CapacityExceeded {
+                    at: w[0],
+                    total: total.value(),
+                    p: self.p,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::builder(2.0)
+            .task(2.0, 1.0, 1.0)
+            .task(3.0, 1.0, 2.0)
+            .build()
+            .unwrap()
+    }
+
+    /// T0: 1 proc on [0,2]. T1: 1 proc on [0,2], then 2 procs on [2,2.5].
+    fn sched() -> StepSchedule {
+        StepSchedule {
+            p: 2.0,
+            allocs: vec![
+                vec![Segment {
+                    start: 0.0,
+                    end: 2.0,
+                    procs: 1.0,
+                }],
+                vec![
+                    Segment {
+                        start: 0.0,
+                        end: 2.0,
+                        procs: 1.0,
+                    },
+                    Segment {
+                        start: 2.0,
+                        end: 2.5,
+                        procs: 2.0,
+                    },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let s = sched();
+        assert_eq!(s.completion_times(), vec![2.0, 2.5]);
+        assert_eq!(s.makespan(), 2.5);
+        assert_eq!(s.allocated_area(TaskId(1)), 3.0);
+        assert_eq!(s.weighted_completion_cost(&inst()), 4.5);
+        assert_eq!(s.rate_at(TaskId(1), 2.2), 2.0);
+        assert_eq!(s.rate_at(TaskId(1), 3.0), 0.0);
+        s.validate(&inst()).unwrap();
+    }
+
+    #[test]
+    fn resource_changes_counts_steps_and_gaps() {
+        let tol = Tolerance::default();
+        assert_eq!(sched().resource_changes(tol), 1); // T1's 1→2 step
+        let gappy = StepSchedule {
+            p: 1.0,
+            allocs: vec![vec![
+                Segment {
+                    start: 0.0,
+                    end: 1.0,
+                    procs: 1.0,
+                },
+                Segment {
+                    start: 2.0,
+                    end: 3.0,
+                    procs: 1.0,
+                },
+            ]],
+        };
+        assert_eq!(gappy.resource_changes(tol), 2);
+    }
+
+    #[test]
+    fn capacity_sweep_catches_overload() {
+        let mut s = sched();
+        // Push T0 into T1's 2-processor window: total 3 > P = 2.
+        s.allocs[0] = vec![Segment {
+            start: 0.5,
+            end: 2.5,
+            procs: 1.0,
+        }];
+        assert!(matches!(
+            s.validate(&inst()),
+            Err(ScheduleError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_and_volume_checks() {
+        let mut s = sched();
+        s.allocs[0][0].procs = 1.5; // δ0 = 1
+        assert!(matches!(
+            s.validate(&inst()),
+            Err(ScheduleError::DeltaExceeded { .. })
+        ));
+
+        let mut s = sched();
+        s.allocs[1].pop(); // missing volume
+        assert!(matches!(
+            s.validate(&inst()),
+            Err(ScheduleError::VolumeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_and_ordering_checks() {
+        let mut s = sched();
+        s.allocs[1] = vec![
+            Segment {
+                start: 0.0,
+                end: 2.0,
+                procs: 1.0,
+            },
+            Segment {
+                start: 1.5,
+                end: 2.5,
+                procs: 1.0,
+            },
+        ];
+        assert!(matches!(
+            s.validate(&inst()),
+            Err(ScheduleError::InvalidTime { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = StepSchedule::empty(2.0, 2);
+        assert_eq!(s.completion_times(), vec![0.0, 0.0]);
+        // Empty schedule fails volume checks against a real instance.
+        assert!(matches!(
+            s.validate(&inst()),
+            Err(ScheduleError::VolumeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn event_times_dedup() {
+        let s = sched();
+        let ev = s.event_times(Tolerance::default());
+        assert_eq!(ev, vec![0.0, 2.0, 2.5]);
+    }
+}

@@ -1,0 +1,153 @@
+//! SVG rendering of Gantt charts.
+//!
+//! Self-contained (no template or XML crates): emits a minimal SVG with
+//! one rectangle per run, a distinct hue per task, and a time axis.
+//! Useful for eyeballing preemption structure — the ASCII renderer in
+//! [`crate::schedule::gantt`] caps out quickly on dense schedules.
+
+use crate::instance::TaskId;
+use crate::schedule::gantt::Gantt;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Total drawing width in pixels (time axis).
+    pub width: f64,
+    /// Height of one processor lane in pixels.
+    pub lane_height: f64,
+    /// Gap between lanes in pixels.
+    pub lane_gap: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 800.0,
+            lane_height: 24.0,
+            lane_gap: 4.0,
+        }
+    }
+}
+
+/// Stable distinct-ish color for a task (golden-angle hue walk).
+fn task_color(t: TaskId) -> String {
+    let hue = (t.0 as f64 * 137.508) % 360.0;
+    format!("hsl({hue:.1}, 65%, 55%)")
+}
+
+/// Render a Gantt chart as an SVG document string.
+pub fn gantt_to_svg(gantt: &Gantt, opts: SvgOptions) -> String {
+    let span = gantt.makespan().max(1e-12);
+    let margin = 40.0;
+    let axis_h = 24.0;
+    let w = opts.width + 2.0 * margin;
+    let h = margin
+        + gantt.n_procs as f64 * (opts.lane_height + opts.lane_gap)
+        + axis_h;
+    let x_of = |t: f64| margin + t / span * opts.width;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="100%" height="100%" fill="white"/>"#
+    );
+    for (p, lane) in gantt.lanes.iter().enumerate() {
+        let y = margin / 2.0 + p as f64 * (opts.lane_height + opts.lane_gap);
+        let _ = writeln!(
+            svg,
+            r#"<text x="4" y="{:.1}" font-size="12" font-family="monospace">P{p}</text>"#,
+            y + opts.lane_height * 0.7
+        );
+        for seg in lane {
+            let x0 = x_of(seg.start);
+            let x1 = x_of(seg.end);
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{x0:.2}" y="{y:.2}" width="{:.2}" height="{:.2}" fill="{}" stroke="black" stroke-width="0.5"><title>T{} [{:.4}, {:.4}]</title></rect>"#,
+                (x1 - x0).max(0.5),
+                opts.lane_height,
+                task_color(seg.task),
+                seg.task.0,
+                seg.start,
+                seg.end,
+            );
+        }
+    }
+    // Time axis.
+    let y_axis = h - axis_h + 4.0;
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{:.1}" y1="{y_axis:.1}" x2="{:.1}" y2="{y_axis:.1}" stroke="black"/>"#,
+        x_of(0.0),
+        x_of(span)
+    );
+    for k in 0..=4 {
+        let t = span * k as f64 / 4.0;
+        let x = x_of(t);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" font-size="10" font-family="monospace" text-anchor="middle">{t:.2}</text>"#,
+            y_axis + 14.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{y_axis:.1}" stroke="black"/>"#,
+            y_axis - 3.0
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::gantt::GanttSegment;
+
+    fn demo() -> Gantt {
+        Gantt {
+            n_procs: 2,
+            lanes: vec![
+                vec![GanttSegment {
+                    start: 0.0,
+                    end: 2.0,
+                    task: TaskId(0),
+                }],
+                vec![GanttSegment {
+                    start: 1.0,
+                    end: 3.0,
+                    task: TaskId(1),
+                }],
+            ],
+        }
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let svg = gantt_to_svg(&demo(), SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per run plus background.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("T0 [0.0000, 2.0000]"));
+        assert!(svg.contains("P0"));
+        assert!(svg.contains("P1"));
+    }
+
+    #[test]
+    fn colors_are_stable_and_distinct() {
+        assert_eq!(task_color(TaskId(3)), task_color(TaskId(3)));
+        assert_ne!(task_color(TaskId(0)), task_color(TaskId(1)));
+    }
+
+    #[test]
+    fn empty_gantt_renders() {
+        let svg = gantt_to_svg(&Gantt::empty(3), SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

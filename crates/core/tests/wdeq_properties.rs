@@ -1,0 +1,116 @@
+//! Property tests for the WDEQ allocation fixpoint (Algorithm 1) and the
+//! schedules it produces.
+
+use malleable_core::algos::wdeq::{wdeq_allocation, wdeq_run};
+use malleable_core::instance::Instance;
+use proptest::prelude::*;
+
+fn entries_strategy() -> impl Strategy<Value = (Vec<(f64, f64)>, f64)> {
+    (1usize..=12, 0.5f64..16.0).prop_flat_map(|(n, p)| {
+        proptest::collection::vec((0.05f64..4.0, 0.05f64..8.0), n..=n)
+            .prop_map(move |mut es| {
+                for e in &mut es {
+                    e.1 = e.1.min(p); // caps pre-clamped like the engine does
+                }
+                (es, p)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The allocation is the Algorithm-1 fixpoint:
+    /// 1. rates within caps and machine capacity;
+    /// 2. every weighted task gets a positive rate;
+    /// 3. unsaturated tasks share proportionally to weight;
+    /// 4. saturated tasks would deserve ≥ their cap under that share;
+    /// 5. capacity is exhausted unless *every* task is saturated.
+    #[test]
+    fn wdeq_allocation_is_the_fair_fixpoint((entries, p) in entries_strategy()) {
+        let rates = wdeq_allocation(&entries, p);
+        let total: f64 = rates.iter().sum();
+        prop_assert!(total <= p + 1e-9);
+
+        for ((w, cap), &r) in entries.iter().zip(&rates) {
+            prop_assert!(r <= cap + 1e-9, "rate {r} over cap {cap}");
+            prop_assert!(r > 0.0, "weighted task starved (w = {w})");
+        }
+
+        // Identify the unsaturated set and its common rate/weight quotient.
+        let unsat: Vec<usize> = (0..entries.len())
+            .filter(|&i| rates[i] < entries[i].1 - 1e-9)
+            .collect();
+        if let Some(&i0) = unsat.first() {
+            let q0 = rates[i0] / entries[i0].0;
+            for &i in &unsat {
+                let q = rates[i] / entries[i].0;
+                prop_assert!(
+                    (q - q0).abs() <= 1e-6 * (1.0 + q0),
+                    "unsaturated tasks must share proportionally: {q} vs {q0}"
+                );
+            }
+            // Saturated tasks are exactly those whose fair share at that
+            // quotient meets or exceeds their cap.
+            for i in 0..entries.len() {
+                if !unsat.contains(&i) {
+                    prop_assert!(
+                        entries[i].0 * q0 >= entries[i].1 - 1e-6,
+                        "task {i} clamped although its share was below its cap"
+                    );
+                }
+            }
+            // Unsaturated tasks exist ⇒ all capacity is in use.
+            prop_assert!(
+                (total - p).abs() <= 1e-6 * (1.0 + p),
+                "capacity left over while tasks are rate-limited"
+            );
+        } else {
+            // Everyone saturated: total = Σ caps (≤ P).
+            let caps: f64 = entries.iter().map(|e| e.1).sum();
+            prop_assert!((total - caps.min(p)).abs() <= 1e-6 * (1.0 + p));
+        }
+    }
+
+    /// More capacity never hurts any task under WDEQ (completion times are
+    /// monotone in P).
+    #[test]
+    fn wdeq_completions_monotone_in_capacity(
+        (entries, p) in entries_strategy(),
+        grow in 1.1f64..3.0
+    ) {
+        let inst_small = Instance::builder(p)
+            .tasks(entries.iter().map(|&(w, cap)| (0.5 + w, w, cap)))
+            .build()
+            .expect("valid");
+        let inst_big = Instance::builder(p * grow)
+            .tasks(entries.iter().map(|&(w, cap)| (0.5 + w, w, cap)))
+            .build()
+            .expect("valid");
+        let small = wdeq_run(&inst_small).expect("run").schedule;
+        let big = wdeq_run(&inst_big).expect("run").schedule;
+        // The *last* completion (makespan) cannot get worse; individual
+        // completions may reshuffle, but the total cost cannot increase.
+        prop_assert!(big.makespan() <= small.makespan() + 1e-6);
+        prop_assert!(
+            big.weighted_completion_cost(&inst_big)
+                <= small.weighted_completion_cost(&inst_small) + 1e-6
+        );
+    }
+
+    /// Scaling all weights by a constant changes nothing (the share is
+    /// scale-invariant).
+    #[test]
+    fn wdeq_weight_scale_invariance(
+        (entries, p) in entries_strategy(),
+        scale in 0.1f64..10.0
+    ) {
+        let a = wdeq_allocation(&entries, p);
+        let scaled: Vec<(f64, f64)> =
+            entries.iter().map(|&(w, c)| (w * scale, c)).collect();
+        let b = wdeq_allocation(&scaled, p);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()));
+        }
+    }
+}

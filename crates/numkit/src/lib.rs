@@ -1,0 +1,24 @@
+//! Numeric kit shared by the malleable-scheduling stack.
+//!
+//! Three things live here:
+//!
+//! * [`Scalar`] — the field abstraction that lets every algorithm in the
+//!   stack (water-filling, the greedy recurrence, the simplex solver, …) run
+//!   both on `f64` (fast, approximate) and on exact rationals
+//!   (`bigratio::Rational` implements this trait in its own crate).
+//! * [`Tolerance`] — the *only* sanctioned way to compare floating-point
+//!   quantities in this workspace. Schedules juggle sums of products of
+//!   volumes and rates, so naive `==`/`<=` comparisons are bug factories.
+//! * [`KahanSum`] — compensated summation, used when accumulating many small
+//!   volume increments (e.g. validating that `Σ_j x_{i,j} = V_i`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scalar;
+pub mod sum;
+pub mod tol;
+
+pub use scalar::Scalar;
+pub use sum::KahanSum;
+pub use tol::Tolerance;

@@ -1,0 +1,157 @@
+//! The [`Scalar`] field trait.
+//!
+//! Algorithms in this workspace are written once and instantiated twice:
+//! with `f64` for production speed, and with `bigratio::Rational` for exact,
+//! certified runs (the paper verified Conjecture 13 symbolically with Sage;
+//! we use exact rational arithmetic for the same purpose).
+
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An ordered field with conversions from machine numbers.
+///
+/// The bounds require *owned* arithmetic (`Self (op) Self -> Self`). For
+/// `f64` this is free; for big rationals it costs clones, which is acceptable
+/// because the exact paths only run on small instances (n ≤ 15 in the paper's
+/// exact experiments).
+///
+/// `PartialOrd` must be a total order on the values actually produced
+/// (rationals are totally ordered; `f64` is total as long as no NaN is
+/// produced, which the algorithms guarantee by never dividing by zero — all
+/// divisions are guarded by domain validation).
+pub trait Scalar:
+    Clone
+    + Debug
+    + PartialOrd
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact conversion from a small integer.
+    fn from_int(v: i64) -> Self;
+    /// Conversion from `f64`.
+    ///
+    /// Implementations must be *exact* when the value is representable
+    /// (every finite `f64` is a binary rational, so `bigratio` converts
+    /// exactly; `f64` is the identity).
+    fn from_f64(v: f64) -> Self;
+    /// Approximate conversion to `f64` (used for reporting only).
+    fn to_f64(&self) -> f64;
+
+    /// `true` iff the value equals the additive identity exactly.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+    /// `true` iff the value is strictly positive.
+    fn is_positive(&self) -> bool {
+        *self > Self::zero()
+    }
+    /// `true` iff the value is strictly negative.
+    fn is_negative(&self) -> bool {
+        *self < Self::zero()
+    }
+    /// Absolute value.
+    fn abs(&self) -> Self {
+        if self.is_negative() {
+            -self.clone()
+        } else {
+            self.clone()
+        }
+    }
+    /// The smaller of two values (ties keep `self`).
+    fn min_of(self, other: Self) -> Self {
+        if other < self {
+            other
+        } else {
+            self
+        }
+    }
+    /// The larger of two values (ties keep `self`).
+    fn max_of(self, other: Self) -> Self {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_int(v: i64) -> Self {
+        v as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+/// Sum of a slice of scalars.
+pub fn sum<S: Scalar>(xs: &[S]) -> S {
+    xs.iter().fold(S::zero(), |a, b| a + b.clone())
+}
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths (programming error, not user
+/// input).
+pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(S::zero(), |acc, (x, y)| acc + x.clone() * y.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_field_basics() {
+        assert_eq!(f64::zero(), 0.0);
+        assert_eq!(f64::one(), 1.0);
+        assert_eq!(f64::from_int(-3), -3.0);
+        assert!(Scalar::is_positive(&2.0f64));
+        assert!(Scalar::is_negative(&-2.0f64));
+        assert!(0.0f64.is_zero());
+        assert_eq!((-5.0f64).abs(), 5.0);
+    }
+
+    #[test]
+    fn min_max_of() {
+        assert_eq!(1.0f64.min_of(2.0), 1.0);
+        assert_eq!(1.0f64.max_of(2.0), 2.0);
+        assert_eq!(2.0f64.min_of(1.0), 1.0);
+        // Ties keep self.
+        assert_eq!(3.0f64.min_of(3.0), 3.0);
+    }
+
+    #[test]
+    fn sum_and_dot() {
+        assert_eq!(sum(&[1.0, 2.0, 3.5]), 6.5);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sum::<f64>(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Tolerant floating-point comparison.
+//!
+//! Scheduling code compares *derived* quantities: completion times that are
+//! sums of `volume / rate` terms, areas that are sums of `rate × length`
+//! products. Exact comparison of such values is meaningless in `f64`; this
+//! module centralizes the policy.
+
+/// Absolute + relative comparison tolerance.
+///
+/// Two values `a`, `b` are considered equal when
+/// `|a − b| ≤ abs + rel · max(|a|, |b|)`.
+///
+/// The default (`abs = rel = 1e-9`) is appropriate for instances whose
+/// volumes/weights/caps are O(1)–O(10³), which covers every workload in this
+/// repository. Benchmark sweeps on large `n` accumulate error linearly, so
+/// validation of very large schedules should loosen the tolerance via
+/// [`Tolerance::scaled`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute slack.
+    pub abs: f64,
+    /// Relative slack (multiplied by the larger magnitude).
+    pub rel: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            abs: 1e-9,
+            rel: 1e-9,
+        }
+    }
+}
+
+impl Tolerance {
+    /// A tolerance with identical absolute and relative slack.
+    pub fn new(eps: f64) -> Self {
+        Tolerance { abs: eps, rel: eps }
+    }
+
+    /// Scale both slacks by `factor` (e.g. by `n` when validating an
+    /// `n`-column schedule whose invariants accumulate error per column).
+    pub fn scaled(self, factor: f64) -> Self {
+        Tolerance {
+            abs: self.abs * factor,
+            rel: self.rel * factor,
+        }
+    }
+
+    /// Total slack granted when comparing `a` and `b`.
+    #[inline]
+    pub fn slack(&self, a: f64, b: f64) -> f64 {
+        self.abs + self.rel * a.abs().max(b.abs())
+    }
+
+    /// `a == b` up to tolerance.
+    #[inline]
+    pub fn eq(&self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.slack(a, b)
+    }
+
+    /// `a <= b` up to tolerance.
+    #[inline]
+    pub fn le(&self, a: f64, b: f64) -> bool {
+        a <= b + self.slack(a, b)
+    }
+
+    /// `a >= b` up to tolerance.
+    #[inline]
+    pub fn ge(&self, a: f64, b: f64) -> bool {
+        self.le(b, a)
+    }
+
+    /// `a < b` and *not* `a == b` up to tolerance (strictly less).
+    #[inline]
+    pub fn lt(&self, a: f64, b: f64) -> bool {
+        a < b && !self.eq(a, b)
+    }
+
+    /// `a > b` and *not* `a == b` up to tolerance (strictly greater).
+    #[inline]
+    pub fn gt(&self, a: f64, b: f64) -> bool {
+        self.lt(b, a)
+    }
+
+    /// `a == 0` up to (absolute) tolerance.
+    #[inline]
+    pub fn is_zero(&self, a: f64) -> bool {
+        a.abs() <= self.abs
+    }
+
+    /// Clamp a value that should be non-negative but may have picked up a
+    /// tiny negative error. Values below `-slack` are *not* clamped — a
+    /// genuinely negative value is a bug that must surface.
+    #[inline]
+    pub fn clamp_nonneg(&self, a: f64) -> f64 {
+        if a < 0.0 && a >= -self.slack(a, 0.0) {
+            0.0
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_eq() {
+        let t = Tolerance::default();
+        assert!(t.eq(1.0, 1.0 + 1e-12));
+        assert!(!t.eq(1.0, 1.0 + 1e-6));
+        assert!(t.eq(0.0, 1e-10));
+    }
+
+    #[test]
+    fn le_ge() {
+        let t = Tolerance::default();
+        assert!(t.le(1.0, 1.0));
+        assert!(t.le(1.0 + 1e-12, 1.0));
+        assert!(!t.le(1.0 + 1e-6, 1.0));
+        assert!(t.ge(1.0, 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn strict() {
+        let t = Tolerance::default();
+        assert!(t.lt(1.0, 2.0));
+        assert!(!t.lt(1.0, 1.0 + 1e-12));
+        assert!(t.gt(2.0, 1.0));
+        assert!(!t.gt(1.0 + 1e-12, 1.0));
+    }
+
+    #[test]
+    fn relative_part_kicks_in_for_large_values() {
+        let t = Tolerance::default();
+        // 1e9 * 1e-9 = 1 of relative slack.
+        assert!(t.eq(1e9, 1e9 + 0.5));
+        assert!(!t.eq(1e9, 1e9 + 10.0));
+    }
+
+    #[test]
+    fn clamp_nonneg() {
+        let t = Tolerance::default();
+        assert_eq!(t.clamp_nonneg(-1e-12), 0.0);
+        assert_eq!(t.clamp_nonneg(0.5), 0.5);
+        // A real negative value passes through so that validation can fail.
+        assert!(t.clamp_nonneg(-0.1) < 0.0);
+    }
+
+    #[test]
+    fn scaled() {
+        let t = Tolerance::default().scaled(1000.0);
+        assert!(t.eq(1.0, 1.0 + 1e-7));
+    }
+}

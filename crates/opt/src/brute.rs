@@ -1,0 +1,209 @@
+//! Exhaustive search over completion orders.
+//!
+//! The global optimum of `MWCT-CB-F` is the minimum over all `n!` orders σ
+//! of the Corollary-1 LP value — this is the reference the paper's §V-A
+//! experiment compares greedy schedules against ("for each instance the
+//! best greedy schedule was numerically indistinguishable from the
+//! optimal").
+
+use crate::lp::{lp_schedule_for_order, OptError};
+use malleable_core::algos::greedy::greedy_cost;
+use malleable_core::instance::{Instance, TaskId};
+use malleable_core::schedule::column::ColumnSchedule;
+
+/// Hard cap on exhaustive search size (8! = 40 320 LPs).
+pub const MAX_EXHAUSTIVE_N: usize = 8;
+
+/// Iterator over all permutations of `0..n` (Heap's algorithm,
+/// lexicographically non-ordered but complete and allocation-light).
+pub struct Permutations {
+    items: Vec<usize>,
+    stack: Vec<usize>,
+    i: usize,
+    first: bool,
+}
+
+impl Permutations {
+    /// All permutations of `0..n`.
+    pub fn new(n: usize) -> Self {
+        Permutations {
+            items: (0..n).collect(),
+            stack: vec![0; n],
+            i: 0,
+            first: true,
+        }
+    }
+}
+
+impl Iterator for Permutations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.first {
+            self.first = false;
+            return Some(self.items.clone());
+        }
+        let n = self.items.len();
+        while self.i < n {
+            if self.stack[self.i] < self.i {
+                if self.i.is_multiple_of(2) {
+                    self.items.swap(0, self.i);
+                } else {
+                    self.items.swap(self.stack[self.i], self.i);
+                }
+                self.stack[self.i] += 1;
+                self.i = 0;
+                return Some(self.items.clone());
+            }
+            self.stack[self.i] = 0;
+            self.i += 1;
+        }
+        None
+    }
+}
+
+/// Result of an exhaustive optimum computation.
+#[derive(Debug, Clone)]
+pub struct OptimalResult {
+    /// Optimal objective value.
+    pub cost: f64,
+    /// A completion order achieving it.
+    pub order: Vec<TaskId>,
+    /// The witnessing schedule.
+    pub schedule: ColumnSchedule,
+}
+
+/// Exact optimum of `MWCT-CB-F` by LP over every completion order.
+///
+/// # Errors
+/// [`OptError::TooLarge`] beyond [`MAX_EXHAUSTIVE_N`]; LP failures
+/// propagate.
+pub fn optimal_schedule(instance: &Instance) -> Result<OptimalResult, OptError> {
+    let n = instance.n();
+    if n > MAX_EXHAUSTIVE_N {
+        return Err(OptError::TooLarge {
+            n,
+            max: MAX_EXHAUSTIVE_N,
+        });
+    }
+    let mut best: Option<OptimalResult> = None;
+    for perm in Permutations::new(n) {
+        let order: Vec<TaskId> = perm.into_iter().map(TaskId).collect();
+        let (cost, schedule) = lp_schedule_for_order(instance, &order)?;
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(OptimalResult {
+                cost,
+                order,
+                schedule,
+            });
+        }
+    }
+    best.ok_or(OptError::TooLarge { n: 0, max: 0 }) // n = 0 handled below
+}
+
+/// Best greedy schedule over **all** `n!` orders.
+///
+/// # Errors
+/// [`OptError::TooLarge`] beyond [`MAX_EXHAUSTIVE_N`]; greedy failures
+/// propagate.
+pub fn best_greedy_exhaustive(instance: &Instance) -> Result<(f64, Vec<TaskId>), OptError> {
+    let n = instance.n();
+    if n > MAX_EXHAUSTIVE_N {
+        return Err(OptError::TooLarge {
+            n,
+            max: MAX_EXHAUSTIVE_N,
+        });
+    }
+    let mut best: Option<(f64, Vec<TaskId>)> = None;
+    for perm in Permutations::new(n) {
+        let order: Vec<TaskId> = perm.into_iter().map(TaskId).collect();
+        let cost = greedy_cost(instance, &order)?;
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, order));
+        }
+    }
+    best.ok_or(OptError::Schedule(
+        malleable_core::ScheduleError::InvalidInstance {
+            reason: "empty instance".into(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutations_complete_and_distinct() {
+        for n in 0..6 {
+            let mut all: Vec<Vec<usize>> = Permutations::new(n).collect();
+            let expected: usize = (1..=n).product();
+            assert_eq!(all.len(), expected.max(1), "n = {n}");
+            all.sort();
+            all.dedup();
+            assert_eq!(all.len(), expected.max(1), "duplicates for n = {n}");
+        }
+    }
+
+    #[test]
+    fn optimum_matches_wspt_on_uniprocessor_instances() {
+        // δ = 1, P = 1: the optimum is WSPT with known cost.
+        let inst = Instance::builder(1.0)
+            .task(1.0, 2.0, 1.0)
+            .task(2.0, 1.0, 1.0)
+            .task(1.5, 1.5, 1.0)
+            .build()
+            .unwrap();
+        let opt = optimal_schedule(&inst).unwrap();
+        opt.schedule.validate(&inst).unwrap();
+        // WSPT order: ratios 0.5, 2.0, 1.0 → T0, T2, T1.
+        // C = 1, 2.5, 4.5 → cost = 2·1 + 1.5·2.5 + 1·4.5 = 10.25.
+        assert!((opt.cost - 10.25).abs() < 1e-6, "got {}", opt.cost);
+    }
+
+    #[test]
+    fn optimum_lower_than_any_single_order() {
+        let inst = Instance::builder(1.0)
+            .task(0.4, 0.7, 0.6)
+            .task(0.9, 0.3, 0.4)
+            .task(0.2, 0.9, 0.8)
+            .build()
+            .unwrap();
+        let opt = optimal_schedule(&inst).unwrap();
+        for perm in Permutations::new(3) {
+            let order: Vec<TaskId> = perm.into_iter().map(TaskId).collect();
+            let (c, _) = lp_schedule_for_order(&inst, &order).unwrap();
+            assert!(opt.cost <= c + 1e-7);
+        }
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let inst = Instance::builder(1.0)
+            .tasks((0..9).map(|_| (0.1, 1.0, 0.5)))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            optimal_schedule(&inst),
+            Err(OptError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            best_greedy_exhaustive(&inst),
+            Err(OptError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn best_greedy_no_worse_than_smith_greedy() {
+        let inst = Instance::builder(1.0)
+            .task(0.4, 0.7, 0.6)
+            .task(0.9, 0.3, 0.4)
+            .task(0.2, 0.9, 0.8)
+            .build()
+            .unwrap();
+        let (best, _) = best_greedy_exhaustive(&inst).unwrap();
+        let smith = malleable_core::algos::orders::smith_order(&inst);
+        let smith_cost = greedy_cost(&inst, &smith).unwrap();
+        assert!(best <= smith_cost + 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Executable statements of the paper's two conjectures.
+//!
+//! * **Conjecture 12**: for every instance some greedy schedule is optimal
+//!   for `MWCT-CB-F`. [`check_conjecture12`] measures, per instance, the
+//!   relative gap between the best greedy schedule (exhaustive over
+//!   orders) and the exact LP optimum — the paper ran this on 10,000
+//!   uniform instances of sizes 2–5 and found the gap "numerically
+//!   indistinguishable" from zero.
+//! * **Conjecture 13**: on homogeneous instances (`P = 1, V = w = 1,
+//!   δ ∈ [½,1]`) the greedy cost of an order equals the greedy cost of the
+//!   *reversed* order. The paper checked it symbolically with Sage up to
+//!   `n = 15`; [`check_conjecture13_exact`] does the same with exact
+//!   rational arithmetic — equality is `==` on `bigratio::Rational`, no
+//!   tolerance involved.
+
+use crate::brute::{best_greedy_exhaustive, optimal_schedule};
+use crate::homogeneous::greedy_total_cost;
+use crate::lp::OptError;
+use bigratio::Rational;
+use malleable_core::instance::{Instance, TaskId};
+
+/// Per-instance evidence for Conjecture 12.
+#[derive(Debug, Clone)]
+pub struct Conj12Report {
+    /// Best greedy cost over all orders.
+    pub best_greedy: f64,
+    /// A greedy order achieving it.
+    pub greedy_order: Vec<TaskId>,
+    /// Exact optimum (min over orders of the Corollary-1 LP).
+    pub optimal: f64,
+    /// `best_greedy / optimal − 1` (clamped at 0 for float jitter).
+    pub relative_gap: f64,
+}
+
+/// Compare the best greedy schedule against the exact optimum.
+///
+/// # Errors
+/// Propagates exhaustive-search errors (`n` too large, LP failures).
+pub fn check_conjecture12(instance: &Instance) -> Result<Conj12Report, OptError> {
+    let (best_greedy, greedy_order) = best_greedy_exhaustive(instance)?;
+    let opt = optimal_schedule(instance)?;
+    let relative_gap = if opt.cost > 0.0 {
+        (best_greedy / opt.cost - 1.0).max(0.0)
+    } else {
+        0.0
+    };
+    Ok(Conj12Report {
+        best_greedy,
+        greedy_order,
+        optimal: opt.cost,
+        relative_gap,
+    })
+}
+
+/// Exact Conjecture-13 check for rational caps `δ = num/den`:
+/// `cost(σ) == cost(reverse σ)` where σ is the order given.
+///
+/// Returns the pair of exact costs along with the verdict so callers can
+/// report counterexamples precisely.
+pub fn check_conjecture13_exact(deltas: &[(i64, i64)]) -> (bool, Rational, Rational) {
+    let fwd: Vec<Rational> = deltas.iter().map(|&(n, d)| Rational::new(n, d)).collect();
+    let mut rev = fwd.clone();
+    rev.reverse();
+    let cf = greedy_total_cost(&fwd);
+    let cr = greedy_total_cost(&rev);
+    (cf == cr, cf, cr)
+}
+
+/// Float Conjecture-13 check: returns `|cost(σ) − cost(reverse σ)|`.
+pub fn check_conjecture13_f64(deltas: &[f64]) -> f64 {
+    let fwd = deltas.to_vec();
+    let mut rev = fwd.clone();
+    rev.reverse();
+    (greedy_total_cost(&fwd) - greedy_total_cost(&rev)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleable_workloads::{generate, rational_deltas, Spec};
+
+    #[test]
+    fn conjecture12_holds_on_small_fixed_instances() {
+        let instances = [
+            Instance::builder(1.0)
+                .task(0.4, 0.7, 0.6)
+                .task(0.9, 0.3, 0.4)
+                .build()
+                .unwrap(),
+            Instance::builder(1.0)
+                .task(0.4, 0.7, 0.6)
+                .task(0.9, 0.3, 0.4)
+                .task(0.2, 0.9, 0.8)
+                .build()
+                .unwrap(),
+        ];
+        for inst in instances {
+            let rep = check_conjecture12(&inst).unwrap();
+            assert!(
+                rep.relative_gap < 1e-5,
+                "conjecture 12 gap {} on {inst}",
+                rep.relative_gap
+            );
+        }
+    }
+
+    #[test]
+    fn conjecture12_on_random_paper_instances() {
+        // A miniature of the §V-A campaign (the full 10,000×4 sweep lives
+        // in the experiment binary).
+        for n in 2..=4 {
+            for seed in 0..8 {
+                let inst = generate(&Spec::PaperUniform { n }, seed);
+                let rep = check_conjecture12(&inst).unwrap();
+                assert!(
+                    rep.relative_gap < 1e-4,
+                    "gap {} at n={n} seed={seed}",
+                    rep.relative_gap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conjecture13_exact_small() {
+        // n = 4, handcrafted rationals.
+        let deltas = [(1i64, 2i64), (3, 4), (5, 8), (2, 3)];
+        let (ok, cf, cr) = check_conjecture13_exact(&deltas);
+        assert!(ok, "forward {cf} ≠ reverse {cr}");
+    }
+
+    #[test]
+    fn conjecture13_exact_random_batches() {
+        for n in [2usize, 5, 9, 12] {
+            for seed in 0..4 {
+                let deltas = rational_deltas(n, 16, seed);
+                let (ok, cf, cr) = check_conjecture13_exact(&deltas);
+                assert!(ok, "n={n} seed={seed}: {cf} ≠ {cr} for {deltas:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conjecture13_f64_consistent() {
+        let gap = check_conjecture13_f64(&[0.9, 0.55, 0.71, 0.64]);
+        assert!(gap < 1e-12, "float reversal gap {gap}");
+    }
+
+    #[test]
+    fn conjecture13_does_not_extend_below_half() {
+        // The recurrence itself rejects δ < ½ — the conjecture is stated
+        // only on the restricted class.
+        let r = std::panic::catch_unwind(|| check_conjecture13_f64(&[0.3, 0.9]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Section V-B: homogeneous instances `P = 1, Vᵢ = wᵢ = 1, δᵢ ∈ [½, 1]`.
+//!
+//! On this class, greedy schedules have a two-tasks-per-column structure —
+//! the position-`i` task is saturated in column `i` while the next task
+//! soaks up the rest — giving the closed-form recurrence (paper, §V-B):
+//!
+//! ```text
+//! C_σ(1) = 1/δ_σ(1)
+//! C_σ(i) = C_σ(i−1) + (1 − (1 − δ_σ(i−1))·(C_σ(i−1) − C_σ(i−2))) / δ_σ(i)
+//! ```
+//!
+//! The recurrence is implemented generically over [`numkit::Scalar`] so the
+//! same code runs in `f64` (fast sweeps) and in `bigratio::Rational`
+//! (exact Conjecture-13 verification, the paper's Sage check).
+
+use numkit::Scalar;
+
+/// Completion times of the greedy schedule for caps `deltas` *in schedule
+/// order* (i.e. `deltas[i]` is the cap of the i-th scheduled task).
+///
+/// # Panics
+/// Panics if any `δ ∉ [½, 1]` — outside that range the two-per-column
+/// structure underlying the recurrence breaks (Theorem 11's hypothesis).
+pub fn greedy_completions<S: Scalar>(deltas: &[S]) -> Vec<S> {
+    let half = S::one() / S::from_int(2);
+    for d in deltas {
+        assert!(
+            *d >= half && *d <= S::one(),
+            "homogeneous recurrence requires δ ∈ [1/2, 1], got {d:?}"
+        );
+    }
+    let n = deltas.len();
+    let mut c = Vec::with_capacity(n);
+    if n == 0 {
+        return c;
+    }
+    c.push(S::one() / deltas[0].clone());
+    for i in 1..n {
+        let c_prev = c[i - 1].clone();
+        let c_prev2 = if i >= 2 { c[i - 2].clone() } else { S::zero() };
+        // Volume already processed by task i in column i−1:
+        // (1 − δ_{i−1})·(C_{i−1} − C_{i−2}).
+        let leftover = (S::one() - deltas[i - 1].clone()) * (c_prev.clone() - c_prev2);
+        let ci = c_prev + (S::one() - leftover) / deltas[i].clone();
+        c.push(ci);
+    }
+    c
+}
+
+/// Total completion time `Σ Cᵢ` of the greedy schedule for `deltas` in
+/// schedule order.
+pub fn greedy_total_cost<S: Scalar>(deltas: &[S]) -> S {
+    greedy_completions(deltas)
+        .into_iter()
+        .fold(S::zero(), |a, b| a + b)
+}
+
+/// Exhaustive best order: minimal `Σ Cᵢ` over all permutations of
+/// `deltas`. Returns `(order, cost)` with `order[k]` = index into `deltas`
+/// scheduled at position `k`.
+///
+/// # Panics
+/// Panics for `n > 10` (10! ≈ 3.6 M recurrence evaluations is the sane
+/// ceiling) and on out-of-range caps.
+pub fn best_order_exhaustive<S: Scalar>(deltas: &[S]) -> (Vec<usize>, S) {
+    let n = deltas.len();
+    assert!(n <= 10, "exhaustive order search capped at n = 10");
+    assert!(n >= 1, "need at least one task");
+    let mut best: Option<(Vec<usize>, S)> = None;
+    for perm in crate::brute::Permutations::new(n) {
+        let arranged: Vec<S> = perm.iter().map(|&i| deltas[i].clone()).collect();
+        let cost = greedy_total_cost(&arranged);
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((perm, cost));
+        }
+    }
+    best.expect("n ≥ 1")
+}
+
+/// The paper's necessary condition on optimal 5-task orders: if
+/// `i, j, k, l, m` (positions into the δ-sorted-descending list) is
+/// optimal, then `(δ_l − δ_j)·(δ_i − δ_m) ≤ 0`.
+pub fn five_task_condition<S: Scalar>(deltas_desc: &[S], order: &[usize]) -> bool {
+    debug_assert_eq!(deltas_desc.len(), 5);
+    debug_assert_eq!(order.len(), 5);
+    let d = |pos: usize| deltas_desc[order[pos]].clone();
+    // order = (i, j, k, l, m) by position.
+    let lhs = (d(3) - d(1)) * (d(0) - d(4));
+    lhs <= S::zero()
+}
+
+/// The **verified** catalogue of optimal orders for tiny homogeneous
+/// instances (δ sorted non-increasing; 0-based positions→indices):
+/// `n = 2`: `[0,1]` and `[1,0]`; `n = 3`: `[0,2,1]` and `[1,2,0]`;
+/// `n = 4`: `[0,2,3,1]` and `[1,3,2,0]`.
+///
+/// **Erratum.** The paper prints the 4-task optimal orders as
+/// `1,3,2,4` / `4,2,3,1` (1-based). Exhaustive search over 20,000 random
+/// δ-draws — cross-checked against both the closed-form recurrence and the
+/// general Algorithm-3 simulation — shows the optimum is *always*
+/// `1,3,4,2` / `2,4,3,1` and the printed orders are never optimal; the
+/// printed pair is one transposition (last two elements) away, strongly
+/// suggesting a typo. See [`paper_printed_orders`] and `EXPERIMENTS.md`.
+pub fn paper_small_orders(n: usize) -> Vec<Vec<usize>> {
+    match n {
+        2 => vec![vec![0, 1], vec![1, 0]],
+        3 => vec![vec![0, 2, 1], vec![1, 2, 0]],
+        4 => vec![vec![0, 2, 3, 1], vec![1, 3, 2, 0]],
+        _ => Vec::new(),
+    }
+}
+
+/// The paper's *printed* n = 4 orders (`1,3,2,4` and `4,2,3,1`, here
+/// 0-based) — kept for the erratum check in experiment E7, which shows
+/// they are strictly suboptimal on every sampled instance.
+pub fn paper_printed_orders(n: usize) -> Vec<Vec<usize>> {
+    match n {
+        4 => vec![vec![0, 2, 1, 3], vec![3, 1, 2, 0]],
+        _ => paper_small_orders(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigratio::Rational;
+
+    #[test]
+    fn single_task() {
+        let c = greedy_completions(&[0.8f64]);
+        assert!((c[0] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tasks_hand_computed() {
+        // δ = (0.5, 1.0): C1 = 2; leftover for T2 in col 1 = 0.5·2 = 1 →
+        // T2 done at C1 already?? Volume 1 − 1 = 0 → C2 = C1 + 0 = 2.
+        let c = greedy_completions(&[0.5f64, 1.0]);
+        assert!((c[0] - 2.0).abs() < 1e-12);
+        assert!((c[1] - 2.0).abs() < 1e-12);
+
+        // δ = (1.0, 0.5): C1 = 1, leftover = 0 → C2 = 1 + 1/0.5 = 3.
+        let c = greedy_completions(&[1.0f64, 0.5]);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recurrence_matches_general_greedy() {
+        // Cross-check against the general Algorithm-3 implementation on the
+        // equivalent instance.
+        use malleable_core::algos::greedy::greedy_schedule;
+        use malleable_core::instance::{Instance, TaskId};
+        let deltas = [0.9f64, 0.55, 0.7, 0.62, 0.85];
+        let rec = greedy_completions(&deltas.to_vec());
+        let inst = Instance::builder(1.0)
+            .tasks(deltas.iter().map(|&d| (1.0, 1.0, d)))
+            .build()
+            .unwrap();
+        let order: Vec<TaskId> = (0..5).map(TaskId).collect();
+        let general = greedy_schedule(&inst, &order).unwrap().completion_times();
+        for (a, b) in rec.iter().zip(&general) {
+            assert!((a - b).abs() < 1e-9, "recurrence {a} vs greedy {b}");
+        }
+    }
+
+    #[test]
+    fn exact_rational_matches_f64() {
+        let deltas_f = [0.75f64, 0.5, 0.625];
+        let deltas_r: Vec<Rational> = deltas_f
+            .iter()
+            .map(|&d| Rational::from_f64_exact(d))
+            .collect();
+        let cf = greedy_total_cost(&deltas_f.to_vec());
+        let cr = greedy_total_cost(&deltas_r);
+        assert!((cf - cr.approx_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires δ ∈ [1/2, 1]")]
+    fn rejects_small_caps() {
+        let _ = greedy_completions(&[0.4f64]);
+    }
+
+    #[test]
+    fn best_order_beats_identity() {
+        let deltas = vec![0.95f64, 0.5, 0.7];
+        let (order, cost) = best_order_exhaustive(&deltas);
+        let identity_cost = greedy_total_cost(&deltas);
+        assert!(cost <= identity_cost + 1e-12);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn paper_small_orders_are_optimal_for_n2_n3() {
+        // δ sorted non-increasing as the paper assumes.
+        for deltas in [vec![0.9f64, 0.6], vec![0.8, 0.77]] {
+            let (_, best) = best_order_exhaustive(&deltas);
+            for order in paper_small_orders(2) {
+                let arranged: Vec<f64> = order.iter().map(|&i| deltas[i]).collect();
+                let c = greedy_total_cost(&arranged);
+                assert!(
+                    (c - best).abs() < 1e-9,
+                    "paper order {order:?} not optimal: {c} vs {best}"
+                );
+            }
+        }
+        for deltas in [vec![0.9f64, 0.7, 0.55], vec![0.99, 0.98, 0.51]] {
+            let (_, best) = best_order_exhaustive(&deltas);
+            for order in paper_small_orders(3) {
+                let arranged: Vec<f64> = order.iter().map(|&i| deltas[i]).collect();
+                let c = greedy_total_cost(&arranged);
+                assert!(
+                    (c - best).abs() < 1e-9,
+                    "paper order {order:?} not optimal for {deltas:?}: {c} vs {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn five_task_condition_sign() {
+        let d: Vec<f64> = vec![0.9, 0.8, 0.7, 0.6, 0.5];
+        // Identity order: (δ_l − δ_j)(δ_i − δ_m) = (0.6−0.8)(0.9−0.5) < 0 ✓.
+        assert!(five_task_condition(&d, &[0, 1, 2, 3, 4]));
+        // Order placing l=j-ish to flip the sign: order (4,3,2,1,0):
+        // (δ_{order[3]} − δ_{order[1]})(δ_{order[0]} − δ_{order[4]})
+        // = (0.8−0.6)(0.5−0.9) < 0 ✓ (reversal keeps the sign).
+        assert!(five_task_condition(&d, &[4, 3, 2, 1, 0]));
+        // A violating arrangement: (δ_l−δ_j)(δ_i−δ_m) > 0.
+        // order (0,4,2,1,3): (0.8−0.5)(0.9−0.6) > 0 → condition false.
+        assert!(!five_task_condition(&d, &[0, 4, 2, 1, 3]));
+    }
+
+    #[test]
+    fn empty_input() {
+        let c: Vec<f64> = greedy_completions::<f64>(&[]);
+        assert!(c.is_empty());
+    }
+}

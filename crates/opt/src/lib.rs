@@ -1,0 +1,27 @@
+//! # malleable-opt — exact optima and the paper's conjecture checkers
+//!
+//! * [`lp`] — Corollary 1: *given the order of completion times*, the
+//!   optimal malleable schedule is a linear program; built generically so
+//!   it can be solved in `f64` or exactly in rationals.
+//! * [`brute`] — exhaustive minimization over all `n!` completion orders
+//!   (the exact optimum for small `n`), and exhaustive best-greedy search.
+//! * [`homogeneous`] — Section V-B: the closed-form greedy recurrence on
+//!   `P = 1, Vᵢ = wᵢ = 1, δᵢ ≥ ½` instances, generic over the scalar.
+//! * [`conjecture`] — executable statements of Conjecture 12 (some greedy
+//!   schedule is optimal) and Conjecture 13 (greedy cost is invariant
+//!   under order reversal on homogeneous instances), the latter checked in
+//!   exact rational arithmetic as the paper did symbolically with Sage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod conjecture;
+pub mod homogeneous;
+pub mod localsearch;
+pub mod lp;
+
+pub use brute::{best_greedy_exhaustive, optimal_schedule, OptimalResult};
+pub use conjecture::{check_conjecture12, check_conjecture13_exact, Conj12Report};
+pub use localsearch::{local_search_order, smith_plus_local_search, LocalSearchResult};
+pub use lp::{lp_cost_for_order, lp_schedule_for_order, OptError};

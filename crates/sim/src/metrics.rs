@@ -1,0 +1,165 @@
+//! Schedule quality metrics beyond the paper's objective.
+//!
+//! `Σ wᵢCᵢ` is what the theory optimizes, but operators of a malleable
+//! runtime also watch utilization, per-task *stretch* (slowdown relative
+//! to running alone at full parallelism) and allocation fairness. These
+//! metrics make the experiment tables comparable with systems-style
+//! evaluations.
+
+use malleable_core::instance::Instance;
+use malleable_core::schedule::column::ColumnSchedule;
+use numkit::KahanSum;
+
+/// Machine utilization: busy area / (P × makespan). 1.0 means no idling
+/// before the last completion.
+pub fn utilization(schedule: &ColumnSchedule) -> f64 {
+    let span = schedule.makespan();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let mut busy = KahanSum::new();
+    for col in &schedule.columns {
+        busy.add(col.total_rate() * col.len());
+    }
+    busy.value() / (schedule.p * span)
+}
+
+/// Per-task stretch `Cᵢ / hᵢ` where `hᵢ = Vᵢ/min(δᵢ,P)` is the task's
+/// running time on an otherwise empty machine. Always ≥ 1.
+pub fn stretches(instance: &Instance, schedule: &ColumnSchedule) -> Vec<f64> {
+    instance
+        .iter()
+        .map(|(id, t)| {
+            let alone = t.volume / t.delta.min(instance.p);
+            schedule.completion(id) / alone
+        })
+        .collect()
+}
+
+/// Maximum stretch (the "worst slowdown" metric).
+pub fn max_stretch(instance: &Instance, schedule: &ColumnSchedule) -> f64 {
+    stretches(instance, schedule)
+        .into_iter()
+        .fold(1.0, f64::max)
+}
+
+/// Jain's fairness index over weighted inverse stretches
+/// `xᵢ = wᵢ·hᵢ/Cᵢ`: 1.0 = perfectly proportional service, `1/n` =
+/// maximally unfair. Standard measure for fair-sharing schedulers, which
+/// is what WDEQ is.
+pub fn jain_fairness(instance: &Instance, schedule: &ColumnSchedule) -> f64 {
+    let xs: Vec<f64> = instance
+        .iter()
+        .map(|(id, t)| {
+            let alone = t.volume / t.delta.min(instance.p);
+            let c = schedule.completion(id).max(1e-300);
+            t.weight * alone / c
+        })
+        .collect();
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sq)
+}
+
+/// Everything at once, for experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleMetrics {
+    /// `Σ wᵢCᵢ`.
+    pub weighted_completion: f64,
+    /// `max Cᵢ`.
+    pub makespan: f64,
+    /// Busy fraction of the machine until the makespan.
+    pub utilization: f64,
+    /// Worst task slowdown.
+    pub max_stretch: f64,
+    /// Jain index of weighted service.
+    pub jain_fairness: f64,
+}
+
+/// Compute [`ScheduleMetrics`] for a schedule.
+pub fn metrics(instance: &Instance, schedule: &ColumnSchedule) -> ScheduleMetrics {
+    ScheduleMetrics {
+        weighted_completion: schedule.weighted_completion_cost(instance),
+        makespan: schedule.makespan(),
+        utilization: utilization(schedule),
+        max_stretch: max_stretch(instance, schedule),
+        jain_fairness: jain_fairness(instance, schedule),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::policies::{PriorityPolicy, WdeqPolicy};
+    use malleable_core::instance::Instance;
+
+    fn inst() -> Instance {
+        Instance::builder(2.0)
+            .task(2.0, 1.0, 1.0)
+            .task(2.0, 1.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn perfect_packing_has_unit_utilization() {
+        let r = simulate(&inst(), &mut WdeqPolicy).unwrap();
+        let u = utilization(&r.schedule);
+        assert!((u - 1.0).abs() < 1e-9, "two δ=1 tasks fill P=2: {u}");
+    }
+
+    #[test]
+    fn stretch_is_one_on_an_empty_machine() {
+        let single = Instance::builder(4.0).task(2.0, 1.0, 2.0).build().unwrap();
+        let r = simulate(&single, &mut WdeqPolicy).unwrap();
+        assert!((max_stretch(&single, &r.schedule) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_sharing_scores_higher_fairness_than_priority() {
+        // Symmetric wide tasks (δ = P): WDEQ splits the machine evenly
+        // (Jain = 1); priority gives everything to one task first.
+        let i = Instance::builder(2.0)
+            .task(2.0, 1.0, 2.0)
+            .task(2.0, 1.0, 2.0)
+            .build()
+            .unwrap();
+        let fair = simulate(&i, &mut WdeqPolicy).unwrap();
+        let unfair = simulate(&i, &mut PriorityPolicy).unwrap();
+        let jf = jain_fairness(&i, &fair.schedule);
+        let ju = jain_fairness(&i, &unfair.schedule);
+        assert!(jf > 0.999, "symmetric WDEQ should be perfectly fair: {jf}");
+        assert!(ju < jf, "priority must be less fair: {ju} vs {jf}");
+    }
+
+    #[test]
+    fn metrics_bundle_consistent() {
+        let i = inst();
+        let r = simulate(&i, &mut WdeqPolicy).unwrap();
+        let m = metrics(&i, &r.schedule);
+        assert_eq!(m.weighted_completion, r.schedule.weighted_completion_cost(&i));
+        assert_eq!(m.makespan, r.schedule.makespan());
+        assert!(m.max_stretch >= 1.0);
+        assert!(m.jain_fairness <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_metrics_are_sane() {
+        let empty = ColumnSchedule {
+            p: 2.0,
+            completions: vec![],
+            columns: vec![],
+        };
+        assert_eq!(utilization(&empty), 0.0);
+        let no_tasks = Instance { p: 2.0, tasks: vec![] };
+        assert_eq!(jain_fairness(&no_tasks, &empty), 1.0);
+    }
+}

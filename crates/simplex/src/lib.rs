@@ -1,0 +1,33 @@
+//! Dense two-phase primal simplex, generic over an ordered scalar field.
+//!
+//! Built from scratch because the offline crate set has no mature LP solver,
+//! and the reproduction needs one for Corollary 1 of the paper: *given the
+//! order of completion times, the optimal malleable schedule is the solution
+//! of a linear program*. The LPs are small (O(n²) variables for n ≤ ~10
+//! tasks in the exhaustive experiments), so a dense tableau with **Bland's
+//! anti-cycling rule** is the right tool: simple, provably terminating, and
+//! — because the solver is generic over [`numkit::Scalar`] — runnable on
+//! `bigratio::Rational` for *certified* optima with zero rounding error.
+//!
+//! # Example
+//!
+//! ```
+//! use simplex::{LinearProgram, Relation};
+//!
+//! // minimize  x + 2y   s.t.  x + y ≥ 3,  y ≤ 1,  x,y ≥ 0
+//! let mut lp = LinearProgram::<f64>::minimize(2);
+//! lp.set_objective(0, 1.0);
+//! lp.set_objective(1, 2.0);
+//! lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+//! lp.add_constraint(vec![(1, 1.0)], Relation::Le, 1.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective_value - 3.0).abs() < 1e-9); // x=3, y=0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod solver;
+mod tableau;
+
+pub use solver::{LinearProgram, LpError, Objective, Relation, Solution, SolveOptions};

@@ -1,0 +1,496 @@
+//! Problem construction and the two-phase driver.
+
+use crate::tableau::{PivotOutcome, Tableau};
+use numkit::Scalar;
+use std::fmt;
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// Optimization sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the objective function.
+    Minimize,
+    /// Maximize the objective function.
+    Maximize,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// Pivot cap exceeded (possible only through float round-off; exact
+    /// scalars terminate by Bland's theorem).
+    IterationLimit,
+    /// A constraint referenced a variable `>= n_vars`.
+    BadVariable {
+        /// The offending variable index.
+        var: usize,
+        /// Number of declared variables.
+        n_vars: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::BadVariable { var, n_vars } => {
+                write!(f, "variable {var} out of range (n_vars = {n_vars})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct Solution<S> {
+    /// Value of each structural variable.
+    pub x: Vec<S>,
+    /// Objective value at `x` (in the problem's own sense).
+    pub objective_value: S,
+}
+
+/// Solver knobs.
+#[derive(Debug, Clone)]
+pub struct SolveOptions<S> {
+    /// Comparison slack for pivot eligibility and feasibility checks.
+    /// Use `S::zero()` with exact scalars.
+    pub eps: S,
+    /// Pivot cap across both phases.
+    pub max_iters: usize,
+}
+
+impl SolveOptions<f64> {
+    /// Float defaults: `eps = 1e-9`, generous pivot cap.
+    pub fn float_default() -> Self {
+        SolveOptions {
+            eps: 1e-9,
+            max_iters: 100_000,
+        }
+    }
+}
+
+impl<S: Scalar> SolveOptions<S> {
+    /// Exact defaults: zero slack (for rational scalars).
+    pub fn exact() -> Self {
+        SolveOptions {
+            eps: S::zero(),
+            max_iters: 1_000_000,
+        }
+    }
+}
+
+struct Row<S> {
+    coeffs: Vec<S>, // dense, length n_vars
+    rel: Relation,
+    rhs: S,
+}
+
+/// A linear program over non-negative variables `x ≥ 0`.
+///
+/// Variables are indexed `0..n_vars`. Missing objective coefficients are
+/// zero; constraints are given sparsely (repeated indices accumulate).
+pub struct LinearProgram<S> {
+    n_vars: usize,
+    sense: Objective,
+    objective: Vec<S>,
+    rows: Vec<Row<S>>,
+}
+
+impl<S: Scalar> LinearProgram<S> {
+    /// A minimization problem over `n_vars` non-negative variables.
+    pub fn minimize(n_vars: usize) -> Self {
+        Self::new(n_vars, Objective::Minimize)
+    }
+
+    /// A maximization problem over `n_vars` non-negative variables.
+    pub fn maximize(n_vars: usize) -> Self {
+        Self::new(n_vars, Objective::Maximize)
+    }
+
+    fn new(n_vars: usize, sense: Objective) -> Self {
+        LinearProgram {
+            n_vars,
+            sense,
+            objective: vec![S::zero(); n_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn n_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Set the objective coefficient of `var` (additive on repeat calls).
+    ///
+    /// # Panics
+    /// Panics when `var >= n_vars` (construction-time programming error).
+    pub fn set_objective(&mut self, var: usize, coeff: S) {
+        assert!(var < self.n_vars, "objective variable out of range");
+        self.objective[var] = self.objective[var].clone() + coeff;
+    }
+
+    /// Add `Σ coeffs ⋅ x  rel  rhs`. Repeated variable indices accumulate.
+    ///
+    /// # Panics
+    /// Panics when a referenced variable is out of range.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, S)>, rel: Relation, rhs: S) {
+        let mut dense = vec![S::zero(); self.n_vars];
+        for (v, c) in coeffs {
+            assert!(v < self.n_vars, "constraint variable {v} out of range");
+            dense[v] = dense[v].clone() + c;
+        }
+        self.rows.push(Row {
+            coeffs: dense,
+            rel,
+            rhs,
+        });
+    }
+
+    /// Solve with default options (`1e-9` slack — see
+    /// [`SolveOptions::exact`] for rational scalars).
+    pub fn solve(&self) -> Result<Solution<S>, LpError> {
+        self.solve_with(&SolveOptions {
+            eps: S::from_f64(1e-9),
+            max_iters: 100_000,
+        })
+    }
+
+    /// Solve with explicit options.
+    pub fn solve_with(&self, opts: &SolveOptions<S>) -> Result<Solution<S>, LpError> {
+        let m = self.rows.len();
+        let n = self.n_vars;
+
+        // Column layout: structural | one aux per row (slack/surplus or a
+        // placeholder artificial) | extra artificials for Ge rows.
+        // Every row gets exactly one initially-basic column with +1 coeff.
+        let mut n_total = n;
+        let mut aux_col = Vec::with_capacity(m); // slack/surplus col per row, if any
+        for row in &self.rows {
+            match row.rel {
+                Relation::Le | Relation::Ge => {
+                    aux_col.push(Some(n_total));
+                    n_total += 1;
+                }
+                Relation::Eq => aux_col.push(None),
+            }
+        }
+        let first_artificial = n_total;
+        // Decide which rows need artificials: Eq always; Le/Ge depending on
+        // rhs sign after normalization.
+        // Normalize each row so rhs >= 0, flipping the relation.
+        let mut art_of_row = vec![None; m];
+        let mut rows_norm: Vec<(Vec<S>, Relation, S)> = Vec::with_capacity(m);
+        for (i, row) in self.rows.iter().enumerate() {
+            let (coeffs, rel, rhs) = if row.rhs < S::zero() {
+                let flipped = match row.rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (
+                    row.coeffs.iter().map(|c| -c.clone()).collect::<Vec<_>>(),
+                    flipped,
+                    -row.rhs.clone(),
+                )
+            } else {
+                (row.coeffs.clone(), row.rel, row.rhs.clone())
+            };
+            // With rhs >= 0: Le rows start basic on their slack; Ge and Eq
+            // rows need an artificial.
+            if !matches!(rel, Relation::Le) {
+                art_of_row[i] = Some(n_total);
+                n_total += 1;
+            }
+            rows_norm.push((coeffs, rel, rhs));
+        }
+
+        // Build tableau rows.
+        let mut trows = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        for (i, (coeffs, rel, rhs)) in rows_norm.iter().enumerate() {
+            let mut r = vec![S::zero(); n_total + 1];
+            r[..n].clone_from_slice(coeffs);
+            // The slack/surplus column index was assigned pre-normalization;
+            // its sign depends on the *normalized* relation.
+            if let Some(sc) = aux_col[i] {
+                r[sc] = match rel {
+                    Relation::Le => S::one(),
+                    Relation::Ge => -S::one(),
+                    Relation::Eq => unreachable!("Eq rows have no aux column"),
+                };
+            }
+            if let Some(ac) = art_of_row[i] {
+                r[ac] = S::one();
+                basis.push(ac);
+            } else {
+                basis.push(aux_col[i].expect("Le row has a slack"));
+            }
+            r[n_total] = rhs.clone();
+            trows.push(r);
+        }
+
+        let mut t = Tableau {
+            rows: trows,
+            cost: vec![S::zero(); n_total + 1],
+            basis,
+            banned: vec![false; n_total],
+            eps: opts.eps.clone(),
+        };
+
+        // ------------------------- Phase 1 -------------------------
+        if first_artificial < n_total {
+            let mut c1 = vec![S::zero(); n_total];
+            for c in c1.iter_mut().skip(first_artificial) {
+                *c = S::one();
+            }
+            t.set_objective(&c1);
+            match t.run(opts.max_iters) {
+                PivotOutcome::Optimal => {}
+                PivotOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by 0; unbounded here
+                    // means numerical trouble.
+                    return Err(LpError::IterationLimit);
+                }
+                PivotOutcome::IterationLimit => return Err(LpError::IterationLimit),
+            }
+            if t.objective_value() > opts.eps.clone() + opts.eps.clone() {
+                return Err(LpError::Infeasible);
+            }
+            // Drive any artificial still basic (at zero) out of the basis.
+            for i in 0..m {
+                if t.basis[i] < first_artificial {
+                    continue;
+                }
+                let piv = (0..first_artificial)
+                    .find(|&j| t.rows[i][j].clone().abs() > opts.eps);
+                if let Some(j) = piv {
+                    t.pivot(i, j);
+                }
+                // else: redundant row; the artificial stays basic at zero
+                // and is banned below, so it can never leave zero.
+            }
+            for b in t.banned.iter_mut().skip(first_artificial) {
+                *b = true;
+            }
+        }
+
+        // ------------------------- Phase 2 -------------------------
+        let mut c2 = vec![S::zero(); n_total];
+        for (j, c) in self.objective.iter().enumerate() {
+            c2[j] = match self.sense {
+                Objective::Minimize => c.clone(),
+                Objective::Maximize => -c.clone(),
+            };
+        }
+        t.set_objective(&c2);
+        match t.run(opts.max_iters) {
+            PivotOutcome::Optimal => {}
+            PivotOutcome::Unbounded => return Err(LpError::Unbounded),
+            PivotOutcome::IterationLimit => return Err(LpError::IterationLimit),
+        }
+
+        let x: Vec<S> = (0..n).map(|j| t.var_value(j)).collect();
+        let v = t.objective_value();
+        let objective_value = match self.sense {
+            Objective::Minimize => v,
+            Objective::Maximize => -v,
+        };
+        Ok(Solution { x, objective_value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigratio::Rational;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn basic_minimize() {
+        // min x + 2y, x + y >= 3, y <= 1 → x=3,y=0 (cheaper than using y).
+        let mut lp = LinearProgram::<f64>::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective_value, 3.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn basic_maximize() {
+        // max 3x + 2y, x + y <= 4, x <= 2 → (2,2), value 10.
+        let mut lp = LinearProgram::<f64>::maximize(2);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective_value, 10.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y, x + 2y = 4, x − y = 1 → x=2, y=1.
+        let mut lp = LinearProgram::<f64>::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], Relation::Eq, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Eq, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 1.0);
+        assert_close(s.objective_value, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::<f64>::minimize(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::<f64>::maximize(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, -1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x >= 2 written as −x <= −2.
+        let mut lp = LinearProgram::<f64>::minimize(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, -1.0)], Relation::Le, -2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // Same equality twice: the second row's artificial cannot be driven
+        // out; it must stay banned at zero without corrupting phase 2.
+        let mut lp = LinearProgram::<f64>::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 3.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Relation::Eq, 4.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective_value, 2.0); // x=2, y=0
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic Beale cycling example; Bland's rule must terminate.
+        let mut lp = LinearProgram::<f64>::minimize(4);
+        for (i, c) in [-0.75, 150.0, -0.02, 6.0].into_iter().enumerate() {
+            lp.set_objective(i, c);
+        }
+        lp.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(2, 1.0)], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective_value, -0.05);
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        let mut lp = LinearProgram::<f64>::minimize(2);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective_value, 0.0);
+        assert_close(s.x[0] + s.x[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_variable_panics() {
+        let mut lp = LinearProgram::<f64>::minimize(1);
+        lp.add_constraint(vec![(3, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn exact_rational_solve() {
+        // min x + 2y, x + y >= 1/3, x <= 1/7 → y = 1/3 − 1/7 = 4/21.
+        let r = |n, d| Rational::new(n, d);
+        let mut lp = LinearProgram::<Rational>::minimize(2);
+        lp.set_objective(0, r(1, 1));
+        lp.set_objective(1, r(2, 1));
+        lp.add_constraint(vec![(0, r(1, 1)), (1, r(1, 1))], Relation::Ge, r(1, 3));
+        lp.add_constraint(vec![(0, r(1, 1))], Relation::Le, r(1, 7));
+        let s = lp.solve_with(&SolveOptions::exact()).unwrap();
+        assert_eq!(s.x[0], r(1, 7));
+        assert_eq!(s.x[1], r(4, 21));
+        assert_eq!(s.objective_value, r(1, 7) + r(8, 21));
+    }
+
+    #[test]
+    fn float_and_exact_agree() {
+        // Random-ish fixed LP solved both ways.
+        let coeffs: [(f64, f64, f64); 3] =
+            [(2.0, 1.0, 8.0), (1.0, 3.0, 9.0), (1.0, 1.0, 4.0)];
+        let mut lpf = LinearProgram::<f64>::maximize(2);
+        lpf.set_objective(0, 5.0);
+        lpf.set_objective(1, 4.0);
+        let mut lpr = LinearProgram::<Rational>::maximize(2);
+        lpr.set_objective(0, Rational::from_int(5));
+        lpr.set_objective(1, Rational::from_int(4));
+        for (a, b, rhs) in coeffs {
+            lpf.add_constraint(vec![(0, a), (1, b)], Relation::Le, rhs);
+            lpr.add_constraint(
+                vec![
+                    (0, Rational::from_f64_exact(a)),
+                    (1, Rational::from_f64_exact(b)),
+                ],
+                Relation::Le,
+                Rational::from_f64_exact(rhs),
+            );
+        }
+        let sf = lpf.solve().unwrap();
+        let sr = lpr.solve_with(&SolveOptions::exact()).unwrap();
+        assert_close(sf.objective_value, sr.objective_value.approx_f64());
+    }
+}

@@ -1,0 +1,212 @@
+//! The dense simplex tableau and the Bland-rule pivot loop.
+//!
+//! The tableau holds `m` constraint rows in basis form `[B⁻¹A | B⁻¹b]` plus
+//! a reduced-cost row. Entering/leaving choices follow Bland's rule
+//! (smallest eligible index), which guarantees finite termination even on
+//! degenerate LPs — exactly the regime the Corollary-1 scheduling LPs live
+//! in (zero-length columns make them heavily degenerate).
+
+use numkit::Scalar;
+
+/// Outcome of running the pivot loop to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotOutcome {
+    /// No entering column: current basis is optimal.
+    Optimal,
+    /// An entering column had no positive row: the LP is unbounded below.
+    Unbounded,
+    /// The iteration cap was hit (only plausible with float round-off).
+    IterationLimit,
+}
+
+/// Dense tableau. Column layout: structural and auxiliary variables
+/// `0..n_total`, then the right-hand side as the last column.
+pub struct Tableau<S> {
+    /// `m` rows, each of length `n_total + 1` (rhs last).
+    pub rows: Vec<Vec<S>>,
+    /// Reduced-cost row, length `n_total + 1`; the last entry holds the
+    /// *negated* current objective value.
+    pub cost: Vec<S>,
+    /// `basis[i]` = variable index basic in row `i`.
+    pub basis: Vec<usize>,
+    /// Columns that may never enter the basis (retired artificials).
+    pub banned: Vec<bool>,
+    /// Comparison slack: a value `x` is "negative" when `x < −eps`.
+    pub eps: S,
+}
+
+impl<S: Scalar> Tableau<S> {
+    /// Number of columns excluding the rhs.
+    pub fn n_cols(&self) -> usize {
+        self.cost.len() - 1
+    }
+
+    /// Right-hand side of row `i` (current value of its basic variable).
+    pub fn rhs(&self, i: usize) -> &S {
+        let n = self.rows[i].len() - 1;
+        &self.rows[i][n]
+    }
+
+    /// Install the objective `c` (length `n_total`): computes reduced costs
+    /// `r_j = c_j − c_B·B⁻¹A_j` and the objective value for the current
+    /// basis. Banned columns keep a zero reduced cost and can never enter.
+    #[allow(clippy::needless_range_loop)] // parallel-array numeric kernel
+    pub fn set_objective(&mut self, c: &[S]) {
+        let n = self.n_cols();
+        debug_assert_eq!(c.len(), n);
+        let mut cost = Vec::with_capacity(n + 1);
+        cost.extend(c.iter().cloned());
+        cost.push(S::zero()); // −objective value accumulator
+        for (i, &bi) in self.basis.iter().enumerate() {
+            let cb = c[bi].clone();
+            if cb.is_zero() {
+                continue;
+            }
+            for j in 0..=n {
+                cost[j] = cost[j].clone() - cb.clone() * self.rows[i][j].clone();
+            }
+        }
+        self.cost = cost;
+    }
+
+    /// Current objective value (the stored rhs entry is its negation).
+    pub fn objective_value(&self) -> S {
+        let n = self.n_cols();
+        -self.cost[n].clone()
+    }
+
+    /// Value of variable `j` in the current basic solution.
+    pub fn var_value(&self, j: usize) -> S {
+        for (i, &bi) in self.basis.iter().enumerate() {
+            if bi == j {
+                return self.rhs(i).clone();
+            }
+        }
+        S::zero()
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`.
+    pub fn pivot(&mut self, row: usize, col: usize) {
+        let n = self.n_cols();
+        let piv = self.rows[row][col].clone();
+        debug_assert!(!piv.is_zero(), "pivot on zero element");
+        for j in 0..=n {
+            self.rows[row][j] = self.rows[row][j].clone() / piv.clone();
+        }
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col].clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for j in 0..=n {
+                self.rows[i][j] =
+                    self.rows[i][j].clone() - factor.clone() * self.rows[row][j].clone();
+            }
+        }
+        let factor = self.cost[col].clone();
+        if !factor.is_zero() {
+            for j in 0..=n {
+                self.cost[j] = self.cost[j].clone() - factor.clone() * self.rows[row][j].clone();
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Bland's rule: smallest non-banned column with reduced cost `< −eps`.
+    fn entering_column(&self) -> Option<usize> {
+        let neg = -self.eps.clone();
+        (0..self.n_cols()).find(|&j| !self.banned[j] && self.cost[j] < neg)
+    }
+
+    /// Ratio test for `col`: smallest `rhs_i / a_{i,col}` over rows with
+    /// `a_{i,col} > eps`, ties broken by the smallest basic-variable index
+    /// (the second half of Bland's rule).
+    fn leaving_row(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(S, usize)> = None; // (ratio, row)
+        for i in 0..self.rows.len() {
+            let a = &self.rows[i][col];
+            if *a <= self.eps {
+                continue;
+            }
+            let ratio = self.rhs(i).clone() / a.clone();
+            match &best {
+                None => best = Some((ratio, i)),
+                Some((r, bi)) => {
+                    if ratio < *r || (ratio == *r && self.basis[i] < self.basis[*bi]) {
+                        best = Some((ratio, i));
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Run pivots until optimal / unbounded / iteration cap.
+    pub fn run(&mut self, max_iters: usize) -> PivotOutcome {
+        for _ in 0..max_iters {
+            let Some(col) = self.entering_column() else {
+                return PivotOutcome::Optimal;
+            };
+            let Some(row) = self.leaving_row(col) else {
+                return PivotOutcome::Unbounded;
+            };
+            self.pivot(row, col);
+        }
+        PivotOutcome::IterationLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// minimize −x−y s.t. x+y ≤ 2, x ≤ 1 (slacks at columns 2,3).
+    fn toy() -> Tableau<f64> {
+        Tableau {
+            rows: vec![vec![1.0, 1.0, 1.0, 0.0, 2.0], vec![1.0, 0.0, 0.0, 1.0, 1.0]],
+            cost: vec![0.0; 5],
+            basis: vec![2, 3],
+            banned: vec![false; 4],
+            eps: 1e-9,
+        }
+    }
+
+    #[test]
+    fn pivot_loop_reaches_optimum() {
+        let mut t = toy();
+        t.set_objective(&[-1.0, -1.0, 0.0, 0.0]);
+        assert_eq!(t.run(100), PivotOutcome::Optimal);
+        assert!((t.objective_value() + 2.0).abs() < 1e-9);
+        // x + y == 2 at the optimum.
+        assert!((t.var_value(0) + t.var_value(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // minimize −x with only x − y ≤ 1: x can grow with y.
+        let mut t = Tableau {
+            rows: vec![vec![1.0, -1.0, 1.0, 1.0]],
+            cost: vec![0.0; 4],
+            basis: vec![2],
+            banned: vec![false; 3],
+            eps: 1e-9,
+        };
+        t.set_objective(&[-1.0, 0.0, 0.0]);
+        // First pivot brings x in; then y's column is all ≤ 0 ⇒ unbounded.
+        assert_eq!(t.run(100), PivotOutcome::Unbounded);
+    }
+
+    #[test]
+    fn objective_recomputed_for_nontrivial_basis() {
+        let mut t = toy();
+        t.set_objective(&[-1.0, -1.0, 0.0, 0.0]);
+        t.run(100);
+        // Re-installing a new objective on the final basis must account for
+        // basic structural variables.
+        t.set_objective(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((t.objective_value() - t.var_value(0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Randomized verification of the simplex solver.
+//!
+//! Strategy: generate LPs that are feasible and bounded **by
+//! construction**, solve them in `f64` and in exact rationals, and check
+//! (a) both agree, (b) the reported point is feasible, (c) no sampled
+//! feasible point beats the reported optimum.
+
+use bigratio::Rational;
+use proptest::prelude::*;
+use simplex::{LinearProgram, LpError, Relation, SolveOptions};
+
+/// A random covering LP: minimize c·x, A x ≥ b, x ≥ 0 with A, b, c > 0 —
+/// always feasible (scale x up) and bounded (c > 0, x ≥ 0).
+#[derive(Debug, Clone)]
+struct CoveringLp {
+    n: usize,
+    c: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn covering_lp() -> impl Strategy<Value = CoveringLp> {
+    (1usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
+        let c = proptest::collection::vec(0.1f64..4.0, n..=n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0.1f64..4.0, n..=n),
+                0.5f64..4.0,
+            ),
+            m..=m,
+        );
+        (c, rows).prop_map(move |(c, rows)| CoveringLp { n, c, rows })
+    })
+}
+
+fn build_f64(lp: &CoveringLp) -> LinearProgram<f64> {
+    let mut out = LinearProgram::<f64>::minimize(lp.n);
+    for (j, &c) in lp.c.iter().enumerate() {
+        out.set_objective(j, c);
+    }
+    for (coeffs, rhs) in &lp.rows {
+        out.add_constraint(
+            coeffs.iter().copied().enumerate().collect(),
+            Relation::Ge,
+            *rhs,
+        );
+    }
+    out
+}
+
+fn build_exact(lp: &CoveringLp) -> LinearProgram<Rational> {
+    let q = Rational::from_f64_exact;
+    let mut out = LinearProgram::<Rational>::minimize(lp.n);
+    for (j, &c) in lp.c.iter().enumerate() {
+        out.set_objective(j, q(c));
+    }
+    for (coeffs, rhs) in &lp.rows {
+        out.add_constraint(
+            coeffs.iter().map(|&v| q(v)).enumerate().collect(),
+            Relation::Ge,
+            q(*rhs),
+        );
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn float_solution_is_feasible_and_matches_exact(lp in covering_lp()) {
+        let sol = build_f64(&lp).solve().expect("covering LPs are solvable");
+        // Feasibility of the reported point.
+        for (coeffs, rhs) in &lp.rows {
+            let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs >= rhs - 1e-6, "constraint violated: {lhs} < {rhs}");
+        }
+        for &x in &sol.x {
+            prop_assert!(x >= -1e-9);
+        }
+        // Agreement with the exact solver.
+        let exact = build_exact(&lp)
+            .solve_with(&SolveOptions::exact())
+            .expect("exact solve");
+        let ev = exact.objective_value.approx_f64();
+        prop_assert!(
+            (sol.objective_value - ev).abs() <= 1e-6 * (1.0 + ev.abs()),
+            "float {} vs exact {}",
+            sol.objective_value,
+            ev
+        );
+    }
+
+    #[test]
+    fn no_sampled_feasible_point_beats_the_optimum(
+        lp in covering_lp(),
+        scale in 1.0f64..5.0
+    ) {
+        let sol = build_f64(&lp).solve().expect("solvable");
+        // A crude feasible point: x_j = scale · max_i (b_i / a_ij) — large
+        // enough to cover every row on its own coordinate.
+        let mut x = vec![0.0f64; lp.n];
+        for (coeffs, rhs) in &lp.rows {
+            for (j, &a) in coeffs.iter().enumerate() {
+                x[j] = x[j].max(scale * rhs / (a * lp.n as f64).max(1e-9));
+            }
+        }
+        // Make sure it actually covers (it does: Σ_j a_ij·x_j ≥ b_i by the
+        // per-coordinate construction), then compare objectives.
+        let feasible = lp.rows.iter().all(|(coeffs, rhs)| {
+            coeffs.iter().zip(&x).map(|(a, x)| a * x).sum::<f64>() >= rhs - 1e-9
+        });
+        prop_assume!(feasible);
+        let obj: f64 = lp.c.iter().zip(&x).map(|(c, x)| c * x).sum();
+        prop_assert!(sol.objective_value <= obj + 1e-6 * (1.0 + obj.abs()));
+    }
+
+    #[test]
+    fn unbounded_and_infeasible_classified(direction in 0usize..2) {
+        if direction == 0 {
+            // max x, x ≥ 1 only — unbounded above.
+            let mut lp = LinearProgram::<f64>::maximize(1);
+            lp.set_objective(0, 1.0);
+            lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0);
+            prop_assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+        } else {
+            // x ≤ 0 ∧ x ≥ 1 — infeasible.
+            let mut lp = LinearProgram::<f64>::minimize(1);
+            lp.add_constraint(vec![(0, 1.0)], Relation::Le, 0.0);
+            lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0);
+            prop_assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! # malleable-workloads — seeded instance generators
+//!
+//! Reproduces the experimental setups of the IPDPS 2012 paper plus stress
+//! classes used by this repository's wider evaluation:
+//!
+//! * [`Spec::PaperUniform`] — Section V-A: `P = 1`, tasks sampled
+//!   "uniform among tasks such that δᵢ < P, wᵢ < 1 and Vᵢ < 1";
+//! * [`Spec::ConstantWeight`] / [`Spec::ConstantWeightVolume`] — the two
+//!   homogeneity variants the paper also ran;
+//! * [`Spec::HomogeneousHalfCap`] — Section V-B: `Vᵢ = wᵢ = 1, P = 1,
+//!   δᵢ ∈ [½, 1]` (the class of Theorem 11 / Conjectures 12–13);
+//! * integer machines, Zipf weights, bimodal volumes, adversarial stairs
+//!   and bandwidth fleets for the extended experiments.
+//!
+//! All generation is deterministic in `(Spec, seed)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use malleable_core::instance::{Instance, Task};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Floor on sampled values: keeps instances non-degenerate (the paper's
+/// "uniform" draws are continuous, so exact zeros have measure zero; a
+/// small floor avoids float pathologies without changing the distribution
+/// materially).
+const LO: f64 = 0.01;
+
+/// A named workload family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Spec {
+    /// §V-A uniform instances: `P = 1`, `δ, w, V ~ U(0, 1)`.
+    PaperUniform {
+        /// Number of tasks.
+        n: usize,
+    },
+    /// §V-A variant: constant weights (`w = 1`), `δ, V ~ U(0, 1)`, `P = 1`.
+    ConstantWeight {
+        /// Number of tasks.
+        n: usize,
+    },
+    /// §V-A variant: constant weight and volume (`w = V = 1`),
+    /// `δ ~ U(0, 1)`, `P = 1`.
+    ConstantWeightVolume {
+        /// Number of tasks.
+        n: usize,
+    },
+    /// §V-B class: `P = 1, V = w = 1, δ ~ U(½, 1)` — every cap above half
+    /// the machine (Theorem 11 / Conjecture 13 territory).
+    HomogeneousHalfCap {
+        /// Number of tasks.
+        n: usize,
+    },
+    /// Theorem-11 class on an arbitrary machine: homogeneous weights,
+    /// `δ ~ U(P/2, P)`, `V ~ U(0, P)`.
+    Theorem11 {
+        /// Number of tasks.
+        n: usize,
+        /// Machine capacity.
+        p: f64,
+    },
+    /// Integer machine: `P = p`, `δ ∈ {1..p}` uniform, `V ~ U(0, p)`,
+    /// `w ~ U(0, 1)`. The class on which fractional→integer conversion
+    /// (Theorem 3 / Figure 2) is exercised.
+    IntegerUniform {
+        /// Number of tasks.
+        n: usize,
+        /// Machine size (number of processors).
+        p: u32,
+    },
+    /// Heavy-tailed weights `wᵢ ∝ 1/rankˢ` (cluster users with wildly
+    /// different priorities), `δ, V` uniform.
+    ZipfWeights {
+        /// Number of tasks.
+        n: usize,
+        /// Machine capacity.
+        p: f64,
+        /// Zipf exponent (`s ≈ 1` typical).
+        s: f64,
+    },
+    /// Bimodal volumes: mostly small tasks plus a few 100× stragglers —
+    /// the regime where squashed-area and height bounds diverge.
+    BimodalVolumes {
+        /// Number of tasks.
+        n: usize,
+        /// Machine capacity.
+        p: f64,
+        /// Probability of drawing a straggler.
+        heavy_fraction: f64,
+    },
+    /// Adversarial "stairs": geometrically shrinking caps with equal
+    /// areas; maximizes allocation changes in water-filling.
+    Stairs {
+        /// Number of tasks.
+        n: usize,
+        /// Machine capacity.
+        p: f64,
+    },
+    /// A master/worker code-distribution fleet (Figure 1): link capacities
+    /// log-uniform over two decades, processing rates uniform, code sizes
+    /// correlated with rates.
+    BandwidthFleet {
+        /// Number of workers.
+        n: usize,
+        /// Server outgoing bandwidth.
+        server_bandwidth: f64,
+    },
+}
+
+impl Spec {
+    /// Number of tasks this spec generates.
+    pub fn n(&self) -> usize {
+        match *self {
+            Spec::PaperUniform { n }
+            | Spec::ConstantWeight { n }
+            | Spec::ConstantWeightVolume { n }
+            | Spec::HomogeneousHalfCap { n }
+            | Spec::Theorem11 { n, .. }
+            | Spec::IntegerUniform { n, .. }
+            | Spec::ZipfWeights { n, .. }
+            | Spec::BimodalVolumes { n, .. }
+            | Spec::Stairs { n, .. }
+            | Spec::BandwidthFleet { n, .. } => n,
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Spec::PaperUniform { .. } => "paper-uniform",
+            Spec::ConstantWeight { .. } => "const-weight",
+            Spec::ConstantWeightVolume { .. } => "const-w-v",
+            Spec::HomogeneousHalfCap { .. } => "homog-halfcap",
+            Spec::Theorem11 { .. } => "theorem11",
+            Spec::IntegerUniform { .. } => "integer-uniform",
+            Spec::ZipfWeights { .. } => "zipf-weights",
+            Spec::BimodalVolumes { .. } => "bimodal-volumes",
+            Spec::Stairs { .. } => "stairs",
+            Spec::BandwidthFleet { .. } => "bandwidth-fleet",
+        }
+    }
+}
+
+/// Generate the instance for `(spec, seed)` (deterministic).
+pub fn generate(spec: &Spec, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let inst = match *spec {
+        Spec::PaperUniform { n } => Instance {
+            p: 1.0,
+            tasks: (0..n)
+                .map(|_| {
+                    Task::new(
+                        rng.random_range(LO..1.0),
+                        rng.random_range(LO..1.0),
+                        rng.random_range(LO..1.0),
+                    )
+                })
+                .collect(),
+        },
+        Spec::ConstantWeight { n } => Instance {
+            p: 1.0,
+            tasks: (0..n)
+                .map(|_| {
+                    Task::new(rng.random_range(LO..1.0), 1.0, rng.random_range(LO..1.0))
+                })
+                .collect(),
+        },
+        Spec::ConstantWeightVolume { n } => Instance {
+            p: 1.0,
+            tasks: (0..n)
+                .map(|_| Task::new(1.0, 1.0, rng.random_range(LO..1.0)))
+                .collect(),
+        },
+        Spec::HomogeneousHalfCap { n } => Instance {
+            p: 1.0,
+            tasks: homogeneous_deltas(n, seed)
+                .into_iter()
+                .map(|d| Task::new(1.0, 1.0, d))
+                .collect(),
+        },
+        Spec::Theorem11 { n, p } => Instance {
+            p,
+            tasks: (0..n)
+                .map(|_| {
+                    Task::new(
+                        rng.random_range(LO * p..p),
+                        1.0,
+                        rng.random_range(p / 2.0..p) + 1e-9,
+                    )
+                })
+                .collect(),
+        },
+        Spec::IntegerUniform { n, p } => Instance {
+            p: p as f64,
+            tasks: (0..n)
+                .map(|_| {
+                    Task::new(
+                        rng.random_range(LO * p as f64..p as f64),
+                        rng.random_range(LO..1.0),
+                        rng.random_range(1..=p) as f64,
+                    )
+                })
+                .collect(),
+        },
+        Spec::ZipfWeights { n, p, s } => Instance {
+            p,
+            tasks: (0..n)
+                .map(|rank| {
+                    Task::new(
+                        rng.random_range(LO * p..p),
+                        1.0 / ((rank + 1) as f64).powf(s),
+                        rng.random_range(LO * p..p),
+                    )
+                })
+                .collect(),
+        },
+        Spec::BimodalVolumes {
+            n,
+            p,
+            heavy_fraction,
+        } => Instance {
+            p,
+            tasks: (0..n)
+                .map(|_| {
+                    let heavy = rng.random_range(0.0..1.0) < heavy_fraction;
+                    let v = if heavy {
+                        rng.random_range(50.0 * p..100.0 * p)
+                    } else {
+                        rng.random_range(LO * p..p)
+                    };
+                    Task::new(v, rng.random_range(LO..1.0), rng.random_range(LO * p..p))
+                })
+                .collect(),
+        },
+        Spec::Stairs { n, p } => Instance {
+            p,
+            tasks: (0..n)
+                .map(|k| {
+                    // Caps halve down to 1 while areas stay equal, so every
+                    // task spills across many columns under water-filling.
+                    // Integer-valued whenever `p` is a power of two, which
+                    // keeps the Theorem-3 conversion applicable.
+                    let delta = (p / 2f64.powi(k as i32)).max(1.0);
+                    Task::new(p, 1.0, delta)
+                })
+                .collect(),
+        },
+        Spec::BandwidthFleet {
+            n,
+            server_bandwidth,
+        } => Instance {
+            p: server_bandwidth,
+            tasks: (0..n)
+                .map(|_| {
+                    // Link capacities span two decades, log-uniform.
+                    let link = server_bandwidth
+                        * 10f64.powf(rng.random_range(-2.0..0.0));
+                    let rate = rng.random_range(0.1..10.0);
+                    // Faster workers tend to receive bigger codes.
+                    let code = rng.random_range(0.5..2.0) * rate;
+                    Task::new(code, rate, link)
+                })
+                .collect(),
+        },
+    };
+    debug_assert!(inst.validate().is_ok(), "generator produced invalid instance");
+    inst
+}
+
+/// The §V-B cap distribution: `δ ~ U(½, 1)`, deterministic in `seed`.
+pub fn homogeneous_deltas(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    (0..n).map(|_| rng.random_range(0.5..1.0)).collect()
+}
+
+/// Random *rational* caps `δ = num/den ∈ [½, 1)` with bounded denominator,
+/// for the exact Conjecture-13 verification (the paper used symbolic δ in
+/// Sage; bounded-denominator rationals are the executable analogue).
+pub fn rational_deltas(n: usize, max_den: i64, seed: u64) -> Vec<(i64, i64)> {
+    assert!(max_den >= 2, "need denominators ≥ 2");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
+    (0..n)
+        .map(|_| {
+            let den = rng.random_range(2..=max_den);
+            // num/den ∈ [1/2, 1): num ∈ [⌈den/2⌉, den).
+            let lo = (den + 1) / 2;
+            let num = if lo >= den {
+                lo
+            } else {
+                rng.random_range(lo..den)
+            };
+            (num, den)
+        })
+        .collect()
+}
+
+/// Convenience: a batch of seeds derived from a base seed.
+pub fn seed_batch(base: u64, count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| base.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        for spec in [
+            Spec::PaperUniform { n: 8 },
+            Spec::HomogeneousHalfCap { n: 8 },
+            Spec::IntegerUniform { n: 8, p: 4 },
+            Spec::BandwidthFleet {
+                n: 8,
+                server_bandwidth: 100.0,
+            },
+        ] {
+            let a = generate(&spec, 42);
+            let b = generate(&spec, 42);
+            assert_eq!(a, b, "same seed must reproduce: {}", spec.label());
+            let c = generate(&spec, 43);
+            assert_ne!(a, c, "different seed should differ: {}", spec.label());
+        }
+    }
+
+    #[test]
+    fn all_specs_produce_valid_instances() {
+        let specs = [
+            Spec::PaperUniform { n: 5 },
+            Spec::ConstantWeight { n: 5 },
+            Spec::ConstantWeightVolume { n: 5 },
+            Spec::HomogeneousHalfCap { n: 5 },
+            Spec::Theorem11 { n: 5, p: 4.0 },
+            Spec::IntegerUniform { n: 5, p: 8 },
+            Spec::ZipfWeights {
+                n: 5,
+                p: 4.0,
+                s: 1.1,
+            },
+            Spec::BimodalVolumes {
+                n: 20,
+                p: 4.0,
+                heavy_fraction: 0.1,
+            },
+            Spec::Stairs { n: 10, p: 16.0 },
+            Spec::BandwidthFleet {
+                n: 5,
+                server_bandwidth: 1000.0,
+            },
+        ];
+        for spec in specs {
+            for seed in 0..5 {
+                let inst = generate(&spec, seed);
+                inst.validate().unwrap();
+                assert_eq!(inst.n(), spec.n());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_uniform_ranges() {
+        let inst = generate(&Spec::PaperUniform { n: 200 }, 7);
+        assert_eq!(inst.p, 1.0);
+        for t in &inst.tasks {
+            assert!((LO..1.0).contains(&t.volume));
+            assert!((LO..1.0).contains(&t.weight));
+            assert!((LO..1.0).contains(&t.delta));
+        }
+    }
+
+    #[test]
+    fn homogeneous_halfcap_ranges() {
+        let inst = generate(&Spec::HomogeneousHalfCap { n: 100 }, 3);
+        for t in &inst.tasks {
+            assert_eq!(t.volume, 1.0);
+            assert_eq!(t.weight, 1.0);
+            assert!((0.5..1.0).contains(&t.delta));
+        }
+        assert!(inst.all_deltas_above_half());
+        assert!(inst.homogeneous_weights(numkit::Tolerance::default()));
+    }
+
+    #[test]
+    fn integer_uniform_has_integer_caps() {
+        let inst = generate(&Spec::IntegerUniform { n: 50, p: 6 }, 11);
+        for t in &inst.tasks {
+            assert_eq!(t.delta, t.delta.round());
+            assert!((1.0..=6.0).contains(&t.delta));
+        }
+    }
+
+    #[test]
+    fn rational_deltas_in_half_one() {
+        for (num, den) in rational_deltas(50, 64, 9) {
+            assert!(den >= 2 && den <= 64);
+            assert!(num * 2 >= den, "{num}/{den} < 1/2");
+            assert!(num <= den, "{num}/{den} > 1"); // num == den only when den = 2·lo edge
+        }
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let inst = generate(
+            &Spec::ZipfWeights {
+                n: 10,
+                p: 4.0,
+                s: 1.0,
+            },
+            1,
+        );
+        for w in inst.tasks.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+    }
+
+    #[test]
+    fn seed_batch_is_deterministic_and_distinct() {
+        let a = seed_batch(99, 16);
+        let b = seed_batch(99, 16);
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.dedup();
+        assert_eq!(c.len(), 16);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: schedule a handful of malleable tasks, certify the result,
+//! normalize it, and draw the machine timeline.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use malleable::prelude::*;
+
+fn main() {
+    // A machine with P = 4 processors and four work-preserving malleable
+    // tasks. Each task is (volume, weight, parallelism cap δ).
+    let instance = Instance::builder(4.0)
+        .task(8.0, 1.0, 2.0) // big but narrow
+        .task(4.0, 2.0, 4.0) // important, fully parallel
+        .task(2.0, 4.0, 1.0) // urgent, sequential
+        .task(3.0, 1.0, 3.0)
+        .build()
+        .expect("valid instance");
+    println!("{instance}");
+
+    // --- Non-clairvoyant scheduling (the scheduler never sees volumes).
+    let schedule = wdeq_schedule(&instance);
+    let cost = schedule.weighted_completion_cost(&instance);
+    println!("WDEQ weighted completion time  Σ wᵢCᵢ = {cost:.4}");
+    for (id, _) in instance.iter() {
+        println!("  {id} completes at {:.4}", schedule.completion(id));
+    }
+
+    // Every WDEQ run carries a machine-checkable 2-approximation
+    // certificate (Lemma 2 of the paper).
+    let cert = wdeq_certificate(&instance);
+    println!(
+        "certificate: cost ≤ 2 × {:.4} (certified ratio {:.4} ≤ 2)",
+        cert.value(),
+        cert.ratio()
+    );
+
+    // --- Lower bounds.
+    println!(
+        "bounds: squashed area A(I) = {:.4}, height H(I) = {:.4}",
+        squashed_area_bound(&instance),
+        height_bound(&instance),
+    );
+
+    // --- Normal form: rebuild the schedule from completion times alone
+    // (Theorem 8) — same completion times, canonical allocation.
+    let normal = water_filling(&instance, schedule.completion_times())
+        .expect("feasible by construction");
+    normal.validate(&instance).expect("normal form is valid");
+    println!("\nnormal form (water-filling):\n{normal}");
+
+    // --- Down to physical processors (Theorem 3): the machine timeline.
+    let tol = Tolerance::default().scaled(16.0);
+    let gantt = malleable::core::schedule::convert::column_to_gantt(&normal, &instance, tol)
+        .expect("integer machine");
+    println!("machine timeline (letters = tasks):\n{}", gantt.render(64));
+    println!(
+        "preemptions: {} (Theorem 10 pipeline bounds this by 3n = {})",
+        gantt.preemption_count(instance.n(), tol),
+        3 * instance.n()
+    );
+}

@@ -1,0 +1,121 @@
+//! The paper's conjectures and Section V-B structure, as integration
+//! tests at reproduction scale (the full campaigns live in the experiment
+//! binaries).
+
+use bigratio::Rational;
+use malleable::opt::conjecture::{
+    check_conjecture12, check_conjecture13_exact, check_conjecture13_f64,
+};
+use malleable::opt::homogeneous::{
+    best_order_exhaustive, five_task_condition, greedy_completions, greedy_total_cost,
+    paper_printed_orders, paper_small_orders,
+};
+use malleable::prelude::*;
+use malleable::workloads::{homogeneous_deltas, rational_deltas, seed_batch};
+
+#[test]
+fn conjecture12_small_campaign() {
+    for n in 2..=5usize {
+        for seed in seed_batch(200 + n as u64, 6) {
+            let inst = generate(&Spec::PaperUniform { n }, seed);
+            let rep = check_conjecture12(&inst).expect("searchable");
+            assert!(
+                rep.relative_gap < 1e-5,
+                "Conjecture 12 gap {} at n={n}",
+                rep.relative_gap
+            );
+        }
+    }
+}
+
+#[test]
+fn conjecture13_exact_up_to_paper_scale() {
+    // The paper verified n ≤ 15 symbolically; spot-check the whole range
+    // exactly here (denser sweeps in exp_conjecture13).
+    for n in [2usize, 7, 15] {
+        for seed in seed_batch(300 + n as u64, 3) {
+            let deltas = rational_deltas(n, 32, seed);
+            let (ok, cf, cr) = check_conjecture13_exact(&deltas);
+            assert!(ok, "n={n}: {cf} ≠ {cr}");
+        }
+    }
+}
+
+#[test]
+fn conjecture13_implies_symmetric_costs_for_specific_orders() {
+    let gap = check_conjecture13_f64(&[0.87, 0.52, 0.61, 0.73, 0.95, 0.66]);
+    assert!(gap < 1e-10);
+}
+
+#[test]
+fn recurrence_agrees_with_general_greedy_through_the_whole_stack() {
+    for seed in seed_batch(400, 6) {
+        let deltas = homogeneous_deltas(6, seed);
+        let rec = greedy_completions(&deltas);
+        let inst = Instance::builder(1.0)
+            .tasks(deltas.iter().map(|&d| (1.0, 1.0, d)))
+            .build()
+            .expect("valid");
+        let order: Vec<TaskId> = (0..6).map(TaskId).collect();
+        let sched = greedy_schedule(&inst, &order).expect("greedy");
+        for (a, b) in rec.iter().zip(sched.completion_times()) {
+            assert!((a - b).abs() < 1e-8, "recurrence {a} vs algorithm {b}");
+        }
+    }
+}
+
+#[test]
+fn small_order_catalogue_holds_and_paper_n4_misprint_detected() {
+    for seed in seed_batch(500, 10) {
+        for n in 2..=4usize {
+            let mut deltas = homogeneous_deltas(n, seed);
+            deltas.sort_by(|a, b| b.total_cmp(a));
+            let (_, best) = best_order_exhaustive(&deltas);
+            for order in paper_small_orders(n) {
+                let arranged: Vec<f64> = order.iter().map(|&i| deltas[i]).collect();
+                let c = greedy_total_cost(&arranged);
+                assert!(
+                    (c - best) <= 1e-9 * (1.0 + best),
+                    "verified catalogue suboptimal at n={n}"
+                );
+            }
+        }
+        // The printed n=4 orders are strictly suboptimal (the erratum).
+        let mut deltas = homogeneous_deltas(4, seed);
+        deltas.sort_by(|a, b| b.total_cmp(a));
+        let (_, best) = best_order_exhaustive(&deltas);
+        for order in paper_printed_orders(4) {
+            let arranged: Vec<f64> = order.iter().map(|&i| deltas[i]).collect();
+            let c = greedy_total_cost(&arranged);
+            assert!(
+                c > best + 1e-9,
+                "printed order unexpectedly optimal — erratum note needs revisiting"
+            );
+        }
+    }
+}
+
+#[test]
+fn five_task_condition_on_every_optimal_order() {
+    for seed in seed_batch(600, 10) {
+        let mut deltas = homogeneous_deltas(5, seed);
+        deltas.sort_by(|a, b| b.total_cmp(a));
+        let (order, _) = best_order_exhaustive(&deltas);
+        assert!(
+            five_task_condition(&deltas, &order),
+            "necessary condition failed for {order:?} on {deltas:?}"
+        );
+    }
+}
+
+#[test]
+fn exact_and_float_recurrence_agree() {
+    for seed in seed_batch(700, 5) {
+        let pairs = rational_deltas(8, 16, seed);
+        let exact: Vec<Rational> = pairs.iter().map(|&(a, b)| Rational::new(a, b)).collect();
+        let floats: Vec<f64> = pairs.iter().map(|&(a, b)| a as f64 / b as f64).collect();
+        let ce = greedy_total_cost(&exact).approx_f64();
+        let cf = greedy_total_cost(&floats);
+        assert!((ce - cf).abs() < 1e-9, "exact {ce} vs float {cf}");
+    }
+}

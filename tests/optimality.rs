@@ -1,0 +1,111 @@
+//! Optimality relationships across the stack: bounds ≤ OPT ≤ greedy ≤
+//! 2·OPT chains, Smith-rule special cases, and exact/float LP agreement.
+
+use bigratio::Rational;
+use malleable::core::bounds::{combined_lower_bound, mixed_bound};
+use malleable::opt::brute::best_greedy_exhaustive;
+use malleable::opt::lp::lp_cost_for_order;
+use malleable::prelude::*;
+use malleable::workloads::seed_batch;
+use simplex::SolveOptions;
+
+#[test]
+fn lower_bounds_never_exceed_brute_force_optimum() {
+    for n in 2..=4usize {
+        for seed in seed_batch(100 + n as u64, 8) {
+            let inst = generate(&Spec::PaperUniform { n }, seed);
+            let opt = optimal_schedule(&inst).expect("brute").cost;
+            let lb = combined_lower_bound(&inst);
+            assert!(
+                lb <= opt + 1e-7 * (1.0 + opt),
+                "bound {lb} exceeds optimum {opt}"
+            );
+            // Mixed bound with an arbitrary half/half split is also valid.
+            let half: Vec<f64> = inst.tasks.iter().map(|t| t.volume / 2.0).collect();
+            let mixed = mixed_bound(&inst, &half);
+            assert!(mixed <= opt + 1e-7 * (1.0 + opt));
+        }
+    }
+}
+
+#[test]
+fn optimum_sandwiched_between_bound_and_greedy() {
+    for seed in seed_batch(7, 10) {
+        let inst = generate(&Spec::PaperUniform { n: 4 }, seed);
+        let opt = optimal_schedule(&inst).expect("brute").cost;
+        let (greedy, _) = best_greedy_exhaustive(&inst).expect("greedy");
+        let lb = combined_lower_bound(&inst);
+        assert!(lb <= opt + 1e-7);
+        assert!(opt <= greedy + 1e-7);
+        // Theorem 4 transfers to any schedule ≥ OPT; WDEQ specifically:
+        let wdeq = wdeq_schedule(&inst).weighted_completion_cost(&inst);
+        assert!(wdeq <= 2.0 * opt + 1e-6);
+    }
+}
+
+#[test]
+fn smith_rule_is_optimal_when_caps_do_not_bind() {
+    // δᵢ = P reduces to single-machine WSPT (Table I row 6).
+    for seed in seed_batch(31, 10) {
+        let mut inst = generate(&Spec::PaperUniform { n: 5 }, seed);
+        for t in &mut inst.tasks {
+            t.delta = inst.p;
+        }
+        let smith = greedy_cost(&inst, &smith_order(&inst)).expect("greedy");
+        let opt = optimal_schedule(&inst).expect("brute").cost;
+        assert!(
+            (smith - opt).abs() <= 1e-6 * (1.0 + opt),
+            "Smith {smith} vs OPT {opt}"
+        );
+    }
+}
+
+#[test]
+fn exact_rational_lp_certifies_float_lp() {
+    for seed in seed_batch(41, 4) {
+        let inst = generate(&Spec::PaperUniform { n: 3 }, seed);
+        let order: Vec<TaskId> = (0..3).map(TaskId).collect();
+        let f = lp_cost_for_order::<f64>(&inst, &order, &SolveOptions::float_default())
+            .expect("float LP");
+        let r = lp_cost_for_order::<Rational>(&inst, &order, &SolveOptions::exact())
+            .expect("exact LP");
+        assert!(
+            (f - r.approx_f64()).abs() <= 1e-6 * (1.0 + f.abs()),
+            "float {f} vs exact {r}"
+        );
+    }
+}
+
+#[test]
+fn lp_dominates_every_schedule_with_the_same_completion_order() {
+    for seed in seed_batch(53, 8) {
+        let inst = generate(&Spec::PaperUniform { n: 4 }, seed);
+        // Take WDEQ's completion order; the LP for that order can only be
+        // cheaper than WDEQ itself.
+        let wdeq = wdeq_schedule(&inst);
+        let order = wdeq.completion_order();
+        let (lp_cost, lp_sched) = lp_schedule_for_order(&inst, &order).expect("LP");
+        lp_sched.validate(&inst).expect("LP schedule valid");
+        let wdeq_cost = wdeq.weighted_completion_cost(&inst);
+        assert!(
+            lp_cost <= wdeq_cost + 1e-6 * (1.0 + wdeq_cost),
+            "LP {lp_cost} > WDEQ {wdeq_cost}"
+        );
+    }
+}
+
+#[test]
+fn theorem11_greedy_optimality_on_its_class() {
+    // Homogeneous weights, δ > P/2: every optimal schedule is greedy, so
+    // best-greedy == optimal.
+    for seed in seed_batch(61, 8) {
+        let inst = generate(&Spec::Theorem11 { n: 4, p: 2.0 }, seed);
+        assert!(inst.all_deltas_above_half());
+        let opt = optimal_schedule(&inst).expect("brute").cost;
+        let (greedy, _) = best_greedy_exhaustive(&inst).expect("greedy");
+        assert!(
+            (greedy - opt).abs() <= 1e-5 * (1.0 + opt),
+            "Theorem 11 gap: greedy {greedy} vs opt {opt}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Release-date makespan (Table I row `P|var;δᵢ,rᵢ|Cmax`) cross-checked
+//! against the zero-release water-filling solvers.
+
+use malleable::core::algos::releases::{feasible_with_releases, makespan_with_releases};
+use malleable::prelude::*;
+use malleable::workloads::seed_batch;
+use proptest::prelude::*;
+
+#[test]
+fn zero_releases_reduce_to_plain_makespan() {
+    for seed in seed_batch(71, 10) {
+        let inst = generate(&Spec::PaperUniform { n: 12 }, seed);
+        let zero = vec![0.0; inst.n()];
+        let r = makespan_with_releases(&inst, &zero).expect("solvable");
+        let plain = optimal_makespan(&inst);
+        assert!(
+            (r.cmax - plain).abs() <= 1e-5 * (1.0 + plain),
+            "flow-based {} vs closed-form {plain}",
+            r.cmax
+        );
+        r.schedule.validate(&inst).expect("witness valid");
+    }
+}
+
+#[test]
+fn releases_only_delay_the_makespan() {
+    for seed in seed_batch(73, 10) {
+        let inst = generate(&Spec::PaperUniform { n: 10 }, seed);
+        let zero = vec![0.0; inst.n()];
+        let base = makespan_with_releases(&inst, &zero).expect("solvable").cmax;
+        let staggered: Vec<f64> = (0..inst.n()).map(|i| i as f64 * 0.05).collect();
+        let delayed = makespan_with_releases(&inst, &staggered)
+            .expect("solvable")
+            .cmax;
+        assert!(delayed >= base - 1e-9, "releases cannot shorten Cmax");
+    }
+}
+
+#[test]
+fn witness_respects_release_dates() {
+    for seed in seed_batch(79, 10) {
+        let inst = generate(&Spec::IntegerUniform { n: 8, p: 4 }, seed);
+        let releases: Vec<f64> = (0..inst.n()).map(|i| (i % 3) as f64).collect();
+        let r = makespan_with_releases(&inst, &releases).expect("solvable");
+        r.schedule.validate(&inst).expect("witness valid");
+        for (i, segs) in r.schedule.allocs.iter().enumerate() {
+            for s in segs {
+                assert!(s.start >= releases[i] - 1e-9);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimal_cmax_is_the_feasibility_frontier(
+        seed in 0u64..500,
+        stagger in 0.0f64..1.0
+    ) {
+        let inst = generate(&Spec::PaperUniform { n: 6 }, seed);
+        let releases: Vec<f64> = (0..inst.n()).map(|i| i as f64 * stagger * 0.2).collect();
+        let r = makespan_with_releases(&inst, &releases).expect("solvable");
+        prop_assert!(feasible_with_releases(&inst, &releases, r.cmax * 1.001).unwrap());
+        // Below the optimum must be infeasible — except in the degenerate
+        // case where the optimum equals a single task's hard lower bound
+        // rᵢ + hᵢ exactly (then shrinking by 2% probes only that task).
+        let below_infeasible = !feasible_with_releases(&inst, &releases, r.cmax * 0.98).unwrap();
+        let task_bound = inst
+            .tasks
+            .iter()
+            .zip(&releases)
+            .map(|(t, &rel)| rel + t.volume / t.delta.min(inst.p))
+            .fold(0.0f64, f64::max);
+        let pinned_to_task_bound = r.cmax <= task_bound + 1e-6;
+        prop_assert!(below_infeasible || pinned_to_task_bound);
+    }
+}

@@ -1,0 +1,65 @@
+//! Tooling-layer integration: instance file round-trips feeding real
+//! schedulers, SVG rendering of converted schedules, and schedule metrics.
+
+use malleable::core::io::{parse_instance, write_instance};
+use malleable::core::schedule::convert::column_to_gantt;
+use malleable::core::schedule::svg::{gantt_to_svg, SvgOptions};
+use malleable::prelude::*;
+use malleable::sim::metrics::{jain_fairness, max_stretch, metrics, utilization};
+use malleable::workloads::seed_batch;
+
+#[test]
+fn instance_files_roundtrip_through_the_scheduler() {
+    for seed in seed_batch(91, 5) {
+        let inst = generate(&Spec::IntegerUniform { n: 6, p: 4 }, seed);
+        let text = write_instance(&inst);
+        let back = parse_instance(&text).expect("roundtrip parses");
+        assert_eq!(inst, back);
+        // Scheduling the parsed instance gives identical results.
+        let a = wdeq_schedule(&inst);
+        let b = wdeq_schedule(&back);
+        assert_eq!(a.completions, b.completions);
+    }
+}
+
+#[test]
+fn svg_renders_real_schedules() {
+    let inst = generate(&Spec::IntegerUniform { n: 8, p: 4 }, 3);
+    let tol = Tolerance::default().scaled(16.0);
+    let cs = wdeq_schedule(&inst);
+    let normal = water_filling(&inst, cs.completion_times()).expect("feasible");
+    let gantt = column_to_gantt(&normal, &inst, tol).expect("integer machine");
+    let svg = gantt_to_svg(&gantt, SvgOptions::default());
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.trim_end().ends_with("</svg>"));
+    // Every task that runs appears in a tooltip.
+    for (id, _) in inst.iter() {
+        if !gantt.runs_of(id).is_empty() {
+            assert!(svg.contains(&format!("T{} [", id.0)), "missing task {id}");
+        }
+    }
+}
+
+#[test]
+fn metrics_reflect_known_structure() {
+    // Makespan-optimal schedule keeps every task running to the end:
+    // utilization = ΣV / (P·C*).
+    let inst = generate(&Spec::PaperUniform { n: 10 }, 8);
+    let cs = malleable::core::algos::makespan::makespan_schedule(&inst).expect("schedule");
+    let expected = inst.total_volume() / (inst.p * cs.makespan());
+    assert!((utilization(&cs) - expected).abs() < 1e-9);
+    let m = metrics(&inst, &cs);
+    assert!(m.max_stretch >= 1.0);
+    assert!(m.jain_fairness > 0.0 && m.jain_fairness <= 1.0 + 1e-12);
+}
+
+#[test]
+fn wdeq_is_fair_by_construction_on_symmetric_instances() {
+    let inst = Instance::builder(4.0)
+        .tasks((0..4).map(|_| (2.0, 1.0, 4.0)))
+        .build()
+        .expect("valid");
+    let cs = wdeq_schedule(&inst);
+    assert!(jain_fairness(&inst, &cs) > 0.999);
+    assert!(max_stretch(&inst, &cs) >= 1.0);
+}
