@@ -66,9 +66,7 @@ fn bench_release_makespan(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(&inst, &releases),
-            |b, (inst, rel)| {
-                b.iter(|| black_box(makespan_with_releases(inst, rel).unwrap().cmax))
-            },
+            |b, (inst, rel)| b.iter(|| black_box(makespan_with_releases(inst, rel).unwrap().cmax)),
         );
     }
     g.finish();
@@ -91,5 +89,11 @@ fn bench_greedy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_wdeq, bench_waterfill, bench_greedy, bench_release_makespan);
+criterion_group!(
+    benches,
+    bench_wdeq,
+    bench_waterfill,
+    bench_greedy,
+    bench_release_makespan
+);
 criterion_main!(benches);

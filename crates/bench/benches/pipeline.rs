@@ -88,5 +88,10 @@ fn bench_bandwidth(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_online_engine, bench_theorem10_pipeline, bench_bandwidth);
+criterion_group!(
+    benches,
+    bench_online_engine,
+    bench_theorem10_pipeline,
+    bench_bandwidth
+);
 criterion_main!(benches);

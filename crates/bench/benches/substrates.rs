@@ -4,9 +4,9 @@
 
 use bigratio::{BigUint, Rational};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use malleable_core::instance::TaskId;
 use malleable_opt::homogeneous::greedy_total_cost;
 use malleable_opt::lp::lp_schedule_for_order;
-use malleable_core::instance::TaskId;
 use malleable_workloads::{generate, rational_deltas, Spec};
 use std::hint::black_box;
 
@@ -19,9 +19,7 @@ fn bench_lp(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(&inst, &order),
-            |b, (inst, order)| {
-                b.iter(|| black_box(lp_schedule_for_order(inst, order).unwrap().0))
-            },
+            |b, (inst, order)| b.iter(|| black_box(lp_schedule_for_order(inst, order).unwrap().0)),
         );
     }
     g.finish();
@@ -47,7 +45,9 @@ fn bench_biguint_ops(c: &mut Criterion) {
     g.sample_size(20);
     for bits in [256u64, 1024, 4096] {
         let a = BigUint::one().shl_bits(bits).sub(&BigUint::from_u64(12345));
-        let b_ = BigUint::one().shl_bits(bits / 2).add(&BigUint::from_u64(987));
+        let b_ = BigUint::one()
+            .shl_bits(bits / 2)
+            .add(&BigUint::from_u64(987));
         g.bench_with_input(BenchmarkId::new("mul", bits), &(&a, &b_), |bch, (a, b)| {
             bch.iter(|| black_box(a.mul(b)))
         });
@@ -63,5 +63,10 @@ fn bench_biguint_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lp, bench_rational_recurrence, bench_biguint_ops);
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_rational_recurrence,
+    bench_biguint_ops
+);
 criterion_main!(benches);

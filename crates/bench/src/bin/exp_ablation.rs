@@ -34,7 +34,14 @@ fn main() {
 
     let families: Vec<(&str, Spec)> = vec![
         ("paper-uniform", Spec::PaperUniform { n: 20 }),
-        ("zipf-weights", Spec::ZipfWeights { n: 20, p: 8.0, s: 1.2 }),
+        (
+            "zipf-weights",
+            Spec::ZipfWeights {
+                n: 20,
+                p: 8.0,
+                s: 1.2,
+            },
+        ),
         (
             "bimodal-volumes",
             Spec::BimodalVolumes {
@@ -43,7 +50,13 @@ fn main() {
                 heavy_fraction: 0.15,
             },
         ),
-        ("bandwidth-fleet", Spec::BandwidthFleet { n: 20, server_bandwidth: 100.0 }),
+        (
+            "bandwidth-fleet",
+            Spec::BandwidthFleet {
+                n: 20,
+                server_bandwidth: 100.0,
+            },
+        ),
     ];
 
     let mut table = Table::new(&[

@@ -105,8 +105,7 @@ fn main() {
             let gs = greedy_schedule(&inst, &smith_order(&inst)).expect("greedy");
             let cs = step_to_column(&gs, Tolerance::default().scaled(1.0 + n as f64));
             let rep = sc.report("offline", &cs, &inst, horizon);
-            let ident = (rep.throughput - (horizon * total_rate - rep.weighted_completion))
-                .abs()
+            let ident = (rep.throughput - (horizon * total_rate - rep.weighted_completion)).abs()
                 / (1.0 + rep.throughput.abs());
             out.push((rep.weighted_completion, rep.throughput, ident));
             out
@@ -122,10 +121,7 @@ fn main() {
             })
             .collect();
         for run in &per_seed {
-            let best = run
-                .iter()
-                .map(|r| r.1)
-                .fold(f64::NEG_INFINITY, f64::max);
+            let best = run.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
             for (k, &(c, t, e)) in run.iter().enumerate() {
                 accs[k].cost.push(c);
                 accs[k].thr.push(t);
@@ -166,7 +162,14 @@ fn main() {
     table.print();
     match csvout::write_csv(
         "e6_bandwidth",
-        &["fleet", "policy", "mean_cost", "mean_throughput", "identity_err", "wins"],
+        &[
+            "fleet",
+            "policy",
+            "mean_cost",
+            "mean_throughput",
+            "identity_err",
+            "wins",
+        ],
         &csv_rows,
     ) {
         Ok(p) => println!("\nwrote {}", p.display()),

@@ -70,7 +70,10 @@ fn main() {
             max_bits.to_string(),
             format!("{:.3e}", rs.max),
         ]);
-        assert_eq!(failures, 0, "Conjecture 13 counterexample found at n = {n}!");
+        assert_eq!(
+            failures, 0,
+            "Conjecture 13 counterexample found at n = {n}!"
+        );
     }
 
     table.print();
@@ -87,7 +90,13 @@ fn main() {
 
     match csvout::write_csv(
         "e3_conjecture13",
-        &["n", "trials", "failures", "max_denominator_bits", "max_f64_residual"],
+        &[
+            "n",
+            "trials",
+            "failures",
+            "max_denominator_bits",
+            "max_f64_residual",
+        ],
         &csv_rows,
     ) {
         Ok(p) => println!("\nwrote {}", p.display()),

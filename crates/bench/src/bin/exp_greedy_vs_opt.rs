@@ -92,7 +92,14 @@ fn main() {
     table.print();
     match csvout::write_csv(
         "e2_greedy_vs_opt",
-        &["class", "n", "instances", "mean_gap", "max_gap", "gaps_gt_1e6"],
+        &[
+            "class",
+            "n",
+            "instances",
+            "mean_gap",
+            "max_gap",
+            "gaps_gt_1e6",
+        ],
         &csv_rows,
     ) {
         Ok(p) => println!("\nwrote {}", p.display()),

@@ -85,7 +85,11 @@ fn main() {
                 renormalize_deviation(&inst, opt.schedule.completion_times())
             });
             let s = summarize(&devs);
-            assert!(s.max < 1e-6, "normal form moved LP completions by {}", s.max);
+            assert!(
+                s.max < 1e-6,
+                "normal form moved LP completions by {}",
+                s.max
+            );
             table.row(vec![
                 "lp-optimal".to_string(),
                 n.to_string(),
@@ -139,14 +143,24 @@ fn main() {
             fnum(s.max),
             fails.to_string(),
         ]);
-        t2_rows.push(vec![n.to_string(), s.n.to_string(), format!("{:.3e}", s.max), fails.to_string()]);
+        t2_rows.push(vec![
+            n.to_string(),
+            s.n.to_string(),
+            format!("{:.3e}", s.max),
+            fails.to_string(),
+        ]);
     }
     t2.print();
 
     csv_rows.extend(t2_rows);
     match csvout::write_csv(
         "e5_normal_form",
-        &["source_or_n", "n_or_instances", "instances_or_gap", "deviation_or_fails"],
+        &[
+            "source_or_n",
+            "n_or_instances",
+            "instances_or_gap",
+            "deviation_or_fails",
+        ],
         &csv_rows,
     ) {
         Ok(p) => println!("\nwrote {}", p.display()),

@@ -76,8 +76,8 @@ fn main() {
             let strict = allocation_changes(&wf, inst.n(), tol) as f64;
 
             // Theorem-10 pipeline: integer WF + stable assignment.
-            let int_step = water_filling_integer(&inst, &completions)
-                .expect("feasible integer instance");
+            let int_step =
+                water_filling_integer(&inst, &completions).expect("feasible integer instance");
             let gantt = assign_processors_stable(&int_step, tol).expect("integer counts");
             let integer = gantt.preemption_count(inst.n(), tol) as f64;
 
@@ -98,8 +98,17 @@ fn main() {
         let st: Vec<f64> = rows.iter().map(|r| r.strict / (2 * n) as f64).collect();
         let iw: Vec<f64> = rows.iter().map(|r| r.integer / (3 * n) as f64).collect();
         let nv: Vec<f64> = rows.iter().map(|r| r.naive / n as f64).collect();
-        let (s5, ss, si, sn) = (summarize(&l5), summarize(&st), summarize(&iw), summarize(&nv));
-        assert!(s5.max <= 1.0 + 1e-9, "Lemma 5 violated: {} on {label} n={n}", s5.max);
+        let (s5, ss, si, sn) = (
+            summarize(&l5),
+            summarize(&st),
+            summarize(&iw),
+            summarize(&nv),
+        );
+        assert!(
+            s5.max <= 1.0 + 1e-9,
+            "Lemma 5 violated: {} on {label} n={n}",
+            s5.max
+        );
         assert!(ss.max <= 1.0 + 1e-9, "strict 2n bound violated: {}", ss.max);
         assert!(si.max <= 1.0 + 1e-9, "Theorem 10 violated: {}", si.max);
         table.row(vec![
@@ -123,7 +132,14 @@ fn main() {
     table.print();
     match csvout::write_csv(
         "e4_preemptions",
-        &["class", "n", "lemma5_per_n_max", "strict_per_2n_max", "intwf_per_3n_max", "naive_per_n_mean"],
+        &[
+            "class",
+            "n",
+            "lemma5_per_n_max",
+            "strict_per_2n_max",
+            "intwf_per_3n_max",
+            "naive_per_n_mean",
+        ],
         &csv_rows,
     ) {
         Ok(p) => println!("\nwrote {}", p.display()),

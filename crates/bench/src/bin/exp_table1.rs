@@ -130,7 +130,13 @@ fn main() {
         }
     }
     add(&mut table, "δ≠,V≠,ΣwC,N-C", "WDEQ vs OPT", 2.0, &r1);
-    add(&mut table, "  (certificate)", "WDEQ vs Lemma-2 bound", 2.0, &r1c);
+    add(
+        &mut table,
+        "  (certificate)",
+        "WDEQ vs Lemma-2 bound",
+        2.0,
+        &r1c,
+    );
     add(&mut table, "δ=1,V≠,ΣC,N-C", "DEQ vs OPT", 2.0, &r2);
     add(&mut table, "δ≠,V≠,ΣC,N-C", "DEQ vs OPT", 2.0, &r3);
     add(&mut table, "δ=P,V≠,ΣwC,N-C", "WDEQ vs OPT", 2.0, &r4);
@@ -185,7 +191,14 @@ fn main() {
     table.print();
     match csvout::write_csv(
         "e1_table1",
-        &["row", "algorithm", "bound", "ratio_mean", "ratio_max", "violations"],
+        &[
+            "row",
+            "algorithm",
+            "bound",
+            "ratio_mean",
+            "ratio_max",
+            "violations",
+        ],
         &csv_rows,
     ) {
         Ok(p) => println!("\nwrote {}", p.display()),

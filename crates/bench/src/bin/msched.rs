@@ -91,8 +91,7 @@ fn schedule(instance: &Instance, algo: &str) -> Result<(ColumnSchedule, String),
             ))
         }
         "best-greedy" => {
-            let (name, order, cost) =
-                best_heuristic_greedy(instance).map_err(|e| e.to_string())?;
+            let (name, order, cost) = best_heuristic_greedy(instance).map_err(|e| e.to_string())?;
             let step = greedy_schedule(instance, &order).map_err(|e| e.to_string())?;
             Ok((
                 step_to_column(&step, tol),
@@ -108,7 +107,10 @@ fn schedule(instance: &Instance, algo: &str) -> Result<(ColumnSchedule, String),
         }
         "makespan" => {
             let cs = makespan_schedule(instance).map_err(|e| e.to_string())?;
-            Ok((cs, "optimal-makespan schedule (all tasks finish together)".into()))
+            Ok((
+                cs,
+                "optimal-makespan schedule (all tasks finish together)".into(),
+            ))
         }
         other => Err(format!("unknown algorithm {other:?}\n{USAGE}")),
     }
@@ -187,9 +189,7 @@ fn main() -> ExitCode {
                 }
             }
             Err(e) => {
-                eprintln!(
-                    "gantt rendering needs an integer machine (P, δ ∈ ℕ): {e}"
-                );
+                eprintln!("gantt rendering needs an integer machine (P, δ ∈ ℕ): {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -22,11 +22,7 @@ fn quote(cell: &str) -> String {
 ///
 /// # Errors
 /// Propagates I/O errors.
-pub fn write_csv(
-    name: &str,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
@@ -34,7 +30,11 @@ pub fn write_csv(
     writeln!(
         f,
         "{}",
-        headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(

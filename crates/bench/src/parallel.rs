@@ -81,14 +81,18 @@ mod tests {
         let out = par_map((0..64u64).collect(), |x| {
             let mut acc = x;
             for _ in 0..1000 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             acc
         });
         let expected = par_map(vec![0u64], |x| {
             let mut acc = x;
             for _ in 0..1000 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             acc
         });

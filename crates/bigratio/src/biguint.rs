@@ -69,9 +69,7 @@ impl BigUint {
     pub fn bits(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64) * LIMB_BITS as u64 - top.leading_zeros() as u64
-            }
+            Some(&top) => (self.limbs.len() as u64) * LIMB_BITS as u64 - top.leading_zeros() as u64,
         }
     }
 
@@ -137,8 +135,8 @@ impl BigUint {
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow: i128 = 0;
         for i in 0..self.limbs.len() {
-            let d = self.limbs[i] as i128 - other.limbs.get(i).copied().unwrap_or(0) as i128
-                + borrow;
+            let d =
+                self.limbs[i] as i128 - other.limbs.get(i).copied().unwrap_or(0) as i128 + borrow;
             out.push(d as u64);
             borrow = d >> 64; // arithmetic shift: 0 or −1
         }
@@ -403,7 +401,9 @@ impl BigUint {
         while i < bytes.len() {
             let take = (bytes.len() - i).min(18);
             let chunk: u64 = s[i..i + take].parse().ok()?;
-            acc = acc.mul_u64(10u64.pow(take as u32)).add(&BigUint::from_u64(chunk));
+            acc = acc
+                .mul_u64(10u64.pow(take as u32))
+                .add(&BigUint::from_u64(chunk));
             i += take;
         }
         Some(acc)

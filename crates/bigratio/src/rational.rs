@@ -253,6 +253,17 @@ impl Scalar for Rational {
     fn to_f64(&self) -> f64 {
         self.approx_f64()
     }
+    /// Rationals need no epsilon: the natural tolerance is exactly zero.
+    fn default_tolerance() -> numkit::Tolerance<Self> {
+        numkit::Tolerance::exact()
+    }
+    /// Every rational is finite by construction (denominators are nonzero).
+    fn is_finite(&self) -> bool {
+        true
+    }
+    fn total_cmp_s(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp(other)
+    }
     fn is_zero(&self) -> bool {
         self.num.is_zero()
     }

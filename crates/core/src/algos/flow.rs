@@ -63,11 +63,7 @@ impl FlowNetwork {
         assert!(from < self.adj.len() && to < self.adj.len(), "bad node");
         assert!(cap >= 0.0, "negative capacity");
         let id = self.edges.len();
-        self.edges.push(Edge {
-            to,
-            cap,
-            flow: 0.0,
-        });
+        self.edges.push(Edge { to, cap, flow: 0.0 });
         self.edges.push(Edge {
             to: from,
             cap: 0.0,

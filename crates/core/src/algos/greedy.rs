@@ -9,24 +9,28 @@
 //! homogeneous weights and `δᵢ > P/2`; Conjecture 12 (backed by the
 //! paper's 10,000-instance experiment, reproduced in this repository's
 //! harness) says some greedy schedule is optimal on *every* instance.
+//!
+//! Generic over the scalar: the availability profile only adds, subtracts
+//! and divides, so the exact instantiation reproduces the paper's symbolic
+//! greedy runs (Conjecture 13 is checked through this code path).
 
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::step::{Segment, StepSchedule};
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 
 /// Remaining-capacity profile: piecewise-constant availability over
 /// `[0, horizon)` plus implicit full capacity `P` afterwards.
 #[derive(Debug, Clone)]
-pub struct AvailProfile {
-    p: f64,
+pub struct AvailProfile<S = f64> {
+    p: S,
     /// `(start, end, available)` with contiguous intervals from 0.
-    intervals: Vec<(f64, f64, f64)>,
+    intervals: Vec<(S, S, S)>,
 }
 
-impl AvailProfile {
+impl<S: Scalar> AvailProfile<S> {
     /// Fresh machine: everything available.
-    pub fn new(p: f64) -> Self {
+    pub fn new(p: S) -> Self {
         AvailProfile {
             p,
             intervals: Vec::new(),
@@ -34,120 +38,126 @@ impl AvailProfile {
     }
 
     /// Availability at time `t`.
-    pub fn available_at(&self, t: f64) -> f64 {
-        for &(s, e, a) in &self.intervals {
-            if s <= t && t < e {
-                return a;
+    pub fn available_at(&self, t: &S) -> S {
+        for (s, e, a) in &self.intervals {
+            if *s <= *t && *t < *e {
+                return a.clone();
             }
         }
-        self.p
+        self.p.clone()
     }
 
     /// End of the explicitly tracked region.
-    pub fn horizon(&self) -> f64 {
-        self.intervals.last().map_or(0.0, |&(_, e, _)| e)
+    pub fn horizon(&self) -> S {
+        self.intervals
+            .last()
+            .map_or(S::zero(), |(_, e, _)| e.clone())
     }
 
     /// Greedily allocate a task with cap `delta` and work `volume`:
     /// rate `min(delta, available(t))` from `t = 0` until completion.
     /// Returns the task's segments (gaps skipped) and its completion time,
     /// and subtracts the consumed capacity from the profile.
-    pub fn allocate(&mut self, delta: f64, volume: f64, tol: Tolerance) -> (Vec<(f64, f64, f64)>, f64) {
-        debug_assert!(delta > 0.0 && volume > 0.0);
-        let cap = delta.min(self.p);
-        let mut segs: Vec<(f64, f64, f64)> = Vec::new(); // (start, end, rate)
-        let mut acc = 0.0f64;
-        let slack = tol.slack(volume, 0.0);
+    pub fn allocate(&mut self, delta: S, volume: S, tol: &Tolerance<S>) -> (Vec<(S, S, S)>, S) {
+        debug_assert!(delta.is_positive() && volume.is_positive());
+        let cap = delta.min_of(self.p.clone());
+        let mut segs: Vec<(S, S, S)> = Vec::new(); // (start, end, rate)
+        let mut acc = S::zero();
+        let slack = tol.slack(volume.clone(), S::zero());
         let completion;
-        let mut consumed: Vec<(f64, f64, f64)> = Vec::new(); // for profile update
+        // Consumed spans, kept for the profile update after the walk.
+        let mut consumed: Vec<(S, S, S)> = Vec::new();
         // Walk explicit intervals, then the implicit tail.
         let mut idx = 0;
-        let mut cursor = 0.0f64;
+        let mut cursor = S::zero();
         loop {
             let (start, end, avail) = if idx < self.intervals.len() {
-                let iv = self.intervals[idx];
+                let iv = self.intervals[idx].clone();
                 idx += 1;
                 iv
             } else {
                 // Implicit tail: full capacity, long enough to finish.
-                let start = self.horizon().max(cursor);
-                let rate = cap.min(self.p);
-                debug_assert!(rate > 0.0);
-                let need = (volume - acc).max(0.0) / rate;
-                (start, start + need + 1.0, self.p)
+                let start = self.horizon().max_of(cursor.clone());
+                let rate = cap.clone().min_of(self.p.clone());
+                debug_assert!(rate.is_positive());
+                let need = (volume.clone() - acc.clone()).max_of(S::zero()) / rate;
+                (start.clone(), start + need + S::one(), self.p.clone())
             };
-            cursor = end;
-            let rate = cap.min(avail);
+            cursor = end.clone();
+            let rate = cap.clone().min_of(avail);
             if rate <= tol.abs {
                 continue; // fully busy interval: the task waits
             }
-            let span = end - start;
-            let vol_here = rate * span;
-            if acc + vol_here >= volume - slack {
+            let span = end.clone() - start.clone();
+            let vol_here = rate.clone() * span;
+            if acc.clone() + vol_here.clone() + slack.clone() >= volume {
                 // Finishes inside this interval.
-                let need = ((volume - acc) / rate).max(0.0);
-                completion = start + need;
-                if need > tol.abs {
-                    segs.push((start, completion, rate));
-                    consumed.push((start, completion, rate));
+                let need = ((volume.clone() - acc.clone()) / rate.clone()).max_of(S::zero());
+                completion = start.clone() + need;
+                if completion.clone() - start.clone() > tol.abs {
+                    segs.push((start.clone(), completion.clone(), rate.clone()));
+                    consumed.push((start, completion.clone(), rate));
                 }
-                acc = volume;
                 break;
             }
-            acc += vol_here;
-            segs.push((start, end, rate));
+            acc = acc + vol_here;
+            segs.push((start.clone(), end.clone(), rate.clone()));
             consumed.push((start, end, rate));
         }
-        debug_assert!(acc >= volume - slack);
-        self.subtract(&consumed, completion, tol);
+        self.subtract(&consumed, completion.clone(), tol);
         (segs, completion)
     }
 
     /// Subtract consumed `(start, end, rate)` spans and re-normalize,
     /// extending the explicit region to at least `up_to`.
-    fn subtract(&mut self, consumed: &[(f64, f64, f64)], up_to: f64, tol: Tolerance) {
+    fn subtract(&mut self, consumed: &[(S, S, S)], up_to: S, tol: &Tolerance<S>) {
         // Collect all boundaries.
-        let mut cuts: Vec<f64> = vec![0.0];
-        for &(s, e, _) in &self.intervals {
-            cuts.push(s);
-            cuts.push(e);
+        let mut cuts: Vec<S> = vec![S::zero()];
+        for (s, e, _) in &self.intervals {
+            cuts.push(s.clone());
+            cuts.push(e.clone());
         }
-        for &(s, e, _) in consumed {
-            cuts.push(s);
-            cuts.push(e);
+        for (s, e, _) in consumed {
+            cuts.push(s.clone());
+            cuts.push(e.clone());
         }
         cuts.push(up_to);
-        cuts.sort_by(f64::total_cmp);
-        cuts.dedup_by(|a, b| tol.eq(*a, *b));
+        cuts.sort_by(S::total_cmp_s);
+        cuts.dedup_by(|a, b| tol.eq(a.clone(), b.clone()));
 
-        let mut next: Vec<(f64, f64, f64)> = Vec::with_capacity(cuts.len());
+        let half = S::from_f64(0.5);
+        let mut next: Vec<(S, S, S)> = Vec::with_capacity(cuts.len());
         for w in cuts.windows(2) {
-            let (s, e) = (w[0], w[1]);
-            if e - s <= tol.abs {
+            let (s, e) = (&w[0], &w[1]);
+            if e.clone() - s.clone() <= tol.abs {
                 continue;
             }
-            let mid = 0.5 * (s + e);
-            let mut avail = self.available_at(mid);
-            for &(cs, ce, r) in consumed {
-                if cs <= mid && mid < ce {
-                    avail -= r;
+            let mid = half.clone() * (s.clone() + e.clone());
+            let mut avail = self.available_at(&mid);
+            for (cs, ce, r) in consumed {
+                if *cs <= mid && mid < *ce {
+                    avail = avail - r.clone();
                 }
             }
             debug_assert!(
-                avail >= -tol.slack(self.p, 0.0) * 16.0,
-                "greedy consumed more than available: {avail}"
+                avail.clone() + tol.slack(self.p.clone(), S::zero()) * S::from_int(16) >= S::zero(),
+                "greedy consumed more than available: {avail:?}"
             );
-            let avail = avail.max(0.0);
+            let avail = avail.max_of(S::zero());
             match next.last_mut() {
-                Some(prev) if tol.eq(prev.2, avail) && tol.eq(prev.1, s) => prev.1 = e,
-                _ => next.push((s, e, avail)),
+                Some(prev)
+                    if tol.eq(prev.2.clone(), avail.clone())
+                        && tol.eq(prev.1.clone(), s.clone()) =>
+                {
+                    prev.1 = e.clone()
+                }
+                _ => next.push((s.clone(), e.clone(), avail)),
             }
         }
         // Drop a trailing full-capacity run (it equals the implicit tail).
-        while let Some(&(s, _, a)) = next.last() {
-            if tol.eq(a, self.p) {
+        while let Some((_, _, a)) = next.last() {
+            if tol.eq(a.clone(), self.p.clone()) {
                 next.pop();
-                let _ = s;
             } else {
                 break;
             }
@@ -174,19 +184,22 @@ impl AvailProfile {
 ///
 /// # Errors
 /// [`ScheduleError::InvalidInstance`] on malformed instances or non-permutation orders.
-pub fn greedy_schedule(instance: &Instance, order: &[TaskId]) -> Result<StepSchedule, ScheduleError> {
+pub fn greedy_schedule<S: Scalar>(
+    instance: &Instance<S>,
+    order: &[TaskId],
+) -> Result<StepSchedule<S>, ScheduleError> {
     instance.validate()?;
     if !crate::algos::orders::is_permutation(order, instance.n()) {
         return Err(ScheduleError::InvalidInstance {
             reason: format!("order is not a permutation of 0..{}", instance.n()),
         });
     }
-    let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
-    let mut profile = AvailProfile::new(instance.p);
-    let mut out = StepSchedule::empty(instance.p, instance.n());
+    let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+    let mut profile = AvailProfile::new(instance.p.clone());
+    let mut out = StepSchedule::empty(instance.p.clone(), instance.n());
     for &id in order {
         let t = instance.task(id);
-        let (segs, _c) = profile.allocate(t.delta, t.volume, tol);
+        let (segs, _c) = profile.allocate(t.delta.clone(), t.volume.clone(), &tol);
         out.allocs[id.0] = segs
             .into_iter()
             .map(|(s, e, r)| Segment {
@@ -200,17 +213,20 @@ pub fn greedy_schedule(instance: &Instance, order: &[TaskId]) -> Result<StepSche
 }
 
 /// Greedy cost `Σ wᵢCᵢ` for an order.
-pub fn greedy_cost(instance: &Instance, order: &[TaskId]) -> Result<f64, ScheduleError> {
+pub fn greedy_cost<S: Scalar>(
+    instance: &Instance<S>,
+    order: &[TaskId],
+) -> Result<S, ScheduleError> {
     Ok(greedy_schedule(instance, order)?.weighted_completion_cost(instance))
 }
 
 /// Best greedy schedule over the standard heuristic orders
 /// (Smith, δ-descending/ascending, height, weighted height, input order).
 /// Returns `(label, order, cost)` of the winner.
-pub fn best_heuristic_greedy(
-    instance: &Instance,
-) -> Result<(&'static str, Vec<TaskId>, f64), ScheduleError> {
-    let mut best: Option<(&'static str, Vec<TaskId>, f64)> = None;
+pub fn best_heuristic_greedy<S: Scalar>(
+    instance: &Instance<S>,
+) -> Result<(&'static str, Vec<TaskId>, S), ScheduleError> {
+    let mut best: Option<(&'static str, Vec<TaskId>, S)> = None;
     for (name, order) in crate::algos::orders::heuristic_orders(instance) {
         let cost = greedy_cost(instance, &order)?;
         if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
@@ -372,5 +388,22 @@ mod tests {
                 assert!((seg.procs - seg.procs.round()).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn exact_greedy_runs_exactly() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        // Same fixture as `second_task_takes_leftovers_then_expands`.
+        let inst = Instance::<Rational>::builder(q(4.0))
+            .task(q(6.0), q(1.0), q(3.0))
+            .task(q(6.0), q(1.0), q(4.0))
+            .build()
+            .unwrap();
+        let s = greedy_schedule(&inst, &[TaskId(0), TaskId(1)]).unwrap();
+        s.validate(&inst).unwrap(); // zero tolerance
+        assert_eq!(s.completion_times(), vec![q(2.0), q(3.0)]);
+        assert_eq!(s.allocs[1][0].procs, q(1.0));
+        assert_eq!(s.allocs[1][1].procs, q(4.0));
     }
 }

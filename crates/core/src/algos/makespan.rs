@@ -13,13 +13,18 @@
 //!   bisection over `L` with Water-Filling feasibility of the completion
 //!   vector `(dᵢ + L)` as the oracle (Theorem 8 makes WF a complete
 //!   feasibility test).
+//!
+//! Both are generic over the scalar. `optimal_makespan` is a closed form,
+//! so its exact instantiation is the exact optimum; `min_lmax` bisects, so
+//! exactness applies to each feasibility verdict while the bracket width is
+//! governed by the iteration budget.
 
 use crate::algos::waterfill::{water_filling, wf_feasible};
 use crate::algos::waterfill_fast::wf_feasible_grouped;
 use crate::error::ScheduleError;
 use crate::instance::Instance;
 use crate::schedule::column::ColumnSchedule;
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 
 /// The optimal makespan `C* = max(ΣVᵢ/P, maxᵢ Vᵢ/min(δᵢ, P))`.
 ///
@@ -34,20 +39,22 @@ use numkit::Tolerance;
 ///     .unwrap();
 /// assert_eq!(optimal_makespan(&inst), 8.0);
 /// ```
-pub fn optimal_makespan(instance: &Instance) -> f64 {
-    let area = instance.total_volume() / instance.p;
+pub fn optimal_makespan<S: Scalar>(instance: &Instance<S>) -> S {
+    let area = instance.total_volume() / instance.p.clone();
     let height = instance
         .tasks
         .iter()
-        .map(|t| t.volume / t.delta.min(instance.p))
-        .fold(0.0, f64::max);
-    area.max(height)
+        .map(|t| t.volume.clone() / t.delta.clone().min_of(instance.p.clone()))
+        .fold(S::zero(), S::max_of);
+    area.max_of(height)
 }
 
 /// A schedule achieving the optimal makespan: every task runs at constant
 /// rate `Vᵢ/C*` over `[0, C*]` (valid because `Vᵢ/C* ≤ min(δᵢ,P)` and
 /// `ΣVᵢ/C* ≤ P` by definition of `C*`).
-pub fn makespan_schedule(instance: &Instance) -> Result<ColumnSchedule, ScheduleError> {
+pub fn makespan_schedule<S: Scalar>(
+    instance: &Instance<S>,
+) -> Result<ColumnSchedule<S>, ScheduleError> {
     instance.validate()?;
     let c = optimal_makespan(instance);
     let completions = vec![c; instance.n()];
@@ -57,23 +64,24 @@ pub fn makespan_schedule(instance: &Instance) -> Result<ColumnSchedule, Schedule
 /// `true` iff every task can complete by its deadline (WF feasibility;
 /// uses the grouped fast checker, falling back to the full algorithm on
 /// malformed input so behaviour matches [`wf_feasible`]).
-pub fn deadlines_feasible(instance: &Instance, deadlines: &[f64]) -> bool {
+pub fn deadlines_feasible<S: Scalar>(instance: &Instance<S>, deadlines: &[S]) -> bool {
     wf_feasible_grouped(instance, deadlines).unwrap_or_else(|_| wf_feasible(instance, deadlines))
 }
 
 /// Minimize the maximum lateness `Lmax = maxᵢ (Cᵢ − dᵢ)` against due dates
 /// `due`, with all release dates zero. Returns the optimal `L` (within
-/// `tol`) and a witnessing Water-Filling schedule.
+/// `tol`, subject to the 100-step bisection budget) and a witnessing
+/// Water-Filling schedule.
 ///
 /// # Errors
 /// [`ScheduleError::LengthMismatch`]/[`ScheduleError::InvalidTime`] on
 /// malformed input. (The problem itself is always feasible for large
 /// enough `L`.)
-pub fn min_lmax(
-    instance: &Instance,
-    due: &[f64],
-    tol: Tolerance,
-) -> Result<(f64, ColumnSchedule), ScheduleError> {
+pub fn min_lmax<S: Scalar>(
+    instance: &Instance<S>,
+    due: &[S],
+    tol: Tolerance<S>,
+) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
     instance.validate()?;
     if due.len() != instance.n() {
         return Err(ScheduleError::LengthMismatch {
@@ -82,21 +90,28 @@ pub fn min_lmax(
             found: due.len(),
         });
     }
-    for &d in due {
+    for d in due {
         if !d.is_finite() {
             return Err(ScheduleError::InvalidTime {
-                value: d,
+                value: d.to_f64(),
                 context: "due dates",
             });
         }
     }
+    if instance.n() == 0 {
+        // No tasks: lateness is vacuously zero.
+        return Ok((S::zero(), water_filling(instance, &[])?));
+    }
     // Completion times must be ≥ 0, so effective deadline is max(d + L, h).
-    let completions = |l: f64| -> Vec<f64> {
+    let completions = |l: S| -> Vec<S> {
         instance
             .tasks
             .iter()
             .zip(due)
-            .map(|(t, &d)| (d + l).max(t.volume / t.delta.min(instance.p)))
+            .map(|(t, d)| {
+                (d.clone() + l.clone())
+                    .max_of(t.volume.clone() / t.delta.clone().min_of(instance.p.clone()))
+            })
             .collect()
     };
     // Individual-height bound gives a lower bracket; the makespan bound an
@@ -105,35 +120,38 @@ pub fn min_lmax(
         .tasks
         .iter()
         .zip(due)
-        .map(|(t, &d)| t.volume / t.delta.min(instance.p) - d)
-        .fold(f64::NEG_INFINITY, f64::max);
+        .map(|(t, d)| t.volume.clone() / t.delta.clone().min_of(instance.p.clone()) - d.clone())
+        .reduce(S::max_of)
+        .expect("instance has at least one task");
     let cstar = optimal_makespan(instance);
-    let mut hi = due
+    let hi = due
         .iter()
-        .map(|&d| cstar - d)
-        .fold(f64::NEG_INFINITY, f64::max);
-    hi = hi.max(lo);
+        .map(|d| cstar.clone() - d.clone())
+        .reduce(S::max_of)
+        .expect("instance has at least one task");
+    let mut hi = hi.max_of(lo.clone());
     debug_assert!(
-        deadlines_feasible(instance, &completions(hi)),
+        deadlines_feasible(instance, &completions(hi.clone())),
         "upper bracket must be feasible"
     );
-    if deadlines_feasible(instance, &completions(lo)) {
-        let cs = water_filling(instance, &completions(lo))?;
+    if deadlines_feasible(instance, &completions(lo.clone())) {
+        let cs = water_filling(instance, &completions(lo.clone()))?;
         return Ok((lo, cs));
     }
     // Bisection on L (feasibility is monotone in L).
+    let half = S::from_f64(0.5);
     for _ in 0..100 {
-        let mid = 0.5 * (lo + hi);
-        if deadlines_feasible(instance, &completions(mid)) {
+        let mid = half.clone() * (lo.clone() + hi.clone());
+        if deadlines_feasible(instance, &completions(mid.clone())) {
             hi = mid;
         } else {
             lo = mid;
         }
-        if hi - lo <= tol.slack(hi, lo) {
+        if hi.clone() - lo.clone() <= tol.slack(hi.clone(), lo.clone()) {
             break;
         }
     }
-    let cs = water_filling(instance, &completions(hi))?;
+    let cs = water_filling(instance, &completions(hi.clone()))?;
     Ok((hi, cs))
 }
 
@@ -179,8 +197,22 @@ mod tests {
             .build()
             .unwrap();
         let c = optimal_makespan(&inst);
-        assert!(!deadlines_feasible(&inst, &vec![c * 0.99; 3]));
-        assert!(deadlines_feasible(&inst, &vec![c; 3]));
+        assert!(!deadlines_feasible(&inst, &[c * 0.99; 3]));
+        assert!(deadlines_feasible(&inst, &[c; 3]));
+    }
+
+    #[test]
+    fn exact_makespan_is_exact() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(2.0))
+            .tasks([(q(8.0), q(1.0), q(1.0)), (q(1.0), q(1.0), q(2.0))])
+            .build()
+            .unwrap();
+        assert_eq!(optimal_makespan(&inst), Rational::from_int(8));
+        let s = makespan_schedule(&inst).unwrap();
+        s.validate(&inst).unwrap(); // zero tolerance
+        assert_eq!(s.makespan(), Rational::from_int(8));
     }
 
     #[test]

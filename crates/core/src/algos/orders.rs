@@ -4,69 +4,70 @@
 //! based on **Smith's rule** — tasks sorted by non-decreasing `Vᵢ/wᵢ` —
 //! as the natural candidate ordering; the experiment harness compares it
 //! against several structural alternatives and exhaustive search.
+//!
+//! Orders are computed generically over the scalar; on exact fields the
+//! sort keys compare exactly, so an ordering decision is never a rounding
+//! artifact.
 
 use crate::instance::{Instance, TaskId};
+use numkit::Scalar;
 
 /// Smith's ordering: `Vᵢ/wᵢ` non-decreasing (weightless tasks last),
 /// ties by id. Optimal for `δᵢ = P` (single-machine WSPT, Table I row 6).
-pub fn smith_order(instance: &Instance) -> Vec<TaskId> {
+/// Ratios are compared by cross-multiplication, so no division happens and
+/// weightless tasks need no infinity sentinel.
+pub fn smith_order<S: Scalar>(instance: &Instance<S>) -> Vec<TaskId> {
     let mut ids: Vec<TaskId> = (0..instance.n()).map(TaskId).collect();
     ids.sort_by(|a, b| {
-        let ra = smith_key(instance, *a);
-        let rb = smith_key(instance, *b);
-        ra.total_cmp(&rb).then(a.0.cmp(&b.0))
+        let (ta, tb) = (instance.task(*a), instance.task(*b));
+        numkit::scalar::ratio_cmp(&ta.volume, &ta.weight, &tb.volume, &tb.weight)
+            .then(a.0.cmp(&b.0))
     });
     ids
 }
 
-fn smith_key(instance: &Instance, id: TaskId) -> f64 {
-    let t = instance.task(id);
-    if t.weight > 0.0 {
-        t.volume / t.weight
-    } else {
-        f64::INFINITY
-    }
-}
-
 /// Caps descending (`δᵢ` large first): wide tasks early keep the machine
 /// full. Ties by id.
-pub fn delta_descending(instance: &Instance) -> Vec<TaskId> {
-    sorted_by_key(instance, |inst, id| -inst.task(id).delta)
+pub fn delta_descending<S: Scalar>(instance: &Instance<S>) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| -inst.task(id).delta.clone())
 }
 
 /// Caps ascending (the mirror ordering; Conjecture 13 says the two cost
 /// the same on homogeneous instances).
-pub fn delta_ascending(instance: &Instance) -> Vec<TaskId> {
-    sorted_by_key(instance, |inst, id| inst.task(id).delta)
+pub fn delta_ascending<S: Scalar>(instance: &Instance<S>) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| inst.task(id).delta.clone())
 }
 
 /// Heights `Vᵢ/δᵢ` descending — the "longest minimal running time first"
 /// analogue of LPT.
-pub fn height_descending(instance: &Instance) -> Vec<TaskId> {
+pub fn height_descending<S: Scalar>(instance: &Instance<S>) -> Vec<TaskId> {
     sorted_by_key(instance, |inst, id| -inst.task(id).height())
 }
 
 /// Weighted-height `wᵢ·δᵢ/Vᵢ` descending: a δ-aware Smith variant that
 /// prioritizes tasks that are both heavy and quick at full parallelism.
-pub fn weighted_height_descending(instance: &Instance) -> Vec<TaskId> {
+pub fn weighted_height_descending<S: Scalar>(instance: &Instance<S>) -> Vec<TaskId> {
     sorted_by_key(instance, |inst, id| {
         let t = inst.task(id);
-        -(t.weight * t.delta.min(inst.p) / t.volume)
+        -(t.weight.clone() * t.delta.clone().min_of(inst.p.clone()) / t.volume.clone())
     })
 }
 
-fn sorted_by_key(instance: &Instance, key: impl Fn(&Instance, TaskId) -> f64) -> Vec<TaskId> {
+fn sorted_by_key<S: Scalar>(
+    instance: &Instance<S>,
+    key: impl Fn(&Instance<S>, TaskId) -> S,
+) -> Vec<TaskId> {
     let mut ids: Vec<TaskId> = (0..instance.n()).map(TaskId).collect();
     ids.sort_by(|a, b| {
         key(instance, *a)
-            .total_cmp(&key(instance, *b))
+            .total_cmp_s(&key(instance, *b))
             .then(a.0.cmp(&b.0))
     });
     ids
 }
 
 /// All candidate heuristic orders, labelled (used by the experiments).
-pub fn heuristic_orders(instance: &Instance) -> Vec<(&'static str, Vec<TaskId>)> {
+pub fn heuristic_orders<S: Scalar>(instance: &Instance<S>) -> Vec<(&'static str, Vec<TaskId>)> {
     vec![
         ("smith", smith_order(instance)),
         ("delta_desc", delta_descending(instance)),
@@ -107,10 +108,7 @@ mod tests {
 
     #[test]
     fn smith_sorts_by_v_over_w() {
-        assert_eq!(
-            smith_order(&inst()),
-            vec![TaskId(2), TaskId(1), TaskId(0)]
-        );
+        assert_eq!(smith_order(&inst()), vec![TaskId(2), TaskId(1), TaskId(0)]);
     }
 
     #[test]
@@ -126,8 +124,7 @@ mod tests {
     #[test]
     fn delta_orders_are_mirrors() {
         let d = delta_descending(&inst());
-        let a = delta_ascending(&inst());
-        let mut rev = a.clone();
+        let mut rev = delta_ascending(&inst());
         rev.reverse();
         assert_eq!(d, rev);
         assert_eq!(d, vec![TaskId(1), TaskId(0), TaskId(2)]);
@@ -165,5 +162,14 @@ mod tests {
         for (name, ord) in heuristic_orders(&inst()) {
             assert!(is_permutation(&ord, 3), "{name} not a permutation");
         }
+    }
+
+    #[test]
+    fn exact_orders_match_float_orders() {
+        use bigratio::Rational;
+        let exact: Instance<Rational> = inst().to_scalar();
+        assert_eq!(smith_order(&inst()), smith_order(&exact));
+        assert_eq!(delta_descending(&inst()), delta_descending(&exact));
+        assert_eq!(height_descending(&inst()), height_descending(&exact));
     }
 }

@@ -87,8 +87,8 @@ pub fn makespan_with_releases(
             break;
         }
     }
-    let schedule = build_flow_schedule(instance, releases, hi)?
-        .expect("upper bracket stays feasible");
+    let schedule =
+        build_flow_schedule(instance, releases, hi)?.expect("upper bracket stays feasible");
     Ok(ReleaseSchedule { cmax: hi, schedule })
 }
 

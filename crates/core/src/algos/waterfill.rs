@@ -9,6 +9,12 @@
 //! `wfᵢ(h) = Σ_k l_k · clamp(h − h_k, 0, δᵢ) = Vᵢ` is found, and every
 //! usable column is raised to `min(hᵢ, h_k + δᵢ)`.
 //!
+//! The whole module is generic over the scalar field `S`: instantiated at
+//! `f64` it is the production path; instantiated at `bigratio::Rational`
+//! the pour levels are solved exactly (the breakpoint walk only adds,
+//! multiplies and divides), so feasibility verdicts are *certificates*, not
+//! tolerance calls.
+//!
 //! Properties proved in the paper and asserted here:
 //! * after each task, column heights are non-increasing in time (Lemma 3);
 //! * WF succeeds iff *any* valid schedule with these completion times
@@ -20,15 +26,15 @@
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::column::{Column, ColumnSchedule};
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 
 /// Outcome of a successful Water-Filling run.
 #[derive(Debug, Clone)]
-pub struct WaterFillOutcome {
+pub struct WaterFillOutcome<S = f64> {
     /// The normal-form schedule.
-    pub schedule: ColumnSchedule,
+    pub schedule: ColumnSchedule<S>,
     /// Water level `hᵢ` chosen for each task (diagnostics/tests).
-    pub levels: Vec<f64>,
+    pub levels: Vec<S>,
 }
 
 /// Run Water-Filling for `instance` against target completion times
@@ -51,18 +57,18 @@ pub struct WaterFillOutcome {
 ///   these completion times (Theorem 8 makes this a certificate);
 /// * [`ScheduleError::LengthMismatch`] / [`ScheduleError::InvalidTime`] on
 ///   malformed input.
-pub fn water_filling(
-    instance: &Instance,
-    completions: &[f64],
-) -> Result<ColumnSchedule, ScheduleError> {
+pub fn water_filling<S: Scalar>(
+    instance: &Instance<S>,
+    completions: &[S],
+) -> Result<ColumnSchedule<S>, ScheduleError> {
     water_filling_full(instance, completions).map(|o| o.schedule)
 }
 
 /// [`water_filling`] exposing the chosen water levels.
-pub fn water_filling_full(
-    instance: &Instance,
-    completions: &[f64],
-) -> Result<WaterFillOutcome, ScheduleError> {
+pub fn water_filling_full<S: Scalar>(
+    instance: &Instance<S>,
+    completions: &[S],
+) -> Result<WaterFillOutcome<S>, ScheduleError> {
     instance.validate()?;
     let n = instance.n();
     if completions.len() != n {
@@ -72,34 +78,40 @@ pub fn water_filling_full(
             found: completions.len(),
         });
     }
-    for &c in completions {
-        if !c.is_finite() || c < 0.0 {
+    for c in completions {
+        if !c.is_finite() || c.is_negative() {
             return Err(ScheduleError::InvalidTime {
-                value: c,
+                value: c.to_f64(),
                 context: "water-filling completion times",
             });
         }
     }
-    let tol = Tolerance::default().scaled(1.0 + n as f64);
+    let tol = S::default_tolerance().scaled(1.0 + n as f64);
 
     // Tasks in completion order (ties by id); column k ends at the k-th
     // ordered completion.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| completions[a].total_cmp(&completions[b]).then(a.cmp(&b)));
-    let bounds: Vec<f64> = order.iter().map(|&i| completions[i]).collect();
-    let lengths: Vec<f64> = bounds
+    order.sort_by(|&a, &b| completions[a].total_cmp_s(&completions[b]).then(a.cmp(&b)));
+    let bounds: Vec<S> = order.iter().map(|&i| completions[i].clone()).collect();
+    let lengths: Vec<S> = bounds
         .iter()
         .enumerate()
-        .map(|(k, &b)| if k == 0 { b } else { b - bounds[k - 1] })
+        .map(|(k, b)| {
+            if k == 0 {
+                b.clone()
+            } else {
+                b.clone() - bounds[k - 1].clone()
+            }
+        })
         .collect();
 
-    let mut heights = vec![0.0f64; n]; // h_k after the tasks placed so far
-    let mut rates: Vec<Vec<(TaskId, f64)>> = vec![Vec::new(); n]; // per column
-    let mut levels = vec![0.0f64; n];
+    let mut heights = vec![S::zero(); n]; // h_k after the tasks placed so far
+    let mut rates: Vec<Vec<(TaskId, S)>> = vec![Vec::new(); n]; // per column
+    let mut levels = vec![S::zero(); n];
 
     for (pos, &ti) in order.iter().enumerate() {
         let task = TaskId(ti);
-        let volume = instance.tasks[ti].volume;
+        let volume = instance.tasks[ti].volume.clone();
         let cap = instance.effective_delta(task);
 
         // Find the minimal level h with  Σ_{k≤pos} l_k·clamp(h−h_k,0,cap)
@@ -107,53 +119,52 @@ pub fn water_filling_full(
         // order and tracking the current slope (Σ l_k of columns in their
         // linear regime).
         let usable = &heights[..=pos];
-        let level = match pour_level(usable, &lengths[..=pos], cap, volume, instance.p, tol) {
+        let level = match pour_level(usable, &lengths[..=pos], &cap, &volume, &instance.p, &tol) {
             Some(h) => h,
             None => {
                 // wfᵢ(P) < Vᵢ: infeasible (Theorem 8 certifies no valid
                 // schedule exists).
-                let placeable: f64 = usable
-                    .iter()
-                    .zip(&lengths[..=pos])
-                    .map(|(&h, &l)| l * (instance.p - h).clamp(0.0, cap))
-                    .sum();
+                let placeable = S::sum(usable.iter().zip(&lengths[..=pos]).map(|(h, l)| {
+                    l.clone() * (instance.p.clone() - h.clone()).clamp_to(S::zero(), cap.clone())
+                }));
                 return Err(ScheduleError::InfeasibleCompletionTimes {
                     task,
-                    placeable,
-                    required: volume,
+                    placeable: placeable.to_f64(),
+                    required: volume.to_f64(),
                 });
             }
         };
-        levels[ti] = level;
+        levels[ti] = level.clone();
 
         // Allocate and raise heights.
-        let mut poured = 0.0;
+        let mut poured = S::zero();
         for k in 0..=pos {
             if lengths[k] <= tol.abs {
                 continue;
             }
-            let rate = (level - heights[k]).clamp(0.0, cap);
+            let rate = (level.clone() - heights[k].clone()).clamp_to(S::zero(), cap.clone());
             if rate > tol.abs {
+                heights[k] = heights[k].clone() + rate.clone();
+                poured = poured + rate.clone() * lengths[k].clone();
                 rates[k].push((task, rate));
-                heights[k] += rate;
-                poured += rate * lengths[k];
             }
         }
-        // Snap accumulated rounding so later tasks see consistent volume.
+        // The pour must account for the full volume (exactly, for exact
+        // scalars; up to accumulated rounding for floats).
         debug_assert!(
-            tol.scaled(8.0).eq(poured, volume),
-            "poured {poured} vs volume {volume}"
+            tol.clone().scaled(8.0).eq(poured.clone(), volume.clone()),
+            "poured {poured:?} vs volume {volume:?}"
         );
         // Lemma 3: heights non-increasing in time (over real columns;
         // zero-length columns hold no water).
         debug_assert!(
             {
-                let real: Vec<f64> = (0..=pos)
+                let real: Vec<S> = (0..=pos)
                     .filter(|&k| lengths[k] > tol.abs)
-                    .map(|k| heights[k])
+                    .map(|k| heights[k].clone())
                     .collect();
                 real.windows(2)
-                    .all(|w| w[0] >= w[1] - tol.slack(w[0], w[1]))
+                    .all(|w| w[0].clone() + tol.slack(w[0].clone(), w[1].clone()) >= w[1])
             },
             "water-filling heights must be non-increasing: {:?}",
             &heights[..=pos]
@@ -162,19 +173,19 @@ pub fn water_filling_full(
 
     // Assemble columns.
     let mut columns = Vec::with_capacity(n);
-    let mut prev = 0.0;
+    let mut prev = S::zero();
     for k in 0..n {
         columns.push(Column {
-            start: prev,
-            end: bounds[k],
+            start: prev.clone(),
+            end: bounds[k].clone(),
             rates: std::mem::take(&mut rates[k]),
         });
-        prev = bounds[k];
+        prev = bounds[k].clone();
     }
 
     Ok(WaterFillOutcome {
         schedule: ColumnSchedule {
-            p: instance.p,
+            p: instance.p.clone(),
             completions: completions.to_vec(),
             columns,
         },
@@ -185,79 +196,84 @@ pub fn water_filling_full(
 /// Minimal water level `h ≤ p` such that
 /// `Σ_k l_k · clamp(h − h_k, 0, cap) ≥ volume`, or `None` if even `h = p`
 /// is not enough.
-pub(crate) fn pour_level(
-    heights: &[f64],
-    lengths: &[f64],
-    cap: f64,
-    volume: f64,
-    p: f64,
-    tol: Tolerance,
-) -> Option<f64> {
+pub(crate) fn pour_level<S: Scalar>(
+    heights: &[S],
+    lengths: &[S],
+    cap: &S,
+    volume: &S,
+    p: &S,
+    tol: &Tolerance<S>,
+) -> Option<S> {
     debug_assert_eq!(heights.len(), lengths.len());
-    let slack = tol.slack(volume, 0.0);
+    let slack = tol.slack(volume.clone(), S::zero());
     // Breakpoints where a column enters (+l) or leaves (−l) its linear
     // regime.
-    let mut events: Vec<(f64, f64)> = Vec::with_capacity(heights.len() * 2);
-    for (&h, &l) in heights.iter().zip(lengths) {
-        if l <= tol.abs {
+    let mut events: Vec<(S, S)> = Vec::with_capacity(heights.len() * 2);
+    for (h, l) in heights.iter().zip(lengths) {
+        if *l <= tol.abs {
             continue;
         }
-        events.push((h, l));
-        events.push((h + cap, -l));
+        events.push((h.clone(), l.clone()));
+        events.push((h.clone() + cap.clone(), -l.clone()));
     }
     if events.is_empty() {
         // No usable columns: only a zero volume fits.
-        return if volume <= slack { Some(0.0) } else { None };
+        return if *volume <= slack {
+            Some(S::zero())
+        } else {
+            None
+        };
     }
-    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    events.sort_by(|a, b| a.0.total_cmp_s(&b.0));
 
-    let mut slope = 0.0f64; // Σ l over columns currently in linear regime
-    let mut filled = 0.0f64; // wf(level)
-    let mut level = events[0].0; // heights are ≤ P, so this starts ≤ P
+    let mut slope = S::zero(); // Σ l over columns currently in linear regime
+    let mut filled = S::zero(); // wf(level)
+    let mut level = events[0].0.clone(); // heights are ≤ P, so this starts ≤ P
     let mut i = 0;
     loop {
         // Apply all events at (or tolerably near) the current level.
-        while i < events.len() && events[i].0 <= level + tol.abs {
-            slope += events[i].1;
+        while i < events.len() && events[i].0 <= level.clone() + tol.abs.clone() {
+            slope = slope + events[i].1.clone();
             i += 1;
         }
-        if filled >= volume - slack {
-            return Some(level.min(p));
+        if filled.clone() + slack.clone() >= *volume {
+            return Some(level.min_of(p.clone()));
         }
-        let next = if i < events.len() {
-            events[i].0
-        } else {
-            f64::INFINITY
-        };
+        let next: Option<&S> = events.get(i).map(|e| &e.0);
         if slope <= tol.abs {
             // Flat region: jump to the next breakpoint (still below P) or
             // give up.
-            if !next.is_finite() || next > p + tol.abs {
-                return None;
+            match next {
+                Some(nx) if *nx <= p.clone() + tol.abs.clone() => {
+                    level = nx.clone();
+                    continue;
+                }
+                _ => return None,
             }
-            level = next;
-            continue;
         }
-        let target_rise = (volume - filled) / slope;
-        let rise = target_rise.min(next - level).min(p - level);
-        filled += slope * rise;
-        level += rise;
-        if filled >= volume - slack {
-            return Some(level.min(p));
+        let target_rise = (volume.clone() - filled.clone()) / slope.clone();
+        let mut rise = target_rise.min_of(p.clone() - level.clone());
+        if let Some(nx) = next {
+            rise = rise.min_of(nx.clone() - level.clone());
         }
-        if level >= p - tol.abs {
+        filled = filled + slope.clone() * rise.clone();
+        level = level + rise;
+        if filled.clone() + slack.clone() >= *volume {
+            return Some(level.min_of(p.clone()));
+        }
+        if level.clone() + tol.abs.clone() >= *p {
             // At the machine ceiling and still unfilled.
             return None;
         }
         // Otherwise we rose exactly to the next breakpoint; loop to apply it.
-        debug_assert!(next.is_finite());
+        debug_assert!(next.is_some());
     }
 }
 
 /// Feasibility of completion times without materializing the allocation:
 /// `true` iff [`water_filling`] would succeed (Theorem 8: iff any valid
 /// schedule with these completion times exists).
-pub fn wf_feasible(instance: &Instance, completions: &[f64]) -> bool {
+pub fn wf_feasible<S: Scalar>(instance: &Instance<S>, completions: &[S]) -> bool {
     water_filling(instance, completions).is_ok()
 }
 
@@ -272,36 +288,40 @@ pub fn wf_feasible(instance: &Instance, completions: &[f64]) -> bool {
 /// also a rate change; including it (as this strict count does) the
 /// empirical bound is `2n` (one extra change per task at most). Both
 /// counts are exercised in experiment E4.
-pub fn allocation_changes(schedule: &ColumnSchedule, n_tasks: usize, tol: Tolerance) -> usize {
-    count_changes(schedule, n_tasks, tol, |_, _| true)
+pub fn allocation_changes<S: Scalar>(
+    schedule: &ColumnSchedule<S>,
+    n_tasks: usize,
+    tol: Tolerance<S>,
+) -> usize {
+    count_changes(schedule, n_tasks, &tol, |_, _| true)
 }
 
 /// The paper's Lemma-5 count: allocation changes whose *new* rate is
 /// strictly below the task's cap (i.e. transitions within the unsaturated
 /// phase). Bounded by `n` in total (Lemma 5).
-pub fn lemma5_changes(
-    schedule: &ColumnSchedule,
-    instance: &Instance,
-    tol: Tolerance,
+pub fn lemma5_changes<S: Scalar>(
+    schedule: &ColumnSchedule<S>,
+    instance: &Instance<S>,
+    tol: Tolerance<S>,
 ) -> usize {
-    let caps: Vec<f64> = (0..instance.n())
+    let caps: Vec<S> = (0..instance.n())
         .map(|i| instance.effective_delta(TaskId(i)))
         .collect();
-    count_changes(schedule, instance.n(), tol, |task, new_rate| {
-        !tol.eq(new_rate, caps[task])
+    count_changes(schedule, instance.n(), &tol, |task, new_rate| {
+        !tol.eq(new_rate.clone(), caps[task].clone())
     })
 }
 
-fn count_changes(
-    schedule: &ColumnSchedule,
+fn count_changes<S: Scalar>(
+    schedule: &ColumnSchedule<S>,
     n_tasks: usize,
-    tol: Tolerance,
-    count_if: impl Fn(usize, f64) -> bool,
+    tol: &Tolerance<S>,
+    count_if: impl Fn(usize, &S) -> bool,
 ) -> usize {
     let mut changes = 0;
     for i in 0..n_tasks {
         let task = TaskId(i);
-        let mut prev_rate: Option<f64> = None;
+        let mut prev_rate: Option<S> = None;
         for col in &schedule.columns {
             if col.len() <= tol.abs {
                 continue;
@@ -315,8 +335,8 @@ fn count_changes(
                 }
                 continue;
             }
-            if let Some(p) = prev_rate {
-                if !tol.eq(p, r) && count_if(i, r) {
+            if let Some(p) = &prev_rate {
+                if !tol.eq(p.clone(), r.clone()) && count_if(i, &r) {
                     changes += 1;
                 }
             }
@@ -330,6 +350,7 @@ fn count_changes(
 mod tests {
     use super::*;
     use crate::algos::wdeq::wdeq_schedule;
+    use bigratio::Rational;
 
     fn tol() -> Tolerance {
         Tolerance::default().scaled(100.0)
@@ -495,5 +516,24 @@ mod tests {
                 assert!((r1.1 - r2.1).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn exact_rational_run_is_exact() {
+        // The same pour in exact arithmetic: volumes are conserved exactly
+        // and the schedule validates with the *zero* tolerance.
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(2.0))
+            .task(q(1.0), q(1.0), q(1.0))
+            .task(q(1.5), q(1.0), q(1.0))
+            .build()
+            .unwrap();
+        let s = water_filling(&inst, &[q(1.0), q(2.0)]).unwrap();
+        s.validate(&inst).unwrap(); // zero-tolerance validation
+        assert_eq!(s.columns[1].rate_of(TaskId(1)), q(1.0));
+        assert_eq!(s.columns[0].rate_of(TaskId(1)), q(0.5));
+        assert_eq!(s.allocated_area(TaskId(1)), q(1.5));
+        // Infeasibility is an exact verdict, too.
+        assert!(!wf_feasible(&inst, &[q(1.0), q(1.2)]));
     }
 }

@@ -12,17 +12,20 @@
 //! each — the total work is near-linear in practice (worst case still
 //! O(n²) on adversarial profiles, measured in the `waterfill` ablation
 //! bench).
+//!
+//! Generic over the scalar, like the full algorithm: the exact
+//! instantiation turns the feasibility verdict into a certificate.
 
 use crate::algos::waterfill::pour_level;
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
-use numkit::Tolerance;
+use numkit::Scalar;
 
 /// A maximal run of equal-height columns.
-#[derive(Debug, Clone, Copy)]
-struct Group {
-    height: f64,
-    len: f64,
+#[derive(Debug, Clone)]
+struct Group<S> {
+    height: S,
+    len: S,
 }
 
 /// Feasibility of `completions` for `instance` (Theorem 8: equivalent to
@@ -31,9 +34,9 @@ struct Group {
 ///
 /// # Errors
 /// Same input validation as [`crate::algos::waterfill::water_filling`].
-pub fn wf_feasible_grouped(
-    instance: &Instance,
-    completions: &[f64],
+pub fn wf_feasible_grouped<S: Scalar>(
+    instance: &Instance<S>,
+    completions: &[S],
 ) -> Result<bool, ScheduleError> {
     instance.validate()?;
     let n = instance.n();
@@ -44,85 +47,101 @@ pub fn wf_feasible_grouped(
             found: completions.len(),
         });
     }
-    for &c in completions {
-        if !c.is_finite() || c < 0.0 {
+    for c in completions {
+        if !c.is_finite() || c.is_negative() {
             return Err(ScheduleError::InvalidTime {
-                value: c,
+                value: c.to_f64(),
                 context: "grouped water-filling completion times",
             });
         }
     }
-    let tol = Tolerance::default().scaled(1.0 + n as f64);
+    let tol = S::default_tolerance().scaled(1.0 + n as f64);
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| completions[a].total_cmp(&completions[b]).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| completions[a].total_cmp_s(&completions[b]).then(a.cmp(&b)));
 
     // Groups in time order (non-increasing heights, Lemma 3).
-    let mut groups: Vec<Group> = Vec::with_capacity(16);
-    let mut domain_end = 0.0f64;
+    let mut groups: Vec<Group<S>> = Vec::with_capacity(16);
+    let mut domain_end = S::zero();
     // Scratch buffers reused across pours.
-    let mut heights: Vec<f64> = Vec::new();
-    let mut lengths: Vec<f64> = Vec::new();
+    let mut heights: Vec<S> = Vec::new();
+    let mut lengths: Vec<S> = Vec::new();
 
     for &ti in &order {
-        let c_i = completions[ti];
+        let c_i = &completions[ti];
         let cap = instance.effective_delta(TaskId(ti));
-        let volume = instance.tasks[ti].volume;
+        let volume = &instance.tasks[ti].volume;
         // New column for this completion time (height 0 ⇒ merges with a
         // trailing zero-height group if present).
-        if c_i > domain_end + tol.abs {
+        if *c_i > domain_end.clone() + tol.abs.clone() {
+            let extra = c_i.clone() - domain_end.clone();
             match groups.last_mut() {
-                Some(g) if g.height == 0.0 => g.len += c_i - domain_end,
+                Some(g) if g.height.is_zero() => g.len = g.len.clone() + extra,
                 _ => groups.push(Group {
-                    height: 0.0,
-                    len: c_i - domain_end,
+                    height: S::zero(),
+                    len: extra,
                 }),
             }
-            domain_end = c_i;
+            domain_end = c_i.clone();
         }
 
         heights.clear();
         lengths.clear();
-        heights.extend(groups.iter().map(|g| g.height));
-        lengths.extend(groups.iter().map(|g| g.len));
-        let Some(level) = pour_level(&heights, &lengths, cap, volume, instance.p, tol) else {
+        heights.extend(groups.iter().map(|g| g.height.clone()));
+        lengths.extend(groups.iter().map(|g| g.len.clone()));
+        let Some(level) = pour_level(&heights, &lengths, &cap, volume, &instance.p, &tol) else {
             return Ok(false);
         };
 
         // Rebuild groups: untouched prefix | one merged plateau | +cap
         // suffix. All three regions are contiguous in time because heights
         // are non-increasing.
-        let mut next: Vec<Group> = Vec::with_capacity(groups.len() + 2);
-        let mut plateau_len = 0.0f64;
+        let mut next: Vec<Group<S>> = Vec::with_capacity(groups.len() + 2);
+        let mut plateau_len = S::zero();
         for g in &groups {
-            if g.height >= level - tol.abs {
-                debug_assert!(plateau_len == 0.0, "untouched region must be a prefix");
-                next.push(*g);
-            } else if g.height > level - cap - tol.abs {
-                plateau_len += g.len;
+            if g.height.clone() + tol.abs.clone() >= level {
+                debug_assert!(
+                    !plateau_len.is_positive(),
+                    "untouched region must be a prefix"
+                );
+                next.push(g.clone());
+            } else if g.height.clone() + cap.clone() + tol.abs.clone() > level {
+                plateau_len = plateau_len + g.len.clone();
             } else {
-                if plateau_len > 0.0 {
-                    push_group(&mut next, level, plateau_len, tol);
-                    plateau_len = 0.0;
+                if plateau_len.is_positive() {
+                    push_group(&mut next, level.clone(), plateau_len.clone(), &tol);
+                    plateau_len = S::zero();
                 }
-                push_group(&mut next, g.height + cap, g.len, tol);
+                push_group(
+                    &mut next,
+                    g.height.clone() + cap.clone(),
+                    g.len.clone(),
+                    &tol,
+                );
             }
         }
-        if plateau_len > 0.0 {
-            push_group(&mut next, level, plateau_len, tol);
+        if plateau_len.is_positive() {
+            push_group(&mut next, level.clone(), plateau_len, &tol);
         }
         groups = next;
         debug_assert!(
-            groups.windows(2).all(|w| w[0].height >= w[1].height - tol.abs),
+            groups
+                .windows(2)
+                .all(|w| w[0].height.clone() + tol.abs.clone() >= w[1].height),
             "grouped profile must stay non-increasing"
         );
     }
     Ok(true)
 }
 
-fn push_group(groups: &mut Vec<Group>, height: f64, len: f64, tol: Tolerance) {
+fn push_group<S: Scalar>(
+    groups: &mut Vec<Group<S>>,
+    height: S,
+    len: S,
+    tol: &numkit::Tolerance<S>,
+) {
     match groups.last_mut() {
-        Some(g) if tol.eq(g.height, height) => g.len += len,
+        Some(g) if tol.eq(g.height.clone(), height.clone()) => g.len = g.len.clone() + len,
         _ => groups.push(Group { height, len }),
     }
 }
@@ -160,15 +179,11 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         for seed in 0..50u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let n = rng.random_range(2..20);
+            let n = rng.random_range(2usize..20);
             let inst = Instance::builder(rng.random_range(1.0..8.0))
-                .tasks((0..n).map(|_| {
-                    (
-                        rng.random_range(0.1..4.0),
-                        1.0,
-                        rng.random_range(0.1..4.0),
-                    )
-                }))
+                .tasks(
+                    (0..n).map(|_| (rng.random_range(0.1..4.0), 1.0, rng.random_range(0.1..4.0))),
+                )
                 .build()
                 .unwrap();
             // Mix of feasible (WDEQ-derived) and random (often infeasible)
@@ -176,11 +191,39 @@ mod tests {
             let wdeq = wdeq_schedule(&inst);
             let feas = wdeq.completion_times().to_vec();
             assert!(wf_feasible_grouped(&inst, &feas).unwrap());
-            let squeezed: Vec<f64> = feas.iter().map(|c| c * rng.random_range(0.3..1.1)).collect();
+            let squeezed: Vec<f64> = feas
+                .iter()
+                .map(|c| c * rng.random_range(0.3..1.1))
+                .collect();
             assert_eq!(
                 wf_feasible_grouped(&inst, &squeezed).unwrap(),
                 wf_feasible(&inst, &squeezed),
                 "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_agrees_with_full_wf() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(2.0))
+            .tasks([
+                (q(1.0), q(1.0), q(1.0)),
+                (q(1.5), q(1.0), q(0.75)),
+                (q(0.5), q(1.0), q(2.0)),
+            ])
+            .build()
+            .unwrap();
+        for completions in [
+            vec![q(1.0), q(2.0), q(2.0)],
+            vec![q(1.0), q(1.5), q(1.5)],
+            vec![q(0.5), q(2.5), q(3.0)],
+        ] {
+            assert_eq!(
+                wf_feasible_grouped(&inst, &completions).unwrap(),
+                wf_feasible(&inst, &completions),
+                "exact disagreement on {completions:?}"
             );
         }
     }
@@ -202,13 +245,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 2000;
         let inst = Instance::builder(16.0)
-            .tasks((0..n).map(|_| {
-                (
-                    rng.random_range(0.1..4.0),
-                    1.0,
-                    rng.random_range(0.5..16.0),
-                )
-            }))
+            .tasks((0..n).map(|_| (rng.random_range(0.1..4.0), 1.0, rng.random_range(0.5..16.0))))
             .build()
             .unwrap();
         let completions = wdeq_schedule(&inst);

@@ -100,17 +100,18 @@ pub fn water_filling_integer(
         // Fractional water level over the staircase pieces.
         let heights: Vec<f64> = profile.iter().map(|s| s.height).collect();
         let lengths: Vec<f64> = profile.iter().map(|s| s.end - s.start).collect();
-        let level = pour_level(&heights, &lengths, cap, volume, p as f64, tol).ok_or_else(|| {
-            let placeable: f64 = profile
-                .iter()
-                .map(|s| (s.end - s.start) * (p as f64 - s.height).clamp(0.0, cap))
-                .sum();
-            ScheduleError::InfeasibleCompletionTimes {
-                task,
-                placeable,
-                required: volume,
-            }
-        })?;
+        let level =
+            pour_level(&heights, &lengths, &cap, &volume, &(p as f64), &tol).ok_or_else(|| {
+                let placeable: f64 = profile
+                    .iter()
+                    .map(|s| (s.end - s.start) * (p as f64 - s.height).clamp(0.0, cap))
+                    .sum();
+                ScheduleError::InfeasibleCompletionTimes {
+                    task,
+                    placeable,
+                    required: volume,
+                }
+            })?;
 
         // Classify pieces: A (untouched), B (flattened to ⌊h⌋/⌈h⌉),
         // C (saturated, +δ). B and C partition a suffix of the timeline
@@ -134,7 +135,11 @@ pub fn water_filling_integer(
             .filter(|s| is_b(s.height))
             .map(|s| (s.end - s.start) * (lo - s.height))
             .sum();
-        let mut extra = if hi > lo { (area_b - low_area).max(0.0) } else { 0.0 };
+        let mut extra = if hi > lo {
+            (area_b - low_area).max(0.0)
+        } else {
+            0.0
+        };
 
         // Walk pieces, build the new staircase and the task's segments.
         let mut new_profile: Vec<Piece> = Vec::with_capacity(profile.len() + 2);
@@ -202,9 +207,7 @@ pub fn water_filling_integer(
         profile = new_profile;
         // Staircase invariant (the whole construction rests on it).
         debug_assert!(
-            profile
-                .windows(2)
-                .all(|w| w[0].height >= w[1].height - 0.5),
+            profile.windows(2).all(|w| w[0].height >= w[1].height - 0.5),
             "integer staircase must be non-increasing: {profile:?}"
         );
         out.allocs[ti] = segs;

@@ -14,6 +14,11 @@
 //! returns that per-run certificate, so every simulation carries its own
 //! machine-checkable approximation proof.
 //!
+//! The replay is generic over the scalar: the event times (minima of
+//! `remaining/rate` quotients) are field operations, so the exact
+//! instantiation produces exact completion times — and a certificate whose
+//! inequality holds with zero tolerance.
+//!
 //! This module contains the *closed-form clairvoyant replay* of the policy
 //! (fast, exact event times); `malleable-sim` re-implements WDEQ behind the
 //! genuinely non-clairvoyant `OnlinePolicy` interface and the two are
@@ -23,42 +28,44 @@ use crate::bounds::mixed_bound;
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::column::{Column, ColumnSchedule};
+use numkit::Scalar;
+#[cfg(test)]
 use numkit::Tolerance;
 
 /// Result of a WDEQ run: the schedule plus the volume split that certifies
 /// the 2-approximation.
 #[derive(Debug, Clone)]
-pub struct WdeqRun {
+pub struct WdeqRun<S = f64> {
     /// The produced column schedule.
-    pub schedule: ColumnSchedule,
+    pub schedule: ColumnSchedule<S>,
     /// Per task: volume processed while the allocation equalled `min(δᵢ,P)`.
-    pub full_volumes: Vec<f64>,
+    pub full_volumes: Vec<S>,
     /// Per task: volume processed while limited by the equipartition.
-    pub limited_volumes: Vec<f64>,
+    pub limited_volumes: Vec<S>,
 }
 
 /// The Lemma-2 certificate: `cost(WDEQ) ≤ 2 · value ≤ 2 · OPT`.
 #[derive(Debug, Clone)]
-pub struct WdeqCertificate {
+pub struct WdeqCertificate<S = f64> {
     /// The mixed lower bound `A(I[V̄F]) + H(I[VF])`.
-    value: f64,
+    value: S,
     /// WDEQ's achieved objective.
-    pub wdeq_cost: f64,
+    pub wdeq_cost: S,
 }
 
-impl WdeqCertificate {
+impl<S: Scalar> WdeqCertificate<S> {
     /// The certified lower bound on `OPT(I)`.
-    pub fn value(&self) -> f64 {
-        self.value
+    pub fn value(&self) -> S {
+        self.value.clone()
     }
 
     /// The certified ratio `cost / bound` (≤ 2 by Theorem 4, up to float
-    /// noise).
-    pub fn ratio(&self) -> f64 {
-        if self.value <= 0.0 {
-            1.0
+    /// noise — exactly ≤ 2 in exact arithmetic).
+    pub fn ratio(&self) -> S {
+        if self.value.is_positive() {
+            self.wdeq_cost.clone() / self.value.clone()
         } else {
-            self.wdeq_cost / self.value
+            S::one()
         }
     }
 }
@@ -68,49 +75,43 @@ impl WdeqCertificate {
 /// `entries` = `(weight, cap)` with `cap = min(δᵢ, P)` pre-clamped; returns
 /// the rate of each entry. Single pass over tasks sorted by `cap/weight`:
 /// a prefix saturates at its cap, the suffix shares the remainder
-/// proportionally (the fixpoint of Algorithm 1's while-loop).
-pub fn wdeq_allocation(entries: &[(f64, f64)], p: f64) -> Vec<f64> {
+/// proportionally (the fixpoint of Algorithm 1's while-loop). The sort key
+/// is compared by cross-multiplication (`capₐ·w_b` vs `cap_b·wₐ`), which
+/// avoids divisions entirely and needs no infinity sentinel for weightless
+/// tasks.
+pub fn wdeq_allocation<S: Scalar>(entries: &[(S, S)], p: S) -> Vec<S> {
     let n = entries.len();
     let mut idx: Vec<usize> = (0..n).collect();
     // cap/weight ascending; weightless tasks never saturate by fair share
     // (their share is 0), so they sort last.
     idx.sort_by(|&a, &b| {
-        let ra = ratio(entries[a]);
-        let rb = ratio(entries[b]);
-        ra.total_cmp(&rb)
+        let ((wa, capa), (wb, capb)) = (&entries[a], &entries[b]);
+        numkit::scalar::ratio_cmp(capa, wa, capb, wb).then(a.cmp(&b))
     });
-    let mut rates = vec![0.0; n];
+    let mut rates = vec![S::zero(); n];
     let mut p_left = p;
-    let mut w_left: f64 = entries.iter().map(|e| e.0).sum();
+    let mut w_left = S::sum(entries.iter().map(|e| e.0.clone()));
     let mut cut = n;
     for (k, &i) in idx.iter().enumerate() {
-        let (w, cap) = entries[i];
+        let (w, cap) = &entries[i];
         // Saturation test: δ ≤ w·P′/W′  ⇔  δ·W′ ≤ w·P′.
-        if w_left > 0.0 && cap * w_left <= w * p_left {
-            rates[i] = cap;
-            p_left -= cap;
-            w_left -= w;
+        if w_left.is_positive() && cap.clone() * w_left.clone() <= w.clone() * p_left.clone() {
+            rates[i] = cap.clone();
+            p_left = p_left - cap.clone();
+            w_left = w_left - w.clone();
         } else {
             cut = k;
             break;
         }
     }
     // Remaining tasks share proportionally.
-    if cut < n && w_left > 0.0 && p_left > 0.0 {
+    if cut < n && w_left.is_positive() && p_left.is_positive() {
         for &i in &idx[cut..] {
-            let (w, cap) = entries[i];
-            rates[i] = (w * p_left / w_left).min(cap);
+            let (w, cap) = &entries[i];
+            rates[i] = (w.clone() * p_left.clone() / w_left.clone()).min_of(cap.clone());
         }
     }
     rates
-}
-
-fn ratio((w, cap): (f64, f64)) -> f64 {
-    if w > 0.0 {
-        cap / w
-    } else {
-        f64::INFINITY
-    }
 }
 
 /// Run WDEQ to completion and return schedule plus volume split.
@@ -119,95 +120,100 @@ fn ratio((w, cap): (f64, f64)) -> f64 {
 /// [`ScheduleError::InvalidInstance`] when the instance is malformed or a
 /// task has zero weight (a weightless task would starve forever under
 /// proportional sharing; exclude such tasks or give them ε weight).
-pub fn wdeq_run(instance: &Instance) -> Result<WdeqRun, ScheduleError> {
+pub fn wdeq_run<S: Scalar>(instance: &Instance<S>) -> Result<WdeqRun<S>, ScheduleError> {
     instance.validate()?;
-    if instance.tasks.iter().any(|t| t.weight <= 0.0) {
+    if instance.tasks.iter().any(|t| !t.weight.is_positive()) {
         return Err(ScheduleError::InvalidInstance {
             reason: "WDEQ requires strictly positive weights".into(),
         });
     }
-    let tol = Tolerance::default();
+    let tol = S::default_tolerance();
     let n = instance.n();
-    let mut remaining: Vec<f64> = instance.tasks.iter().map(|t| t.volume).collect();
+    let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
     let mut active: Vec<usize> = (0..n).collect();
-    let mut completions = vec![0.0; n];
-    let mut full_volumes = vec![0.0; n];
-    let mut limited_volumes = vec![0.0; n];
+    let mut completions = vec![S::zero(); n];
+    let mut full_volumes = vec![S::zero(); n];
+    let mut limited_volumes = vec![S::zero(); n];
     let mut columns = Vec::with_capacity(n);
-    let mut now = 0.0f64;
+    let mut now = S::zero();
 
     while !active.is_empty() {
-        let entries: Vec<(f64, f64)> = active
+        let entries: Vec<(S, S)> = active
             .iter()
             .map(|&i| {
                 (
-                    instance.tasks[i].weight,
+                    instance.tasks[i].weight.clone(),
                     instance.effective_delta(TaskId(i)),
                 )
             })
             .collect();
-        let rates = wdeq_allocation(&entries, instance.p);
+        let rates = wdeq_allocation(&entries, instance.p.clone());
         // Time until the first active task finishes.
-        let mut dt = f64::INFINITY;
+        let mut dt: Option<S> = None;
         for (k, &i) in active.iter().enumerate() {
             debug_assert!(
-                rates[k] > 0.0,
+                rates[k].is_positive(),
                 "WDEQ allocates a positive rate to every weighted task"
             );
-            dt = dt.min(remaining[i] / rates[k]);
+            let t_i = remaining[i].clone() / rates[k].clone();
+            dt = Some(match dt {
+                Some(d) => d.min_of(t_i),
+                None => t_i,
+            });
         }
-        debug_assert!(dt.is_finite() && dt > 0.0);
+        let dt = dt.expect("active set is non-empty");
+        debug_assert!(dt.is_finite() && dt.is_positive());
 
-        let col_rates: Vec<(TaskId, f64)> = active
+        let col_rates: Vec<(TaskId, S)> = active
             .iter()
             .zip(&rates)
-            .map(|(&i, &r)| (TaskId(i), r))
+            .map(|(&i, r)| (TaskId(i), r.clone()))
             .collect();
         columns.push(Column {
-            start: now,
-            end: now + dt,
+            start: now.clone(),
+            end: now.clone() + dt.clone(),
             rates: col_rates,
         });
 
         // Account processed volume, split by full/limited allocation.
         let mut done = Vec::new();
         for (k, &i) in active.iter().enumerate() {
-            let processed = rates[k] * dt;
+            let processed = rates[k].clone() * dt.clone();
             let cap = instance.effective_delta(TaskId(i));
-            if tol.ge(rates[k], cap) {
-                full_volumes[i] += processed;
+            if tol.ge(rates[k].clone(), cap) {
+                full_volumes[i] = full_volumes[i].clone() + processed.clone();
             } else {
-                limited_volumes[i] += processed;
+                limited_volumes[i] = limited_volumes[i].clone() + processed.clone();
             }
-            remaining[i] -= processed;
+            remaining[i] = remaining[i].clone() - processed;
             // Completion: exactly zero remaining, or within tolerance of it.
-            if remaining[i] <= tol.slack(instance.tasks[i].volume, 0.0) {
-                remaining[i] = 0.0;
-                completions[i] = now + dt;
+            if remaining[i] <= tol.slack(instance.tasks[i].volume.clone(), S::zero()) {
+                remaining[i] = S::zero();
+                completions[i] = now.clone() + dt.clone();
                 done.push(i);
             }
         }
         debug_assert!(!done.is_empty(), "each WDEQ event completes ≥ 1 task");
         active.retain(|i| !done.contains(i));
-        now += dt;
+        now = now + dt;
     }
 
     // Snap the volume split onto the exact volumes (it drifts by float
     // accumulation; the split must satisfy V¹ + V² = V exactly for the
-    // mixed bound).
+    // mixed bound). A no-op in exact arithmetic, where the split already
+    // sums to the volume.
     for i in 0..n {
-        let v = instance.tasks[i].volume;
-        let s = full_volumes[i] + limited_volumes[i];
-        if s > 0.0 {
-            let scale = v / s;
-            full_volumes[i] *= scale;
-            limited_volumes[i] = v - full_volumes[i];
+        let v = instance.tasks[i].volume.clone();
+        let s = full_volumes[i].clone() + limited_volumes[i].clone();
+        if s.is_positive() {
+            full_volumes[i] = full_volumes[i].clone() * v.clone() / s;
+            limited_volumes[i] = v - full_volumes[i].clone();
         }
     }
 
     Ok(WdeqRun {
         schedule: ColumnSchedule {
-            p: instance.p,
+            p: instance.p.clone(),
             completions,
             columns,
         },
@@ -235,8 +241,10 @@ pub fn wdeq_run(instance: &Instance) -> Result<WdeqRun, ScheduleError> {
 /// # Panics
 /// Panics on invalid instances (zero weights included); use [`wdeq_run`]
 /// for fallible construction.
-pub fn wdeq_schedule(instance: &Instance) -> ColumnSchedule {
-    wdeq_run(instance).expect("invalid instance for WDEQ").schedule
+pub fn wdeq_schedule<S: Scalar>(instance: &Instance<S>) -> ColumnSchedule<S> {
+    wdeq_run(instance)
+        .expect("invalid instance for WDEQ")
+        .schedule
 }
 
 /// Run WDEQ and return the Lemma-2 approximation certificate.
@@ -244,13 +252,13 @@ pub fn wdeq_schedule(instance: &Instance) -> ColumnSchedule {
 /// # Panics
 /// Panics on invalid instances; use [`wdeq_run`] + [`certificate_of`] for
 /// fallible construction.
-pub fn wdeq_certificate(instance: &Instance) -> WdeqCertificate {
+pub fn wdeq_certificate<S: Scalar>(instance: &Instance<S>) -> WdeqCertificate<S> {
     let run = wdeq_run(instance).expect("invalid instance for WDEQ");
     certificate_of(instance, &run)
 }
 
 /// The Lemma-2 certificate of an existing run.
-pub fn certificate_of(instance: &Instance, run: &WdeqRun) -> WdeqCertificate {
+pub fn certificate_of<S: Scalar>(instance: &Instance<S>, run: &WdeqRun<S>) -> WdeqCertificate<S> {
     // Lemma 2: TCWD ≤ 2·(A(I[V̄F]) + H(I[VF])): the *limited* volumes go to
     // the squashed-area bound, the *full-allocation* volumes to the height
     // bound. `mixed_bound(instance, v1)` computes A(I[v1]) + H(I[V − v1]),
@@ -265,18 +273,18 @@ pub fn certificate_of(instance: &Instance, run: &WdeqRun) -> WdeqCertificate {
 /// **DEQ** (Deng et al.): the unweighted special case — equal shares.
 /// Implemented as WDEQ on a unit-weight copy of the instance, which is
 /// exactly Algorithm 1 with `wᵢ = 1`.
-pub fn deq_schedule(instance: &Instance) -> Result<ColumnSchedule, ScheduleError> {
+pub fn deq_schedule<S: Scalar>(instance: &Instance<S>) -> Result<ColumnSchedule<S>, ScheduleError> {
     let unit = Instance {
-        p: instance.p,
+        p: instance.p.clone(),
         tasks: instance
             .tasks
             .iter()
-            .map(|t| crate::instance::Task::new(t.volume, 1.0, t.delta))
+            .map(|t| crate::instance::Task::new(t.volume.clone(), S::one(), t.delta.clone()))
             .collect(),
     };
     let run = wdeq_run(&unit)?;
     Ok(ColumnSchedule {
-        p: instance.p,
+        p: instance.p.clone(),
         ..run.schedule
     })
 }
@@ -284,6 +292,7 @@ pub fn deq_schedule(instance: &Instance) -> Result<ColumnSchedule, ScheduleError
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bigratio::Rational;
 
     fn tol() -> Tolerance {
         Tolerance::default().scaled(10.0)
@@ -356,9 +365,7 @@ mod tests {
         run.schedule.validate(&inst).unwrap();
         // Split sums to the volumes exactly.
         for (i, t) in inst.tasks.iter().enumerate() {
-            assert!(
-                (run.full_volumes[i] + run.limited_volumes[i] - t.volume).abs() < 1e-9
-            );
+            assert!((run.full_volumes[i] + run.limited_volumes[i] - t.volume).abs() < 1e-9);
         }
     }
 
@@ -446,5 +453,40 @@ mod tests {
         let s = wdeq_schedule(&inst);
         assert!((s.completions[0] - 2.0).abs() < 1e-9);
         assert!((s.completions[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_rational_run_certifies_with_zero_tolerance() {
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(4.0))
+            .task(q(8.0), q(1.0), q(2.0))
+            .task(q(4.0), q(2.0), q(4.0))
+            .task(q(2.0), q(4.0), q(1.0))
+            .build()
+            .unwrap();
+        let run = wdeq_run(&inst).unwrap();
+        // Exact validation: Definition 2 holds with zero slack.
+        run.schedule.validate(&inst).unwrap();
+        // The volume split is exact without snapping.
+        for (i, t) in inst.tasks.iter().enumerate() {
+            assert_eq!(
+                run.full_volumes[i].clone() + run.limited_volumes[i].clone(),
+                t.volume
+            );
+        }
+        // Lemma-2 certificate holds exactly: cost ≤ 2·bound.
+        let cert = certificate_of(&inst, &run);
+        assert!(cert.wdeq_cost <= Rational::from_int(2) * cert.value());
+        // And it agrees with the f64 run to float precision.
+        let f_inst: Instance = inst.approx_f64();
+        let f_run = wdeq_run(&f_inst).unwrap();
+        for (a, b) in f_run
+            .schedule
+            .completions
+            .iter()
+            .zip(&run.schedule.completions)
+        {
+            assert!((a - b.approx_f64()).abs() < 1e-9);
+        }
     }
 }

@@ -10,12 +10,16 @@
 //! * [`mixed_bound`] — Lemma 1: for any volume split `Vᵢ = Vᵢ¹ + Vᵢ²`,
 //!   `OPT(I) ≥ A(I[V¹]) + H(I[V²])`.
 //!
+//! All bounds are generic over the scalar: instantiated at
+//! `bigratio::Rational` they are *exact* lower bounds, so certified
+//! comparisons against them need no epsilon.
+//!
 //! The WDEQ run produces the specific split used in the proof of Theorem 4
 //! (volume processed while *limited* vs while *at full allocation*); see
 //! [`crate::algos::wdeq::wdeq_certificate`].
 
 use crate::instance::Instance;
-use numkit::KahanSum;
+use numkit::Scalar;
 
 /// The squashed-area bound `A(I)`: optimal `Σ wᵢCᵢ` when parallelism caps
 /// are ignored (`δᵢ = P`), i.e. preemptive WSPT on a single machine of
@@ -34,46 +38,43 @@ use numkit::KahanSum;
 ///     .unwrap();
 /// assert!((squashed_area_bound(&inst) - 5.0).abs() < 1e-12);
 /// ```
-pub fn squashed_area_bound(instance: &Instance) -> f64 {
+pub fn squashed_area_bound<S: Scalar>(instance: &Instance<S>) -> S {
     squashed_area_of(
-        instance.p,
+        instance.p.clone(),
         instance
             .tasks
             .iter()
-            .map(|t| (t.volume, t.weight))
+            .map(|t| (t.volume.clone(), t.weight.clone()))
             .collect(),
     )
 }
 
 /// `A` over explicit `(volume, weight)` pairs on a machine of capacity `p`.
-pub fn squashed_area_of(p: f64, mut vw: Vec<(f64, f64)>) -> f64 {
-    vw.retain(|&(v, _)| v > 0.0);
-    // Smith order: V/w ascending; weightless tasks last (ratio = +∞).
-    vw.sort_by(|a, b| {
-        let ra = if a.1 > 0.0 { a.0 / a.1 } else { f64::INFINITY };
-        let rb = if b.1 > 0.0 { b.0 / b.1 } else { f64::INFINITY };
-        ra.total_cmp(&rb)
-    });
-    // A = Σᵢ Vᵢ/P · (suffix weight from i) — computed back to front.
-    let mut suffix_w = 0.0;
-    let mut acc = KahanSum::new();
-    for &(v, w) in vw.iter().rev() {
-        suffix_w += w;
-        acc.add(v / p * suffix_w);
-    }
-    acc.value()
+pub fn squashed_area_of<S: Scalar>(p: S, mut vw: Vec<(S, S)>) -> S {
+    vw.retain(|(v, _)| v.is_positive());
+    // Smith order: V/w ascending, compared by cross-multiplication so no
+    // division (or infinity sentinel) is needed; weightless tasks last.
+    vw.sort_by(|a, b| numkit::scalar::ratio_cmp(&a.0, &a.1, &b.0, &b.1));
+    // A = Σᵢ Vᵢ/P · (suffix weight from i) — computed back to front,
+    // accumulated through Scalar::sum (Kahan-compensated for f64, exact for
+    // exact fields).
+    let mut suffix_w = S::zero();
+    S::sum(vw.iter().rev().map(|(v, w)| {
+        suffix_w = suffix_w.clone() + w.clone();
+        v.clone() / p.clone() * suffix_w.clone()
+    }))
 }
 
 /// The height bound `H(I) = Σ wᵢ·hᵢ` with `hᵢ = Vᵢ/min(δᵢ, P)`: no task
 /// can finish before its minimal running time.
-pub fn height_bound(instance: &Instance) -> f64 {
-    let mut acc = KahanSum::new();
-    for t in &instance.tasks {
-        if t.volume > 0.0 {
-            acc.add(t.weight * t.volume / t.delta.min(instance.p));
+pub fn height_bound<S: Scalar>(instance: &Instance<S>) -> S {
+    S::sum(instance.tasks.iter().filter_map(|t| {
+        if t.volume.is_positive() {
+            Some(t.weight.clone() * t.volume.clone() / t.delta.clone().min_of(instance.p.clone()))
+        } else {
+            None
         }
-    }
-    acc.value()
+    }))
 }
 
 /// The mixed lower bound of Lemma 1: given per-task split volumes
@@ -82,32 +83,33 @@ pub fn height_bound(instance: &Instance) -> f64 {
 ///
 /// # Panics
 /// Panics when `v1` has the wrong length or entries outside `[0, Vᵢ]`
-/// beyond a small slack (programming error in callers — the split always
-/// comes from a schedule run).
-pub fn mixed_bound(instance: &Instance, v1: &[f64]) -> f64 {
+/// beyond the scalar's natural slack (programming error in callers — the
+/// split always comes from a schedule run).
+pub fn mixed_bound<S: Scalar>(instance: &Instance<S>, v1: &[S]) -> S {
     assert_eq!(v1.len(), instance.n(), "split length mismatch");
+    let tol = S::default_tolerance();
     let mut vw1 = Vec::with_capacity(instance.n());
-    let mut h2 = KahanSum::new();
-    for (t, &a) in instance.tasks.iter().zip(v1) {
+    let mut h2_terms = Vec::with_capacity(instance.n());
+    for (t, a) in instance.tasks.iter().zip(v1) {
         assert!(
-            (-1e-9..=t.volume + 1e-9).contains(&a),
-            "split volume {a} outside [0, {}]",
+            tol.ge(a.clone(), S::zero()) && tol.le(a.clone(), t.volume.clone()),
+            "split volume {a:?} outside [0, {:?}]",
             t.volume
         );
-        let a = a.clamp(0.0, t.volume);
-        vw1.push((a, t.weight));
-        let rest = t.volume - a;
-        if rest > 0.0 {
-            h2.add(t.weight * rest / t.delta.min(instance.p));
+        let a = a.clone().clamp_to(S::zero(), t.volume.clone());
+        let rest = t.volume.clone() - a.clone();
+        vw1.push((a, t.weight.clone()));
+        if rest.is_positive() {
+            h2_terms.push(t.weight.clone() * rest / t.delta.clone().min_of(instance.p.clone()));
         }
     }
-    squashed_area_of(instance.p, vw1) + h2.value()
+    squashed_area_of(instance.p.clone(), vw1) + S::sum(h2_terms)
 }
 
 /// `max(A(I), H(I))` — the classic combined lower bound (both are valid,
 /// so their max is).
-pub fn combined_lower_bound(instance: &Instance) -> f64 {
-    squashed_area_bound(instance).max(height_bound(instance))
+pub fn combined_lower_bound<S: Scalar>(instance: &Instance<S>) -> S {
+    squashed_area_bound(instance).max_of(height_bound(instance))
 }
 
 #[cfg(test)]
@@ -203,12 +205,23 @@ mod tests {
 
     #[test]
     fn combined_bound_is_max() {
-        let inst = Instance::builder(2.0)
-            .task(4.0, 1.0, 1.0)
-            .build()
-            .unwrap();
+        let inst = Instance::builder(2.0).task(4.0, 1.0, 1.0).build().unwrap();
         // A = 2, H = 4.
         assert!(close(combined_lower_bound(&inst), 4.0));
+    }
+
+    #[test]
+    fn exact_bounds_are_exact() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(1.0))
+            .task(q(1.0), q(2.0), q(1.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .build()
+            .unwrap();
+        assert_eq!(squashed_area_bound(&inst), Rational::from_int(5));
+        assert_eq!(height_bound(&inst), Rational::from_int(4));
+        assert_eq!(mixed_bound(&inst, &[q(1.0), q(2.0)]), Rational::from_int(5));
     }
 
     #[test]

@@ -89,10 +89,7 @@ impl fmt::Display for ScheduleError {
                 at,
                 rate,
                 delta,
-            } => write!(
-                f,
-                "task {task} allocated {rate} > δ = {delta} at t = {at}"
-            ),
+            } => write!(f, "task {task} allocated {rate} > δ = {delta} at t = {at}"),
             ScheduleError::CapacityExceeded { at, total, p } => {
                 write!(f, "total allocation {total} > P = {p} at t = {at}")
             }

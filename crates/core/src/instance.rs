@@ -3,11 +3,18 @@
 //!
 //! The paper formulates the model with integer processor counts and then
 //! proves (Theorem 3) that the fractional column-based relaxation is
-//! equivalent; accordingly `P` and `δᵢ` are `f64` here, and integer-valued
-//! instances are just the special case used when converting schedules back
-//! to per-processor Gantt charts.
+//! equivalent; accordingly `P` and `δᵢ` are plain scalars here, and
+//! integer-valued instances are just the special case used when converting
+//! schedules back to per-processor Gantt charts.
+//!
+//! Everything is generic over the scalar field `S` ([`numkit::Scalar`],
+//! default `f64`): `Instance::<f64>` is the production path, while
+//! `Instance::<bigratio::Rational>` runs the *same* algorithms in exact
+//! arithmetic for certified results (see [`Instance::to_scalar`] to lift a
+//! float instance exactly).
 
 use crate::error::ScheduleError;
+use numkit::{Scalar, Tolerance};
 use std::fmt;
 
 /// Index of a task within its [`Instance`] (dense, `0..n`).
@@ -22,20 +29,20 @@ impl fmt::Display for TaskId {
 
 /// One work-preserving malleable task.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Task {
+pub struct Task<S = f64> {
     /// Total work `Vᵢ` (area in the Gantt chart; equals the sequential
     /// processing time).
-    pub volume: f64,
+    pub volume: S,
     /// Weight `wᵢ` in the objective `Σ wᵢCᵢ`.
-    pub weight: f64,
+    pub weight: S,
     /// Maximal number of processors `δᵢ` usable simultaneously.
-    pub delta: f64,
+    pub delta: S,
 }
 
-impl Task {
+impl<S: Scalar> Task<S> {
     /// Construct a task; see [`Instance::validate`] for the admissible
     /// ranges.
-    pub fn new(volume: f64, weight: f64, delta: f64) -> Self {
+    pub fn new(volume: S, weight: S, delta: S) -> Self {
         Task {
             volume,
             weight,
@@ -44,29 +51,29 @@ impl Task {
     }
 
     /// The task's *height* `hᵢ = Vᵢ/δᵢ`: its minimal possible running time.
-    pub fn height(&self) -> f64 {
-        self.volume / self.delta
+    pub fn height(&self) -> S {
+        self.volume.clone() / self.delta.clone()
     }
 
     /// Smith ratio `Vᵢ/wᵢ` (sorting key of the squashed-area bound).
-    pub fn smith_ratio(&self) -> f64 {
-        self.volume / self.weight
+    pub fn smith_ratio(&self) -> S {
+        self.volume.clone() / self.weight.clone()
     }
 }
 
 /// A scheduling instance `I = (P, (wᵢ), (Vᵢ), (δᵢ))`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Instance {
+pub struct Instance<S = f64> {
     /// Number of identical processors `P` (fractional capacity allowed; see
     /// module docs).
-    pub p: f64,
+    pub p: S,
     /// The tasks.
-    pub tasks: Vec<Task>,
+    pub tasks: Vec<Task<S>>,
 }
 
-impl Instance {
+impl<S: Scalar> Instance<S> {
     /// Start building an instance on `p` processors.
-    pub fn builder(p: f64) -> InstanceBuilder {
+    pub fn builder(p: S) -> InstanceBuilder<S> {
         InstanceBuilder {
             p,
             tasks: Vec::new(),
@@ -74,7 +81,7 @@ impl Instance {
     }
 
     /// Construct directly from parts and validate.
-    pub fn new(p: f64, tasks: Vec<Task>) -> Result<Self, ScheduleError> {
+    pub fn new(p: S, tasks: Vec<Task<S>>) -> Result<Self, ScheduleError> {
         let inst = Instance { p, tasks };
         inst.validate()?;
         Ok(inst)
@@ -86,7 +93,7 @@ impl Instance {
     }
 
     /// Iterator over `(TaskId, &Task)`.
-    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task<S>)> {
         self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
     }
 
@@ -94,45 +101,60 @@ impl Instance {
     ///
     /// # Panics
     /// Panics if `id` is out of range (ids are only minted by this crate).
-    pub fn task(&self, id: TaskId) -> &Task {
+    pub fn task(&self, id: TaskId) -> &Task<S> {
         &self.tasks[id.0]
     }
 
     /// Total work `Σ Vᵢ`.
-    pub fn total_volume(&self) -> f64 {
-        numkit::sum::ksum(self.tasks.iter().map(|t| t.volume))
+    pub fn total_volume(&self) -> S {
+        S::sum(self.tasks.iter().map(|t| t.volume.clone()))
     }
 
     /// Total weight `Σ wᵢ`.
-    pub fn total_weight(&self) -> f64 {
-        numkit::sum::ksum(self.tasks.iter().map(|t| t.weight))
+    pub fn total_weight(&self) -> S {
+        S::sum(self.tasks.iter().map(|t| t.weight.clone()))
     }
 
     /// The *effective cap* `min(δᵢ, P)` — tasks may declare `δᵢ > P`, which
     /// the machine clamps.
-    pub fn effective_delta(&self, id: TaskId) -> f64 {
-        self.task(id).delta.min(self.p)
+    pub fn effective_delta(&self, id: TaskId) -> S {
+        self.task(id).delta.clone().min_of(self.p.clone())
     }
 
     /// Structural validation: positive finite `P`, volumes and caps; finite
     /// non-negative weights.
     pub fn validate(&self) -> Result<(), ScheduleError> {
         let fail = |reason: String| Err(ScheduleError::InvalidInstance { reason });
-        if !(self.p.is_finite() && self.p > 0.0) {
-            return fail(format!("P must be positive and finite, got {}", self.p));
+        if !(self.p.is_finite() && self.p.is_positive()) {
+            return fail(format!("P must be positive and finite, got {:?}", self.p));
         }
         for (i, t) in self.tasks.iter().enumerate() {
-            if !(t.volume.is_finite() && t.volume > 0.0) {
-                return fail(format!("task {i}: volume must be > 0, got {}", t.volume));
+            if !(t.volume.is_finite() && t.volume.is_positive()) {
+                return fail(format!("task {i}: volume must be > 0, got {:?}", t.volume));
             }
-            if !(t.delta.is_finite() && t.delta > 0.0) {
-                return fail(format!("task {i}: δ must be > 0, got {}", t.delta));
+            if !(t.delta.is_finite() && t.delta.is_positive()) {
+                return fail(format!("task {i}: δ must be > 0, got {:?}", t.delta));
             }
-            if !(t.weight.is_finite() && t.weight >= 0.0) {
-                return fail(format!("task {i}: weight must be ≥ 0, got {}", t.weight));
+            if !t.weight.is_finite() || t.weight.is_negative() {
+                return fail(format!("task {i}: weight must be ≥ 0, got {:?}", t.weight));
             }
         }
         Ok(())
+    }
+
+    /// Approximate `f64` image of this instance (for reporting and
+    /// float cross-checks). The conversion rounds through `f64`, so it is
+    /// **lossy** for exact scalars whose values are not binary rationals —
+    /// never feed the result back into an exact certification.
+    pub fn approx_f64(&self) -> Instance<f64> {
+        Instance {
+            p: self.p.to_f64(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| Task::new(t.volume.to_f64(), t.weight.to_f64(), t.delta.to_f64()))
+                .collect(),
+        }
     }
 
     /// The subinstance `I[V′]` of Definition 7: same machine and tasks but
@@ -142,8 +164,9 @@ impl Instance {
     ///
     /// # Errors
     /// Fails when the vector length does not match or a volume is negative
-    /// / exceeds the original.
-    pub fn subinstance(&self, volumes: &[f64]) -> Result<SubInstance<'_>, ScheduleError> {
+    /// / exceeds the original (beyond the scalar's natural tolerance —
+    /// exactly, for exact scalars).
+    pub fn subinstance(&self, volumes: &[S]) -> Result<SubInstance<'_, S>, ScheduleError> {
         if volumes.len() != self.n() {
             return Err(ScheduleError::LengthMismatch {
                 what: "subinstance volumes",
@@ -151,12 +174,16 @@ impl Instance {
                 found: volumes.len(),
             });
         }
-        for (i, (&v, t)) in volumes.iter().zip(&self.tasks).enumerate() {
-            if !(v.is_finite() && (-1e-12..=t.volume * (1.0 + 1e-9) + 1e-12).contains(&v)) {
+        let tol = S::default_tolerance();
+        for (i, (v, t)) in volumes.iter().zip(&self.tasks).enumerate() {
+            let in_range = v.is_finite()
+                && tol.ge(v.clone(), S::zero())
+                && tol.le(v.clone(), t.volume.clone());
+            if !in_range {
                 return Err(ScheduleError::InvalidInstance {
                     reason: format!(
-                        "subinstance volume {v} for task {i} outside [0, V = {}]",
-                        t.volume
+                        "subinstance volume {:?} for task {i} outside [0, V = {:?}]",
+                        v, t.volume
                     ),
                 });
             }
@@ -168,80 +195,109 @@ impl Instance {
     }
 
     /// `true` iff all weights are equal (the class of Theorem 11).
-    pub fn homogeneous_weights(&self, tol: numkit::Tolerance) -> bool {
+    pub fn homogeneous_weights(&self, tol: Tolerance<S>) -> bool {
         self.tasks
             .windows(2)
-            .all(|w| tol.eq(w[0].weight, w[1].weight))
+            .all(|w| tol.eq(w[0].weight.clone(), w[1].weight.clone()))
     }
 
     /// `true` iff every `δᵢ > P/2` (the second hypothesis of Theorem 11).
     pub fn all_deltas_above_half(&self) -> bool {
-        self.tasks.iter().all(|t| t.delta > self.p / 2.0)
+        let half_p = self.p.clone() / S::from_int(2);
+        self.tasks.iter().all(|t| t.delta > half_p)
     }
 }
 
-impl fmt::Display for Instance {
+impl<S: Scalar> fmt::Display for Instance<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Instance: P = {}, n = {}", self.p, self.n())?;
+        writeln!(f, "Instance: P = {}, n = {}", self.p.to_f64(), self.n())?;
         for (id, t) in self.iter() {
             writeln!(
                 f,
                 "  {id}: V = {:.4}, w = {:.4}, δ = {:.4}",
-                t.volume, t.weight, t.delta
+                t.volume.to_f64(),
+                t.weight.to_f64(),
+                t.delta.to_f64()
             )?;
         }
         Ok(())
     }
 }
 
-/// A volume-substituted view `I[V′]` (Definition 7 of the paper).
-#[derive(Debug, Clone)]
-pub struct SubInstance<'a> {
-    /// The underlying instance (machine, weights, caps).
-    pub base: &'a Instance,
-    /// Replacement volumes, aligned with `base.tasks`.
-    pub volumes: Vec<f64>,
+impl Instance<f64> {
+    /// Lift this float instance onto another scalar field, **exactly**:
+    /// every finite `f64` is a binary rational, and [`Scalar::from_f64`] is
+    /// required to be exact on representable values, so nothing is lost.
+    /// (Only `Instance<f64>` offers this — converting between arbitrary
+    /// scalar fields would round through `f64` and silently perturb exact
+    /// values; use [`Instance::approx_f64`] when an approximate float image
+    /// is what you want.)
+    pub fn to_scalar<S2: Scalar>(&self) -> Instance<S2> {
+        Instance {
+            p: S2::from_f64(self.p),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| {
+                    Task::new(
+                        S2::from_f64(t.volume),
+                        S2::from_f64(t.weight),
+                        S2::from_f64(t.delta),
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
-impl SubInstance<'_> {
+/// A volume-substituted view `I[V′]` (Definition 7 of the paper).
+#[derive(Debug, Clone)]
+pub struct SubInstance<'a, S = f64> {
+    /// The underlying instance (machine, weights, caps).
+    pub base: &'a Instance<S>,
+    /// Replacement volumes, aligned with `base.tasks`.
+    pub volumes: Vec<S>,
+}
+
+impl<S: Scalar> SubInstance<'_, S> {
     /// Materialize as an owned [`Instance`] (zero-volume tasks dropped).
-    pub fn to_instance(&self) -> Instance {
+    pub fn to_instance(&self) -> Instance<S> {
         Instance {
-            p: self.base.p,
+            p: self.base.p.clone(),
             tasks: self
                 .base
                 .tasks
                 .iter()
                 .zip(&self.volumes)
-                .filter(|(_, &v)| v > 0.0)
-                .map(|(t, &v)| Task::new(v, t.weight, t.delta))
+                .filter(|(_, v)| v.is_positive())
+                .map(|(t, v)| Task::new(v.clone(), t.weight.clone(), t.delta.clone()))
                 .collect(),
         }
     }
 }
 
 /// Fluent constructor for [`Instance`].
-pub struct InstanceBuilder {
-    p: f64,
-    tasks: Vec<Task>,
+pub struct InstanceBuilder<S = f64> {
+    p: S,
+    tasks: Vec<Task<S>>,
 }
 
-impl InstanceBuilder {
+impl<S: Scalar> InstanceBuilder<S> {
     /// Append a task `(volume, weight, delta)`.
-    pub fn task(mut self, volume: f64, weight: f64, delta: f64) -> Self {
+    pub fn task(mut self, volume: S, weight: S, delta: S) -> Self {
         self.tasks.push(Task::new(volume, weight, delta));
         self
     }
 
     /// Append many tasks from `(volume, weight, delta)` triples.
-    pub fn tasks<I: IntoIterator<Item = (f64, f64, f64)>>(mut self, iter: I) -> Self {
+    pub fn tasks<I: IntoIterator<Item = (S, S, S)>>(mut self, iter: I) -> Self {
         self.tasks
             .extend(iter.into_iter().map(|(v, w, d)| Task::new(v, w, d)));
         self
     }
 
     /// Validate and build.
-    pub fn build(self) -> Result<Instance, ScheduleError> {
+    pub fn build(self) -> Result<Instance<S>, ScheduleError> {
         Instance::new(self.p, self.tasks)
     }
 }
@@ -322,5 +378,12 @@ mod tests {
         let s = demo().to_string();
         assert!(s.contains("P = 4"));
         assert!(s.contains("T0"));
+    }
+
+    #[test]
+    fn to_scalar_roundtrips_exactly_through_f64() {
+        let inst = demo();
+        let same: Instance = inst.to_scalar();
+        assert_eq!(inst, same);
     }
 }

@@ -5,64 +5,68 @@
 //! processors. Columns are the normal currency of the paper: the LP of
 //! Corollary 1 optimizes over them, Water-Filling produces them, and
 //! Theorem 3 converts them to per-processor schedules.
+//!
+//! Generic over the scalar field: `ColumnSchedule<f64>` validates with the
+//! float tolerance, `ColumnSchedule<Rational>` with **zero** tolerance —
+//! exact schedules must satisfy Definition 2 exactly.
 
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
-use numkit::{KahanSum, Tolerance};
+use numkit::{Scalar, Tolerance};
 use std::fmt;
 
 /// One column: the interval `[start, end]` and the constant rates held by
 /// each task inside it. Tasks absent from `rates` hold zero processors.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Column {
+pub struct Column<S = f64> {
     /// Column start time.
-    pub start: f64,
+    pub start: S,
     /// Column end time (`end ≥ start`; zero-length columns arise from tied
     /// completion times and are legal).
-    pub end: f64,
+    pub end: S,
     /// `(task, processors)` pairs with strictly positive rates.
-    pub rates: Vec<(TaskId, f64)>,
+    pub rates: Vec<(TaskId, S)>,
 }
 
-impl Column {
+impl<S: Scalar> Column<S> {
     /// Column duration `l = end − start`.
-    pub fn len(&self) -> f64 {
-        self.end - self.start
+    pub fn len(&self) -> S {
+        self.end.clone() - self.start.clone()
     }
 
     /// `true` iff the column has zero duration.
     pub fn is_empty(&self) -> bool {
-        self.len() <= 0.0
+        !self.len().is_positive()
     }
 
     /// Rate held by `task` in this column (zero when absent).
-    pub fn rate_of(&self, task: TaskId) -> f64 {
+    pub fn rate_of(&self, task: TaskId) -> S {
         self.rates
             .iter()
             .find(|(t, _)| *t == task)
-            .map_or(0.0, |(_, r)| *r)
+            .map_or(S::zero(), |(_, r)| r.clone())
     }
 
     /// Total processors in use.
-    pub fn total_rate(&self) -> f64 {
-        numkit::sum::ksum(self.rates.iter().map(|(_, r)| *r))
+    pub fn total_rate(&self) -> S {
+        S::sum(self.rates.iter().map(|(_, r)| r.clone()))
     }
 }
 
 /// A complete column-based fractional schedule.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ColumnSchedule {
+pub struct ColumnSchedule<S = f64> {
     /// Machine capacity the schedule was built for.
-    pub p: f64,
+    pub p: S,
     /// Completion time of each task, indexed by [`TaskId`].
-    pub completions: Vec<f64>,
+    pub completions: Vec<S>,
     /// Columns in time order, contiguous from `t = 0`.
-    pub columns: Vec<Column>,
+    pub columns: Vec<Column<S>>,
 }
 
-impl ColumnSchedule {
+impl<S: Scalar> ColumnSchedule<S> {
     /// Completion times indexed by task.
-    pub fn completion_times(&self) -> &[f64] {
+    pub fn completion_times(&self) -> &[S] {
         &self.completions
     }
 
@@ -70,13 +74,13 @@ impl ColumnSchedule {
     ///
     /// # Panics
     /// Panics if `task` is out of range.
-    pub fn completion(&self, task: TaskId) -> f64 {
-        self.completions[task.0]
+    pub fn completion(&self, task: TaskId) -> S {
+        self.completions[task.0].clone()
     }
 
     /// Schedule makespan `max Cᵢ`.
-    pub fn makespan(&self) -> f64 {
-        self.completions.iter().copied().fold(0.0, f64::max)
+    pub fn makespan(&self) -> S {
+        self.completions.iter().cloned().fold(S::zero(), S::max_of)
     }
 
     /// The paper's objective `Σ wᵢCᵢ`.
@@ -84,22 +88,22 @@ impl ColumnSchedule {
     /// # Panics
     /// Panics when the instance task count differs from the schedule's
     /// (callers pair schedules with the instance that produced them).
-    pub fn weighted_completion_cost(&self, instance: &Instance) -> f64 {
+    pub fn weighted_completion_cost(&self, instance: &Instance<S>) -> S {
         assert_eq!(
             instance.n(),
             self.completions.len(),
             "instance/schedule task count mismatch"
         );
-        let mut s = KahanSum::new();
-        for (id, t) in instance.iter() {
-            s.add(t.weight * self.completions[id.0]);
-        }
-        s.value()
+        S::sum(
+            instance
+                .iter()
+                .map(|(id, t)| t.weight.clone() * self.completions[id.0].clone()),
+        )
     }
 
     /// Unweighted sum of completion times `Σ Cᵢ`.
-    pub fn total_completion_time(&self) -> f64 {
-        numkit::sum::ksum(self.completions.iter().copied())
+    pub fn total_completion_time(&self) -> S {
+        S::sum(self.completions.iter().cloned())
     }
 
     /// Task completion order (earliest first, ties by id).
@@ -107,28 +111,29 @@ impl ColumnSchedule {
         let mut ids: Vec<TaskId> = (0..self.completions.len()).map(TaskId).collect();
         ids.sort_by(|a, b| {
             self.completions[a.0]
-                .total_cmp(&self.completions[b.0])
+                .total_cmp_s(&self.completions[b.0])
                 .then(a.0.cmp(&b.0))
         });
         ids
     }
 
     /// Area allocated to `task` across all columns.
-    pub fn allocated_area(&self, task: TaskId) -> f64 {
-        let mut s = KahanSum::new();
-        for c in &self.columns {
+    pub fn allocated_area(&self, task: TaskId) -> S {
+        S::sum(self.columns.iter().filter_map(|c| {
             let r = c.rate_of(task);
-            if r > 0.0 {
-                s.add(r * c.len());
+            if r.is_positive() {
+                Some(r * c.len())
+            } else {
+                None
             }
-        }
-        s.value()
+        }))
     }
 
-    /// Validate with the default tolerance scaled by schedule size.
-    pub fn validate(&self, instance: &Instance) -> Result<(), ScheduleError> {
+    /// Validate with the scalar's natural tolerance scaled by schedule size
+    /// (a no-op scaling for exact scalars, whose tolerance is zero).
+    pub fn validate(&self, instance: &Instance<S>) -> Result<(), ScheduleError> {
         let scale = 1.0 + self.columns.len() as f64;
-        self.validate_with(instance, Tolerance::default().scaled(scale))
+        self.validate_with(instance, S::default_tolerance().scaled(scale))
     }
 
     /// Full validity check against Definition 2:
@@ -139,7 +144,11 @@ impl ColumnSchedule {
     /// 4. per task, `Σⱼ dᵢ,ⱼ·lⱼ = Vᵢ`;
     /// 5. no allocation after the recorded completion time, and the last
     ///    allocation reaches it.
-    pub fn validate_with(&self, instance: &Instance, tol: Tolerance) -> Result<(), ScheduleError> {
+    pub fn validate_with(
+        &self,
+        instance: &Instance<S>,
+        tol: Tolerance<S>,
+    ) -> Result<(), ScheduleError> {
         if self.completions.len() != instance.n() {
             return Err(ScheduleError::LengthMismatch {
                 what: "completion times",
@@ -147,32 +156,31 @@ impl ColumnSchedule {
                 found: self.completions.len(),
             });
         }
-        for &c in &self.completions {
-            if !c.is_finite() || c < 0.0 {
+        for c in &self.completions {
+            if !c.is_finite() || c.is_negative() {
                 return Err(ScheduleError::InvalidTime {
-                    value: c,
+                    value: c.to_f64(),
                     context: "completion times",
                 });
             }
         }
-        let mut prev_end = 0.0;
+        let mut prev_end = S::zero();
         for col in &self.columns {
-            if !tol.eq(col.start, prev_end) {
+            if !tol.eq(col.start.clone(), prev_end.clone()) {
                 return Err(ScheduleError::InvalidTime {
-                    value: col.start,
+                    value: col.start.to_f64(),
                     context: "column start (not contiguous)",
                 });
             }
-            if col.end < col.start - tol.slack(col.end, col.start) {
+            if tol.lt(col.end.clone(), col.start.clone()) {
                 return Err(ScheduleError::InvalidTime {
-                    value: col.end,
+                    value: col.end.to_f64(),
                     context: "column end before start",
                 });
             }
-            prev_end = col.end;
+            prev_end = col.end.clone();
 
-            let mut total = KahanSum::new();
-            for &(task, rate) in &col.rates {
+            for (task, rate) in &col.rates {
                 if task.0 >= instance.n() {
                     return Err(ScheduleError::LengthMismatch {
                         what: "task id in column",
@@ -180,52 +188,50 @@ impl ColumnSchedule {
                         found: task.0,
                     });
                 }
-                let cap = instance.effective_delta(task);
-                if rate < -tol.abs {
-                    return Err(ScheduleError::DeltaExceeded {
-                        task,
-                        at: col.start,
-                        rate,
-                        delta: cap,
-                    });
+                let cap = instance.effective_delta(*task);
+                let delta_error = || ScheduleError::DeltaExceeded {
+                    task: *task,
+                    at: col.start.to_f64(),
+                    rate: rate.to_f64(),
+                    delta: cap.to_f64(),
+                };
+                if *rate < -tol.abs.clone() {
+                    return Err(delta_error());
                 }
-                if !tol.le(rate, cap) {
-                    return Err(ScheduleError::DeltaExceeded {
-                        task,
-                        at: col.start,
-                        rate,
-                        delta: cap,
-                    });
+                if !tol.le(rate.clone(), cap.clone()) {
+                    return Err(delta_error());
                 }
                 // Allocation strictly after the task's completion time.
                 if col.len() > tol.abs
-                    && rate > tol.abs
-                    && col.start > self.completions[task.0] + tol.slack(col.start, 0.0)
+                    && *rate > tol.abs
+                    && col.start.clone()
+                        > self.completions[task.0].clone() + tol.slack(col.start.clone(), S::zero())
                 {
                     return Err(ScheduleError::AllocationAfterCompletion {
-                        task,
-                        completion: self.completions[task.0],
-                        at: col.start,
+                        task: *task,
+                        completion: self.completions[task.0].to_f64(),
+                        at: col.start.to_f64(),
                     });
                 }
-                total.add(rate);
             }
-            if !tol.le(total.value(), self.p) {
+            // Compensated for f64 (see Scalar::sum), exact for exact fields.
+            let total = S::sum(col.rates.iter().map(|(_, r)| r.clone()));
+            if !tol.le(total.clone(), self.p.clone()) {
                 return Err(ScheduleError::CapacityExceeded {
-                    at: col.start,
-                    total: total.value(),
-                    p: self.p,
+                    at: col.start.to_f64(),
+                    total: total.to_f64(),
+                    p: self.p.to_f64(),
                 });
             }
         }
         // Volumes.
         for (id, t) in instance.iter() {
             let area = self.allocated_area(id);
-            if !tol.eq(area, t.volume) {
+            if !tol.eq(area.clone(), t.volume.clone()) {
                 return Err(ScheduleError::VolumeMismatch {
                     task: id,
-                    allocated: area,
-                    required: t.volume,
+                    allocated: area.to_f64(),
+                    required: t.volume.to_f64(),
                 });
             }
         }
@@ -236,13 +242,13 @@ impl ColumnSchedule {
                 .columns
                 .iter()
                 .filter(|c| c.len() > tol.abs && c.rate_of(id) > tol.abs)
-                .map(|c| c.end)
-                .fold(0.0, f64::max);
-            if !tol.eq(last_alloc, self.completions[id.0]) {
+                .map(|c| c.end.clone())
+                .fold(S::zero(), S::max_of);
+            if !tol.eq(last_alloc.clone(), self.completions[id.0].clone()) {
                 return Err(ScheduleError::AllocationAfterCompletion {
                     task: id,
-                    completion: self.completions[id.0],
-                    at: last_alloc,
+                    completion: self.completions[id.0].to_f64(),
+                    at: last_alloc.to_f64(),
                 });
             }
         }
@@ -250,19 +256,24 @@ impl ColumnSchedule {
     }
 }
 
-impl fmt::Display for ColumnSchedule {
+impl<S: Scalar> fmt::Display for ColumnSchedule<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
             "ColumnSchedule (P = {}, {} columns, makespan = {:.4})",
-            self.p,
+            self.p.to_f64(),
             self.columns.len(),
-            self.makespan()
+            self.makespan().to_f64()
         )?;
         for (j, c) in self.columns.iter().enumerate() {
-            write!(f, "  col {j}: [{:.4}, {:.4}]", c.start, c.end)?;
-            for &(t, r) in &c.rates {
-                write!(f, "  {t}:{r:.3}")?;
+            write!(
+                f,
+                "  col {j}: [{:.4}, {:.4}]",
+                c.start.to_f64(),
+                c.end.to_f64()
+            )?;
+            for (t, r) in &c.rates {
+                write!(f, "  {t}:{:.3}", r.to_f64())?;
             }
             writeln!(f)?;
         }

@@ -10,20 +10,29 @@
 //! * [`assign_processors_stable`] — the Lemma-6/10 assignment: processors,
 //!   once granted, are kept until the allocation shrinks, making the number
 //!   of Gantt preemptions equal the number of resource changes.
+//!
+//! All conversions are generic over the scalar: with exact rationals the
+//! Figure-2 wrap conserves areas exactly and the sliver thresholds below
+//! vanish (they scale with the tolerance's relative slack, which is zero on
+//! exact fields).
 
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::column::{Column, ColumnSchedule};
 use crate::schedule::gantt::{Gantt, GanttSegment};
 use crate::schedule::step::{Segment, StepSchedule};
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 
 /// Check that `x` is integral within `tol` and return it as `usize`.
-fn integral(x: f64, what: &'static str, tol: Tolerance) -> Result<usize, ScheduleError> {
-    let r = x.round();
-    if !tol.eq(x, r) || r < 0.0 {
+fn integral<S: Scalar>(
+    x: &S,
+    what: &'static str,
+    tol: &Tolerance<S>,
+) -> Result<usize, ScheduleError> {
+    let r = x.to_f64().round();
+    if r < 0.0 || !tol.eq(x.clone(), S::from_f64(r)) {
         return Err(ScheduleError::InvalidInstance {
-            reason: format!("{what} must be a non-negative integer, got {x}"),
+            reason: format!("{what} must be a non-negative integer, got {x:?}"),
         });
     }
     Ok(r as usize)
@@ -43,12 +52,12 @@ fn integral(x: f64, what: &'static str, tol: Tolerance) -> Result<usize, Schedul
 ///   `δᵢ` is not integral;
 /// * [`ScheduleError::CapacityExceeded`] when a column's total area
 ///   overflows `P × l` beyond tolerance.
-pub fn column_to_gantt(
-    cs: &ColumnSchedule,
-    instance: &Instance,
-    tol: Tolerance,
-) -> Result<Gantt, ScheduleError> {
-    let n_procs = integral(cs.p, "P", tol)?;
+pub fn column_to_gantt<S: Scalar>(
+    cs: &ColumnSchedule<S>,
+    instance: &Instance<S>,
+    tol: Tolerance<S>,
+) -> Result<Gantt<S>, ScheduleError> {
+    let n_procs = integral(&cs.p, "P", &tol)?;
     let mut gantt = Gantt::empty(n_procs);
 
     for col in &cs.columns {
@@ -58,44 +67,48 @@ pub fn column_to_gantt(
         }
         // All cursor arithmetic below is *relative to this column*: a very
         // short column must not be distorted by absolute slack, so sliver
-        // thresholds scale with `l`.
-        let eps_t = l * 1e-9; // negligible time within the column
-        let eps_a = eps_t; // negligible area (one processor × eps_t)
+        // thresholds scale with `l` (and vanish entirely on exact scalars,
+        // whose relative slack is zero).
+        let eps_t = l.clone() * tol.rel.clone(); // negligible time in-column
+        let eps_a = eps_t.clone(); // negligible area (one proc × eps_t)
         let mut lane = 0usize;
-        let mut offset = 0.0f64;
-        for &(task, rate) in &col.rates {
-            if rate * l <= eps_a {
+        let mut offset = S::zero();
+        for (task, rate) in &col.rates {
+            if rate.clone() * l.clone() <= eps_a {
                 continue;
             }
-            integral(instance.task(task).delta, "δ", tol)?;
-            let mut area = rate * l;
+            integral(&instance.task(*task).delta, "δ", &tol)?;
+            let mut area = rate.clone() * l.clone();
             while area > eps_a {
                 if lane >= n_procs {
                     // Residual beyond the machine: tolerate accumulated
                     // float drift (relative to the column's full area),
-                    // reject anything structural.
-                    if area <= cs.p * l * 1e-7 {
+                    // reject anything structural. Exact runs tolerate
+                    // nothing.
+                    let drift_allowance =
+                        cs.p.clone() * l.clone() * tol.rel.clone() * S::from_int(100);
+                    if area <= drift_allowance {
                         break;
                     }
                     return Err(ScheduleError::CapacityExceeded {
-                        at: col.start,
-                        total: cs.p + area / l,
-                        p: cs.p,
+                        at: col.start.to_f64(),
+                        total: (cs.p.clone() + area / l).to_f64(),
+                        p: cs.p.to_f64(),
                     });
                 }
-                let take = (l - offset).min(area);
+                let take = (l.clone() - offset.clone()).min_of(area.clone());
                 if take > eps_t {
                     gantt.lanes[lane].push(GanttSegment {
-                        start: col.start + offset,
-                        end: col.start + offset + take,
-                        task,
+                        start: col.start.clone() + offset.clone(),
+                        end: col.start.clone() + offset.clone() + take.clone(),
+                        task: *task,
                     });
                 }
-                area -= take;
-                offset += take;
-                if offset >= l - eps_t {
+                area = area - take.clone();
+                offset = offset + take;
+                if offset.clone() + eps_t.clone() >= l {
                     lane += 1;
-                    offset = 0.0;
+                    offset = S::zero();
                 }
             }
         }
@@ -105,10 +118,12 @@ pub fn column_to_gantt(
     // column's end, so each lane is already sorted. Merge abutting segments
     // of the same task to keep preemption counting honest.
     for lane in &mut gantt.lanes {
-        let mut merged: Vec<GanttSegment> = Vec::with_capacity(lane.len());
+        let mut merged: Vec<GanttSegment<S>> = Vec::with_capacity(lane.len());
         for seg in lane.drain(..) {
             match merged.last_mut() {
-                Some(prev) if prev.task == seg.task && tol.eq(prev.end, seg.start) => {
+                Some(prev)
+                    if prev.task == seg.task && tol.eq(prev.end.clone(), seg.start.clone()) =>
+                {
                     prev.end = seg.end;
                 }
                 _ => merged.push(seg),
@@ -122,34 +137,47 @@ pub fn column_to_gantt(
 /// Gantt chart → step schedule: per task, the integer processor count as a
 /// piecewise-constant function of time.
 #[allow(clippy::needless_range_loop)] // task id doubles as array index
-pub fn gantt_to_step(gantt: &Gantt, p: f64, n_tasks: usize, tol: Tolerance) -> StepSchedule {
-    let mut allocs = vec![Vec::<Segment>::new(); n_tasks];
+pub fn gantt_to_step<S: Scalar>(
+    gantt: &Gantt<S>,
+    p: S,
+    n_tasks: usize,
+    tol: Tolerance<S>,
+) -> StepSchedule<S> {
+    let mut allocs = vec![Vec::<Segment<S>>::new(); n_tasks];
+    let half = S::from_f64(0.5);
     for i in 0..n_tasks {
         let runs = gantt.runs_of(TaskId(i));
         if runs.is_empty() {
             continue;
         }
-        let mut times: Vec<f64> = runs.iter().flat_map(|&(_, s, e)| [s, e]).collect();
-        times.sort_by(f64::total_cmp);
-        times.dedup_by(|a, b| tol.eq(*a, *b));
+        let mut times: Vec<S> = runs
+            .iter()
+            .flat_map(|(_, s, e)| [s.clone(), e.clone()])
+            .collect();
+        times.sort_by(S::total_cmp_s);
+        times.dedup_by(|a, b| tol.eq(a.clone(), b.clone()));
         let segs = &mut allocs[i];
         for w in times.windows(2) {
-            if w[1] - w[0] <= tol.abs {
+            if w[1].clone() - w[0].clone() <= tol.abs {
                 continue;
             }
-            let mid = 0.5 * (w[0] + w[1]);
-            let count = runs.iter().filter(|&&(_, s, e)| s <= mid && mid < e).count();
+            let mid = half.clone() * (w[0].clone() + w[1].clone());
+            let count = runs
+                .iter()
+                .filter(|(_, s, e)| *s <= mid && mid < *e)
+                .count();
             if count == 0 {
                 continue;
             }
+            let procs = S::from_int(count as i64);
             match segs.last_mut() {
-                Some(prev) if tol.eq(prev.end, w[0]) && prev.procs == count as f64 => {
-                    prev.end = w[1];
+                Some(prev) if tol.eq(prev.end.clone(), w[0].clone()) && prev.procs == procs => {
+                    prev.end = w[1].clone();
                 }
                 _ => segs.push(Segment {
-                    start: w[0],
-                    end: w[1],
-                    procs: count as f64,
+                    start: w[0].clone(),
+                    end: w[1].clone(),
+                    procs,
                 }),
             }
         }
@@ -158,13 +186,13 @@ pub fn gantt_to_step(gantt: &Gantt, p: f64, n_tasks: usize, tol: Tolerance) -> S
 }
 
 /// Column schedule → integer step schedule, via the Figure-2 wrap.
-pub fn column_to_step(
-    cs: &ColumnSchedule,
-    instance: &Instance,
-    tol: Tolerance,
-) -> Result<StepSchedule, ScheduleError> {
-    let gantt = column_to_gantt(cs, instance, tol)?;
-    Ok(gantt_to_step(&gantt, cs.p, instance.n(), tol))
+pub fn column_to_step<S: Scalar>(
+    cs: &ColumnSchedule<S>,
+    instance: &Instance<S>,
+    tol: Tolerance<S>,
+) -> Result<StepSchedule<S>, ScheduleError> {
+    let gantt = column_to_gantt(cs, instance, tol.clone())?;
+    Ok(gantt_to_step(&gantt, cs.p.clone(), instance.n(), tol))
 }
 
 /// Step schedule → column schedule (the averaging direction of Theorem 3):
@@ -172,41 +200,45 @@ pub fn column_to_step(
 /// task's rate in a column is its average allocation there. Rates stay
 /// within `δᵢ` and capacity `P` because averages of valid instantaneous
 /// allocations are valid (the paper's proof of Theorem 3).
-pub fn step_to_column(ss: &StepSchedule, tol: Tolerance) -> ColumnSchedule {
+pub fn step_to_column<S: Scalar>(ss: &StepSchedule<S>, tol: Tolerance<S>) -> ColumnSchedule<S> {
     let completions = ss.completion_times();
-    let mut bounds: Vec<f64> = completions.iter().copied().filter(|&c| c > tol.abs).collect();
-    bounds.sort_by(f64::total_cmp);
-    bounds.dedup_by(|a, b| tol.eq(*a, *b));
+    let mut bounds: Vec<S> = completions
+        .iter()
+        .filter(|c| **c > tol.abs)
+        .cloned()
+        .collect();
+    bounds.sort_by(S::total_cmp_s);
+    bounds.dedup_by(|a, b| tol.eq(a.clone(), b.clone()));
 
     let mut columns = Vec::with_capacity(bounds.len());
-    let mut prev = 0.0f64;
-    for &b in &bounds {
-        let l = b - prev;
+    let mut prev = S::zero();
+    for b in &bounds {
+        let l = b.clone() - prev.clone();
         let mut rates = Vec::new();
         if l > tol.abs {
             for (i, segs) in ss.allocs.iter().enumerate() {
-                let mut area = 0.0;
+                let mut area = S::zero();
                 for s in segs {
-                    let lo = s.start.max(prev);
-                    let hi = s.end.min(b);
+                    let lo = s.start.clone().max_of(prev.clone());
+                    let hi = s.end.clone().min_of(b.clone());
                     if hi > lo {
-                        area += s.procs * (hi - lo);
+                        area = area + s.procs.clone() * (hi - lo);
                     }
                 }
-                if area > tol.abs * l {
-                    rates.push((TaskId(i), area / l));
+                if area > tol.abs.clone() * l.clone() {
+                    rates.push((TaskId(i), area / l.clone()));
                 }
             }
         }
         columns.push(Column {
-            start: prev,
-            end: b,
+            start: prev.clone(),
+            end: b.clone(),
             rates,
         });
-        prev = b;
+        prev = b.clone();
     }
     ColumnSchedule {
-        p: ss.p,
+        p: ss.p.clone(),
         completions,
         columns,
     }
@@ -223,30 +255,35 @@ pub fn step_to_column(ss: &StepSchedule, tol: Tolerance) -> ColumnSchedule {
 /// [`ScheduleError::InvalidInstance`] when `P` or any segment count is not
 /// integral, or [`ScheduleError::CapacityExceeded`] when counts overflow
 /// the machine.
-pub fn assign_processors_stable(
-    ss: &StepSchedule,
-    tol: Tolerance,
-) -> Result<Gantt, ScheduleError> {
-    let n_procs = integral(ss.p, "P", tol)?;
+pub fn assign_processors_stable<S: Scalar>(
+    ss: &StepSchedule<S>,
+    tol: Tolerance<S>,
+) -> Result<Gantt<S>, ScheduleError> {
+    let n_procs = integral(&ss.p, "P", &tol)?;
     let n = ss.n();
-    let events = ss.event_times(tol);
+    let events = ss.event_times(tol.clone());
     let mut gantt = Gantt::empty(n_procs);
+    let half = S::from_f64(0.5);
 
     // Ownership state.
     let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n]; // LIFO per task
     let mut free: Vec<usize> = (0..n_procs).rev().collect(); // pop() = lowest id
-    let mut lane_open: Vec<Option<(TaskId, f64)>> = vec![None; n_procs]; // (task, since)
+    let mut lane_open: Vec<Option<(TaskId, S)>> = vec![None; n_procs]; // (task, since)
 
     for w in events.windows(2) {
-        let (t0, t1) = (w[0], w[1]);
-        if t1 - t0 <= tol.abs {
+        let (t0, t1) = (&w[0], &w[1]);
+        if t1.clone() - t0.clone() <= tol.abs {
             continue;
         }
-        let mid = 0.5 * (t0 + t1);
+        let mid = half.clone() * (t0.clone() + t1.clone());
         // Required integer counts on [t0, t1).
         let mut required = vec![0usize; n];
         for (i, slot) in required.iter_mut().enumerate() {
-            *slot = integral(ss.rate_at(TaskId(i), mid), "segment processor count", tol)?;
+            *slot = integral(
+                &ss.rate_at(TaskId(i), mid.clone()),
+                "segment processor count",
+                &tol,
+            )?;
         }
         // Release phase.
         for i in 0..n {
@@ -255,37 +292,38 @@ pub fn assign_processors_stable(
                 if let Some((task, since)) = lane_open[p].take() {
                     gantt.lanes[p].push(GanttSegment {
                         start: since,
-                        end: t0,
+                        end: t0.clone(),
                         task,
                     });
                 }
                 free.push(p);
             }
         }
-        free.sort_unstable_by(|a, b| b.cmp(a)); // keep pop() = lowest id
+        // Re-sort descending so pop() keeps handing out the lowest free id.
+        free.sort_unstable_by(|a, b| b.cmp(a));
         // Acquire phase.
         for i in 0..n {
             while owned[i].len() < required[i] {
                 let Some(p) = free.pop() else {
                     return Err(ScheduleError::CapacityExceeded {
-                        at: t0,
+                        at: t0.to_f64(),
                         total: required.iter().sum::<usize>() as f64,
-                        p: ss.p,
+                        p: ss.p.to_f64(),
                     });
                 };
                 owned[i].push(p);
                 debug_assert!(lane_open[p].is_none());
-                lane_open[p] = Some((TaskId(i), t0));
+                lane_open[p] = Some((TaskId(i), t0.clone()));
             }
         }
     }
     // Close remaining runs at the final event.
-    let end = *events.last().unwrap_or(&0.0);
+    let end = events.last().cloned().unwrap_or_else(S::zero);
     for (p, open) in lane_open.iter_mut().enumerate() {
         if let Some((task, since)) = open.take() {
             gantt.lanes[p].push(GanttSegment {
                 start: since,
-                end,
+                end: end.clone(),
                 task,
             });
         }
@@ -358,6 +396,33 @@ mod tests {
     }
 
     #[test]
+    fn exact_wrap_conserves_areas_exactly() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let (inst_f, cs_f) = fractional_case();
+        let inst: Instance<Rational> = inst_f.to_scalar();
+        let cs = ColumnSchedule {
+            p: q(3.0),
+            completions: cs_f.completions.iter().map(|&c| q(c)).collect(),
+            columns: cs_f
+                .columns
+                .iter()
+                .map(|c| Column {
+                    start: q(c.start),
+                    end: q(c.end),
+                    rates: c.rates.iter().map(|&(t, r)| (t, q(r))).collect(),
+                })
+                .collect(),
+        };
+        let step = column_to_step(&cs, &inst, Tolerance::exact()).unwrap();
+        assert_eq!(step.allocated_area(TaskId(0)), q(3.0));
+        assert_eq!(step.allocated_area(TaskId(1)), q(4.5));
+        step.validate(&inst).unwrap(); // zero tolerance
+        let back = step_to_column(&step, Tolerance::exact());
+        assert_eq!(back.allocated_area(TaskId(0)), q(3.0));
+    }
+
+    #[test]
     fn wrap_rejects_fractional_p() {
         let (inst, mut cs) = fractional_case();
         cs.p = 2.5;
@@ -369,10 +434,7 @@ mod tests {
 
     #[test]
     fn wrap_rejects_fractional_delta() {
-        let inst = Instance::builder(3.0)
-            .task(3.0, 1.0, 1.5)
-            .build()
-            .unwrap();
+        let inst = Instance::builder(3.0).task(3.0, 1.0, 1.5).build().unwrap();
         let cs = ColumnSchedule {
             p: 3.0,
             completions: vec![2.0],

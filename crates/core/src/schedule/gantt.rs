@@ -5,33 +5,35 @@
 //! start and final completion, at which the **set of processors** executing
 //! the task changes. This module counts exactly that quantity on resolved
 //! per-processor timelines.
+//!
+//! Generic over the scalar field: times are scalars, processors are lanes.
 
 use crate::error::ScheduleError;
 use crate::instance::TaskId;
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 use std::fmt;
 
 /// A run of one task on one processor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GanttSegment {
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttSegment<S = f64> {
     /// Run start.
-    pub start: f64,
+    pub start: S,
     /// Run end (`end > start`).
-    pub end: f64,
+    pub end: S,
     /// The task occupying the processor.
     pub task: TaskId,
 }
 
 /// A fully resolved schedule: one timeline per physical processor.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Gantt {
+pub struct Gantt<S = f64> {
     /// Number of processors.
     pub n_procs: usize,
     /// `lanes[p]` = time-sorted, non-overlapping runs on processor `p`.
-    pub lanes: Vec<Vec<GanttSegment>>,
+    pub lanes: Vec<Vec<GanttSegment<S>>>,
 }
 
-impl Gantt {
+impl<S: Scalar> Gantt<S> {
     /// An empty chart on `n_procs` processors.
     pub fn empty(n_procs: usize) -> Self {
         Gantt {
@@ -41,71 +43,75 @@ impl Gantt {
     }
 
     /// Latest segment end across all lanes.
-    pub fn makespan(&self) -> f64 {
+    pub fn makespan(&self) -> S {
         self.lanes
             .iter()
             .flatten()
-            .map(|s| s.end)
-            .fold(0.0, f64::max)
+            .map(|s| s.end.clone())
+            .fold(S::zero(), S::max_of)
     }
 
     /// Completion time per task (0 for tasks that never run).
-    pub fn completion_times(&self, n_tasks: usize) -> Vec<f64> {
-        let mut cs = vec![0.0f64; n_tasks];
+    pub fn completion_times(&self, n_tasks: usize) -> Vec<S> {
+        let mut cs = vec![S::zero(); n_tasks];
         for s in self.lanes.iter().flatten() {
             if s.task.0 < n_tasks {
-                cs[s.task.0] = cs[s.task.0].max(s.end);
+                cs[s.task.0] = cs[s.task.0].clone().max_of(s.end.clone());
             }
         }
         cs
     }
 
     /// Busy area divided by `n_procs × makespan` (0 for an empty chart).
-    pub fn utilization(&self) -> f64 {
+    pub fn utilization(&self) -> S {
         let span = self.makespan();
-        if span <= 0.0 || self.n_procs == 0 {
-            return 0.0;
+        if !span.is_positive() || self.n_procs == 0 {
+            return S::zero();
         }
-        let busy: f64 =
-            numkit::sum::ksum(self.lanes.iter().flatten().map(|s| s.end - s.start));
-        busy / (span * self.n_procs as f64)
+        let busy = S::sum(
+            self.lanes
+                .iter()
+                .flatten()
+                .map(|s| s.end.clone() - s.start.clone()),
+        );
+        busy / (span * S::from_int(self.n_procs as i64))
     }
 
     /// Structural validity: per lane, segments sorted, positive-length,
     /// non-overlapping.
-    pub fn validate(&self, tol: Tolerance) -> Result<(), ScheduleError> {
+    pub fn validate(&self, tol: Tolerance<S>) -> Result<(), ScheduleError> {
         for lane in &self.lanes {
-            let mut prev_end = 0.0f64;
+            let mut prev_end = S::zero();
             for s in lane {
                 if s.end <= s.start {
                     return Err(ScheduleError::InvalidTime {
-                        value: s.end,
+                        value: s.end.to_f64(),
                         context: "gantt segment end ≤ start",
                     });
                 }
-                if s.start < prev_end - tol.slack(s.start, prev_end) {
+                if s.start.clone() + tol.slack(s.start.clone(), prev_end.clone()) < prev_end {
                     return Err(ScheduleError::InvalidTime {
-                        value: s.start,
+                        value: s.start.to_f64(),
                         context: "overlapping gantt segments",
                     });
                 }
-                prev_end = prev_end.max(s.end);
+                prev_end = prev_end.max_of(s.end.clone());
             }
         }
         Ok(())
     }
 
     /// All of `task`'s runs as `(processor, start, end)`.
-    pub fn runs_of(&self, task: TaskId) -> Vec<(usize, f64, f64)> {
+    pub fn runs_of(&self, task: TaskId) -> Vec<(usize, S, S)> {
         let mut out = Vec::new();
         for (p, lane) in self.lanes.iter().enumerate() {
             for s in lane {
                 if s.task == task {
-                    out.push((p, s.start, s.end));
+                    out.push((p, s.start.clone(), s.end.clone()));
                 }
             }
         }
-        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| a.1.total_cmp_s(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -113,22 +119,25 @@ impl Gantt {
     /// strictly inside `(first start, final end)`, where the set of
     /// processors running the task changes. A pause (set becomes empty,
     /// then refills) contributes 2 — one change at each boundary.
-    pub fn preemptions_of(&self, task: TaskId, tol: Tolerance) -> usize {
+    pub fn preemptions_of(&self, task: TaskId, tol: Tolerance<S>) -> usize {
         let runs = self.runs_of(task);
         if runs.is_empty() {
             return 0;
         }
         // Distinct event times for this task; the set of processors running
         // it is constant between consecutive events.
-        let mut times: Vec<f64> = runs.iter().flat_map(|&(_, s, e)| [s, e]).collect();
-        times.sort_by(f64::total_cmp);
-        times.dedup_by(|a, b| tol.eq(*a, *b));
+        let mut times: Vec<S> = runs
+            .iter()
+            .flat_map(|(_, s, e)| [s.clone(), e.clone()])
+            .collect();
+        times.sort_by(S::total_cmp_s);
+        times.dedup_by(|a, b| tol.eq(a.clone(), b.clone()));
 
-        let set_at = |t: f64| -> Vec<usize> {
+        let set_at = |t: &S| -> Vec<usize> {
             let mut procs: Vec<usize> = runs
                 .iter()
-                .filter(|&&(_, s, e)| s <= t && t < e)
-                .map(|&(p, _, _)| p)
+                .filter(|(_, s, e)| *s <= *t && *t < *e)
+                .map(|(p, _, _)| *p)
                 .collect();
             procs.sort_unstable();
             procs
@@ -136,13 +145,15 @@ impl Gantt {
 
         // Evaluate at interval midpoints (robust to float jitter at the
         // boundaries) and count set changes between consecutive intervals.
+        let half = S::from_f64(0.5);
         let mut count = 0;
         let mut prev_set: Option<Vec<usize>> = None;
         for w in times.windows(2) {
-            if w[1] - w[0] <= tol.abs {
+            if w[1].clone() - w[0].clone() <= tol.abs {
                 continue;
             }
-            let cur = set_at(0.5 * (w[0] + w[1]));
+            let mid = half.clone() * (w[0].clone() + w[1].clone());
+            let cur = set_at(&mid);
             if let Some(prev) = &prev_set {
                 if *prev != cur {
                     count += 1;
@@ -155,9 +166,9 @@ impl Gantt {
 
     /// Total preemptions over `n_tasks` tasks (Theorem 10's `≤ 3n` metric
     /// for integer Water-Filling schedules).
-    pub fn preemption_count(&self, n_tasks: usize, tol: Tolerance) -> usize {
+    pub fn preemption_count(&self, n_tasks: usize, tol: Tolerance<S>) -> usize {
         (0..n_tasks)
-            .map(|i| self.preemptions_of(TaskId(i), tol))
+            .map(|i| self.preemptions_of(TaskId(i), tol.clone()))
             .sum()
     }
 
@@ -165,7 +176,7 @@ impl Gantt {
     /// `[0, makespan]`, each cell showing the task occupying the cell's
     /// midpoint (`·` when idle).
     pub fn render(&self, width: usize) -> String {
-        let span = self.makespan();
+        let span = self.makespan().to_f64();
         let mut out = String::new();
         if span <= 0.0 || width == 0 {
             return "(empty gantt)\n".to_string();
@@ -176,7 +187,7 @@ impl Gantt {
                 let t = (c as f64 + 0.5) / width as f64 * span;
                 let glyph = lane
                     .iter()
-                    .find(|s| s.start <= t && t < s.end)
+                    .find(|s| s.start.to_f64() <= t && t < s.end.to_f64())
                     .map_or('·', |s| task_glyph(s.task));
                 out.push(glyph);
             }
@@ -193,7 +204,7 @@ fn task_glyph(t: TaskId) -> char {
     GLYPHS[t.0 % GLYPHS.len()] as char
 }
 
-impl fmt::Display for Gantt {
+impl<S: Scalar> fmt::Display for Gantt<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.render(64))
     }
@@ -314,14 +325,14 @@ mod tests {
         assert!(s.contains('A'));
         assert!(s.contains('B'));
         assert!(s.contains("P0"));
-        assert_eq!(Gantt::empty(2).render(10), "(empty gantt)\n");
+        assert_eq!(Gantt::<f64>::empty(2).render(10), "(empty gantt)\n");
     }
 
     #[test]
     fn empty_task_has_no_preemptions() {
         let g = chart();
         assert_eq!(g.preemptions_of(TaskId(9), tol()), 0);
-        assert_eq!(Gantt::empty(3).makespan(), 0.0);
-        assert_eq!(Gantt::empty(3).utilization(), 0.0);
+        assert_eq!(Gantt::<f64>::empty(3).makespan(), 0.0);
+        assert_eq!(Gantt::<f64>::empty(3).utilization(), 0.0);
     }
 }

@@ -5,51 +5,53 @@
 //! produced by Greedy (whose allocation changes *within* columns of other
 //! tasks) and by the Theorem-3 fractional→integer conversion, and the input
 //! to processor assignment ([`crate::schedule::gantt`]).
+//!
+//! Generic over the scalar field, like the rest of the schedule stack.
 
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
-use numkit::{KahanSum, Tolerance};
+use numkit::{Scalar, Tolerance};
 
 /// A maximal interval of constant positive allocation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Segment {
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment<S = f64> {
     /// Interval start.
-    pub start: f64,
+    pub start: S,
     /// Interval end (`end > start`).
-    pub end: f64,
+    pub end: S,
     /// Processors held throughout the interval (fractional allowed).
-    pub procs: f64,
+    pub procs: S,
 }
 
-impl Segment {
+impl<S: Scalar> Segment<S> {
     /// Area `procs × (end − start)`.
-    pub fn area(&self) -> f64 {
-        self.procs * (self.end - self.start)
+    pub fn area(&self) -> S {
+        self.procs.clone() * self.len()
     }
 
     /// Duration.
-    pub fn len(&self) -> f64 {
-        self.end - self.start
+    pub fn len(&self) -> S {
+        self.end.clone() - self.start.clone()
     }
 
     /// `true` iff zero-length.
     pub fn is_empty(&self) -> bool {
-        self.len() <= 0.0
+        !self.len().is_positive()
     }
 }
 
 /// A full step schedule: per-task segment lists.
 #[derive(Debug, Clone, PartialEq)]
-pub struct StepSchedule {
+pub struct StepSchedule<S = f64> {
     /// Machine capacity.
-    pub p: f64,
+    pub p: S,
     /// `allocs[i]` = time-sorted, non-overlapping segments of task `i`.
-    pub allocs: Vec<Vec<Segment>>,
+    pub allocs: Vec<Vec<Segment<S>>>,
 }
 
-impl StepSchedule {
+impl<S: Scalar> StepSchedule<S> {
     /// An empty schedule for `n` tasks on capacity `p`.
-    pub fn empty(p: f64, n: usize) -> Self {
+    pub fn empty(p: S, n: usize) -> Self {
         StepSchedule {
             p,
             allocs: vec![Vec::new(); n],
@@ -62,35 +64,37 @@ impl StepSchedule {
     }
 
     /// Completion time of each task (`0` for never-scheduled tasks).
-    pub fn completion_times(&self) -> Vec<f64> {
+    pub fn completion_times(&self) -> Vec<S> {
         self.allocs
             .iter()
-            .map(|segs| segs.last().map_or(0.0, |s| s.end))
+            .map(|segs| segs.last().map_or(S::zero(), |s| s.end.clone()))
             .collect()
     }
 
     /// Makespan.
-    pub fn makespan(&self) -> f64 {
-        self.completion_times().into_iter().fold(0.0, f64::max)
+    pub fn makespan(&self) -> S {
+        self.completion_times()
+            .into_iter()
+            .fold(S::zero(), S::max_of)
     }
 
     /// `Σ wᵢCᵢ`.
     ///
     /// # Panics
     /// Panics on instance/schedule task-count mismatch.
-    pub fn weighted_completion_cost(&self, instance: &Instance) -> f64 {
+    pub fn weighted_completion_cost(&self, instance: &Instance<S>) -> S {
         assert_eq!(instance.n(), self.n(), "task count mismatch");
         let cs = self.completion_times();
-        let mut s = KahanSum::new();
-        for (id, t) in instance.iter() {
-            s.add(t.weight * cs[id.0]);
-        }
-        s.value()
+        S::sum(
+            instance
+                .iter()
+                .map(|(id, t)| t.weight.clone() * cs[id.0].clone()),
+        )
     }
 
     /// Area allocated to one task.
-    pub fn allocated_area(&self, task: TaskId) -> f64 {
-        numkit::sum::ksum(self.allocs[task.0].iter().map(Segment::area))
+    pub fn allocated_area(&self, task: TaskId) -> S {
+        S::sum(self.allocs[task.0].iter().map(Segment::area))
     }
 
     /// The paper's *resource-change* count (Lemmas 5 and 9): the number of
@@ -98,12 +102,12 @@ impl StepSchedule {
     /// at which its allocation `dᵢ(t)` changes. Adjacent segments with
     /// different rates contribute 1; a gap (allocation drops to zero and
     /// resumes) contributes 2.
-    pub fn resource_changes(&self, tol: Tolerance) -> usize {
+    pub fn resource_changes(&self, tol: Tolerance<S>) -> usize {
         let mut changes = 0;
         for segs in &self.allocs {
             for w in segs.windows(2) {
-                if tol.eq(w[0].end, w[1].start) {
-                    if !tol.eq(w[0].procs, w[1].procs) {
+                if tol.eq(w[0].end.clone(), w[1].start.clone()) {
+                    if !tol.eq(w[0].procs.clone(), w[1].procs.clone()) {
                         changes += 1;
                     }
                 } else {
@@ -115,24 +119,24 @@ impl StepSchedule {
     }
 
     /// Allocation of `task` at time `t` (0 outside its segments).
-    pub fn rate_at(&self, task: TaskId, t: f64) -> f64 {
+    pub fn rate_at(&self, task: TaskId, t: S) -> S {
         self.allocs[task.0]
             .iter()
             .find(|s| s.start <= t && t < s.end)
-            .map_or(0.0, |s| s.procs)
+            .map_or(S::zero(), |s| s.procs.clone())
     }
 
     /// All segment boundaries, sorted and deduplicated (within `tol`).
-    pub fn event_times(&self, tol: Tolerance) -> Vec<f64> {
-        let mut ts: Vec<f64> = self
+    pub fn event_times(&self, tol: Tolerance<S>) -> Vec<S> {
+        let mut ts: Vec<S> = self
             .allocs
             .iter()
             .flatten()
-            .flat_map(|s| [s.start, s.end])
+            .flat_map(|s| [s.start.clone(), s.end.clone()])
             .collect();
-        ts.push(0.0);
-        ts.sort_by(f64::total_cmp);
-        ts.dedup_by(|a, b| tol.eq(*a, *b));
+        ts.push(S::zero());
+        ts.sort_by(S::total_cmp_s);
+        ts.dedup_by(|a, b| tol.eq(a.clone(), b.clone()));
         ts
     }
 
@@ -141,19 +145,17 @@ impl StepSchedule {
     /// 2. `0 ≤ dᵢ(t) ≤ min(δᵢ, P)`;
     /// 3. `Σᵢ dᵢ(t) ≤ P` at every time;
     /// 4. `∫ dᵢ = Vᵢ`.
-    pub fn validate(&self, instance: &Instance) -> Result<(), ScheduleError> {
-        let scale = 1.0
-            + self
-                .allocs
-                .iter()
-                .map(|s| s.len())
-                .max()
-                .unwrap_or(0) as f64;
-        self.validate_with(instance, Tolerance::default().scaled(scale))
+    pub fn validate(&self, instance: &Instance<S>) -> Result<(), ScheduleError> {
+        let scale = 1.0 + self.allocs.iter().map(|s| s.len()).max().unwrap_or(0) as f64;
+        self.validate_with(instance, S::default_tolerance().scaled(scale))
     }
 
     /// [`StepSchedule::validate`] with an explicit tolerance.
-    pub fn validate_with(&self, instance: &Instance, tol: Tolerance) -> Result<(), ScheduleError> {
+    pub fn validate_with(
+        &self,
+        instance: &Instance<S>,
+        tol: Tolerance<S>,
+    ) -> Result<(), ScheduleError> {
         if self.n() != instance.n() {
             return Err(ScheduleError::LengthMismatch {
                 what: "step schedule tasks",
@@ -164,61 +166,59 @@ impl StepSchedule {
         for (i, segs) in self.allocs.iter().enumerate() {
             let id = TaskId(i);
             let cap = instance.effective_delta(id);
-            let mut prev_end = 0.0f64;
+            let mut prev_end = S::zero();
             for s in segs {
-                if !s.start.is_finite() || !s.end.is_finite() || s.start < -tol.abs {
+                if !s.start.is_finite() || !s.end.is_finite() || s.start < -tol.abs.clone() {
                     return Err(ScheduleError::InvalidTime {
-                        value: s.start,
+                        value: s.start.to_f64(),
                         context: "segment bounds",
                     });
                 }
                 if s.end <= s.start {
                     return Err(ScheduleError::InvalidTime {
-                        value: s.end,
+                        value: s.end.to_f64(),
                         context: "segment end ≤ start",
                     });
                 }
-                if s.start < prev_end - tol.slack(s.start, prev_end) {
+                if s.start.clone() + tol.slack(s.start.clone(), prev_end.clone()) < prev_end {
                     return Err(ScheduleError::InvalidTime {
-                        value: s.start,
+                        value: s.start.to_f64(),
                         context: "overlapping segments within a task",
                     });
                 }
-                if s.procs < -tol.abs || !tol.le(s.procs, cap) {
+                if s.procs < -tol.abs.clone() || !tol.le(s.procs.clone(), cap.clone()) {
                     return Err(ScheduleError::DeltaExceeded {
                         task: id,
-                        at: s.start,
-                        rate: s.procs,
-                        delta: cap,
+                        at: s.start.to_f64(),
+                        rate: s.procs.to_f64(),
+                        delta: cap.to_f64(),
                     });
                 }
-                prev_end = s.end;
+                prev_end = s.end.clone();
             }
             let area = self.allocated_area(id);
-            if !tol.eq(area, instance.task(id).volume) {
+            if !tol.eq(area.clone(), instance.task(id).volume.clone()) {
                 return Err(ScheduleError::VolumeMismatch {
                     task: id,
-                    allocated: area,
-                    required: instance.task(id).volume,
+                    allocated: area.to_f64(),
+                    required: instance.task(id).volume.to_f64(),
                 });
             }
         }
         // Capacity: sweep over event times, summing rates on each interval.
-        let events = self.event_times(tol);
+        let events = self.event_times(tol.clone());
+        let half = S::from_f64(0.5);
         for w in events.windows(2) {
-            let mid = 0.5 * (w[0] + w[1]);
-            if w[1] - w[0] <= tol.abs {
+            if w[1].clone() - w[0].clone() <= tol.abs {
                 continue;
             }
-            let mut total = KahanSum::new();
-            for i in 0..self.n() {
-                total.add(self.rate_at(TaskId(i), mid));
-            }
-            if !tol.le(total.value(), self.p) {
+            let mid = half.clone() * (w[0].clone() + w[1].clone());
+            let total = S::sum((0..self.n()).map(|i| self.rate_at(TaskId(i), mid.clone())));
+            if !tol.le(total.clone(), self.p.clone()) {
                 return Err(ScheduleError::CapacityExceeded {
-                    at: w[0],
-                    total: total.value(),
-                    p: self.p,
+                    at: w[0].to_f64(),
+                    total: total.to_f64(),
+                    p: self.p.to_f64(),
                 });
             }
         }

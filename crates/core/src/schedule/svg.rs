@@ -42,9 +42,7 @@ pub fn gantt_to_svg(gantt: &Gantt, opts: SvgOptions) -> String {
     let margin = 40.0;
     let axis_h = 24.0;
     let w = opts.width + 2.0 * margin;
-    let h = margin
-        + gantt.n_procs as f64 * (opts.lane_height + opts.lane_gap)
-        + axis_h;
+    let h = margin + gantt.n_procs as f64 * (opts.lane_height + opts.lane_gap) + axis_h;
     let x_of = |t: f64| margin + t / span * opts.width;
 
     let mut svg = String::new();
@@ -52,10 +50,7 @@ pub fn gantt_to_svg(gantt: &Gantt, opts: SvgOptions) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
     );
-    let _ = writeln!(
-        svg,
-        r#"<rect width="100%" height="100%" fill="white"/>"#
-    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
     for (p, lane) in gantt.lanes.iter().enumerate() {
         let y = margin / 2.0 + p as f64 * (opts.lane_height + opts.lane_gap);
         let _ = writeln!(

@@ -7,13 +7,12 @@ use proptest::prelude::*;
 
 fn entries_strategy() -> impl Strategy<Value = (Vec<(f64, f64)>, f64)> {
     (1usize..=12, 0.5f64..16.0).prop_flat_map(|(n, p)| {
-        proptest::collection::vec((0.05f64..4.0, 0.05f64..8.0), n..=n)
-            .prop_map(move |mut es| {
-                for e in &mut es {
-                    e.1 = e.1.min(p); // caps pre-clamped like the engine does
-                }
-                (es, p)
-            })
+        proptest::collection::vec((0.05f64..4.0, 0.05f64..8.0), n..=n).prop_map(move |mut es| {
+            for e in &mut es {
+                e.1 = e.1.min(p); // caps pre-clamped like the engine does
+            }
+            (es, p)
+        })
     })
 }
 
@@ -52,10 +51,10 @@ proptest! {
             }
             // Saturated tasks are exactly those whose fair share at that
             // quotient meets or exceeds their cap.
-            for i in 0..entries.len() {
+            for (i, (w, cap)) in entries.iter().enumerate() {
                 if !unsat.contains(&i) {
                     prop_assert!(
-                        entries[i].0 * q0 >= entries[i].1 - 1e-6,
+                        w * q0 >= cap - 1e-6,
                         "task {i} clamped although its share was below its cap"
                     );
                 }

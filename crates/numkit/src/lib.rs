@@ -6,9 +6,12 @@
 //!   stack (water-filling, the greedy recurrence, the simplex solver, …) run
 //!   both on `f64` (fast, approximate) and on exact rationals
 //!   (`bigratio::Rational` implements this trait in its own crate).
-//! * [`Tolerance`] — the *only* sanctioned way to compare floating-point
+//! * [`Tolerance`] — the *only* sanctioned way to compare derived numeric
 //!   quantities in this workspace. Schedules juggle sums of products of
-//!   volumes and rates, so naive `==`/`<=` comparisons are bug factories.
+//!   volumes and rates, so naive `==`/`<=` comparisons are bug factories in
+//!   `f64`. The tolerance is generic over the scalar: exact fields use
+//!   [`Tolerance::exact`] (zero slack — comparisons are exact, no epsilon
+//!   exists to mis-tune).
 //! * [`KahanSum`] — compensated summation, used when accumulating many small
 //!   volume increments (e.g. validating that `Σ_j x_{i,j} = V_i`).
 

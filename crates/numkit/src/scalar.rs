@@ -5,6 +5,8 @@
 //! certified runs (the paper verified Conjecture 13 symbolically with Sage;
 //! we use exact rational arithmetic for the same purpose).
 
+use crate::tol::Tolerance;
+use std::cmp::Ordering;
 use std::fmt::Debug;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
@@ -45,6 +47,38 @@ pub trait Scalar:
     /// Approximate conversion to `f64` (used for reporting only).
     fn to_f64(&self) -> f64;
 
+    /// The natural comparison tolerance of this scalar: float slack for
+    /// `f64`, **exactly zero** for exact fields (rational comparisons need
+    /// no epsilon — see [`Tolerance::exact`]).
+    ///
+    /// Required (no default) on purpose: an approximate scalar that
+    /// silently inherited a zero tolerance would reintroduce the very
+    /// float-comparison bugs [`Tolerance`] exists to prevent.
+    fn default_tolerance() -> Tolerance<Self>;
+
+    /// `true` iff the value is finite. Exact fields return `true`
+    /// unconditionally; approximate fields must perform the real check —
+    /// this is what lets the generic algorithms validate untrusted input.
+    ///
+    /// Required (no default) so a new approximate scalar cannot forget it
+    /// and silently accept infinite/NaN instance parameters.
+    fn is_finite(&self) -> bool;
+
+    /// Total order on the values the algorithms produce. `f64` uses IEEE
+    /// `total_cmp`; exact fields use their `PartialOrd` (total by
+    /// construction).
+    fn total_cmp_s(&self, other: &Self) -> Ordering {
+        self.partial_cmp(other)
+            .expect("Scalar order must be total on produced values")
+    }
+
+    /// Sum of an iterator of values. The default folds exactly (right for
+    /// exact fields); `f64` overrides with Kahan–Babuška compensated
+    /// summation so accumulating many small terms stays accurate.
+    fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        iter.into_iter().fold(Self::zero(), |a, b| a + b)
+    }
+
     /// `true` iff the value equals the additive identity exactly.
     fn is_zero(&self) -> bool {
         *self == Self::zero()
@@ -81,6 +115,10 @@ pub trait Scalar:
             self
         }
     }
+    /// `self` clamped into `[lo, hi]` (callers guarantee `lo ≤ hi`).
+    fn clamp_to(self, lo: Self, hi: Self) -> Self {
+        self.max_of(lo).min_of(hi)
+    }
 }
 
 impl Scalar for f64 {
@@ -99,11 +137,47 @@ impl Scalar for f64 {
     fn to_f64(&self) -> f64 {
         *self
     }
+    fn default_tolerance() -> Tolerance<f64> {
+        Tolerance {
+            abs: 1e-9,
+            rel: 1e-9,
+        }
+    }
+    fn is_finite(&self) -> bool {
+        f64::is_finite(*self)
+    }
+    fn total_cmp_s(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+    fn sum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+        crate::sum::ksum(iter)
+    }
 }
 
-/// Sum of a slice of scalars.
+/// Sum of a slice of scalars (Kahan-compensated for `f64`, exact for exact
+/// fields — see [`Scalar::sum`]).
 pub fn sum<S: Scalar>(xs: &[S]) -> S {
-    xs.iter().fold(S::zero(), |a, b| a + b.clone())
+    S::sum(xs.iter().cloned())
+}
+
+/// Compare the ratios `num_a/den_a` and `num_b/den_b` by
+/// cross-multiplication — no division is performed, so the comparison is
+/// exact on exact fields and needs no infinity sentinel. A non-positive
+/// denominator counts as ratio `+∞` (sorts after every finite ratio); two
+/// non-positive denominators compare equal. Numerators are assumed
+/// non-negative (the scheduling ratios — Smith's `V/w`, WDEQ's `δ/w` —
+/// always are), which keeps cross-multiplication order-preserving.
+pub fn ratio_cmp<S: Scalar>(num_a: &S, den_a: &S, num_b: &S, den_b: &S) -> Ordering {
+    match (den_a.is_positive(), den_b.is_positive()) {
+        (false, false) => Ordering::Equal,
+        (false, true) => Ordering::Greater,
+        (true, false) => Ordering::Less,
+        (true, true) => {
+            let lhs = num_a.clone() * den_b.clone();
+            let rhs = num_b.clone() * den_a.clone();
+            lhs.total_cmp_s(&rhs)
+        }
+    }
 }
 
 /// Dot product of two equally long slices.
@@ -113,9 +187,7 @@ pub fn sum<S: Scalar>(xs: &[S]) -> S {
 /// input).
 pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter()
-        .zip(b)
-        .fold(S::zero(), |acc, (x, y)| acc + x.clone() * y.clone())
+    S::sum(a.iter().zip(b).map(|(x, y)| x.clone() * y.clone()))
 }
 
 #[cfg(test)]
@@ -129,8 +201,10 @@ mod tests {
         assert_eq!(f64::from_int(-3), -3.0);
         assert!(Scalar::is_positive(&2.0f64));
         assert!(Scalar::is_negative(&-2.0f64));
-        assert!(0.0f64.is_zero());
-        assert_eq!((-5.0f64).abs(), 5.0);
+        assert!(Scalar::is_zero(&0.0f64));
+        assert_eq!(Scalar::abs(&-5.0f64), 5.0);
+        assert!(Scalar::is_finite(&1.0f64));
+        assert!(!Scalar::is_finite(&f64::INFINITY));
     }
 
     #[test]
@@ -140,6 +214,8 @@ mod tests {
         assert_eq!(2.0f64.min_of(1.0), 1.0);
         // Ties keep self.
         assert_eq!(3.0f64.min_of(3.0), 3.0);
+        assert_eq!(5.0f64.clamp_to(0.0, 3.0), 3.0);
+        assert_eq!((-1.0f64).clamp_to(0.0, 3.0), 0.0);
     }
 
     #[test]
@@ -147,6 +223,25 @@ mod tests {
         assert_eq!(sum(&[1.0, 2.0, 3.5]), 6.5);
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert_eq!(sum::<f64>(&[]), 0.0);
+    }
+
+    #[test]
+    fn f64_sum_is_compensated() {
+        // 1 + 1e100 − 1e100 = 1 under Kahan–Babuška, 0 under naive folding.
+        assert_eq!(<f64 as Scalar>::sum([1.0, 1e100, -1e100]), 1.0);
+    }
+
+    #[test]
+    fn default_tolerances() {
+        let t = <f64 as Scalar>::default_tolerance();
+        assert_eq!((t.abs, t.rel), (1e-9, 1e-9));
+    }
+
+    #[test]
+    fn total_cmp_handles_f64() {
+        use std::cmp::Ordering;
+        assert_eq!(1.0f64.total_cmp_s(&2.0), Ordering::Less);
+        assert_eq!(2.0f64.total_cmp_s(&2.0), Ordering::Equal);
     }
 
     #[test]

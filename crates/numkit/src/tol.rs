@@ -1,91 +1,116 @@
-//! Tolerant floating-point comparison.
+//! Tolerant comparison, generic over the scalar field.
 //!
 //! Scheduling code compares *derived* quantities: completion times that are
 //! sums of `volume / rate` terms, areas that are sums of `rate × length`
 //! products. Exact comparison of such values is meaningless in `f64`; this
 //! module centralizes the policy.
+//!
+//! The tolerance is generic over [`Scalar`]: the `f64` instantiation carries
+//! the usual absolute + relative slack, while exact fields (e.g.
+//! `bigratio::Rational`) use [`Tolerance::exact`] — **both slacks are zero**
+//! and every comparison degenerates to the exact one, which deletes the
+//! entire class of "is this epsilon big enough?" bugs from certified runs.
 
-/// Absolute + relative comparison tolerance.
+use crate::scalar::Scalar;
+
+/// Absolute + relative comparison tolerance over a scalar field `S`.
 ///
 /// Two values `a`, `b` are considered equal when
 /// `|a − b| ≤ abs + rel · max(|a|, |b|)`.
 ///
-/// The default (`abs = rel = 1e-9`) is appropriate for instances whose
+/// The `f64` default (`abs = rel = 1e-9`) is appropriate for instances whose
 /// volumes/weights/caps are O(1)–O(10³), which covers every workload in this
 /// repository. Benchmark sweeps on large `n` accumulate error linearly, so
 /// validation of very large schedules should loosen the tolerance via
-/// [`Tolerance::scaled`].
+/// [`Tolerance::scaled`]. Exact scalars default to zero slack and ignore
+/// scaling (zero times anything is zero).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Tolerance {
+pub struct Tolerance<S = f64> {
     /// Absolute slack.
-    pub abs: f64,
+    pub abs: S,
     /// Relative slack (multiplied by the larger magnitude).
-    pub rel: f64,
+    pub rel: S,
 }
 
-impl Default for Tolerance {
+impl<S: Scalar> Default for Tolerance<S> {
     fn default() -> Self {
-        Tolerance {
-            abs: 1e-9,
-            rel: 1e-9,
-        }
+        S::default_tolerance()
     }
 }
 
-impl Tolerance {
-    /// A tolerance with identical absolute and relative slack.
+impl Tolerance<f64> {
+    /// A float tolerance with identical absolute and relative slack.
     pub fn new(eps: f64) -> Self {
         Tolerance { abs: eps, rel: eps }
+    }
+}
+
+impl<S: Scalar> Tolerance<S> {
+    /// The zero tolerance: every comparison is exact. This is the natural
+    /// (and default) tolerance for exact scalar fields.
+    pub fn exact() -> Self {
+        Tolerance {
+            abs: S::zero(),
+            rel: S::zero(),
+        }
+    }
+
+    /// `true` iff both slacks are exactly zero (comparisons are exact).
+    pub fn is_exact(&self) -> bool {
+        self.abs.is_zero() && self.rel.is_zero()
     }
 
     /// Scale both slacks by `factor` (e.g. by `n` when validating an
     /// `n`-column schedule whose invariants accumulate error per column).
+    /// A no-op on exact tolerances.
     pub fn scaled(self, factor: f64) -> Self {
+        let f = S::from_f64(factor);
         Tolerance {
-            abs: self.abs * factor,
-            rel: self.rel * factor,
+            abs: self.abs * f.clone(),
+            rel: self.rel * f,
         }
     }
 
     /// Total slack granted when comparing `a` and `b`.
     #[inline]
-    pub fn slack(&self, a: f64, b: f64) -> f64 {
-        self.abs + self.rel * a.abs().max(b.abs())
+    pub fn slack(&self, a: S, b: S) -> S {
+        self.abs.clone() + self.rel.clone() * a.abs().max_of(b.abs())
     }
 
     /// `a == b` up to tolerance.
     #[inline]
-    pub fn eq(&self, a: f64, b: f64) -> bool {
-        (a - b).abs() <= self.slack(a, b)
+    pub fn eq(&self, a: S, b: S) -> bool {
+        let s = self.slack(a.clone(), b.clone());
+        (a - b).abs() <= s
     }
 
     /// `a <= b` up to tolerance.
     #[inline]
-    pub fn le(&self, a: f64, b: f64) -> bool {
-        a <= b + self.slack(a, b)
+    pub fn le(&self, a: S, b: S) -> bool {
+        a.clone() <= b.clone() + self.slack(a, b)
     }
 
     /// `a >= b` up to tolerance.
     #[inline]
-    pub fn ge(&self, a: f64, b: f64) -> bool {
+    pub fn ge(&self, a: S, b: S) -> bool {
         self.le(b, a)
     }
 
     /// `a < b` and *not* `a == b` up to tolerance (strictly less).
     #[inline]
-    pub fn lt(&self, a: f64, b: f64) -> bool {
+    pub fn lt(&self, a: S, b: S) -> bool {
         a < b && !self.eq(a, b)
     }
 
     /// `a > b` and *not* `a == b` up to tolerance (strictly greater).
     #[inline]
-    pub fn gt(&self, a: f64, b: f64) -> bool {
+    pub fn gt(&self, a: S, b: S) -> bool {
         self.lt(b, a)
     }
 
     /// `a == 0` up to (absolute) tolerance.
     #[inline]
-    pub fn is_zero(&self, a: f64) -> bool {
+    pub fn is_zero(&self, a: S) -> bool {
         a.abs() <= self.abs
     }
 
@@ -93,9 +118,9 @@ impl Tolerance {
     /// tiny negative error. Values below `-slack` are *not* clamped — a
     /// genuinely negative value is a bug that must surface.
     #[inline]
-    pub fn clamp_nonneg(&self, a: f64) -> f64 {
-        if a < 0.0 && a >= -self.slack(a, 0.0) {
-            0.0
+    pub fn clamp_nonneg(&self, a: S) -> S {
+        if a.is_negative() && a >= -self.slack(a.clone(), S::zero()) {
+            S::zero()
         } else {
             a
         }
@@ -153,5 +178,22 @@ mod tests {
     fn scaled() {
         let t = Tolerance::default().scaled(1000.0);
         assert!(t.eq(1.0, 1.0 + 1e-7));
+    }
+
+    #[test]
+    fn exact_tolerance_compares_exactly() {
+        let t = Tolerance::<f64>::exact();
+        assert!(t.is_exact());
+        assert!(t.eq(1.0, 1.0));
+        assert!(!t.eq(1.0, 1.0 + f64::EPSILON));
+        assert!(t.le(1.0, 1.0));
+        assert!(!t.le(1.0 + f64::EPSILON, 1.0));
+        assert!(t.lt(1.0, 1.0 + f64::EPSILON));
+        assert!(!t.is_zero(1e-300));
+        assert!(t.is_zero(0.0));
+        // Scaling an exact tolerance keeps it exact.
+        assert!(t.scaled(1e6).is_exact());
+        // Clamp is the identity when slack is zero.
+        assert_eq!(t.clamp_nonneg(-1e-300), -1e-300);
     }
 }

@@ -5,11 +5,16 @@
 //! experiment compares greedy schedules against ("for each instance the
 //! best greedy schedule was numerically indistinguishable from the
 //! optimal").
+//!
+//! Generic over the instance's scalar: on `Instance<Rational>` the minimum
+//! over orders is an *exact* optimum (every LP is solved in rational
+//! arithmetic and compared exactly).
 
 use crate::lp::{lp_schedule_for_order, OptError};
 use malleable_core::algos::greedy::greedy_cost;
 use malleable_core::instance::{Instance, TaskId};
 use malleable_core::schedule::column::ColumnSchedule;
+use numkit::Scalar;
 
 /// Hard cap on exhaustive search size (8! = 40 320 LPs).
 pub const MAX_EXHAUSTIVE_N: usize = 8;
@@ -64,13 +69,13 @@ impl Iterator for Permutations {
 
 /// Result of an exhaustive optimum computation.
 #[derive(Debug, Clone)]
-pub struct OptimalResult {
+pub struct OptimalResult<S = f64> {
     /// Optimal objective value.
-    pub cost: f64,
+    pub cost: S,
     /// A completion order achieving it.
     pub order: Vec<TaskId>,
     /// The witnessing schedule.
-    pub schedule: ColumnSchedule,
+    pub schedule: ColumnSchedule<S>,
 }
 
 /// Exact optimum of `MWCT-CB-F` by LP over every completion order.
@@ -78,7 +83,7 @@ pub struct OptimalResult {
 /// # Errors
 /// [`OptError::TooLarge`] beyond [`MAX_EXHAUSTIVE_N`]; LP failures
 /// propagate.
-pub fn optimal_schedule(instance: &Instance) -> Result<OptimalResult, OptError> {
+pub fn optimal_schedule<S: Scalar>(instance: &Instance<S>) -> Result<OptimalResult<S>, OptError> {
     let n = instance.n();
     if n > MAX_EXHAUSTIVE_N {
         return Err(OptError::TooLarge {
@@ -86,7 +91,7 @@ pub fn optimal_schedule(instance: &Instance) -> Result<OptimalResult, OptError> 
             max: MAX_EXHAUSTIVE_N,
         });
     }
-    let mut best: Option<OptimalResult> = None;
+    let mut best: Option<OptimalResult<S>> = None;
     for perm in Permutations::new(n) {
         let order: Vec<TaskId> = perm.into_iter().map(TaskId).collect();
         let (cost, schedule) = lp_schedule_for_order(instance, &order)?;
@@ -106,7 +111,9 @@ pub fn optimal_schedule(instance: &Instance) -> Result<OptimalResult, OptError> 
 /// # Errors
 /// [`OptError::TooLarge`] beyond [`MAX_EXHAUSTIVE_N`]; greedy failures
 /// propagate.
-pub fn best_greedy_exhaustive(instance: &Instance) -> Result<(f64, Vec<TaskId>), OptError> {
+pub fn best_greedy_exhaustive<S: Scalar>(
+    instance: &Instance<S>,
+) -> Result<(S, Vec<TaskId>), OptError> {
     let n = instance.n();
     if n > MAX_EXHAUSTIVE_N {
         return Err(OptError::TooLarge {
@@ -114,7 +121,7 @@ pub fn best_greedy_exhaustive(instance: &Instance) -> Result<(f64, Vec<TaskId>),
             max: MAX_EXHAUSTIVE_N,
         });
     }
-    let mut best: Option<(f64, Vec<TaskId>)> = None;
+    let mut best: Option<(S, Vec<TaskId>)> = None;
     for perm in Permutations::new(n) {
         let order: Vec<TaskId> = perm.into_iter().map(TaskId).collect();
         let cost = greedy_cost(instance, &order)?;
@@ -159,6 +166,21 @@ mod tests {
         // WSPT order: ratios 0.5, 2.0, 1.0 → T0, T2, T1.
         // C = 1, 2.5, 4.5 → cost = 2·1 + 1.5·2.5 + 1·4.5 = 10.25.
         assert!((opt.cost - 10.25).abs() < 1e-6, "got {}", opt.cost);
+    }
+
+    #[test]
+    fn exact_optimum_matches_wspt_exactly() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(1.0))
+            .task(q(1.0), q(2.0), q(1.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .task(q(1.5), q(1.5), q(1.0))
+            .build()
+            .unwrap();
+        let opt = optimal_schedule(&inst).unwrap();
+        opt.schedule.validate(&inst).unwrap(); // zero tolerance
+        assert_eq!(opt.cost, q(10.25)); // exact equality, no epsilon
     }
 
     #[test]

@@ -9,15 +9,21 @@
 //! * **Conjecture 13**: on homogeneous instances (`P = 1, V = w = 1,
 //!   δ ∈ [½,1]`) the greedy cost of an order equals the greedy cost of the
 //!   *reversed* order. The paper checked it symbolically with Sage up to
-//!   `n = 15`; [`check_conjecture13_exact`] does the same with exact
-//!   rational arithmetic — equality is `==` on `bigratio::Rational`, no
-//!   tolerance involved.
+//!   `n = 15`. Two exact checkers live here:
+//!   [`check_conjecture13_exact`] drives the closed-form §V-B recurrence on
+//!   `bigratio::Rational`, and [`check_conjecture13_instance_exact`] drives
+//!   the **full generic stack** — `Instance<Rational>` through the general
+//!   Algorithm-3 greedy — so the conjecture is verified against the real
+//!   scheduler, not just the recurrence. Equality is `==` on rationals in
+//!   both; no tolerance is involved anywhere.
 
 use crate::brute::{best_greedy_exhaustive, optimal_schedule};
 use crate::homogeneous::greedy_total_cost;
 use crate::lp::OptError;
 use bigratio::Rational;
+use malleable_core::algos::greedy::greedy_schedule;
 use malleable_core::instance::{Instance, TaskId};
+use numkit::Scalar;
 
 /// Per-instance evidence for Conjecture 12.
 #[derive(Debug, Clone)]
@@ -52,8 +58,9 @@ pub fn check_conjecture12(instance: &Instance) -> Result<Conj12Report, OptError>
     })
 }
 
-/// Exact Conjecture-13 check for rational caps `δ = num/den`:
-/// `cost(σ) == cost(reverse σ)` where σ is the order given.
+/// Exact Conjecture-13 check for rational caps `δ = num/den`, via the
+/// closed-form §V-B recurrence: `cost(σ) == cost(reverse σ)` where σ is the
+/// order given.
 ///
 /// Returns the pair of exact costs along with the verdict so callers can
 /// report counterexamples precisely.
@@ -63,6 +70,46 @@ pub fn check_conjecture13_exact(deltas: &[(i64, i64)]) -> (bool, Rational, Ratio
     rev.reverse();
     let cf = greedy_total_cost(&fwd);
     let cr = greedy_total_cost(&rev);
+    (cf == cr, cf, cr)
+}
+
+/// Exact Conjecture-13 check through the **full generic stack**: build the
+/// homogeneous `Instance<Rational>` (`P = 1, V = w = 1`) for the caps
+/// `δ = num/den`, run the general Algorithm-3 greedy in input order and in
+/// reversed order, and compare `Σ Cᵢ` with exact `==`. This is the
+/// end-to-end path the genericization over [`numkit::Scalar`] buys: the
+/// same `greedy_schedule` code that powers the float experiments produces
+/// the certified verdict.
+///
+/// # Panics
+/// Panics if any cap is `≤ 0` (instance validation rejects it). Caps above
+/// `P = 1` are *not* rejected — the machine clamps them to 1, which takes
+/// the input outside the conjecture's `δ ∈ [½, 1]` hypothesis; callers
+/// (like `malleable_workloads::rational_deltas`) are responsible for
+/// sampling in range.
+pub fn check_conjecture13_instance_exact(deltas: &[(i64, i64)]) -> (bool, Rational, Rational) {
+    let one = Rational::from_int(1);
+    let make = |ds: &[Rational]| -> Instance<Rational> {
+        Instance::new(
+            one.clone(),
+            ds.iter()
+                .map(|d| malleable_core::instance::Task::new(one.clone(), one.clone(), d.clone()))
+                .collect(),
+        )
+        .expect("homogeneous instance is valid")
+    };
+    let fwd: Vec<Rational> = deltas.iter().map(|&(n, d)| Rational::new(n, d)).collect();
+    let mut rev = fwd.clone();
+    rev.reverse();
+    let order: Vec<TaskId> = (0..deltas.len()).map(TaskId).collect();
+    let cost = |ds: &[Rational]| -> Rational {
+        let inst = make(ds);
+        let s = greedy_schedule(&inst, &order).expect("greedy succeeds on valid instances");
+        s.validate(&inst).expect("exact greedy schedule validates");
+        Rational::sum(s.completion_times())
+    };
+    let cf = cost(&fwd);
+    let cr = cost(&rev);
     (cf == cr, cf, cr)
 }
 
@@ -138,6 +185,29 @@ mod tests {
                 assert!(ok, "n={n} seed={seed}: {cf} ≠ {cr} for {deltas:?}");
             }
         }
+    }
+
+    #[test]
+    fn conjecture13_full_stack_exact_up_to_n8() {
+        // The acceptance check of the Scalar genericization: the *general*
+        // greedy (not the recurrence) run on Instance<Rational> satisfies
+        // the reversal invariance with exact equality, n ≤ 8.
+        for n in 2..=8usize {
+            for seed in 0..3 {
+                let deltas = rational_deltas(n, 12, seed ^ 0xc0ffee);
+                let (ok, cf, cr) = check_conjecture13_instance_exact(&deltas);
+                assert!(ok, "n={n} seed={seed}: {cf} ≠ {cr} for {deltas:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_stack_check_agrees_with_recurrence() {
+        let deltas = [(1i64, 2i64), (3, 4), (5, 8), (2, 3)];
+        let (_, cf_rec, cr_rec) = check_conjecture13_exact(&deltas);
+        let (_, cf_gen, cr_gen) = check_conjecture13_instance_exact(&deltas);
+        assert_eq!(cf_rec, cf_gen);
+        assert_eq!(cr_rec, cr_gen);
     }
 
     #[test]

@@ -151,7 +151,7 @@ mod tests {
         use malleable_core::algos::greedy::greedy_schedule;
         use malleable_core::instance::{Instance, TaskId};
         let deltas = [0.9f64, 0.55, 0.7, 0.62, 0.85];
-        let rec = greedy_completions(&deltas.to_vec());
+        let rec = greedy_completions(deltas.as_ref());
         let inst = Instance::builder(1.0)
             .tasks(deltas.iter().map(|&d| (1.0, 1.0, d)))
             .build()
@@ -170,7 +170,7 @@ mod tests {
             .iter()
             .map(|&d| Rational::from_f64_exact(d))
             .collect();
-        let cf = greedy_total_cost(&deltas_f.to_vec());
+        let cf = greedy_total_cost(deltas_f.as_ref());
         let cr = greedy_total_cost(&deltas_r);
         assert!((cf - cr.approx_f64()).abs() < 1e-12);
     }

@@ -1,8 +1,10 @@
 //! # malleable-opt — exact optima and the paper's conjecture checkers
 //!
 //! * [`lp`] — Corollary 1: *given the order of completion times*, the
-//!   optimal malleable schedule is a linear program; built generically so
-//!   it can be solved in `f64` or exactly in rationals.
+//!   optimal malleable schedule is a linear program. The LP is built from
+//!   `Instance<S>` coefficients verbatim, so `Instance<f64>` solves in
+//!   floating point and `Instance<bigratio::Rational>` end-to-end in exact
+//!   arithmetic — no conversion shim between the core and the solver.
 //! * [`brute`] — exhaustive minimization over all `n!` completion orders
 //!   (the exact optimum for small `n`), and exhaustive best-greedy search.
 //! * [`homogeneous`] — Section V-B: the closed-form greedy recurrence on

@@ -16,6 +16,14 @@
 //!
 //! Minimizing over all `n!` orders ([`crate::brute`]) yields the global
 //! optimum of `MWCT-CB-F`.
+//!
+//! The whole pipeline is generic over the scalar field of the *instance*:
+//! an `Instance<f64>` is solved in floating point, an
+//! `Instance<Rational>` end-to-end in exact arithmetic — the LP
+//! coefficients are taken from the instance verbatim, with **no**
+//! `f64 → Rational` conversion shim in between, so an exact instance flows
+//! from construction through Water-Filling validation to the LP optimum
+//! without ever rounding through a float.
 
 use malleable_core::instance::{Instance, TaskId};
 use malleable_core::schedule::column::{Column, ColumnSchedule};
@@ -87,8 +95,9 @@ impl VarMap {
     }
 }
 
-/// Build the Corollary-1 LP for `order` over any scalar field.
-pub fn build_lp<S: Scalar>(instance: &Instance, order: &[TaskId]) -> LinearProgram<S> {
+/// Build the Corollary-1 LP for `order` over the instance's own scalar
+/// field (coefficients are used verbatim — no float round-trip).
+pub fn build_lp<S: Scalar>(instance: &Instance<S>, order: &[TaskId]) -> LinearProgram<S> {
     let n = instance.n();
     debug_assert!(malleable_core::algos::orders::is_permutation(order, n));
     let vm = VarMap { n };
@@ -96,7 +105,7 @@ pub fn build_lp<S: Scalar>(instance: &Instance, order: &[TaskId]) -> LinearProgr
 
     // Objective: Σ w_{σ(k)}·C_k.
     for (k, &tid) in order.iter().enumerate() {
-        lp.set_objective(vm.c(k), S::from_f64(instance.task(tid).weight));
+        lp.set_objective(vm.c(k), instance.task(tid).weight.clone());
     }
     // Order: C_k − C_{k−1} ≥ 0.
     for k in 1..n {
@@ -107,7 +116,7 @@ pub fn build_lp<S: Scalar>(instance: &Instance, order: &[TaskId]) -> LinearProgr
         );
     }
     // Column capacity: Σ_{k≥j} x_{k,j} − P·C_j + P·C_{j−1} ≤ 0.
-    let p = S::from_f64(instance.p);
+    let p = instance.p.clone();
     for j in 0..n {
         let mut coeffs: Vec<(usize, S)> = (j..n).map(|k| (vm.x(k, j), S::one())).collect();
         coeffs.push((vm.c(j), -p.clone()));
@@ -118,7 +127,7 @@ pub fn build_lp<S: Scalar>(instance: &Instance, order: &[TaskId]) -> LinearProgr
     }
     // Per-task caps: x_{k,j} − δ·C_j + δ·C_{j−1} ≤ 0.
     for (k, &tid) in order.iter().enumerate() {
-        let d = S::from_f64(instance.effective_delta(tid));
+        let d = instance.effective_delta(tid);
         for j in 0..=k {
             let mut coeffs = vec![(vm.x(k, j), S::one()), (vm.c(j), -d.clone())];
             if j > 0 {
@@ -130,21 +139,18 @@ pub fn build_lp<S: Scalar>(instance: &Instance, order: &[TaskId]) -> LinearProgr
     // Volumes: Σ_{j≤k} x_{k,j} = V.
     for (k, &tid) in order.iter().enumerate() {
         let coeffs: Vec<(usize, S)> = (0..=k).map(|j| (vm.x(k, j), S::one())).collect();
-        lp.add_constraint(
-            coeffs,
-            Relation::Eq,
-            S::from_f64(instance.task(tid).volume),
-        );
+        lp.add_constraint(coeffs, Relation::Eq, instance.task(tid).volume.clone());
     }
     lp
 }
 
-/// Optimal cost for a fixed completion order, over any scalar field.
+/// Optimal cost for a fixed completion order, over the instance's scalar
+/// field.
 ///
 /// # Errors
 /// Propagates solver failures.
 pub fn lp_cost_for_order<S: Scalar>(
-    instance: &Instance,
+    instance: &Instance<S>,
     order: &[TaskId],
     opts: &SolveOptions<S>,
 ) -> Result<S, OptError> {
@@ -157,14 +163,17 @@ pub fn lp_cost_for_order<S: Scalar>(
     Ok(lp.solve_with(opts)?.objective_value)
 }
 
-/// Optimal cost *and schedule* for a fixed order (`f64` path).
+/// Optimal cost *and schedule* for a fixed order, over the instance's
+/// scalar field (solver options come from the scalar's natural tolerance:
+/// float slack for `f64`, zero for exact fields).
 ///
 /// # Errors
-/// Propagates solver failures; the extracted schedule is re-validated.
-pub fn lp_schedule_for_order(
-    instance: &Instance,
+/// Propagates solver failures; the extracted schedule is re-validated by
+/// callers as needed.
+pub fn lp_schedule_for_order<S: Scalar>(
+    instance: &Instance<S>,
     order: &[TaskId],
-) -> Result<(f64, ColumnSchedule), OptError> {
+) -> Result<(S, ColumnSchedule<S>), OptError> {
     if !malleable_core::algos::orders::is_permutation(order, instance.n()) {
         return Err(OptError::Schedule(ScheduleError::InvalidInstance {
             reason: "order is not a permutation".into(),
@@ -172,38 +181,38 @@ pub fn lp_schedule_for_order(
     }
     let n = instance.n();
     let vm = VarMap { n };
-    let lp = build_lp::<f64>(instance, order);
-    let sol = lp.solve_with(&SolveOptions::float_default())?;
+    let lp = build_lp::<S>(instance, order);
+    let sol = lp.solve_with(&SolveOptions::scalar_default())?;
 
     // Extract columns.
-    let mut completions = vec![0.0; n];
+    let mut completions = vec![S::zero(); n];
     let mut columns = Vec::with_capacity(n);
-    let mut prev = 0.0f64;
-    let tol = numkit::Tolerance::default().scaled(1.0 + n as f64);
+    let mut prev = S::zero();
+    let tol = S::default_tolerance().scaled(1.0 + n as f64);
     for j in 0..n {
-        let end = sol.x[vm.c(j)].max(prev); // clamp float jitter
-        let l = end - prev;
+        let end = sol.x[vm.c(j)].clone().max_of(prev.clone()); // clamp jitter
+        let l = end.clone() - prev.clone();
         let mut rates = Vec::new();
         if l > tol.abs {
             for (k, &tid) in order.iter().enumerate().skip(j) {
-                let area = sol.x[vm.x(k, j)];
-                if area > tol.abs * l {
-                    rates.push((tid, area / l));
+                let area = sol.x[vm.x(k, j)].clone();
+                if area > tol.abs.clone() * l.clone() {
+                    rates.push((tid, area / l.clone()));
                 }
             }
         }
         columns.push(Column {
-            start: prev,
-            end,
+            start: prev.clone(),
+            end: end.clone(),
             rates,
         });
-        completions[order[j].0] = end;
+        completions[order[j].0] = end.clone();
         prev = end;
     }
     // Tasks in zero-length columns complete at the column boundary; make
     // completions consistent with the last positive allocation.
     let cs = ColumnSchedule {
-        p: instance.p,
+        p: instance.p.clone(),
         completions,
         columns,
     };
@@ -275,11 +284,32 @@ mod tests {
             .task(0.25, 0.5, 0.75)
             .build()
             .unwrap();
+        let exact: Instance<Rational> = inst.to_scalar();
         let order = tid(&[0, 1]);
         let f = lp_cost_for_order::<f64>(&inst, &order, &SolveOptions::float_default()).unwrap();
-        let r =
-            lp_cost_for_order::<Rational>(&inst, &order, &SolveOptions::exact()).unwrap();
+        let r = lp_cost_for_order::<Rational>(&exact, &order, &SolveOptions::exact()).unwrap();
         assert!((f - r.approx_f64()).abs() < 1e-7, "f64 {f} vs exact {r}");
+    }
+
+    #[test]
+    fn exact_lp_schedule_flows_end_to_end() {
+        // Instance::<Rational> → LP → ColumnSchedule<Rational>, validated
+        // with zero tolerance and cross-checked against Water-Filling on
+        // the LP's own completion times — no f64 round-trip anywhere.
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(1.0))
+            .task(q(0.5), q(0.75), q(0.5))
+            .task(q(0.25), q(0.5), q(0.75))
+            .build()
+            .unwrap();
+        let order = tid(&[0, 1]);
+        let (cost, cs) = lp_schedule_for_order(&inst, &order).unwrap();
+        cs.validate(&inst).unwrap(); // exact Definition-2 check
+                                     // The LP's completion times are feasible, exactly (Theorem 8).
+        let wf =
+            malleable_core::algos::waterfill::water_filling(&inst, cs.completion_times()).unwrap();
+        wf.validate(&inst).unwrap();
+        assert_eq!(cs.weighted_completion_cost(&inst), cost);
     }
 
     #[test]
@@ -304,8 +334,7 @@ mod tests {
             .unwrap();
         assert!(lp_schedule_for_order(&inst, &tid(&[0, 0])).is_err());
         assert!(
-            lp_cost_for_order::<f64>(&inst, &tid(&[0]), &SolveOptions::float_default())
-                .is_err()
+            lp_cost_for_order::<f64>(&inst, &tid(&[0]), &SolveOptions::float_default()).is_err()
         );
     }
 

@@ -104,7 +104,7 @@ impl SimResult {
 /// [`SimError::Instance`] for malformed instances.
 pub fn simulate(instance: &Instance, policy: &mut dyn OnlinePolicy) -> Result<SimResult, SimError> {
     instance.validate()?;
-    let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
+    let tol = Tolerance::<f64>::default().scaled(1.0 + instance.n() as f64);
     let n = instance.n();
     let mut remaining: Vec<f64> = instance.tasks.iter().map(|t| t.volume).collect();
     let mut processed: Vec<f64> = vec![0.0; n];

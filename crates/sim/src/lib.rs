@@ -26,6 +26,6 @@ pub mod metrics;
 pub mod policies;
 
 pub use bandwidth::{BandwidthReport, BandwidthScenario, Worker};
-pub use metrics::{metrics, ScheduleMetrics};
 pub use engine::{simulate, OnlinePolicy, SimError, SimResult, TaskView};
+pub use metrics::{metrics, ScheduleMetrics};
 pub use policies::{DeqPolicy, PriorityPolicy, UncappedSharePolicy, WdeqPolicy};

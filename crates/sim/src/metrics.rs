@@ -145,7 +145,10 @@ mod tests {
         let i = inst();
         let r = simulate(&i, &mut WdeqPolicy).unwrap();
         let m = metrics(&i, &r.schedule);
-        assert_eq!(m.weighted_completion, r.schedule.weighted_completion_cost(&i));
+        assert_eq!(
+            m.weighted_completion,
+            r.schedule.weighted_completion_cost(&i)
+        );
         assert_eq!(m.makespan, r.schedule.makespan());
         assert!(m.max_stretch >= 1.0);
         assert!(m.jain_fairness <= 1.0 + 1e-12);
@@ -159,7 +162,10 @@ mod tests {
             columns: vec![],
         };
         assert_eq!(utilization(&empty), 0.0);
-        let no_tasks = Instance { p: 2.0, tasks: vec![] };
+        let no_tasks = Instance {
+            p: 2.0,
+            tasks: vec![],
+        };
         assert_eq!(jain_fairness(&no_tasks, &empty), 1.0);
     }
 }

@@ -59,7 +59,10 @@ impl OnlinePolicy for UncappedSharePolicy {
         if w <= 0.0 {
             return vec![0.0; active.len()];
         }
-        active.iter().map(|v| (v.weight * p / w).min(v.delta)).collect()
+        active
+            .iter()
+            .map(|v| (v.weight * p / w).min(v.delta))
+            .collect()
     }
 }
 
@@ -116,12 +119,7 @@ mod tests {
         let i = inst();
         let online = simulate(&i, &mut WdeqPolicy).unwrap();
         let offline = wdeq_schedule(&i);
-        for (a, b) in online
-            .schedule
-            .completions
-            .iter()
-            .zip(&offline.completions)
-        {
+        for (a, b) in online.schedule.completions.iter().zip(&offline.completions) {
             assert!((a - b).abs() < 1e-9, "online {a} vs offline {b}");
         }
     }

@@ -95,6 +95,19 @@ impl<S: Scalar> SolveOptions<S> {
             max_iters: 1_000_000,
         }
     }
+
+    /// The scalar's natural options: the float tolerance's absolute slack
+    /// for `f64` (≡ [`SolveOptions::float_default`]), zero slack for exact
+    /// fields (≡ [`SolveOptions::exact`]). This is what lets callers write
+    /// one generic solve path with no per-scalar dispatch.
+    pub fn scalar_default() -> Self {
+        let tol = S::default_tolerance();
+        let exact = tol.is_exact();
+        SolveOptions {
+            eps: tol.abs,
+            max_iters: if exact { 1_000_000 } else { 100_000 },
+        }
+    }
 }
 
 struct Row<S> {
@@ -285,8 +298,7 @@ impl<S: Scalar> LinearProgram<S> {
                 if t.basis[i] < first_artificial {
                     continue;
                 }
-                let piv = (0..first_artificial)
-                    .find(|&j| t.rows[i][j].clone().abs() > opts.eps);
+                let piv = (0..first_artificial).find(|&j| t.rows[i][j].clone().abs() > opts.eps);
                 if let Some(j) = piv {
                     t.pivot(i, j);
                 }
@@ -470,8 +482,7 @@ mod tests {
     #[test]
     fn float_and_exact_agree() {
         // Random-ish fixed LP solved both ways.
-        let coeffs: [(f64, f64, f64); 3] =
-            [(2.0, 1.0, 8.0), (1.0, 3.0, 9.0), (1.0, 1.0, 4.0)];
+        let coeffs: [(f64, f64, f64); 3] = [(2.0, 1.0, 8.0), (1.0, 3.0, 9.0), (1.0, 1.0, 4.0)];
         let mut lpf = LinearProgram::<f64>::maximize(2);
         lpf.set_objective(0, 5.0);
         lpf.set_objective(1, 4.0);

@@ -22,10 +22,7 @@ fn covering_lp() -> impl Strategy<Value = CoveringLp> {
     (1usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
         let c = proptest::collection::vec(0.1f64..4.0, n..=n);
         let rows = proptest::collection::vec(
-            (
-                proptest::collection::vec(0.1f64..4.0, n..=n),
-                0.5f64..4.0,
-            ),
+            (proptest::collection::vec(0.1f64..4.0, n..=n), 0.5f64..4.0),
             m..=m,
         );
         (c, rows).prop_map(move |(c, rows)| CoveringLp { n, c, rows })

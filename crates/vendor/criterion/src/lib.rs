@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use ([`Criterion`],
+//! benchmark groups, [`BenchmarkId`], the `criterion_group!`/
+//! `criterion_main!` macros) with simple wall-clock median timing instead of
+//! criterion's statistical machinery. Honors the `--test` flag cargo passes
+//! when compiling benches under `cargo test` by running each benchmark body
+//! exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` label.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    /// `(samples, iterations-per-sample)` to run; `(1, 1)` in test mode.
+    plan: (usize, usize),
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (samples, iters) = self.plan;
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatible no-op (sample counts are fixed in this shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            plan: self.criterion.plan(),
+            last: None,
+        };
+        f(&mut b, input);
+        self.criterion.report(&self.name, &id.label, b.last);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            plan: self.criterion.plan(),
+            last: None,
+        };
+        f(&mut b);
+        self.criterion.report(&self.name, &id.to_string(), b.last);
+        self
+    }
+
+    /// End the group (criterion-compatible no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` under `cargo test` and
+        // with `--bench` under `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    fn plan(&self) -> (usize, usize) {
+        if self.test_mode {
+            (1, 1)
+        } else {
+            (11, 10)
+        }
+    }
+
+    fn report(&self, group: &str, label: &str, time: Option<Duration>) {
+        match time {
+            Some(t) if !self.test_mode => println!("{group}/{label:<24} median {t:>12.2?}"),
+            Some(_) => println!("{group}/{label}: ok (test mode)"),
+            None => println!("{group}/{label}: no measurement"),
+        }
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            plan: self.plan(),
+            last: None,
+        };
+        f(&mut b);
+        let name = name.to_string();
+        self.report(&name, "-", b.last);
+        self
+    }
+}
+
+/// Prevent the optimizer from eliding a value (re-export for call sites
+/// importing it from criterion rather than `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit the `main` that runs benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 1, "test mode runs the body once");
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

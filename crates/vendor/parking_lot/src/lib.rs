@@ -1,0 +1,69 @@
+//! Offline stand-in for `parking_lot`: wraps `std::sync::Mutex` behind the
+//! poison-free API the workspace uses (`lock()` returning a guard directly,
+//! `into_inner()` returning the value). Performance characteristics of the
+//! real crate are not reproduced — the call sites here guard coarse-grained
+//! result collection, not hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-on-poison semantics.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock (blocking). Panics if a holder panicked, matching
+    /// the effective behaviour the callers rely on.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Consume the lock and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 8000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the tiny slice of `rand`'s API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`RngExt::random_range`] over integer and float ranges. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic across platforms
+//! and plenty for workload generation and randomized tests (cryptographic
+//! quality is a non-goal).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (the only constructor this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from `self`.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// Range sampling, mirroring `rand::Rng::random_range`.
+///
+/// Named `RngExt` to make clear this is the vendored shim, not upstream
+/// `rand` (the call sites are source-compatible either way).
+pub trait RngExt {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range` (half-open or inclusive, int or float).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// xoshiro256++ — the workspace's standard deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as rand_core does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl StdRng {
+        /// Advance the xoshiro256++ state and return 64 bits.
+        pub(crate) fn step(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl super::RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn random_range<T, R>(&mut self, range: R) -> T
+        where
+            R: super::SampleRange<T>,
+        {
+            range.sample(self)
+        }
+    }
+}
+
+/// Uniform u64 below `bound` (> 0), rejection-sampled to avoid modulo bias.
+fn uniform_below(rng: &mut rngs::StdRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.step() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.step();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Uniform f64 in `[0, 1)` with 53 bits of precision.
+fn unit_f64(rng: &mut rngs::StdRng) -> f64 {
+    (rng.step() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + unit_f64(rng) * (self.end - self.start);
+        // Guard against rounding to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.step() as $t; // full-width type range
+                }
+                (lo as i128 + uniform_below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.random_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let i = rng.random_range(-3i64..7);
+            assert!((-3..7).contains(&i));
+            let u = rng.random_range(1u32..=6);
+            assert!((1..=6).contains(&u));
+            let n = rng.random_range(2usize..20);
+            assert!((2..20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+}

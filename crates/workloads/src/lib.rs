@@ -161,9 +161,7 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
         Spec::ConstantWeight { n } => Instance {
             p: 1.0,
             tasks: (0..n)
-                .map(|_| {
-                    Task::new(rng.random_range(LO..1.0), 1.0, rng.random_range(LO..1.0))
-                })
+                .map(|_| Task::new(rng.random_range(LO..1.0), 1.0, rng.random_range(LO..1.0)))
                 .collect(),
         },
         Spec::ConstantWeightVolume { n } => Instance {
@@ -254,8 +252,7 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
             tasks: (0..n)
                 .map(|_| {
                     // Link capacities span two decades, log-uniform.
-                    let link = server_bandwidth
-                        * 10f64.powf(rng.random_range(-2.0..0.0));
+                    let link = server_bandwidth * 10f64.powf(rng.random_range(-2.0..0.0));
                     let rate = rng.random_range(0.1..10.0);
                     // Faster workers tend to receive bigger codes.
                     let code = rng.random_range(0.5..2.0) * rate;
@@ -264,7 +261,10 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                 .collect(),
         },
     };
-    debug_assert!(inst.validate().is_ok(), "generator produced invalid instance");
+    debug_assert!(
+        inst.validate().is_ok(),
+        "generator produced invalid instance"
+    );
     inst
 }
 
@@ -297,7 +297,9 @@ pub fn rational_deltas(n: usize, max_den: i64, seed: u64) -> Vec<(i64, i64)> {
 
 /// Convenience: a batch of seeds derived from a base seed.
 pub fn seed_batch(base: u64, count: usize) -> Vec<u64> {
-    (0..count as u64).map(|i| base.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(i)).collect()
+    (0..count as u64)
+        .map(|i| base.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -392,7 +394,7 @@ mod tests {
     #[test]
     fn rational_deltas_in_half_one() {
         for (num, den) in rational_deltas(50, 64, 9) {
-            assert!(den >= 2 && den <= 64);
+            assert!((2..=64).contains(&den));
             assert!(num * 2 >= den, "{num}/{den} < 1/2");
             assert!(num <= den, "{num}/{den} > 1"); // num == den only when den = 2·lo edge
         }

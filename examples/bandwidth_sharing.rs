@@ -20,11 +20,31 @@ fn main() {
     let scenario = BandwidthScenario {
         server_bandwidth: 125.0, // MB/s
         workers: vec![
-            Worker { code_size: 80.0, processing_rate: 9.0, link_capacity: 40.0 },
-            Worker { code_size: 120.0, processing_rate: 6.0, link_capacity: 60.0 },
-            Worker { code_size: 30.0, processing_rate: 14.0, link_capacity: 12.0 },
-            Worker { code_size: 200.0, processing_rate: 2.0, link_capacity: 100.0 },
-            Worker { code_size: 55.0, processing_rate: 11.0, link_capacity: 25.0 },
+            Worker {
+                code_size: 80.0,
+                processing_rate: 9.0,
+                link_capacity: 40.0,
+            },
+            Worker {
+                code_size: 120.0,
+                processing_rate: 6.0,
+                link_capacity: 60.0,
+            },
+            Worker {
+                code_size: 30.0,
+                processing_rate: 14.0,
+                link_capacity: 12.0,
+            },
+            Worker {
+                code_size: 200.0,
+                processing_rate: 2.0,
+                link_capacity: 100.0,
+            },
+            Worker {
+                code_size: 55.0,
+                processing_rate: 11.0,
+                link_capacity: 25.0,
+            },
         ],
     };
     let horizon = 30.0; // seconds
@@ -52,7 +72,9 @@ fn main() {
     );
     let mut best: Option<(String, f64)> = None;
     for p in policies.iter_mut() {
-        let rep = scenario.run_policy(p.as_mut(), horizon).expect("policy run");
+        let rep = scenario
+            .run_policy(p.as_mut(), horizon)
+            .expect("policy run");
         println!(
             "{:<28} {:>12.3} {:>16.3}",
             rep.policy, rep.weighted_completion, rep.throughput

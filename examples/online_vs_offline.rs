@@ -15,11 +15,15 @@ use malleable::sim::policies::{DeqPolicy, PriorityPolicy, UncappedSharePolicy, W
 fn main() {
     let specs = [
         ("uniform", Spec::PaperUniform { n: 6 }),
-        ("zipf weights", Spec::ZipfWeights { n: 6, p: 4.0, s: 1.2 }),
         (
-            "theorem-11 class",
-            Spec::Theorem11 { n: 6, p: 4.0 },
+            "zipf weights",
+            Spec::ZipfWeights {
+                n: 6,
+                p: 4.0,
+                s: 1.2,
+            },
         ),
+        ("theorem-11 class", Spec::Theorem11 { n: 6, p: 4.0 }),
     ];
 
     for (label, spec) in specs {

@@ -45,8 +45,8 @@ fn main() {
 
     // --- Normal form: rebuild the schedule from completion times alone
     // (Theorem 8) — same completion times, canonical allocation.
-    let normal = water_filling(&instance, schedule.completion_times())
-        .expect("feasible by construction");
+    let normal =
+        water_filling(&instance, schedule.completion_times()).expect("feasible by construction");
     normal.validate(&instance).expect("normal form is valid");
     println!("\nnormal form (water-filling):\n{normal}");
 

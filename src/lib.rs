@@ -52,6 +52,37 @@
 //! let normal = water_filling(&instance, &schedule.completion_times()).unwrap();
 //! assert!(normal.validate(&instance).is_ok());
 //! ```
+//!
+//! ## Exact vs fast
+//!
+//! Every core type and algorithm is generic over [`numkit::Scalar`] with
+//! `f64` as the default: the code above is the fast path. Instantiating
+//! the *same* code at [`bigratio::Rational`] runs it in exact arithmetic —
+//! validation then uses the **zero** tolerance (rational comparisons need
+//! no epsilon), so results are certificates:
+//!
+//! ```
+//! use malleable::prelude::*;
+//!
+//! // Lift any float instance exactly (every finite f64 is a binary
+//! // rational), or build one from rationals directly.
+//! let float_instance = Instance::builder(4.0)
+//!     .task(8.0, 1.0, 2.0)
+//!     .task(4.0, 2.0, 4.0)
+//!     .build()
+//!     .unwrap();
+//! let exact: Instance<Rational> = float_instance.to_scalar();
+//!
+//! let schedule = wdeq_schedule(&exact);
+//! // Zero-tolerance validation: Definition 2 holds *exactly*.
+//! schedule
+//!     .validate_with(&exact, numkit::Tolerance::exact())
+//!     .unwrap();
+//! // The normal form and the Corollary-1 LP run exactly, too.
+//! let normal = water_filling(&exact, schedule.completion_times()).unwrap();
+//! let (lp_cost, _) = lp_schedule_for_order(&exact, &normal.completion_order()).unwrap();
+//! assert!(lp_cost <= schedule.weighted_completion_cost(&exact));
+//! ```
 
 pub use bigratio;
 pub use malleable_core as core;
@@ -65,8 +96,8 @@ pub use simplex;
 pub mod prelude {
     pub use bigratio::Rational;
     pub use malleable_core::algos::greedy::{best_heuristic_greedy, greedy_cost, greedy_schedule};
-    pub use malleable_core::algos::orders::smith_order;
     pub use malleable_core::algos::makespan::{min_lmax, optimal_makespan};
+    pub use malleable_core::algos::orders::smith_order;
     pub use malleable_core::algos::waterfill::water_filling;
     pub use malleable_core::algos::wdeq::{wdeq_certificate, wdeq_schedule};
     pub use malleable_core::bounds::{height_bound, squashed_area_bound};

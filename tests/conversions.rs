@@ -11,13 +11,14 @@ use proptest::prelude::*;
 fn integer_instance_strategy() -> impl Strategy<Value = Instance> {
     (2usize..=10, 2u32..=8).prop_flat_map(|(n, p)| {
         proptest::collection::vec(
-            (0.1f64..4.0, 0.1f64..2.0, 1u32..=8).prop_map(move |(v, w, d)| {
-                (v, w, d.min(p) as f64)
-            }),
+            (0.1f64..4.0, 0.1f64..2.0, 1u32..=8).prop_map(move |(v, w, d)| (v, w, d.min(p) as f64)),
             n..=n,
         )
         .prop_map(move |tasks| {
-            Instance::builder(p as f64).tasks(tasks).build().expect("valid")
+            Instance::builder(p as f64)
+                .tasks(tasks)
+                .build()
+                .expect("valid")
         })
     })
 }

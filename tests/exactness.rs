@@ -1,0 +1,180 @@
+//! The f64/Rational agreement contract of the `Scalar` genericization.
+//!
+//! Every algorithm in `malleable-core` is one generic source instantiated
+//! twice. These properties pin the contract down on random instances:
+//!
+//! * the `f64` and `Rational` instantiations agree (feasibility verdicts
+//!   match; costs match within float tolerance);
+//! * the exact path needs **no epsilon**: exact schedules satisfy their
+//!   definitions under the zero tolerance, volumes are conserved with
+//!   `==`, and the Lemma-2 certificate inequality holds exactly.
+
+use bigratio::Rational;
+use malleable::core::algos::waterfill::wf_feasible;
+use malleable::core::algos::waterfill_fast::wf_feasible_grouped;
+use malleable::core::algos::wdeq::{certificate_of, wdeq_run};
+use malleable::prelude::*;
+use malleable::workloads::seed_batch;
+use numkit::Tolerance;
+
+/// Exactly lift a float instance into rationals (every finite `f64` is a
+/// binary rational, so nothing is lost).
+fn lift(inst: &Instance) -> Instance<Rational> {
+    inst.to_scalar()
+}
+
+/// Scale a completion vector by a float factor, in both fields at once so
+/// the two stay the *same* numbers.
+fn scaled_completions(cs: &[f64], factor: f64) -> (Vec<f64>, Vec<Rational>) {
+    let f: Vec<f64> = cs.iter().map(|c| c * factor).collect();
+    let r: Vec<Rational> = f.iter().map(|&c| Rational::from_f64_exact(c)).collect();
+    (f, r)
+}
+
+#[test]
+fn water_filling_feasibility_agrees_between_f64_and_rational() {
+    // Random instances; completion vectors swept from clearly infeasible
+    // to clearly feasible. Away from the feasibility threshold the two
+    // instantiations must agree outright; near it (the WDEQ completion
+    // vector is exactly tight, so factors ≈ 1 sit on the boundary) a float
+    // flip is legitimate only if the exact verdict actually changes within
+    // the float tolerance band — which is re-checked by nudging.
+    for n in [2usize, 4, 7] {
+        for seed in seed_batch(1000 + n as u64, 6) {
+            let inst = generate(&Spec::PaperUniform { n }, seed);
+            let exact = lift(&inst);
+            let wdeq = wdeq_schedule(&inst);
+            for factor in [0.5, 0.9, 0.99, 1.0, 1.01, 1.5] {
+                let (cf, cr) = scaled_completions(wdeq.completion_times(), factor);
+                let feasible_f = wf_feasible(&inst, &cf);
+                let feasible_r = wf_feasible(&exact, &cr);
+                let near_threshold = (0.99..=1.01).contains(&factor);
+                if feasible_f != feasible_r {
+                    assert!(
+                        near_threshold,
+                        "n={n} seed={seed} factor={factor}: f64 {feasible_f} vs \
+                         exact {feasible_r} far from the feasibility threshold"
+                    );
+                    // Float may flip only at the threshold: nudging by the
+                    // float tolerance must flip the exact verdict too.
+                    let eps = 1e-6;
+                    let (_, up) = scaled_completions(&cf, 1.0 + eps);
+                    let (_, down) = scaled_completions(&cf, 1.0 - eps);
+                    assert!(
+                        wf_feasible(&exact, &up) != wf_feasible(&exact, &down),
+                        "n={n} seed={seed} factor={factor}: f64 {feasible_f} vs \
+                         exact {feasible_r} away from the feasibility threshold"
+                    );
+                }
+                // The grouped fast checker agrees with the full algorithm
+                // in *both* fields.
+                assert_eq!(wf_feasible_grouped(&inst, &cf).unwrap(), feasible_f);
+                assert_eq!(wf_feasible_grouped(&exact, &cr).unwrap(), feasible_r);
+            }
+        }
+    }
+}
+
+#[test]
+fn wdeq_cost_agrees_between_f64_and_rational() {
+    for n in [2usize, 5, 8] {
+        for seed in seed_batch(2000 + n as u64, 8) {
+            let inst = generate(&Spec::PaperUniform { n }, seed);
+            let exact = lift(&inst);
+            let sf = wdeq_schedule(&inst);
+            let sr = wdeq_schedule(&exact);
+            let cost_f = sf.weighted_completion_cost(&inst);
+            let cost_r = sr.weighted_completion_cost(&exact).approx_f64();
+            assert!(
+                (cost_f - cost_r).abs() <= 1e-6 * (1.0 + cost_f.abs()),
+                "n={n} seed={seed}: f64 cost {cost_f} vs exact {cost_r}"
+            );
+            // Completion times agree pointwise, too.
+            for (a, b) in sf.completions.iter().zip(&sr.completions) {
+                assert!(
+                    (a - b.approx_f64()).abs() <= 1e-6 * (1.0 + a.abs()),
+                    "n={n} seed={seed}: completions {a} vs {}",
+                    b.approx_f64()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_path_needs_no_epsilon() {
+    // The heart of the refactor: on the Rational instantiation, schedule
+    // invariants hold under the ZERO tolerance — there is no epsilon left
+    // to tune.
+    for n in [2usize, 4, 6] {
+        for seed in seed_batch(3000 + n as u64, 6) {
+            let inst = generate(&Spec::PaperUniform { n }, seed);
+            let exact = lift(&inst);
+            let zero = Tolerance::<Rational>::exact();
+            assert!(zero.is_exact());
+
+            // WDEQ: exact validation, exact volume split, exact Lemma 2.
+            let run = wdeq_run(&exact).unwrap();
+            run.schedule.validate_with(&exact, zero.clone()).unwrap();
+            for (i, t) in exact.tasks.iter().enumerate() {
+                assert_eq!(
+                    run.full_volumes[i].clone() + run.limited_volumes[i].clone(),
+                    t.volume,
+                    "volume split must be exact"
+                );
+            }
+            let cert = certificate_of(&exact, &run);
+            assert!(
+                cert.wdeq_cost <= Rational::from_int(2) * cert.value(),
+                "Lemma-2 certificate must hold with zero slack"
+            );
+
+            // Water-Filling on WDEQ's completion times: exact normal form.
+            let wf = water_filling(&exact, run.schedule.completion_times()).unwrap();
+            wf.validate_with(&exact, zero.clone()).unwrap();
+            for (id, t) in exact.iter() {
+                assert_eq!(
+                    wf.allocated_area(id),
+                    t.volume,
+                    "WF conserves volume exactly"
+                );
+            }
+
+            // Greedy in Smith order: exact step schedule.
+            let gs = greedy_schedule(&exact, &smith_order(&exact)).unwrap();
+            gs.validate_with(&exact, zero.clone()).unwrap();
+        }
+    }
+}
+
+#[test]
+fn exact_instance_flows_construct_waterfill_validate_lp() {
+    // The acceptance pipeline: construct → water_filling → validate →
+    // lp_schedule_for_order, all on Instance<Rational>, no f64 round-trip.
+    for seed in seed_batch(4000, 4) {
+        let inst = generate(&Spec::PaperUniform { n: 3 }, seed);
+        let exact = lift(&inst);
+        let zero = Tolerance::<Rational>::exact();
+
+        let wdeq = wdeq_schedule(&exact);
+        let wf = water_filling(&exact, wdeq.completion_times()).unwrap();
+        wf.validate_with(&exact, zero.clone()).unwrap();
+
+        let (lp_cost, lp_sched) = lp_schedule_for_order(&exact, &wf.completion_order()).unwrap();
+        lp_sched.validate_with(&exact, zero.clone()).unwrap();
+        // The LP optimizes over all schedules with that completion order,
+        // so it is ≤ WDEQ's cost — exactly.
+        assert!(
+            lp_cost <= wdeq.weighted_completion_cost(&exact),
+            "seed {seed}: exact LP must not exceed the WDEQ cost"
+        );
+        // And it agrees with the float pipeline within tolerance.
+        let wdeq_f = wdeq_schedule(&inst);
+        let (lp_cost_f, _) = lp_schedule_for_order(&inst, &wdeq_f.completion_order()).unwrap();
+        assert!(
+            (lp_cost_f - lp_cost.approx_f64()).abs() <= 1e-6 * (1.0 + lp_cost_f.abs()),
+            "seed {seed}: float LP {lp_cost_f} vs exact {}",
+            lp_cost.approx_f64()
+        );
+    }
+}

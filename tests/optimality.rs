@@ -67,7 +67,10 @@ fn exact_rational_lp_certifies_float_lp() {
         let order: Vec<TaskId> = (0..3).map(TaskId).collect();
         let f = lp_cost_for_order::<f64>(&inst, &order, &SolveOptions::float_default())
             .expect("float LP");
-        let r = lp_cost_for_order::<Rational>(&inst, &order, &SolveOptions::exact())
+        // Lift the float instance into exact rationals (exact: every finite
+        // f64 is a binary rational) and solve the same LP with zero slack.
+        let exact: Instance<Rational> = inst.to_scalar();
+        let r = lp_cost_for_order::<Rational>(&exact, &order, &SolveOptions::exact())
             .expect("exact LP");
         assert!(
             (f - r.approx_f64()).abs() <= 1e-6 * (1.0 + f.abs()),

@@ -16,9 +16,16 @@ use malleable::workloads::seed_batch;
 fn online_engine_matches_clairvoyant_replay_across_workloads() {
     for spec in [
         Spec::PaperUniform { n: 12 },
-        Spec::ZipfWeights { n: 10, p: 4.0, s: 1.0 },
+        Spec::ZipfWeights {
+            n: 10,
+            p: 4.0,
+            s: 1.0,
+        },
         Spec::IntegerUniform { n: 15, p: 8 },
-        Spec::BandwidthFleet { n: 8, server_bandwidth: 50.0 },
+        Spec::BandwidthFleet {
+            n: 8,
+            server_bandwidth: 50.0,
+        },
     ] {
         for seed in seed_batch(1, 5) {
             let inst = generate(&spec, seed);
@@ -86,12 +93,7 @@ fn theorem3_roundtrip_preserves_validity_and_cost_direction() {
         // Fractional → integer Gantt (Figure 2) → step → columns again.
         let gantt = column_to_gantt(&cs, &inst, tol).expect("integer instance");
         gantt.validate(tol).expect("gantt valid");
-        let step = malleable::core::schedule::convert::gantt_to_step(
-            &gantt,
-            inst.p,
-            inst.n(),
-            tol,
-        );
+        let step = malleable::core::schedule::convert::gantt_to_step(&gantt, inst.p, inst.n(), tol);
         step.validate(&inst).expect("step valid");
         let back = step_to_column(&step, tol);
         back.validate(&inst).expect("roundtrip valid");
@@ -115,10 +117,21 @@ fn wdeq_certificate_bounds_cost_on_every_workload_family() {
         Spec::HomogeneousHalfCap { n: 30 },
         Spec::Theorem11 { n: 30, p: 6.0 },
         Spec::IntegerUniform { n: 30, p: 8 },
-        Spec::ZipfWeights { n: 30, p: 8.0, s: 1.5 },
-        Spec::BimodalVolumes { n: 30, p: 8.0, heavy_fraction: 0.1 },
+        Spec::ZipfWeights {
+            n: 30,
+            p: 8.0,
+            s: 1.5,
+        },
+        Spec::BimodalVolumes {
+            n: 30,
+            p: 8.0,
+            heavy_fraction: 0.1,
+        },
         Spec::Stairs { n: 16, p: 1024.0 },
-        Spec::BandwidthFleet { n: 30, server_bandwidth: 200.0 },
+        Spec::BandwidthFleet {
+            n: 30,
+            server_bandwidth: 200.0,
+        },
     ];
     for spec in specs {
         for seed in seed_batch(3, 5) {
@@ -139,10 +152,7 @@ fn makespan_schedule_is_the_feasibility_frontier() {
     for seed in seed_batch(11, 10) {
         let inst = generate(&Spec::PaperUniform { n: 25 }, seed);
         let c = optimal_makespan(&inst);
-        let feasible = malleable::core::algos::waterfill::wf_feasible(
-            &inst,
-            &vec![c; inst.n()],
-        );
+        let feasible = malleable::core::algos::waterfill::wf_feasible(&inst, &vec![c; inst.n()]);
         let below = malleable::core::algos::waterfill::wf_feasible(
             &inst,
             &vec![c * (1.0 - 1e-3); inst.n()],
