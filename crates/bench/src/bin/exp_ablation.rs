@@ -1,9 +1,9 @@
 //! **A1 — ablations of Algorithm 1's design choices.**
 //!
 //! WDEQ = proportional share + cap clamping + surplus **redistribution**,
-//! recomputed at completions. This experiment removes one ingredient at a
-//! time and measures the cost on the weighted objective, across workload
-//! families:
+//! recomputed at completions. This sweep removes one ingredient at a time
+//! and measures the cost on the weighted objective, across workload
+//! families — now a pure grid declaration over the policy registry:
 //!
 //! * `share-no-redistribution` — clamp but waste the surplus: how much the
 //!   while-loop in Algorithm 1 is worth;
@@ -14,50 +14,48 @@
 //!   with no worst-case guarantee;
 //! * certificate tightness — how far the Lemma-2 bound is from WDEQ's
 //!   actual cost (ratio 2 would mean the analysis is tight on that
-//!   instance).
+//!   instance), read straight off the unified records.
 
 #![allow(clippy::unusual_byte_groupings)] // seeds are labels, not numbers
 
-use malleable_bench::parallel::par_map;
+use malleable_bench::batch::{cost_ratios_vs, write_records_csv, BatchGrid};
+use malleable_bench::instance_count;
 use malleable_bench::stats::summarize;
 use malleable_bench::table::{fnum, Table};
-use malleable_bench::{csvout, instance_count};
-use malleable_core::algos::wdeq::{certificate_of, wdeq_run};
-use malleable_sim::engine::simulate;
-use malleable_sim::metrics::jain_fairness;
-use malleable_sim::policies::{DeqPolicy, PriorityPolicy, UncappedSharePolicy};
-use malleable_workloads::{generate, seed_batch, Spec};
+use malleable_workloads::{seed_batch, Spec};
 
 fn main() {
     let instances = instance_count(300, 2_000);
     println!("A1: ablating WDEQ's ingredients, {instances} instances per family\n");
 
-    let families: Vec<(&str, Spec)> = vec![
-        ("paper-uniform", Spec::PaperUniform { n: 20 }),
-        (
-            "zipf-weights",
-            Spec::ZipfWeights {
-                n: 20,
-                p: 8.0,
-                s: 1.2,
-            },
-        ),
-        (
-            "bimodal-volumes",
-            Spec::BimodalVolumes {
-                n: 20,
-                p: 8.0,
-                heavy_fraction: 0.15,
-            },
-        ),
-        (
-            "bandwidth-fleet",
-            Spec::BandwidthFleet {
-                n: 20,
-                server_bandwidth: 100.0,
-            },
-        ),
-    ];
+    let records = BatchGrid::new()
+        .spec(Spec::PaperUniform { n: 20 })
+        .spec(Spec::ZipfWeights {
+            n: 20,
+            p: 8.0,
+            s: 1.2,
+        })
+        .spec(Spec::BimodalVolumes {
+            n: 20,
+            p: 8.0,
+            heavy_fraction: 0.15,
+        })
+        .spec(Spec::BandwidthFleet {
+            n: 20,
+            server_bandwidth: 100.0,
+        })
+        .seeds(seed_batch(0xAB_1 + 20, instances))
+        .named_policies(["wdeq", "share-no-redistribution", "deq", "priority"])
+        .run();
+
+    let ratios = cost_ratios_vs(&records, "wdeq");
+    let stat_of = |family: &str, policy: &str| {
+        ratios
+            .iter()
+            .find(|((f, p), _)| f == family && p == policy)
+            .map(|(_, rs)| summarize(rs))
+            .expect("grid covers every (family, policy) pair")
+    };
 
     let mut table = Table::new(&[
         "family",
@@ -68,34 +66,30 @@ fn main() {
         "priority fairness",
     ]);
     let mut csv_rows = Vec::new();
-
-    for (label, spec) in &families {
-        let seeds = seed_batch(0xAB_1 + spec.n() as u64, instances);
-        // Per instance: cost ratios vs WDEQ + certificate ratio + fairness.
-        let rows: Vec<[f64; 5]> = par_map(seeds, |seed| {
-            let inst = generate(spec, seed);
-            let run = wdeq_run(&inst).expect("wdeq");
-            let base = run.schedule.weighted_completion_cost(&inst);
-            let cert = certificate_of(&inst, &run).ratio();
-            let noredist = simulate(&inst, &mut UncappedSharePolicy)
-                .expect("run")
-                .cost(&inst);
-            let deq = simulate(&inst, &mut DeqPolicy).expect("run").cost(&inst);
-            let prio_run = simulate(&inst, &mut PriorityPolicy).expect("run");
-            let prio = prio_run.cost(&inst);
-            let fairness = jain_fairness(&inst, &prio_run.schedule);
-            [noredist / base, deq / base, prio / base, cert, fairness]
-        });
-        let col = |k: usize| -> Vec<f64> { rows.iter().map(|r| r[k]).collect() };
-        let (nr, dq, pr, ct, fa) = (
-            summarize(&col(0)),
-            summarize(&col(1)),
-            summarize(&col(2)),
-            summarize(&col(3)),
-            summarize(&col(4)),
+    let families: Vec<&str> = {
+        let mut fs: Vec<&str> = records.iter().map(|r| r.family.as_str()).collect();
+        fs.dedup();
+        fs
+    };
+    for family in families {
+        let (nr, dq, pr) = (
+            stat_of(family, "share-no-redistribution"),
+            stat_of(family, "deq"),
+            stat_of(family, "priority"),
         );
+        let certs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.family == family && r.policy == "wdeq")
+            .map(|r| r.cert_ratio.expect("wdeq carries its certificate"))
+            .collect();
+        let fair: Vec<f64> = records
+            .iter()
+            .filter(|r| r.family == family && r.policy == "priority")
+            .map(|r| r.fairness)
+            .collect();
+        let (ct, fa) = (summarize(&certs), summarize(&fair));
         table.row(vec![
-            label.to_string(),
+            family.to_string(),
             format!("{} (max {})", fnum(nr.mean), fnum(nr.max)),
             format!("{} (max {})", fnum(dq.mean), fnum(dq.max)),
             format!("{} (max {})", fnum(pr.mean), fnum(pr.max)),
@@ -103,7 +97,7 @@ fn main() {
             fnum(fa.mean),
         ]);
         csv_rows.push(vec![
-            label.to_string(),
+            family.to_string(),
             format!("{:.4}", nr.mean),
             format!("{:.4}", nr.max),
             format!("{:.4}", dq.mean),
@@ -118,7 +112,7 @@ fn main() {
     }
 
     table.print();
-    match csvout::write_csv(
+    match malleable_bench::csvout::write_csv(
         "a1_ablation",
         &[
             "family",
@@ -135,6 +129,10 @@ fn main() {
     ) {
         Ok(p) => println!("\nwrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    match write_records_csv("a1_ablation_records", &records) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("records csv write failed: {e}"),
     }
     println!(
         "\nReading: columns are cost multipliers vs WDEQ (>1 = worse). The\n\

@@ -8,23 +8,27 @@
 //! experiments on constant weight instances and on constant weight and
 //! constant volume instances."
 //!
-//! This binary reruns the campaign: for every instance, the exhaustive
-//! best greedy (all `n!` orders through Algorithm 3) is compared with the
-//! exact optimum (min over all `n!` completion orders of the Corollary-1
-//! LP). Default scale is 500 instances/cell for a fast run; `--full`
-//! selects the paper's 10,000.
+//! The campaign is a grid declaration: the exhaustive best greedy (all
+//! `n!` orders through Algorithm 3) is a custom grid policy, and the exact
+//! optimum (min over all `n!` completion orders of the Corollary-1 LP) is
+//! the engine's built-in brute-force baseline — the per-record `opt_ratio`
+//! *is* Conjecture 12's gap, plus one. Default scale is 500
+//! instances/cell for a fast run; `--full` selects the paper's 10,000.
 //!
 //! Expected shape: max relative gap ≈ 0 (within LP tolerance) in every
 //! cell — the evidence behind Conjecture 12.
 
 #![allow(clippy::unusual_byte_groupings)] // seeds are labels, not numbers
 
-use malleable_bench::parallel::par_map;
+use malleable_bench::batch::{BatchGrid, GridPolicy, InstanceSource};
 use malleable_bench::stats::summarize;
 use malleable_bench::table::{fnum, Table};
 use malleable_bench::{csvout, instance_count};
-use malleable_opt::conjecture::check_conjecture12;
+use malleable_core::algos::greedy::greedy_schedule;
+use malleable_core::schedule::convert::step_to_column;
+use malleable_opt::brute::best_greedy_exhaustive;
 use malleable_workloads::{generate, seed_batch, Spec};
+use numkit::Tolerance;
 
 fn main() {
     let instances = instance_count(500, 10_000);
@@ -38,6 +42,19 @@ fn main() {
         ("constant w and V", |n| Spec::ConstantWeightVolume { n }),
     ];
 
+    let best_greedy = GridPolicy::custom("best-greedy-exhaustive", |inst| {
+        let (_, order) = best_greedy_exhaustive(inst).map_err(|e| {
+            malleable_core::ScheduleError::InvalidInstance {
+                reason: format!("exhaustive greedy failed: {e}"),
+            }
+        })?;
+        let step = greedy_schedule(inst, &order)?;
+        Ok(step_to_column(
+            &step,
+            Tolerance::default().scaled(1.0 + inst.n() as f64),
+        ))
+    });
+
     let mut table = Table::new(&[
         "instance class",
         "n",
@@ -48,26 +65,33 @@ fn main() {
     ]);
     let mut csv_rows = Vec::new();
 
-    for (label, make) in &specs {
-        // n = 2..5 is the paper's campaign; n = 6 is this repository's
-        // extension (720 orders × LP per instance, so fewer instances).
-        for n in 2..=6usize {
+    // n = 2..5 is the paper's campaign; n = 6 is this repository's
+    // extension (720 orders × LP per instance, so fewer instances).
+    for n in 2..=6usize {
+        let count = if n == 6 { instances / 10 } else { instances };
+        let mut grid = BatchGrid::new()
+            .seeds(seed_batch(0xE2 + n as u64, count))
+            .policy(best_greedy.clone())
+            .opt_baseline(n);
+        for (label, make) in &specs {
             let spec = make(n);
-            let count = if n == 6 { instances / 10 } else { instances };
-            let seeds = seed_batch(0xE2 + n as u64, count);
-            let gaps: Vec<f64> = par_map(seeds, |seed| {
-                let inst = generate(&spec, seed);
-                check_conjecture12(&inst)
-                    .map(|r| r.relative_gap)
-                    .unwrap_or(f64::NAN)
-            });
+            grid = grid.source(InstanceSource::new(*label, move |seed| {
+                generate(&spec, seed)
+            }));
+        }
+        let records = grid.run();
+        for (label, _) in &specs {
+            let gaps: Vec<f64> = records
+                .iter()
+                .filter(|r| r.family == *label)
+                .map(|r| (r.opt_ratio.expect("baseline always runs") - 1.0).max(0.0))
+                .collect();
+            assert_eq!(gaps.len(), count, "sweep incomplete");
             let label = if n == 6 {
                 format!("{label} (extension)")
             } else {
                 label.to_string()
             };
-            let bad = gaps.iter().filter(|g| !g.is_finite()).count();
-            assert_eq!(bad, 0, "LP failures in sweep");
             let over = gaps.iter().filter(|&&g| g > 1e-6).count();
             let s = summarize(&gaps);
             table.row(vec![

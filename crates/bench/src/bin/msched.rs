@@ -1,27 +1,30 @@
 //! `msched` — command-line malleable-task scheduler.
 //!
 //! Reads an instance file (see `malleable_core::io` for the format),
-//! schedules it with the chosen algorithm, and reports the schedule,
-//! objective, bounds and optionally a Gantt chart (ASCII or SVG).
+//! schedules it with the chosen policy from the
+//! [`malleable_core::policy`] registry (plus the brute-force `optimal`),
+//! and reports the schedule, objective, bounds and optionally a Gantt
+//! chart (ASCII or SVG).
 //!
 //! ```text
-//! msched <instance-file> [--algo wdeq|greedy-smith|best-greedy|optimal|makespan]
+//! msched <instance-file> [--policy <name>] [--list-policies]
 //!                        [--gantt] [--svg out.svg] [--normalize]
 //! usage examples:
-//!   msched jobs.txt --algo wdeq --gantt
-//!   msched jobs.txt --algo optimal --svg plan.svg
+//!   msched --list-policies
+//!   msched jobs.txt --policy wdeq --gantt
+//!   msched jobs.txt --policy greedy-smith --normalize
+//!   msched jobs.txt --policy optimal --svg plan.svg
 //! ```
+//!
+//! `--algo` is accepted as a deprecated alias of `--policy`.
 
-use malleable_core::algos::greedy::{best_heuristic_greedy, greedy_schedule};
-use malleable_core::algos::makespan::makespan_schedule;
-use malleable_core::algos::orders::smith_order;
 use malleable_core::algos::waterfill::water_filling;
-use malleable_core::algos::wdeq::{certificate_of, wdeq_run};
 use malleable_core::bounds::{height_bound, squashed_area_bound};
 use malleable_core::instance::Instance;
 use malleable_core::io::parse_instance;
+use malleable_core::policy;
 use malleable_core::schedule::column::ColumnSchedule;
-use malleable_core::schedule::convert::{column_to_gantt, step_to_column};
+use malleable_core::schedule::convert::column_to_gantt;
 use malleable_core::schedule::svg::{gantt_to_svg, SvgOptions};
 use malleable_opt::brute::optimal_schedule;
 use numkit::Tolerance;
@@ -29,22 +32,28 @@ use std::process::ExitCode;
 
 struct Args {
     file: String,
-    algo: String,
+    policy: String,
     gantt: bool,
     svg: Option<String>,
     normalize: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+enum Parsed {
+    Run(Args),
+    ListPolicies,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut args = std::env::args().skip(1);
     let mut file = None;
-    let mut algo = "wdeq".to_string();
+    let mut policy = "wdeq".to_string();
     let mut gantt = false;
     let mut svg = None;
     let mut normalize = false;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--algo" => algo = args.next().ok_or("--algo needs a value")?,
+            "--policy" | "--algo" => policy = args.next().ok_or("--policy needs a value")?,
+            "--list-policies" => return Ok(Parsed::ListPolicies),
             "--gantt" => gantt = true,
             "--svg" => svg = Some(args.next().ok_or("--svg needs a path")?),
             "--normalize" => normalize = true,
@@ -59,66 +68,66 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
-    Ok(Args {
+    Ok(Parsed::Run(Args {
         file: file.ok_or_else(|| format!("missing instance file\n{USAGE}"))?,
-        algo,
+        policy,
         gantt,
         svg,
         normalize,
-    })
+    }))
 }
 
-const USAGE: &str = "usage: msched <instance-file> [--algo wdeq|greedy-smith|best-greedy|optimal|makespan] [--gantt] [--svg out.svg] [--normalize]";
+const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--gantt] [--svg out.svg] [--normalize]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum)";
 
-fn schedule(instance: &Instance, algo: &str) -> Result<(ColumnSchedule, String), String> {
-    let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
-    match algo {
-        "wdeq" => {
-            let run = wdeq_run(instance).map_err(|e| e.to_string())?;
-            let cert = certificate_of(instance, &run);
-            let note = format!(
-                "non-clairvoyant WDEQ; certified within 2× of optimal (ratio {:.4})",
-                cert.ratio()
-            );
-            Ok((run.schedule, note))
-        }
-        "greedy-smith" => {
-            let order = smith_order(instance);
-            let step = greedy_schedule(instance, &order).map_err(|e| e.to_string())?;
-            Ok((
-                step_to_column(&step, tol),
-                "clairvoyant greedy, Smith's order (V/w ascending)".to_string(),
-            ))
-        }
-        "best-greedy" => {
-            let (name, order, cost) = best_heuristic_greedy(instance).map_err(|e| e.to_string())?;
-            let step = greedy_schedule(instance, &order).map_err(|e| e.to_string())?;
-            Ok((
-                step_to_column(&step, tol),
-                format!("best heuristic greedy order: {name} (cost {cost:.4})"),
-            ))
-        }
-        "optimal" => {
-            let opt = optimal_schedule(instance).map_err(|e| e.to_string())?;
-            Ok((
-                opt.schedule,
-                format!("exact optimum over all {}! completion orders", instance.n()),
-            ))
-        }
-        "makespan" => {
-            let cs = makespan_schedule(instance).map_err(|e| e.to_string())?;
-            Ok((
-                cs,
-                "optimal-makespan schedule (all tasks finish together)".into(),
-            ))
-        }
-        other => Err(format!("unknown algorithm {other:?}\n{USAGE}")),
+fn list_policies() {
+    println!("registered policies (malleable_core::policy):");
+    for p in policy::all::<f64>() {
+        println!(
+            "  {:<24} {:<16} {}",
+            p.name(),
+            format!("[{}]", p.clairvoyance()),
+            p.description()
+        );
     }
+    let (name, class) = ("optimal", "[clairvoyant]");
+    println!(
+        "  {name:<24} {class:<16} exact optimum over all n! completion orders (brute force, small n)"
+    );
+}
+
+fn schedule(instance: &Instance, name: &str) -> Result<(ColumnSchedule, String), String> {
+    if name == "optimal" {
+        let opt = optimal_schedule(instance).map_err(|e| e.to_string())?;
+        return Ok((
+            opt.schedule,
+            format!("exact optimum over all {}! completion orders", instance.n()),
+        ));
+    }
+    let Some(p) = policy::by_name::<f64>(name) else {
+        return Err(format!(
+            "unknown policy {name:?}; try --list-policies\n{USAGE}"
+        ));
+    };
+    let run = p.run(instance).map_err(|e| e.to_string())?;
+    let mut note = format!("{} — {}", p.name(), p.description());
+    if let Some(cert) = &run.certificate {
+        let cost = run.schedule.weighted_completion_cost(instance);
+        note.push_str(&format!(
+            "; certified within {:.0}× of optimal (ratio {:.4})",
+            cert.factor,
+            cert.ratio(cost)
+        ));
+    }
+    Ok((run.schedule, note))
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Parsed::Run(a)) => a,
+        Ok(Parsed::ListPolicies) => {
+            list_policies();
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
@@ -140,7 +149,7 @@ fn main() -> ExitCode {
     };
     println!("{instance}");
 
-    let (mut cs, note) = match schedule(&instance, &args.algo) {
+    let (mut cs, note) = match schedule(&instance, &args.policy) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("scheduling failed: {e}");
@@ -157,7 +166,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("algorithm: {note}");
+    println!("policy: {note}");
     println!(
         "Σ wᵢCᵢ = {:.6}   makespan = {:.6}",
         cs.weighted_completion_cost(&instance),

@@ -4,6 +4,10 @@
 //! paper artifact; see `DESIGN.md` §6 for the experiment index) and the
 //! criterion benchmarks in `benches/`:
 //!
+//! * [`batch`] — the batch-evaluation engine: declarative
+//!   `(source × seed × policy)` grids over the
+//!   [`malleable_core::policy`] registry, fanned across threads, emitting
+//!   unified metrics records;
 //! * [`table`] — aligned ASCII tables, the output format of every
 //!   experiment binary;
 //! * [`stats`] — summaries (mean/std/percentiles) over instance sweeps;
@@ -15,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod csvout;
 pub mod parallel;
 pub mod stats;

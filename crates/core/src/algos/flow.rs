@@ -9,33 +9,38 @@
 //! bipartite flow saturates all volumes. We solve it with a small dense
 //! Dinic implementation (the graphs have O(n²) edges at n ≤ a few
 //! thousand, well within Dinic's comfort zone).
+//!
+//! Generic over the scalar, like the rest of the algorithm stack: the
+//! `f64` instantiation is exact up to float arithmetic (every augmentation
+//! subtracts exact minima, so no error accumulates beyond the input
+//! precision, guarded by a relative ε), while an exact field runs with
+//! `eps = 0` and produces exact max-flow values — feasibility verdicts
+//! that are certificates.
 
+use numkit::Scalar;
 use std::collections::VecDeque;
 
 /// A directed edge in the flow network.
 #[derive(Debug, Clone)]
-struct Edge {
+struct Edge<S> {
     to: usize,
-    cap: f64,
-    flow: f64,
+    cap: S,
+    flow: S,
 }
 
 /// Max-flow network on dense small graphs (Dinic's algorithm).
-///
-/// Capacities are `f64`; the algorithm is exact up to float arithmetic
-/// (every augmentation subtracts exact minima, so no error accumulates
-/// beyond the input precision). A relative ε guards the saturation tests.
-#[derive(Debug, Default)]
-pub struct FlowNetwork {
-    edges: Vec<Edge>,
+#[derive(Debug)]
+pub struct FlowNetwork<S = f64> {
+    edges: Vec<Edge<S>>,
     /// Adjacency: node → indices into `edges` (even = forward, odd = back).
     adj: Vec<Vec<usize>>,
-    eps: f64,
+    eps: S,
 }
 
-impl FlowNetwork {
-    /// A network with `n` nodes and comparison slack `eps`.
-    pub fn new(n: usize, eps: f64) -> Self {
+impl<S: Scalar> FlowNetwork<S> {
+    /// A network with `n` nodes and comparison slack `eps` (pass zero for
+    /// exact scalars).
+    pub fn new(n: usize, eps: S) -> Self {
         FlowNetwork {
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
@@ -59,15 +64,19 @@ impl FlowNetwork {
     ///
     /// # Panics
     /// Panics on out-of-range nodes or negative capacity (builder misuse).
-    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) -> usize {
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: S) -> usize {
         assert!(from < self.adj.len() && to < self.adj.len(), "bad node");
-        assert!(cap >= 0.0, "negative capacity");
+        assert!(!cap.is_negative(), "negative capacity");
         let id = self.edges.len();
-        self.edges.push(Edge { to, cap, flow: 0.0 });
+        self.edges.push(Edge {
+            to,
+            cap,
+            flow: S::zero(),
+        });
         self.edges.push(Edge {
             to: from,
-            cap: 0.0,
-            flow: 0.0,
+            cap: S::zero(),
+            flow: S::zero(),
         });
         self.adj[from].push(id);
         self.adj[to].push(id + 1);
@@ -75,19 +84,22 @@ impl FlowNetwork {
     }
 
     /// Flow currently routed through edge `id`.
-    pub fn flow_on(&self, id: usize) -> f64 {
-        self.edges[id].flow
+    pub fn flow_on(&self, id: usize) -> S {
+        self.edges[id].flow.clone()
     }
 
-    fn residual(&self, id: usize) -> f64 {
-        self.edges[id].cap - self.edges[id].flow
+    fn residual(&self, id: usize) -> S {
+        self.edges[id].cap.clone() - self.edges[id].flow.clone()
     }
 
     /// Run Dinic's algorithm from `s` to `t`; returns the max-flow value.
-    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+    ///
+    /// # Panics
+    /// Panics when `s == t` (builder misuse).
+    pub fn max_flow(&mut self, s: usize, t: usize) -> S {
         assert_ne!(s, t, "source equals sink");
         let n = self.adj.len();
-        let mut total = 0.0;
+        let mut total = S::zero();
         loop {
             // BFS level graph.
             let mut level = vec![usize::MAX; n];
@@ -105,36 +117,48 @@ impl FlowNetwork {
             if level[t] == usize::MAX {
                 return total;
             }
-            // DFS blocking flow with iteration pointers.
+            // DFS blocking flow with iteration pointers. `limit = None`
+            // means unbounded (the generic stand-in for +∞).
             let mut it = vec![0usize; n];
             loop {
-                let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut it);
+                let pushed = self.dfs(s, t, None, &level, &mut it);
                 if pushed <= self.eps {
                     break;
                 }
-                total += pushed;
+                total = total + pushed;
             }
         }
     }
 
-    fn dfs(&mut self, u: usize, t: usize, limit: f64, level: &[usize], it: &mut [usize]) -> f64 {
+    fn dfs(
+        &mut self,
+        u: usize,
+        t: usize,
+        limit: Option<S>,
+        level: &[usize],
+        it: &mut [usize],
+    ) -> S {
         if u == t {
-            return limit;
+            return limit.expect("sink reached through at least one finite-capacity edge");
         }
         while it[u] < self.adj[u].len() {
             let eid = self.adj[u][it[u]];
             let to = self.edges[eid].to;
             if level[to] == level[u] + 1 && self.residual(eid) > self.eps {
-                let pushed = self.dfs(to, t, limit.min(self.residual(eid)), level, it);
+                let next_limit = match &limit {
+                    Some(l) => l.clone().min_of(self.residual(eid)),
+                    None => self.residual(eid),
+                };
+                let pushed = self.dfs(to, t, Some(next_limit), level, it);
                 if pushed > self.eps {
-                    self.edges[eid].flow += pushed;
-                    self.edges[eid ^ 1].flow -= pushed;
+                    self.edges[eid].flow = self.edges[eid].flow.clone() + pushed.clone();
+                    self.edges[eid ^ 1].flow = self.edges[eid ^ 1].flow.clone() - pushed.clone();
                     return pushed;
                 }
             }
             it[u] += 1;
         }
-        0.0
+        S::zero()
     }
 }
 
@@ -217,6 +241,28 @@ mod tests {
         g.add_edge(a, b, 1.0);
         assert!(close(g.max_flow(0, b), 1.0));
         assert_eq!(g.n_nodes(), 3);
+    }
+
+    #[test]
+    fn exact_max_flow_is_exact() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        // Same diamond as above, solved with eps = 0: the answer is the
+        // integer 13, exactly.
+        let mut g = FlowNetwork::<Rational>::new(4, Rational::from_int(0));
+        g.add_edge(0, 1, q(10.0));
+        g.add_edge(0, 2, q(10.0));
+        g.add_edge(1, 2, q(1.0));
+        g.add_edge(1, 3, q(4.0));
+        g.add_edge(2, 3, q(9.0));
+        assert_eq!(g.max_flow(0, 3), Rational::from_int(13));
+        // Fractional capacities stay exact, too.
+        let mut h = FlowNetwork::<Rational>::new(4, Rational::from_int(0));
+        h.add_edge(0, 1, q(0.3));
+        h.add_edge(0, 2, q(0.7));
+        h.add_edge(1, 3, q(1.0));
+        h.add_edge(2, 3, q(0.5));
+        assert_eq!(h.max_flow(0, 3), q(0.3) + q(0.5));
     }
 
     #[test]

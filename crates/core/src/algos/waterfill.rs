@@ -64,11 +64,16 @@ pub fn water_filling<S: Scalar>(
     water_filling_full(instance, completions).map(|o| o.schedule)
 }
 
-/// [`water_filling`] exposing the chosen water levels.
-pub fn water_filling_full<S: Scalar>(
+/// Shared front door of both Water-Filling feasibility paths (the full
+/// Algorithm-2 pour here and the grouped oracle in
+/// [`crate::algos::waterfill_fast`]): validate the instance and the
+/// completion vector, then return the tasks in completion order (ties by
+/// id) together with the n-scaled tolerance both paths compare with.
+pub(crate) fn checked_completion_order<S: Scalar>(
     instance: &Instance<S>,
     completions: &[S],
-) -> Result<WaterFillOutcome<S>, ScheduleError> {
+    context: &'static str,
+) -> Result<(Vec<usize>, Tolerance<S>), ScheduleError> {
     instance.validate()?;
     let n = instance.n();
     if completions.len() != n {
@@ -82,16 +87,25 @@ pub fn water_filling_full<S: Scalar>(
         if !c.is_finite() || c.is_negative() {
             return Err(ScheduleError::InvalidTime {
                 value: c.to_f64(),
-                context: "water-filling completion times",
+                context,
             });
         }
     }
     let tol = S::default_tolerance().scaled(1.0 + n as f64);
-
-    // Tasks in completion order (ties by id); column k ends at the k-th
-    // ordered completion.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| completions[a].total_cmp_s(&completions[b]).then(a.cmp(&b)));
+    Ok((order, tol))
+}
+
+/// [`water_filling`] exposing the chosen water levels.
+pub fn water_filling_full<S: Scalar>(
+    instance: &Instance<S>,
+    completions: &[S],
+) -> Result<WaterFillOutcome<S>, ScheduleError> {
+    // Column k ends at the k-th ordered completion.
+    let (order, tol) =
+        checked_completion_order(instance, completions, "water-filling completion times")?;
+    let n = instance.n();
     let bounds: Vec<S> = order.iter().map(|&i| completions[i].clone()).collect();
     let lengths: Vec<S> = bounds
         .iter()

@@ -38,27 +38,11 @@ pub fn wf_feasible_grouped<S: Scalar>(
     instance: &Instance<S>,
     completions: &[S],
 ) -> Result<bool, ScheduleError> {
-    instance.validate()?;
-    let n = instance.n();
-    if completions.len() != n {
-        return Err(ScheduleError::LengthMismatch {
-            what: "completion times",
-            expected: n,
-            found: completions.len(),
-        });
-    }
-    for c in completions {
-        if !c.is_finite() || c.is_negative() {
-            return Err(ScheduleError::InvalidTime {
-                value: c.to_f64(),
-                context: "grouped water-filling completion times",
-            });
-        }
-    }
-    let tol = S::default_tolerance().scaled(1.0 + n as f64);
-
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| completions[a].total_cmp_s(&completions[b]).then(a.cmp(&b)));
+    let (order, tol) = crate::algos::waterfill::checked_completion_order(
+        instance,
+        completions,
+        "grouped water-filling completion times",
+    )?;
 
     // Groups in time order (non-increasing heights, Lemma 3).
     let mut groups: Vec<Group<S>> = Vec::with_capacity(16);

@@ -17,7 +17,11 @@
 //!   water-filling feasibility;
 //! * the lower bounds ([`bounds`]): squashed area `A(I)`, height `H(I)`,
 //!   the mixed bound of Lemma 1 and the per-run WDEQ certificate of
-//!   Lemma 2.
+//!   Lemma 2;
+//! * the policy layer ([`policy`]): every algorithm behind one object-safe
+//!   [`SchedulingPolicy`] trait and a string-keyed registry
+//!   ([`policy::all`] / [`policy::by_name`]), so CLIs, sweeps and tests
+//!   select algorithms as data.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +31,12 @@ pub mod bounds;
 pub mod error;
 pub mod instance;
 pub mod io;
+pub mod policy;
 pub mod schedule;
 
 pub use error::ScheduleError;
 pub use instance::{Instance, InstanceBuilder, Task, TaskId};
+pub use policy::{PolicyRun, SchedulingPolicy};
 pub use schedule::column::ColumnSchedule;
 pub use schedule::gantt::Gantt;
 pub use schedule::step::StepSchedule;

@@ -1,0 +1,512 @@
+//! First-class scheduling policies: one object-safe trait, one named
+//! registry, every algorithm in the stack behind it.
+//!
+//! The paper's value is the *comparison* between WDEQ, Water-Filling and
+//! Greedy(σ) against the lower bounds; this module makes that comparison a
+//! data-driven sweep instead of N hand-wired call sites. A
+//! [`SchedulingPolicy`] turns an [`Instance`] into a
+//! [`ColumnSchedule`] (plus an optional per-run approximation
+//! certificate), and the registry ([`all`], [`by_name`], [`names`])
+//! enumerates every implementation by stable string key — so experiment
+//! binaries, the `msched` CLI and the batch-evaluation engine all select
+//! algorithms by name.
+//!
+//! Adding a new algorithm = implementing the trait and appending one line
+//! to [`all`]; every consumer (CLI flags, sweeps, property tests) picks it
+//! up automatically.
+//!
+//! The whole module is generic over the scalar: `by_name::<f64>` gives the
+//! production policy, `by_name::<bigratio::Rational>` the *same* policy in
+//! exact arithmetic.
+
+pub mod registry;
+pub mod rules;
+
+pub use registry::{all, by_name, names};
+pub use rules::{ActiveTask, AllocationRule};
+
+use crate::algos::greedy::{best_heuristic_greedy, greedy_schedule};
+use crate::algos::makespan::{makespan_schedule, min_lmax};
+use crate::algos::orders;
+use crate::algos::waterfill::water_filling;
+use crate::algos::waterfill_fast::wf_feasible_grouped;
+use crate::algos::wdeq::{certificate_of, wdeq_run};
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::schedule::column::ColumnSchedule;
+use crate::schedule::convert::step_to_column;
+use numkit::Scalar;
+use std::fmt;
+
+/// What a policy is allowed to know about the tasks it schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Clairvoyance {
+    /// Volumes `Vᵢ` are hidden; only weights, caps and observed progress
+    /// are available (the online model of Algorithm 1).
+    NonClairvoyant,
+    /// Full instance knowledge, volumes included.
+    Clairvoyant,
+}
+
+impl fmt::Display for Clairvoyance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Clairvoyance::NonClairvoyant => "non-clairvoyant",
+            Clairvoyance::Clairvoyant => "clairvoyant",
+        })
+    }
+}
+
+/// A per-run approximation certificate: `lower_bound ≤ OPT(I)` and the
+/// policy's cost is guaranteed `≤ factor · OPT(I)`.
+#[derive(Debug, Clone)]
+pub struct PolicyCertificate<S = f64> {
+    /// A machine-checked lower bound on the optimal objective.
+    pub lower_bound: S,
+    /// The proven approximation factor of the policy.
+    pub factor: S,
+}
+
+impl<S: Scalar> PolicyCertificate<S> {
+    /// The certified ratio `cost / lower_bound` (≤ `factor` when the
+    /// guarantee holds; exactly so in exact arithmetic).
+    pub fn ratio(&self, cost: S) -> S {
+        if self.lower_bound.is_positive() {
+            cost / self.lower_bound.clone()
+        } else {
+            S::one()
+        }
+    }
+}
+
+/// Outcome of one policy run.
+#[derive(Debug, Clone)]
+pub struct PolicyRun<S = f64> {
+    /// The produced schedule.
+    pub schedule: ColumnSchedule<S>,
+    /// A per-run certificate, when the policy carries one (WDEQ's Lemma-2
+    /// bound; most policies return `None`).
+    pub certificate: Option<PolicyCertificate<S>>,
+}
+
+/// An algorithm that schedules a whole instance. Object-safe, so
+/// registries and CLI dispatch can hold `Box<dyn SchedulingPolicy<S>>`;
+/// `Send + Sync` so batch engines can share resolved policies across
+/// worker threads (every policy here is stateless).
+pub trait SchedulingPolicy<S: Scalar>: Send + Sync {
+    /// Stable registry key (also the experiment-table label).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for `--list-policies` output.
+    fn description(&self) -> &'static str;
+
+    /// The information model the policy operates under.
+    fn clairvoyance(&self) -> Clairvoyance;
+
+    /// Run the policy.
+    ///
+    /// # Errors
+    /// Propagates instance validation and algorithm failures
+    /// ([`ScheduleError`]).
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError>;
+
+    /// Just the schedule.
+    ///
+    /// # Errors
+    /// Same as [`SchedulingPolicy::run`].
+    fn schedule(&self, instance: &Instance<S>) -> Result<ColumnSchedule<S>, ScheduleError> {
+        self.run(instance).map(|r| r.schedule)
+    }
+}
+
+fn plain<S: Scalar>(schedule: ColumnSchedule<S>) -> PolicyRun<S> {
+    PolicyRun {
+        schedule,
+        certificate: None,
+    }
+}
+
+/// **WDEQ** (Algorithm 1): the non-clairvoyant 2-approximation, carrying
+/// its Lemma-2 certificate on every run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Wdeq;
+
+impl<S: Scalar> SchedulingPolicy<S> for Wdeq {
+    fn name(&self) -> &'static str {
+        "wdeq"
+    }
+
+    fn description(&self) -> &'static str {
+        "weighted dynamic equipartition (Algorithm 1, certified 2-approximation)"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::NonClairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let run = wdeq_run(instance)?;
+        let cert = certificate_of(instance, &run);
+        Ok(PolicyRun {
+            schedule: run.schedule,
+            certificate: Some(PolicyCertificate {
+                lower_bound: cert.value(),
+                factor: S::from_int(2),
+            }),
+        })
+    }
+}
+
+/// A rule-driven online policy replayed to completion (DEQ and the
+/// WDEQ ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct RulePolicy<R> {
+    rule: R,
+    description: &'static str,
+}
+
+impl<R> RulePolicy<R> {
+    /// Wrap an allocation rule.
+    pub fn new(rule: R, description: &'static str) -> Self {
+        RulePolicy { rule, description }
+    }
+}
+
+impl<S: Scalar, R: AllocationRule<S> + Send + Sync> SchedulingPolicy<S> for RulePolicy<R> {
+    fn name(&self) -> &'static str {
+        self.rule.name()
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::NonClairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        rules::replay(instance, &self.rule).map(plain)
+    }
+}
+
+/// Water-Filling normal form (Algorithm 2) of the WDEQ completion times:
+/// same completions, ≤ n allocation changes (Lemma 5). The `fast` variant
+/// routes feasibility through the grouped O(n log n)-style oracle first,
+/// exercising both code paths of Theorem 8.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WaterFillNormalForm {
+    /// Pre-verify feasibility with the grouped oracle before
+    /// materializing the allocation.
+    pub fast: bool,
+}
+
+impl<S: Scalar> SchedulingPolicy<S> for WaterFillNormalForm {
+    fn name(&self) -> &'static str {
+        if self.fast {
+            "wf-fast"
+        } else {
+            "wf"
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        if self.fast {
+            "Water-Filling normal form of WDEQ times (grouped feasibility oracle first)"
+        } else {
+            "Water-Filling normal form of the WDEQ completion times (Algorithm 2)"
+        }
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let completions = wdeq_run(instance)?.schedule.completions;
+        if self.fast && !wf_feasible_grouped(instance, &completions)? {
+            // WDEQ times are feasible by construction; a grouped verdict to
+            // the contrary would be a bug, not bad input.
+            return Err(ScheduleError::InvalidInstance {
+                reason: "grouped oracle rejected WDEQ completion times".into(),
+            });
+        }
+        water_filling(instance, &completions).map(plain)
+    }
+}
+
+/// The task-ordering rules of `algos::orders`, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderRule {
+    /// Smith's rule: `Vᵢ/wᵢ` non-decreasing.
+    Smith,
+    /// Caps descending.
+    DeltaDescending,
+    /// Caps ascending.
+    DeltaAscending,
+    /// Heights `Vᵢ/δᵢ` descending.
+    HeightDescending,
+    /// Weighted height `wᵢ·min(δᵢ,P)/Vᵢ` descending.
+    WeightedHeightDescending,
+    /// Input order (the identity permutation).
+    Input,
+}
+
+impl OrderRule {
+    /// Every ordering rule, in registry order.
+    pub const ALL: [OrderRule; 6] = [
+        OrderRule::Smith,
+        OrderRule::DeltaDescending,
+        OrderRule::DeltaAscending,
+        OrderRule::HeightDescending,
+        OrderRule::WeightedHeightDescending,
+        OrderRule::Input,
+    ];
+
+    /// Compute the task order on an instance.
+    pub fn order<S: Scalar>(&self, instance: &Instance<S>) -> Vec<TaskId> {
+        match self {
+            OrderRule::Smith => orders::smith_order(instance),
+            OrderRule::DeltaDescending => orders::delta_descending(instance),
+            OrderRule::DeltaAscending => orders::delta_ascending(instance),
+            OrderRule::HeightDescending => orders::height_descending(instance),
+            OrderRule::WeightedHeightDescending => orders::weighted_height_descending(instance),
+            OrderRule::Input => (0..instance.n()).map(TaskId).collect(),
+        }
+    }
+}
+
+/// **Greedy(σ)** (Algorithm 3) under a fixed ordering rule.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyPolicy {
+    /// The ordering rule σ.
+    pub order: OrderRule,
+}
+
+impl<S: Scalar> SchedulingPolicy<S> for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        match self.order {
+            OrderRule::Smith => "greedy-smith",
+            OrderRule::DeltaDescending => "greedy-delta-desc",
+            OrderRule::DeltaAscending => "greedy-delta-asc",
+            OrderRule::HeightDescending => "greedy-height-desc",
+            OrderRule::WeightedHeightDescending => "greedy-wheight-desc",
+            OrderRule::Input => "greedy-input",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        match self.order {
+            OrderRule::Smith => "greedy schedule in Smith order, V/w ascending (Algorithm 3)",
+            OrderRule::DeltaDescending => "greedy schedule, caps descending",
+            OrderRule::DeltaAscending => "greedy schedule, caps ascending",
+            OrderRule::HeightDescending => "greedy schedule, heights V/δ descending",
+            OrderRule::WeightedHeightDescending => "greedy schedule, weighted height descending",
+            OrderRule::Input => "greedy schedule in input order",
+        }
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+        let step = greedy_schedule(instance, &self.order.order(instance))?;
+        Ok(plain(step_to_column(&step, tol)))
+    }
+}
+
+/// The best greedy schedule over all heuristic orders of
+/// [`orders::heuristic_orders`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BestHeuristicGreedy;
+
+impl<S: Scalar> SchedulingPolicy<S> for BestHeuristicGreedy {
+    fn name(&self) -> &'static str {
+        "best-greedy"
+    }
+
+    fn description(&self) -> &'static str {
+        "minimum-cost greedy schedule over the heuristic orders"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+        let (_, order, _) = best_heuristic_greedy(instance)?;
+        let step = greedy_schedule(instance, &order)?;
+        Ok(plain(step_to_column(&step, tol)))
+    }
+}
+
+/// The `Cmax`-optimal schedule: every task finishes together at the
+/// two-term optimum `C* = max(ΣV/P, max V/min(δ,P))`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MakespanOptimal;
+
+impl<S: Scalar> SchedulingPolicy<S> for MakespanOptimal {
+    fn name(&self) -> &'static str {
+        "makespan"
+    }
+
+    fn description(&self) -> &'static str {
+        "Cmax-optimal schedule (all tasks finish at C*)"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        makespan_schedule(instance).map(plain)
+    }
+}
+
+/// The `Lmax`-derived scheduler: every task is due at its own height
+/// `hᵢ = Vᵢ/min(δᵢ, P)` (its minimal running time) and the maximum
+/// lateness is minimized by Water-Filling bisection. Short tasks finish
+/// early; the uniform slack `L*` spreads the machine contention evenly.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LmaxHeightDue;
+
+impl<S: Scalar> SchedulingPolicy<S> for LmaxHeightDue {
+    fn name(&self) -> &'static str {
+        "lmax-height"
+    }
+
+    fn description(&self) -> &'static str {
+        "minimum max-lateness schedule against per-task height due dates"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let due: Vec<S> = (0..instance.n())
+            .map(|i| {
+                let t = &instance.tasks[i];
+                t.volume.clone() / t.delta.clone().min_of(instance.p.clone())
+            })
+            .collect();
+        let (_, schedule) = min_lmax(instance, &due, S::default_tolerance())?;
+        Ok(plain(schedule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::combined_lower_bound;
+
+    fn inst() -> Instance {
+        Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0)
+            .task(4.0, 2.0, 4.0)
+            .task(2.0, 4.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_registered_policy_schedules_the_fixture() {
+        let i = inst();
+        let bound = combined_lower_bound(&i);
+        for p in all::<f64>() {
+            let run = p
+                .run(&i)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+            run.schedule
+                .validate(&i)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", p.name()));
+            let cost = run.schedule.weighted_completion_cost(&i);
+            assert!(
+                cost >= bound - 1e-9,
+                "{} beat the lower bound: {cost} < {bound}",
+                p.name()
+            );
+            if let Some(cert) = run.certificate {
+                assert!(cert.lower_bound <= cost + 1e-9, "{}", p.name());
+                assert!(cert.ratio(cost) <= cert.factor + 1e-6, "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn wdeq_certificate_is_the_lemma2_bound() {
+        let i = inst();
+        let run = SchedulingPolicy::<f64>::run(&Wdeq, &i).unwrap();
+        let cert = run.certificate.expect("wdeq carries a certificate");
+        let direct = crate::algos::wdeq::wdeq_certificate(&i);
+        assert!((cert.lower_bound - direct.value()).abs() < 1e-12);
+        assert_eq!(cert.factor, 2.0);
+    }
+
+    #[test]
+    fn normal_form_variants_agree_and_keep_wdeq_completions() {
+        let i = inst();
+        let wdeq = SchedulingPolicy::<f64>::schedule(&Wdeq, &i).unwrap();
+        let full =
+            SchedulingPolicy::<f64>::schedule(&WaterFillNormalForm { fast: false }, &i).unwrap();
+        let fast =
+            SchedulingPolicy::<f64>::schedule(&WaterFillNormalForm { fast: true }, &i).unwrap();
+        assert_eq!(full.completions, wdeq.completions);
+        assert_eq!(full.completions, fast.completions);
+    }
+
+    #[test]
+    fn greedy_policies_cover_every_order_rule() {
+        let i = inst();
+        for order in OrderRule::ALL {
+            let p = GreedyPolicy { order };
+            let s = SchedulingPolicy::<f64>::schedule(&p, &i).unwrap();
+            s.validate(&i).unwrap();
+        }
+    }
+
+    #[test]
+    fn lmax_height_finishes_short_tasks_before_makespan_does() {
+        // Under `makespan` everything ends at C*; lmax-height lets the
+        // short task out earlier.
+        let i = Instance::builder(2.0)
+            .task(8.0, 1.0, 2.0)
+            .task(0.5, 1.0, 2.0)
+            .build()
+            .unwrap();
+        let mk = SchedulingPolicy::<f64>::schedule(&MakespanOptimal, &i).unwrap();
+        let lx = SchedulingPolicy::<f64>::schedule(&LmaxHeightDue, &i).unwrap();
+        assert!(lx.completions[1] < mk.completions[1] - 1e-9);
+    }
+
+    #[test]
+    fn exact_instantiation_runs_the_same_registry() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let i = Instance::<Rational>::builder(q(2.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .task(q(1.0), q(2.0), q(2.0))
+            .build()
+            .unwrap();
+        for p in all::<Rational>() {
+            let s = p
+                .schedule(&i)
+                .unwrap_or_else(|e| panic!("{} failed exactly: {e}", p.name()));
+            // lmax-height bisects: its completions are bracketed, not
+            // exact, so validate at the float-equivalent tolerance there
+            // and exactly everywhere else.
+            if p.name() == "lmax-height" {
+                let tol = numkit::Tolerance {
+                    abs: q(1e-9),
+                    rel: q(1e-9),
+                };
+                s.validate_with(&i, tol).unwrap();
+            } else {
+                s.validate(&i).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The named policy registry: policies are data, not code.
+//!
+//! Every consumer that used to hand-wire algorithm calls (the `msched`
+//! CLI, the experiment binaries, the batch-evaluation engine) selects
+//! policies from here by stable string key. Adding an algorithm to the
+//! workspace means appending one constructor to [`all`].
+
+use super::{
+    BestHeuristicGreedy, GreedyPolicy, LmaxHeightDue, MakespanOptimal, OrderRule, RulePolicy,
+    SchedulingPolicy, WaterFillNormalForm, Wdeq,
+};
+use crate::policy::rules::{DeqRule, PriorityRule, ShareNoRedistributionRule};
+use numkit::Scalar;
+
+/// Every registered policy, in stable display order.
+pub fn all<S: Scalar>() -> Vec<Box<dyn SchedulingPolicy<S>>> {
+    let mut v: Vec<Box<dyn SchedulingPolicy<S>>> = vec![
+        Box::new(Wdeq),
+        Box::new(RulePolicy::new(
+            DeqRule,
+            "dynamic equipartition ignoring weights (Deng et al.)",
+        )),
+        Box::new(RulePolicy::new(
+            ShareNoRedistributionRule,
+            "weighted share without surplus redistribution (ablation)",
+        )),
+        Box::new(RulePolicy::new(
+            PriorityRule,
+            "heaviest-first list allocation (unfair baseline)",
+        )),
+        Box::new(WaterFillNormalForm { fast: false }),
+        Box::new(WaterFillNormalForm { fast: true }),
+    ];
+    v.extend(
+        OrderRule::ALL
+            .into_iter()
+            .map(|order| Box::new(GreedyPolicy { order }) as Box<dyn SchedulingPolicy<S>>),
+    );
+    v.push(Box::new(BestHeuristicGreedy));
+    v.push(Box::new(MakespanOptimal));
+    v.push(Box::new(LmaxHeightDue));
+    v
+}
+
+/// Look a policy up by its stable name, or `None` for unknown keys.
+pub fn by_name<S: Scalar>(name: &str) -> Option<Box<dyn SchedulingPolicy<S>>> {
+    all::<S>().into_iter().find(|p| p.name() == name)
+}
+
+/// The registered names, in the same order as [`all`].
+pub fn names() -> Vec<&'static str> {
+    all::<f64>().iter().map(|p| p.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_eight_distinct_policies() {
+        let names = names();
+        assert!(names.len() >= 8, "only {} policies", names.len());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate policy names");
+    }
+
+    #[test]
+    fn by_name_round_trips_every_registered_name() {
+        for name in names() {
+            let p = by_name::<f64>(name).unwrap_or_else(|| panic!("{name} not found"));
+            assert_eq!(p.name(), name);
+            assert!(!p.description().is_empty());
+        }
+        assert!(by_name::<f64>("no-such-policy").is_none());
+    }
+
+    #[test]
+    fn registry_is_scalar_agnostic() {
+        use bigratio::Rational;
+        let f: Vec<_> = all::<f64>().iter().map(|p| p.name()).collect();
+        let r: Vec<_> = all::<Rational>().iter().map(|p| p.name()).collect();
+        assert_eq!(f, r);
+    }
+}

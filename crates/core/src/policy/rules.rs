@@ -1,0 +1,324 @@
+//! Instantaneous allocation rules — the non-clairvoyant core of the
+//! online policies.
+//!
+//! A rule maps the *observable* state of the unfinished tasks (identity,
+//! weight, cap, work already done — never the remaining volume) to a rate
+//! vector. The same rule drives two consumers:
+//!
+//! * [`replay`] — the closed-form clairvoyant replay used by the
+//!   [`SchedulingPolicy`](crate::policy::SchedulingPolicy) registry: the
+//!   engine knows the remaining volumes, so between completions it can
+//!   jump straight to the next event;
+//! * `malleable-sim`'s genuinely non-clairvoyant event engine, whose
+//!   policy structs are thin adapters over these rules.
+//!
+//! Keeping the rules here (generic over the scalar) means the paper's
+//! Algorithm 1 and its ablations exist exactly once in the workspace.
+
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::schedule::column::{Column, ColumnSchedule};
+use numkit::Scalar;
+
+/// Observable state of one unfinished task, as exposed to a rule.
+#[derive(Debug, Clone)]
+pub struct ActiveTask<S = f64> {
+    /// Task identity (stable across events).
+    pub id: TaskId,
+    /// Weight `wᵢ`.
+    pub weight: S,
+    /// Effective cap `min(δᵢ, P)`.
+    pub cap: S,
+    /// Volume processed so far.
+    pub processed: S,
+}
+
+/// An instantaneous allocation rule: observable task state in, rates out.
+///
+/// Rates are indexed like `active` and must satisfy `0 ≤ rateₖ ≤ capₖ` and
+/// `Σ rateₖ ≤ p` (the rules below guarantee this by construction; the sim
+/// engine re-validates independently).
+pub trait AllocationRule<S: Scalar> {
+    /// Stable name (used in experiment tables and the policy registry).
+    fn name(&self) -> &'static str;
+
+    /// Choose rates for the active tasks.
+    fn rates(&self, active: &[ActiveTask<S>], p: &S) -> Vec<S>;
+}
+
+/// Algorithm 1 — **WDEQ**: weighted proportional share with cap clamping
+/// and surplus redistribution (delegates to
+/// [`wdeq_allocation`](crate::algos::wdeq::wdeq_allocation)).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WdeqRule;
+
+impl<S: Scalar> AllocationRule<S> for WdeqRule {
+    fn name(&self) -> &'static str {
+        "wdeq"
+    }
+
+    fn rates(&self, active: &[ActiveTask<S>], p: &S) -> Vec<S> {
+        let entries: Vec<(S, S)> = active
+            .iter()
+            .map(|t| (t.weight.clone(), t.cap.clone()))
+            .collect();
+        crate::algos::wdeq::wdeq_allocation(&entries, p.clone())
+    }
+}
+
+/// **DEQ** (Deng et al.): dynamic equipartition ignoring weights — WDEQ on
+/// unit weights.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeqRule;
+
+impl<S: Scalar> AllocationRule<S> for DeqRule {
+    fn name(&self) -> &'static str {
+        "deq"
+    }
+
+    fn rates(&self, active: &[ActiveTask<S>], p: &S) -> Vec<S> {
+        let entries: Vec<(S, S)> = active.iter().map(|t| (S::one(), t.cap.clone())).collect();
+        crate::algos::wdeq::wdeq_allocation(&entries, p.clone())
+    }
+}
+
+/// Proportional weighted share clamped at the cap, **without**
+/// redistributing the clamped surplus — the ablation showing Algorithm 1's
+/// while-loop matters. Wastes capacity whenever a cap binds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShareNoRedistributionRule;
+
+impl<S: Scalar> AllocationRule<S> for ShareNoRedistributionRule {
+    fn name(&self) -> &'static str {
+        "share-no-redistribution"
+    }
+
+    fn rates(&self, active: &[ActiveTask<S>], p: &S) -> Vec<S> {
+        let w = S::sum(active.iter().map(|t| t.weight.clone()));
+        if !w.is_positive() {
+            return vec![S::zero(); active.len()];
+        }
+        active
+            .iter()
+            .map(|t| (t.weight.clone() * p.clone() / w.clone()).min_of(t.cap.clone()))
+            .collect()
+    }
+}
+
+/// Weight-priority list allocation: active tasks sorted by weight
+/// (descending, ties by id), each takes `min(cap, remaining capacity)`.
+/// A natural but non-fair baseline with no worst-case guarantee.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PriorityRule;
+
+impl<S: Scalar> AllocationRule<S> for PriorityRule {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn rates(&self, active: &[ActiveTask<S>], p: &S) -> Vec<S> {
+        let mut idx: Vec<usize> = (0..active.len()).collect();
+        idx.sort_by(|&a, &b| {
+            active[b]
+                .weight
+                .total_cmp_s(&active[a].weight)
+                .then(active[a].id.0.cmp(&active[b].id.0))
+        });
+        let mut rates = vec![S::zero(); active.len()];
+        let mut left = p.clone();
+        for i in idx {
+            if !left.is_positive() {
+                break;
+            }
+            let r = active[i].cap.clone().min_of(left.clone());
+            left = left - r.clone();
+            rates[i] = r;
+        }
+        rates
+    }
+}
+
+/// Clairvoyant replay of an allocation rule: recompute rates at every
+/// completion, jump to the next completion event, repeat. The columns of
+/// the result are the inter-event intervals (exactly the granularity the
+/// paper's model works at — between completions any constant allocation
+/// with the same column totals is equivalent, Theorem 3).
+///
+/// # Errors
+/// [`ScheduleError::InvalidInstance`] when the instance is malformed or
+/// the rule stops making progress (e.g. proportional share over an
+/// all-zero-weight active set).
+pub fn replay<S: Scalar>(
+    instance: &Instance<S>,
+    rule: &dyn AllocationRule<S>,
+) -> Result<ColumnSchedule<S>, ScheduleError> {
+    instance.validate()?;
+    let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+    let n = instance.n();
+    let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
+    let mut processed = vec![S::zero(); n];
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut completions = vec![S::zero(); n];
+    let mut columns = Vec::with_capacity(n);
+    let mut now = S::zero();
+
+    while !active.is_empty() {
+        let views: Vec<ActiveTask<S>> = active
+            .iter()
+            .map(|&i| ActiveTask {
+                id: TaskId(i),
+                weight: instance.tasks[i].weight.clone(),
+                cap: instance.effective_delta(TaskId(i)),
+                processed: processed[i].clone(),
+            })
+            .collect();
+        let rates = rule.rates(&views, &instance.p);
+        debug_assert_eq!(rates.len(), views.len(), "rule returned wrong arity");
+
+        // Time to the next completion among tasks that progress.
+        let mut dt: Option<S> = None;
+        for (k, &i) in active.iter().enumerate() {
+            if rates[k] > tol.abs {
+                let t_i = remaining[i].clone() / rates[k].clone();
+                dt = Some(match dt {
+                    Some(d) => d.min_of(t_i),
+                    None => t_i,
+                });
+            }
+        }
+        let Some(dt) = dt else {
+            return Err(ScheduleError::InvalidInstance {
+                reason: format!(
+                    "allocation rule '{}' stalled at t = {} with {} tasks active",
+                    rule.name(),
+                    now.to_f64(),
+                    active.len()
+                ),
+            });
+        };
+        debug_assert!(dt.is_finite() && dt.is_positive());
+
+        columns.push(Column {
+            start: now.clone(),
+            end: now.clone() + dt.clone(),
+            rates: active
+                .iter()
+                .zip(&rates)
+                .filter(|(_, r)| **r > tol.abs)
+                .map(|(&i, r)| (TaskId(i), r.clone()))
+                .collect(),
+        });
+
+        let mut done = Vec::new();
+        for (k, &i) in active.iter().enumerate() {
+            let inc = rates[k].clone() * dt.clone();
+            processed[i] = processed[i].clone() + inc.clone();
+            remaining[i] = remaining[i].clone() - inc;
+            if remaining[i] <= tol.slack(instance.tasks[i].volume.clone(), S::zero()) {
+                remaining[i] = S::zero();
+                completions[i] = now.clone() + dt.clone();
+                done.push(i);
+            }
+        }
+        debug_assert!(!done.is_empty(), "dt was chosen as a completion time");
+        active.retain(|i| !done.contains(i));
+        now = now + dt;
+    }
+
+    Ok(ColumnSchedule {
+        p: instance.p.clone(),
+        completions,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::wdeq::wdeq_schedule;
+
+    fn inst() -> Instance {
+        Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0)
+            .task(4.0, 2.0, 4.0)
+            .task(2.0, 4.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn wdeq_replay_matches_closed_form_run() {
+        let i = inst();
+        let via_rule = replay(&i, &WdeqRule).unwrap();
+        let direct = wdeq_schedule(&i);
+        for (a, b) in via_rule.completions.iter().zip(&direct.completions) {
+            assert!((a - b).abs() < 1e-9, "rule {a} vs direct {b}");
+        }
+    }
+
+    #[test]
+    fn all_rules_produce_valid_schedules() {
+        let i = inst();
+        let rules: Vec<Box<dyn AllocationRule<f64>>> = vec![
+            Box::new(WdeqRule),
+            Box::new(DeqRule),
+            Box::new(ShareNoRedistributionRule),
+            Box::new(PriorityRule),
+        ];
+        for r in rules {
+            let s = replay(&i, r.as_ref()).unwrap();
+            s.validate(&i)
+                .unwrap_or_else(|e| panic!("{}: {e}", r.name()));
+        }
+    }
+
+    #[test]
+    fn priority_serves_heaviest_first() {
+        let i = Instance::builder(1.0)
+            .task(1.0, 1.0, 1.0)
+            .task(1.0, 5.0, 1.0)
+            .build()
+            .unwrap();
+        let s = replay(&i, &PriorityRule).unwrap();
+        assert!((s.completions[1] - 1.0).abs() < 1e-9);
+        assert!((s.completions[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_without_redistribution_wastes_capacity() {
+        let i = Instance::builder(10.0)
+            .task(1.0, 9.0, 1.0) // heavy but capped at 1
+            .task(9.0, 1.0, 10.0)
+            .build()
+            .unwrap();
+        let wdeq = replay(&i, &WdeqRule).unwrap().weighted_completion_cost(&i);
+        let naive = replay(&i, &ShareNoRedistributionRule)
+            .unwrap()
+            .weighted_completion_cost(&i);
+        assert!(wdeq < naive - 1e-9, "wdeq {wdeq} vs naive {naive}");
+    }
+
+    #[test]
+    fn zero_weight_stall_is_an_error() {
+        let i = Instance::builder(1.0).task(1.0, 0.0, 1.0).build().unwrap();
+        assert!(matches!(
+            replay(&i, &ShareNoRedistributionRule),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_replay_validates_with_zero_tolerance() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let i = Instance::<Rational>::builder(q(4.0))
+            .task(q(8.0), q(1.0), q(2.0))
+            .task(q(4.0), q(2.0), q(4.0))
+            .build()
+            .unwrap();
+        for rule in [&WdeqRule as &dyn AllocationRule<Rational>, &DeqRule] {
+            let s = replay(&i, rule).unwrap();
+            s.validate(&i).unwrap(); // zero tolerance
+        }
+    }
+}

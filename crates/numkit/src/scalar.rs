@@ -80,18 +80,22 @@ pub trait Scalar:
     }
 
     /// `true` iff the value equals the additive identity exactly.
+    #[inline]
     fn is_zero(&self) -> bool {
         *self == Self::zero()
     }
     /// `true` iff the value is strictly positive.
+    #[inline]
     fn is_positive(&self) -> bool {
         *self > Self::zero()
     }
     /// `true` iff the value is strictly negative.
+    #[inline]
     fn is_negative(&self) -> bool {
         *self < Self::zero()
     }
     /// Absolute value.
+    #[inline]
     fn abs(&self) -> Self {
         if self.is_negative() {
             -self.clone()
@@ -100,6 +104,7 @@ pub trait Scalar:
         }
     }
     /// The smaller of two values (ties keep `self`).
+    #[inline]
     fn min_of(self, other: Self) -> Self {
         if other < self {
             other
@@ -108,6 +113,7 @@ pub trait Scalar:
         }
     }
     /// The larger of two values (ties keep `self`).
+    #[inline]
     fn max_of(self, other: Self) -> Self {
         if other > self {
             other
@@ -116,39 +122,49 @@ pub trait Scalar:
         }
     }
     /// `self` clamped into `[lo, hi]` (callers guarantee `lo ≤ hi`).
+    #[inline]
     fn clamp_to(self, lo: Self, hi: Self) -> Self {
         self.max_of(lo).min_of(hi)
     }
 }
 
 impl Scalar for f64 {
+    #[inline]
     fn zero() -> Self {
         0.0
     }
+    #[inline]
     fn one() -> Self {
         1.0
     }
+    #[inline]
     fn from_int(v: i64) -> Self {
         v as f64
     }
+    #[inline]
     fn from_f64(v: f64) -> Self {
         v
     }
+    #[inline]
     fn to_f64(&self) -> f64 {
         *self
     }
+    #[inline]
     fn default_tolerance() -> Tolerance<f64> {
         Tolerance {
             abs: 1e-9,
             rel: 1e-9,
         }
     }
+    #[inline]
     fn is_finite(&self) -> bool {
         f64::is_finite(*self)
     }
+    #[inline]
     fn total_cmp_s(&self, other: &Self) -> Ordering {
         self.total_cmp(other)
     }
+    #[inline]
     fn sum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
         crate::sum::ksum(iter)
     }
@@ -156,6 +172,7 @@ impl Scalar for f64 {
 
 /// Sum of a slice of scalars (Kahan-compensated for `f64`, exact for exact
 /// fields — see [`Scalar::sum`]).
+#[inline]
 pub fn sum<S: Scalar>(xs: &[S]) -> S {
     S::sum(xs.iter().cloned())
 }
@@ -167,6 +184,7 @@ pub fn sum<S: Scalar>(xs: &[S]) -> S {
 /// non-positive denominators compare equal. Numerators are assumed
 /// non-negative (the scheduling ratios — Smith's `V/w`, WDEQ's `δ/w` —
 /// always are), which keeps cross-multiplication order-preserving.
+#[inline]
 pub fn ratio_cmp<S: Scalar>(num_a: &S, den_a: &S, num_b: &S, den_b: &S) -> Ordering {
     match (den_a.is_positive(), den_b.is_positive()) {
         (false, false) => Ordering::Equal,
@@ -185,6 +203,7 @@ pub fn ratio_cmp<S: Scalar>(num_a: &S, den_a: &S, num_b: &S, den_b: &S) -> Order
 /// # Panics
 /// Panics if the slices have different lengths (programming error, not user
 /// input).
+#[inline]
 pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
     S::sum(a.iter().zip(b).map(|(x, y)| x.clone() * y.clone()))

@@ -64,6 +64,7 @@ impl FromIterator<f64> for KahanSum {
 }
 
 /// Compensated sum of an iterator of `f64`.
+#[inline]
 pub fn ksum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
     iter.into_iter().collect::<KahanSum>().value()
 }

@@ -1,101 +1,80 @@
-//! Non-clairvoyant allocation policies.
+//! Non-clairvoyant allocation policies — thin adapters over the canonical
+//! rules in [`malleable_core::policy::rules`].
 //!
-//! * [`WdeqPolicy`] — Algorithm 1, the paper's 2-approximation: weighted
-//!   equipartition with cap clamping and surplus redistribution.
-//! * [`DeqPolicy`] — the unweighted special case (Deng et al.), Table I
-//!   row 3.
+//! The algorithm logic (Algorithm 1's equipartition, its ablations, the
+//! priority baseline) lives exactly once, in the core policy layer; here
+//! each rule is wrapped behind the engine's [`OnlinePolicy`] interface so
+//! it runs under the genuinely non-clairvoyant event loop of
+//! [`crate::engine::simulate`] — which independently re-validates every
+//! allocation the rule emits. Integration tests check the online runs
+//! against the core's clairvoyant replays of the *same* rules.
+//!
+//! * [`WdeqPolicy`] — Algorithm 1, the paper's 2-approximation.
+//! * [`DeqPolicy`] — the unweighted special case (Deng et al.).
 //! * [`UncappedSharePolicy`] — proportional share *without* surplus
-//!   redistribution: what a naive weighted-round-robin does; used as an
-//!   ablation to show the redistribution step matters.
-//! * [`PriorityPolicy`] — greedy weight-priority list allocation: heaviest
-//!   task takes `δ`, remainder cascades. A natural but non-fair baseline
-//!   whose worst case is unboundedly bad for the weighted objective.
+//!   redistribution (ablation).
+//! * [`PriorityPolicy`] — heaviest-first list allocation (unfair
+//!   baseline).
 
 use crate::engine::{OnlinePolicy, TaskView};
-use malleable_core::algos::wdeq::wdeq_allocation;
+use malleable_core::policy::rules::{
+    ActiveTask, AllocationRule, DeqRule, PriorityRule, ShareNoRedistributionRule, WdeqRule,
+};
 
-/// Algorithm 1 (WDEQ) as an online policy.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct WdeqPolicy;
-
-impl OnlinePolicy for WdeqPolicy {
-    fn name(&self) -> &'static str {
-        "wdeq"
-    }
-
-    fn allocate(&mut self, _now: f64, active: &[TaskView], p: f64) -> Vec<f64> {
-        let entries: Vec<(f64, f64)> = active.iter().map(|v| (v.weight, v.delta)).collect();
-        wdeq_allocation(&entries, p)
-    }
+/// Translate the engine's observable views into the core rule input and
+/// delegate — the entire body of every adapter below.
+fn rule_rates<R: AllocationRule<f64>>(rule: &R, active: &[TaskView], p: f64) -> Vec<f64> {
+    let views: Vec<ActiveTask> = active
+        .iter()
+        .map(|v| ActiveTask {
+            id: v.id,
+            weight: v.weight,
+            cap: v.delta,
+            processed: v.processed,
+        })
+        .collect();
+    rule.rates(&views, &p)
 }
 
-/// DEQ: dynamic equipartition ignoring weights (all tasks count 1).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct DeqPolicy;
+macro_rules! rule_adapter {
+    ($(#[$doc:meta])* $policy:ident => $rule:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy)]
+        pub struct $policy;
 
-impl OnlinePolicy for DeqPolicy {
-    fn name(&self) -> &'static str {
-        "deq"
-    }
+        impl OnlinePolicy for $policy {
+            fn name(&self) -> &'static str {
+                AllocationRule::<f64>::name(&$rule)
+            }
 
-    fn allocate(&mut self, _now: f64, active: &[TaskView], p: f64) -> Vec<f64> {
-        let entries: Vec<(f64, f64)> = active.iter().map(|v| (1.0, v.delta)).collect();
-        wdeq_allocation(&entries, p)
-    }
-}
-
-/// Proportional weighted share clamped at `δᵢ`, **without** redistributing
-/// the clamped surplus. Wastes capacity whenever a cap binds.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct UncappedSharePolicy;
-
-impl OnlinePolicy for UncappedSharePolicy {
-    fn name(&self) -> &'static str {
-        "share-no-redistribution"
-    }
-
-    fn allocate(&mut self, _now: f64, active: &[TaskView], p: f64) -> Vec<f64> {
-        let w: f64 = active.iter().map(|v| v.weight).sum();
-        if w <= 0.0 {
-            return vec![0.0; active.len()];
-        }
-        active
-            .iter()
-            .map(|v| (v.weight * p / w).min(v.delta))
-            .collect()
-    }
-}
-
-/// Weight-priority list allocation: active tasks sorted by weight
-/// (descending, ties by id), each takes `min(δ, remaining capacity)`.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct PriorityPolicy;
-
-impl OnlinePolicy for PriorityPolicy {
-    fn name(&self) -> &'static str {
-        "priority"
-    }
-
-    fn allocate(&mut self, _now: f64, active: &[TaskView], p: f64) -> Vec<f64> {
-        let mut idx: Vec<usize> = (0..active.len()).collect();
-        idx.sort_by(|&a, &b| {
-            active[b]
-                .weight
-                .total_cmp(&active[a].weight)
-                .then(active[a].id.0.cmp(&active[b].id.0))
-        });
-        let mut rates = vec![0.0; active.len()];
-        let mut left = p;
-        for i in idx {
-            let r = active[i].delta.min(left);
-            rates[i] = r;
-            left -= r;
-            if left <= 0.0 {
-                break;
+            fn allocate(&mut self, _now: f64, active: &[TaskView], p: f64) -> Vec<f64> {
+                rule_rates(&$rule, active, p)
             }
         }
-        rates
-    }
+    };
+}
+
+rule_adapter! {
+    /// Algorithm 1 (WDEQ) as an online policy.
+    WdeqPolicy => WdeqRule
+}
+
+rule_adapter! {
+    /// DEQ: dynamic equipartition ignoring weights (all tasks count 1).
+    DeqPolicy => DeqRule
+}
+
+rule_adapter! {
+    /// Proportional weighted share clamped at `δᵢ`, **without**
+    /// redistributing the clamped surplus. Wastes capacity whenever a cap
+    /// binds.
+    UncappedSharePolicy => ShareNoRedistributionRule
+}
+
+rule_adapter! {
+    /// Weight-priority list allocation: active tasks sorted by weight
+    /// (descending, ties by id), each takes `min(δ, remaining capacity)`.
+    PriorityPolicy => PriorityRule
 }
 
 #[cfg(test)]
@@ -104,6 +83,7 @@ mod tests {
     use crate::engine::simulate;
     use malleable_core::algos::wdeq::wdeq_schedule;
     use malleable_core::instance::Instance;
+    use malleable_core::policy::rules::replay;
 
     fn inst() -> Instance {
         Instance::builder(4.0)
@@ -138,6 +118,33 @@ mod tests {
             r.schedule
                 .validate(&i)
                 .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        }
+    }
+
+    #[test]
+    fn every_adapter_agrees_with_its_core_replay() {
+        // The same rule, run online (engine hides volumes) and replayed
+        // clairvoyantly in core, must produce identical completion times —
+        // the structural proof that sim holds no algorithm logic of its
+        // own.
+        let i = inst();
+        for (mut online, rule) in [
+            (
+                Box::new(WdeqPolicy) as Box<dyn OnlinePolicy>,
+                Box::new(WdeqRule) as Box<dyn AllocationRule<f64>>,
+            ),
+            (Box::new(DeqPolicy), Box::new(DeqRule)),
+            (
+                Box::new(UncappedSharePolicy),
+                Box::new(ShareNoRedistributionRule),
+            ),
+            (Box::new(PriorityPolicy), Box::new(PriorityRule)),
+        ] {
+            let sim = simulate(&i, online.as_mut()).unwrap();
+            let core = replay(&i, rule.as_ref()).unwrap();
+            for (a, b) in sim.schedule.completions.iter().zip(&core.completions) {
+                assert!((a - b).abs() < 1e-9, "{}: {a} vs {b}", online.name());
+            }
         }
     }
 

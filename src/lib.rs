@@ -102,6 +102,7 @@ pub mod prelude {
     pub use malleable_core::algos::wdeq::{wdeq_certificate, wdeq_schedule};
     pub use malleable_core::bounds::{height_bound, squashed_area_bound};
     pub use malleable_core::instance::{Instance, Task, TaskId};
+    pub use malleable_core::policy::{self, PolicyRun, SchedulingPolicy};
     pub use malleable_core::schedule::column::ColumnSchedule;
     pub use malleable_core::schedule::convert::{column_to_step, step_to_column};
     pub use malleable_core::schedule::gantt::Gantt;
