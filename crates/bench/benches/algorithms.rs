@@ -72,6 +72,30 @@ fn bench_release_makespan(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parametric_lmax(c: &mut Criterion) {
+    // The parametric frontier search that replaced the 100-step
+    // bisection: typical convergence is a handful of cut iterations, so
+    // the solve should sit near a couple of feasibility probes' cost.
+    use malleable_core::algos::makespan::min_lmax;
+    let mut g = c.benchmark_group("lmax/parametric");
+    g.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let inst = generate(&Spec::PaperUniform { n }, 42);
+        let due: Vec<f64> = inst
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.volume / t.delta.min(inst.p)) * (0.2 + (i % 4) as f64 * 0.4))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&inst, &due),
+            |b, (inst, due)| b.iter(|| black_box(min_lmax(inst, due).unwrap().0)),
+        );
+    }
+    g.finish();
+}
+
 fn bench_greedy(c: &mut Criterion) {
     let mut g = c.benchmark_group("greedy");
     g.sample_size(20);
@@ -94,6 +118,7 @@ criterion_group!(
     bench_wdeq,
     bench_waterfill,
     bench_greedy,
-    bench_release_makespan
+    bench_release_makespan,
+    bench_parametric_lmax
 );
 criterion_main!(benches);

@@ -39,7 +39,7 @@ fn bench_theorem10_pipeline(c: &mut Criterion) {
     for n in [16usize, 64, 256] {
         let inst = generate(&Spec::IntegerUniform { n, p: 16 }, 11);
         let completions = wdeq_schedule(&inst).completions;
-        let tol = Tolerance::default().scaled(1.0 + n as f64);
+        let tol = Tolerance::for_instance(n);
         g.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(&inst, &completions),

@@ -264,7 +264,7 @@ impl BatchGrid {
                 .unwrap_or_else(|e| panic!("opt baseline failed on seed {seed}: {e}"))
                 .cost
         });
-        let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
+        let tol = Tolerance::for_instance(instance.n());
         resolved
             .iter()
             .map(|(name, rp)| {

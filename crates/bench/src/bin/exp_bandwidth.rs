@@ -103,7 +103,7 @@ fn main() {
             }
             // Offline clairvoyant baseline: greedy with Smith's order.
             let gs = greedy_schedule(&inst, &smith_order(&inst)).expect("greedy");
-            let cs = step_to_column(&gs, Tolerance::default().scaled(1.0 + n as f64));
+            let cs = step_to_column(&gs, Tolerance::for_instance(n));
             let rep = sc.report("offline", &cs, &inst, horizon);
             let ident = (rep.throughput - (horizon * total_rate - rep.weighted_completion)).abs()
                 / (1.0 + rep.throughput.abs());

@@ -73,7 +73,17 @@ fn main() {
         grid = grid.spec(spec);
     }
     let names: Vec<&str> = if smoke {
-        vec!["wdeq", "greedy-smith", "makespan"]
+        // The CI grid deliberately includes the two parametric policies:
+        // any `Unconverged` escape from the threshold search panics the
+        // sweep (BatchGrid asserts policy success), so a green smoke run
+        // doubles as the no-Unconverged assertion.
+        vec![
+            "wdeq",
+            "greedy-smith",
+            "makespan",
+            "makespan-parametric",
+            "lmax-parametric",
+        ]
     } else {
         policies.iter().map(String::as_str).collect()
     };
@@ -87,9 +97,18 @@ fn main() {
     );
     let records = grid.run();
 
-    // Soundness: nothing beats the combined lower bound, and every
-    // certificate holds.
+    // Soundness: nothing beats the combined lower bound, every
+    // certificate holds, and every record is a finite, converged result
+    // (an `Unconverged` parametric solve would already have panicked the
+    // grid; the finiteness check guards the aggregates on top).
     for r in &records {
+        assert!(
+            r.cost.is_finite() && r.makespan.is_finite(),
+            "{}/{} seed {}: non-finite record",
+            r.family,
+            r.policy,
+            r.seed
+        );
         assert!(
             r.bound_ratio >= 1.0 - 1e-6,
             "{}/{} seed {} beat the lower bound: {}",

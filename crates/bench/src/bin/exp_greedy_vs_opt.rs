@@ -49,10 +49,7 @@ fn main() {
             }
         })?;
         let step = greedy_schedule(inst, &order)?;
-        Ok(step_to_column(
-            &step,
-            Tolerance::default().scaled(1.0 + inst.n() as f64),
-        ))
+        Ok(step_to_column(&step, Tolerance::for_instance(inst.n())))
     });
 
     let mut table = Table::new(&[

@@ -29,7 +29,6 @@ use malleable_core::schedule::column::ColumnSchedule;
 use malleable_core::ScheduleError;
 use malleable_opt::brute::optimal_schedule;
 use malleable_workloads::{generate, seed_batch, Spec};
-use numkit::Tolerance;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -172,7 +171,6 @@ fn main() {
     // ---- Lmax solver (Table I row: Lmax polynomial). ----
     println!("\nLmax solver against randomized due dates (optimality by ε-probe):");
     let mut t2 = Table::new(&["n", "instances", "max ε-gap", "probe failures"]);
-    let tol = Tolerance::default();
     let mut t2_rows = Vec::new();
     for &n in &[4usize, 16, 64] {
         let seeds = seed_batch(0xE5_1 + n as u64, instances.min(200));
@@ -180,7 +178,7 @@ fn main() {
             let inst = generate(&Spec::PaperUniform { n }, seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xDD);
             let due: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..2.0)).collect();
-            let (l, cs) = min_lmax(&inst, &due, tol).expect("lmax");
+            let (l, cs) = min_lmax(&inst, &due).expect("lmax");
             cs.validate(&inst).expect("lmax schedule valid");
             // ε-probe: L − ε must be infeasible.
             let eps = 1e-4 * (1.0 + l.abs());

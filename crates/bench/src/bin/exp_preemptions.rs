@@ -65,7 +65,7 @@ fn main() {
         let seeds = seed_batch(0xE4_000 + n as u64, instances);
         let rows: Vec<Row> = par_map(seeds, |seed| {
             let inst = generate(&spec, seed);
-            let tol = Tolerance::default().scaled(1.0 + n as f64);
+            let tol = Tolerance::for_instance(n);
             let src = wdeq_schedule(&inst);
             let completions = src.completion_times().to_vec();
 

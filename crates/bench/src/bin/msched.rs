@@ -182,7 +182,7 @@ fn main() -> ExitCode {
     }
 
     if args.gantt || args.svg.is_some() {
-        let tol = Tolerance::default().scaled(1.0 + instance.n() as f64);
+        let tol = Tolerance::for_instance(instance.n());
         match column_to_gantt(&cs, &instance, tol) {
             Ok(g) => {
                 if args.gantt {

@@ -273,6 +273,24 @@ impl Scalar for Rational {
     fn is_negative(&self) -> bool {
         self.num.is_negative()
     }
+    /// Exact floor via integer division (the trait default rounds through
+    /// `f64`, which would be wrong for values like `3 − 2⁻²⁰⁰`).
+    fn floor_s(&self) -> Self {
+        let den = BigInt::from_biguint(self.den.clone());
+        let (q, r) = self.num.div_rem(&den);
+        // `div_rem` truncates toward zero; floor shifts negatives down.
+        if self.num.is_negative() && !r.is_zero() {
+            Rational {
+                num: q - BigInt::one(),
+                den: BigUint::one(),
+            }
+        } else {
+            Rational {
+                num: q,
+                den: BigUint::one(),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +311,21 @@ mod tests {
         assert_eq!(r(3, 2).to_string(), "3/2");
         assert_eq!(r(-3, 2).to_string(), "-3/2");
         assert_eq!(r(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn floor_ceil_round_are_exact() {
+        assert_eq!(Scalar::floor_s(&r(7, 2)), Rational::from_int(3));
+        assert_eq!(Scalar::ceil_s(&r(7, 2)), Rational::from_int(4));
+        assert_eq!(Scalar::round_s(&r(7, 2)), Rational::from_int(4));
+        assert_eq!(Scalar::floor_s(&r(-7, 2)), Rational::from_int(-4));
+        assert_eq!(Scalar::ceil_s(&r(-7, 2)), Rational::from_int(-3));
+        assert_eq!(Scalar::floor_s(&r(6, 2)), Rational::from_int(3));
+        // A value f64 cannot tell apart from 3 still floors to 2.
+        let tiny = Rational::from_parts(BigInt::one(), BigUint::one().shl_bits(200));
+        let just_below = Rational::from_int(3) - tiny;
+        assert_eq!(Scalar::floor_s(&just_below), Rational::from_int(2));
+        assert_eq!(Scalar::ceil_s(&just_below), Rational::from_int(3));
     }
 
     #[test]

@@ -88,6 +88,28 @@ impl<S: Scalar> FlowNetwork<S> {
         self.edges[id].flow.clone()
     }
 
+    /// The source side of a minimum cut after [`FlowNetwork::max_flow`] has
+    /// run: `result[v]` is `true` iff `v` is reachable from `s` in the
+    /// residual network. By max-flow/min-cut the edges leaving this set
+    /// form a minimum cut, which is exactly the infeasibility certificate
+    /// the parametric schedulers extract (the violated task set of a
+    /// transportation network that failed to saturate).
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        seen[s] = true;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &eid in &self.adj[u] {
+                let to = self.edges[eid].to;
+                if !seen[to] && self.residual(eid) > self.eps {
+                    seen[to] = true;
+                    q.push_back(to);
+                }
+            }
+        }
+        seen
+    }
+
     fn residual(&self, id: usize) -> S {
         self.edges[id].cap.clone() - self.edges[id].flow.clone()
     }
@@ -263,6 +285,18 @@ mod tests {
         h.add_edge(1, 3, q(1.0));
         h.add_edge(2, 3, q(0.5));
         assert_eq!(h.max_flow(0, 3), q(0.3) + q(0.5));
+    }
+
+    #[test]
+    fn min_cut_side_matches_bottleneck() {
+        // s→a (10), a→b (1), b→t (10): the bottleneck is a→b, so the
+        // source side of the min cut is exactly {s, a}.
+        let mut g = FlowNetwork::new(4, 1e-12);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 10.0);
+        assert!(close(g.max_flow(0, 3), 1.0));
+        assert_eq!(g.min_cut_source_side(0), vec![true, true, false, false]);
     }
 
     #[test]

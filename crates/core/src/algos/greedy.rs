@@ -194,7 +194,7 @@ pub fn greedy_schedule<S: Scalar>(
             reason: format!("order is not a permutation of 0..{}", instance.n()),
         });
     }
-    let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+    let tol = Tolerance::<S>::for_instance(instance.n());
     let mut profile = AvailProfile::new(instance.p.clone());
     let mut out = StepSchedule::empty(instance.p.clone(), instance.n());
     for &id in order {

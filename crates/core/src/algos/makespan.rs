@@ -10,21 +10,23 @@
 //!   malleable tasks (pour every task at constant rate over `[0, C*]`),
 //!   so it is the optimum.
 //! * [`min_lmax`] — minimal `maxᵢ (Cᵢ − dᵢ)` for due dates `dᵢ`, by
-//!   bisection over `L` with Water-Filling feasibility of the completion
-//!   vector `(dᵢ + L)` as the oracle (Theorem 8 makes WF a complete
-//!   feasibility test).
+//!   **parametric search** over the Water-Filling feasibility frontier
+//!   (Theorem 8 makes WF a complete feasibility test; the min-cut Newton
+//!   iteration of [`crate::algos::parametric`] walks the piecewise-linear
+//!   frontier to its exact root).
 //!
-//! Both are generic over the scalar. `optimal_makespan` is a closed form,
-//! so its exact instantiation is the exact optimum; `min_lmax` bisects, so
-//! exactness applies to each feasibility verdict while the bracket width is
-//! governed by the iteration budget.
+//! Both are generic over the scalar, and both return *exact* optima in
+//! exact arithmetic: `optimal_makespan` is a closed form, and `min_lmax`
+//! terminates combinatorially at the frontier root — there is no
+//! bisection bracket or iteration budget in the contract.
 
+use crate::algos::parametric::min_lmax_value;
 use crate::algos::waterfill::{water_filling, wf_feasible};
 use crate::algos::waterfill_fast::wf_feasible_grouped;
 use crate::error::ScheduleError;
 use crate::instance::Instance;
 use crate::schedule::column::ColumnSchedule;
-use numkit::{Scalar, Tolerance};
+use numkit::Scalar;
 
 /// The optimal makespan `C* = max(ΣVᵢ/P, maxᵢ Vᵢ/min(δᵢ, P))`.
 ///
@@ -69,9 +71,16 @@ pub fn deadlines_feasible<S: Scalar>(instance: &Instance<S>, deadlines: &[S]) ->
 }
 
 /// Minimize the maximum lateness `Lmax = maxᵢ (Cᵢ − dᵢ)` against due dates
-/// `due`, with all release dates zero. Returns the optimal `L` (within
-/// `tol`, subject to the 100-step bisection budget) and a witnessing
+/// `due`, with all release dates zero. Returns the **exact** optimal `L`
+/// (the root of the piecewise-linear feasibility frontier — exact on
+/// exact scalars, machine-precision on `f64`) and a witnessing
 /// Water-Filling schedule.
+///
+/// The search starts at the per-task height bound `maxᵢ (hᵢ − dᵢ)` and
+/// jumps along violated-set constraint roots (see
+/// [`crate::algos::parametric`]); it never returns an unconverged
+/// bracket — a pathological float knife-edge surfaces as
+/// [`ScheduleError::Unconverged`] instead.
 ///
 /// # Errors
 /// [`ScheduleError::LengthMismatch`]/[`ScheduleError::InvalidTime`] on
@@ -80,7 +89,6 @@ pub fn deadlines_feasible<S: Scalar>(instance: &Instance<S>, deadlines: &[S]) ->
 pub fn min_lmax<S: Scalar>(
     instance: &Instance<S>,
     due: &[S],
-    tol: Tolerance<S>,
 ) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
     instance.validate()?;
     if due.len() != instance.n() {
@@ -102,8 +110,9 @@ pub fn min_lmax<S: Scalar>(
         // No tasks: lateness is vacuously zero.
         return Ok((S::zero(), water_filling(instance, &[])?));
     }
-    // Completion times must be ≥ 0, so effective deadline is max(d + L, h).
-    let completions = |l: S| -> Vec<S> {
+    // The search never probes below the height bound, so d + L ≥ h ≥ 0
+    // always; the clamp only absorbs f64 rounding at the bound itself.
+    let completions = |l: &S| -> Vec<S> {
         instance
             .tasks
             .iter()
@@ -114,45 +123,11 @@ pub fn min_lmax<S: Scalar>(
             })
             .collect()
     };
-    // Individual-height bound gives a lower bracket; the makespan bound an
-    // upper one (with common finish C* + max tardiness slack).
-    let mut lo = instance
-        .tasks
-        .iter()
-        .zip(due)
-        .map(|(t, d)| t.volume.clone() / t.delta.clone().min_of(instance.p.clone()) - d.clone())
-        .reduce(S::max_of)
-        .expect("instance has at least one task");
-    let cstar = optimal_makespan(instance);
-    let hi = due
-        .iter()
-        .map(|d| cstar.clone() - d.clone())
-        .reduce(S::max_of)
-        .expect("instance has at least one task");
-    let mut hi = hi.max_of(lo.clone());
-    debug_assert!(
-        deadlines_feasible(instance, &completions(hi.clone())),
-        "upper bracket must be feasible"
-    );
-    if deadlines_feasible(instance, &completions(lo.clone())) {
-        let cs = water_filling(instance, &completions(lo.clone()))?;
-        return Ok((lo, cs));
-    }
-    // Bisection on L (feasibility is monotone in L).
-    let half = S::from_f64(0.5);
-    for _ in 0..100 {
-        let mid = half.clone() * (lo.clone() + hi.clone());
-        if deadlines_feasible(instance, &completions(mid.clone())) {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-        if hi.clone() - lo.clone() <= tol.slack(hi.clone(), lo.clone()) {
-            break;
-        }
-    }
-    let cs = water_filling(instance, &completions(hi.clone()))?;
-    Ok((hi, cs))
+    let outcome = min_lmax_value(instance, due, |l| {
+        Ok(deadlines_feasible(instance, &completions(l)))
+    })?;
+    let cs = water_filling(instance, &completions(&outcome.value))?;
+    Ok((outcome.value, cs))
 }
 
 #[cfg(test)]
@@ -217,15 +192,15 @@ mod tests {
 
     #[test]
     fn lmax_zero_due_dates_equals_per_task_makespan() {
-        // With all due dates 0, Lmax = ... completion of the last task; the
-        // optimal common completion is C*.
+        // With all due dates 0, the optimal common completion is C* — and
+        // the parametric search returns it exactly.
         let inst = Instance::builder(2.0)
             .tasks([(2.0, 1.0, 1.0), (2.0, 1.0, 2.0)])
             .build()
             .unwrap();
-        let (l, cs) = min_lmax(&inst, &[0.0, 0.0], Tolerance::default()).unwrap();
+        let (l, cs) = min_lmax(&inst, &[0.0, 0.0]).unwrap();
         cs.validate(&inst).unwrap();
-        assert!((l - optimal_makespan(&inst)).abs() < 1e-6);
+        assert_eq!(l, optimal_makespan(&inst));
     }
 
     #[test]
@@ -236,34 +211,101 @@ mod tests {
             .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
             .build()
             .unwrap();
-        let (l, cs) = min_lmax(&inst, &[1.0, 2.0], Tolerance::default()).unwrap();
+        let (l, cs) = min_lmax(&inst, &[1.0, 2.0]).unwrap();
         cs.validate(&inst).unwrap();
-        assert!(l <= 1e-6, "expected non-positive lateness, got {l}");
+        assert_eq!(l, 0.0, "expected exactly zero lateness");
     }
 
     #[test]
     fn lmax_can_be_negative() {
-        // Plenty of slack: tasks finish before generous due dates.
+        // Plenty of slack: the task finishes at its height 0.25, a full
+        // 9.75 before its due date — exactly.
         let inst = Instance::builder(4.0).task(1.0, 1.0, 4.0).build().unwrap();
-        let (l, _) = min_lmax(&inst, &[10.0], Tolerance::default()).unwrap();
-        assert!(l < -9.0, "expected ≈ −9.75, got {l}");
+        let (l, _) = min_lmax(&inst, &[10.0]).unwrap();
+        assert_eq!(l, -9.75);
     }
 
     #[test]
     fn lmax_tight_instance_matches_hand_computation() {
-        // P=1, two unit tasks δ=1, due dates 1 and 1: one must be late by 1.
+        // P=1, two unit tasks δ=1, due dates 1 and 1: one must be late by
+        // exactly 1 (one cut iteration from the height bound L = 0).
         let inst = Instance::builder(1.0)
             .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
             .build()
             .unwrap();
-        let (l, _) = min_lmax(&inst, &[1.0, 1.0], Tolerance::default()).unwrap();
-        assert!((l - 1.0).abs() < 1e-6, "expected 1, got {l}");
+        let (l, _) = min_lmax(&inst, &[1.0, 1.0]).unwrap();
+        assert_eq!(l, 1.0);
+    }
+
+    #[test]
+    fn lmax_adversarially_tight_staircase_is_exact() {
+        // Regression for the deleted bisection budget: P = 1, unit tasks
+        // due at i/3 — the optimum L* = n − (n−1)/3 sits off the dyadic
+        // grid, so a bisection bracket could only approach it. The
+        // parametric search must land on it exactly (f64: to the last
+        // ulp of the closed form; Rational: identically), with no
+        // `Unconverged` escape.
+        let n = 7usize;
+        let due_f: Vec<f64> = (0..n).map(|i| i as f64 / 3.0).collect();
+        let inst = Instance::builder(1.0)
+            .tasks((0..n).map(|_| (1.0, 1.0, 1.0)))
+            .build()
+            .unwrap();
+        let (l, cs) = min_lmax(&inst, &due_f).unwrap();
+        cs.validate(&inst).unwrap();
+        let expect = n as f64 - (n as f64 - 1.0) / 3.0;
+        assert!((l - expect).abs() < 1e-12, "f64: {l} vs {expect}");
+
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let exact = Instance::<Rational>::builder(q(1.0))
+            .tasks((0..n).map(|_| (q(1.0), q(1.0), q(1.0))))
+            .build()
+            .unwrap();
+        let due_r: Vec<Rational> = (0..n).map(|i| Rational::new(i as i64, 3)).collect();
+        let (lr, csr) = min_lmax(&exact, &due_r).unwrap();
+        csr.validate(&exact).unwrap(); // zero tolerance
+        assert_eq!(lr, Rational::new(7 * 3 - 6, 3), "exact optimum is 5");
+    }
+
+    #[test]
+    fn exact_lmax_requires_a_cut_iteration_and_is_exact() {
+        // P = 1, dues 0 and 1/3: the height bound L = 1 is infeasible, one
+        // violated-set jump lands on L* = 5/3 exactly.
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(1.0))
+            .tasks([(q(1.0), q(1.0), q(1.0)), (q(1.0), q(1.0), q(1.0))])
+            .build()
+            .unwrap();
+        let due = [Rational::from_int(0), Rational::new(1, 3)];
+        let (l, cs) = min_lmax(&inst, &due).unwrap();
+        cs.validate(&inst).unwrap();
+        assert_eq!(l, Rational::new(5, 3));
+        // Optimality certificate: any smaller L is infeasible, exactly.
+        let eps = Rational::new(1, 1_000_000);
+        let probe: Vec<Rational> = due
+            .iter()
+            .map(|d| d.clone() + l.clone() - eps.clone())
+            .collect();
+        assert!(!wf_feasible(&inst, &probe));
     }
 
     #[test]
     fn lmax_rejects_bad_input() {
         let inst = Instance::builder(1.0).task(1.0, 1.0, 1.0).build().unwrap();
-        assert!(min_lmax(&inst, &[1.0, 2.0], Tolerance::default()).is_err());
-        assert!(min_lmax(&inst, &[f64::NAN], Tolerance::default()).is_err());
+        assert!(min_lmax(&inst, &[1.0, 2.0]).is_err());
+        assert!(min_lmax(&inst, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn lmax_empty_instance_is_trivially_zero() {
+        // n = 0: lateness is vacuously zero and the witness is the empty
+        // schedule — no NaN, no panic, no search.
+        let inst = Instance::new(2.0, vec![]).unwrap();
+        let (l, cs) = min_lmax(&inst, &[]).unwrap();
+        assert_eq!(l, 0.0);
+        assert!(cs.completions.is_empty());
+        cs.validate(&inst).unwrap();
     }
 }

@@ -7,11 +7,13 @@
 //! | [`greedy`] | Algorithm 3 — **Greedy(σ)** schedules (Section V) |
 //! | [`orders`] | Task orderings: Smith's rule and friends |
 //! | [`makespan`] | `Cmax`/`Lmax` solvers built on Water-Filling feasibility (Table I context) |
+//! | [`parametric`] | Exact threshold search over the feasibility frontier (min-cut Newton iteration) |
 
 pub mod flow;
 pub mod greedy;
 pub mod makespan;
 pub mod orders;
+pub mod parametric;
 pub mod releases;
 pub mod waterfill;
 pub mod waterfill_fast;

@@ -1,0 +1,514 @@
+//! **Parametric threshold search** over the Water-Filling feasibility
+//! frontier — the engine that makes `min_lmax` and
+//! `makespan_with_releases` return *exact* optima instead of bisection
+//! brackets.
+//!
+//! Both solvers minimize a scalar parameter `λ` subject to a monotone
+//! feasibility predicate:
+//!
+//! * `min_lmax`: deadlines `Dᵢ(λ) = dᵢ + λ` must be Water-Filling
+//!   feasible (Theorem 8);
+//! * `makespan_with_releases`: the common deadline `λ` must be reachable
+//!   by the release-date transportation problem.
+//!
+//! Feasibility of either problem is a transportation question, and by
+//! max-flow/min-cut it fails iff some **task set `T` is violated**:
+//!
+//! ```text
+//! V(T)  >  cap_T(λ)  =  ∫₀^∞ min(P, Σ_{i∈T available at t} δ̂ᵢ) dt
+//! ```
+//!
+//! with `δ̂ᵢ = min(δᵢ, P)`. The key structural fact exploited here: once
+//! `λ` is at or above the trivial per-task lower bounds (so every
+//! deadline exceeds its task's height, resp. the deadline exceeds every
+//! release), `cap_T(λ)` is **affine in `λ`** with slope
+//! `min(P, Σ_{i∈T} δ̂ᵢ) > 0` — the occupancy breakpoints (deadline order,
+//! release order) stop moving relative to each other. So the minimal `λ`
+//! satisfying a violated set's constraint has a closed form, and the
+//! search is a Newton/Dinkelbach iteration on the piecewise-linear
+//! frontier:
+//!
+//! 1. start at the largest trivial lower bound (itself the root of a
+//!    singleton or whole-set constraint, hence `≤ λ*`);
+//! 2. if feasible, stop — the current `λ` is both feasible and a valid
+//!    lower bound, hence exactly optimal;
+//! 3. otherwise extract a violated set `T` from the min cut of the failed
+//!    transportation flow, jump to the root of `T`'s constraint
+//!    (`≤ λ*`, and strictly above the current `λ`), and repeat.
+//!
+//! Each violated set is visited at most once (after its root, its
+//! constraint holds forever by monotonicity), so the loop terminates
+//! combinatorially — **there is no iteration-budget bracket**. On exact
+//! scalars every verdict, cut and root is exact, so the returned optimum
+//! is the true optimum; on `f64` the same code path runs at machine
+//! tolerance, with a slack-sized nudge guarding against knife-edge
+//! stalls. A generous safety cap turns a pathological float cycle into an
+//! explicit [`ScheduleError::Unconverged`] instead of a silent bracket —
+//! the tests assert it never fires.
+
+use crate::algos::flow::FlowNetwork;
+use crate::error::ScheduleError;
+use crate::instance::Instance;
+use numkit::{Scalar, Tolerance};
+
+/// A violated task set extracted from an infeasible transportation flow:
+/// `volume > capacity` certifies infeasibility, and the members let the
+/// caller compute the exact parameter value at which the constraint
+/// becomes satisfiable.
+#[derive(Debug, Clone)]
+pub struct ViolatedSet<S> {
+    /// Task indices on the source side of the min cut.
+    pub tasks: Vec<usize>,
+    /// `Σ_{i∈T} Vᵢ`.
+    pub volume: S,
+    /// `cap_T` at the probed parameter value (for diagnostics).
+    pub capacity: S,
+}
+
+/// Feasibility of per-task `deadlines` under per-task `releases` as a
+/// transportation problem, with min-cut certificate extraction on
+/// failure. Returns `Ok(None)` when the flow saturates (feasible) and
+/// `Ok(Some(set))` with the violated task set otherwise.
+///
+/// Inputs are assumed pre-validated by the callers (`min_lmax` /
+/// `makespan_with_releases` validate the instance and vectors first);
+/// deadlines must be positive and at least `rᵢ + hᵢ` for every task —
+/// both solvers guarantee this by starting at the trivial lower bounds.
+pub(crate) fn violated_set<S: Scalar>(
+    instance: &Instance<S>,
+    releases: Option<&[S]>,
+    deadlines: &[S],
+) -> Result<Option<ViolatedSet<S>>, ScheduleError> {
+    let n = instance.n();
+    debug_assert_eq!(deadlines.len(), n);
+    let tol = Tolerance::<S>::for_instance(n);
+    let zero = S::zero();
+    let release = |i: usize| releases.map_or_else(S::zero, |r| r[i].clone());
+
+    // Interval boundaries: 0, every release strictly inside, every
+    // deadline.
+    let mut bounds: Vec<S> = Vec::with_capacity(2 * n + 1);
+    bounds.push(S::zero());
+    for (i, d) in deadlines.iter().enumerate() {
+        let r = release(i);
+        if r > zero {
+            bounds.push(r);
+        }
+        bounds.push(d.clone());
+    }
+    bounds.sort_by(S::total_cmp_s);
+    bounds.dedup_by(|a, b| tol.eq(a.clone(), b.clone()));
+    let intervals: Vec<(S, S)> = bounds
+        .windows(2)
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect();
+    let m = intervals.len();
+
+    // Nodes: tasks 0..n, intervals n..n+m, source, sink.
+    let s = n + m;
+    let t_ = n + m + 1;
+    // The flow's ε is a fraction of the comparison tolerance (zero for
+    // exact scalars — same convention as `releases::build_flow_schedule`).
+    let mut g = FlowNetwork::new(n + m + 2, tol.abs.clone() * S::from_f64(1e-3));
+    for (i, task) in instance.tasks.iter().enumerate() {
+        g.add_edge(s, i, task.volume.clone());
+        let cap = instance.effective_delta(crate::instance::TaskId(i));
+        let r = release(i);
+        for (j, (a, b)) in intervals.iter().enumerate() {
+            let released = r <= a.clone() + tol.abs.clone();
+            let before_deadline = *b <= deadlines[i].clone() + tol.abs.clone();
+            if released && before_deadline {
+                g.add_edge(i, n + j, cap.clone() * (b.clone() - a.clone()));
+            }
+        }
+    }
+    for (j, (a, b)) in intervals.iter().enumerate() {
+        g.add_edge(n + j, t_, instance.p.clone() * (b.clone() - a.clone()));
+    }
+
+    let flow = g.max_flow(s, t_);
+    let total_volume = instance.total_volume();
+    // Saturation slack: the unscaled base tolerance, matching the
+    // release-date solver's tight acceptance criterion (exactly zero for
+    // exact scalars).
+    let base = S::default_tolerance();
+    let sat_slack = base.rel * total_volume.clone() + base.abs * S::from_f64(1e-3);
+    if flow.clone() + sat_slack >= total_volume {
+        return Ok(None);
+    }
+
+    // Min-cut certificate: tasks reachable from the source in the
+    // residual network form a violated set T with V(T) > cap_T.
+    let side = g.min_cut_source_side(s);
+    let tasks: Vec<usize> = (0..n).filter(|&i| side[i]).collect();
+    let volume = S::sum(tasks.iter().map(|&i| instance.tasks[i].volume.clone()));
+    let capacity = set_capacity(instance, &tasks, releases, deadlines);
+    Ok(Some(ViolatedSet {
+        tasks,
+        volume,
+        capacity,
+    }))
+}
+
+/// `cap_T` — the machine capacity available to task set `T` under the
+/// given releases and deadlines:
+/// `∫ min(P, Σ_{i∈T: rᵢ ≤ t < Dᵢ} δ̂ᵢ) dt`, evaluated by sweeping the
+/// `2|T|` release/deadline events.
+pub(crate) fn set_capacity<S: Scalar>(
+    instance: &Instance<S>,
+    tasks: &[usize],
+    releases: Option<&[S]>,
+    deadlines: &[S],
+) -> S {
+    let release = |i: usize| releases.map_or_else(S::zero, |r| r[i].clone());
+    // Events: +δ̂ at release, −δ̂ at deadline.
+    let mut events: Vec<(S, S)> = Vec::with_capacity(2 * tasks.len());
+    for &i in tasks {
+        let cap = instance.effective_delta(crate::instance::TaskId(i));
+        events.push((release(i), cap.clone()));
+        events.push((deadlines[i].clone(), -cap));
+    }
+    events.sort_by(|a, b| a.0.total_cmp_s(&b.0));
+    let mut total = S::zero();
+    let mut active = S::zero();
+    let mut prev = S::zero();
+    for (at, delta) in events {
+        if at > prev {
+            total = total + (at.clone() - prev.clone()) * active.clone().min_of(instance.p.clone());
+            prev = at;
+        }
+        active = active + delta;
+    }
+    total
+}
+
+/// Minimal `λ` at which the violated set's constraint
+/// `V(T) ≤ cap_T(λ)` becomes satisfiable for the **Lmax** parametrization
+/// (deadlines `dᵢ + λ`, all releases zero). Requires `λ` at or above the
+/// height bounds so the deadline order is `λ`-independent; then
+///
+/// `cap_T(λ) = (d₍₁₎ + λ)·min(P, Δ₁) + Σ_{k≥2} (d₍ₖ₎ − d₍ₖ₋₁₎)·min(P, Δₖ)`
+///
+/// with `Δₖ` the suffix δ̂-sums in due-date order, and the root is the
+/// solution of one linear equation.
+fn lmax_constraint_root<S: Scalar>(instance: &Instance<S>, due: &[S], set: &ViolatedSet<S>) -> S {
+    debug_assert!(!set.tasks.is_empty());
+    let mut members: Vec<usize> = set.tasks.clone();
+    members.sort_by(|&a, &b| due[a].total_cmp_s(&due[b]).then(a.cmp(&b)));
+    let caps: Vec<S> = members
+        .iter()
+        .map(|&i| instance.effective_delta(crate::instance::TaskId(i)))
+        .collect();
+    // Suffix δ̂-sums: Δₖ = Σ_{j ≥ k} δ̂₍ⱼ₎.
+    let mut suffix = vec![S::zero(); members.len() + 1];
+    for k in (0..members.len()).rev() {
+        suffix[k] = suffix[k + 1].clone() + caps[k].clone();
+    }
+    // λ-independent part: capacity of the gaps between consecutive due
+    // dates.
+    let mut fixed = S::zero();
+    for k in 1..members.len() {
+        let gap = due[members[k]].clone() - due[members[k - 1]].clone();
+        fixed = fixed + gap * suffix[k].clone().min_of(instance.p.clone());
+    }
+    let slope = suffix[0].clone().min_of(instance.p.clone());
+    debug_assert!(slope.is_positive(), "δ̂ and P are positive by validation");
+    (set.volume.clone() - fixed) / slope - due[members[0]].clone()
+}
+
+/// Minimal common deadline `D` satisfying the violated set's constraint
+/// for the **release-date** parametrization. For `D` at or above every
+/// `rᵢ + hᵢ` the release order is fixed and
+///
+/// `cap_T(D) = Σₖ (r₍ₖ₊₁₎ − r₍ₖ₎)·min(P, prefix δ̂) + (D − r_max)·min(P, Σ δ̂)`,
+///
+/// again one linear equation.
+fn release_constraint_root<S: Scalar>(
+    instance: &Instance<S>,
+    releases: &[S],
+    set: &ViolatedSet<S>,
+) -> S {
+    debug_assert!(!set.tasks.is_empty());
+    let mut members: Vec<usize> = set.tasks.clone();
+    members.sort_by(|&a, &b| releases[a].total_cmp_s(&releases[b]).then(a.cmp(&b)));
+    let caps: Vec<S> = members
+        .iter()
+        .map(|&i| instance.effective_delta(crate::instance::TaskId(i)))
+        .collect();
+    // Capacity of the gaps between consecutive releases (prefix δ̂-sums).
+    let mut fixed = S::zero();
+    let mut prefix = S::zero();
+    for k in 0..members.len() - 1 {
+        prefix = prefix + caps[k].clone();
+        let gap = releases[members[k + 1]].clone() - releases[members[k]].clone();
+        fixed = fixed + gap * prefix.clone().min_of(instance.p.clone());
+    }
+    let slope = (prefix + caps[members.len() - 1].clone()).min_of(instance.p.clone());
+    debug_assert!(slope.is_positive(), "δ̂ and P are positive by validation");
+    let r_max = releases[members[members.len() - 1]].clone();
+    r_max + (set.volume.clone() - fixed) / slope
+}
+
+/// Outcome of one parametric search: the exact threshold plus how it was
+/// reached (exposed for tests and diagnostics).
+#[derive(Debug, Clone)]
+pub struct ParametricOutcome<S> {
+    /// The minimal feasible parameter value.
+    pub value: S,
+    /// Newton steps taken (0 = the trivial lower bound was already
+    /// feasible).
+    pub cut_iterations: usize,
+}
+
+/// How the search parametrizes deadlines.
+enum Parametrization<'a, S> {
+    /// `Dᵢ = dᵢ + λ`, releases all zero.
+    Lateness { due: &'a [S] },
+    /// Common deadline `λ`, per-task releases.
+    Releases { releases: &'a [S] },
+}
+
+/// One probe of the monotone feasibility oracle. Oracles that already
+/// ran the transportation flow attach the min-cut certificate so the
+/// search does not rebuild the network; cheap oracles (the grouped
+/// Water-Filling check) answer `Infeasible(None)` and the search
+/// extracts the cut itself.
+pub(crate) enum Probe<S> {
+    /// The probed parameter is feasible.
+    Feasible,
+    /// Infeasible, optionally with the violated set already in hand.
+    Infeasible(Option<ViolatedSet<S>>),
+}
+
+/// Shared Newton loop. `start` must be a valid lower bound on the optimum
+/// (the callers pass the max of the closed-form singleton/area bounds),
+/// and `probe` the monotone oracle the final answer must satisfy —
+/// Water-Filling for Lmax (so the witness construction cannot disagree
+/// with the verdict), the transportation flow itself for releases.
+fn parametric_search<S: Scalar>(
+    instance: &Instance<S>,
+    param: Parametrization<'_, S>,
+    start: S,
+    mut probe: impl FnMut(&S) -> Result<Probe<S>, ScheduleError>,
+    what: &'static str,
+) -> Result<ParametricOutcome<S>, ScheduleError> {
+    let n = instance.n();
+    let tol = Tolerance::<S>::for_instance(n);
+    let mut lambda = start;
+    // Termination is combinatorial (each violated set is visited at most
+    // once); the cap only exists to turn a float-knife-edge cycle into an
+    // explicit error. 16 sets per task plus slack is far beyond anything
+    // the tests (or adversarial instances) reach.
+    let max_iters = 16 * (n + 4);
+    for cut_iterations in 0..max_iters {
+        let cut = match probe(&lambda)? {
+            Probe::Feasible => {
+                return Ok(ParametricOutcome {
+                    value: lambda,
+                    cut_iterations,
+                })
+            }
+            Probe::Infeasible(cut) => cut,
+        };
+        // Oracles without their own flow hand back no cut: build the
+        // transportation network for the probed parameter and extract it.
+        let cut = match cut {
+            Some(set) => Some(set),
+            None => {
+                let deadlines: Vec<S> = match &param {
+                    Parametrization::Lateness { due } => {
+                        due.iter().map(|d| d.clone() + lambda.clone()).collect()
+                    }
+                    Parametrization::Releases { .. } => vec![lambda.clone(); n],
+                };
+                let releases = match &param {
+                    Parametrization::Lateness { .. } => None,
+                    Parametrization::Releases { releases } => Some(*releases),
+                };
+                violated_set(instance, releases, &deadlines)?
+            }
+        };
+        let next = match cut {
+            // An empty cut can only appear on an f64 knife-edge (the flow
+            // deficit sits inside Dinic's ε while the saturation check
+            // still rejects); the constraint roots need a non-empty set,
+            // so fall through to the slack-nudge instead.
+            Some(set) if !set.tasks.is_empty() => match &param {
+                Parametrization::Lateness { due } => lmax_constraint_root(instance, due, &set),
+                Parametrization::Releases { releases } => {
+                    release_constraint_root(instance, releases, &set)
+                }
+            },
+            // No (usable) cut: the flow saturates but the oracle still
+            // says infeasible — a float knife-edge (impossible on exact
+            // scalars, where both agree). Nudge by the comparison slack
+            // and re-test.
+            _ => lambda.clone() + tol.slack(lambda.clone(), S::one()),
+        };
+        // Exact scalars always make strict progress; floats may round the
+        // root back onto λ, in which case the slack-nudge keeps the search
+        // moving toward the oracle's acceptance band.
+        lambda = if next > lambda {
+            next
+        } else {
+            lambda.clone() + tol.slack(lambda.clone(), S::one())
+        };
+    }
+    Err(ScheduleError::Unconverged {
+        what,
+        iterations: max_iters,
+    })
+}
+
+/// Exact minimal `Lmax` parameter for due dates `due` (callers build the
+/// witness schedule from the returned value). Assumes a validated
+/// instance with `n ≥ 1` and finite due dates.
+pub(crate) fn min_lmax_value<S: Scalar>(
+    instance: &Instance<S>,
+    due: &[S],
+    mut feasible: impl FnMut(&S) -> Result<bool, ScheduleError>,
+) -> Result<ParametricOutcome<S>, ScheduleError> {
+    // Trivial lower bound: every task needs its height, so L ≥ hᵢ − dᵢ
+    // (the singleton constraints' roots). This also pins every probed
+    // deadline at ≥ hᵢ > 0, which makes cap_T affine from here on.
+    let start = instance
+        .tasks
+        .iter()
+        .zip(due)
+        .map(|(t, d)| t.volume.clone() / t.delta.clone().min_of(instance.p.clone()) - d.clone())
+        .reduce(S::max_of)
+        .expect("caller guarantees n ≥ 1");
+    parametric_search(
+        instance,
+        Parametrization::Lateness { due },
+        start,
+        |l| {
+            Ok(if feasible(l)? {
+                Probe::Feasible
+            } else {
+                Probe::Infeasible(None)
+            })
+        },
+        "parametric min-Lmax search",
+    )
+}
+
+/// Exact minimal common deadline under release dates (callers build the
+/// witness from the returned value). Assumes a validated instance with
+/// `n ≥ 1` and valid releases.
+pub(crate) fn min_release_makespan_value<S: Scalar>(
+    instance: &Instance<S>,
+    releases: &[S],
+    mut probe: impl FnMut(&S) -> Result<Probe<S>, ScheduleError>,
+) -> Result<ParametricOutcome<S>, ScheduleError> {
+    // Trivial lower bounds: no task finishes before rᵢ + hᵢ (singleton
+    // roots), and the machine cannot beat the area bound measured from
+    // the earliest release (the whole-set constraint when P binds).
+    let mut start = S::zero();
+    for (t, r) in instance.tasks.iter().zip(releases) {
+        let h = t.volume.clone() / t.delta.clone().min_of(instance.p.clone());
+        start = start.max_of(r.clone() + h);
+    }
+    let rmin = releases
+        .iter()
+        .cloned()
+        .reduce(S::min_of)
+        .expect("caller guarantees n ≥ 1");
+    start = start.max_of(rmin + instance.total_volume() / instance.p.clone());
+    parametric_search(
+        instance,
+        Parametrization::Releases { releases },
+        start,
+        &mut probe,
+        "parametric release-date Cmax search",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    #[test]
+    fn violated_set_certifies_infeasibility() {
+        // P = 1, two unit tasks due at 1: only half the volume fits.
+        let inst = Instance::builder(1.0)
+            .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        let set = violated_set(&inst, None, &[1.0, 1.0])
+            .unwrap()
+            .expect("infeasible");
+        assert_eq!(set.tasks, vec![0, 1]);
+        assert!(set.volume > set.capacity);
+        // Generous deadlines saturate.
+        assert!(violated_set(&inst, None, &[2.0, 2.0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn violated_set_finds_non_prefix_cuts() {
+        // P = 2: T0 is loose, T1 is δ-capped and alone infeasible — the
+        // violated set must be {1}, not a completion-order prefix.
+        let inst = Instance::builder(2.0)
+            .task(0.1, 1.0, 1.0)
+            .task(1.5, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let set = violated_set(&inst, None, &[0.9, 1.0])
+            .unwrap()
+            .expect("T1 cannot fit 1.5 at δ = 1 by t = 1");
+        assert_eq!(set.tasks, vec![1]);
+        assert!(set.volume > set.capacity);
+    }
+
+    #[test]
+    fn set_capacity_matches_hand_computation() {
+        // P = 2, δ̂ = (2, 1), deadlines (1, 2), no releases:
+        // [0,1]: min(2, 3) = 2; [1,2]: min(2, 1) = 1 ⇒ cap = 3.
+        let inst = Instance::builder(2.0)
+            .task(1.0, 1.0, 2.0)
+            .task(1.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let cap = set_capacity(&inst, &[0, 1], None, &[1.0, 2.0]);
+        assert!((cap - 3.0).abs() < 1e-12);
+        // With a release at 1 for T0: [0,1]: min(2,1) = 1 from T1 only —
+        // but T0's deadline is 1, so it contributes nothing; cap = 2.
+        let cap = set_capacity(&inst, &[0, 1], Some(&[1.0, 0.0]), &[1.0, 2.0]);
+        assert!((cap - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lmax_root_solves_the_affine_constraint() {
+        // P = 1, unit tasks due 0 and 1/4; the whole set needs
+        // (0 + λ)·1 + (1/4)·1 = 2 ⇒ λ = 7/4.
+        let inst = Instance::builder(1.0)
+            .tasks([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)])
+            .build()
+            .unwrap();
+        let set = ViolatedSet {
+            tasks: vec![0, 1],
+            volume: 2.0,
+            capacity: 0.0,
+        };
+        let root = lmax_constraint_root(&inst, &[0.0, 0.25], &set);
+        assert!((root - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_root_solves_the_affine_constraint() {
+        // P = 2, both tasks δ̂ = 2 released at 2, total volume 6:
+        // D = 2 + 6/2 = 5.
+        let inst = Instance::builder(2.0)
+            .tasks([(3.0, 1.0, 2.0), (3.0, 1.0, 2.0)])
+            .build()
+            .unwrap();
+        let set = ViolatedSet {
+            tasks: vec![0, 1],
+            volume: 6.0,
+            capacity: 0.0,
+        };
+        let root = release_constraint_root(&inst, &[2.0, 2.0], &set);
+        assert!((root - 5.0).abs() < 1e-12);
+    }
+}

@@ -6,26 +6,38 @@
 //! dates and `T`: interval `j` (length `lⱼ`) offers `P·lⱼ` machine
 //! capacity, and task `i` may use up to `δᵢ·lⱼ` of it iff `rᵢ ≤ startⱼ`.
 //! The deadline is feasible iff the max flow saturates all volumes. The
-//! optimal `Cmax` is found by bisection on `T`; the witnessing schedule
-//! falls out of the flow values (per-interval average rates, which is a
-//! valid `MWCT`-style fractional schedule by the Theorem-3 argument).
+//! optimal `Cmax` is the **exact root of the feasibility frontier**,
+//! found by the min-cut Newton iteration of [`crate::algos::parametric`];
+//! the witnessing schedule falls out of the flow values (per-interval
+//! average rates, which is a valid `MWCT`-style fractional schedule by
+//! the Theorem-3 argument).
 //!
 //! Generic over the scalar, like the rest of the algorithm stack: with an
 //! exact field every feasibility verdict is a certificate (the flow solver
-//! runs with `eps = 0`), while the bracket width of the bisected optimum
-//! is governed by the iteration budget — the same contract as
-//! [`crate::algos::makespan::min_lmax`].
+//! runs with `eps = 0`) **and the returned optimum is the exact optimum**
+//! — the same contract as [`crate::algos::makespan::min_lmax`], with no
+//! bisection bracket anywhere.
 
 use crate::algos::flow::FlowNetwork;
+use crate::algos::parametric::{min_release_makespan_value, set_capacity, Probe, ViolatedSet};
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::step::{Segment, StepSchedule};
-use numkit::Scalar;
+use numkit::{Scalar, Tolerance};
+
+/// Outcome of one transportation-flow probe: either a witness schedule
+/// (the deadline is feasible) or the min-cut violated set certifying
+/// infeasibility — extracted from the *same* Dinic run, so the
+/// parametric search pays one flow solve per probe.
+enum FlowOutcome<S> {
+    Witness(StepSchedule<S>),
+    Violated(ViolatedSet<S>),
+}
 
 /// Result of the release-date makespan solver.
 #[derive(Debug, Clone)]
 pub struct ReleaseSchedule<S = f64> {
-    /// Optimal makespan (within the bisection bracket).
+    /// The exact optimal makespan.
     pub cmax: S,
     /// A witnessing fractional schedule (constant rates per interval).
     pub schedule: StepSchedule<S>,
@@ -41,7 +53,10 @@ pub fn feasible_with_releases<S: Scalar>(
     releases: &[S],
     deadline: S,
 ) -> Result<bool, ScheduleError> {
-    Ok(build_flow_schedule(instance, releases, &deadline)?.is_some())
+    Ok(matches!(
+        build_flow_schedule(instance, releases, &deadline)?,
+        FlowOutcome::Witness(_)
+    ))
 }
 
 /// Minimal makespan under release dates, with a witnessing schedule.
@@ -70,48 +85,26 @@ pub fn makespan_with_releases<S: Scalar>(
             schedule: StepSchedule::empty(instance.p.clone(), 0),
         });
     }
-    let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
-
-    // Lower bracket: no task can finish before rᵢ + hᵢ, and the machine
-    // cannot beat the area bound measured from the earliest release.
-    let mut lo = S::zero();
-    for (t, r) in instance.tasks.iter().zip(releases) {
-        let h = t.volume.clone() / t.delta.clone().min_of(instance.p.clone());
-        lo = lo.max_of(r.clone() + h);
-    }
-    let rmin = releases
-        .iter()
-        .cloned()
-        .reduce(S::min_of)
-        .expect("instance has at least one task");
-    lo = lo.max_of(rmin + instance.total_volume() / instance.p.clone());
-    // Upper bracket: run everything after the last release at optimal Cmax.
-    let rmax = releases
-        .iter()
-        .cloned()
-        .reduce(S::max_of)
-        .expect("instance has at least one task");
-    let mut hi = rmax + crate::algos::makespan::optimal_makespan(instance);
-
-    if let Some(schedule) = build_flow_schedule(instance, releases, &lo)? {
-        return Ok(ReleaseSchedule { cmax: lo, schedule });
-    }
-    debug_assert!(build_flow_schedule(instance, releases, &hi)?.is_some());
-    let half = S::from_f64(0.5);
-    for _ in 0..100 {
-        let mid = half.clone() * (lo.clone() + hi.clone());
-        if build_flow_schedule(instance, releases, &mid)?.is_some() {
-            hi = mid;
-        } else {
-            lo = mid;
+    // Parametric search from the closed-form lower bounds (rᵢ + hᵢ and
+    // the area bound from the earliest release) along violated-set roots.
+    // The feasibility oracle is the transportation flow itself: one Dinic
+    // run per probe yields either the witness (cached for the accepted
+    // deadline) or the min-cut certificate the search jumps from.
+    let mut witness: Option<StepSchedule<S>> = None;
+    let outcome = min_release_makespan_value(instance, releases, |deadline| {
+        match build_flow_schedule(instance, releases, deadline)? {
+            FlowOutcome::Witness(w) => {
+                witness = Some(w);
+                Ok(Probe::Feasible)
+            }
+            FlowOutcome::Violated(set) => Ok(Probe::Infeasible(Some(set))),
         }
-        if hi.clone() - lo.clone() <= tol.slack(hi.clone(), lo.clone()) {
-            break;
-        }
-    }
-    let schedule =
-        build_flow_schedule(instance, releases, &hi)?.expect("upper bracket stays feasible");
-    Ok(ReleaseSchedule { cmax: hi, schedule })
+    })?;
+    let schedule = witness.expect("the parametric search accepted a feasible deadline");
+    Ok(ReleaseSchedule {
+        cmax: outcome.value,
+        schedule,
+    })
 }
 
 fn check_releases<S: Scalar>(instance: &Instance<S>, releases: &[S]) -> Result<(), ScheduleError> {
@@ -133,24 +126,36 @@ fn check_releases<S: Scalar>(instance: &Instance<S>, releases: &[S]) -> Result<(
     Ok(())
 }
 
-/// Build the transportation network for `deadline` and return the witness
-/// schedule when the flow saturates all volumes.
+/// Build the transportation network for `deadline`; return the witness
+/// schedule when the flow saturates all volumes and the min-cut violated
+/// set otherwise.
 fn build_flow_schedule<S: Scalar>(
     instance: &Instance<S>,
     releases: &[S],
     deadline: &S,
-) -> Result<Option<StepSchedule<S>>, ScheduleError> {
+) -> Result<FlowOutcome<S>, ScheduleError> {
     instance.validate()?;
     check_releases(instance, releases)?;
     let n = instance.n();
-    let tol = S::default_tolerance().scaled(1.0 + n as f64);
+    let tol = Tolerance::<S>::for_instance(n);
     let total_volume = instance.total_volume();
+    let violated = |tasks: Vec<usize>| {
+        let volume = S::sum(tasks.iter().map(|&i| instance.tasks[i].volume.clone()));
+        let deadlines = vec![deadline.clone(); n];
+        let capacity = set_capacity(instance, &tasks, Some(releases), &deadlines);
+        FlowOutcome::Violated(ViolatedSet {
+            tasks,
+            volume,
+            capacity,
+        })
+    };
 
-    // Quick rejection: someone released after (or too close to) T.
-    for (t, r) in instance.tasks.iter().zip(releases) {
+    // Quick rejection: someone released after (or too close to) T — a
+    // singleton violated set (its height does not fit before T).
+    for (i, (t, r)) in instance.tasks.iter().zip(releases).enumerate() {
         let h = t.volume.clone() / t.delta.clone().min_of(instance.p.clone());
         if r.clone() + h > deadline.clone() + tol.slack(deadline.clone(), S::zero()) {
-            return Ok(None);
+            return Ok(violated(vec![i]));
         }
     }
 
@@ -194,13 +199,16 @@ fn build_flow_schedule<S: Scalar>(
     let flow = g.max_flow(s, t_);
     // Saturation must be tight: the slack is the *unscaled* base tolerance
     // (relative part only, plus a vanishing absolute term — exactly zero
-    // for exact scalars). A looser comparison here lets the Cmax bisection
+    // for exact scalars). A looser comparison here lets the Cmax search
     // accept deadlines that are short by more than the witness snap below
     // can absorb, which surfaces as capacity excess in validation.
     let base = S::default_tolerance();
     let sat_slack = base.rel * total_volume.clone() + base.abs * S::from_f64(1e-3);
     if flow.clone() + sat_slack < total_volume {
-        return Ok(None);
+        // The min cut of the very Dinic run that failed is the violated
+        // set (tasks reachable from the source in the residual network).
+        let side = g.min_cut_source_side(s);
+        return Ok(violated((0..n).filter(|&i| side[i]).collect()));
     }
 
     // Extract the witness: constant rate per interval, then snap each
@@ -242,7 +250,7 @@ fn build_flow_schedule<S: Scalar>(
         }
         out.allocs[i] = segs;
     }
-    Ok(Some(out))
+    Ok(FlowOutcome::Witness(out))
 }
 
 #[cfg(test)]
@@ -257,16 +265,16 @@ mod tests {
             .unwrap();
         let r = makespan_with_releases(&inst, &[0.0, 0.0, 0.0]).unwrap();
         let plain = crate::algos::makespan::optimal_makespan(&inst);
-        assert!((r.cmax - plain).abs() < 1e-6, "{} vs {plain}", r.cmax);
+        assert_eq!(r.cmax, plain, "parametric solve is exact");
         r.schedule.validate(&inst).unwrap();
     }
 
     #[test]
     fn late_release_forces_waiting() {
-        // Single task released at 5 with height 2 ⇒ Cmax = 7.
+        // Single task released at 5 with height 2 ⇒ Cmax = 7, exactly.
         let inst = Instance::builder(2.0).task(4.0, 1.0, 2.0).build().unwrap();
         let r = makespan_with_releases(&inst, &[5.0]).unwrap();
-        assert!((r.cmax - 7.0).abs() < 1e-6);
+        assert_eq!(r.cmax, 7.0);
         // No allocation before the release.
         assert!(r.schedule.allocs[0][0].start >= 5.0 - 1e-9);
     }
@@ -281,7 +289,7 @@ mod tests {
             .build()
             .unwrap();
         let r = makespan_with_releases(&inst, &[0.0, 0.5]).unwrap();
-        assert!((r.cmax - 2.0).abs() < 1e-6, "got {}", r.cmax);
+        assert_eq!(r.cmax, 2.0);
         r.schedule.validate(&inst).unwrap();
     }
 
@@ -293,7 +301,37 @@ mod tests {
             .build()
             .unwrap();
         let r = makespan_with_releases(&inst, &[0.0, 10.0]).unwrap();
-        assert!((r.cmax - 12.0).abs() < 1e-6, "got {}", r.cmax);
+        assert_eq!(r.cmax, 12.0);
+    }
+
+    #[test]
+    fn cut_iteration_lands_on_the_exact_optimum() {
+        // Two δ-capped tasks released together at 2 are the critical set:
+        // the trivial bounds say 3.5, the {T1, T2} cut forces
+        // Cmax = 2 + 6/2 = 5 — one Newton jump, exact in both fields.
+        let inst = Instance::builder(2.0)
+            .tasks([(0.5, 1.0, 2.0), (3.0, 1.0, 2.0), (3.0, 1.0, 2.0)])
+            .build()
+            .unwrap();
+        let releases = [0.0, 2.0, 2.0];
+        let r = makespan_with_releases(&inst, &releases).unwrap();
+        assert_eq!(r.cmax, 5.0);
+        r.schedule.validate(&inst).unwrap();
+
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let exact = Instance::<Rational>::builder(q(2.0))
+            .tasks([
+                (q(0.5), q(1.0), q(2.0)),
+                (q(3.0), q(1.0), q(2.0)),
+                (q(3.0), q(1.0), q(2.0)),
+            ])
+            .build()
+            .unwrap();
+        let rr = makespan_with_releases(&exact, &[q(0.0), q(2.0), q(2.0)]).unwrap();
+        assert_eq!(rr.cmax, Rational::from_int(5));
+        rr.schedule.validate(&exact).unwrap(); // zero tolerance
+        assert!(!feasible_with_releases(&exact, &[q(0.0), q(2.0), q(2.0)], q(4.999)).unwrap());
     }
 
     #[test]
@@ -341,12 +379,12 @@ mod tests {
     }
 
     #[test]
-    fn exact_release_solve_is_exact_when_the_bracket_is_tight() {
+    fn exact_release_solve_is_exact_when_the_bound_is_tight() {
         use bigratio::Rational;
         let q = Rational::from_f64_exact;
-        // Height bound binds at the release: lo = 5 + 2 = 7 is feasible
-        // immediately, so the solver returns the exact optimum with no
-        // bisection — and the witness validates with zero tolerance.
+        // Height bound binds at the release: the start value 5 + 2 = 7 is
+        // feasible immediately (zero cut iterations) — and the witness
+        // validates with zero tolerance.
         let inst = Instance::<Rational>::builder(q(2.0))
             .task(q(4.0), q(1.0), q(2.0))
             .build()

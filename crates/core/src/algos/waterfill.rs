@@ -91,7 +91,7 @@ pub(crate) fn checked_completion_order<S: Scalar>(
             });
         }
     }
-    let tol = S::default_tolerance().scaled(1.0 + n as f64);
+    let tol = Tolerance::<S>::for_instance(n);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| completions[a].total_cmp_s(&completions[b]).then(a.cmp(&b)));
     Ok((order, tol))

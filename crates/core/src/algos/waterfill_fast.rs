@@ -4,7 +4,7 @@
 //! The full Algorithm-2 implementation records an allocation per
 //! (task, column) pair — Θ(n²) output in the worst case, which is wasted
 //! work when only *feasibility* of a completion-time vector is needed
-//! (deadline checks, `Lmax` bisection, `Cmax` probing). This variant
+//! (deadline checks, the parametric `Lmax` search, `Cmax` probing). This variant
 //! exploits Lemma 3's merging observation: after each pour, the raised
 //! columns form a single plateau, so the profile can be kept as **groups**
 //! of equal height. Each pour merges every group it covers into one, so

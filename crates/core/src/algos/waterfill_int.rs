@@ -15,19 +15,25 @@
 //! exactly the amortization behind Claim 1
 //! (`Nᵢ₊₁ + Mᵢ₊₁ ≤ Nᵢ + Mᵢ + 3`) and the `≤ 3n` preemption bound of
 //! Theorem 10.
+//!
+//! Generic over the scalar like the fractional algorithm: the `f64` path
+//! accepts `P`/`δ` that are integral up to the instance-scaled tolerance
+//! (values like `4.000000000000001` produced by upstream float arithmetic
+//! are snapped, not rejected), while an exact field demands — and
+//! delivers — exact integrality.
 
 use crate::algos::waterfill::pour_level;
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::step::{Segment, StepSchedule};
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 
 /// One flat piece of the occupancy staircase.
-#[derive(Debug, Clone, Copy)]
-struct Piece {
-    start: f64,
-    end: f64,
-    height: f64, // integer-valued
+#[derive(Debug, Clone)]
+struct Piece<S> {
+    start: S,
+    end: S,
+    height: S, // integer-valued
 }
 
 /// Integer Water-Filling: given integer `P` and integer caps `δᵢ`,
@@ -36,19 +42,24 @@ struct Piece {
 /// `completions[i]`, with at most ~3 allocation changes per task on
 /// average (Theorem 10).
 ///
+/// `P` and the effective caps only need to be integral *up to the
+/// instance-scaled tolerance* — near-integers coming out of upstream
+/// float arithmetic are snapped to the integer grid before the pour (for
+/// exact scalars the tolerance is zero, so integrality is exact).
+///
 /// # Errors
-/// * [`ScheduleError::InvalidInstance`] for fractional `P`/`δ` or
-///   malformed input;
+/// * [`ScheduleError::InvalidInstance`] for genuinely fractional `P`/`δ`
+///   or malformed input;
 /// * [`ScheduleError::InfeasibleCompletionTimes`] when no schedule with
 ///   these completion times exists (same feasibility frontier as the
 ///   fractional WF, Theorem 8).
-pub fn water_filling_integer(
-    instance: &Instance,
-    completions: &[f64],
-) -> Result<StepSchedule, ScheduleError> {
+pub fn water_filling_integer<S: Scalar>(
+    instance: &Instance<S>,
+    completions: &[S],
+) -> Result<StepSchedule<S>, ScheduleError> {
     instance.validate()?;
     let n = instance.n();
-    let tol = Tolerance::default().scaled(1.0 + n as f64);
+    let tol = Tolerance::<S>::for_instance(n);
     if completions.len() != n {
         return Err(ScheduleError::LengthMismatch {
             what: "completion times",
@@ -56,158 +67,197 @@ pub fn water_filling_integer(
             found: completions.len(),
         });
     }
-    for &c in completions {
-        if !c.is_finite() || c < 0.0 {
+    for c in completions {
+        if !c.is_finite() || c.is_negative() {
             return Err(ScheduleError::InvalidTime {
-                value: c,
+                value: c.to_f64(),
                 context: "integer water-filling completion times",
             });
         }
     }
-    let p = check_integral(instance.p, "P", tol)?;
+    let p = check_integral(&instance.p, "P", &tol)?;
     for (id, t) in instance.iter() {
         if t.delta <= instance.p {
-            check_integral(t.delta, "δ", tol)?;
+            check_integral(&t.delta, "δ", &tol)?;
         }
         let _ = id;
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| completions[a].total_cmp(&completions[b]).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| completions[a].total_cmp_s(&completions[b]).then(a.cmp(&b)));
 
-    let mut profile: Vec<Piece> = Vec::new(); // non-increasing staircase
-    let mut out = StepSchedule::empty(instance.p, n);
+    let mut profile: Vec<Piece<S>> = Vec::new(); // non-increasing staircase
+    let mut out = StepSchedule::empty(instance.p.clone(), n);
 
     for &ti in &order {
         let task = TaskId(ti);
-        let c_i = completions[ti];
-        let volume = instance.tasks[ti].volume;
-        let cap = instance.effective_delta(task);
+        let c_i = completions[ti].clone();
+        let volume = instance.tasks[ti].volume.clone();
+        // Snap the effective cap onto the integer grid too: the pour and
+        // the saturated-piece raises must stay integral even when the
+        // instance carries a near-integer δ.
+        let cap = check_integral(&instance.effective_delta(task), "δ", &tol)?;
 
         // Extend the staircase domain to C_i with empty occupancy.
-        let domain_end = profile.last().map_or(0.0, |s| s.end);
-        if c_i > domain_end + tol.abs {
+        let domain_end = profile.last().map_or_else(S::zero, |s| s.end.clone());
+        if c_i > domain_end.clone() + tol.abs.clone() {
             match profile.last_mut() {
-                Some(last) if last.height == 0.0 => last.end = c_i,
+                Some(last) if last.height.is_zero() => last.end = c_i.clone(),
                 _ => profile.push(Piece {
                     start: domain_end,
-                    end: c_i,
-                    height: 0.0,
+                    end: c_i.clone(),
+                    height: S::zero(),
                 }),
             }
         }
 
         // Fractional water level over the staircase pieces.
-        let heights: Vec<f64> = profile.iter().map(|s| s.height).collect();
-        let lengths: Vec<f64> = profile.iter().map(|s| s.end - s.start).collect();
-        let level =
-            pour_level(&heights, &lengths, &cap, &volume, &(p as f64), &tol).ok_or_else(|| {
-                let placeable: f64 = profile
-                    .iter()
-                    .map(|s| (s.end - s.start) * (p as f64 - s.height).clamp(0.0, cap))
-                    .sum();
-                ScheduleError::InfeasibleCompletionTimes {
-                    task,
-                    placeable,
-                    required: volume,
-                }
-            })?;
+        let heights: Vec<S> = profile.iter().map(|s| s.height.clone()).collect();
+        let lengths: Vec<S> = profile
+            .iter()
+            .map(|s| s.end.clone() - s.start.clone())
+            .collect();
+        let level = pour_level(&heights, &lengths, &cap, &volume, &p, &tol).ok_or_else(|| {
+            let placeable = S::sum(profile.iter().map(|s| {
+                (s.end.clone() - s.start.clone())
+                    * (p.clone() - s.height.clone()).clamp_to(S::zero(), cap.clone())
+            }));
+            ScheduleError::InfeasibleCompletionTimes {
+                task,
+                placeable: placeable.to_f64(),
+                required: volume.to_f64(),
+            }
+        })?;
+        // Levels that are integral up to tolerance are snapped so ⌊·⌋/⌈·⌉
+        // cannot flip on float noise (a no-op on exact scalars).
+        let level = snap_near_integer(level, &tol);
 
         // Classify pieces: A (untouched), B (flattened to ⌊h⌋/⌈h⌉),
         // C (saturated, +δ). B and C partition a suffix of the timeline
         // because the staircase is non-increasing.
-        let hi = level.ceil();
-        let lo = level.floor();
-        let is_b = |h: f64| h < level - tol.abs && h > level - cap - tol.abs;
-        let is_c = |h: f64| h <= level - cap - tol.abs;
+        let hi = level.ceil_s();
+        let lo = level.floor_s();
+        let is_b = |h: &S| {
+            *h < level.clone() - tol.abs.clone()
+                && *h > level.clone() - cap.clone() - tol.abs.clone()
+        };
+        let is_c = |h: &S| *h <= level.clone() - cap.clone() - tol.abs.clone();
         // Area that must land in B.
-        let c_len: f64 = profile
-            .iter()
-            .filter(|s| is_c(s.height))
-            .map(|s| s.end - s.start)
-            .sum();
-        let area_b = volume - cap * c_len;
+        let c_len = S::sum(
+            profile
+                .iter()
+                .filter(|s| is_c(&s.height))
+                .map(|s| s.end.clone() - s.start.clone()),
+        );
+        let area_b = volume.clone() - cap.clone() * c_len;
         // Split point: earliest part of B runs at ⌈h⌉.
         // area_b = Σ_B (lo − occ)·len + (s − b_start)  (one extra processor
         // on the prefix), valid because hi = lo + 1 when h is fractional.
-        let low_area: f64 = profile
-            .iter()
-            .filter(|s| is_b(s.height))
-            .map(|s| (s.end - s.start) * (lo - s.height))
-            .sum();
+        let low_area = S::sum(
+            profile
+                .iter()
+                .filter(|s| is_b(&s.height))
+                .map(|s| (s.end.clone() - s.start.clone()) * (lo.clone() - s.height.clone())),
+        );
         let mut extra = if hi > lo {
-            (area_b - low_area).max(0.0)
+            (area_b - low_area).max_of(S::zero())
         } else {
-            0.0
+            S::zero()
         };
 
         // Walk pieces, build the new staircase and the task's segments.
-        let mut new_profile: Vec<Piece> = Vec::with_capacity(profile.len() + 2);
-        let mut segs: Vec<Segment> = Vec::new();
+        let mut new_profile: Vec<Piece<S>> = Vec::with_capacity(profile.len() + 2);
+        let mut segs: Vec<Segment<S>> = Vec::new();
         for piece in &profile {
-            let len = piece.end - piece.start;
+            let len = piece.end.clone() - piece.start.clone();
             if len <= tol.abs {
                 continue;
             }
-            if is_c(piece.height) {
+            if is_c(&piece.height) {
                 push_piece(
                     &mut new_profile,
                     Piece {
-                        start: piece.start,
-                        end: piece.end,
-                        height: piece.height + cap,
+                        start: piece.start.clone(),
+                        end: piece.end.clone(),
+                        height: piece.height.clone() + cap.clone(),
                     },
-                    tol,
+                    &tol,
                 );
-                push_seg(&mut segs, piece.start, piece.end, cap, tol);
-            } else if is_b(piece.height) {
+                push_seg(
+                    &mut segs,
+                    piece.start.clone(),
+                    piece.end.clone(),
+                    cap.clone(),
+                    &tol,
+                );
+            } else if is_b(&piece.height) {
                 // Prefix at hi while `extra` lasts, then lo.
-                let take = extra.min(len);
+                let take = extra.clone().min_of(len.clone());
                 if take > tol.abs {
-                    let mid = piece.start + take;
+                    let mid = piece.start.clone() + take.clone();
                     push_piece(
                         &mut new_profile,
                         Piece {
-                            start: piece.start,
-                            end: mid,
-                            height: hi,
+                            start: piece.start.clone(),
+                            end: mid.clone(),
+                            height: hi.clone(),
                         },
-                        tol,
+                        &tol,
                     );
-                    push_seg(&mut segs, piece.start, mid, hi - piece.height, tol);
-                    if mid < piece.end - tol.abs {
+                    push_seg(
+                        &mut segs,
+                        piece.start.clone(),
+                        mid.clone(),
+                        hi.clone() - piece.height.clone(),
+                        &tol,
+                    );
+                    if mid < piece.end.clone() - tol.abs.clone() {
                         push_piece(
                             &mut new_profile,
                             Piece {
-                                start: mid,
-                                end: piece.end,
-                                height: lo,
+                                start: mid.clone(),
+                                end: piece.end.clone(),
+                                height: lo.clone(),
                             },
-                            tol,
+                            &tol,
                         );
-                        push_seg(&mut segs, mid, piece.end, lo - piece.height, tol);
+                        push_seg(
+                            &mut segs,
+                            mid,
+                            piece.end.clone(),
+                            lo.clone() - piece.height.clone(),
+                            &tol,
+                        );
                     }
-                    extra -= take;
+                    extra = extra - take;
                 } else {
                     push_piece(
                         &mut new_profile,
                         Piece {
-                            start: piece.start,
-                            end: piece.end,
-                            height: lo,
+                            start: piece.start.clone(),
+                            end: piece.end.clone(),
+                            height: lo.clone(),
                         },
-                        tol,
+                        &tol,
                     );
-                    push_seg(&mut segs, piece.start, piece.end, lo - piece.height, tol);
+                    push_seg(
+                        &mut segs,
+                        piece.start.clone(),
+                        piece.end.clone(),
+                        lo.clone() - piece.height.clone(),
+                        &tol,
+                    );
                 }
             } else {
-                push_piece(&mut new_profile, *piece, tol);
+                push_piece(&mut new_profile, piece.clone(), &tol);
             }
         }
         profile = new_profile;
         // Staircase invariant (the whole construction rests on it).
         debug_assert!(
-            profile.windows(2).all(|w| w[0].height >= w[1].height - 0.5),
+            profile
+                .windows(2)
+                .all(|w| w[0].height.clone() + S::from_f64(0.5) >= w[1].height),
             "integer staircase must be non-increasing: {profile:?}"
         );
         out.allocs[ti] = segs;
@@ -215,39 +265,61 @@ pub fn water_filling_integer(
     Ok(out)
 }
 
-fn check_integral(x: f64, what: &'static str, tol: Tolerance) -> Result<u64, ScheduleError> {
-    let r = x.round();
-    if !tol.eq(x, r) || r < 0.0 {
+/// Accept values integral up to the tolerance (rounding them onto the
+/// grid) and reject the rest. Exact scalars carry a zero tolerance, so
+/// only true integers pass.
+fn check_integral<S: Scalar>(
+    x: &S,
+    what: &'static str,
+    tol: &Tolerance<S>,
+) -> Result<S, ScheduleError> {
+    let r = x.round_s();
+    if !tol.eq(x.clone(), r.clone()) || r.is_negative() {
         return Err(ScheduleError::InvalidInstance {
-            reason: format!("integer water-filling requires integral {what}, got {x}"),
+            reason: format!(
+                "integer water-filling requires integral {what}, got {:?}",
+                x
+            ),
         });
     }
-    Ok(r as u64)
+    Ok(r)
 }
 
-fn push_piece(profile: &mut Vec<Piece>, piece: Piece, tol: Tolerance) {
-    if piece.end - piece.start <= tol.abs {
+/// Snap a value onto the integer grid when it is within tolerance of it.
+fn snap_near_integer<S: Scalar>(x: S, tol: &Tolerance<S>) -> S {
+    let r = x.round_s();
+    if tol.eq(x.clone(), r.clone()) {
+        r
+    } else {
+        x
+    }
+}
+
+fn push_piece<S: Scalar>(profile: &mut Vec<Piece<S>>, piece: Piece<S>, tol: &Tolerance<S>) {
+    if piece.end.clone() - piece.start.clone() <= tol.abs {
         return;
     }
     match profile.last_mut() {
-        Some(prev) if prev.height == piece.height && tol.eq(prev.end, piece.start) => {
+        Some(prev)
+            if prev.height == piece.height && tol.eq(prev.end.clone(), piece.start.clone()) =>
+        {
             prev.end = piece.end;
         }
         _ => profile.push(piece),
     }
 }
 
-fn push_seg(segs: &mut Vec<Segment>, start: f64, end: f64, procs: f64, tol: Tolerance) {
-    if end - start <= tol.abs || procs <= tol.abs {
+fn push_seg<S: Scalar>(segs: &mut Vec<Segment<S>>, start: S, end: S, procs: S, tol: &Tolerance<S>) {
+    if end.clone() - start.clone() <= tol.abs || procs <= tol.abs {
         return;
     }
     debug_assert!(
-        (procs - procs.round()).abs() < 1e-6,
-        "integer WF allocated fractional count {procs}"
+        (procs.to_f64() - procs.to_f64().round()).abs() < 1e-6,
+        "integer WF allocated fractional count {procs:?}"
     );
-    let procs = procs.round();
+    let procs = procs.round_s();
     match segs.last_mut() {
-        Some(prev) if prev.procs == procs && tol.eq(prev.end, start) => {
+        Some(prev) if prev.procs == procs && tol.eq(prev.end.clone(), start.clone()) => {
             prev.end = end;
         }
         _ => segs.push(Segment { start, end, procs }),
@@ -317,6 +389,26 @@ mod tests {
     }
 
     #[test]
+    fn near_integers_from_float_arithmetic_are_accepted() {
+        // Upstream arithmetic easily produces 2.9999999999999996-style
+        // caps (0.1 × 30) and the like; rejecting them with an exact
+        // integrality check would spuriously fail the Theorem-10 path.
+        // They are snapped within the instance-scaled tolerance instead.
+        let p = 4.0 + 1e-12;
+        let delta = (0.1f64 + 0.2) * 10.0; // 3.0000000000000004
+        assert_ne!(delta, 3.0, "the fixture must be off-grid");
+        let inst = Instance::builder(p)
+            .task(6.0, 1.0, delta)
+            .task(3.0, 1.0, 1.0 + 1e-13)
+            .build()
+            .unwrap();
+        let s = water_filling_integer(&inst, &[2.0, 3.0]).unwrap();
+        s.validate(&inst).unwrap();
+        // The pour ran on the snapped integer grid.
+        assert_eq!(s.allocs[0][0].procs, 3.0);
+    }
+
+    #[test]
     fn fractional_inputs_rejected() {
         let inst = Instance::builder(2.5).task(1.0, 1.0, 1.0).build().unwrap();
         assert!(matches!(
@@ -326,6 +418,33 @@ mod tests {
         let inst = Instance::builder(4.0).task(1.0, 1.0, 1.5).build().unwrap();
         assert!(matches!(
             water_filling_integer(&inst, &[1.0]),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_integer_water_filling_is_exact() {
+        // The generic construction at Rational: integral levels, exact
+        // volume conservation, zero-tolerance validation — and a truly
+        // fractional exact cap is rejected (the exact tolerance is zero).
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(4.0))
+            .task(q(3.0), q(1.0), q(2.0))
+            .task(q(5.0), q(1.0), q(4.0))
+            .build()
+            .unwrap();
+        let s = water_filling_integer(&inst, &[q(2.0), q(2.0)]).unwrap();
+        s.validate(&inst).unwrap(); // zero tolerance
+        assert_eq!(s.allocated_area(TaskId(0)), q(3.0));
+        assert_eq!(s.allocated_area(TaskId(1)), q(5.0));
+
+        let frac = Instance::<Rational>::builder(q(4.0))
+            .task(q(1.0), q(1.0), Rational::new(3, 2))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            water_filling_integer(&frac, &[q(1.0)]),
             Err(ScheduleError::InvalidInstance { .. })
         ));
     }

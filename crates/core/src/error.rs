@@ -76,6 +76,17 @@ pub enum ScheduleError {
         /// Where it appeared.
         context: &'static str,
     },
+    /// An iterative solver exhausted its iteration budget without reaching
+    /// its termination condition. The parametric threshold searches
+    /// terminate combinatorially (each cut is visited at most once), so
+    /// this surfaces only on pathological float knife-edges — it is an
+    /// explicit error, never a silently-unconverged result.
+    Unconverged {
+        /// Which solver gave up.
+        what: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -124,6 +135,9 @@ impl fmt::Display for ScheduleError {
             } => write!(f, "{what}: expected length {expected}, found {found}"),
             ScheduleError::InvalidTime { value, context } => {
                 write!(f, "invalid time {value} in {context}")
+            }
+            ScheduleError::Unconverged { what, iterations } => {
+                write!(f, "{what} did not converge within {iterations} iterations")
             }
         }
     }

@@ -28,6 +28,7 @@ pub use rules::{ActiveTask, AllocationRule};
 use crate::algos::greedy::{best_heuristic_greedy, greedy_schedule};
 use crate::algos::makespan::{makespan_schedule, min_lmax};
 use crate::algos::orders;
+use crate::algos::releases::makespan_with_releases;
 use crate::algos::waterfill::water_filling;
 use crate::algos::waterfill_fast::wf_feasible_grouped;
 use crate::algos::wdeq::{certificate_of, wdeq_run};
@@ -35,7 +36,7 @@ use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::column::ColumnSchedule;
 use crate::schedule::convert::step_to_column;
-use numkit::Scalar;
+use numkit::{Scalar, Tolerance};
 use std::fmt;
 
 /// What a policy is allowed to know about the tasks it schedules.
@@ -311,7 +312,7 @@ impl<S: Scalar> SchedulingPolicy<S> for GreedyPolicy {
     }
 
     fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
-        let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+        let tol = Tolerance::<S>::for_instance(instance.n());
         let step = greedy_schedule(instance, &self.order.order(instance))?;
         Ok(plain(step_to_column(&step, tol)))
     }
@@ -336,7 +337,7 @@ impl<S: Scalar> SchedulingPolicy<S> for BestHeuristicGreedy {
     }
 
     fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
-        let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+        let tol = Tolerance::<S>::for_instance(instance.n());
         let (_, order, _) = best_heuristic_greedy(instance)?;
         let step = greedy_schedule(instance, &order)?;
         Ok(plain(step_to_column(&step, tol)))
@@ -368,8 +369,9 @@ impl<S: Scalar> SchedulingPolicy<S> for MakespanOptimal {
 
 /// The `Lmax`-derived scheduler: every task is due at its own height
 /// `hᵢ = Vᵢ/min(δᵢ, P)` (its minimal running time) and the maximum
-/// lateness is minimized by Water-Filling bisection. Short tasks finish
-/// early; the uniform slack `L*` spreads the machine contention evenly.
+/// lateness is minimized exactly by the parametric Water-Filling search.
+/// Short tasks finish early; the uniform slack `L*` spreads the machine
+/// contention evenly.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LmaxHeightDue;
 
@@ -379,7 +381,7 @@ impl<S: Scalar> SchedulingPolicy<S> for LmaxHeightDue {
     }
 
     fn description(&self) -> &'static str {
-        "minimum max-lateness schedule against per-task height due dates"
+        "exact minimum max-lateness schedule against per-task height due dates"
     }
 
     fn clairvoyance(&self) -> Clairvoyance {
@@ -393,8 +395,77 @@ impl<S: Scalar> SchedulingPolicy<S> for LmaxHeightDue {
                 t.volume.clone() / t.delta.clone().min_of(instance.p.clone())
             })
             .collect();
-        let (_, schedule) = min_lmax(instance, &due, S::default_tolerance())?;
+        let (_, schedule) = min_lmax(instance, &due)?;
         Ok(plain(schedule))
+    }
+}
+
+/// Exact min-`Lmax` against **Smith-ratio due dates** `dᵢ = Vᵢ/wᵢ`
+/// (weightless tasks fall back to their height): heavier tasks are due
+/// earlier, so minimizing the worst lateness pushes priority work to the
+/// front while the parametric search keeps the optimum exact. Registered
+/// so the batch engine and `msched --policy` exercise the parametric
+/// `Lmax` path on every sweep.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LmaxParametric;
+
+impl<S: Scalar> SchedulingPolicy<S> for LmaxParametric {
+    fn name(&self) -> &'static str {
+        "lmax-parametric"
+    }
+
+    fn description(&self) -> &'static str {
+        "exact min-Lmax against Smith-ratio due dates (parametric frontier search)"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let due: Vec<S> = instance
+            .tasks
+            .iter()
+            .map(|t| {
+                if t.weight.is_positive() {
+                    t.volume.clone() / t.weight.clone()
+                } else {
+                    t.volume.clone() / t.delta.clone().min_of(instance.p.clone())
+                }
+            })
+            .collect();
+        let (_, schedule) = min_lmax(instance, &due)?;
+        Ok(plain(schedule))
+    }
+}
+
+/// The release-date `Cmax` solver run at zero releases: the exact optimal
+/// makespan reached through the transportation-flow frontier search (the
+/// same value as [`MakespanOptimal`]'s closed form, via the entirely
+/// different parametric machinery — keeping the two agreeing on every
+/// sweep is a standing cross-check). The flow witness may finish
+/// individual tasks before `C*`, so its `Σ wᵢCᵢ` can differ.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MakespanParametric;
+
+impl<S: Scalar> SchedulingPolicy<S> for MakespanParametric {
+    fn name(&self) -> &'static str {
+        "makespan-parametric"
+    }
+
+    fn description(&self) -> &'static str {
+        "exact Cmax via the release-date parametric flow search (zero releases)"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let releases = vec![S::zero(); instance.n()];
+        let r = makespan_with_releases(instance, &releases)?;
+        let tol = Tolerance::<S>::for_instance(instance.n());
+        Ok(plain(step_to_column(&r.schedule, tol)))
     }
 }
 
@@ -495,18 +566,47 @@ mod tests {
             let s = p
                 .schedule(&i)
                 .unwrap_or_else(|e| panic!("{} failed exactly: {e}", p.name()));
-            // lmax-height bisects: its completions are bracketed, not
-            // exact, so validate at the float-equivalent tolerance there
-            // and exactly everywhere else.
-            if p.name() == "lmax-height" {
-                let tol = numkit::Tolerance {
-                    abs: q(1e-9),
-                    rel: q(1e-9),
-                };
-                s.validate_with(&i, tol).unwrap();
-            } else {
-                s.validate(&i).unwrap();
-            }
+            // Every policy — the parametric Lmax/Cmax solvers included —
+            // now validates under the zero tolerance: there is no
+            // bisection bracket left anywhere in the registry.
+            s.validate(&i)
+                .unwrap_or_else(|e| panic!("{} not exact: {e}", p.name()));
         }
+    }
+
+    #[test]
+    fn parametric_makespan_agrees_with_the_closed_form() {
+        // Two entirely different derivations of C* — the closed-form
+        // two-term bound and the parametric flow search — must agree
+        // exactly, in both fields.
+        let i = inst();
+        let closed = crate::algos::makespan::optimal_makespan(&i);
+        let via_flow = SchedulingPolicy::<f64>::schedule(&MakespanParametric, &i).unwrap();
+        assert_eq!(via_flow.makespan(), closed);
+
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let e = Instance::<Rational>::builder(q(4.0))
+            .task(q(8.0), q(1.0), q(2.0))
+            .task(q(4.0), q(2.0), q(4.0))
+            .task(q(2.0), q(4.0), q(1.0))
+            .build()
+            .unwrap();
+        let closed = crate::algos::makespan::optimal_makespan(&e);
+        let via_flow = SchedulingPolicy::<Rational>::schedule(&MakespanParametric, &e).unwrap();
+        assert_eq!(via_flow.makespan(), closed);
+    }
+
+    #[test]
+    fn lmax_parametric_handles_zero_weights() {
+        // Smith-ratio due dates fall back to heights for weightless tasks
+        // instead of dividing by zero.
+        let i = Instance::builder(2.0)
+            .task(2.0, 0.0, 1.0)
+            .task(1.0, 1.0, 2.0)
+            .build()
+            .unwrap();
+        let s = SchedulingPolicy::<f64>::schedule(&LmaxParametric, &i).unwrap();
+        s.validate(&i).unwrap();
     }
 }

@@ -6,8 +6,8 @@
 //! workspace means appending one constructor to [`all`].
 
 use super::{
-    BestHeuristicGreedy, GreedyPolicy, LmaxHeightDue, MakespanOptimal, OrderRule, RulePolicy,
-    SchedulingPolicy, WaterFillNormalForm, Wdeq,
+    BestHeuristicGreedy, GreedyPolicy, LmaxHeightDue, LmaxParametric, MakespanOptimal,
+    MakespanParametric, OrderRule, RulePolicy, SchedulingPolicy, WaterFillNormalForm, Wdeq,
 };
 use crate::policy::rules::{DeqRule, PriorityRule, ShareNoRedistributionRule};
 use numkit::Scalar;
@@ -38,7 +38,9 @@ pub fn all<S: Scalar>() -> Vec<Box<dyn SchedulingPolicy<S>>> {
     );
     v.push(Box::new(BestHeuristicGreedy));
     v.push(Box::new(MakespanOptimal));
+    v.push(Box::new(MakespanParametric));
     v.push(Box::new(LmaxHeightDue));
+    v.push(Box::new(LmaxParametric));
     v
 }
 

@@ -18,7 +18,7 @@
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::column::{Column, ColumnSchedule};
-use numkit::Scalar;
+use numkit::{Scalar, Tolerance};
 
 /// Observable state of one unfinished task, as exposed to a rule.
 #[derive(Debug, Clone)]
@@ -153,7 +153,7 @@ pub fn replay<S: Scalar>(
     rule: &dyn AllocationRule<S>,
 ) -> Result<ColumnSchedule<S>, ScheduleError> {
     instance.validate()?;
-    let tol = S::default_tolerance().scaled(1.0 + instance.n() as f64);
+    let tol = Tolerance::<S>::for_instance(instance.n());
     let n = instance.n();
     let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
     let mut processed = vec![S::zero(); n];

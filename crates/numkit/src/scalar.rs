@@ -126,6 +126,35 @@ pub trait Scalar:
     fn clamp_to(self, lo: Self, hi: Self) -> Self {
         self.max_of(lo).min_of(hi)
     }
+
+    /// The largest integer value ≤ `self`. The default rounds through
+    /// `f64`, which is only correct while the value fits a double-precision
+    /// integer grid; exact fields with large denominators must override
+    /// (as `bigratio::Rational` does) so staircase constructions stay
+    /// exact.
+    #[inline]
+    fn floor_s(&self) -> Self {
+        Self::from_f64(self.to_f64().floor())
+    }
+
+    /// The smallest integer value ≥ `self` (see [`Scalar::floor_s`] for
+    /// the default's precision caveat).
+    #[inline]
+    fn ceil_s(&self) -> Self {
+        let f = self.floor_s();
+        if f == *self {
+            f
+        } else {
+            f + Self::one()
+        }
+    }
+
+    /// The nearest integer value (half-way cases round up).
+    #[inline]
+    fn round_s(&self) -> Self {
+        let half = Self::one() / Self::from_int(2);
+        (self.clone() + half).floor_s()
+    }
 }
 
 impl Scalar for f64 {
@@ -168,6 +197,17 @@ impl Scalar for f64 {
     fn sum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
         crate::sum::ksum(iter)
     }
+    #[inline]
+    fn floor_s(&self) -> Self {
+        f64::floor(*self)
+    }
+    #[inline]
+    fn ceil_s(&self) -> Self {
+        f64::ceil(*self)
+    }
+    // round_s deliberately keeps the trait default (`⌊x + ½⌋`):
+    // `f64::round` rounds halves *away from zero*, which would disagree
+    // with the exact fields at negative half-integers.
 }
 
 /// Sum of a slice of scalars (Kahan-compensated for `f64`, exact for exact
@@ -242,6 +282,19 @@ mod tests {
         assert_eq!(sum(&[1.0, 2.0, 3.5]), 6.5);
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert_eq!(sum::<f64>(&[]), 0.0);
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        assert_eq!(Scalar::floor_s(&2.7f64), 2.0);
+        assert_eq!(Scalar::ceil_s(&2.3f64), 3.0);
+        assert_eq!(Scalar::ceil_s(&3.0f64), 3.0);
+        assert_eq!(Scalar::round_s(&2.5f64), 3.0);
+        assert_eq!(Scalar::floor_s(&-0.5f64), -1.0);
+        // Halves round *up* on every scalar (the f64 path must match the
+        // exact fields, so it does not use f64::round's away-from-zero).
+        assert_eq!(Scalar::round_s(&-2.5f64), -2.0);
+        assert_eq!(Scalar::round_s(&-2.6f64), -3.0);
     }
 
     #[test]

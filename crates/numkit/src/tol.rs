@@ -60,6 +60,16 @@ impl<S: Scalar> Tolerance<S> {
         self.abs.is_zero() && self.rel.is_zero()
     }
 
+    /// The canonical tolerance for working with an `n`-task instance: the
+    /// scalar's natural tolerance scaled by `1 + n` (schedule invariants
+    /// accumulate error linearly in the task count). Every algorithm that
+    /// used to derive this by hand (`default().scaled(1.0 + n as f64)`)
+    /// now goes through here, so the policy lives in exactly one place.
+    /// Exact scalars stay exact (zero times anything is zero).
+    pub fn for_instance(n: usize) -> Self {
+        S::default_tolerance().scaled(1.0 + n as f64)
+    }
+
     /// Scale both slacks by `factor` (e.g. by `n` when validating an
     /// `n`-column schedule whose invariants accumulate error per column).
     /// A no-op on exact tolerances.
@@ -178,6 +188,16 @@ mod tests {
     fn scaled() {
         let t = Tolerance::default().scaled(1000.0);
         assert!(t.eq(1.0, 1.0 + 1e-7));
+    }
+
+    #[test]
+    fn for_instance_matches_manual_scaling() {
+        let t = Tolerance::<f64>::for_instance(9);
+        let manual = Tolerance::<f64>::default().scaled(10.0);
+        assert_eq!((t.abs, t.rel), (manual.abs, manual.rel));
+        // n = 0 is the plain default.
+        let t0 = Tolerance::<f64>::for_instance(0);
+        assert_eq!((t0.abs, t0.rel), (1e-9, 1e-9));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use malleable_core::instance::{Instance, TaskId};
 use malleable_core::schedule::column::{Column, ColumnSchedule};
 use malleable_core::ScheduleError;
-use numkit::Scalar;
+use numkit::{Scalar, Tolerance};
 use simplex::{LinearProgram, LpError, Relation, SolveOptions};
 use std::fmt;
 
@@ -188,7 +188,7 @@ pub fn lp_schedule_for_order<S: Scalar>(
     let mut completions = vec![S::zero(); n];
     let mut columns = Vec::with_capacity(n);
     let mut prev = S::zero();
-    let tol = S::default_tolerance().scaled(1.0 + n as f64);
+    let tol = Tolerance::<S>::for_instance(n);
     for j in 0..n {
         let end = sol.x[vm.c(j)].clone().max_of(prev.clone()); // clamp jitter
         let l = end.clone() - prev.clone();

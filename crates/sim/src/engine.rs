@@ -6,25 +6,31 @@
 //! every completion event — the granularity the paper's malleable model
 //! works at (between completions, any constant allocation is equivalent to
 //! any other with the same per-column totals, by Theorem 3).
+//!
+//! Like the core algorithm stack, the engine is generic over
+//! [`numkit::Scalar`] with `f64` as the default: existing callers keep
+//! the fast path unchanged, while an exact instantiation replays the same
+//! event loop in certified arithmetic (every comparison at the zero
+//! tolerance).
 
 use malleable_core::instance::{Instance, TaskId};
 use malleable_core::schedule::column::{Column, ColumnSchedule};
 use malleable_core::ScheduleError;
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 use std::fmt;
 
 /// Observable state of one unfinished task. Deliberately **no remaining
 /// volume** — policies are non-clairvoyant.
 #[derive(Debug, Clone)]
-pub struct TaskView {
+pub struct TaskView<S = f64> {
     /// Task identity (stable across events).
     pub id: TaskId,
     /// Weight `wᵢ` (known to the scheduler in the weighted model).
-    pub weight: f64,
+    pub weight: S,
     /// Effective cap `min(δᵢ, P)`.
-    pub delta: f64,
+    pub delta: S,
     /// Volume processed so far (observable: work done is measurable).
-    pub processed: f64,
+    pub processed: S,
 }
 
 /// A non-clairvoyant allocation policy.
@@ -33,12 +39,12 @@ pub struct TaskView {
 /// returned rates apply until the next event. Rates are indexed like
 /// `active` and must satisfy `0 ≤ rateₖ ≤ active[k].delta` and
 /// `Σ rateₖ ≤ p` (validated by the engine).
-pub trait OnlinePolicy {
+pub trait OnlinePolicy<S: Scalar = f64> {
     /// Human-readable name (for experiment tables).
     fn name(&self) -> &'static str;
 
     /// Choose rates for the active tasks.
-    fn allocate(&mut self, now: f64, active: &[TaskView], p: f64) -> Vec<f64>;
+    fn allocate(&mut self, now: &S, active: &[TaskView<S>], p: &S) -> Vec<S>;
 }
 
 /// Simulation failure.
@@ -53,7 +59,8 @@ pub enum SimError {
     },
     /// No task makes progress under the returned allocation.
     Stalled {
-        /// Simulation time at which progress stopped.
+        /// Simulation time at which progress stopped (approximate for
+        /// exact scalars; diagnostics only).
         at: f64,
     },
     /// The instance itself was malformed.
@@ -82,17 +89,28 @@ impl From<ScheduleError> for SimError {
 
 /// Outcome of a simulation run.
 #[derive(Debug, Clone)]
-pub struct SimResult {
+pub struct SimResult<S = f64> {
     /// The executed schedule (columns = inter-event intervals).
-    pub schedule: ColumnSchedule,
+    pub schedule: ColumnSchedule<S>,
     /// Number of allocation events (policy invocations).
     pub events: usize,
 }
 
-impl SimResult {
+impl<S: Scalar> SimResult<S> {
     /// `Σ wᵢCᵢ` under the generating instance.
-    pub fn cost(&self, instance: &Instance) -> f64 {
+    pub fn cost(&self, instance: &Instance<S>) -> S {
         self.schedule.weighted_completion_cost(instance)
+    }
+
+    /// The paper's title objective as a *mean*: `Σ wᵢCᵢ / Σ wᵢ`. Returns
+    /// zero for empty instances and all-zero weights instead of `NaN` —
+    /// a workload with nothing to weight has trivially zero mean cost.
+    pub fn mean_cost(&self, instance: &Instance<S>) -> S {
+        let total_weight = S::sum(instance.tasks.iter().map(|t| t.weight.clone()));
+        if !total_weight.is_positive() {
+            return S::zero();
+        }
+        self.cost(instance) / total_weight
     }
 }
 
@@ -102,29 +120,32 @@ impl SimResult {
 /// [`SimError::PolicyViolation`] when the policy emits out-of-range rates,
 /// [`SimError::Stalled`] when no task progresses, or
 /// [`SimError::Instance`] for malformed instances.
-pub fn simulate(instance: &Instance, policy: &mut dyn OnlinePolicy) -> Result<SimResult, SimError> {
+pub fn simulate<S: Scalar>(
+    instance: &Instance<S>,
+    policy: &mut dyn OnlinePolicy<S>,
+) -> Result<SimResult<S>, SimError> {
     instance.validate()?;
-    let tol = Tolerance::<f64>::default().scaled(1.0 + instance.n() as f64);
+    let tol = Tolerance::<S>::for_instance(instance.n());
     let n = instance.n();
-    let mut remaining: Vec<f64> = instance.tasks.iter().map(|t| t.volume).collect();
-    let mut processed: Vec<f64> = vec![0.0; n];
+    let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
+    let mut processed: Vec<S> = vec![S::zero(); n];
     let mut active: Vec<usize> = (0..n).collect();
-    let mut completions = vec![0.0f64; n];
+    let mut completions = vec![S::zero(); n];
     let mut columns = Vec::new();
-    let mut now = 0.0f64;
+    let mut now = S::zero();
     let mut events = 0usize;
 
     while !active.is_empty() {
-        let views: Vec<TaskView> = active
+        let views: Vec<TaskView<S>> = active
             .iter()
             .map(|&i| TaskView {
                 id: TaskId(i),
-                weight: instance.tasks[i].weight,
+                weight: instance.tasks[i].weight.clone(),
                 delta: instance.effective_delta(TaskId(i)),
-                processed: processed[i],
+                processed: processed[i].clone(),
             })
             .collect();
-        let rates = policy.allocate(now, &views, instance.p);
+        let rates = policy.allocate(&now, &views, &instance.p);
         events += 1;
 
         // Validate the policy's output.
@@ -134,71 +155,75 @@ pub fn simulate(instance: &Instance, policy: &mut dyn OnlinePolicy) -> Result<Si
                 reason: format!("{} rates for {} tasks", rates.len(), views.len()),
             });
         }
-        let mut total = 0.0;
-        for (k, (&r, v)) in rates.iter().zip(&views).enumerate() {
-            if !r.is_finite() || r < -tol.abs {
+        let mut total = S::zero();
+        for (r, v) in rates.iter().zip(&views) {
+            if !r.is_finite() || *r < -tol.abs.clone() {
                 return Err(SimError::PolicyViolation {
                     policy: policy.name(),
-                    reason: format!("rate {r} for task {} is negative/NaN", v.id),
+                    reason: format!("rate {:?} for task {} is negative/NaN", r, v.id),
                 });
             }
-            if !tol.le(r, v.delta) {
+            if !tol.le(r.clone(), v.delta.clone()) {
                 return Err(SimError::PolicyViolation {
                     policy: policy.name(),
-                    reason: format!("rate {r} exceeds δ = {} for task {}", v.delta, v.id),
+                    reason: format!("rate {:?} exceeds δ = {:?} for task {}", r, v.delta, v.id),
                 });
             }
-            total += r;
-            let _ = k;
+            total = total + r.clone();
         }
-        if !tol.le(total, instance.p) {
+        if !tol.le(total.clone(), instance.p.clone()) {
             return Err(SimError::PolicyViolation {
                 policy: policy.name(),
-                reason: format!("total rate {total} exceeds P = {}", instance.p),
+                reason: format!("total rate {:?} exceeds P = {:?}", total, instance.p),
             });
         }
 
         // Advance to the next completion.
-        let mut dt = f64::INFINITY;
+        let mut dt: Option<S> = None;
         for (k, &i) in active.iter().enumerate() {
             if rates[k] > tol.abs {
-                dt = dt.min(remaining[i] / rates[k]);
+                let t_i = remaining[i].clone() / rates[k].clone();
+                dt = Some(match dt {
+                    Some(d) => d.min_of(t_i),
+                    None => t_i,
+                });
             }
         }
-        if !dt.is_finite() || dt <= 0.0 {
-            return Err(SimError::Stalled { at: now });
-        }
+        let dt = match dt {
+            Some(d) if d.is_finite() && d.is_positive() => d,
+            _ => return Err(SimError::Stalled { at: now.to_f64() }),
+        };
 
         columns.push(Column {
-            start: now,
-            end: now + dt,
+            start: now.clone(),
+            end: now.clone() + dt.clone(),
             rates: active
                 .iter()
                 .zip(&rates)
-                .filter(|(_, &r)| r > tol.abs)
-                .map(|(&i, &r)| (TaskId(i), r))
+                .filter(|(_, r)| **r > tol.abs)
+                .map(|(&i, r)| (TaskId(i), r.clone()))
                 .collect(),
         });
 
         let mut done = Vec::new();
         for (k, &i) in active.iter().enumerate() {
-            let inc = rates[k] * dt;
-            processed[i] += inc;
-            remaining[i] -= inc;
-            if remaining[i] <= tol.slack(instance.tasks[i].volume, 0.0) {
-                remaining[i] = 0.0;
-                completions[i] = now + dt;
+            let inc = rates[k].clone() * dt.clone();
+            processed[i] = processed[i].clone() + inc.clone();
+            remaining[i] = remaining[i].clone() - inc;
+            if remaining[i] <= tol.slack(instance.tasks[i].volume.clone(), S::zero()) {
+                remaining[i] = S::zero();
+                completions[i] = now.clone() + dt.clone();
                 done.push(i);
             }
         }
         debug_assert!(!done.is_empty(), "dt chosen as a completion time");
         active.retain(|i| !done.contains(i));
-        now += dt;
+        now = now + dt;
     }
 
     Ok(SimResult {
         schedule: ColumnSchedule {
-            p: instance.p,
+            p: instance.p.clone(),
             completions,
             columns,
         },
@@ -217,8 +242,8 @@ mod tests {
         fn name(&self) -> &'static str {
             "first-fit"
         }
-        fn allocate(&mut self, _now: f64, active: &[TaskView], p: f64) -> Vec<f64> {
-            let mut left = p;
+        fn allocate(&mut self, _now: &f64, active: &[TaskView], p: &f64) -> Vec<f64> {
+            let mut left = *p;
             active
                 .iter()
                 .map(|v| {
@@ -235,7 +260,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "bad-length"
         }
-        fn allocate(&mut self, _: f64, _: &[TaskView], _: f64) -> Vec<f64> {
+        fn allocate(&mut self, _: &f64, _: &[TaskView], _: &f64) -> Vec<f64> {
             vec![]
         }
     }
@@ -245,7 +270,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "over-cap"
         }
-        fn allocate(&mut self, _: f64, active: &[TaskView], _: f64) -> Vec<f64> {
+        fn allocate(&mut self, _: &f64, active: &[TaskView], _: &f64) -> Vec<f64> {
             active.iter().map(|v| v.delta * 2.0).collect()
         }
     }
@@ -255,7 +280,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "lazy"
         }
-        fn allocate(&mut self, _: f64, active: &[TaskView], _: f64) -> Vec<f64> {
+        fn allocate(&mut self, _: &f64, active: &[TaskView], _: &f64) -> Vec<f64> {
             vec![0.0; active.len()]
         }
     }
@@ -276,6 +301,7 @@ mod tests {
         assert_eq!(r.schedule.completions, vec![2.0, 1.0]);
         assert_eq!(r.events, 2);
         assert!((r.cost(&inst()) - 3.0).abs() < 1e-9);
+        assert!((r.mean_cost(&inst()) - 1.5).abs() < 1e-9);
     }
 
     #[test]
@@ -299,6 +325,63 @@ mod tests {
     }
 
     #[test]
+    fn empty_instance_completes_with_zero_cost() {
+        // n = 0: the loop never runs, the schedule is empty and both cost
+        // aggregates are zero (not NaN).
+        let empty = Instance::new(2.0, vec![]).unwrap();
+        let r = simulate(&empty, &mut FirstFit).unwrap();
+        assert_eq!(r.events, 0);
+        assert_eq!(r.cost(&empty), 0.0);
+        assert_eq!(r.mean_cost(&empty), 0.0);
+    }
+
+    #[test]
+    fn zero_total_weight_mean_cost_is_zero_not_nan() {
+        let i = Instance::builder(2.0)
+            .task(1.0, 0.0, 1.0)
+            .task(1.0, 0.0, 2.0)
+            .build()
+            .unwrap();
+        let r = simulate(&i, &mut FirstFit).unwrap();
+        assert_eq!(r.cost(&i), 0.0);
+        // Σ wᵢCᵢ / Σ wᵢ would be 0/0; the guard returns zero.
+        assert_eq!(r.mean_cost(&i), 0.0);
+        assert!(r.mean_cost(&i).is_finite());
+    }
+
+    #[test]
+    fn exact_simulation_validates_at_zero_tolerance() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        struct Even;
+        impl OnlinePolicy<Rational> for Even {
+            fn name(&self) -> &'static str {
+                "even"
+            }
+            fn allocate(
+                &mut self,
+                _: &Rational,
+                active: &[TaskView<Rational>],
+                p: &Rational,
+            ) -> Vec<Rational> {
+                let share = p.clone() / Rational::from_int(active.len() as i64);
+                active
+                    .iter()
+                    .map(|v| v.delta.clone().min_of(share.clone()))
+                    .collect()
+            }
+        }
+        let i = Instance::<Rational>::builder(q(3.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .task(q(1.0), q(2.0), q(3.0))
+            .build()
+            .unwrap();
+        let r = simulate(&i, &mut Even).unwrap();
+        r.schedule.validate(&i).unwrap(); // zero tolerance
+        assert_eq!(r.cost(&i), r.schedule.weighted_completion_cost(&i));
+    }
+
+    #[test]
     fn views_hide_remaining_volume() {
         // Structural guarantee: TaskView has no remaining-volume field.
         // Verify the observable `processed` increases across events.
@@ -309,7 +392,7 @@ mod tests {
             fn name(&self) -> &'static str {
                 "recorder"
             }
-            fn allocate(&mut self, _: f64, active: &[TaskView], p: f64) -> Vec<f64> {
+            fn allocate(&mut self, _: &f64, active: &[TaskView], p: &f64) -> Vec<f64> {
                 self.seen.push(active[0].processed);
                 let share = p / active.len() as f64;
                 active.iter().map(|v| v.delta.min(share)).collect()

@@ -5,86 +5,101 @@
 //! to running alone at full parallelism) and allocation fairness. These
 //! metrics make the experiment tables comparable with systems-style
 //! evaluations.
+//!
+//! Generic over [`numkit::Scalar`] (f64 default): exact schedules get
+//! exact metrics, so e.g. a certified run's utilization of `1` really is
+//! the rational number one.
 
 use malleable_core::instance::Instance;
 use malleable_core::schedule::column::ColumnSchedule;
-use numkit::KahanSum;
+use numkit::Scalar;
 
 /// Machine utilization: busy area / (P × makespan). 1.0 means no idling
 /// before the last completion.
-pub fn utilization(schedule: &ColumnSchedule) -> f64 {
+pub fn utilization<S: Scalar>(schedule: &ColumnSchedule<S>) -> S {
     let span = schedule.makespan();
-    if span <= 0.0 {
-        return 0.0;
+    if !span.is_positive() {
+        return S::zero();
     }
-    let mut busy = KahanSum::new();
-    for col in &schedule.columns {
-        busy.add(col.total_rate() * col.len());
-    }
-    busy.value() / (schedule.p * span)
+    let busy = S::sum(
+        schedule
+            .columns
+            .iter()
+            .map(|col| col.total_rate() * col.len()),
+    );
+    busy / (schedule.p.clone() * span)
 }
 
 /// Per-task stretch `Cᵢ / hᵢ` where `hᵢ = Vᵢ/min(δᵢ,P)` is the task's
 /// running time on an otherwise empty machine. Always ≥ 1.
-pub fn stretches(instance: &Instance, schedule: &ColumnSchedule) -> Vec<f64> {
+pub fn stretches<S: Scalar>(instance: &Instance<S>, schedule: &ColumnSchedule<S>) -> Vec<S> {
     instance
         .iter()
         .map(|(id, t)| {
-            let alone = t.volume / t.delta.min(instance.p);
+            let alone = t.volume.clone() / t.delta.clone().min_of(instance.p.clone());
             schedule.completion(id) / alone
         })
         .collect()
 }
 
 /// Maximum stretch (the "worst slowdown" metric).
-pub fn max_stretch(instance: &Instance, schedule: &ColumnSchedule) -> f64 {
+pub fn max_stretch<S: Scalar>(instance: &Instance<S>, schedule: &ColumnSchedule<S>) -> S {
     stretches(instance, schedule)
         .into_iter()
-        .fold(1.0, f64::max)
+        .fold(S::one(), S::max_of)
 }
 
 /// Jain's fairness index over weighted inverse stretches
 /// `xᵢ = wᵢ·hᵢ/Cᵢ`: 1.0 = perfectly proportional service, `1/n` =
 /// maximally unfair. Standard measure for fair-sharing schedulers, which
-/// is what WDEQ is.
-pub fn jain_fairness(instance: &Instance, schedule: &ColumnSchedule) -> f64 {
-    let xs: Vec<f64> = instance
+/// is what WDEQ is. Tasks with zero completion time (possible only on
+/// degenerate schedules) are scored as receiving full service, so the
+/// index stays finite.
+pub fn jain_fairness<S: Scalar>(instance: &Instance<S>, schedule: &ColumnSchedule<S>) -> S {
+    let xs: Vec<S> = instance
         .iter()
         .map(|(id, t)| {
-            let alone = t.volume / t.delta.min(instance.p);
-            let c = schedule.completion(id).max(1e-300);
-            t.weight * alone / c
+            let alone = t.volume.clone() / t.delta.clone().min_of(instance.p.clone());
+            let c = schedule.completion(id);
+            if c.is_positive() {
+                t.weight.clone() * alone / c
+            } else {
+                t.weight.clone()
+            }
         })
         .collect();
     let n = xs.len();
     if n == 0 {
-        return 1.0;
+        return S::one();
     }
-    let sum: f64 = xs.iter().sum();
-    let sq: f64 = xs.iter().map(|x| x * x).sum();
-    if sq <= 0.0 {
-        return 1.0;
+    let sum = S::sum(xs.iter().cloned());
+    let sq = S::sum(xs.iter().map(|x| x.clone() * x.clone()));
+    if !sq.is_positive() {
+        return S::one();
     }
-    sum * sum / (n as f64 * sq)
+    sum.clone() * sum / (S::from_int(n as i64) * sq)
 }
 
 /// Everything at once, for experiment tables.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ScheduleMetrics {
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleMetrics<S = f64> {
     /// `Σ wᵢCᵢ`.
-    pub weighted_completion: f64,
+    pub weighted_completion: S,
     /// `max Cᵢ`.
-    pub makespan: f64,
+    pub makespan: S,
     /// Busy fraction of the machine until the makespan.
-    pub utilization: f64,
+    pub utilization: S,
     /// Worst task slowdown.
-    pub max_stretch: f64,
+    pub max_stretch: S,
     /// Jain index of weighted service.
-    pub jain_fairness: f64,
+    pub jain_fairness: S,
 }
 
 /// Compute [`ScheduleMetrics`] for a schedule.
-pub fn metrics(instance: &Instance, schedule: &ColumnSchedule) -> ScheduleMetrics {
+pub fn metrics<S: Scalar>(
+    instance: &Instance<S>,
+    schedule: &ColumnSchedule<S>,
+) -> ScheduleMetrics<S> {
     ScheduleMetrics {
         weighted_completion: schedule.weighted_completion_cost(instance),
         makespan: schedule.makespan(),
@@ -155,6 +170,24 @@ mod tests {
     }
 
     #[test]
+    fn exact_metrics_are_exact() {
+        // A perfectly packed exact schedule scores utilization and Jain
+        // index of exactly one — the rational number, not 1 ± ε.
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let i = Instance::<Rational>::builder(q(2.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .build()
+            .unwrap();
+        let r = simulate(&i, &mut WdeqPolicy).unwrap();
+        let m = metrics(&i, &r.schedule);
+        assert_eq!(m.utilization, Rational::from_int(1));
+        assert_eq!(m.jain_fairness, Rational::from_int(1));
+        assert_eq!(m.makespan, Rational::from_int(2));
+    }
+
+    #[test]
     fn empty_schedule_metrics_are_sane() {
         let empty = ColumnSchedule {
             p: 2.0,
@@ -167,5 +200,7 @@ mod tests {
             tasks: vec![],
         };
         assert_eq!(jain_fairness(&no_tasks, &empty), 1.0);
+        let m = metrics(&no_tasks, &empty);
+        assert_eq!(m.weighted_completion, 0.0);
     }
 }

@@ -20,20 +20,23 @@ use crate::engine::{OnlinePolicy, TaskView};
 use malleable_core::policy::rules::{
     ActiveTask, AllocationRule, DeqRule, PriorityRule, ShareNoRedistributionRule, WdeqRule,
 };
+use numkit::Scalar;
 
 /// Translate the engine's observable views into the core rule input and
-/// delegate — the entire body of every adapter below.
-fn rule_rates<R: AllocationRule<f64>>(rule: &R, active: &[TaskView], p: f64) -> Vec<f64> {
-    let views: Vec<ActiveTask> = active
+/// delegate — the entire body of every adapter below. Generic over the
+/// scalar like the rules themselves, so the adapters drive exact
+/// simulations as readily as `f64` ones.
+fn rule_rates<S: Scalar, R: AllocationRule<S>>(rule: &R, active: &[TaskView<S>], p: &S) -> Vec<S> {
+    let views: Vec<ActiveTask<S>> = active
         .iter()
         .map(|v| ActiveTask {
             id: v.id,
-            weight: v.weight,
-            cap: v.delta,
-            processed: v.processed,
+            weight: v.weight.clone(),
+            cap: v.delta.clone(),
+            processed: v.processed.clone(),
         })
         .collect();
-    rule.rates(&views, &p)
+    rule.rates(&views, p)
 }
 
 macro_rules! rule_adapter {
@@ -42,12 +45,12 @@ macro_rules! rule_adapter {
         #[derive(Debug, Default, Clone, Copy)]
         pub struct $policy;
 
-        impl OnlinePolicy for $policy {
+        impl<S: Scalar> OnlinePolicy<S> for $policy {
             fn name(&self) -> &'static str {
-                AllocationRule::<f64>::name(&$rule)
+                AllocationRule::<S>::name(&$rule)
             }
 
-            fn allocate(&mut self, _now: f64, active: &[TaskView], p: f64) -> Vec<f64> {
+            fn allocate(&mut self, _now: &S, active: &[TaskView<S>], p: &S) -> Vec<S> {
                 rule_rates(&$rule, active, p)
             }
         }
@@ -146,6 +149,25 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "{}: {a} vs {b}", online.name());
             }
         }
+    }
+
+    #[test]
+    fn exact_online_run_matches_exact_replay() {
+        // The adapters are generic: the same WDEQ rule, run under the
+        // exact engine, reproduces the exact clairvoyant replay — with
+        // `==`, not a tolerance.
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let i = malleable_core::instance::Instance::<Rational>::builder(q(4.0))
+            .task(q(8.0), q(1.0), q(2.0))
+            .task(q(4.0), q(2.0), q(4.0))
+            .task(q(2.0), q(4.0), q(1.0))
+            .build()
+            .unwrap();
+        let online = simulate(&i, &mut WdeqPolicy).unwrap();
+        online.schedule.validate(&i).unwrap(); // zero tolerance
+        let offline = replay(&i, &WdeqRule).unwrap();
+        assert_eq!(online.schedule.completions, offline.completions);
     }
 
     #[test]

@@ -48,7 +48,7 @@ proptest! {
     fn figure2_wrap_preserves_volume_and_respects_integrality(
         inst in integer_instance_strategy()
     ) {
-        let tol = Tolerance::default().scaled(1.0 + inst.n() as f64);
+        let tol = Tolerance::for_instance(inst.n());
         let cs = wdeq_schedule(&inst);
         let gantt = column_to_gantt(&cs, &inst, tol).expect("integer instance");
         prop_assert!(gantt.validate(tol).is_ok());
@@ -63,7 +63,7 @@ proptest! {
 
     #[test]
     fn averaging_direction_keeps_costs(inst in integer_instance_strategy()) {
-        let tol = Tolerance::default().scaled(1.0 + inst.n() as f64);
+        let tol = Tolerance::for_instance(inst.n());
         let order = smith_order(&inst);
         let step = greedy_schedule(&inst, &order).expect("greedy");
         let cs = step_to_column(&step, tol);
@@ -78,7 +78,7 @@ proptest! {
         inst in integer_instance_strategy()
     ) {
         use malleable::core::algos::waterfill_int::water_filling_integer;
-        let tol = Tolerance::default().scaled(1.0 + inst.n() as f64);
+        let tol = Tolerance::for_instance(inst.n());
         let cs = wdeq_schedule(&inst);
         let step = water_filling_integer(&inst, cs.completion_times()).expect("int WF");
         let gantt = assign_processors_stable(&step, tol).expect("fits");

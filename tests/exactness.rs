@@ -10,12 +10,14 @@
 //!   `==`, and the Lemma-2 certificate inequality holds exactly.
 
 use bigratio::Rational;
+use malleable::core::algos::makespan::min_lmax;
+use malleable::core::algos::releases::{feasible_with_releases, makespan_with_releases};
 use malleable::core::algos::waterfill::wf_feasible;
 use malleable::core::algos::waterfill_fast::wf_feasible_grouped;
 use malleable::core::algos::wdeq::{certificate_of, wdeq_run};
 use malleable::prelude::*;
 use malleable::workloads::seed_batch;
-use numkit::Tolerance;
+use numkit::{Scalar, Tolerance};
 
 /// Exactly lift a float instance into rationals (every finite `f64` is a
 /// binary rational, so nothing is lost).
@@ -143,6 +145,90 @@ fn exact_path_needs_no_epsilon() {
             // Greedy in Smith order: exact step schedule.
             let gs = greedy_schedule(&exact, &smith_order(&exact)).unwrap();
             gs.validate_with(&exact, zero.clone()).unwrap();
+        }
+    }
+}
+
+#[test]
+fn parametric_lmax_agrees_between_f64_and_rational_and_is_optimal() {
+    // The parametric min-Lmax contract: the f64 and Rational
+    // instantiations agree to float precision, the exact witness
+    // validates under the ZERO tolerance, and the exact optimum carries
+    // an optimality certificate — shrinking L by any ε flips the exact
+    // feasibility verdict.
+    for n in [2usize, 5, 8] {
+        for seed in seed_batch(5000 + n as u64, 6) {
+            let inst = generate(&Spec::PaperUniform { n }, seed);
+            let exact = lift(&inst);
+            // Heterogeneous due dates derived deterministically from the
+            // instance (a fraction of each task's height, staggered).
+            let due_f: Vec<f64> = inst
+                .tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let h = t.volume / t.delta.min(inst.p);
+                    h * (0.2 + (i % 4) as f64 * 0.4)
+                })
+                .collect();
+            let due_r: Vec<Rational> = due_f.iter().map(|&d| Rational::from_f64_exact(d)).collect();
+
+            let (lf, csf) = min_lmax(&inst, &due_f).unwrap();
+            csf.validate(&inst).unwrap();
+            let (lr, csr) = min_lmax(&exact, &due_r).unwrap();
+            csr.validate_with(&exact, Tolerance::<Rational>::exact())
+                .unwrap();
+            let lr_f = lr.approx_f64();
+            assert!(
+                (lf - lr_f).abs() <= 1e-6 * (1.0 + lf.abs()),
+                "n={n} seed={seed}: f64 Lmax {lf} vs exact {lr_f}"
+            );
+
+            // Optimality certificate at zero tolerance: deadlines at
+            // L* − ε are infeasible, exactly. (ε is kept below every
+            // deadline so the probe stays a valid completion vector.)
+            let deadlines: Vec<Rational> = due_r.iter().map(|d| d.clone() + lr.clone()).collect();
+            let min_deadline = deadlines.iter().cloned().reduce(Scalar::min_of).unwrap();
+            let eps = Rational::new(1, 1_000_000).min_of(min_deadline / Rational::from_int(2));
+            assert!(eps.is_positive(), "probe epsilon must stay positive");
+            let probe: Vec<Rational> = deadlines.iter().map(|d| d.clone() - eps.clone()).collect();
+            assert!(
+                !wf_feasible(&exact, &probe),
+                "n={n} seed={seed}: L* − ε must be exactly infeasible"
+            );
+        }
+    }
+}
+
+#[test]
+fn parametric_release_cmax_agrees_between_f64_and_rational_and_is_optimal() {
+    for n in [2usize, 4, 7] {
+        for seed in seed_batch(6000 + n as u64, 6) {
+            let inst = generate(&Spec::PaperUniform { n }, seed);
+            let exact = lift(&inst);
+            let rel_f: Vec<f64> = (0..n).map(|i| (i % 3) as f64 * 0.7).collect();
+            let rel_r: Vec<Rational> = rel_f.iter().map(|&r| Rational::from_f64_exact(r)).collect();
+
+            let rf = makespan_with_releases(&inst, &rel_f).unwrap();
+            rf.schedule.validate(&inst).unwrap();
+            let rr = makespan_with_releases(&exact, &rel_r).unwrap();
+            rr.schedule
+                .validate_with(&exact, Tolerance::<Rational>::exact())
+                .unwrap();
+            let cr = rr.cmax.approx_f64();
+            assert!(
+                (rf.cmax - cr).abs() <= 1e-6 * (1.0 + rf.cmax.abs()),
+                "n={n} seed={seed}: f64 Cmax {} vs exact {cr}",
+                rf.cmax
+            );
+            // Exact optimality certificate: any earlier deadline is
+            // infeasible, with zero slack.
+            let eps = Rational::new(1, 1_000_000);
+            let below = rr.cmax.clone() - eps;
+            assert!(
+                !feasible_with_releases(&exact, &rel_r, below).unwrap(),
+                "n={n} seed={seed}: Cmax − ε must be exactly infeasible"
+            );
         }
     }
 }

@@ -52,7 +52,7 @@ fn online_engine_matches_clairvoyant_replay_across_workloads() {
 fn full_theorem10_pipeline_on_integer_machines() {
     for seed in seed_batch(7, 10) {
         let inst = generate(&Spec::IntegerUniform { n: 40, p: 8 }, seed);
-        let tol = Tolerance::default().scaled(1.0 + inst.n() as f64);
+        let tol = Tolerance::for_instance(inst.n());
 
         // Schedule non-clairvoyantly, then normalize.
         let run = wdeq_run(&inst).expect("wdeq");
@@ -87,7 +87,7 @@ fn full_theorem10_pipeline_on_integer_machines() {
 fn theorem3_roundtrip_preserves_validity_and_cost_direction() {
     for seed in seed_batch(21, 10) {
         let inst = generate(&Spec::IntegerUniform { n: 12, p: 6 }, seed);
-        let tol = Tolerance::default().scaled(1.0 + inst.n() as f64);
+        let tol = Tolerance::for_instance(inst.n());
         let cs = wdeq_schedule(&inst);
 
         // Fractional → integer Gantt (Figure 2) → step → columns again.
@@ -166,7 +166,7 @@ fn lmax_never_beats_individual_height_bound() {
     for seed in seed_batch(13, 5) {
         let inst = generate(&Spec::PaperUniform { n: 10 }, seed);
         let due = vec![0.5; inst.n()];
-        let (l, cs) = min_lmax(&inst, &due, Tolerance::default()).expect("lmax");
+        let (l, cs) = min_lmax(&inst, &due).expect("lmax");
         cs.validate(&inst).expect("valid");
         let hmax = inst
             .tasks

@@ -44,7 +44,7 @@ proptest! {
     ) {
         for spec in every_spec(n) {
             let inst = generate(&spec, seed);
-            let tol = numkit::Tolerance::<f64>::default().scaled(1.0 + n as f64);
+            let tol = numkit::Tolerance::<f64>::for_instance(n);
             let area = squashed_area_bound(&inst);
             let height = height_bound(&inst);
             let bound = area.max(height);
@@ -96,7 +96,9 @@ fn registry_names_resolve_and_stay_stable() {
         "greedy-smith",
         "best-greedy",
         "makespan",
+        "makespan-parametric",
         "lmax-height",
+        "lmax-parametric",
     ] {
         assert!(names.contains(&name), "{name} left the registry");
     }
@@ -109,12 +111,9 @@ fn exact_registry_matches_float_costs() {
     for seed in seed_batch(0x90, 3) {
         let inst = generate(&Spec::PaperUniform { n: 5 }, seed);
         let exact: Instance<Rational> = inst.to_scalar();
+        // Every policy participates: the Lmax solvers are parametric and
+        // exact now, so there is no bisection-bracket exemption left.
         for name in policy::names() {
-            // lmax-height bisects: exact and float brackets differ by the
-            // iteration budget, not by arithmetic.
-            if name == "lmax-height" {
-                continue;
-            }
             let pf = policy::by_name::<f64>(name).unwrap();
             let pr = policy::by_name::<Rational>(name).unwrap();
             let cf = pf.schedule(&inst).unwrap().weighted_completion_cost(&inst);
