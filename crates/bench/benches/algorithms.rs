@@ -93,6 +93,33 @@ fn bench_parametric_lmax(c: &mut Criterion) {
             |b, (inst, due)| b.iter(|| black_box(min_lmax(inst, due).unwrap().0)),
         );
     }
+    // Comparison points for the related-machines flow path: the same
+    // search over a heterogeneous speed profile (per-level arcs, warm-
+    // started flow arena), so the cost of the level generalization is
+    // tracked next to the identical-machine solve.
+    for n in [8usize, 32] {
+        let inst = generate(
+            &Spec::PowerLawSpeeds {
+                n,
+                machines: 8,
+                alpha: 1.0,
+            },
+            42,
+        );
+        let due: Vec<f64> = inst
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (t.volume / inst.machine.rate_cap(t.delta)) * (0.2 + (i % 4) as f64 * 0.4)
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("related", n),
+            &(&inst, &due),
+            |b, (inst, due)| b.iter(|| black_box(min_lmax(inst, due).unwrap().0)),
+        );
+    }
     g.finish();
 }
 

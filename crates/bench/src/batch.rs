@@ -410,6 +410,123 @@ pub fn write_records_csv(name: &str, records: &[EvalRecord]) -> std::io::Result<
     csvout::write_csv(name, &RECORD_HEADERS, &rows)
 }
 
+/// One per-policy aggregate of [`write_batch_json`] — the machine-
+/// readable summary the perf trajectory is tracked with across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyAggregate {
+    /// Policy name.
+    pub policy: String,
+    /// Number of `(family, seed)` cells the policy ran on.
+    pub runs: usize,
+    /// Mean weighted completion cost.
+    pub mean_cost: f64,
+    /// Mean `cost / max(A, H)` ratio.
+    pub mean_bound_ratio: f64,
+    /// Worst `cost / max(A, H)` ratio.
+    pub max_bound_ratio: f64,
+    /// Mean policy wall time in microseconds.
+    pub mean_wall_us: f64,
+}
+
+/// Aggregate records per policy (declaration order preserved).
+pub fn policy_aggregates(records: &[EvalRecord]) -> Vec<PolicyAggregate> {
+    let mut order: Vec<&str> = Vec::new();
+    let mut buckets: BTreeMap<&str, Vec<&EvalRecord>> = BTreeMap::new();
+    for r in records {
+        let key = r.policy.as_str();
+        if !buckets.contains_key(key) {
+            order.push(key);
+        }
+        buckets.entry(key).or_default().push(r);
+    }
+    order
+        .into_iter()
+        .map(|policy| {
+            let rs = &buckets[policy];
+            let n = rs.len() as f64;
+            PolicyAggregate {
+                policy: policy.to_string(),
+                runs: rs.len(),
+                mean_cost: rs.iter().map(|r| r.cost).sum::<f64>() / n,
+                mean_bound_ratio: rs.iter().map(|r| r.bound_ratio).sum::<f64>() / n,
+                max_bound_ratio: rs.iter().map(|r| r.bound_ratio).fold(0.0, f64::max),
+                mean_wall_us: rs.iter().map(|r| r.wall_us).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+/// Minimal JSON string escaping (policy/family names are plain, but stay
+/// correct anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize the per-policy aggregates (plus run metadata) as JSON to
+/// `results/<name>.json`, so the performance trajectory is
+/// machine-readable across PRs (no serde in the offline build — the
+/// format is hand-rolled and stable).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_batch_json(name: &str, records: &[EvalRecord]) -> std::io::Result<PathBuf> {
+    use std::io::Write as _;
+    let dir = csvout::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    let families: Vec<&str> = {
+        let mut seen = Vec::new();
+        for r in records {
+            if !seen.contains(&r.family.as_str()) {
+                seen.push(r.family.as_str());
+            }
+        }
+        seen
+    };
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"records\": {},", records.len())?;
+    writeln!(
+        f,
+        "  \"families\": [{}],",
+        families
+            .iter()
+            .map(|s| json_str(s))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    writeln!(f, "  \"policies\": [")?;
+    let aggs = policy_aggregates(records);
+    for (i, a) in aggs.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"policy\": {}, \"runs\": {}, \"mean_cost\": {:.6}, \"mean_bound_ratio\": {:.6}, \"max_bound_ratio\": {:.6}, \"mean_wall_us\": {:.1}}}{}",
+            json_str(&a.policy),
+            a.runs,
+            a.mean_cost,
+            a.mean_bound_ratio,
+            a.max_bound_ratio,
+            a.mean_wall_us,
+            if i + 1 < aggs.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(path)
+}
+
 /// Render the standard per-`(family, policy)` summary table (mean/max
 /// bound ratio, certificate ratio, preemptions, wall time).
 pub fn summary_table(records: &[EvalRecord]) -> Table {
@@ -540,6 +657,43 @@ mod tests {
             .seeds(vec![1])
             .named_policies(["no-such-policy"])
             .run();
+    }
+
+    #[test]
+    fn related_machine_cells_flow_through_the_grid() {
+        let records = BatchGrid::new()
+            .spec(Spec::TwoTierCluster {
+                n: 4,
+                fast: 1,
+                slow: 3,
+                speedup: 4.0,
+            })
+            .seeds(seed_batch(5, 2))
+            .named_policies(["wdeq-related", "lmax-parametric-related"])
+            .run();
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert!(r.cost.is_finite() && r.bound_ratio >= 1.0 - 1e-9);
+            assert_eq!(r.family, "two-tier[1x4+3x1]");
+        }
+    }
+
+    #[test]
+    fn batch_json_has_per_policy_aggregates() {
+        let records = tiny_grid().run();
+        let aggs = policy_aggregates(&records);
+        assert_eq!(aggs.len(), 3);
+        for a in &aggs {
+            assert_eq!(a.runs, 6); // 2 families × 3 seeds
+            assert!(a.mean_bound_ratio >= 1.0 - 1e-9);
+            assert!(a.max_bound_ratio >= a.mean_bound_ratio - 1e-12);
+        }
+        let p = write_batch_json("unit-test-batch-json", &records).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("\"policies\""));
+        assert!(text.contains("\"wdeq\""));
+        assert!(text.contains("\"records\": 18"));
+        let _ = std::fs::remove_file(p);
     }
 
     #[test]

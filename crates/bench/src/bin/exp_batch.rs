@@ -3,25 +3,39 @@
 //! Fans a `(workload × seed × policy)` grid across all cores and writes
 //! the unified metrics records (weighted cost, bound ratios, certificate
 //! ratio, preemptions, fairness, wall time) to `results/batch_eval.csv`,
-//! printing the per-(family, policy) summary table.
+//! plus the machine-readable per-policy aggregates to
+//! `results/BENCH_batch.json` (the cross-PR perf trajectory), printing
+//! the per-(family, policy) summary table.
+//!
+//! Two grids run back to back: the identical-machine families over the
+//! full registry, and the **related-machines** families (power-law
+//! speeds, two-tier cluster, single-fast adversary) over the
+//! related-capable policy subset.
 //!
 //! ```text
-//! exp_batch [--smoke] [--instances N] [--n N] [--policies a,b,c] [--seed S]
-//!   --smoke       tiny CI grid (2 families × 2 seeds × 3 policies)
-//!   --instances   seeds per family (default 50, --full 500)
-//!   --n           tasks per instance (default 20)
-//!   --policies    comma-separated registry names (default: all)
-//!   --seed        base seed (default 0xB0)
+//! exp_batch [--smoke] [--instances N] [--n N] [--policies a,b,c]
+//!           [--seed S] [--time-budget-s T]
+//!   --smoke          tiny CI grid (identical + related cells)
+//!   --instances      seeds per family (default 50, --full 500)
+//!   --n              tasks per instance (default 20)
+//!   --policies       comma-separated registry names (default: all;
+//!                    identical grid only)
+//!   --seed           base seed (default 0xB0)
+//!   --time-budget-s  wall-clock gate for --smoke (default 300; the run
+//!                    fails if it exceeds the budget — the coarse CI
+//!                    perf-regression tripwire)
 //! ```
 //!
 //! Every record is re-checked against the squashed-area/height lower
 //! bounds on the way out — the sweep doubles as a soundness sweep for the
-//! whole registry.
+//! whole registry, and a green smoke run doubles as the no-`Unconverged`
+//! assertion for the parametric solvers (on both machine models).
 
-use malleable_bench::batch::{summary_table, write_records_csv, BatchGrid};
+use malleable_bench::batch::{summary_table, write_batch_json, write_records_csv, BatchGrid};
 use malleable_bench::instance_count;
 use malleable_core::policy;
 use malleable_workloads::{seed_batch, Spec};
+use std::time::Instant;
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -31,18 +45,23 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn main() {
+    let t0 = Instant::now();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let n: usize = arg_value("--n").and_then(|v| v.parse().ok()).unwrap_or(20);
     let base: u64 = arg_value("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xB0);
+    let time_budget_s: u64 = arg_value("--time-budget-s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
     let policies: Vec<String> = arg_value("--policies")
         .map(|v| v.split(',').map(str::to_string).collect())
         .unwrap_or_else(|| policy::names().iter().map(|s| s.to_string()).collect());
     let instances = if smoke { 2 } else { instance_count(50, 500) };
+    let seeds = seed_batch(base, instances);
 
-    let mut grid = BatchGrid::new().seeds(seed_batch(base, instances));
-    let specs: Vec<Spec> = if smoke {
+    // Identical-machine grid: full registry (or --policies).
+    let identical_specs: Vec<Spec> = if smoke {
         vec![
             Spec::PaperUniform { n: 4 },
             Spec::IntegerUniform { n: 4, p: 4 },
@@ -69,10 +88,7 @@ fn main() {
             },
         ]
     };
-    for spec in specs {
-        grid = grid.spec(spec);
-    }
-    let names: Vec<&str> = if smoke {
+    let identical_names: Vec<&str> = if smoke {
         // The CI grid deliberately includes the two parametric policies:
         // any `Unconverged` escape from the threshold search panics the
         // sweep (BatchGrid asserts policy success), so a green smoke run
@@ -87,20 +103,74 @@ fn main() {
     } else {
         policies.iter().map(String::as_str).collect()
     };
-    // Unknown names are rejected by BatchGrid::run() before any work.
-    let grid = grid.named_policies(names.iter().copied());
+
+    // Related-machines grid: heterogeneous speed profiles over the
+    // policies that handle them (the rate-space policies reject such
+    // instances by design).
+    let related_specs: Vec<Spec> = if smoke {
+        vec![Spec::TwoTierCluster {
+            n: 4,
+            fast: 1,
+            slow: 3,
+            speedup: 4.0,
+        }]
+    } else {
+        vec![
+            Spec::PowerLawSpeeds {
+                n,
+                machines: 8,
+                alpha: 1.0,
+            },
+            Spec::TwoTierCluster {
+                n,
+                fast: 2,
+                slow: 6,
+                speedup: 4.0,
+            },
+            Spec::SingleFastMachine { n, machines: 8 },
+        ]
+    };
+    let related_names: Vec<&str> = if smoke {
+        vec![
+            "wdeq-related",
+            "wf-related",
+            "greedy-smith-related",
+            "lmax-parametric-related",
+            "makespan-parametric",
+        ]
+    } else {
+        policy::related_capable()
+    };
+
+    let mut identical_grid = BatchGrid::new().seeds(seeds.clone());
+    for spec in &identical_specs {
+        identical_grid = identical_grid.spec(spec.clone());
+    }
+    let identical_grid = identical_grid.named_policies(identical_names.iter().copied());
+
+    let mut related_grid = BatchGrid::new().seeds(seeds);
+    for spec in &related_specs {
+        related_grid = related_grid.spec(spec.clone());
+    }
+    let related_grid = related_grid.named_policies(related_names.iter().copied());
 
     println!(
-        "B0: batch evaluation — {} policies × {} families × {instances} seeds\n",
-        names.len(),
-        if smoke { 2 } else { 8 }
+        "B0: batch evaluation — {} identical policies × {} families + {} related policies × {} families, {instances} seeds each\n",
+        identical_names.len(),
+        identical_specs.len(),
+        related_names.len(),
+        related_specs.len(),
     );
-    let records = grid.run();
+    let mut records = identical_grid.run();
+    records.extend(related_grid.run());
 
     // Soundness: nothing beats the combined lower bound, every
     // certificate holds, and every record is a finite, converged result
     // (an `Unconverged` parametric solve would already have panicked the
-    // grid; the finiteness check guards the aggregates on top).
+    // grid; the finiteness check guards the aggregates on top). The
+    // related cells run the same assertions — heterogeneous speeds
+    // included.
+    let mut related_records = 0usize;
     for r in &records {
         assert!(
             r.cost.is_finite() && r.makespan.is_finite(),
@@ -120,11 +190,36 @@ fn main() {
         if let Some(c) = r.cert_ratio {
             assert!(c <= 2.0 + 1e-6, "certificate violated: {c}");
         }
+        if r.policy.ends_with("-related") {
+            related_records += 1;
+        }
     }
+    assert!(
+        related_records > 0,
+        "the sweep must include related-machines cells"
+    );
 
     summary_table(&records).print();
     match write_records_csv("batch_eval", &records) {
         Ok(p) => println!("\nwrote {} ({} records)", p.display(), records.len()),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    match write_batch_json("BENCH_batch", &records) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("json write failed: {e}"),
+    }
+
+    // Coarse timing gate (smoke only): the first step toward the
+    // ROADMAP's bench-regression threshold. The budget is generous — it
+    // catches order-of-magnitude regressions (e.g. a parametric search
+    // degrading to its iteration cap), not noise.
+    let elapsed = t0.elapsed();
+    println!("elapsed: {:.2}s", elapsed.as_secs_f64());
+    if smoke {
+        assert!(
+            elapsed.as_secs() < time_budget_s,
+            "smoke grid exceeded its {time_budget_s}s wall-clock budget: {:.1}s",
+            elapsed.as_secs_f64()
+        );
     }
 }

@@ -8,13 +8,22 @@
 //!
 //! ```text
 //! msched <instance-file> [--policy <name>] [--list-policies]
-//!                        [--gantt] [--svg out.svg] [--normalize]
+//!                        [--speeds s1,s2,...] [--gantt] [--svg out.svg]
+//!                        [--normalize]
 //! usage examples:
 //!   msched --list-policies
 //!   msched jobs.txt --policy wdeq --gantt
 //!   msched jobs.txt --policy greedy-smith --normalize
 //!   msched jobs.txt --policy optimal --svg plan.svg
+//!   msched jobs.txt --speeds 4,2,1 --policy wdeq-related
 //! ```
+//!
+//! `--speeds` re-bases the instance onto related machines with the given
+//! per-machine speeds (capacity `P` becomes their sum); pick a
+//! related-capable policy (`wdeq-related`, `wf-related`,
+//! `greedy-smith-related`, `lmax-parametric-related`,
+//! `makespan-parametric`, …) — the identical-machine rate-space policies
+//! reject heterogeneous speed profiles.
 //!
 //! `--algo` is accepted as a deprecated alias of `--policy`.
 
@@ -22,6 +31,7 @@ use malleable_core::algos::waterfill::water_filling;
 use malleable_core::bounds::{height_bound, squashed_area_bound};
 use malleable_core::instance::Instance;
 use malleable_core::io::parse_instance;
+use malleable_core::machine::MachineModel;
 use malleable_core::policy;
 use malleable_core::schedule::column::ColumnSchedule;
 use malleable_core::schedule::convert::column_to_gantt;
@@ -33,6 +43,7 @@ use std::process::ExitCode;
 struct Args {
     file: String,
     policy: String,
+    speeds: Option<Vec<f64>>,
     gantt: bool,
     svg: Option<String>,
     normalize: bool,
@@ -47,12 +58,19 @@ fn parse_args() -> Result<Parsed, String> {
     let mut args = std::env::args().skip(1);
     let mut file = None;
     let mut policy = "wdeq".to_string();
+    let mut speeds = None;
     let mut gantt = false;
     let mut svg = None;
     let mut normalize = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--policy" | "--algo" => policy = args.next().ok_or("--policy needs a value")?,
+            "--speeds" => {
+                let raw = args.next().ok_or("--speeds needs a comma-separated list")?;
+                let parsed: Result<Vec<f64>, _> =
+                    raw.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                speeds = Some(parsed.map_err(|_| format!("unparsable --speeds {raw:?}"))?);
+            }
             "--list-policies" => return Ok(Parsed::ListPolicies),
             "--gantt" => gantt = true,
             "--svg" => svg = Some(args.next().ok_or("--svg needs a path")?),
@@ -71,13 +89,14 @@ fn parse_args() -> Result<Parsed, String> {
     Ok(Parsed::Run(Args {
         file: file.ok_or_else(|| format!("missing instance file\n{USAGE}"))?,
         policy,
+        speeds,
         gantt,
         svg,
         normalize,
     }))
 }
 
-const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--gantt] [--svg out.svg] [--normalize]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum)";
+const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--speeds s1,s2,...] [--gantt] [--svg out.svg] [--normalize]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum;\n        --speeds re-bases onto related machines — use a related-capable policy)";
 
 fn list_policies() {
     println!("registered policies (malleable_core::policy):");
@@ -140,13 +159,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let instance = match parse_instance(&text) {
+    let mut instance = match parse_instance(&text) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("bad instance file: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(speeds) = args.speeds {
+        let model = match MachineModel::related(speeds) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("bad --speeds: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        instance = match instance.with_machine(model) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("bad --speeds: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     println!("{instance}");
 
     let (mut cs, note) = match schedule(&instance, &args.policy) {

@@ -53,6 +53,22 @@ impl<S: Scalar> FlowNetwork<S> {
         self.adj.len()
     }
 
+    /// Reset the network to `n` empty nodes with comparison slack `eps`,
+    /// **reusing the existing allocations**: the edge arena and the
+    /// adjacency vectors keep their capacity, so a parametric search that
+    /// probes many deadlines rebuilds capacities in place instead of
+    /// reallocating a fresh network per probe (see
+    /// [`crate::algos::parametric`]).
+    pub fn reset(&mut self, n: usize, eps: S) {
+        self.edges.clear();
+        self.adj.truncate(n);
+        for a in &mut self.adj {
+            a.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+        self.eps = eps;
+    }
+
     /// Add a new node, returning its id.
     pub fn add_node(&mut self) -> usize {
         self.adj.push(Vec::new());
@@ -304,5 +320,23 @@ mod tests {
     fn bad_node_panics() {
         let mut g = FlowNetwork::new(2, 1e-12);
         g.add_edge(0, 7, 1.0);
+    }
+
+    #[test]
+    fn reset_reuses_the_network_across_solves() {
+        let mut g = FlowNetwork::new(4, 1e-12);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 10.0);
+        assert!(close(g.max_flow(0, 3), 1.0));
+        // Rebuild a different (smaller, then larger) topology in place.
+        g.reset(2, 1e-12);
+        g.add_edge(0, 1, 2.5);
+        assert!(close(g.max_flow(0, 1), 2.5));
+        g.reset(5, 1e-12);
+        g.add_edge(0, 4, 7.0);
+        g.add_edge(4, 3, 3.0);
+        assert!(close(g.max_flow(0, 3), 3.0));
+        assert_eq!(g.n_nodes(), 5);
     }
 }

@@ -189,6 +189,10 @@ pub fn greedy_schedule<S: Scalar>(
     order: &[TaskId],
 ) -> Result<StepSchedule<S>, ScheduleError> {
     instance.validate()?;
+    // The availability profile shares *rates*, which is only sound on
+    // identical/uniform machines; heterogeneous greedy is
+    // `algos::related::greedy_related`.
+    instance.require_uniform_machine("Greedy(σ)")?;
     if !crate::algos::orders::is_permutation(order, instance.n()) {
         return Err(ScheduleError::InvalidInstance {
             reason: format!("order is not a permutation of 0..{}", instance.n()),

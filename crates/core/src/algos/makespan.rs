@@ -20,7 +20,7 @@
 //! terminates combinatorially at the frontier root — there is no
 //! bisection bracket or iteration budget in the contract.
 
-use crate::algos::parametric::min_lmax_value;
+use crate::algos::parametric::{min_lmax_value, Probe};
 use crate::algos::waterfill::{water_filling, wf_feasible};
 use crate::algos::waterfill_fast::wf_feasible_grouped;
 use crate::error::ScheduleError;
@@ -28,7 +28,16 @@ use crate::instance::Instance;
 use crate::schedule::column::ColumnSchedule;
 use numkit::Scalar;
 
-/// The optimal makespan `C* = max(ΣVᵢ/P, maxᵢ Vᵢ/min(δᵢ, P))`.
+/// The optimal makespan `C* = max(ΣVᵢ/P, maxᵢ Vᵢ/min(δᵢ, P))` on
+/// identical (or uniform-speed) machines.
+///
+/// On heterogeneous related machines the two-term value (with the
+/// heights measured against the true rate caps) is only a **lower
+/// bound** — polymatroid pair cuts can exceed it (two δ = 1 tasks on
+/// speeds (2, 1, 1) need `2V/3`, not `2V/4`). Use
+/// [`crate::algos::releases::makespan_with_releases`] with zero releases
+/// for the exact related-machines optimum; [`makespan_schedule`] rejects
+/// non-uniform machines outright.
 ///
 /// ```
 /// use malleable_core::algos::makespan::optimal_makespan;
@@ -44,9 +53,8 @@ use numkit::Scalar;
 pub fn optimal_makespan<S: Scalar>(instance: &Instance<S>) -> S {
     let area = instance.total_volume() / instance.p.clone();
     let height = instance
-        .tasks
         .iter()
-        .map(|t| t.volume.clone() / t.delta.clone().min_of(instance.p.clone()))
+        .map(|(id, t)| t.volume.clone() / instance.effective_delta(id))
         .fold(S::zero(), S::max_of);
     area.max_of(height)
 }
@@ -58,6 +66,10 @@ pub fn makespan_schedule<S: Scalar>(
     instance: &Instance<S>,
 ) -> Result<ColumnSchedule<S>, ScheduleError> {
     instance.validate()?;
+    // The closed form is only a lower bound on heterogeneous related
+    // machines (see `optimal_makespan`); fail here with a clear message
+    // instead of letting Water-Filling's guard speak for us.
+    instance.require_uniform_machine("the closed-form Cmax schedule")?;
     let c = optimal_makespan(instance);
     let completions = vec![c; instance.n()];
     water_filling(instance, &completions)
@@ -110,21 +122,29 @@ pub fn min_lmax<S: Scalar>(
         // No tasks: lateness is vacuously zero.
         return Ok((S::zero(), water_filling(instance, &[])?));
     }
+    if !instance.machine.uniform() {
+        // Heterogeneous related machines: Water-Filling's rate-space
+        // feasibility is not sound there; the transportation flow is both
+        // oracle and witness builder.
+        return crate::algos::related::min_lmax_flow(instance, due);
+    }
     // The search never probes below the height bound, so d + L ≥ h ≥ 0
     // always; the clamp only absorbs f64 rounding at the bound itself.
     let completions = |l: &S| -> Vec<S> {
         instance
-            .tasks
             .iter()
             .zip(due)
-            .map(|(t, d)| {
-                (d.clone() + l.clone())
-                    .max_of(t.volume.clone() / t.delta.clone().min_of(instance.p.clone()))
+            .map(|((id, t), d)| {
+                (d.clone() + l.clone()).max_of(t.volume.clone() / instance.effective_delta(id))
             })
             .collect()
     };
     let outcome = min_lmax_value(instance, due, |l| {
-        Ok(deadlines_feasible(instance, &completions(l)))
+        Ok(if deadlines_feasible(instance, &completions(l)) {
+            Probe::Feasible
+        } else {
+            Probe::Infeasible(None)
+        })
     })?;
     let cs = water_filling(instance, &completions(&outcome.value))?;
     Ok((outcome.value, cs))

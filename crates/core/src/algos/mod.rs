@@ -1,4 +1,4 @@
-//! The paper's scheduling algorithms.
+//! The paper's scheduling algorithms, plus the related-machines layer.
 //!
 //! | Module | Paper artifact |
 //! |---|---|
@@ -7,13 +7,15 @@
 //! | [`greedy`] | Algorithm 3 — **Greedy(σ)** schedules (Section V) |
 //! | [`orders`] | Task orderings: Smith's rule and friends |
 //! | [`makespan`] | `Cmax`/`Lmax` solvers built on Water-Filling feasibility (Table I context) |
-//! | [`parametric`] | Exact threshold search over the feasibility frontier (min-cut Newton iteration) |
+//! | [`parametric`] | Exact threshold search over the transportation feasibility frontier (min-cut Newton iteration), speed-level aware |
+//! | [`related`] | Related-machines solvers: flow witnesses, heterogeneous `Lmax`, completion-time Greedy (Fotakis et al. 2019 model) |
 
 pub mod flow;
 pub mod greedy;
 pub mod makespan;
 pub mod orders;
 pub mod parametric;
+pub mod related;
 pub mod releases;
 pub mod waterfill;
 pub mod waterfill_fast;

@@ -1,32 +1,36 @@
-//! **Parametric threshold search** over the Water-Filling feasibility
+//! **Parametric threshold search** over the transportation feasibility
 //! frontier — the engine that makes `min_lmax` and
 //! `makespan_with_releases` return *exact* optima instead of bisection
-//! brackets.
+//! brackets, on identical **and related** machines.
 //!
 //! Both solvers minimize a scalar parameter `λ` subject to a monotone
 //! feasibility predicate:
 //!
-//! * `min_lmax`: deadlines `Dᵢ(λ) = dᵢ + λ` must be Water-Filling
-//!   feasible (Theorem 8);
+//! * `min_lmax`: deadlines `Dᵢ(λ) = dᵢ + λ` must be feasible (Theorem 8
+//!   on identical machines; the transportation flow in general);
 //! * `makespan_with_releases`: the common deadline `λ` must be reachable
 //!   by the release-date transportation problem.
 //!
-//! Feasibility of either problem is a transportation question, and by
-//! max-flow/min-cut it fails iff some **task set `T` is violated**:
+//! Feasibility of either problem is a transportation question over the
+//! machine's **speed levels** (see [`crate::machine`]): between
+//! consecutive breakpoints, level `ℓ` offers `k_ℓ·d_ℓ·Δt` capacity and a
+//! *released* task can absorb at most `min(δᵢ, k_ℓ)·d_ℓ·Δt` of it. On
+//! identical machines there is a single level `(P, 1)` and the network is
+//! exactly the one the paper's algorithms used. By max-flow/min-cut the
+//! problem fails iff some **task set `T` is violated**:
 //!
 //! ```text
-//! V(T)  >  cap_T(λ)  =  ∫₀^∞ min(P, Σ_{i∈T available at t} δ̂ᵢ) dt
+//! V(T)  >  cap_T(λ)  =  ∫₀^∞ f(T ∩ available at t) dt
 //! ```
 //!
-//! with `δ̂ᵢ = min(δᵢ, P)`. The key structural fact exploited here: once
-//! `λ` is at or above the trivial per-task lower bounds (so every
-//! deadline exceeds its task's height, resp. the deadline exceeds every
-//! release), `cap_T(λ)` is **affine in `λ`** with slope
-//! `min(P, Σ_{i∈T} δ̂ᵢ) > 0` — the occupancy breakpoints (deadline order,
-//! release order) stop moving relative to each other. So the minimal `λ`
-//! satisfying a violated set's constraint has a closed form, and the
-//! search is a Newton/Dinkelbach iteration on the piecewise-linear
-//! frontier:
+//! with `f` the machine's polymatroid rank
+//! `f(T) = Σ_ℓ min(k_ℓ, Σ_{i∈T} min(δᵢ, k_ℓ))·d_ℓ` (which degenerates to
+//! `min(P, Σ δ̂ᵢ)` on identical machines). The key structural fact: once
+//! `λ` is at or above the trivial per-task lower bounds, `cap_T(λ)` is
+//! **affine in `λ`** with slope `f(T) > 0` — the occupancy breakpoints
+//! stop moving relative to each other. So the minimal `λ` satisfying a
+//! violated set's constraint has a closed form, and the search is a
+//! Newton/Dinkelbach iteration on the piecewise-linear frontier:
 //!
 //! 1. start at the largest trivial lower bound (itself the root of a
 //!    singleton or whole-set constraint, hence `≤ λ*`);
@@ -45,10 +49,15 @@
 //! stalls. A generous safety cap turns a pathological float cycle into an
 //! explicit [`ScheduleError::Unconverged`] instead of a silent bracket —
 //! the tests assert it never fires.
+//!
+//! Successive probes **reuse one [`FlowNetwork`] arena** (capacities are
+//! rebuilt in place via [`FlowNetwork::reset`]), so a search allocates
+//! its transportation network once, not once per probe.
 
 use crate::algos::flow::FlowNetwork;
 use crate::error::ScheduleError;
 use crate::instance::Instance;
+use crate::machine::LevelAccumulator;
 use numkit::{Scalar, Tolerance};
 
 /// A violated task set extracted from an infeasible transportation flow:
@@ -65,20 +74,34 @@ pub struct ViolatedSet<S> {
     pub capacity: S,
 }
 
-/// Feasibility of per-task `deadlines` under per-task `releases` as a
-/// transportation problem, with min-cut certificate extraction on
-/// failure. Returns `Ok(None)` when the flow saturates (feasible) and
-/// `Ok(Some(set))` with the violated task set otherwise.
-///
-/// Inputs are assumed pre-validated by the callers (`min_lmax` /
-/// `makespan_with_releases` validate the instance and vectors first);
-/// deadlines must be positive and at least `rᵢ + hᵢ` for every task —
-/// both solvers guarantee this by starting at the trivial lower bounds.
-pub(crate) fn violated_set<S: Scalar>(
+/// The node/edge layout of a transportation network built by
+/// [`build_transport`]: interval boundaries plus, per task, the edge ids
+/// of its (interval × level) arcs — what witness extraction needs to read
+/// the routed flow back out.
+pub(crate) struct TransportLayout<S> {
+    /// Time intervals `(start, end)`, contiguous from 0.
+    pub intervals: Vec<(S, S)>,
+    /// Per task: `(interval index, per-level edge ids)` for every interval
+    /// the task may use.
+    pub task_edges: Vec<Vec<(usize, Vec<usize>)>>,
+    /// Source node id.
+    pub source: usize,
+    /// Sink node id.
+    pub sink: usize,
+}
+
+/// Build the transportation network for per-task `deadlines` under
+/// optional per-task `releases` into the (reset) workspace `net`. Nodes:
+/// tasks `0..n`, then one node per (interval, speed level), then source
+/// and sink. Task arcs are capacitated `min(δᵢ, k_ℓ)·d_ℓ·Δt`, level arcs
+/// `k_ℓ·d_ℓ·Δt` — the Federgruen–Groenevelt construction, whose
+/// single-level instantiation is the paper's identical-machine network.
+pub(crate) fn build_transport<S: Scalar>(
     instance: &Instance<S>,
     releases: Option<&[S]>,
     deadlines: &[S],
-) -> Result<Option<ViolatedSet<S>>, ScheduleError> {
+    net: &mut FlowNetwork<S>,
+) -> TransportLayout<S> {
     let n = instance.n();
     debug_assert_eq!(deadlines.len(), n);
     let tol = Tolerance::<S>::for_instance(n);
@@ -103,43 +126,129 @@ pub(crate) fn violated_set<S: Scalar>(
         .map(|w| (w[0].clone(), w[1].clone()))
         .collect();
     let m = intervals.len();
+    let levels = instance.machine.levels();
+    let nl = levels.len();
 
-    // Nodes: tasks 0..n, intervals n..n+m, source, sink.
-    let s = n + m;
-    let t_ = n + m + 1;
+    // Nodes: tasks 0..n, (interval × level) n..n+m·L, source, sink.
+    let s = n + m * nl;
+    let t_ = n + m * nl + 1;
     // The flow's ε is a fraction of the comparison tolerance (zero for
-    // exact scalars — same convention as `releases::build_flow_schedule`).
-    let mut g = FlowNetwork::new(n + m + 2, tol.abs.clone() * S::from_f64(1e-3));
+    // exact scalars — same convention as the release-date solver).
+    net.reset(n + m * nl + 2, tol.abs.clone() * S::from_f64(1e-3));
+    let mut task_edges: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
     for (i, task) in instance.tasks.iter().enumerate() {
-        g.add_edge(s, i, task.volume.clone());
-        let cap = instance.effective_delta(crate::instance::TaskId(i));
+        net.add_edge(s, i, task.volume.clone());
+        // Per-level absorption rate of this task: min(δᵢ, k_ℓ)·d_ℓ.
+        let caps: Vec<S> = levels
+            .iter()
+            .map(|l| task.delta.clone().min_of(l.count.clone()) * l.diff.clone())
+            .collect();
         let r = release(i);
         for (j, (a, b)) in intervals.iter().enumerate() {
             let released = r <= a.clone() + tol.abs.clone();
             let before_deadline = *b <= deadlines[i].clone() + tol.abs.clone();
             if released && before_deadline {
-                g.add_edge(i, n + j, cap.clone() * (b.clone() - a.clone()));
+                let len = b.clone() - a.clone();
+                let eids: Vec<usize> = caps
+                    .iter()
+                    .enumerate()
+                    .map(|(li, c)| net.add_edge(i, n + j * nl + li, c.clone() * len.clone()))
+                    .collect();
+                task_edges[i].push((j, eids));
             }
         }
     }
     for (j, (a, b)) in intervals.iter().enumerate() {
-        g.add_edge(n + j, t_, instance.p.clone() * (b.clone() - a.clone()));
+        let len = b.clone() - a.clone();
+        for (li, l) in levels.iter().enumerate() {
+            net.add_edge(
+                n + j * nl + li,
+                t_,
+                l.count.clone() * l.diff.clone() * len.clone(),
+            );
+        }
     }
+    TransportLayout {
+        intervals,
+        task_edges,
+        source: s,
+        sink: t_,
+    }
+}
 
-    let flow = g.max_flow(s, t_);
-    let total_volume = instance.total_volume();
-    // Saturation slack: the unscaled base tolerance, matching the
-    // release-date solver's tight acceptance criterion (exactly zero for
-    // exact scalars).
+/// Read the routed flow of a saturated transport solve back out as
+/// per-(task, interval) constant rates, with each task's total area
+/// snapped onto its exact volume (a no-op in exact arithmetic where the
+/// flow saturates exactly; far inside every validation tolerance on
+/// `f64`, whose flow can be short by [`saturation_slack`]). Near-zero
+/// residues and zero-length intervals are dropped. Shared by the `Cmax`
+/// witness ([`crate::algos::releases`]) and the related-machines column
+/// witness ([`crate::algos::related`]).
+pub(crate) fn snapped_interval_rates<S: Scalar>(
+    instance: &Instance<S>,
+    layout: &TransportLayout<S>,
+    net: &FlowNetwork<S>,
+    tol: &Tolerance<S>,
+) -> Vec<Vec<(usize, S)>> {
+    let mut out = Vec::with_capacity(instance.n());
+    for (i, task) in instance.tasks.iter().enumerate() {
+        let mut pieces: Vec<(usize, S)> = Vec::new();
+        let mut area = S::zero();
+        for (j, eids) in &layout.task_edges[i] {
+            let (a, b) = &layout.intervals[*j];
+            let len = b.clone() - a.clone();
+            let vol = S::sum(eids.iter().map(|&e| net.flow_on(e)));
+            if vol > tol.abs.clone() * len.clone().max_of(S::one()) && len > tol.abs {
+                area = area + vol.clone();
+                pieces.push((*j, vol / len));
+            }
+        }
+        if area.is_positive() {
+            let scale = task.volume.clone() / area;
+            for (_, rate) in &mut pieces {
+                *rate = rate.clone() * scale.clone();
+            }
+        }
+        out.push(pieces);
+    }
+    out
+}
+
+/// The saturation slack of a transport solve: the *unscaled* base
+/// tolerance (zero for exact scalars), matching the release-date solver's
+/// tight acceptance criterion.
+pub(crate) fn saturation_slack<S: Scalar>(total_volume: &S) -> S {
     let base = S::default_tolerance();
-    let sat_slack = base.rel * total_volume.clone() + base.abs * S::from_f64(1e-3);
-    if flow.clone() + sat_slack >= total_volume {
+    base.rel * total_volume.clone() + base.abs * S::from_f64(1e-3)
+}
+
+/// Feasibility of per-task `deadlines` under per-task `releases` as a
+/// transportation problem, with min-cut certificate extraction on
+/// failure. Returns `Ok(None)` when the flow saturates (feasible) and
+/// `Ok(Some(set))` with the violated task set otherwise. The workspace
+/// `net` is rebuilt in place (arena reuse across probes).
+///
+/// Inputs are assumed pre-validated by the callers (`min_lmax` /
+/// `makespan_with_releases` validate the instance and vectors first);
+/// deadlines must be positive and at least `rᵢ + hᵢ` for every task —
+/// both solvers guarantee this by starting at the trivial lower bounds.
+pub(crate) fn violated_set_in<S: Scalar>(
+    instance: &Instance<S>,
+    releases: Option<&[S]>,
+    deadlines: &[S],
+    net: &mut FlowNetwork<S>,
+) -> Result<Option<ViolatedSet<S>>, ScheduleError> {
+    let n = instance.n();
+    let layout = build_transport(instance, releases, deadlines, net);
+    let flow = net.max_flow(layout.source, layout.sink);
+    let total_volume = instance.total_volume();
+    if flow.clone() + saturation_slack(&total_volume) >= total_volume {
         return Ok(None);
     }
 
     // Min-cut certificate: tasks reachable from the source in the
     // residual network form a violated set T with V(T) > cap_T.
-    let side = g.min_cut_source_side(s);
+    let side = net.min_cut_source_side(layout.source);
     let tasks: Vec<usize> = (0..n).filter(|&i| side[i]).collect();
     let volume = S::sum(tasks.iter().map(|&i| instance.tasks[i].volume.clone()));
     let capacity = set_capacity(instance, &tasks, releases, deadlines);
@@ -150,10 +259,21 @@ pub(crate) fn violated_set<S: Scalar>(
     }))
 }
 
+/// [`violated_set_in`] with a one-shot workspace (unit tests).
+#[cfg(test)]
+pub(crate) fn violated_set<S: Scalar>(
+    instance: &Instance<S>,
+    releases: Option<&[S]>,
+    deadlines: &[S],
+) -> Result<Option<ViolatedSet<S>>, ScheduleError> {
+    let mut net = FlowNetwork::new(0, S::zero());
+    violated_set_in(instance, releases, deadlines, &mut net)
+}
+
 /// `cap_T` — the machine capacity available to task set `T` under the
 /// given releases and deadlines:
-/// `∫ min(P, Σ_{i∈T: rᵢ ≤ t < Dᵢ} δ̂ᵢ) dt`, evaluated by sweeping the
-/// `2|T|` release/deadline events.
+/// `∫ f({i ∈ T : rᵢ ≤ t < Dᵢ}) dt` with `f` the machine's polymatroid
+/// rank, evaluated by sweeping the `2|T|` release/deadline events.
 pub(crate) fn set_capacity<S: Scalar>(
     instance: &Instance<S>,
     tasks: &[usize],
@@ -161,23 +281,27 @@ pub(crate) fn set_capacity<S: Scalar>(
     deadlines: &[S],
 ) -> S {
     let release = |i: usize| releases.map_or_else(S::zero, |r| r[i].clone());
-    // Events: +δ̂ at release, −δ̂ at deadline.
-    let mut events: Vec<(S, S)> = Vec::with_capacity(2 * tasks.len());
+    // Events: task enters at its release, leaves at its deadline.
+    let mut events: Vec<(S, S, bool)> = Vec::with_capacity(2 * tasks.len());
     for &i in tasks {
-        let cap = instance.effective_delta(crate::instance::TaskId(i));
-        events.push((release(i), cap.clone()));
-        events.push((deadlines[i].clone(), -cap));
+        let delta = instance.tasks[i].delta.clone();
+        events.push((release(i), delta.clone(), true));
+        events.push((deadlines[i].clone(), delta, false));
     }
     events.sort_by(|a, b| a.0.total_cmp_s(&b.0));
+    let mut active = LevelAccumulator::new(&instance.machine);
     let mut total = S::zero();
-    let mut active = S::zero();
     let mut prev = S::zero();
-    for (at, delta) in events {
+    for (at, delta, enters) in events {
         if at > prev {
-            total = total + (at.clone() - prev.clone()) * active.clone().min_of(instance.p.clone());
+            total = total + (at.clone() - prev.clone()) * active.rate();
             prev = at;
         }
-        active = active + delta;
+        if enters {
+            active.add(&delta);
+        } else {
+            active.sub(&delta);
+        }
     }
     total
 }
@@ -187,32 +311,33 @@ pub(crate) fn set_capacity<S: Scalar>(
 /// (deadlines `dᵢ + λ`, all releases zero). Requires `λ` at or above the
 /// height bounds so the deadline order is `λ`-independent; then
 ///
-/// `cap_T(λ) = (d₍₁₎ + λ)·min(P, Δ₁) + Σ_{k≥2} (d₍ₖ₎ − d₍ₖ₋₁₎)·min(P, Δₖ)`
+/// `cap_T(λ) = (d₍₁₎ + λ)·f(T) + Σ_{k≥2} (d₍ₖ₎ − d₍ₖ₋₁₎)·f(suffix k)`
 ///
-/// with `Δₖ` the suffix δ̂-sums in due-date order, and the root is the
-/// solution of one linear equation.
+/// with `f` evaluated over suffixes in due-date order, and the root is
+/// the solution of one linear equation.
 fn lmax_constraint_root<S: Scalar>(instance: &Instance<S>, due: &[S], set: &ViolatedSet<S>) -> S {
     debug_assert!(!set.tasks.is_empty());
     let mut members: Vec<usize> = set.tasks.clone();
     members.sort_by(|&a, &b| due[a].total_cmp_s(&due[b]).then(a.cmp(&b)));
-    let caps: Vec<S> = members
-        .iter()
-        .map(|&i| instance.effective_delta(crate::instance::TaskId(i)))
-        .collect();
-    // Suffix δ̂-sums: Δₖ = Σ_{j ≥ k} δ̂₍ⱼ₎.
-    let mut suffix = vec![S::zero(); members.len() + 1];
+    // Suffix ranks f({members[k..]}) built back to front.
+    let mut acc = LevelAccumulator::new(&instance.machine);
+    let mut suffix_rate = vec![S::zero(); members.len()];
     for k in (0..members.len()).rev() {
-        suffix[k] = suffix[k + 1].clone() + caps[k].clone();
+        acc.add(&instance.tasks[members[k]].delta);
+        suffix_rate[k] = acc.rate();
     }
     // λ-independent part: capacity of the gaps between consecutive due
     // dates.
     let mut fixed = S::zero();
     for k in 1..members.len() {
         let gap = due[members[k]].clone() - due[members[k - 1]].clone();
-        fixed = fixed + gap * suffix[k].clone().min_of(instance.p.clone());
+        fixed = fixed + gap * suffix_rate[k].clone();
     }
-    let slope = suffix[0].clone().min_of(instance.p.clone());
-    debug_assert!(slope.is_positive(), "δ̂ and P are positive by validation");
+    let slope = suffix_rate[0].clone();
+    debug_assert!(
+        slope.is_positive(),
+        "δ̂ and speeds are positive by validation"
+    );
     (set.volume.clone() - fixed) / slope - due[members[0]].clone()
 }
 
@@ -220,7 +345,7 @@ fn lmax_constraint_root<S: Scalar>(instance: &Instance<S>, due: &[S], set: &Viol
 /// for the **release-date** parametrization. For `D` at or above every
 /// `rᵢ + hᵢ` the release order is fixed and
 ///
-/// `cap_T(D) = Σₖ (r₍ₖ₊₁₎ − r₍ₖ₎)·min(P, prefix δ̂) + (D − r_max)·min(P, Σ δ̂)`,
+/// `cap_T(D) = Σₖ (r₍ₖ₊₁₎ − r₍ₖ₎)·f(prefix k) + (D − r_max)·f(T)`,
 ///
 /// again one linear equation.
 fn release_constraint_root<S: Scalar>(
@@ -231,20 +356,20 @@ fn release_constraint_root<S: Scalar>(
     debug_assert!(!set.tasks.is_empty());
     let mut members: Vec<usize> = set.tasks.clone();
     members.sort_by(|&a, &b| releases[a].total_cmp_s(&releases[b]).then(a.cmp(&b)));
-    let caps: Vec<S> = members
-        .iter()
-        .map(|&i| instance.effective_delta(crate::instance::TaskId(i)))
-        .collect();
-    // Capacity of the gaps between consecutive releases (prefix δ̂-sums).
+    // Capacity of the gaps between consecutive releases (prefix ranks).
+    let mut acc = LevelAccumulator::new(&instance.machine);
     let mut fixed = S::zero();
-    let mut prefix = S::zero();
     for k in 0..members.len() - 1 {
-        prefix = prefix + caps[k].clone();
+        acc.add(&instance.tasks[members[k]].delta);
         let gap = releases[members[k + 1]].clone() - releases[members[k]].clone();
-        fixed = fixed + gap * prefix.clone().min_of(instance.p.clone());
+        fixed = fixed + gap * acc.rate();
     }
-    let slope = (prefix + caps[members.len() - 1].clone()).min_of(instance.p.clone());
-    debug_assert!(slope.is_positive(), "δ̂ and P are positive by validation");
+    acc.add(&instance.tasks[members[members.len() - 1]].delta);
+    let slope = acc.rate();
+    debug_assert!(
+        slope.is_positive(),
+        "δ̂ and speeds are positive by validation"
+    );
     let r_max = releases[members[members.len() - 1]].clone();
     r_max + (set.volume.clone() - fixed) / slope
 }
@@ -283,8 +408,9 @@ pub(crate) enum Probe<S> {
 /// Shared Newton loop. `start` must be a valid lower bound on the optimum
 /// (the callers pass the max of the closed-form singleton/area bounds),
 /// and `probe` the monotone oracle the final answer must satisfy —
-/// Water-Filling for Lmax (so the witness construction cannot disagree
-/// with the verdict), the transportation flow itself for releases.
+/// Water-Filling for the identical-machine Lmax (so the witness
+/// construction cannot disagree with the verdict), the transportation
+/// flow itself everywhere else.
 fn parametric_search<S: Scalar>(
     instance: &Instance<S>,
     param: Parametrization<'_, S>,
@@ -295,6 +421,8 @@ fn parametric_search<S: Scalar>(
     let n = instance.n();
     let tol = Tolerance::<S>::for_instance(n);
     let mut lambda = start;
+    // One flow arena for every cut this search has to extract itself.
+    let mut workspace = FlowNetwork::new(0, S::zero());
     // Termination is combinatorial (each violated set is visited at most
     // once); the cap only exists to turn a float-knife-edge cycle into an
     // explicit error. 16 sets per task plus slack is far beyond anything
@@ -325,7 +453,7 @@ fn parametric_search<S: Scalar>(
                     Parametrization::Lateness { .. } => None,
                     Parametrization::Releases { releases } => Some(*releases),
                 };
-                violated_set(instance, releases, &deadlines)?
+                violated_set_in(instance, releases, &deadlines, &mut workspace)?
             }
         };
         let next = match cut {
@@ -366,29 +494,22 @@ fn parametric_search<S: Scalar>(
 pub(crate) fn min_lmax_value<S: Scalar>(
     instance: &Instance<S>,
     due: &[S],
-    mut feasible: impl FnMut(&S) -> Result<bool, ScheduleError>,
+    probe: impl FnMut(&S) -> Result<Probe<S>, ScheduleError>,
 ) -> Result<ParametricOutcome<S>, ScheduleError> {
     // Trivial lower bound: every task needs its height, so L ≥ hᵢ − dᵢ
     // (the singleton constraints' roots). This also pins every probed
     // deadline at ≥ hᵢ > 0, which makes cap_T affine from here on.
     let start = instance
-        .tasks
         .iter()
         .zip(due)
-        .map(|(t, d)| t.volume.clone() / t.delta.clone().min_of(instance.p.clone()) - d.clone())
+        .map(|((id, t), d)| t.volume.clone() / instance.effective_delta(id) - d.clone())
         .reduce(S::max_of)
         .expect("caller guarantees n ≥ 1");
     parametric_search(
         instance,
         Parametrization::Lateness { due },
         start,
-        |l| {
-            Ok(if feasible(l)? {
-                Probe::Feasible
-            } else {
-                Probe::Infeasible(None)
-            })
-        },
+        probe,
         "parametric min-Lmax search",
     )
 }
@@ -405,8 +526,8 @@ pub(crate) fn min_release_makespan_value<S: Scalar>(
     // roots), and the machine cannot beat the area bound measured from
     // the earliest release (the whole-set constraint when P binds).
     let mut start = S::zero();
-    for (t, r) in instance.tasks.iter().zip(releases) {
-        let h = t.volume.clone() / t.delta.clone().min_of(instance.p.clone());
+    for ((id, t), r) in instance.iter().zip(releases) {
+        let h = t.volume.clone() / instance.effective_delta(id);
         start = start.max_of(r.clone() + h);
     }
     let rmin = releases
@@ -510,5 +631,46 @@ mod tests {
         };
         let root = release_constraint_root(&inst, &[2.0, 2.0], &set);
         assert!((root - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn related_machine_capacity_uses_the_speed_profile() {
+        // speeds (2, 1, 1): two δ = 1 tasks get f(T) = 3, not 4.
+        let inst = Instance::builder(0.0)
+            .tasks([(3.0, 1.0, 1.0), (3.0, 1.0, 1.0)])
+            .speeds(vec![2.0, 1.0, 1.0])
+            .build()
+            .unwrap();
+        let cap = set_capacity(&inst, &[0, 1], None, &[2.0, 2.0]);
+        assert!((cap - 6.0).abs() < 1e-12, "2·min-rank 3 = 6, got {cap}");
+        // Both volumes total 6 fit exactly at deadline 2...
+        assert!(violated_set(&inst, None, &[2.0, 2.0]).unwrap().is_none());
+        // ...but not a hair earlier, even though the *capacity* relaxation
+        // (P = 4, caps 2) would claim 3.6 ≥ 3 + 3 at deadline 1.8.
+        let set = violated_set(&inst, None, &[1.8, 1.8])
+            .unwrap()
+            .expect("speed profile must reject deadline 1.8");
+        assert_eq!(set.tasks, vec![0, 1]);
+        assert!(set.volume > set.capacity);
+    }
+
+    #[test]
+    fn related_lmax_root_uses_the_rank_slope() {
+        // Same machine: whole-set slope is f(T) = 3.
+        let inst = Instance::builder(0.0)
+            .tasks([(3.0, 1.0, 1.0), (3.0, 1.0, 1.0)])
+            .speeds(vec![2.0, 1.0, 1.0])
+            .build()
+            .unwrap();
+        let set = ViolatedSet {
+            tasks: vec![0, 1],
+            volume: 6.0,
+            capacity: 0.0,
+        };
+        // Both due at 0: cap(λ) = 3λ = 6 ⇒ λ = 2.
+        let root = lmax_constraint_root(&inst, &[0.0, 0.0], &set);
+        assert!((root - 2.0).abs() < 1e-12);
+        let root = release_constraint_root(&inst, &[0.0, 0.0], &set);
+        assert!((root - 2.0).abs() < 1e-12);
     }
 }

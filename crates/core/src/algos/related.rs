@@ -1,0 +1,480 @@
+//! Scheduling algorithms for **related machines** (heterogeneous speeds)
+//! — the entry points that stay exact when
+//! [`MachineModel::Related`](crate::machine::MachineModel) carries
+//! genuinely different speeds.
+//!
+//! The paper's rate-space algorithms (WDEQ's closed form, Water-Filling,
+//! Greedy's availability profile) assume the feasible instantaneous rate
+//! region is the box-and-simplex `{0 ≤ rᵢ ≤ δ̂ᵢ, Σ rᵢ ≤ P}`; on related
+//! machines that region is the *polymatroid* of the speed profile, and
+//! the box relaxation over-promises (two δ = 1 tasks on speeds (2, 1, 1)
+//! cannot both run at rate 2). This module supplies the sound
+//! replacements:
+//!
+//! * [`flow_witness`] — materialize a valid column schedule for any
+//!   transport-feasible deadline vector, by reading the routed flow of
+//!   the level network back out (the related analogue of Water-Filling's
+//!   witness role, Theorem 8);
+//! * [`min_lmax_flow`] — exact minimal `Lmax` with the transportation
+//!   flow as both oracle and witness builder (used by `min_lmax` for
+//!   heterogeneous instances, and unconditionally by the
+//!   `lmax-parametric-related` policy so the identical/related code path
+//!   is literally the same network);
+//! * [`greedy_related`] — Greedy(σ) re-based on completion times: each
+//!   task in σ-order receives the earliest completion time that keeps the
+//!   prefix transport-feasible, found by the same violated-set Newton
+//!   jumps as the parametric searches.
+//!
+//! Everything is generic over the scalar: on `bigratio::Rational` every
+//! verdict, cut, constraint root and witness is exact and validates at
+//! zero tolerance; unit-speed related machines reproduce the
+//! identical-machine results bit-for-bit because the transportation
+//! networks coincide structurally.
+
+use crate::algos::flow::FlowNetwork;
+use crate::algos::parametric::{
+    build_transport, min_lmax_value, saturation_slack, set_capacity, snapped_interval_rates,
+    violated_set_in, Probe, ViolatedSet,
+};
+use crate::error::ScheduleError;
+use crate::instance::{Instance, TaskId};
+use crate::machine::LevelAccumulator;
+use crate::schedule::column::{Column, ColumnSchedule};
+use numkit::{Scalar, Tolerance};
+
+/// Build a valid [`ColumnSchedule`] witnessing that every task can finish
+/// by its `deadlines` under the optional `releases`, by solving the
+/// transportation flow over the machine's speed levels and averaging the
+/// routed volume per (task, interval). Completion times are the end of
+/// each task's last positive allocation (≤ its deadline).
+///
+/// # Errors
+/// [`ScheduleError::InfeasibleCompletionTimes`] when the flow does not
+/// saturate (with the min-cut violated set's first member as the
+/// offender); validation errors on malformed input.
+pub fn flow_witness<S: Scalar>(
+    instance: &Instance<S>,
+    releases: Option<&[S]>,
+    deadlines: &[S],
+) -> Result<ColumnSchedule<S>, ScheduleError> {
+    instance.validate()?;
+    let n = instance.n();
+    if deadlines.len() != n {
+        return Err(ScheduleError::LengthMismatch {
+            what: "deadlines",
+            expected: n,
+            found: deadlines.len(),
+        });
+    }
+    for d in deadlines {
+        if !d.is_finite() || d.is_negative() {
+            return Err(ScheduleError::InvalidTime {
+                value: d.to_f64(),
+                context: "witness deadlines",
+            });
+        }
+    }
+    if n == 0 {
+        return Ok(ColumnSchedule {
+            p: instance.p.clone(),
+            completions: vec![],
+            columns: vec![],
+        });
+    }
+    let tol = Tolerance::<S>::for_instance(n);
+    let mut net = FlowNetwork::new(0, S::zero());
+    let layout = build_transport(instance, releases, deadlines, &mut net);
+    let flow = net.max_flow(layout.source, layout.sink);
+    let total_volume = instance.total_volume();
+    if flow + saturation_slack(&total_volume) < total_volume {
+        // Infeasible: surface the min-cut violated set as the certificate.
+        let side = net.min_cut_source_side(layout.source);
+        let tasks: Vec<usize> = (0..n).filter(|&i| side[i]).collect();
+        let first = tasks.first().copied().unwrap_or(0);
+        let volume = S::sum(tasks.iter().map(|&i| instance.tasks[i].volume.clone()));
+        let capacity = set_capacity(instance, &tasks, releases, deadlines);
+        return Err(ScheduleError::InfeasibleCompletionTimes {
+            task: TaskId(first),
+            placeable: capacity.to_f64(),
+            required: volume.to_f64(),
+        });
+    }
+
+    // Shared per-(task, interval) snapped rates (see
+    // `parametric::snapped_interval_rates`), packaged as columns.
+    let m = layout.intervals.len();
+    let mut col_rates: Vec<Vec<(TaskId, S)>> = vec![Vec::new(); m];
+    let mut completions = vec![S::zero(); n];
+    let rates = snapped_interval_rates(instance, &layout, &net, &tol);
+    for (i, pieces) in rates.into_iter().enumerate() {
+        for (j, rate) in pieces {
+            let (_, b) = &layout.intervals[j];
+            completions[i] = completions[i].clone().max_of(b.clone());
+            col_rates[j].push((TaskId(i), rate));
+        }
+    }
+    let columns = layout
+        .intervals
+        .iter()
+        .zip(col_rates)
+        .map(|((a, b), rates)| Column {
+            start: a.clone(),
+            end: b.clone(),
+            rates,
+        })
+        .collect();
+    Ok(ColumnSchedule {
+        p: instance.p.clone(),
+        completions,
+        columns,
+    })
+}
+
+/// The per-task *height* on this machine: `hᵢ = Vᵢ / rate_cap(δᵢ)`, the
+/// minimal possible running time.
+fn heights<S: Scalar>(instance: &Instance<S>) -> Vec<S> {
+    instance
+        .iter()
+        .map(|(id, t)| t.volume.clone() / instance.effective_delta(id))
+        .collect()
+}
+
+/// Exact minimal `Lmax` against due dates `due`, with the transportation
+/// flow as feasibility oracle *and* witness builder — sound on any
+/// machine model, and the only `Lmax` path on heterogeneous related
+/// machines. Returns the exact optimum and a witnessing schedule whose
+/// completions meet the optimal deadlines `max(dᵢ + L*, hᵢ)`.
+///
+/// # Errors
+/// Input validation failures, or [`ScheduleError::Unconverged`] on a
+/// pathological float knife-edge (never on exact scalars).
+pub fn min_lmax_flow<S: Scalar>(
+    instance: &Instance<S>,
+    due: &[S],
+) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
+    instance.validate()?;
+    if due.len() != instance.n() {
+        return Err(ScheduleError::LengthMismatch {
+            what: "due dates",
+            expected: instance.n(),
+            found: due.len(),
+        });
+    }
+    for d in due {
+        if !d.is_finite() {
+            return Err(ScheduleError::InvalidTime {
+                value: d.to_f64(),
+                context: "due dates",
+            });
+        }
+    }
+    if instance.n() == 0 {
+        return Ok((
+            S::zero(),
+            ColumnSchedule {
+                p: instance.p.clone(),
+                completions: vec![],
+                columns: vec![],
+            },
+        ));
+    }
+    let hs = heights(instance);
+    // The search never probes below the height bound, so d + L ≥ h ≥ 0
+    // always; the clamp only absorbs f64 rounding at the bound itself.
+    let deadlines_at = |l: &S| -> Vec<S> {
+        due.iter()
+            .zip(&hs)
+            .map(|(d, h)| (d.clone() + l.clone()).max_of(h.clone()))
+            .collect()
+    };
+    // One flow arena across all probes (capacities rebuilt in place).
+    let mut net = FlowNetwork::new(0, S::zero());
+    let outcome = min_lmax_value(instance, due, |l| {
+        Ok(
+            match violated_set_in(instance, None, &deadlines_at(l), &mut net)? {
+                None => Probe::Feasible,
+                Some(set) => Probe::Infeasible(Some(set)),
+            },
+        )
+    })?;
+    let witness = flow_witness(instance, None, &deadlines_at(&outcome.value))?;
+    Ok((outcome.value, witness))
+}
+
+/// Minimal `C` at which the violated set's constraint `V(T) ≤ cap_T(C)`
+/// becomes satisfiable when only the *current* task's deadline is the
+/// variable (all other members keep their fixed deadlines).
+///
+/// The capacity as a function of `C` is
+/// `cap_T(C) = ∫₀^∞ f(active(t)) dt`, where the current task is active
+/// on `[0, C]` and fixed member `i` on `[0, Dᵢ]` — crucially, fixed
+/// members keep absorbing capacity *after* `C`. Between consecutive
+/// fixed deadlines the fixed-active set is constant, so `cap_T` is
+/// piecewise linear in `C` with per-segment slope
+/// `f(S ∪ {cur}) − f(S)` (the current task's marginal rank over that
+/// segment's survivors `S`); walk the segments and solve the one binding
+/// linear equation. Exact on exact scalars. Returns `None` when the set
+/// does not contain the current task (an f64 knife-edge artefact; the
+/// caller nudges instead).
+fn anchored_constraint_root<S: Scalar>(
+    instance: &Instance<S>,
+    deadlines: &[S],
+    current: usize,
+    set: &ViolatedSet<S>,
+) -> Option<S> {
+    if !set.tasks.contains(&current) {
+        return None;
+    }
+    let mut fixed: Vec<usize> = set
+        .tasks
+        .iter()
+        .copied()
+        .filter(|&i| i != current)
+        .collect();
+    fixed.sort_by(|&a, &b| deadlines[a].total_cmp_s(&deadlines[b]).then(a.cmp(&b)));
+    let k = fixed.len();
+    // Segment j covers [t_j, t_{j+1}) with t_0 = 0, t_j = D(fixed[j−1]),
+    // and an infinite tail after t_k; its fixed-active set is fixed[j..].
+    let t_at = |j: usize| -> S {
+        if j == 0 {
+            S::zero()
+        } else {
+            deadlines[fixed[j - 1]].clone()
+        }
+    };
+    // rest[j] = fixed-only capacity over [t_j, ∞) (the tail past t_k has
+    // no fixed survivors, so it contributes nothing).
+    let mut acc = LevelAccumulator::new(&instance.machine);
+    let mut rest = vec![S::zero(); k + 1];
+    for j in (0..k).rev() {
+        acc.add(&instance.tasks[fixed[j]].delta);
+        rest[j] = rest[j + 1].clone() + (t_at(j + 1) - t_at(j)) * acc.rate();
+    }
+    // Forward walk: `acc` now holds all fixed members (= segment 0's
+    // survivors); `base` accumulates capacity over [0, t_j) with the
+    // current task active.
+    let cur_delta = instance.tasks[current].delta.clone();
+    let mut base = S::zero();
+    for j in 0..=k {
+        let without = acc.rate();
+        let with_cur = {
+            // Clone instead of add/sub so f64 accumulator state stays
+            // drift-free across segments (a + x − x need not equal a).
+            let mut with_acc = acc.clone();
+            with_acc.add(&cur_delta);
+            with_acc.rate()
+        };
+        // cap_T at C = t_j, and its slope within this segment.
+        let cap_at_start = base.clone() + rest[j].clone();
+        let slope = with_cur.clone() - without;
+        if slope.is_positive() && cap_at_start < set.volume {
+            let c = t_at(j) + (set.volume.clone() - cap_at_start) / slope;
+            if j == k || c <= t_at(j + 1) {
+                return Some(c);
+            }
+        }
+        if j < k {
+            base = base + (t_at(j + 1) - t_at(j)) * with_cur;
+            acc.sub(&instance.tasks[fixed[j]].delta);
+        }
+    }
+    // Unreachable in exact arithmetic (the final segment's slope is the
+    // current task's own rank f({cur}) > 0); an f64 knife-edge falls
+    // back to the caller's slack-nudge.
+    None
+}
+
+/// **Greedy(σ) on related machines**: insert the tasks in the given
+/// order; each task receives the *earliest completion time* that keeps
+/// the already-placed prefix transport-feasible (earlier tasks keep the
+/// deadlines they were promised). The per-task minimization runs the same
+/// violated-set Newton iteration as the parametric searches — exact on
+/// exact scalars — and the final deadline vector is materialized by
+/// [`flow_witness`]. On identical machines this is the completion-time
+/// formulation of Algorithm 3's greedy principle.
+///
+/// # Errors
+/// Validation failures, non-permutation orders, or
+/// [`ScheduleError::Unconverged`] on a pathological float knife-edge.
+pub fn greedy_related<S: Scalar>(
+    instance: &Instance<S>,
+    order: &[TaskId],
+) -> Result<ColumnSchedule<S>, ScheduleError> {
+    instance.validate()?;
+    let n = instance.n();
+    if !crate::algos::orders::is_permutation(order, n) {
+        return Err(ScheduleError::InvalidInstance {
+            reason: format!("order is not a permutation of 0..{n}"),
+        });
+    }
+    if n == 0 {
+        return Ok(ColumnSchedule {
+            p: instance.p.clone(),
+            completions: vec![],
+            columns: vec![],
+        });
+    }
+    let tol = Tolerance::<S>::for_instance(n);
+    let hs = heights(instance);
+    let mut net = FlowNetwork::new(0, S::zero());
+    // The prefix instance grows in σ-order; `deadlines` is aligned to it.
+    let mut prefix = Instance::on(instance.machine.clone(), Vec::new());
+    let mut deadlines: Vec<S> = Vec::with_capacity(n);
+    let max_iters = 16 * (n + 4);
+    for &id in order {
+        prefix.tasks.push(instance.task(id).clone());
+        let cur = prefix.n() - 1;
+        let mut c = hs[id.0].clone();
+        let mut placed = false;
+        for _ in 0..max_iters {
+            deadlines.push(c.clone());
+            let cut = violated_set_in(&prefix, None, &deadlines, &mut net)?;
+            deadlines.pop();
+            let Some(set) = cut else {
+                placed = true;
+                break;
+            };
+            deadlines.push(c.clone());
+            let root = anchored_constraint_root(&prefix, &deadlines, cur, &set);
+            deadlines.pop();
+            let next = match root {
+                Some(r) => r,
+                None => c.clone() + tol.slack(c.clone(), S::one()),
+            };
+            c = if next > c {
+                next
+            } else {
+                c.clone() + tol.slack(c.clone(), S::one())
+            };
+        }
+        if !placed {
+            return Err(ScheduleError::Unconverged {
+                what: "related greedy completion search",
+                iterations: max_iters,
+            });
+        }
+        deadlines.push(c);
+    }
+    // Deadlines back in original task order, then one witness flow.
+    let mut by_task = vec![S::zero(); n];
+    for (k, &id) in order.iter().enumerate() {
+        by_task[id.0] = deadlines[k].clone();
+    }
+    flow_witness(instance, None, &by_task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigratio::Rational;
+
+    fn related_inst() -> Instance {
+        // speeds (2, 1, 1): P = 4, but two δ = 1 tasks share at most 3.
+        Instance::builder(0.0)
+            .tasks([(3.0, 1.0, 1.0), (3.0, 2.0, 1.0), (2.0, 1.0, 3.0)])
+            .speeds(vec![2.0, 1.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flow_witness_validates_on_related_machines() {
+        let inst = related_inst();
+        let s = flow_witness(&inst, None, &[4.0, 4.0, 4.0]).unwrap();
+        s.validate(&inst).unwrap();
+        for (i, c) in s.completions.iter().enumerate() {
+            assert!(*c <= 4.0 + 1e-9, "task {i} past its deadline: {c}");
+        }
+        // Tight deadlines are rejected with a certificate.
+        assert!(matches!(
+            flow_witness(&inst, None, &[1.0, 1.0, 1.0]),
+            Err(ScheduleError::InfeasibleCompletionTimes { .. })
+        ));
+    }
+
+    #[test]
+    fn min_lmax_flow_is_exact_on_related_machines() {
+        // speeds (2, 1, 1), two δ = 1 unit-due tasks of volume 3: the
+        // pair's rank is 3, so dues 0 give L* = 2 (both by 3·L ≥ 6).
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(0.0))
+            .tasks([(q(3.0), q(1.0), q(1.0)), (q(3.0), q(1.0), q(1.0))])
+            .speeds(vec![q(2.0), q(1.0), q(1.0)])
+            .build()
+            .unwrap();
+        let (l, cs) = min_lmax_flow(&inst, &[q(0.0), q(0.0)]).unwrap();
+        assert_eq!(l, Rational::from_int(2));
+        cs.validate(&inst).unwrap(); // zero tolerance, polymatroid included
+                                     // ε below the optimum is exactly infeasible.
+        let eps = Rational::new(1, 1_000_000);
+        let probe = vec![l.clone() - eps.clone(), l - eps];
+        assert!(crate::algos::parametric::violated_set(&inst, None, &probe)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn min_lmax_flow_agrees_with_wf_path_on_identical_machines() {
+        let inst = Instance::builder(2.0)
+            .tasks([(2.0, 1.0, 1.0), (2.0, 1.0, 2.0)])
+            .build()
+            .unwrap();
+        let (via_flow, cs) = min_lmax_flow(&inst, &[0.0, 0.0]).unwrap();
+        cs.validate(&inst).unwrap();
+        let (via_wf, _) = crate::algos::makespan::min_lmax(&inst, &[0.0, 0.0]).unwrap();
+        assert_eq!(via_flow, via_wf);
+    }
+
+    #[test]
+    fn greedy_related_promises_are_kept_in_order() {
+        let inst = related_inst();
+        let order: Vec<TaskId> = (0..3).map(TaskId).collect();
+        let s = greedy_related(&inst, &order).unwrap();
+        s.validate(&inst).unwrap();
+        // First task alone: completes at its height V/rate_cap = 3/2.
+        assert!((s.completions[0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_related_single_task_exact() {
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(0.0))
+            .task(q(3.0), q(1.0), q(2.0))
+            .speeds(vec![q(2.0), q(1.0)])
+            .build()
+            .unwrap();
+        let s = greedy_related(&inst, &[TaskId(0)]).unwrap();
+        s.validate(&inst).unwrap();
+        assert_eq!(s.completions[0], Rational::from_int(1)); // 3 / (2+1)
+    }
+
+    #[test]
+    fn greedy_root_counts_capacity_after_the_candidate_deadline() {
+        // speeds (2, 1): F (δ = 1, V = 19) is promised 9.5 first; then
+        // X (δ = 2, V = 2) arrives. The binding pair constraint is
+        // cap_{X,F}(C) = 3C + 2(9.5 − C) = C + 19 ≥ 21 ⇒ C = 2 — a
+        // walk that pretends all 21 units must land before C would
+        // overshoot to 21/3 = 7. The search must land on exactly 2.
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(0.0))
+            .task(q(19.0), q(1.0), q(1.0)) // F
+            .task(q(2.0), q(1.0), q(2.0)) // X
+            .speeds(vec![q(2.0), q(1.0)])
+            .build()
+            .unwrap();
+        let s = greedy_related(&inst, &[TaskId(0), TaskId(1)]).unwrap();
+        s.validate(&inst).unwrap(); // zero tolerance
+        assert_eq!(s.completions[0], Rational::new(19, 2));
+        assert_eq!(
+            s.completions[1],
+            Rational::from_int(2),
+            "X's earliest feasible completion is 2 (F keeps absorbing after C)"
+        );
+    }
+
+    #[test]
+    fn greedy_related_rejects_bad_orders() {
+        let inst = related_inst();
+        assert!(greedy_related(&inst, &[TaskId(0)]).is_err());
+    }
+}

@@ -19,9 +19,12 @@
 //! bisection bracket anywhere.
 
 use crate::algos::flow::FlowNetwork;
-use crate::algos::parametric::{min_release_makespan_value, set_capacity, Probe, ViolatedSet};
+use crate::algos::parametric::{
+    build_transport, min_release_makespan_value, saturation_slack, set_capacity,
+    snapped_interval_rates, Probe, ViolatedSet,
+};
 use crate::error::ScheduleError;
-use crate::instance::{Instance, TaskId};
+use crate::instance::Instance;
 use crate::schedule::step::{Segment, StepSchedule};
 use numkit::{Scalar, Tolerance};
 
@@ -53,8 +56,9 @@ pub fn feasible_with_releases<S: Scalar>(
     releases: &[S],
     deadline: S,
 ) -> Result<bool, ScheduleError> {
+    let mut net = FlowNetwork::new(0, S::zero());
     Ok(matches!(
-        build_flow_schedule(instance, releases, &deadline)?,
+        build_flow_schedule(instance, releases, &deadline, &mut net)?,
         FlowOutcome::Witness(_)
     ))
 }
@@ -89,10 +93,12 @@ pub fn makespan_with_releases<S: Scalar>(
     // the area bound from the earliest release) along violated-set roots.
     // The feasibility oracle is the transportation flow itself: one Dinic
     // run per probe yields either the witness (cached for the accepted
-    // deadline) or the min-cut certificate the search jumps from.
+    // deadline) or the min-cut certificate the search jumps from. All
+    // probes share one flow arena (capacities rebuilt in place).
     let mut witness: Option<StepSchedule<S>> = None;
+    let mut net = FlowNetwork::new(0, S::zero());
     let outcome = min_release_makespan_value(instance, releases, |deadline| {
-        match build_flow_schedule(instance, releases, deadline)? {
+        match build_flow_schedule(instance, releases, deadline, &mut net)? {
             FlowOutcome::Witness(w) => {
                 witness = Some(w);
                 Ok(Probe::Feasible)
@@ -126,13 +132,17 @@ fn check_releases<S: Scalar>(instance: &Instance<S>, releases: &[S]) -> Result<(
     Ok(())
 }
 
-/// Build the transportation network for `deadline`; return the witness
-/// schedule when the flow saturates all volumes and the min-cut violated
-/// set otherwise.
+/// Build the transportation network for `deadline` (into the reusable
+/// workspace `net`); return the witness schedule when the flow saturates
+/// all volumes and the min-cut violated set otherwise. The network is the
+/// speed-level construction of [`crate::algos::parametric`], so related
+/// machines are handled natively (identical machines get the single-level
+/// network the paper used).
 fn build_flow_schedule<S: Scalar>(
     instance: &Instance<S>,
     releases: &[S],
     deadline: &S,
+    net: &mut FlowNetwork<S>,
 ) -> Result<FlowOutcome<S>, ScheduleError> {
     instance.validate()?;
     check_releases(instance, releases)?;
@@ -152,100 +162,49 @@ fn build_flow_schedule<S: Scalar>(
 
     // Quick rejection: someone released after (or too close to) T — a
     // singleton violated set (its height does not fit before T).
-    for (i, (t, r)) in instance.tasks.iter().zip(releases).enumerate() {
-        let h = t.volume.clone() / t.delta.clone().min_of(instance.p.clone());
+    for ((id, t), r) in instance.iter().zip(releases) {
+        let h = t.volume.clone() / instance.effective_delta(id);
         if r.clone() + h > deadline.clone() + tol.slack(deadline.clone(), S::zero()) {
-            return Ok(violated(vec![i]));
+            return Ok(violated(vec![id.0]));
         }
     }
 
-    // Interval boundaries: releases (< T) plus T.
-    let mut bounds: Vec<S> = releases
-        .iter()
-        .filter(|r| **r < *deadline)
-        .cloned()
-        .collect();
-    bounds.push(S::zero());
-    bounds.push(deadline.clone());
-    bounds.sort_by(S::total_cmp_s);
-    bounds.dedup_by(|a, b| tol.eq(a.clone(), b.clone()));
-    let intervals: Vec<(S, S)> = bounds
-        .windows(2)
-        .map(|w| (w[0].clone(), w[1].clone()))
-        .collect();
-    let m = intervals.len();
-
-    // Nodes: source, tasks 0..n, intervals n..n+m, sink.
-    let s = n + m;
-    let t_ = n + m + 1;
-    // The flow's ε is a fraction of the comparison tolerance (zero for
-    // exact scalars, so exact runs do exact saturation checks).
-    let mut g = FlowNetwork::new(n + m + 2, tol.abs.clone() * S::from_f64(1e-3));
-    let mut task_interval_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-    for (i, task) in instance.tasks.iter().enumerate() {
-        g.add_edge(s, i, task.volume.clone());
-        let cap = instance.effective_delta(TaskId(i));
-        for (j, (a, b)) in intervals.iter().enumerate() {
-            if releases[i] <= a.clone() + tol.abs.clone() {
-                let eid = g.add_edge(i, n + j, cap.clone() * (b.clone() - a.clone()));
-                task_interval_edges[i].push((j, eid));
-            }
-        }
-    }
-    for (j, (a, b)) in intervals.iter().enumerate() {
-        g.add_edge(n + j, t_, instance.p.clone() * (b.clone() - a.clone()));
-    }
-
-    let flow = g.max_flow(s, t_);
+    let deadlines = vec![deadline.clone(); n];
+    let layout = build_transport(instance, Some(releases), &deadlines, net);
+    let flow = net.max_flow(layout.source, layout.sink);
     // Saturation must be tight: the slack is the *unscaled* base tolerance
     // (relative part only, plus a vanishing absolute term — exactly zero
     // for exact scalars). A looser comparison here lets the Cmax search
     // accept deadlines that are short by more than the witness snap below
     // can absorb, which surfaces as capacity excess in validation.
-    let base = S::default_tolerance();
-    let sat_slack = base.rel * total_volume.clone() + base.abs * S::from_f64(1e-3);
-    if flow.clone() + sat_slack < total_volume {
+    if flow + saturation_slack(&total_volume) < total_volume {
         // The min cut of the very Dinic run that failed is the violated
         // set (tasks reachable from the source in the residual network).
-        let side = g.min_cut_source_side(s);
+        let side = net.min_cut_source_side(layout.source);
         return Ok(violated((0..n).filter(|&i| side[i]).collect()));
     }
 
-    // Extract the witness: constant rate per interval, then snap each
-    // task's area onto its exact volume (the flow can be short by the
-    // saturation slack above; the proportional correction stays far inside
-    // every validation tolerance, and is a no-op in exact arithmetic when
-    // the flow saturates exactly).
+    // Extract the witness: the shared per-(task, interval) snapped rates
+    // (see `parametric::snapped_interval_rates`), merged into maximal
+    // constant-rate segments.
+    let rates = snapped_interval_rates(instance, &layout, net, &tol);
     let mut out = StepSchedule::empty(instance.p.clone(), n);
-    #[allow(clippy::needless_range_loop)] // i indexes three parallel tables
-    for i in 0..n {
+    for (i, pieces) in rates.into_iter().enumerate() {
         let mut segs: Vec<Segment<S>> = Vec::new();
-        for &(j, eid) in &task_interval_edges[i] {
-            let (a, b) = &intervals[j];
-            let vol = g.flow_on(eid);
-            let len = b.clone() - a.clone();
-            if vol > tol.abs.clone() * len.clone().max_of(S::one()) && len > tol.abs {
-                let procs = vol / len;
-                match segs.last_mut() {
-                    Some(prev)
-                        if tol.eq(prev.end.clone(), a.clone())
-                            && tol.eq(prev.procs.clone(), procs.clone()) =>
-                    {
-                        prev.end = b.clone();
-                    }
-                    _ => segs.push(Segment {
-                        start: a.clone(),
-                        end: b.clone(),
-                        procs,
-                    }),
+        for (j, procs) in pieces {
+            let (a, b) = &layout.intervals[j];
+            match segs.last_mut() {
+                Some(prev)
+                    if tol.eq(prev.end.clone(), a.clone())
+                        && tol.eq(prev.procs.clone(), procs.clone()) =>
+                {
+                    prev.end = b.clone();
                 }
-            }
-        }
-        let area = S::sum(segs.iter().map(Segment::area));
-        if area.is_positive() {
-            let scale = instance.tasks[i].volume.clone() / area;
-            for s in &mut segs {
-                s.procs = s.procs.clone() * scale.clone();
+                _ => segs.push(Segment {
+                    start: a.clone(),
+                    end: b.clone(),
+                    procs,
+                }),
             }
         }
         out.allocs[i] = segs;

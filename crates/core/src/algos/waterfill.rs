@@ -75,6 +75,10 @@ pub(crate) fn checked_completion_order<S: Scalar>(
     context: &'static str,
 ) -> Result<(Vec<usize>, Tolerance<S>), ScheduleError> {
     instance.validate()?;
+    // The pour reasons in rate space (per-task cap, level ≤ P), which is
+    // only a complete feasibility test on identical/uniform machines;
+    // heterogeneous instances use `algos::related::flow_witness`.
+    instance.require_uniform_machine("Water-Filling")?;
     let n = instance.n();
     if completions.len() != n {
         return Err(ScheduleError::LengthMismatch {

@@ -485,15 +485,15 @@ mod tests {
                     .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64
             };
-            Instance {
-                p: p as f64,
-                tasks: (0..n)
+            Instance::identical(
+                p as f64,
+                (0..n)
                     .map(|_| {
                         let delta = 1.0 + (next() * p as f64).floor().min(p as f64 - 1.0);
                         Task::new(0.2 + next() * p as f64, 0.1 + next(), delta)
                     })
                     .collect(),
-            }
+            )
         }
     }
 }

@@ -122,6 +122,10 @@ pub fn wdeq_allocation<S: Scalar>(entries: &[(S, S)], p: S) -> Vec<S> {
 /// proportional sharing; exclude such tasks or give them ε weight).
 pub fn wdeq_run<S: Scalar>(instance: &Instance<S>) -> Result<WdeqRun<S>, ScheduleError> {
     instance.validate()?;
+    // The closed-form replay (and its Lemma-2 certificate) is proved for
+    // identical machines; the related-machines equipartition is the
+    // `wdeq-related` policy (fastest-machines-first realization).
+    instance.require_uniform_machine("WDEQ (closed form)")?;
     if instance.tasks.iter().any(|t| !t.weight.is_positive()) {
         return Err(ScheduleError::InvalidInstance {
             reason: "WDEQ requires strictly positive weights".into(),
@@ -281,6 +285,7 @@ pub fn deq_schedule<S: Scalar>(instance: &Instance<S>) -> Result<ColumnSchedule<
             .iter()
             .map(|t| crate::instance::Task::new(t.volume.clone(), S::one(), t.delta.clone()))
             .collect(),
+        machine: instance.machine.clone(),
     };
     let run = wdeq_run(&unit)?;
     Ok(ColumnSchedule {

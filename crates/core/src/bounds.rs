@@ -65,12 +65,14 @@ pub fn squashed_area_of<S: Scalar>(p: S, mut vw: Vec<(S, S)>) -> S {
     }))
 }
 
-/// The height bound `H(I) = Σ wᵢ·hᵢ` with `hᵢ = Vᵢ/min(δᵢ, P)`: no task
-/// can finish before its minimal running time.
+/// The height bound `H(I) = Σ wᵢ·hᵢ` with `hᵢ = Vᵢ/min(δᵢ, P)` on
+/// identical machines — and, on related machines, the tighter
+/// `hᵢ = Vᵢ/rate_cap(δᵢ)` (no task can outrun the fastest `δᵢ` machines):
+/// no task can finish before its minimal running time.
 pub fn height_bound<S: Scalar>(instance: &Instance<S>) -> S {
     S::sum(instance.tasks.iter().filter_map(|t| {
         if t.volume.is_positive() {
-            Some(t.weight.clone() * t.volume.clone() / t.delta.clone().min_of(instance.p.clone()))
+            Some(t.weight.clone() * t.volume.clone() / instance.machine.rate_cap(t.delta.clone()))
         } else {
             None
         }
@@ -100,7 +102,7 @@ pub fn mixed_bound<S: Scalar>(instance: &Instance<S>, v1: &[S]) -> S {
         let rest = t.volume.clone() - a.clone();
         vw1.push((a, t.weight.clone()));
         if rest.is_positive() {
-            h2_terms.push(t.weight.clone() * rest / t.delta.clone().min_of(instance.p.clone()));
+            h2_terms.push(t.weight.clone() * rest / instance.machine.rate_cap(t.delta.clone()));
         }
     }
     squashed_area_of(instance.p.clone(), vw1) + S::sum(h2_terms)

@@ -32,6 +32,18 @@ pub enum ScheduleError {
         /// Machine capacity.
         p: f64,
     },
+    /// A column's rate vector lies outside the polymatroid of a related
+    /// machine's speed profile (some task subset is allocated more than
+    /// the fastest machines it may occupy can deliver), even though every
+    /// per-task cap and the total capacity hold.
+    SpeedProfileExceeded {
+        /// Time of the violation.
+        at: f64,
+        /// Total allocated rate in the offending column.
+        total: f64,
+        /// Machine capacity.
+        capacity: f64,
+    },
     /// A task's allocated area does not equal its volume `Vᵢ`.
     VolumeMismatch {
         /// Offending task.
@@ -104,6 +116,14 @@ impl fmt::Display for ScheduleError {
             ScheduleError::CapacityExceeded { at, total, p } => {
                 write!(f, "total allocation {total} > P = {p} at t = {at}")
             }
+            ScheduleError::SpeedProfileExceeded {
+                at,
+                total,
+                capacity,
+            } => write!(
+                f,
+                "allocation of {total} at t = {at} outside the speed-profile polymatroid (P = {capacity})"
+            ),
             ScheduleError::VolumeMismatch {
                 task,
                 allocated,

@@ -14,6 +14,7 @@
 //! float instance exactly).
 
 use crate::error::ScheduleError;
+use crate::machine::MachineModel;
 use numkit::{Scalar, Tolerance};
 use std::fmt;
 
@@ -61,30 +62,75 @@ impl<S: Scalar> Task<S> {
     }
 }
 
-/// A scheduling instance `I = (P, (wᵢ), (Vᵢ), (δᵢ))`.
+/// A scheduling instance `I = (P, (wᵢ), (Vᵢ), (δᵢ))`, optionally on a
+/// heterogeneous [`MachineModel`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Instance<S = f64> {
-    /// Number of identical processors `P` (fractional capacity allowed; see
-    /// module docs).
+    /// Total machine capacity `P` (fractional allowed; see module docs).
+    /// Always equals `machine.capacity()` — kept as a field so the
+    /// identical-machine call sites read it directly.
     pub p: S,
     /// The tasks.
     pub tasks: Vec<Task<S>>,
+    /// The machine model (identical unit-speed processors by default;
+    /// related machines carry per-machine speeds).
+    pub machine: MachineModel<S>,
 }
 
 impl<S: Scalar> Instance<S> {
-    /// Start building an instance on `p` processors.
+    /// Start building an instance on `p` identical processors.
     pub fn builder(p: S) -> InstanceBuilder<S> {
         InstanceBuilder {
-            p,
+            machine: MachineModel::identical(p),
             tasks: Vec::new(),
         }
     }
 
-    /// Construct directly from parts and validate.
+    /// Start building an instance on an explicit machine model.
+    pub fn on_machine(machine: MachineModel<S>) -> InstanceBuilder<S> {
+        InstanceBuilder {
+            machine,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Construct directly from parts (identical machines) and validate.
     pub fn new(p: S, tasks: Vec<Task<S>>) -> Result<Self, ScheduleError> {
-        let inst = Instance { p, tasks };
+        let inst = Instance::identical(p, tasks);
         inst.validate()?;
         Ok(inst)
+    }
+
+    /// Unvalidated identical-machine constructor (the struct-literal
+    /// replacement used by generators and internal copies).
+    pub fn identical(p: S, tasks: Vec<Task<S>>) -> Self {
+        Instance {
+            machine: MachineModel::identical(p.clone()),
+            p,
+            tasks,
+        }
+    }
+
+    /// Unvalidated constructor on an explicit machine model (`p` is
+    /// derived as the machine capacity).
+    pub fn on(machine: MachineModel<S>, tasks: Vec<Task<S>>) -> Self {
+        Instance {
+            p: machine.capacity(),
+            tasks,
+            machine,
+        }
+    }
+
+    /// Replace the machine model, recomputing the capacity `p`, and
+    /// re-validate.
+    ///
+    /// # Errors
+    /// Propagates [`Instance::validate`] failures.
+    pub fn with_machine(mut self, machine: MachineModel<S>) -> Result<Self, ScheduleError> {
+        self.p = machine.capacity();
+        self.machine = machine;
+        self.validate()?;
+        Ok(self)
     }
 
     /// Number of tasks.
@@ -115,18 +161,59 @@ impl<S: Scalar> Instance<S> {
         S::sum(self.tasks.iter().map(|t| t.weight.clone()))
     }
 
-    /// The *effective cap* `min(δᵢ, P)` — tasks may declare `δᵢ > P`, which
-    /// the machine clamps.
+    /// The *effective rate cap* of a task: `min(δᵢ, P)` on identical
+    /// machines, `prefix(min(δᵢ, count))` on related machines (the total
+    /// speed of the fastest `δᵢ` machines).
     pub fn effective_delta(&self, id: TaskId) -> S {
-        self.task(id).delta.clone().min_of(self.p.clone())
+        self.machine.rate_cap(self.task(id).delta.clone())
+    }
+
+    /// The *machine-count cap* `min(δᵢ, count)` — what count-space
+    /// allocation rules share out (identical to [`Instance::effective_delta`]
+    /// on unit-speed machines).
+    pub fn count_cap(&self, id: TaskId) -> S {
+        self.machine.count_cap(self.task(id).delta.clone())
+    }
+
+    /// Guard for algorithms whose correctness needs identical (or
+    /// uniform-speed, which is identical up to time scaling) machines —
+    /// the paper's rate-space algorithms. The related-machines entry
+    /// points live in [`crate::algos::related`] and the flow-based
+    /// parametric solvers, which handle heterogeneous speeds natively.
+    ///
+    /// # Errors
+    /// [`ScheduleError::InvalidInstance`] on a heterogeneous machine model.
+    pub fn require_uniform_machine(&self, what: &str) -> Result<(), ScheduleError> {
+        if self.machine.uniform() {
+            Ok(())
+        } else {
+            Err(ScheduleError::InvalidInstance {
+                reason: format!(
+                    "{what} requires identical (or uniform-speed) machines, got {}; \
+                     use the related-machines policies/solvers instead",
+                    self.machine
+                ),
+            })
+        }
     }
 
     /// Structural validation: positive finite `P`, volumes and caps; finite
-    /// non-negative weights.
+    /// non-negative weights; a consistent machine model.
     pub fn validate(&self) -> Result<(), ScheduleError> {
         let fail = |reason: String| Err(ScheduleError::InvalidInstance { reason });
         if !(self.p.is_finite() && self.p.is_positive()) {
             return fail(format!("P must be positive and finite, got {:?}", self.p));
+        }
+        self.machine.validate()?;
+        {
+            let tol = S::default_tolerance();
+            let cap = self.machine.capacity();
+            if !tol.eq(self.p.clone(), cap.clone()) {
+                return fail(format!(
+                    "capacity field P = {:?} disagrees with the machine model's {:?}",
+                    self.p, cap
+                ));
+            }
         }
         for (i, t) in self.tasks.iter().enumerate() {
             if !(t.volume.is_finite() && t.volume.is_positive()) {
@@ -147,14 +234,16 @@ impl<S: Scalar> Instance<S> {
     /// **lossy** for exact scalars whose values are not binary rationals —
     /// never feed the result back into an exact certification.
     pub fn approx_f64(&self) -> Instance<f64> {
-        Instance {
-            p: self.p.to_f64(),
-            tasks: self
-                .tasks
+        // `p` is recomputed from the converted machine (not converted
+        // directly) so the capacity-consistency invariant holds exactly
+        // in the image, too.
+        Instance::on(
+            self.machine.approx_f64(),
+            self.tasks
                 .iter()
                 .map(|t| Task::new(t.volume.to_f64(), t.weight.to_f64(), t.delta.to_f64()))
                 .collect(),
-        }
+        )
     }
 
     /// The subinstance `I[V′]` of Definition 7: same machine and tasks but
@@ -211,6 +300,9 @@ impl<S: Scalar> Instance<S> {
 impl<S: Scalar> fmt::Display for Instance<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Instance: P = {}, n = {}", self.p.to_f64(), self.n())?;
+        if self.machine.is_related() {
+            writeln!(f, "  machine: {}", self.machine)?;
+        }
         for (id, t) in self.iter() {
             writeln!(
                 f,
@@ -233,10 +325,12 @@ impl Instance<f64> {
     /// values; use [`Instance::approx_f64`] when an approximate float image
     /// is what you want.)
     pub fn to_scalar<S2: Scalar>(&self) -> Instance<S2> {
-        Instance {
-            p: S2::from_f64(self.p),
-            tasks: self
-                .tasks
+        // `p` is recomputed from the lifted machine: the f64 capacity of
+        // a related machine is a *rounded* speed sum, while the lifted
+        // field demands the exact one (zero-tolerance consistency).
+        Instance::on(
+            self.machine.to_scalar(),
+            self.tasks
                 .iter()
                 .map(|t| {
                     Task::new(
@@ -246,7 +340,7 @@ impl Instance<f64> {
                     )
                 })
                 .collect(),
-        }
+        )
     }
 }
 
@@ -272,13 +366,14 @@ impl<S: Scalar> SubInstance<'_, S> {
                 .filter(|(_, v)| v.is_positive())
                 .map(|(t, v)| Task::new(v.clone(), t.weight.clone(), t.delta.clone()))
                 .collect(),
+            machine: self.base.machine.clone(),
         }
     }
 }
 
 /// Fluent constructor for [`Instance`].
 pub struct InstanceBuilder<S = f64> {
-    p: S,
+    machine: MachineModel<S>,
     tasks: Vec<Task<S>>,
 }
 
@@ -296,9 +391,27 @@ impl<S: Scalar> InstanceBuilder<S> {
         self
     }
 
+    /// Switch the instance onto an explicit machine model (the capacity
+    /// `p` is derived from it at build time).
+    pub fn machine(mut self, machine: MachineModel<S>) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Switch the instance onto related machines with the given speeds
+    /// (sorted descending at build; validation happens in `build`).
+    pub fn speeds(mut self, speeds: Vec<S>) -> Self {
+        let mut speeds = speeds;
+        speeds.sort_by(|a, b| b.total_cmp_s(a));
+        self.machine = MachineModel::Related { speeds };
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> Result<Instance<S>, ScheduleError> {
-        Instance::new(self.p, self.tasks)
+        let inst = Instance::on(self.machine, self.tasks);
+        inst.validate()?;
+        Ok(inst)
     }
 }
 
@@ -385,5 +498,37 @@ mod tests {
         let inst = demo();
         let same: Instance = inst.to_scalar();
         assert_eq!(inst, same);
+    }
+
+    #[test]
+    fn related_machine_builder_derives_capacity() {
+        let inst = Instance::builder(0.0) // overridden by .speeds
+            .task(1.0, 1.0, 2.0)
+            .speeds(vec![1.0, 4.0, 2.0])
+            .build()
+            .unwrap();
+        assert_eq!(inst.p, 7.0);
+        assert!(inst.machine.is_related());
+        // Rate cap of δ = 2 is the two fastest machines: 4 + 2.
+        assert_eq!(inst.effective_delta(TaskId(0)), 6.0);
+        assert_eq!(inst.count_cap(TaskId(0)), 2.0);
+        assert!(inst.require_uniform_machine("test").is_err());
+        assert!(demo().require_uniform_machine("test").is_ok());
+    }
+
+    #[test]
+    fn inconsistent_capacity_field_is_rejected() {
+        let mut inst = Instance::builder(2.0).task(1.0, 1.0, 1.0).build().unwrap();
+        inst.p = 3.0; // drifts from machine.capacity()
+        assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn with_machine_recomputes_capacity() {
+        let inst = demo()
+            .with_machine(crate::machine::MachineModel::related(vec![2.0, 2.0]).unwrap())
+            .unwrap();
+        assert_eq!(inst.p, 4.0);
+        assert!(inst.require_uniform_machine("test").is_ok()); // uniform speeds
     }
 }

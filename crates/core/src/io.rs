@@ -10,18 +10,38 @@
 //! task 4.0 2.0 4.0
 //! ```
 //!
+//! A related-machines instance replaces the `p` line with per-machine
+//! speeds (`P` becomes their sum):
+//!
+//! ```text
+//! speeds 4.0 2.0 1.0
+//! task 8.0 1.0 2.0
+//! ```
+//!
 //! [`write_instance`] and [`parse_instance`] round-trip exactly (values
 //! are printed with enough digits to reconstruct the same `f64`s).
 
 use crate::error::ScheduleError;
 use crate::instance::{Instance, Task};
+use crate::machine::MachineModel;
 use std::fmt::Write as _;
 
 /// Serialize an instance to the text format.
 pub fn write_instance(instance: &Instance) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# malleable instance: n = {}", instance.n());
-    let _ = writeln!(out, "p {:?}", instance.p);
+    match &instance.machine {
+        MachineModel::Identical { .. } => {
+            let _ = writeln!(out, "p {:?}", instance.p);
+        }
+        MachineModel::Related { speeds } => {
+            let _ = write!(out, "speeds");
+            for s in speeds {
+                let _ = write!(out, " {s:?}");
+            }
+            let _ = writeln!(out);
+        }
+    }
     for t in &instance.tasks {
         let _ = writeln!(out, "task {:?} {:?} {:?}", t.volume, t.weight, t.delta);
     }
@@ -35,6 +55,7 @@ pub fn write_instance(instance: &Instance) -> String {
 /// syntax or validation problem.
 pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
     let mut p: Option<f64> = None;
+    let mut speeds: Option<Vec<f64>> = None;
     let mut tasks = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -55,6 +76,16 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
                     .map_err(|_| bad("unparsable machine size"))?;
                 if p.replace(v).is_some() {
                     return Err(bad("duplicate 'p' line"));
+                }
+            }
+            "speeds" => {
+                let vs: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+                let vs = vs.map_err(|_| bad("unparsable machine speed"))?;
+                if vs.is_empty() {
+                    return Err(bad("'speeds' needs at least one value"));
+                }
+                if speeds.replace(vs).is_some() {
+                    return Err(bad("duplicate 'speeds' line"));
                 }
             }
             "task" => {
@@ -78,10 +109,20 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
             }
         }
     }
-    let p = p.ok_or(ScheduleError::InvalidInstance {
-        reason: "missing 'p' line".into(),
-    })?;
-    Instance::new(p, tasks)
+    match (p, speeds) {
+        (Some(_), Some(_)) => Err(ScheduleError::InvalidInstance {
+            reason: "give either a 'p' line or a 'speeds' line, not both".into(),
+        }),
+        (Some(p), None) => Instance::new(p, tasks),
+        (None, Some(speeds)) => {
+            let inst = Instance::on(MachineModel::related(speeds)?, tasks);
+            inst.validate()?;
+            Ok(inst)
+        }
+        (None, None) => Err(ScheduleError::InvalidInstance {
+            reason: "missing 'p' (or 'speeds') line".into(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +167,22 @@ mod tests {
         assert!(e.to_string().contains("unknown keyword"), "{e}");
         let e = parse_instance("p two\n").unwrap_err();
         assert!(e.to_string().contains("unparsable"), "{e}");
+    }
+
+    #[test]
+    fn related_machines_roundtrip() {
+        let inst = Instance::builder(0.0)
+            .task(3.0, 1.0, 2.0)
+            .speeds(vec![4.0, 0.1 + 0.2, 1.0]) // non-round f64 speed
+            .build()
+            .unwrap();
+        let text = write_instance(&inst);
+        assert!(text.contains("speeds"));
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(inst, back);
+        // p and speeds are mutually exclusive; empty speeds rejected.
+        assert!(parse_instance("p 2\nspeeds 1 1\ntask 1 1 1\n").is_err());
+        assert!(parse_instance("speeds\ntask 1 1 1\n").is_err());
     }
 
     #[test]

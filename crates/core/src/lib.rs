@@ -31,11 +31,13 @@ pub mod bounds;
 pub mod error;
 pub mod instance;
 pub mod io;
+pub mod machine;
 pub mod policy;
 pub mod schedule;
 
 pub use error::ScheduleError;
 pub use instance::{Instance, InstanceBuilder, Task, TaskId};
+pub use machine::MachineModel;
 pub use policy::{PolicyRun, SchedulingPolicy};
 pub use schedule::column::ColumnSchedule;
 pub use schedule::gantt::Gantt;

@@ -1,0 +1,546 @@
+//! Machine models: identical processors and **related (uniform-speed)
+//! machines**.
+//!
+//! The paper's model is `P` identical processors; this module generalizes
+//! the machine side to *related machines* in the sense of Fotakis,
+//! Matuschke and Papadigenopoulos ("Malleable scheduling beyond identical
+//! machines", 2019): machine `j` has speed `sⱼ`, a task running on a set
+//! of machines processes work at the sum of their speeds, and a task with
+//! parallelism cap `δᵢ` may occupy at most `δᵢ` machines at a time
+//! (fractionally, with free preemption and migration).
+//!
+//! Everything the algorithms need is derived from the **speed profile**:
+//! sort the speeds descending and let `prefix(x)` be the total speed of
+//! the fastest `x` machines (piecewise-linear and concave in the
+//! fractional machine count `x`). Then
+//!
+//! * the machine capacity is `P = prefix(count)` (= `Σ sⱼ`),
+//! * a single task's maximal rate is `rate_cap(δ) = prefix(min(δ, count))`,
+//! * and the *feasible instantaneous rate vectors* form the polymatroid
+//!   with rank function
+//!   `f(T) = Σ_ℓ min(k_ℓ, Σ_{i∈T} min(δᵢ, k_ℓ)) · d_ℓ`,
+//!   where level `ℓ` groups the machines of the ℓ-th distinct speed
+//!   (`k_ℓ` = cumulative machine count, `d_ℓ` = gap to the next distinct
+//!   speed). This is the classic Federgruen–Groenevelt level
+//!   decomposition: the transportation networks of
+//!   [`crate::algos::parametric`] get one arc per (interval, level) with
+//!   capacity `min(δᵢ, k_ℓ)·d_ℓ·Δt`, and the identical-machine case is
+//!   exactly the single-level network the paper's algorithms already
+//!   used.
+//!
+//! [`MachineModel::Identical`] behaves bit-for-bit like the original
+//! scalar capacity `P` (one level of unit-speed machines), so every
+//! existing identical-machine code path is unchanged; `Related` with all
+//! speeds equal to one reproduces `Identical` exactly — the reduction the
+//! property tests pin down.
+
+use crate::algos::flow::FlowNetwork;
+use crate::error::ScheduleError;
+use numkit::{Scalar, Tolerance};
+use std::fmt;
+
+/// One *speed level* of the machine profile: `count` machines (cumulative,
+/// in machine-count units) run at least `diff` faster than the next
+/// distinct speed. The levels decompose the concave capacity function:
+/// `prefix(x) = Σ_ℓ min(x, count_ℓ) · diff_ℓ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedLevel<S = f64> {
+    /// Cumulative machine count of this level (`k_ℓ`).
+    pub count: S,
+    /// Speed gap to the next distinct speed (`d_ℓ = v_ℓ − v_{ℓ+1}`,
+    /// strictly positive).
+    pub diff: S,
+}
+
+/// The machine side of an [`Instance`](crate::instance::Instance).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineModel<S = f64> {
+    /// `m` identical unit-speed processors (fractional capacity allowed —
+    /// the paper's model, and the default everywhere).
+    Identical {
+        /// Machine capacity `P` (equals the machine count at unit speed).
+        m: S,
+    },
+    /// Related machines with the given speeds, **sorted descending** (the
+    /// constructor sorts; [`MachineModel::validate`] enforces the
+    /// invariant).
+    Related {
+        /// Per-machine speeds, fastest first, all strictly positive.
+        speeds: Vec<S>,
+    },
+}
+
+impl<S: Scalar> MachineModel<S> {
+    /// The identical-machine model of capacity `m`.
+    pub fn identical(m: S) -> Self {
+        MachineModel::Identical { m }
+    }
+
+    /// A related-machines model; sorts the speeds descending and
+    /// validates them.
+    ///
+    /// # Errors
+    /// [`ScheduleError::InvalidInstance`] when no machine is given or a
+    /// speed is non-positive or non-finite.
+    pub fn related(mut speeds: Vec<S>) -> Result<Self, ScheduleError> {
+        speeds.sort_by(|a, b| b.total_cmp_s(a));
+        let model = MachineModel::Related { speeds };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Structural validation (positive finite speeds, descending order,
+    /// positive finite capacity).
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        let fail = |reason: String| Err(ScheduleError::InvalidInstance { reason });
+        match self {
+            MachineModel::Identical { m } => {
+                if !(m.is_finite() && m.is_positive()) {
+                    return fail(format!("machine capacity must be > 0, got {m:?}"));
+                }
+            }
+            MachineModel::Related { speeds } => {
+                if speeds.is_empty() {
+                    return fail("related machine model needs ≥ 1 machine".into());
+                }
+                for (j, s) in speeds.iter().enumerate() {
+                    if !(s.is_finite() && s.is_positive()) {
+                        return fail(format!("machine {j}: speed must be > 0, got {s:?}"));
+                    }
+                }
+                if speeds.windows(2).any(|w| w[0] < w[1]) {
+                    return fail("machine speeds must be sorted descending".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff this is a [`MachineModel::Related`] model.
+    pub fn is_related(&self) -> bool {
+        matches!(self, MachineModel::Related { .. })
+    }
+
+    /// Total processing capacity `P` (`m`, or `Σ sⱼ`).
+    pub fn capacity(&self) -> S {
+        match self {
+            MachineModel::Identical { m } => m.clone(),
+            MachineModel::Related { speeds } => S::sum(speeds.iter().cloned()),
+        }
+    }
+
+    /// Total machine count, in machine-count units (`m` for the identical
+    /// model, where count and capacity coincide).
+    pub fn count(&self) -> S {
+        match self {
+            MachineModel::Identical { m } => m.clone(),
+            MachineModel::Related { speeds } => S::from_int(speeds.len() as i64),
+        }
+    }
+
+    /// Number of discrete machines, when the model has them.
+    pub fn n_machines(&self) -> Option<usize> {
+        match self {
+            MachineModel::Identical { .. } => None,
+            MachineModel::Related { speeds } => Some(speeds.len()),
+        }
+    }
+
+    /// `true` iff all machines run at the same speed — the class on which
+    /// the paper's identical-machine algorithms remain exact (uniform
+    /// speeds are an identical machine up to time scaling).
+    pub fn uniform(&self) -> bool {
+        match self {
+            MachineModel::Identical { .. } => true,
+            MachineModel::Related { speeds } => speeds.windows(2).all(|w| w[0] == w[1]),
+        }
+    }
+
+    /// `true` iff every machine runs at exactly unit speed (machine-count
+    /// allocations *are* rates). `Related { speeds: [1; m] }` must behave
+    /// bit-for-bit like `Identical { m }`; this predicate is what the
+    /// realization layer keys on.
+    pub fn unit_speeds(&self) -> bool {
+        match self {
+            MachineModel::Identical { .. } => true,
+            MachineModel::Related { speeds } => speeds.iter().all(|s| *s == S::one()),
+        }
+    }
+
+    /// Total speed of the fastest `x` (fractional) machines — the concave
+    /// capacity function `prefix(x)`, clamped into `[0, capacity]`.
+    pub fn prefix(&self, x: S) -> S {
+        match self {
+            MachineModel::Identical { m } => x.clamp_to(S::zero(), m.clone()),
+            MachineModel::Related { speeds } => {
+                let mut remaining = x.max_of(S::zero());
+                let mut acc = S::zero();
+                for s in speeds {
+                    if !remaining.is_positive() {
+                        break;
+                    }
+                    let take = remaining.clone().min_of(S::one());
+                    acc = acc + take.clone() * s.clone();
+                    remaining = remaining - take;
+                }
+                acc
+            }
+        }
+    }
+
+    /// Maximal processing rate of a single task with parallelism cap
+    /// `delta`: `prefix(min(delta, count))`. The identical-machine case is
+    /// the familiar `min(δ, P)`.
+    pub fn rate_cap(&self, delta: S) -> S {
+        match self {
+            MachineModel::Identical { m } => delta.min_of(m.clone()),
+            MachineModel::Related { .. } => self.prefix(delta.min_of(self.count())),
+        }
+    }
+
+    /// `min(delta, count)` — the machine-count cap used by count-space
+    /// allocation rules.
+    pub fn count_cap(&self, delta: S) -> S {
+        delta.min_of(self.count())
+    }
+
+    /// The grouped speed levels (`k_ℓ`, `d_ℓ`), fastest level first. The
+    /// identical model is a single level `(m, 1)`; so is
+    /// `Related { speeds: [1; m] }`, which keeps the two transportation
+    /// networks structurally identical.
+    pub fn levels(&self) -> Vec<SpeedLevel<S>> {
+        match self {
+            MachineModel::Identical { m } => vec![SpeedLevel {
+                count: m.clone(),
+                diff: S::one(),
+            }],
+            MachineModel::Related { speeds } => {
+                let mut levels = Vec::new();
+                let mut i = 0;
+                while i < speeds.len() {
+                    let v = speeds[i].clone();
+                    let mut j = i;
+                    while j < speeds.len() && speeds[j] == v {
+                        j += 1;
+                    }
+                    let next = if j < speeds.len() {
+                        speeds[j].clone()
+                    } else {
+                        S::zero()
+                    };
+                    let diff = v - next;
+                    if diff.is_positive() {
+                        levels.push(SpeedLevel {
+                            count: S::from_int(j as i64),
+                            diff,
+                        });
+                    }
+                    i = j;
+                }
+                levels
+            }
+        }
+    }
+
+    /// Realize machine-count allocations as processing rates by laying the
+    /// tasks out on the machines **fastest first**, in slice order: entry
+    /// `k` occupies the machine-count interval `[Σ_{j<k} cⱼ, Σ_{j≤k} cⱼ)`
+    /// and gets rate `prefix(b) − prefix(a)`. On unit-speed machines the
+    /// counts are returned unchanged (bit-exactly — counts *are* rates
+    /// there), so every identical-machine code path is untouched.
+    pub fn realize(&self, counts: &[S]) -> Vec<S> {
+        if self.unit_speeds() {
+            return counts.to_vec();
+        }
+        let mut rates = Vec::with_capacity(counts.len());
+        let mut pos = S::zero();
+        let mut below = S::zero(); // prefix(pos), maintained incrementally
+        for c in counts {
+            let next = pos.clone() + c.clone().max_of(S::zero());
+            let above = self.prefix(next.clone());
+            rates.push((above.clone() - below).max_of(S::zero()));
+            pos = next;
+            below = above;
+        }
+        rates
+    }
+
+    /// `true` iff the instantaneous rate vector is feasible on this
+    /// machine, i.e. inside the polymatroid of the level decomposition.
+    /// `entries` pairs each task's parallelism cap `δᵢ` with its rate.
+    /// Decided by a single-interval transportation flow (exact for exact
+    /// scalars, tolerance-guarded for `f64`). Identical/uniform machines
+    /// don't need this (per-task caps plus `Σ ≤ P` are already complete
+    /// there); it exists for the related validation path.
+    pub fn rates_feasible(&self, entries: &[(S, S)], tol: &Tolerance<S>) -> bool {
+        let levels = self.levels();
+        let n = entries.len();
+        let l = levels.len();
+        let total = S::sum(entries.iter().map(|(_, r)| r.clone()));
+        if !total.is_positive() {
+            return true;
+        }
+        // Nodes: tasks 0..n, levels n..n+l, source, sink.
+        let s = n + l;
+        let t = n + l + 1;
+        let mut g = FlowNetwork::new(n + l + 2, tol.abs.clone() * S::from_f64(1e-3));
+        for (i, (delta, rate)) in entries.iter().enumerate() {
+            if !rate.is_positive() {
+                continue;
+            }
+            g.add_edge(s, i, rate.clone());
+            for (li, level) in levels.iter().enumerate() {
+                g.add_edge(
+                    i,
+                    n + li,
+                    delta.clone().min_of(level.count.clone()) * level.diff.clone(),
+                );
+            }
+        }
+        for (li, level) in levels.iter().enumerate() {
+            g.add_edge(n + li, t, level.count.clone() * level.diff.clone());
+        }
+        let flow = g.max_flow(s, t);
+        let slack = tol.rel.clone() * total.clone() + tol.abs.clone();
+        flow + slack >= total
+    }
+
+    /// Approximate `f64` image (reporting / float cross-checks; lossy for
+    /// non-binary-rational exact values, like
+    /// [`Instance::approx_f64`](crate::instance::Instance::approx_f64)).
+    pub fn approx_f64(&self) -> MachineModel<f64> {
+        match self {
+            MachineModel::Identical { m } => MachineModel::Identical { m: m.to_f64() },
+            MachineModel::Related { speeds } => MachineModel::Related {
+                speeds: speeds.iter().map(Scalar::to_f64).collect(),
+            },
+        }
+    }
+}
+
+impl MachineModel<f64> {
+    /// Exact lift onto another scalar field (every finite `f64` is a
+    /// binary rational — same contract as
+    /// [`Instance::to_scalar`](crate::instance::Instance::to_scalar)).
+    pub fn to_scalar<S2: Scalar>(&self) -> MachineModel<S2> {
+        match self {
+            MachineModel::Identical { m } => MachineModel::Identical {
+                m: S2::from_f64(*m),
+            },
+            MachineModel::Related { speeds } => MachineModel::Related {
+                speeds: speeds.iter().map(|s| S2::from_f64(*s)).collect(),
+            },
+        }
+    }
+}
+
+impl<S: Scalar> fmt::Display for MachineModel<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineModel::Identical { m } => write!(f, "identical(P = {})", m.to_f64()),
+            MachineModel::Related { speeds } => {
+                write!(f, "related(speeds = [")?;
+                for (j, s) in speeds.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", s.to_f64())?;
+                }
+                write!(f, "])")
+            }
+        }
+    }
+}
+
+/// Incremental evaluator of the polymatroid rank
+/// `f(T) = Σ_ℓ min(k_ℓ, Σ_{i∈T} min(δᵢ, k_ℓ)) · d_ℓ` over a mutating task
+/// set `T` — the sweep/suffix accumulator of the parametric constraint
+/// roots and capacity integrals. For the identical model (one level) this
+/// degenerates to the familiar `min(P, Σ δ̂)`.
+#[derive(Debug, Clone)]
+pub struct LevelAccumulator<S = f64> {
+    levels: Vec<SpeedLevel<S>>,
+    /// Per level: `Σ_{i∈T} min(δᵢ, k_ℓ)`.
+    acc: Vec<S>,
+}
+
+impl<S: Scalar> LevelAccumulator<S> {
+    /// An empty accumulator over the machine's levels.
+    pub fn new(machine: &MachineModel<S>) -> Self {
+        let levels = machine.levels();
+        let acc = vec![S::zero(); levels.len()];
+        LevelAccumulator { levels, acc }
+    }
+
+    /// Add a task with parallelism cap `delta` to the set.
+    pub fn add(&mut self, delta: &S) {
+        for (a, level) in self.acc.iter_mut().zip(&self.levels) {
+            *a = a.clone() + delta.clone().min_of(level.count.clone());
+        }
+    }
+
+    /// Remove a task with parallelism cap `delta` from the set.
+    pub fn sub(&mut self, delta: &S) {
+        for (a, level) in self.acc.iter_mut().zip(&self.levels) {
+            *a = a.clone() - delta.clone().min_of(level.count.clone());
+        }
+    }
+
+    /// The current rank `f(T)` — the instantaneous capacity available to
+    /// the task set.
+    pub fn rate(&self) -> S {
+        S::sum(
+            self.acc
+                .iter()
+                .zip(&self.levels)
+                .map(|(a, level)| a.clone().min_of(level.count.clone()) * level.diff.clone()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigratio::Rational;
+
+    fn related(speeds: &[f64]) -> MachineModel<f64> {
+        MachineModel::related(speeds.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn constructor_sorts_and_validates() {
+        let m = related(&[1.0, 4.0, 2.0]);
+        match &m {
+            MachineModel::Related { speeds } => assert_eq!(speeds, &vec![4.0, 2.0, 1.0]),
+            _ => unreachable!(),
+        }
+        assert!(MachineModel::related(vec![1.0, 0.0]).is_err());
+        assert!(MachineModel::<f64>::related(vec![]).is_err());
+        assert!(MachineModel::related(vec![f64::NAN]).is_err());
+        assert!(MachineModel::identical(2.0).validate().is_ok());
+        assert!(MachineModel::identical(0.0).validate().is_err());
+    }
+
+    #[test]
+    fn capacity_count_and_caps() {
+        let m = related(&[4.0, 2.0, 1.0]);
+        assert_eq!(m.capacity(), 7.0);
+        assert_eq!(m.count(), 3.0);
+        assert_eq!(m.n_machines(), Some(3));
+        assert_eq!(m.rate_cap(1.0), 4.0);
+        assert_eq!(m.rate_cap(2.0), 6.0);
+        assert_eq!(m.rate_cap(10.0), 7.0);
+        // Fractional caps interpolate the concave profile.
+        assert!((m.rate_cap(1.5) - 5.0).abs() < 1e-12);
+        let id = MachineModel::identical(4.0);
+        assert_eq!(id.rate_cap(2.5), 2.5);
+        assert_eq!(id.rate_cap(9.0), 4.0);
+        assert!(!id.is_related() && m.is_related());
+    }
+
+    #[test]
+    fn unit_speed_related_matches_identical_bitwise() {
+        let m = 4usize;
+        let rel = related(&vec![1.0; m]);
+        let id = MachineModel::identical(m as f64);
+        assert_eq!(rel.capacity(), id.capacity());
+        assert_eq!(rel.count(), id.count());
+        assert_eq!(rel.levels(), id.levels());
+        for d in [0.5, 1.0, 2.75, 4.0, 17.0] {
+            assert_eq!(rel.rate_cap(d), id.rate_cap(d));
+        }
+        assert!(rel.uniform() && rel.unit_speeds());
+        // Realization is the identity on unit speeds.
+        let counts = [1.5, 0.25, 2.0];
+        assert_eq!(rel.realize(&counts), counts.to_vec());
+        assert_eq!(id.realize(&counts), counts.to_vec());
+    }
+
+    #[test]
+    fn levels_group_distinct_speeds() {
+        let m = related(&[4.0, 4.0, 2.0, 1.0]);
+        let levels = m.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!((levels[0].count, levels[0].diff), (2.0, 2.0));
+        assert_eq!((levels[1].count, levels[1].diff), (3.0, 1.0));
+        assert_eq!((levels[2].count, levels[2].diff), (4.0, 1.0));
+        // prefix(x) = Σ_ℓ min(x, k_ℓ)·d_ℓ.
+        for x in [0.0, 0.5, 1.0, 2.5, 4.0, 6.0] {
+            let direct = m.prefix(x);
+            let via_levels: f64 = levels.iter().map(|l| x.min(l.count) * l.diff).sum();
+            assert!((direct - via_levels).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn realization_is_the_fastest_first_layout() {
+        let m = related(&[4.0, 2.0, 1.0]);
+        // Two tasks, one machine each: first gets the speed-4 machine.
+        assert_eq!(m.realize(&[1.0, 1.0]), vec![4.0, 2.0]);
+        // Fractional boundary: [0, 1.5) and [1.5, 2.5).
+        let r = m.realize(&[1.5, 1.0]);
+        assert!((r[0] - 5.0).abs() < 1e-12);
+        assert!((r[1] - 1.5).abs() < 1e-12);
+        // Rates never exceed the single-task cap of the same count.
+        for (c, rate) in [1.5, 1.0].iter().zip(&r) {
+            assert!(*rate <= m.rate_cap(*c) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn polymatroid_catches_over_concentration() {
+        // speeds (2, 1, 1): two δ=1 tasks can do at most 3 together even
+        // though each alone can do 2 and the capacity is 4.
+        let m = related(&[2.0, 1.0, 1.0]);
+        let tol = Tolerance::<f64>::default();
+        assert!(m.rates_feasible(&[(1.0, 2.0), (1.0, 1.0)], &tol));
+        assert!(!m.rates_feasible(&[(1.0, 2.0), (1.0, 2.0)], &tol));
+        assert!(m.rates_feasible(&[(1.0, 1.5), (1.0, 1.5)], &tol));
+        assert!(m.rates_feasible(&[(3.0, 4.0)], &tol));
+        assert!(!m.rates_feasible(&[(2.0, 3.5)], &tol));
+    }
+
+    #[test]
+    fn level_accumulator_matches_rank_function() {
+        let m = related(&[2.0, 1.0, 1.0]);
+        let mut acc = LevelAccumulator::new(&m);
+        acc.add(&1.0);
+        assert_eq!(acc.rate(), 2.0); // one δ=1 task: the fast machine
+        acc.add(&1.0);
+        assert_eq!(acc.rate(), 3.0); // two δ=1 tasks: 2 + 1
+        acc.add(&3.0);
+        assert_eq!(acc.rate(), 4.0); // capacity binds
+        acc.sub(&1.0);
+        acc.sub(&1.0);
+        assert_eq!(acc.rate(), 4.0); // the δ=3 task alone reaches P
+                                     // Identical machines: rank is min(P, Σ δ̂).
+        let id = MachineModel::identical(4.0);
+        let mut acc = LevelAccumulator::new(&id);
+        acc.add(&3.0);
+        assert_eq!(acc.rate(), 3.0);
+        acc.add(&3.0);
+        assert_eq!(acc.rate(), 4.0);
+    }
+
+    #[test]
+    fn exact_model_is_exact() {
+        let q = Rational::from_f64_exact;
+        let m = MachineModel::<Rational>::related(vec![q(2.0), q(1.0), q(0.5)]).unwrap();
+        assert_eq!(m.capacity(), q(3.5));
+        assert_eq!(m.rate_cap(q(1.5)), q(2.5));
+        let r = m.realize(&[q(1.5), q(1.5)]);
+        assert_eq!(r[0], q(2.5));
+        assert_eq!(r[1], q(1.0));
+        let tol = numkit::Tolerance::exact();
+        assert!(m.rates_feasible(&[(q(1.5), q(2.5)), (q(1.5), q(1.0))], &tol));
+        assert!(!m.rates_feasible(&[(q(1.0), q(2.0)), (q(1.0), q(1.5))], &tol));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert!(MachineModel::identical(4.0)
+            .to_string()
+            .contains("identical"));
+        assert!(related(&[2.0, 1.0]).to_string().contains("related"));
+    }
+}

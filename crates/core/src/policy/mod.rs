@@ -22,12 +22,13 @@
 pub mod registry;
 pub mod rules;
 
-pub use registry::{all, by_name, names};
+pub use registry::{all, by_name, names, related_capable};
 pub use rules::{ActiveTask, AllocationRule};
 
 use crate::algos::greedy::{best_heuristic_greedy, greedy_schedule};
 use crate::algos::makespan::{makespan_schedule, min_lmax};
 use crate::algos::orders;
+use crate::algos::related::{flow_witness, greedy_related, min_lmax_flow};
 use crate::algos::releases::makespan_with_releases;
 use crate::algos::waterfill::water_filling;
 use crate::algos::waterfill_fast::wf_feasible_grouped;
@@ -389,11 +390,9 @@ impl<S: Scalar> SchedulingPolicy<S> for LmaxHeightDue {
     }
 
     fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
-        let due: Vec<S> = (0..instance.n())
-            .map(|i| {
-                let t = &instance.tasks[i];
-                t.volume.clone() / t.delta.clone().min_of(instance.p.clone())
-            })
+        let due: Vec<S> = instance
+            .iter()
+            .map(|(id, t)| t.volume.clone() / instance.effective_delta(id))
             .collect();
         let (_, schedule) = min_lmax(instance, &due)?;
         Ok(plain(schedule))
@@ -423,20 +422,25 @@ impl<S: Scalar> SchedulingPolicy<S> for LmaxParametric {
     }
 
     fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
-        let due: Vec<S> = instance
-            .tasks
-            .iter()
-            .map(|t| {
-                if t.weight.is_positive() {
-                    t.volume.clone() / t.weight.clone()
-                } else {
-                    t.volume.clone() / t.delta.clone().min_of(instance.p.clone())
-                }
-            })
-            .collect();
+        let due: Vec<S> = smith_ratio_dues(instance);
         let (_, schedule) = min_lmax(instance, &due)?;
         Ok(plain(schedule))
     }
+}
+
+/// Smith-ratio due dates `dᵢ = Vᵢ/wᵢ` (weightless tasks fall back to
+/// their height) — shared by the two parametric `Lmax` policies.
+fn smith_ratio_dues<S: Scalar>(instance: &Instance<S>) -> Vec<S> {
+    instance
+        .iter()
+        .map(|(id, t)| {
+            if t.weight.is_positive() {
+                t.volume.clone() / t.weight.clone()
+            } else {
+                t.volume.clone() / instance.effective_delta(id)
+            }
+        })
+        .collect()
 }
 
 /// The release-date `Cmax` solver run at zero releases: the exact optimal
@@ -466,6 +470,113 @@ impl<S: Scalar> SchedulingPolicy<S> for MakespanParametric {
         let r = makespan_with_releases(instance, &releases)?;
         let tol = Tolerance::<S>::for_instance(instance.n());
         Ok(plain(step_to_column(&r.schedule, tol)))
+    }
+}
+
+/// **Fastest-machines-first WDEQ** — the related-machines entry of the
+/// heterogeneous policy family: weighted equipartition of *machine
+/// counts* (the same fixpoint as Algorithm 1), realized by handing the
+/// fastest machines to the heaviest active tasks. On identical machines
+/// this coincides with WDEQ (machine counts are rates there); on related
+/// machines it is feasible by construction because the allocation is an
+/// actual machine assignment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WdeqRelated;
+
+impl<S: Scalar> SchedulingPolicy<S> for WdeqRelated {
+    fn name(&self) -> &'static str {
+        "wdeq-related"
+    }
+
+    fn description(&self) -> &'static str {
+        "weighted equipartition of machine counts, fastest machines to heaviest tasks"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::NonClairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        rules::replay(instance, &rules::WdeqRule).map(plain)
+    }
+}
+
+/// **Speed-scaled Water-Filling** — the related-machines normal form:
+/// take the fastest-first WDEQ completion times and materialize them
+/// through the transportation flow over the speed levels (the witness
+/// role Water-Filling plays on identical machines, Theorem 8).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WaterFillRelated;
+
+impl<S: Scalar> SchedulingPolicy<S> for WaterFillRelated {
+    fn name(&self) -> &'static str {
+        "wf-related"
+    }
+
+    fn description(&self) -> &'static str {
+        "speed-scaled normal form: WDEQ-related completion times via the level flow"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let completions = rules::replay(instance, &rules::WdeqRule)?.completions;
+        flow_witness(instance, None, &completions).map(plain)
+    }
+}
+
+/// **Greedy(Smith) on related machines**: tasks in Smith order, each
+/// receiving the earliest completion time that keeps the prefix
+/// transport-feasible (the completion-time formulation of Algorithm 3's
+/// greedy principle, sound on any speed profile).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedySmithRelated;
+
+impl<S: Scalar> SchedulingPolicy<S> for GreedySmithRelated {
+    fn name(&self) -> &'static str {
+        "greedy-smith-related"
+    }
+
+    fn description(&self) -> &'static str {
+        "greedy earliest-feasible completions in Smith order over the speed profile"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        greedy_related(instance, &orders::smith_order(instance)).map(plain)
+    }
+}
+
+/// Exact min-`Lmax` against Smith-ratio due dates with the transportation
+/// flow as oracle *and* witness — the related-machines sibling of
+/// [`LmaxParametric`]. Runs the flow path on every machine model (on
+/// identical machines it cross-checks the Water-Filling path: same
+/// optimal `L*`, different witness).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LmaxParametricRelated;
+
+impl<S: Scalar> SchedulingPolicy<S> for LmaxParametricRelated {
+    fn name(&self) -> &'static str {
+        "lmax-parametric-related"
+    }
+
+    fn description(&self) -> &'static str {
+        "exact min-Lmax on the speed profile (parametric level-flow search)"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        let due = smith_ratio_dues(instance);
+        let (_, schedule) = min_lmax_flow(instance, &due)?;
+        Ok(plain(schedule))
     }
 }
 

@@ -6,8 +6,9 @@
 //! workspace means appending one constructor to [`all`].
 
 use super::{
-    BestHeuristicGreedy, GreedyPolicy, LmaxHeightDue, LmaxParametric, MakespanOptimal,
-    MakespanParametric, OrderRule, RulePolicy, SchedulingPolicy, WaterFillNormalForm, Wdeq,
+    BestHeuristicGreedy, GreedyPolicy, GreedySmithRelated, LmaxHeightDue, LmaxParametric,
+    LmaxParametricRelated, MakespanOptimal, MakespanParametric, OrderRule, RulePolicy,
+    SchedulingPolicy, WaterFillNormalForm, WaterFillRelated, Wdeq, WdeqRelated,
 };
 use crate::policy::rules::{DeqRule, PriorityRule, ShareNoRedistributionRule};
 use numkit::Scalar;
@@ -41,7 +42,34 @@ pub fn all<S: Scalar>() -> Vec<Box<dyn SchedulingPolicy<S>>> {
     v.push(Box::new(MakespanParametric));
     v.push(Box::new(LmaxHeightDue));
     v.push(Box::new(LmaxParametric));
+    // The related-machines (heterogeneous speed) family — these four run
+    // on any machine model; the rate-space policies above require
+    // identical/uniform speeds (they error, loudly, on heterogeneous
+    // instances).
+    v.push(Box::new(WdeqRelated));
+    v.push(Box::new(WaterFillRelated));
+    v.push(Box::new(GreedySmithRelated));
+    v.push(Box::new(LmaxParametricRelated));
     v
+}
+
+/// The policies that run on **every** machine model, related machines
+/// included (the rate-space identical-machine policies reject
+/// heterogeneous instances). Grid sweeps over heterogeneous workloads
+/// select from this list.
+pub fn related_capable() -> Vec<&'static str> {
+    vec![
+        "deq",
+        "share-no-redistribution",
+        "priority",
+        "makespan-parametric",
+        "lmax-height",
+        "lmax-parametric",
+        "wdeq-related",
+        "wf-related",
+        "greedy-smith-related",
+        "lmax-parametric-related",
+    ]
 }
 
 /// Look a policy up by its stable name, or `None` for unknown keys.
@@ -59,13 +87,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_at_least_eight_distinct_policies() {
+    fn registry_has_at_least_twenty_distinct_policies() {
         let names = names();
-        assert!(names.len() >= 8, "only {} policies", names.len());
+        assert!(names.len() >= 20, "only {} policies", names.len());
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate policy names");
+    }
+
+    #[test]
+    fn related_capable_names_are_registered() {
+        let names = names();
+        for name in related_capable() {
+            assert!(names.contains(&name), "{name} not in the registry");
+        }
+        for name in [
+            "wdeq-related",
+            "wf-related",
+            "greedy-smith-related",
+            "lmax-parametric-related",
+        ] {
+            assert!(related_capable().contains(&name));
+        }
     }
 
     #[test]

@@ -27,22 +27,29 @@ pub struct ActiveTask<S = f64> {
     pub id: TaskId,
     /// Weight `wᵢ`.
     pub weight: S,
-    /// Effective cap `min(δᵢ, P)`.
+    /// Effective *machine-count* cap `min(δᵢ, count)`. On identical
+    /// machines this equals the rate cap `min(δᵢ, P)`; on related
+    /// machines the counts a rule hands out are realized into rates by
+    /// the fastest-machines-first layout (see [`replay`]).
     pub cap: S,
     /// Volume processed so far.
     pub processed: S,
 }
 
-/// An instantaneous allocation rule: observable task state in, rates out.
+/// An instantaneous allocation rule: observable task state in, machine
+/// shares out.
 ///
-/// Rates are indexed like `active` and must satisfy `0 ≤ rateₖ ≤ capₖ` and
-/// `Σ rateₖ ≤ p` (the rules below guarantee this by construction; the sim
-/// engine re-validates independently).
+/// Shares are indexed like `active` and must satisfy `0 ≤ shareₖ ≤ capₖ`
+/// and `Σ shareₖ ≤ p` (the rules below guarantee this by construction;
+/// the sim engine re-validates independently). On identical machines a
+/// share *is* a processing rate; on related machines it is a fractional
+/// machine count, converted to a rate by the speed profile.
 pub trait AllocationRule<S: Scalar> {
     /// Stable name (used in experiment tables and the policy registry).
     fn name(&self) -> &'static str;
 
-    /// Choose rates for the active tasks.
+    /// Choose machine shares for the active tasks (`p` is the total
+    /// machine count — the capacity `P` on identical machines).
     fn rates(&self, active: &[ActiveTask<S>], p: &S) -> Vec<S>;
 }
 
@@ -144,6 +151,16 @@ impl<S: Scalar> AllocationRule<S> for PriorityRule {
 /// paper's model works at — between completions any constant allocation
 /// with the same column totals is equivalent, Theorem 3).
 ///
+/// **Machine awareness.** The rule is consulted in machine-count space
+/// (caps `min(δᵢ, count)`, budget = total machine count); the resulting
+/// shares are realized into processing rates by laying the active tasks
+/// onto the machines **fastest first, heaviest task first** (ties by task
+/// id). On identical machines this realization is the identity — counts
+/// are rates — so the replay is bit-for-bit the original one; on related
+/// machines it is the fastest-machines-first WDEQ family of Gupta–Kumar–
+/// Singla-style heterogeneous policies, and the produced columns are
+/// feasible by construction (they are an actual machine assignment).
+///
 /// # Errors
 /// [`ScheduleError::InvalidInstance`] when the instance is malformed or
 /// the rule stops making progress (e.g. proportional share over an
@@ -155,6 +172,7 @@ pub fn replay<S: Scalar>(
     instance.validate()?;
     let tol = Tolerance::<S>::for_instance(instance.n());
     let n = instance.n();
+    let count = instance.machine.count();
     let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
     let mut processed = vec![S::zero(); n];
     let mut active: Vec<usize> = (0..n).collect();
@@ -168,12 +186,15 @@ pub fn replay<S: Scalar>(
             .map(|&i| ActiveTask {
                 id: TaskId(i),
                 weight: instance.tasks[i].weight.clone(),
-                cap: instance.effective_delta(TaskId(i)),
+                cap: instance.count_cap(TaskId(i)),
                 processed: processed[i].clone(),
             })
             .collect();
-        let rates = rule.rates(&views, &instance.p);
-        debug_assert_eq!(rates.len(), views.len(), "rule returned wrong arity");
+        let shares = rule.rates(&views, &count);
+        debug_assert_eq!(shares.len(), views.len(), "rule returned wrong arity");
+        // Realize machine shares as rates: fastest machines to the
+        // heaviest tasks (deterministic; the identity on unit speeds).
+        let rates = realize_shares(instance, &active, &shares);
 
         // Time to the next completion among tasks that progress.
         let mut dt: Option<S> = None;
@@ -230,6 +251,30 @@ pub fn replay<S: Scalar>(
         completions,
         columns,
     })
+}
+
+/// Convert machine-count shares into processing rates: lay the active
+/// tasks out on the speed profile fastest-first, heaviest task first
+/// (ties by id). The identity on unit-speed machines, so the identical
+/// path is bit-exact.
+fn realize_shares<S: Scalar>(instance: &Instance<S>, active: &[usize], shares: &[S]) -> Vec<S> {
+    if instance.machine.unit_speeds() {
+        return shares.to_vec();
+    }
+    let mut pos: Vec<usize> = (0..active.len()).collect();
+    pos.sort_by(|&a, &b| {
+        instance.tasks[active[b]]
+            .weight
+            .total_cmp_s(&instance.tasks[active[a]].weight)
+            .then(active[a].cmp(&active[b]))
+    });
+    let ordered: Vec<S> = pos.iter().map(|&k| shares[k].clone()).collect();
+    let realized = instance.machine.realize(&ordered);
+    let mut rates = vec![S::zero(); active.len()];
+    for (slot, &k) in pos.iter().enumerate() {
+        rates[k] = realized[slot].clone();
+    }
+    rates
 }
 
 #[cfg(test)]

@@ -223,6 +223,26 @@ impl<S: Scalar> ColumnSchedule<S> {
                     p: self.p.to_f64(),
                 });
             }
+            // On heterogeneous related machines, per-task caps plus the
+            // total are necessary but not sufficient: the rates must lie
+            // in the polymatroid of the speed profile (e.g. two δ = 1
+            // tasks on speeds (2, 1, 1) cannot both run at rate 2). The
+            // single-interval transportation flow decides it — exactly,
+            // for exact scalars.
+            if !instance.machine.uniform() && col.len() > tol.abs && total.is_positive() {
+                let entries: Vec<(S, S)> = col
+                    .rates
+                    .iter()
+                    .map(|(t, r)| (instance.task(*t).delta.clone(), r.clone()))
+                    .collect();
+                if !instance.machine.rates_feasible(&entries, &tol) {
+                    return Err(ScheduleError::SpeedProfileExceeded {
+                        at: col.start.to_f64(),
+                        total: total.to_f64(),
+                        capacity: self.p.to_f64(),
+                    });
+                }
+            }
         }
         // Volumes.
         for (id, t) in instance.iter() {

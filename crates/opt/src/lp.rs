@@ -154,6 +154,9 @@ pub fn lp_cost_for_order<S: Scalar>(
     order: &[TaskId],
     opts: &SolveOptions<S>,
 ) -> Result<S, OptError> {
+    instance
+        .require_uniform_machine("the Corollary-1 LP")
+        .map_err(OptError::Schedule)?;
     if !malleable_core::algos::orders::is_permutation(order, instance.n()) {
         return Err(OptError::Schedule(ScheduleError::InvalidInstance {
             reason: "order is not a permutation".into(),
@@ -174,6 +177,9 @@ pub fn lp_schedule_for_order<S: Scalar>(
     instance: &Instance<S>,
     order: &[TaskId],
 ) -> Result<(S, ColumnSchedule<S>), OptError> {
+    instance
+        .require_uniform_machine("the Corollary-1 LP")
+        .map_err(OptError::Schedule)?;
     if !malleable_core::algos::orders::is_permutation(order, instance.n()) {
         return Err(OptError::Schedule(ScheduleError::InvalidInstance {
             reason: "order is not a permutation".into(),

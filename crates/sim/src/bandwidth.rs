@@ -56,14 +56,13 @@ impl BandwidthScenario {
     /// The equivalent malleable instance: `V = code size`, `w = processing
     /// rate`, `δ = link capacity`.
     pub fn to_instance(&self) -> Instance {
-        Instance {
-            p: self.server_bandwidth,
-            tasks: self
-                .workers
+        Instance::identical(
+            self.server_bandwidth,
+            self.workers
                 .iter()
                 .map(|w| Task::new(w.code_size, w.processing_rate, w.link_capacity))
                 .collect(),
-        }
+        )
     }
 
     /// Work processed by time `horizon` given download completion times.

@@ -125,6 +125,11 @@ pub fn simulate<S: Scalar>(
     policy: &mut dyn OnlinePolicy<S>,
 ) -> Result<SimResult<S>, SimError> {
     instance.validate()?;
+    // The engine validates policies against the rate-space feasibility
+    // region (per-task cap, Σ ≤ P), which is only the true region on
+    // identical/uniform machines; related-machines policies run through
+    // `malleable_core::policy` instead.
+    instance.require_uniform_machine("the online simulation engine")?;
     let tol = Tolerance::<S>::for_instance(instance.n());
     let n = instance.n();
     let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();

@@ -195,10 +195,7 @@ mod tests {
             columns: vec![],
         };
         assert_eq!(utilization(&empty), 0.0);
-        let no_tasks = Instance {
-            p: 2.0,
-            tasks: vec![],
-        };
+        let no_tasks = Instance::identical(2.0, vec![]);
         assert_eq!(jain_fairness(&no_tasks, &empty), 1.0);
         let m = metrics(&no_tasks, &empty);
         assert_eq!(m.weighted_completion, 0.0);

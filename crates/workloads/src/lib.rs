@@ -18,8 +18,10 @@
 #![warn(missing_docs)]
 
 use malleable_core::instance::{Instance, Task};
+use malleable_core::machine::MachineModel;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::borrow::Cow;
 
 /// Floor on sampled values: keeps instances non-degenerate (the paper's
 /// "uniform" draws are continuous, so exact zeros have measure zero; a
@@ -106,6 +108,41 @@ pub enum Spec {
         /// Server outgoing bandwidth.
         server_bandwidth: f64,
     },
+    /// **Related machines, power-law speeds**: machine `j` runs at
+    /// `1/(j+1)^alpha` (a few fast nodes, a long slow tail — the typical
+    /// heterogeneous-cluster profile). Tasks draw integer machine caps
+    /// `δ ∈ {1..machines}` and uniform volumes/weights.
+    PowerLawSpeeds {
+        /// Number of tasks.
+        n: usize,
+        /// Number of machines.
+        machines: usize,
+        /// Speed decay exponent (`alpha ≈ 1` typical).
+        alpha: f64,
+    },
+    /// **Related machines, two-tier cluster**: `fast` machines at speed
+    /// `speedup`, `slow` machines at speed 1 (the accelerator-plus-CPU
+    /// fleet shape).
+    TwoTierCluster {
+        /// Number of tasks.
+        n: usize,
+        /// Number of fast machines.
+        fast: usize,
+        /// Number of slow machines.
+        slow: usize,
+        /// Speed of the fast tier (> 1).
+        speedup: f64,
+    },
+    /// **Related machines, single-fast adversary**: one machine as fast as
+    /// the `machines − 1` unit-speed ones combined — the profile that
+    /// punishes policies which spread wide instead of queueing on the
+    /// fast machine.
+    SingleFastMachine {
+        /// Number of tasks.
+        n: usize,
+        /// Total number of machines (≥ 2).
+        machines: usize,
+    },
 }
 
 impl Spec {
@@ -121,24 +158,83 @@ impl Spec {
             | Spec::ZipfWeights { n, .. }
             | Spec::BimodalVolumes { n, .. }
             | Spec::Stairs { n, .. }
-            | Spec::BandwidthFleet { n, .. } => n,
+            | Spec::BandwidthFleet { n, .. }
+            | Spec::PowerLawSpeeds { n, .. }
+            | Spec::TwoTierCluster { n, .. }
+            | Spec::SingleFastMachine { n, .. } => n,
         }
     }
 
-    /// Short label for experiment tables.
-    pub fn label(&self) -> &'static str {
+    /// `true` iff this family generates related (heterogeneous-speed)
+    /// machine instances; pair such sources with
+    /// `malleable_core::policy::related_capable` policies in grids.
+    pub fn is_related(&self) -> bool {
+        matches!(
+            self,
+            Spec::PowerLawSpeeds { .. }
+                | Spec::TwoTierCluster { .. }
+                | Spec::SingleFastMachine { .. }
+        )
+    }
+
+    /// Short label for experiment tables. Parameterized heterogeneous
+    /// families render their speed profile; the identical-machine
+    /// families keep their historic static labels.
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            Spec::PaperUniform { .. } => "paper-uniform",
-            Spec::ConstantWeight { .. } => "const-weight",
-            Spec::ConstantWeightVolume { .. } => "const-w-v",
-            Spec::HomogeneousHalfCap { .. } => "homog-halfcap",
-            Spec::Theorem11 { .. } => "theorem11",
-            Spec::IntegerUniform { .. } => "integer-uniform",
-            Spec::ZipfWeights { .. } => "zipf-weights",
-            Spec::BimodalVolumes { .. } => "bimodal-volumes",
-            Spec::Stairs { .. } => "stairs",
-            Spec::BandwidthFleet { .. } => "bandwidth-fleet",
+            Spec::PaperUniform { .. } => Cow::Borrowed("paper-uniform"),
+            Spec::ConstantWeight { .. } => Cow::Borrowed("const-weight"),
+            Spec::ConstantWeightVolume { .. } => Cow::Borrowed("const-w-v"),
+            Spec::HomogeneousHalfCap { .. } => Cow::Borrowed("homog-halfcap"),
+            Spec::Theorem11 { .. } => Cow::Borrowed("theorem11"),
+            Spec::IntegerUniform { .. } => Cow::Borrowed("integer-uniform"),
+            Spec::ZipfWeights { .. } => Cow::Borrowed("zipf-weights"),
+            Spec::BimodalVolumes { .. } => Cow::Borrowed("bimodal-volumes"),
+            Spec::Stairs { .. } => Cow::Borrowed("stairs"),
+            Spec::BandwidthFleet { .. } => Cow::Borrowed("bandwidth-fleet"),
+            Spec::PowerLawSpeeds {
+                machines, alpha, ..
+            } => Cow::Owned(format!("powerlaw-speeds[m={machines},a={alpha}]")),
+            Spec::TwoTierCluster {
+                fast,
+                slow,
+                speedup,
+                ..
+            } => Cow::Owned(format!("two-tier[{fast}x{speedup}+{slow}x1]")),
+            Spec::SingleFastMachine { machines, .. } => {
+                Cow::Owned(format!("single-fast[m={machines}]"))
+            }
         }
+    }
+}
+
+/// The speed profile of a related-machines [`Spec`] (None for the
+/// identical-machine families). Deterministic in the spec parameters.
+pub fn speed_profile(spec: &Spec) -> Option<Vec<f64>> {
+    match *spec {
+        Spec::PowerLawSpeeds {
+            machines, alpha, ..
+        } => Some(
+            (0..machines)
+                .map(|j| 1.0 / ((j + 1) as f64).powf(alpha))
+                .collect(),
+        ),
+        Spec::TwoTierCluster {
+            fast,
+            slow,
+            speedup,
+            ..
+        } => {
+            let mut v = vec![speedup; fast];
+            v.extend(std::iter::repeat_n(1.0, slow));
+            Some(v)
+        }
+        Spec::SingleFastMachine { machines, .. } => {
+            let mut v = vec![(machines - 1).max(1) as f64];
+            v.extend(std::iter::repeat_n(1.0, machines - 1));
+            Some(v)
+        }
+        _ => None,
     }
 }
 
@@ -146,9 +242,9 @@ impl Spec {
 pub fn generate(spec: &Spec, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let inst = match *spec {
-        Spec::PaperUniform { n } => Instance {
-            p: 1.0,
-            tasks: (0..n)
+        Spec::PaperUniform { n } => Instance::identical(
+            1.0,
+            (0..n)
                 .map(|_| {
                     Task::new(
                         rng.random_range(LO..1.0),
@@ -157,29 +253,29 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     )
                 })
                 .collect(),
-        },
-        Spec::ConstantWeight { n } => Instance {
-            p: 1.0,
-            tasks: (0..n)
+        ),
+        Spec::ConstantWeight { n } => Instance::identical(
+            1.0,
+            (0..n)
                 .map(|_| Task::new(rng.random_range(LO..1.0), 1.0, rng.random_range(LO..1.0)))
                 .collect(),
-        },
-        Spec::ConstantWeightVolume { n } => Instance {
-            p: 1.0,
-            tasks: (0..n)
+        ),
+        Spec::ConstantWeightVolume { n } => Instance::identical(
+            1.0,
+            (0..n)
                 .map(|_| Task::new(1.0, 1.0, rng.random_range(LO..1.0)))
                 .collect(),
-        },
-        Spec::HomogeneousHalfCap { n } => Instance {
-            p: 1.0,
-            tasks: homogeneous_deltas(n, seed)
+        ),
+        Spec::HomogeneousHalfCap { n } => Instance::identical(
+            1.0,
+            homogeneous_deltas(n, seed)
                 .into_iter()
                 .map(|d| Task::new(1.0, 1.0, d))
                 .collect(),
-        },
-        Spec::Theorem11 { n, p } => Instance {
+        ),
+        Spec::Theorem11 { n, p } => Instance::identical(
             p,
-            tasks: (0..n)
+            (0..n)
                 .map(|_| {
                     Task::new(
                         rng.random_range(LO * p..p),
@@ -188,10 +284,10 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     )
                 })
                 .collect(),
-        },
-        Spec::IntegerUniform { n, p } => Instance {
-            p: p as f64,
-            tasks: (0..n)
+        ),
+        Spec::IntegerUniform { n, p } => Instance::identical(
+            p as f64,
+            (0..n)
                 .map(|_| {
                     Task::new(
                         rng.random_range(LO * p as f64..p as f64),
@@ -200,10 +296,10 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     )
                 })
                 .collect(),
-        },
-        Spec::ZipfWeights { n, p, s } => Instance {
+        ),
+        Spec::ZipfWeights { n, p, s } => Instance::identical(
             p,
-            tasks: (0..n)
+            (0..n)
                 .map(|rank| {
                     Task::new(
                         rng.random_range(LO * p..p),
@@ -212,14 +308,14 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     )
                 })
                 .collect(),
-        },
+        ),
         Spec::BimodalVolumes {
             n,
             p,
             heavy_fraction,
-        } => Instance {
+        } => Instance::identical(
             p,
-            tasks: (0..n)
+            (0..n)
                 .map(|_| {
                     let heavy = rng.random_range(0.0..1.0) < heavy_fraction;
                     let v = if heavy {
@@ -230,10 +326,10 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     Task::new(v, rng.random_range(LO..1.0), rng.random_range(LO * p..p))
                 })
                 .collect(),
-        },
-        Spec::Stairs { n, p } => Instance {
+        ),
+        Spec::Stairs { n, p } => Instance::identical(
             p,
-            tasks: (0..n)
+            (0..n)
                 .map(|k| {
                     // Caps halve down to 1 while areas stay equal, so every
                     // task spills across many columns under water-filling.
@@ -243,13 +339,13 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     Task::new(p, 1.0, delta)
                 })
                 .collect(),
-        },
+        ),
         Spec::BandwidthFleet {
             n,
             server_bandwidth,
-        } => Instance {
-            p: server_bandwidth,
-            tasks: (0..n)
+        } => Instance::identical(
+            server_bandwidth,
+            (0..n)
                 .map(|_| {
                     // Link capacities span two decades, log-uniform.
                     let link = server_bandwidth * 10f64.powf(rng.random_range(-2.0..0.0));
@@ -259,7 +355,29 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     Task::new(code, rate, link)
                 })
                 .collect(),
-        },
+        ),
+        Spec::PowerLawSpeeds { n, .. }
+        | Spec::TwoTierCluster { n, .. }
+        | Spec::SingleFastMachine { n, .. } => {
+            // The speed profile is deterministic in the spec; only the
+            // tasks are seeded.
+            let speeds = speed_profile(spec).expect("related spec has a profile");
+            let m = speeds.len();
+            let machine = MachineModel::related(speeds).expect("positive speeds");
+            let total = machine.capacity();
+            Instance::on(
+                machine,
+                (0..n)
+                    .map(|_| {
+                        Task::new(
+                            rng.random_range(LO * total..total),
+                            rng.random_range(LO..1.0),
+                            rng.random_range(1..=m as u64) as f64,
+                        )
+                    })
+                    .collect(),
+            )
+        }
     };
     debug_assert!(
         inst.validate().is_ok(),
@@ -357,6 +475,58 @@ mod tests {
                 assert_eq!(inst.n(), spec.n());
             }
         }
+    }
+
+    #[test]
+    fn related_specs_generate_heterogeneous_instances() {
+        let specs = [
+            Spec::PowerLawSpeeds {
+                n: 6,
+                machines: 4,
+                alpha: 1.0,
+            },
+            Spec::TwoTierCluster {
+                n: 6,
+                fast: 2,
+                slow: 4,
+                speedup: 4.0,
+            },
+            Spec::SingleFastMachine { n: 6, machines: 5 },
+        ];
+        for spec in specs {
+            assert!(spec.is_related(), "{}", spec.label());
+            let profile = speed_profile(&spec).unwrap();
+            for seed in 0..3 {
+                let inst = generate(&spec, seed);
+                inst.validate().unwrap();
+                assert!(inst.machine.is_related());
+                assert_eq!(inst.machine.n_machines(), Some(profile.len()));
+                assert_eq!(inst.n(), 6);
+                // δ caps are integer machine counts within range.
+                for t in &inst.tasks {
+                    assert_eq!(t.delta, t.delta.round());
+                    assert!((1.0..=profile.len() as f64).contains(&t.delta));
+                }
+            }
+            // Determinism per (spec, seed).
+            assert_eq!(generate(&spec, 7), generate(&spec, 7));
+            assert_ne!(generate(&spec, 7), generate(&spec, 8));
+        }
+        // Parameterized labels render the profile shape.
+        assert_eq!(
+            Spec::TwoTierCluster {
+                n: 6,
+                fast: 2,
+                slow: 4,
+                speedup: 4.0
+            }
+            .label(),
+            "two-tier[2x4+4x1]"
+        );
+        // The single-fast adversary: one machine equals the rest combined.
+        let p = speed_profile(&Spec::SingleFastMachine { n: 2, machines: 5 }).unwrap();
+        assert_eq!(p[0], 4.0);
+        assert_eq!(p.len(), 5);
     }
 
     #[test]

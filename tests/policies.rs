@@ -99,9 +99,15 @@ fn registry_names_resolve_and_stay_stable() {
         "makespan-parametric",
         "lmax-height",
         "lmax-parametric",
+        "wdeq-related",
+        "wf-related",
+        "greedy-smith-related",
+        "lmax-parametric-related",
     ] {
         assert!(names.contains(&name), "{name} left the registry");
     }
+    // The ROADMAP's related-machines milestone: ≥ 20 named policies.
+    assert!(names.len() >= 20, "registry shrank to {}", names.len());
 }
 
 #[test]
