@@ -457,8 +457,9 @@ pub fn policy_aggregates(records: &[EvalRecord]) -> Vec<PolicyAggregate> {
 }
 
 /// Minimal JSON string escaping (policy/family names are plain, but stay
-/// correct anyway).
-fn json_str(s: &str) -> String {
+/// correct anyway). Shared with the other hand-rolled JSON writers in
+/// this crate ([`crate::perf`]).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,88 @@
+//! **CI bench-regression gate** — compare the per-policy aggregates of a
+//! fresh `results/BENCH_batch.json` against the checked-in
+//! `results/BENCH_baseline.json` and exit non-zero on regression.
+//!
+//! ```text
+//! bench_gate [--current PATH] [--baseline PATH]
+//!            [--wall-ratio X] [--wall-abs-us X] [--ratio-band X]
+//!   --current      fresh sweep output (default results/BENCH_batch.json)
+//!   --baseline     checked-in reference (default results/BENCH_baseline.json)
+//!   --wall-ratio   per-policy wall-time multiplier band (default 10)
+//!   --wall-abs-us  absolute wall-time allowance in µs (default 200)
+//!   --ratio-band   relative band on mean/max bound ratios (default 0.05)
+//! ```
+//!
+//! Band semantics live in [`malleable_bench::regression`]; this binary is
+//! the thin CLI: load, parse, compare, report, exit. A failure lists
+//! every violated band so one CI run surfaces all regressions at once.
+
+use malleable_bench::regression::{aggregates_from_json, regression_check, GateBands};
+use malleable_bench::{arg_value, jsonin};
+use std::process::ExitCode;
+
+fn arg_f64(name: &str, default: f64) -> Result<f64, String> {
+    match arg_value(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| format!("{name} must be a non-negative number, got {v:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Vec<malleable_bench::batch::PolicyAggregate>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = jsonin::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    aggregates_from_json(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let current_path =
+        arg_value("--current").unwrap_or_else(|| "results/BENCH_batch.json".to_string());
+    let baseline_path =
+        arg_value("--baseline").unwrap_or_else(|| "results/BENCH_baseline.json".to_string());
+    let bands = GateBands {
+        wall_ratio: arg_f64("--wall-ratio", GateBands::default().wall_ratio)?,
+        wall_abs_us: arg_f64("--wall-abs-us", GateBands::default().wall_abs_us)?,
+        ratio_band: arg_f64("--ratio-band", GateBands::default().ratio_band)?,
+    };
+    let current = load(&current_path)?;
+    let baseline = load(&baseline_path)?;
+    let report = regression_check(&current, &baseline, &bands);
+    println!(
+        "bench gate: {} policies compared against {baseline_path} \
+         (wall band {}x + {}µs, ratio band {}%)",
+        report.compared,
+        bands.wall_ratio,
+        bands.wall_abs_us,
+        bands.ratio_band * 100.0
+    );
+    for note in &report.notes {
+        println!("  note: {note}");
+    }
+    for failure in &report.failures {
+        eprintln!("  REGRESSION: {failure}");
+    }
+    if report.passed() {
+        println!("bench gate: PASS");
+    } else {
+        eprintln!(
+            "bench gate: FAIL — {} regression(s); if intentional, regenerate \
+             {baseline_path} from a trusted run of exp_batch --smoke",
+            report.failures.len()
+        );
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bench gate error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -32,17 +32,10 @@
 //! assertion for the parametric solvers (on both machine models).
 
 use malleable_bench::batch::{summary_table, write_batch_json, write_records_csv, BatchGrid};
-use malleable_bench::instance_count;
+use malleable_bench::{arg_value, instance_count};
 use malleable_core::policy;
 use malleable_workloads::{seed_batch, Spec};
 use std::time::Instant;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
 
 fn main() {
     let t0 = Instant::now();
@@ -51,9 +44,26 @@ fn main() {
     let base: u64 = arg_value("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xB0);
-    let time_budget_s: u64 = arg_value("--time-budget-s")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
+    // The wall-clock gate only means something with a positive budget: a
+    // zero/negative/unparseable value is rejected loudly instead of
+    // silently disabling (or trivially failing) the CI tripwire.
+    let time_budget_s: u64 = match arg_value("--time-budget-s") {
+        None => 300,
+        Some(v) => match v.parse::<i64>() {
+            Ok(b) if b > 0 => b as u64,
+            Ok(b) => {
+                eprintln!(
+                    "error: --time-budget-s must be a positive number of seconds, got {b} \
+                     (the smoke wall-clock gate cannot be disabled by zeroing it)"
+                );
+                std::process::exit(2);
+            }
+            Err(_) => {
+                eprintln!("error: --time-budget-s must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
     let policies: Vec<String> = arg_value("--policies")
         .map(|v| v.split(',').map(str::to_string).collect())
         .unwrap_or_else(|| policy::names().iter().map(|s| s.to_string()).collect());

@@ -1,0 +1,252 @@
+//! **P0 — warm-started vs cold-restarted parametric frontier searches.**
+//!
+//! Runs the same solver configurations as the `lmax/parametric` and
+//! `releases/cmax` criterion groups twice — once with the
+//! [`ProbeSession`] warm-start (repair the previous residual in place,
+//! re-augment) and
+//! once with forced cold restarts — and writes the per-solver telemetry
+//! (probe counts, Dinic phases, augmenting paths, repairs, wall time) to
+//! `results/BENCH_parametric.json`.
+//!
+//! The run **asserts** the warm-start contract on the way out:
+//!
+//! * warm and cold return the same optimum on every configuration (the
+//!   trajectory-level agreement the exactness property tests prove
+//!   bit-exactly at `Rational`);
+//! * warm-started probe sequences do strictly fewer total augmentation
+//!   passes (Dinic phases) than cold restarts — the headline speedup the
+//!   JSON records.
+//!
+//! ```text
+//! exp_perf [--n-max N]
+//!   --n-max   drop configurations with n > N (CI niceness; default: all)
+//! ```
+
+use malleable_bench::arg_value;
+use malleable_bench::perf::{total_phases, write_parametric_json, ProbeRecord};
+use malleable_core::algos::makespan::min_lmax_in;
+use malleable_core::algos::parametric::{ProbeSession, SolveMode};
+use malleable_core::algos::releases::makespan_with_releases_in;
+use malleable_core::instance::Instance;
+use malleable_workloads::{generate, Spec};
+use std::time::Instant;
+
+/// One solver configuration: a labelled instance plus the search to run.
+struct Config {
+    label: String,
+    instance: Instance,
+    kind: Kind,
+}
+
+enum Kind {
+    Lmax { due: Vec<f64> },
+    ReleaseCmax { releases: Vec<f64> },
+}
+
+/// The due-date formula of the `lmax/parametric` criterion group: a
+/// staggered fraction of each task's height.
+fn staggered_dues(instance: &Instance) -> Vec<f64> {
+    instance
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (t.volume / instance.machine.rate_cap(t.delta)) * (0.2 + (i % 4) as f64 * 0.4)
+        })
+        .collect()
+}
+
+fn configs(n_max: usize) -> Vec<Config> {
+    let mut out = Vec::new();
+    for n in [8usize, 32, 128] {
+        if n > n_max {
+            continue;
+        }
+        let instance = generate(&Spec::PaperUniform { n }, 42);
+        let due = staggered_dues(&instance);
+        out.push(Config {
+            label: format!("lmax/paper-uniform[n={n}]"),
+            instance,
+            kind: Kind::Lmax { due },
+        });
+    }
+    for n in [8usize, 32] {
+        if n > n_max {
+            continue;
+        }
+        let instance = generate(
+            &Spec::PowerLawSpeeds {
+                n,
+                machines: 8,
+                alpha: 1.0,
+            },
+            42,
+        );
+        let due = staggered_dues(&instance);
+        out.push(Config {
+            label: format!("lmax/powerlaw-speeds[n={n}]"),
+            instance,
+            kind: Kind::Lmax { due },
+        });
+    }
+    // Adversarial staircase (the PR-3 regression family) on a two-tier
+    // speed profile: the flow is the oracle for *every* probe on related
+    // machines, so the whole Newton trajectory runs through the warm
+    // residual.
+    for n in [16usize, 48] {
+        if n > n_max {
+            continue;
+        }
+        let mut speeds = vec![2.0];
+        speeds.resize(4, 1.0);
+        let instance = Instance::builder(0.0)
+            .tasks((0..n).map(|_| (1.0, 1.0, 1.0)))
+            .speeds(speeds)
+            .build()
+            .expect("valid staircase instance");
+        let due: Vec<f64> = (0..n).map(|i| i as f64 / 3.0).collect();
+        out.push(Config {
+            label: format!("lmax/staircase-related[n={n}]"),
+            instance,
+            kind: Kind::Lmax { due },
+        });
+    }
+    for n in [8usize, 32, 128] {
+        if n > n_max {
+            continue;
+        }
+        let instance = generate(&Spec::PaperUniform { n }, 42);
+        let releases: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.1).collect();
+        out.push(Config {
+            label: format!("cmax/paper-uniform[n={n}]"),
+            instance,
+            kind: Kind::ReleaseCmax { releases },
+        });
+    }
+    // Release waves on a power-law speed profile: later clusters keep
+    // invalidating the accepted deadline, and every probe is a flow
+    // solve — the release-date analogue of the related Lmax stress.
+    for n in [16usize, 64] {
+        if n > n_max {
+            continue;
+        }
+        let instance = generate(
+            &Spec::PowerLawSpeeds {
+                n,
+                machines: 6,
+                alpha: 1.0,
+            },
+            42,
+        );
+        let horizon = instance.total_volume() / instance.p;
+        let releases: Vec<f64> = (0..n).map(|i| (i % 4) as f64 * horizon * 0.5).collect();
+        out.push(Config {
+            label: format!("cmax/release-waves-related[n={n}]"),
+            instance,
+            kind: Kind::ReleaseCmax { releases },
+        });
+    }
+    out
+}
+
+fn run_one(config: &Config, mode: SolveMode) -> ProbeRecord {
+    let mode_label = match mode {
+        SolveMode::WarmStart => "warm",
+        SolveMode::ColdRestart => "cold",
+    };
+    let mut session = ProbeSession::with_mode(mode);
+    let start = Instant::now();
+    let value = match &config.kind {
+        Kind::Lmax { due } => {
+            min_lmax_in(&config.instance, due, &mut session)
+                .unwrap_or_else(|e| panic!("{}: {e}", config.label))
+                .0
+        }
+        Kind::ReleaseCmax { releases } => {
+            makespan_with_releases_in(&config.instance, releases, &mut session)
+                .unwrap_or_else(|e| panic!("{}: {e}", config.label))
+                .cmax
+        }
+    };
+    let wall_us = start.elapsed().as_secs_f64() * 1e6;
+    ProbeRecord::from_telemetry(
+        &config.label,
+        mode_label,
+        session.telemetry(),
+        wall_us,
+        value,
+    )
+}
+
+fn main() {
+    let n_max: usize = arg_value("--n-max")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let configs = configs(n_max);
+    println!(
+        "P0: parametric warm-start telemetry — {} configurations × 2 solve modes\n",
+        configs.len()
+    );
+    println!(
+        "{:<30} {:>5} {:>6}/{:<6} {:>7} {:>7} {:>7} {:>9}",
+        "solver", "mode", "warm", "cold", "probes", "phases", "paths", "wall µs"
+    );
+    let mut records: Vec<ProbeRecord> = Vec::with_capacity(configs.len() * 2);
+    for config in &configs {
+        let warm = run_one(config, SolveMode::WarmStart);
+        let cold = run_one(config, SolveMode::ColdRestart);
+        // Same trajectory, same optimum: the f64 instantiations must agree
+        // to float noise (the Rational property tests pin this bit-exactly).
+        assert!(
+            (warm.value - cold.value).abs() <= 1e-9 * (1.0 + cold.value.abs()),
+            "{}: warm optimum {} vs cold {}",
+            config.label,
+            warm.value,
+            cold.value
+        );
+        assert_eq!(
+            warm.probes, cold.probes,
+            "{}: warm and cold must walk the same probe sequence",
+            config.label
+        );
+        for r in [&warm, &cold] {
+            println!(
+                "{:<30} {:>5} {:>6}/{:<6} {:>7} {:>7} {:>7} {:>9.1}",
+                r.solver,
+                r.mode,
+                r.warm_solves,
+                r.cold_rebuilds,
+                r.probes,
+                r.phases,
+                r.augmentations,
+                r.wall_us
+            );
+        }
+        records.push(warm);
+        records.push(cold);
+    }
+
+    let warm_phases = total_phases(&records, "warm");
+    let cold_phases = total_phases(&records, "cold");
+    println!("\ntotal augmentation passes: warm {warm_phases} vs cold {cold_phases}");
+    // The headline acceptance assertion: warm-started probe sequences do
+    // strictly fewer total augmentation passes than cold restarts.
+    assert!(
+        warm_phases < cold_phases,
+        "warm start must save augmentation passes ({warm_phases} vs {cold_phases})"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| r.mode == "warm" && r.warm_solves > 0),
+        "at least one configuration must actually exercise the warm path"
+    );
+
+    match write_parametric_json("BENCH_parametric", &records) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("json write failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

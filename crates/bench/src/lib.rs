@@ -14,14 +14,24 @@
 //! * [`parallel`] — a crossbeam-channel work pool for embarrassingly
 //!   parallel seed sweeps (the §V-A campaign runs 40,000 LPs);
 //! * [`csvout`] — plain CSV emission under `results/` so sweeps can be
-//!   re-plotted without re-running.
+//!   re-plotted without re-running;
+//! * [`perf`] — warm-vs-cold parametric solver telemetry records and the
+//!   `results/BENCH_parametric.json` writer (the `exp_perf` binary);
+//! * [`jsonin`] — the matching reader for the crate's own JSON result
+//!   files (no serde in the offline build);
+//! * [`regression`] — the CI bench-regression gate: per-policy tolerance
+//!   bands over `BENCH_batch.json` vs the checked-in baseline (the
+//!   `bench_gate` binary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod csvout;
+pub mod jsonin;
 pub mod parallel;
+pub mod perf;
+pub mod regression;
 pub mod stats;
 pub mod table;
 
@@ -29,17 +39,23 @@ pub mod table;
 /// binaries. `default` is used without flags; `--full` selects the paper's
 /// original scale; `--instances N` overrides precisely.
 pub fn instance_count(default: usize, full: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--instances") {
-        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
-            return v;
-        }
+    if let Some(v) = arg_value("--instances").and_then(|s| s.parse().ok()) {
+        return v;
     }
-    if args.iter().any(|a| a == "--full") {
+    if std::env::args().any(|a| a == "--full") {
         full
     } else {
         default
     }
+}
+
+/// The value following flag `name` on the command line — the shared
+/// space-separated `--flag value` convention of the experiment binaries.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 #[cfg(test)]

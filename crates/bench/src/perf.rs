@@ -1,0 +1,180 @@
+//! Warm-vs-cold parametric solver telemetry: the record type behind
+//! `results/BENCH_parametric.json` (written by the `exp_perf` binary) and
+//! its hand-rolled JSON emission — same no-serde convention as
+//! [`crate::batch::write_batch_json`].
+//!
+//! One [`ProbeRecord`] is one parametric solve (an `Lmax` or release-date
+//! `Cmax` search on one instance) run under one
+//! [`SolveMode`](malleable_core::algos::parametric::SolveMode), carrying
+//! the probe-session counters: probes, warm/cold split, Dinic phases
+//! (augmentation passes), augmenting paths, repair paths, and wall time.
+//! The headline comparison — warm-started probe sequences must do fewer
+//! total augmentation passes than cold restarts — is computed by
+//! [`total_phases`] and asserted by `exp_perf` itself, so regenerating
+//! the JSON re-proves the speedup.
+
+use crate::csvout::results_dir;
+use malleable_core::algos::parametric::ProbeTelemetry;
+use std::path::PathBuf;
+
+/// Telemetry of one parametric solve under one solve mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Solver label, e.g. `lmax/paper-uniform[n=32]`.
+    pub solver: String,
+    /// `"warm"` or `"cold"`.
+    pub mode: &'static str,
+    /// Transportation probes solved by the session.
+    pub probes: u64,
+    /// Probes answered by residual repair + warm augmentation.
+    pub warm_solves: u64,
+    /// Probes that rebuilt the network from scratch.
+    pub cold_rebuilds: u64,
+    /// Dinic phases (BFS level graphs — the augmentation-pass count).
+    pub phases: u64,
+    /// Successful augmenting-path pushes.
+    pub augmentations: u64,
+    /// Decomposition paths cancelled while repairing capacity cuts.
+    pub repair_paths: u64,
+    /// Wall time of the whole solve, microseconds.
+    pub wall_us: f64,
+    /// The optimum the solve returned (warm and cold must agree).
+    pub value: f64,
+}
+
+impl ProbeRecord {
+    /// Build a record from a session's telemetry plus run metadata.
+    pub fn from_telemetry(
+        solver: impl Into<String>,
+        mode: &'static str,
+        t: ProbeTelemetry,
+        wall_us: f64,
+        value: f64,
+    ) -> Self {
+        ProbeRecord {
+            solver: solver.into(),
+            mode,
+            probes: t.probes,
+            warm_solves: t.warm_solves,
+            cold_rebuilds: t.cold_rebuilds,
+            phases: t.flow.phases,
+            augmentations: t.flow.augmentations,
+            repair_paths: t.flow.repair_paths,
+            wall_us,
+            value,
+        }
+    }
+}
+
+/// Total Dinic phases across all records of one mode.
+pub fn total_phases(records: &[ProbeRecord], mode: &str) -> u64 {
+    records
+        .iter()
+        .filter(|r| r.mode == mode)
+        .map(|r| r.phases)
+        .sum()
+}
+
+/// Total augmenting paths across all records of one mode.
+pub fn total_augmentations(records: &[ProbeRecord], mode: &str) -> u64 {
+    records
+        .iter()
+        .filter(|r| r.mode == mode)
+        .map(|r| r.augmentations)
+        .sum()
+}
+
+/// Serialize the per-solver records plus the warm/cold totals as JSON to
+/// `results/<name>.json`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_parametric_json(name: &str, records: &[ProbeRecord]) -> std::io::Result<PathBuf> {
+    use std::io::Write as _;
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"solvers\": [")?;
+    for (i, r) in records.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"solver\": {}, \"mode\": {}, \"probes\": {}, \"warm_solves\": {}, \"cold_rebuilds\": {}, \"phases\": {}, \"augmentations\": {}, \"repair_paths\": {}, \"wall_us\": {:.1}, \"value\": {:.9}}}{}",
+            crate::batch::json_str(&r.solver),
+            crate::batch::json_str(r.mode),
+            r.probes,
+            r.warm_solves,
+            r.cold_rebuilds,
+            r.phases,
+            r.augmentations,
+            r.repair_paths,
+            r.wall_us,
+            r.value,
+            if i + 1 < records.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(
+        f,
+        "  \"totals\": {{\"warm_phases\": {}, \"cold_phases\": {}, \"warm_augmentations\": {}, \"cold_augmentations\": {}}}",
+        total_phases(records, "warm"),
+        total_phases(records, "cold"),
+        total_augmentations(records, "warm"),
+        total_augmentations(records, "cold"),
+    )?;
+    writeln!(f, "}}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(mode: &'static str, phases: u64) -> ProbeRecord {
+        ProbeRecord {
+            solver: "lmax/test".into(),
+            mode,
+            probes: 3,
+            warm_solves: if mode == "warm" { 2 } else { 0 },
+            cold_rebuilds: if mode == "warm" { 1 } else { 3 },
+            phases,
+            augmentations: phases,
+            repair_paths: 0,
+            wall_us: 1.0,
+            value: 2.5,
+        }
+    }
+
+    #[test]
+    fn totals_split_by_mode() {
+        let rs = vec![
+            rec("warm", 4),
+            rec("cold", 9),
+            rec("warm", 2),
+            rec("cold", 7),
+        ];
+        assert_eq!(total_phases(&rs, "warm"), 6);
+        assert_eq!(total_phases(&rs, "cold"), 16);
+        assert_eq!(total_augmentations(&rs, "warm"), 6);
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let rs = vec![rec("warm", 4), rec("cold", 9)];
+        let p = write_parametric_json("unit-test-parametric", &rs).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("\"solvers\""));
+        assert!(text.contains("\"warm_phases\": 4"));
+        assert!(text.contains("\"cold_phases\": 9"));
+        // Valid JSON per the in-house reader.
+        let v = crate::jsonin::parse(&text).unwrap();
+        assert_eq!(
+            v.get("totals")
+                .and_then(|t| t.get("warm_phases"))
+                .and_then(|x| x.as_f64()),
+            Some(4.0)
+        );
+        let _ = std::fs::remove_file(p);
+    }
+}

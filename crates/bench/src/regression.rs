@@ -1,0 +1,276 @@
+//! The CI bench-regression gate: compare a freshly written
+//! `results/BENCH_batch.json` against the checked-in
+//! `results/BENCH_baseline.json` with per-policy tolerance bands, and
+//! fail on regression.
+//!
+//! This replaces the coarse single `--time-budget-s` wall-clock tripwire
+//! as the only perf signal: every policy in the baseline is held to its
+//! *own* wall-time band (catching one policy degrading by an order of
+//! magnitude inside an otherwise-fast sweep) and to its *own* bound-ratio
+//! band (catching quality regressions — the smoke grid is fully seeded,
+//! so bound ratios are deterministic up to float noise).
+//!
+//! Band semantics:
+//!
+//! * **wall time** — fail when
+//!   `mean_wall_us > baseline · wall_ratio + wall_abs_us`. CI timing is
+//!   noisy at the microsecond scale, so the default multiplier is
+//!   generous (10×) with an absolute floor; it still catches the
+//!   pathological regressions the old global budget was meant for, per
+//!   policy.
+//! * **bound ratio** — fail when `mean` or `max` bound ratio *worsens*
+//!   (grows) past the relative band. Improvements beyond the band are
+//!   reported as notes so the baseline gets refreshed deliberately.
+//! * **shape** — a baseline policy missing from the current run, or a
+//!   changed run count, is a failure (the grid silently changed shape);
+//!   new policies absent from the baseline are notes.
+
+use crate::batch::PolicyAggregate;
+use crate::jsonin::Json;
+
+/// Tolerance bands of the regression gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateBands {
+    /// Multiplicative wall-time allowance (`10.0` = up to 10× baseline).
+    pub wall_ratio: f64,
+    /// Absolute wall-time allowance added on top, microseconds.
+    pub wall_abs_us: f64,
+    /// Relative band on mean/max bound ratios.
+    pub ratio_band: f64,
+}
+
+impl Default for GateBands {
+    fn default() -> Self {
+        GateBands {
+            wall_ratio: 10.0,
+            wall_abs_us: 200.0,
+            ratio_band: 0.05,
+        }
+    }
+}
+
+/// Outcome of one gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Hard failures (non-empty ⇒ the gate fails).
+    pub failures: Vec<String>,
+    /// Informational notes (new policies, improvements past the band).
+    pub notes: Vec<String>,
+    /// Policies compared against the baseline.
+    pub compared: usize,
+}
+
+impl GateReport {
+    /// `true` iff the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Extract the per-policy aggregates from a parsed `BENCH_batch.json`
+/// document.
+///
+/// # Errors
+/// A description of the schema violation.
+pub fn aggregates_from_json(doc: &Json) -> Result<Vec<PolicyAggregate>, String> {
+    let policies = doc
+        .get("policies")
+        .and_then(Json::as_array)
+        .ok_or("missing \"policies\" array")?;
+    let mut out = Vec::with_capacity(policies.len());
+    for (i, p) in policies.iter().enumerate() {
+        let field = |key: &str| -> Result<f64, String> {
+            p.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("policy #{i}: missing numeric \"{key}\""))
+        };
+        out.push(PolicyAggregate {
+            policy: p
+                .get("policy")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("policy #{i}: missing \"policy\" name"))?
+                .to_string(),
+            runs: field("runs")? as usize,
+            mean_cost: field("mean_cost")?,
+            mean_bound_ratio: field("mean_bound_ratio")?,
+            max_bound_ratio: field("max_bound_ratio")?,
+            mean_wall_us: field("mean_wall_us")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Compare `current` against `baseline` under `bands`.
+pub fn regression_check(
+    current: &[PolicyAggregate],
+    baseline: &[PolicyAggregate],
+    bands: &GateBands,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.policy == base.policy) else {
+            report.failures.push(format!(
+                "{}: present in the baseline but missing from the current run",
+                base.policy
+            ));
+            continue;
+        };
+        report.compared += 1;
+        if cur.runs != base.runs {
+            report.failures.push(format!(
+                "{}: run count changed ({} baseline vs {} current) — grid shape drifted; \
+                 regenerate the baseline deliberately",
+                base.policy, base.runs, cur.runs
+            ));
+        }
+        let wall_limit = base.mean_wall_us * bands.wall_ratio + bands.wall_abs_us;
+        if cur.mean_wall_us > wall_limit {
+            report.failures.push(format!(
+                "{}: mean wall time regressed — {:.1}µs exceeds its band \
+                 ({:.1}µs baseline × {} + {:.0}µs = {:.1}µs)",
+                base.policy,
+                cur.mean_wall_us,
+                base.mean_wall_us,
+                bands.wall_ratio,
+                bands.wall_abs_us,
+                wall_limit
+            ));
+        }
+        for (what, cur_v, base_v) in [
+            (
+                "mean bound ratio",
+                cur.mean_bound_ratio,
+                base.mean_bound_ratio,
+            ),
+            ("max bound ratio", cur.max_bound_ratio, base.max_bound_ratio),
+        ] {
+            let band = bands.ratio_band * base_v.max(1.0);
+            if cur_v > base_v + band {
+                report.failures.push(format!(
+                    "{}: {what} regressed — {cur_v:.6} vs baseline {base_v:.6} (band ±{band:.6})",
+                    base.policy
+                ));
+            } else if cur_v < base_v - band {
+                report.notes.push(format!(
+                    "{}: {what} improved past its band ({cur_v:.6} vs {base_v:.6}) — \
+                     consider refreshing the baseline",
+                    base.policy
+                ));
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.policy == cur.policy) {
+            report.notes.push(format!(
+                "{}: new policy not in the baseline (not gated)",
+                cur.policy
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(policy: &str, wall: f64, mean_r: f64, max_r: f64) -> PolicyAggregate {
+        PolicyAggregate {
+            policy: policy.into(),
+            runs: 4,
+            mean_cost: 2.0,
+            mean_bound_ratio: mean_r,
+            max_bound_ratio: max_r,
+            mean_wall_us: wall,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![
+            agg("wdeq", 3.0, 1.28, 1.59),
+            agg("lmax-parametric", 2.5, 2.5, 4.0),
+        ];
+        let report = regression_check(&base, &base, &GateBands::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn synthetic_wall_time_regression_fails() {
+        let base = vec![agg("lmax-parametric", 2.5, 2.5, 4.0)];
+        let mut cur = base.clone();
+        // Inflate past 10× + 200µs: a degraded parametric search.
+        cur[0].mean_wall_us = 2.5 * 10.0 + 200.0 + 1.0;
+        let report = regression_check(&cur, &base, &GateBands::default());
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("wall time regressed"));
+    }
+
+    #[test]
+    fn wall_time_within_band_passes() {
+        let base = vec![agg("wdeq", 3.0, 1.28, 1.59)];
+        let mut cur = base.clone();
+        cur[0].mean_wall_us = 3.0 * 9.0; // noisy CI run, inside 10× + 200
+        assert!(regression_check(&cur, &base, &GateBands::default()).passed());
+    }
+
+    #[test]
+    fn bound_ratio_regression_fails_and_improvement_notes() {
+        let base = vec![agg("greedy-smith", 3.5, 1.19, 1.37)];
+        let mut worse = base.clone();
+        worse[0].max_bound_ratio = 1.37 * 1.10; // > 5% band
+        let report = regression_check(&worse, &base, &GateBands::default());
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("max bound ratio regressed"));
+
+        let mut better = base.clone();
+        better[0].mean_bound_ratio = 1.0;
+        let report = regression_check(&better, &base, &GateBands::default());
+        assert!(report.passed());
+        assert!(report.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn missing_policy_fails_new_policy_notes() {
+        let base = vec![agg("wdeq", 3.0, 1.28, 1.59), agg("makespan", 1.4, 2.8, 5.6)];
+        let cur = vec![
+            agg("wdeq", 3.0, 1.28, 1.59),
+            agg("brand-new", 1.0, 1.0, 1.0),
+        ];
+        let report = regression_check(&cur, &base, &GateBands::default());
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("makespan")));
+        assert!(report.notes.iter().any(|n| n.contains("brand-new")));
+    }
+
+    #[test]
+    fn changed_run_count_fails() {
+        let base = vec![agg("wdeq", 3.0, 1.28, 1.59)];
+        let mut cur = base.clone();
+        cur[0].runs = 2;
+        let report = regression_check(&cur, &base, &GateBands::default());
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("run count changed"));
+    }
+
+    #[test]
+    fn aggregates_parse_from_the_writer_schema() {
+        let text = r#"{
+  "records": 8,
+  "families": ["paper-uniform"],
+  "policies": [
+    {"policy": "wdeq", "runs": 4, "mean_cost": 2.0, "mean_bound_ratio": 1.28, "max_bound_ratio": 1.59, "mean_wall_us": 3.2}
+  ]
+}"#;
+        let doc = crate::jsonin::parse(text).unwrap();
+        let aggs = aggregates_from_json(&doc).unwrap();
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].policy, "wdeq");
+        assert_eq!(aggs[0].runs, 4);
+        assert!((aggs[0].mean_wall_us - 3.2).abs() < 1e-12);
+        // Schema violations are described, not panicked on.
+        let bad = crate::jsonin::parse(r#"{"policies": [{"runs": 4}]}"#).unwrap();
+        assert!(aggregates_from_json(&bad).unwrap_err().contains("policy"));
+    }
+}

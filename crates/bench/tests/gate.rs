@@ -1,0 +1,82 @@
+//! The bench-regression gate against the **checked-in baseline**: the
+//! file CI compares every smoke run to must parse, and a synthetic
+//! regression injected into it must fail the gate — so a red CI on a real
+//! regression is proven reachable, not hoped for.
+
+use malleable_bench::jsonin;
+use malleable_bench::regression::{aggregates_from_json, regression_check, GateBands};
+
+fn checked_in_baseline() -> Vec<malleable_bench::batch::PolicyAggregate> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_baseline.json"
+    );
+    let text = std::fs::read_to_string(path).expect("checked-in baseline must exist");
+    let doc = jsonin::parse(&text).expect("checked-in baseline must be valid JSON");
+    aggregates_from_json(&doc).expect("checked-in baseline must match the batch schema")
+}
+
+#[test]
+fn checked_in_baseline_parses_and_self_compares_clean() {
+    let baseline = checked_in_baseline();
+    assert!(
+        !baseline.is_empty(),
+        "baseline must gate at least one policy"
+    );
+    // The smoke grid's parametric policies must be present: the gate is
+    // the guard against a frontier-search regression in particular.
+    for required in [
+        "lmax-parametric",
+        "makespan-parametric",
+        "lmax-parametric-related",
+    ] {
+        assert!(
+            baseline.iter().any(|a| a.policy == required),
+            "baseline must gate {required}"
+        );
+    }
+    let report = regression_check(&baseline, &baseline, &GateBands::default());
+    assert!(
+        report.passed(),
+        "self-comparison failed: {:?}",
+        report.failures
+    );
+    assert_eq!(report.compared, baseline.len());
+}
+
+#[test]
+fn synthetic_wall_time_regression_fails_against_the_checked_in_baseline() {
+    let baseline = checked_in_baseline();
+    let bands = GateBands::default();
+    // Inflate one policy's wall time just past its band — the shape of a
+    // parametric search degrading toward its iteration cap.
+    let mut current = baseline.clone();
+    let victim = current
+        .iter_mut()
+        .find(|a| a.policy == "lmax-parametric")
+        .expect("baseline gates lmax-parametric");
+    victim.mean_wall_us = victim.mean_wall_us * bands.wall_ratio + bands.wall_abs_us + 1.0;
+    let report = regression_check(&current, &baseline, &bands);
+    assert!(!report.passed(), "inflated wall time must fail the gate");
+    assert!(
+        report
+            .failures
+            .iter()
+            .any(|f| f.contains("lmax-parametric") && f.contains("wall time")),
+        "failure must name the regressed policy: {:?}",
+        report.failures
+    );
+}
+
+#[test]
+fn synthetic_quality_regression_fails_against_the_checked_in_baseline() {
+    let baseline = checked_in_baseline();
+    let bands = GateBands::default();
+    let mut current = baseline.clone();
+    let victim = &mut current[0];
+    victim.max_bound_ratio *= 1.0 + bands.ratio_band * 2.0;
+    let name = victim.policy.clone();
+    let report = regression_check(&current, &baseline, &bands);
+    assert!(!report.passed(), "inflated bound ratio must fail the gate");
+    assert!(report.failures.iter().any(|f| f.contains(&name)));
+}

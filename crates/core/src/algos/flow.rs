@@ -28,6 +28,54 @@ struct Edge<S> {
     flow: S,
 }
 
+/// Direction of a walk along the flow decomposition (see
+/// [`FlowNetwork::flow_path`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Forward,
+    Backward,
+}
+
+/// Cumulative work counters of a [`FlowNetwork`] — the telemetry the
+/// warm-start bench (`results/BENCH_parametric.json`) and the probe
+/// sessions report. Counters accumulate across solves on the same network
+/// until [`FlowNetwork::reset_stats`]; snapshot-and-subtract to meter one
+/// solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// BFS level-graph constructions (Dinic phases). Each phase is one
+    /// full augmentation pass over the graph, so this is the
+    /// "augmentation passes" count the warm-vs-cold comparison tracks.
+    pub phases: u64,
+    /// Successful augmenting-path pushes across all phases.
+    pub augmentations: u64,
+    /// Flow units cancelled while repairing overflowing arcs after a
+    /// capacity reduction (zero on cold solves).
+    pub repair_paths: u64,
+}
+
+impl FlowStats {
+    /// Component-wise difference since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &FlowStats) -> FlowStats {
+        FlowStats {
+            phases: self.phases - earlier.phases,
+            augmentations: self.augmentations - earlier.augmentations,
+            repair_paths: self.repair_paths - earlier.repair_paths,
+        }
+    }
+
+    /// Component-wise sum (aggregating across sessions).
+    #[must_use]
+    pub fn plus(&self, other: &FlowStats) -> FlowStats {
+        FlowStats {
+            phases: self.phases + other.phases,
+            augmentations: self.augmentations + other.augmentations,
+            repair_paths: self.repair_paths + other.repair_paths,
+        }
+    }
+}
+
 /// Max-flow network on dense small graphs (Dinic's algorithm).
 #[derive(Debug)]
 pub struct FlowNetwork<S = f64> {
@@ -35,6 +83,7 @@ pub struct FlowNetwork<S = f64> {
     /// Adjacency: node → indices into `edges` (even = forward, odd = back).
     adj: Vec<Vec<usize>>,
     eps: S,
+    stats: FlowStats,
 }
 
 impl<S: Scalar> FlowNetwork<S> {
@@ -45,6 +94,7 @@ impl<S: Scalar> FlowNetwork<S> {
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
             eps,
+            stats: FlowStats::default(),
         }
     }
 
@@ -104,6 +154,48 @@ impl<S: Scalar> FlowNetwork<S> {
         self.edges[id].flow.clone()
     }
 
+    /// Capacity of edge `id`.
+    pub fn capacity_on(&self, id: usize) -> S {
+        self.edges[id].cap.clone()
+    }
+
+    /// Cumulative work counters (phases, augmentations, repairs) since
+    /// construction or [`FlowNetwork::reset_stats`]. [`FlowNetwork::reset`]
+    /// deliberately does **not** clear them, so a probe session's counters
+    /// accumulate across cold rebuilds too.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
+    }
+
+    /// Zero the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = FlowStats::default();
+    }
+
+    /// Replace the capacity of forward edge `id`, **keeping the routed
+    /// flow** — the entry point of the warm-start path. The edge may be
+    /// left overflowing (`flow > cap`); the next
+    /// [`FlowNetwork::max_flow_warm`] repairs it along decomposition paths
+    /// before re-augmenting.
+    ///
+    /// # Panics
+    /// Panics on a backward-edge id, an out-of-range id, or a negative
+    /// capacity (builder misuse).
+    pub fn set_capacity(&mut self, id: usize, cap: S) {
+        assert!(id.is_multiple_of(2), "set_capacity takes forward edge ids");
+        assert!(id < self.edges.len(), "bad edge id");
+        assert!(!cap.is_negative(), "negative capacity");
+        self.edges[id].cap = cap;
+    }
+
+    /// Net flow currently leaving node `s` (the max-flow value when `s` is
+    /// the source and a solve has run). Backward arcs store the negated
+    /// forward flow, so the plain sum over the adjacency is already the
+    /// net.
+    pub fn flow_value(&self, s: usize) -> S {
+        S::sum(self.adj[s].iter().map(|&eid| self.edges[eid].flow.clone()))
+    }
+
     /// The source side of a minimum cut after [`FlowNetwork::max_flow`] has
     /// run: `result[v]` is `true` iff `v` is reachable from `s` in the
     /// residual network. By max-flow/min-cut the edges leaving this set
@@ -136,10 +228,141 @@ impl<S: Scalar> FlowNetwork<S> {
     /// Panics when `s == t` (builder misuse).
     pub fn max_flow(&mut self, s: usize, t: usize) -> S {
         assert_ne!(s, t, "source equals sink");
+        self.augment(s, t);
+        self.flow_value(s)
+    }
+
+    /// Re-solve after capacity edits ([`FlowNetwork::set_capacity`])
+    /// **without discarding the routed flow**: first repair every
+    /// overflowing arc by cancelling its excess along flow-decomposition
+    /// paths (or cycles), then resume Dinic's augmentation from the warm
+    /// residual. Returns the new max-flow value.
+    ///
+    /// The repaired-then-augmented flow is a maximum flow of the edited
+    /// network, so the max-flow value — and the residual-reachable source
+    /// side of the min cut, which is the *unique inclusion-minimal* min
+    /// cut of any maximum flow — agree exactly with a cold solve on exact
+    /// scalars. Monotone capacity sequences (the parametric probes) pay
+    /// only for the delta between consecutive networks.
+    ///
+    /// # Panics
+    /// Panics when `s == t` (builder misuse).
+    pub fn max_flow_warm(&mut self, s: usize, t: usize) -> S {
+        assert_ne!(s, t, "source equals sink");
+        self.repair_overflows(s, t);
+        self.augment(s, t);
+        self.flow_value(s)
+    }
+
+    /// Cancel the excess of every overflowing arc (`flow > cap` after a
+    /// capacity reduction) along paths of the flow decomposition: an
+    /// `s → u → e → v → t` path when the arc carries path flow, the
+    /// containing cycle otherwise. Leaves a valid (conservation-respecting,
+    /// capacity-feasible) flow.
+    fn repair_overflows(&mut self, s: usize, t: usize) {
+        for id in (0..self.edges.len()).step_by(2) {
+            loop {
+                let excess = self.edges[id].flow.clone() - self.edges[id].cap.clone();
+                if excess <= self.eps {
+                    break;
+                }
+                let u = self.edges[id ^ 1].to;
+                let v = self.edges[id].to;
+                // Walk the flow backwards u → s and forwards v → t. Both
+                // exist when the arc carries path flow (conservation);
+                // otherwise the arc sits on a flow cycle, and the forward
+                // walk from v reaches u instead.
+                let back = self.flow_path(u, s, Dir::Backward);
+                let fwd = self.flow_path(v, t, Dir::Forward);
+                let mut path = match (back, fwd) {
+                    (Some(b), Some(f)) => {
+                        let mut p: Vec<usize> = b.into_iter().rev().collect();
+                        p.push(id);
+                        p.extend(f);
+                        p
+                    }
+                    _ => {
+                        let cycle = self
+                            .flow_path(v, u, Dir::Forward)
+                            .expect("an overflowing arc off every s-t path lies on a flow cycle");
+                        let mut p = vec![id];
+                        p.extend(cycle);
+                        p
+                    }
+                };
+                // Cancel the bottleneck (capped by the excess) everywhere
+                // on the path/cycle.
+                let mut amount = excess;
+                for &eid in &path {
+                    amount = amount.min_of(self.edges[eid].flow.clone());
+                }
+                debug_assert!(amount > self.eps, "flow paths carry positive flow");
+                for eid in path.drain(..) {
+                    self.edges[eid].flow = self.edges[eid].flow.clone() - amount.clone();
+                    self.edges[eid ^ 1].flow = self.edges[eid ^ 1].flow.clone() + amount.clone();
+                }
+                self.stats.repair_paths += 1;
+            }
+        }
+    }
+
+    /// BFS along arcs carrying positive flow, from `from` to `to`;
+    /// `Backward` walks against the arc direction (predecessors in the
+    /// flow decomposition). Returns the forward-edge ids of the path in
+    /// walk order, or `None` when unreachable.
+    fn flow_path(&self, from: usize, to: usize, dir: Dir) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut via: Vec<Option<usize>> = vec![None; self.adj.len()];
+        let mut seen = vec![false; self.adj.len()];
+        seen[from] = true;
+        let mut q = VecDeque::from([from]);
+        while let Some(node) = q.pop_front() {
+            for &eid in &self.adj[node] {
+                // Forward walk uses forward arcs (even ids) out of `node`;
+                // backward walk uses the reverse views (odd ids), whose
+                // forward twin points *into* `node`.
+                let fwd_id = eid & !1;
+                let ok = match dir {
+                    Dir::Forward => eid % 2 == 0,
+                    Dir::Backward => eid % 2 == 1,
+                };
+                if !ok || self.edges[fwd_id].flow <= self.eps {
+                    continue;
+                }
+                let next = self.edges[eid].to;
+                if seen[next] {
+                    continue;
+                }
+                seen[next] = true;
+                via[next] = Some(eid);
+                if next == to {
+                    let mut path = Vec::new();
+                    let mut at = to;
+                    while at != from {
+                        let eid = via[at].expect("walked via");
+                        path.push(eid & !1);
+                        at = self.edges[eid ^ 1].to;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// The Dinic phase loop: build BFS level graphs and push blocking
+    /// flows until the sink is unreachable. Starts from whatever flow the
+    /// network currently carries (zero after a build — the cold path; a
+    /// repaired previous solve — the warm path).
+    fn augment(&mut self, s: usize, t: usize) {
         let n = self.adj.len();
-        let mut total = S::zero();
         loop {
             // BFS level graph.
+            self.stats.phases += 1;
             let mut level = vec![usize::MAX; n];
             level[s] = 0;
             let mut q = VecDeque::from([s]);
@@ -153,7 +376,7 @@ impl<S: Scalar> FlowNetwork<S> {
                 }
             }
             if level[t] == usize::MAX {
-                return total;
+                return;
             }
             // DFS blocking flow with iteration pointers. `limit = None`
             // means unbounded (the generic stand-in for +∞).
@@ -163,7 +386,7 @@ impl<S: Scalar> FlowNetwork<S> {
                 if pushed <= self.eps {
                     break;
                 }
-                total = total + pushed;
+                self.stats.augmentations += 1;
             }
         }
     }
@@ -320,6 +543,112 @@ mod tests {
     fn bad_node_panics() {
         let mut g = FlowNetwork::new(2, 1e-12);
         g.add_edge(0, 7, 1.0);
+    }
+
+    #[test]
+    fn warm_resolve_after_capacity_increase_matches_cold() {
+        // Monotone probe: grow the bottleneck, warm-solve, compare with a
+        // cold network of the final capacities.
+        let mut g = FlowNetwork::new(4, 1e-12);
+        let sa = g.add_edge(0, 1, 10.0);
+        let ab = g.add_edge(1, 2, 1.0);
+        let bt = g.add_edge(2, 3, 10.0);
+        assert!(close(g.max_flow(0, 3), 1.0));
+        g.set_capacity(ab, 6.0);
+        assert!(close(g.max_flow_warm(0, 3), 6.0));
+        assert!(close(g.flow_on(sa), 6.0));
+        assert!(close(g.flow_on(bt), 6.0));
+        // The min cut moved with the capacities.
+        assert_eq!(g.min_cut_source_side(0), vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn warm_resolve_after_capacity_decrease_repairs_overflow() {
+        // Shrink a saturated arc below its routed flow: the repair must
+        // cancel the excess along the decomposition path, then the value
+        // is the new max flow.
+        let mut g = FlowNetwork::new(4, 1e-12);
+        g.add_edge(0, 1, 10.0);
+        let ab = g.add_edge(1, 2, 7.0);
+        g.add_edge(2, 3, 10.0);
+        assert!(close(g.max_flow(0, 3), 7.0));
+        g.set_capacity(ab, 2.5);
+        assert!(close(g.max_flow_warm(0, 3), 2.5));
+        assert!(close(g.flow_on(ab), 2.5));
+        assert!(g.stats().repair_paths >= 1);
+    }
+
+    #[test]
+    fn warm_resolve_with_parallel_routes_rebalances() {
+        // Two disjoint routes; kill one after solving — flow must reroute
+        // only as far as capacities allow.
+        let mut g = FlowNetwork::new(6, 1e-12);
+        g.add_edge(0, 1, 4.0); // s→a
+        g.add_edge(1, 5, 4.0); // a→t
+        let sb = g.add_edge(0, 2, 3.0); // s→b
+        g.add_edge(2, 5, 3.0); // b→t
+        assert!(close(g.max_flow(0, 5), 7.0));
+        g.set_capacity(sb, 0.0);
+        assert!(close(g.max_flow_warm(0, 5), 4.0));
+        assert!(close(g.flow_on(sb), 0.0));
+        // Re-open wider than before plus widen the tail.
+        g.set_capacity(sb, 5.0);
+        assert!(close(g.max_flow_warm(0, 5), 7.0));
+    }
+
+    #[test]
+    fn warm_equals_cold_exactly_on_rationals() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let zero = Rational::from_int(0);
+        // Diamond with a cross edge; probe a monotone capacity sequence on
+        // the two sink arcs and compare warm vs cold bit-exactly.
+        let build = |at: f64, bt: f64| {
+            let mut g = FlowNetwork::<Rational>::new(4, zero.clone());
+            g.add_edge(0, 1, q(10.0));
+            g.add_edge(0, 2, q(10.0));
+            g.add_edge(1, 2, q(1.0));
+            g.add_edge(1, 3, q(at));
+            g.add_edge(2, 3, q(bt));
+            g
+        };
+        let mut warm = build(4.0, 9.0);
+        let mut cold0 = build(4.0, 9.0);
+        assert_eq!(warm.max_flow(0, 3), cold0.max_flow(0, 3));
+        for (at, bt) in [(6.0, 9.0), (6.0, 11.0), (2.0, 3.0), (20.0, 20.0)] {
+            warm.set_capacity(6, q(at));
+            warm.set_capacity(8, q(bt));
+            let wv = warm.max_flow_warm(0, 3);
+            let mut cold = build(at, bt);
+            let cv = cold.max_flow(0, 3);
+            assert_eq!(wv, cv, "warm vs cold at ({at}, {bt})");
+            assert_eq!(
+                warm.min_cut_source_side(0),
+                cold.min_cut_source_side(0),
+                "minimal min cut is unique per max flow — must agree at ({at}, {bt})"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_count_phases_and_augmentations() {
+        let mut g = FlowNetwork::new(3, 1e-12);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 3.0);
+        assert_eq!(g.stats(), FlowStats::default());
+        g.max_flow(0, 2);
+        let s = g.stats();
+        assert!(s.phases >= 2, "one augmenting phase plus the empty check");
+        assert!(s.augmentations >= 1);
+        assert_eq!(s.repair_paths, 0);
+        let snap = g.stats();
+        // An unchanged warm re-solve only pays the empty phase check.
+        g.max_flow_warm(0, 2);
+        let delta = g.stats().since(&snap);
+        assert_eq!(delta.phases, 1);
+        assert_eq!(delta.augmentations, 0);
+        g.reset_stats();
+        assert_eq!(g.stats(), FlowStats::default());
     }
 
     #[test]

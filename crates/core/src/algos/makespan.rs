@@ -20,7 +20,7 @@
 //! terminates combinatorially at the frontier root — there is no
 //! bisection bracket or iteration budget in the contract.
 
-use crate::algos::parametric::{min_lmax_value, Probe};
+use crate::algos::parametric::{min_lmax_value, Probe, ProbeSession};
 use crate::algos::waterfill::{water_filling, wf_feasible};
 use crate::algos::waterfill_fast::wf_feasible_grouped;
 use crate::error::ScheduleError;
@@ -102,6 +102,21 @@ pub fn min_lmax<S: Scalar>(
     instance: &Instance<S>,
     due: &[S],
 ) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
+    min_lmax_in(instance, due, &mut ProbeSession::new())
+}
+
+/// [`min_lmax`] running its transportation probes through the caller's
+/// [`ProbeSession`] — the entry point for callers that meter the
+/// warm-start telemetry or pin the solve mode (the `exp_perf` bench, the
+/// warm-vs-cold exactness properties).
+///
+/// # Errors
+/// Same contract as [`min_lmax`].
+pub fn min_lmax_in<S: Scalar>(
+    instance: &Instance<S>,
+    due: &[S],
+    session: &mut ProbeSession<S>,
+) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
     instance.validate()?;
     if due.len() != instance.n() {
         return Err(ScheduleError::LengthMismatch {
@@ -126,7 +141,7 @@ pub fn min_lmax<S: Scalar>(
         // Heterogeneous related machines: Water-Filling's rate-space
         // feasibility is not sound there; the transportation flow is both
         // oracle and witness builder.
-        return crate::algos::related::min_lmax_flow(instance, due);
+        return crate::algos::related::min_lmax_flow_in(instance, due, session);
     }
     // The search never probes below the height bound, so d + L ≥ h ≥ 0
     // always; the clamp only absorbs f64 rounding at the bound itself.
@@ -139,7 +154,10 @@ pub fn min_lmax<S: Scalar>(
             })
             .collect()
     };
-    let outcome = min_lmax_value(instance, due, |l| {
+    // The Water-Filling oracle answers the probes; the session only runs
+    // flows for the cut extractions the search does itself (warm-started
+    // across consecutive Newton steps).
+    let outcome = min_lmax_value(instance, due, session, |l, _| {
         Ok(if deadlines_feasible(instance, &completions(l)) {
             Probe::Feasible
         } else {

@@ -50,11 +50,17 @@
 //! explicit [`ScheduleError::Unconverged`] instead of a silent bracket —
 //! the tests assert it never fires.
 //!
-//! Successive probes **reuse one [`FlowNetwork`] arena** (capacities are
-//! rebuilt in place via [`FlowNetwork::reset`]), so a search allocates
-//! its transportation network once, not once per probe.
+//! Successive probes run through one [`ProbeSession`]: the
+//! [`FlowNetwork`] arena, the arc topology, and the **residual of the
+//! previous probe** live there, so when consecutive probes differ only in
+//! arc capacities (the common case — deadlines shift, the interval
+//! structure is stable) the session repairs the previous residual in
+//! place and re-augments from it ([`FlowNetwork::max_flow_warm`]) instead
+//! of re-running Dinic from zero flow. Warm and cold solves agree
+//! bit-exactly on exact scalars (debug builds cross-check every warm
+//! probe against a cold reference).
 
-use crate::algos::flow::FlowNetwork;
+use crate::algos::flow::{FlowNetwork, FlowStats};
 use crate::error::ScheduleError;
 use crate::instance::Instance;
 use crate::machine::LevelAccumulator;
@@ -75,9 +81,10 @@ pub struct ViolatedSet<S> {
 }
 
 /// The node/edge layout of a transportation network built by
-/// [`build_transport`]: interval boundaries plus, per task, the edge ids
+/// [`transport_plan`]: interval boundaries plus, per task, the edge ids
 /// of its (interval × level) arcs — what witness extraction needs to read
 /// the routed flow back out.
+#[derive(Debug)]
 pub(crate) struct TransportLayout<S> {
     /// Time intervals `(start, end)`, contiguous from 0.
     pub intervals: Vec<(S, S)>,
@@ -90,18 +97,35 @@ pub(crate) struct TransportLayout<S> {
     pub sink: usize,
 }
 
-/// Build the transportation network for per-task `deadlines` under
-/// optional per-task `releases` into the (reset) workspace `net`. Nodes:
-/// tasks `0..n`, then one node per (interval, speed level), then source
-/// and sink. Task arcs are capacitated `min(δᵢ, k_ℓ)·d_ℓ·Δt`, level arcs
-/// `k_ℓ·d_ℓ·Δt` — the Federgruen–Groenevelt construction, whose
-/// single-level instantiation is the paper's identical-machine network.
-pub(crate) fn build_transport<S: Scalar>(
+/// A fully determined transportation network — arcs in build order with
+/// their capacities, plus the layout — computed *without* touching a
+/// [`FlowNetwork`]. The [`ProbeSession`] compares consecutive plans: when
+/// the arc topology is unchanged (the common case along a monotone probe
+/// sequence, where only deadlines shift), it updates capacities in place
+/// and warm-starts from the previous residual instead of rebuilding.
+pub(crate) struct TransportPlan<S> {
+    /// Arcs `(from, to, capacity)` in deterministic build order; arc `i`
+    /// becomes forward edge id `2·i`.
+    arcs: Vec<(usize, usize, S)>,
+    /// Node count (tasks, interval × level nodes, source, sink).
+    n_nodes: usize,
+    /// Comparison slack of the flow solver (zero for exact scalars).
+    eps: S,
+    /// The witness-extraction layout.
+    layout: TransportLayout<S>,
+}
+
+/// Plan the transportation network for per-task `deadlines` under
+/// optional per-task `releases`. Nodes: tasks `0..n`, then one node per
+/// (interval, speed level), then source and sink. Task arcs are
+/// capacitated `min(δᵢ, k_ℓ)·d_ℓ·Δt`, level arcs `k_ℓ·d_ℓ·Δt` — the
+/// Federgruen–Groenevelt construction, whose single-level instantiation
+/// is the paper's identical-machine network.
+pub(crate) fn transport_plan<S: Scalar>(
     instance: &Instance<S>,
     releases: Option<&[S]>,
     deadlines: &[S],
-    net: &mut FlowNetwork<S>,
-) -> TransportLayout<S> {
+) -> TransportPlan<S> {
     let n = instance.n();
     debug_assert_eq!(deadlines.len(), n);
     let tol = Tolerance::<S>::for_instance(n);
@@ -132,12 +156,10 @@ pub(crate) fn build_transport<S: Scalar>(
     // Nodes: tasks 0..n, (interval × level) n..n+m·L, source, sink.
     let s = n + m * nl;
     let t_ = n + m * nl + 1;
-    // The flow's ε is a fraction of the comparison tolerance (zero for
-    // exact scalars — same convention as the release-date solver).
-    net.reset(n + m * nl + 2, tol.abs.clone() * S::from_f64(1e-3));
+    let mut arcs: Vec<(usize, usize, S)> = Vec::with_capacity(n * (m + 1) * nl);
     let mut task_edges: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
     for (i, task) in instance.tasks.iter().enumerate() {
-        net.add_edge(s, i, task.volume.clone());
+        arcs.push((s, i, task.volume.clone()));
         // Per-level absorption rate of this task: min(δᵢ, k_ℓ)·d_ℓ.
         let caps: Vec<S> = levels
             .iter()
@@ -152,7 +174,10 @@ pub(crate) fn build_transport<S: Scalar>(
                 let eids: Vec<usize> = caps
                     .iter()
                     .enumerate()
-                    .map(|(li, c)| net.add_edge(i, n + j * nl + li, c.clone() * len.clone()))
+                    .map(|(li, c)| {
+                        arcs.push((i, n + j * nl + li, c.clone() * len.clone()));
+                        2 * (arcs.len() - 1)
+                    })
                     .collect();
                 task_edges[i].push((j, eids));
             }
@@ -161,18 +186,212 @@ pub(crate) fn build_transport<S: Scalar>(
     for (j, (a, b)) in intervals.iter().enumerate() {
         let len = b.clone() - a.clone();
         for (li, l) in levels.iter().enumerate() {
-            net.add_edge(
+            arcs.push((
                 n + j * nl + li,
                 t_,
                 l.count.clone() * l.diff.clone() * len.clone(),
-            );
+            ));
         }
     }
-    TransportLayout {
-        intervals,
-        task_edges,
-        source: s,
-        sink: t_,
+    TransportPlan {
+        arcs,
+        n_nodes: n + m * nl + 2,
+        // The flow's ε is a fraction of the comparison tolerance (zero for
+        // exact scalars — same convention as the release-date solver).
+        eps: tol.abs * S::from_f64(1e-3),
+        layout: TransportLayout {
+            intervals,
+            task_edges,
+            source: s,
+            sink: t_,
+        },
+    }
+}
+
+/// How a [`ProbeSession`] treats consecutive probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// Repair the previous residual in place and re-augment whenever the
+    /// arc topology is unchanged (the production path).
+    #[default]
+    WarmStart,
+    /// Rebuild and solve every probe from scratch (the reference path the
+    /// warm solver is cross-checked and benchmarked against).
+    ColdRestart,
+}
+
+/// Work counters of a [`ProbeSession`] — what
+/// `exp_perf`/`results/BENCH_parametric.json` report per solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeTelemetry {
+    /// Transportation probes solved.
+    pub probes: u64,
+    /// Probes answered by residual repair + warm augmentation.
+    pub warm_solves: u64,
+    /// Probes that rebuilt the network (first probe, topology change, or
+    /// [`SolveMode::ColdRestart`]).
+    pub cold_rebuilds: u64,
+    /// Cumulative flow work (Dinic phases, augmenting paths, repairs).
+    pub flow: FlowStats,
+}
+
+/// One reusable transportation-probe workspace: the [`FlowNetwork`]
+/// arena, the cached arc topology and residual of the last probe, and the
+/// layout/capacity bookkeeping — everything the three parametric
+/// consumers (`min_lmax`, `makespan_with_releases`, the related-machines
+/// solvers) previously threaded by hand.
+///
+/// Consecutive probes of a parametric search differ only in a handful of
+/// arc capacities (deadlines shift; the interval structure is stable once
+/// the search is past the trivial lower bounds), so
+/// [`ProbeSession::solve`] repairs the previous residual in place and
+/// augments from it instead of re-running Dinic from zero flow. When the
+/// topology *does* change (interval merge, prefix growth in the related
+/// greedy), it falls back to a cold rebuild automatically. In debug
+/// builds every warm solve is cross-checked against a cold solve —
+/// bit-exactly on exact scalars, within float slack on `f64`.
+#[derive(Debug)]
+pub struct ProbeSession<S = f64> {
+    net: FlowNetwork<S>,
+    /// `(from, to)` per arc of the last built network (topology key).
+    arcs: Vec<(usize, usize)>,
+    n_nodes: usize,
+    layout: Option<TransportLayout<S>>,
+    mode: SolveMode,
+    telemetry: ProbeTelemetry,
+}
+
+impl<S: Scalar> Default for ProbeSession<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> ProbeSession<S> {
+    /// A warm-starting session (the production default).
+    pub fn new() -> Self {
+        Self::with_mode(SolveMode::WarmStart)
+    }
+
+    /// A session with an explicit solve mode ([`SolveMode::ColdRestart`]
+    /// is the benchmark/cross-check reference).
+    pub fn with_mode(mode: SolveMode) -> Self {
+        ProbeSession {
+            net: FlowNetwork::new(0, S::zero()),
+            arcs: Vec::new(),
+            n_nodes: 0,
+            layout: None,
+            mode,
+            telemetry: ProbeTelemetry::default(),
+        }
+    }
+
+    /// The session's solve mode.
+    pub fn mode(&self) -> SolveMode {
+        self.mode
+    }
+
+    /// Work counters accumulated over the session's lifetime.
+    pub fn telemetry(&self) -> ProbeTelemetry {
+        self.telemetry
+    }
+
+    /// The flow network of the last probe (for witness extraction and
+    /// min-cut reads).
+    pub fn network(&self) -> &FlowNetwork<S> {
+        &self.net
+    }
+
+    /// The layout of the last probe.
+    ///
+    /// # Panics
+    /// Panics before the first [`ProbeSession::solve`].
+    pub(crate) fn layout(&self) -> &TransportLayout<S> {
+        self.layout.as_ref().expect("no probe solved yet")
+    }
+
+    /// Tasks on the source side of the last probe's min cut (callers
+    /// check saturation first; on a saturated flow this is just `{}` or
+    /// uninformative).
+    pub fn min_cut_tasks(&self, n: usize) -> Vec<usize> {
+        let side = self.net.min_cut_source_side(self.layout().source);
+        (0..n).filter(|&i| side[i]).collect()
+    }
+
+    /// Solve the transportation feasibility flow for `deadlines` under
+    /// `releases`; returns the max-flow value. Warm-starts from the
+    /// previous probe's residual when the arc topology matches (see the
+    /// type docs); the residual stays available for
+    /// [`ProbeSession::min_cut_tasks`] and witness extraction until the
+    /// next solve.
+    pub fn solve(&mut self, instance: &Instance<S>, releases: Option<&[S]>, deadlines: &[S]) -> S {
+        let plan = transport_plan(instance, releases, deadlines);
+        self.telemetry.probes += 1;
+        let warm_ok = self.mode == SolveMode::WarmStart
+            && self.layout.is_some()
+            && self.n_nodes == plan.n_nodes
+            && self.arcs.len() == plan.arcs.len()
+            && self
+                .arcs
+                .iter()
+                .zip(&plan.arcs)
+                .all(|(have, want)| have.0 == want.0 && have.1 == want.1);
+        let value = if warm_ok {
+            for (i, (_, _, cap)) in plan.arcs.iter().enumerate() {
+                self.net.set_capacity(2 * i, cap.clone());
+            }
+            self.telemetry.warm_solves += 1;
+            self.net.max_flow_warm(plan.layout.source, plan.layout.sink)
+        } else {
+            self.net.reset(plan.n_nodes, plan.eps.clone());
+            for (from, to, cap) in &plan.arcs {
+                self.net.add_edge(*from, *to, cap.clone());
+            }
+            self.arcs = plan.arcs.iter().map(|(f, t, _)| (*f, *t)).collect();
+            self.n_nodes = plan.n_nodes;
+            self.telemetry.cold_rebuilds += 1;
+            self.net.max_flow(plan.layout.source, plan.layout.sink)
+        };
+        self.telemetry.flow = self.net.stats();
+        #[cfg(debug_assertions)]
+        if warm_ok {
+            self.cross_check_cold(&plan, &value);
+        }
+        self.layout = Some(plan.layout);
+        value
+    }
+
+    /// Debug-build invariant: a warm solve must agree with a from-scratch
+    /// solve of the same network — bit-exactly when the slack is zero
+    /// (exact scalars), within float slack otherwise. The minimal min cut
+    /// is unique across maximum flows, so the residual-reachable source
+    /// sides must match too.
+    #[cfg(debug_assertions)]
+    fn cross_check_cold(&self, plan: &TransportPlan<S>, warm_value: &S) {
+        let mut cold = FlowNetwork::new(plan.n_nodes, plan.eps.clone());
+        for (from, to, cap) in &plan.arcs {
+            cold.add_edge(*from, *to, cap.clone());
+        }
+        let cold_value = cold.max_flow(plan.layout.source, plan.layout.sink);
+        if plan.eps.is_zero() {
+            assert!(
+                *warm_value == cold_value,
+                "warm flow value diverged from cold on an exact scalar"
+            );
+            assert!(
+                self.net.min_cut_source_side(plan.layout.source)
+                    == cold.min_cut_source_side(plan.layout.source),
+                "warm min cut diverged from cold on an exact scalar"
+            );
+        } else {
+            let drift = (warm_value.clone() - cold_value.clone()).abs();
+            let tol = S::default_tolerance();
+            let allow = tol.rel * S::from_f64(1e3) * (S::one() + cold_value.abs());
+            assert!(
+                drift <= allow,
+                "warm flow value drifted past float slack: {drift:?}"
+            );
+        }
     }
 }
 
@@ -225,8 +444,8 @@ pub(crate) fn saturation_slack<S: Scalar>(total_volume: &S) -> S {
 /// Feasibility of per-task `deadlines` under per-task `releases` as a
 /// transportation problem, with min-cut certificate extraction on
 /// failure. Returns `Ok(None)` when the flow saturates (feasible) and
-/// `Ok(Some(set))` with the violated task set otherwise. The workspace
-/// `net` is rebuilt in place (arena reuse across probes).
+/// `Ok(Some(set))` with the violated task set otherwise. The `session`
+/// workspace warm-starts from its previous probe where possible.
 ///
 /// Inputs are assumed pre-validated by the callers (`min_lmax` /
 /// `makespan_with_releases` validate the instance and vectors first);
@@ -236,20 +455,18 @@ pub(crate) fn violated_set_in<S: Scalar>(
     instance: &Instance<S>,
     releases: Option<&[S]>,
     deadlines: &[S],
-    net: &mut FlowNetwork<S>,
+    session: &mut ProbeSession<S>,
 ) -> Result<Option<ViolatedSet<S>>, ScheduleError> {
     let n = instance.n();
-    let layout = build_transport(instance, releases, deadlines, net);
-    let flow = net.max_flow(layout.source, layout.sink);
+    let flow = session.solve(instance, releases, deadlines);
     let total_volume = instance.total_volume();
-    if flow.clone() + saturation_slack(&total_volume) >= total_volume {
+    if flow + saturation_slack(&total_volume) >= total_volume {
         return Ok(None);
     }
 
     // Min-cut certificate: tasks reachable from the source in the
     // residual network form a violated set T with V(T) > cap_T.
-    let side = net.min_cut_source_side(layout.source);
-    let tasks: Vec<usize> = (0..n).filter(|&i| side[i]).collect();
+    let tasks = session.min_cut_tasks(n);
     let volume = S::sum(tasks.iter().map(|&i| instance.tasks[i].volume.clone()));
     let capacity = set_capacity(instance, &tasks, releases, deadlines);
     Ok(Some(ViolatedSet {
@@ -266,8 +483,8 @@ pub(crate) fn violated_set<S: Scalar>(
     releases: Option<&[S]>,
     deadlines: &[S],
 ) -> Result<Option<ViolatedSet<S>>, ScheduleError> {
-    let mut net = FlowNetwork::new(0, S::zero());
-    violated_set_in(instance, releases, deadlines, &mut net)
+    let mut session = ProbeSession::new();
+    violated_set_in(instance, releases, deadlines, &mut session)
 }
 
 /// `cap_T` — the machine capacity available to task set `T` under the
@@ -410,26 +627,27 @@ pub(crate) enum Probe<S> {
 /// and `probe` the monotone oracle the final answer must satisfy —
 /// Water-Filling for the identical-machine Lmax (so the witness
 /// construction cannot disagree with the verdict), the transportation
-/// flow itself everywhere else.
+/// flow itself everywhere else. The probe receives the caller's
+/// [`ProbeSession`], so flow-backed oracles and the search's own cut
+/// extraction share one warm residual.
 fn parametric_search<S: Scalar>(
     instance: &Instance<S>,
     param: Parametrization<'_, S>,
     start: S,
-    mut probe: impl FnMut(&S) -> Result<Probe<S>, ScheduleError>,
+    session: &mut ProbeSession<S>,
+    mut probe: impl FnMut(&S, &mut ProbeSession<S>) -> Result<Probe<S>, ScheduleError>,
     what: &'static str,
 ) -> Result<ParametricOutcome<S>, ScheduleError> {
     let n = instance.n();
     let tol = Tolerance::<S>::for_instance(n);
     let mut lambda = start;
-    // One flow arena for every cut this search has to extract itself.
-    let mut workspace = FlowNetwork::new(0, S::zero());
     // Termination is combinatorial (each violated set is visited at most
     // once); the cap only exists to turn a float-knife-edge cycle into an
     // explicit error. 16 sets per task plus slack is far beyond anything
     // the tests (or adversarial instances) reach.
     let max_iters = 16 * (n + 4);
     for cut_iterations in 0..max_iters {
-        let cut = match probe(&lambda)? {
+        let cut = match probe(&lambda, session)? {
             Probe::Feasible => {
                 return Ok(ParametricOutcome {
                     value: lambda,
@@ -453,7 +671,7 @@ fn parametric_search<S: Scalar>(
                     Parametrization::Lateness { .. } => None,
                     Parametrization::Releases { releases } => Some(*releases),
                 };
-                violated_set_in(instance, releases, &deadlines, &mut workspace)?
+                violated_set_in(instance, releases, &deadlines, session)?
             }
         };
         let next = match cut {
@@ -494,7 +712,8 @@ fn parametric_search<S: Scalar>(
 pub(crate) fn min_lmax_value<S: Scalar>(
     instance: &Instance<S>,
     due: &[S],
-    probe: impl FnMut(&S) -> Result<Probe<S>, ScheduleError>,
+    session: &mut ProbeSession<S>,
+    probe: impl FnMut(&S, &mut ProbeSession<S>) -> Result<Probe<S>, ScheduleError>,
 ) -> Result<ParametricOutcome<S>, ScheduleError> {
     // Trivial lower bound: every task needs its height, so L ≥ hᵢ − dᵢ
     // (the singleton constraints' roots). This also pins every probed
@@ -509,6 +728,7 @@ pub(crate) fn min_lmax_value<S: Scalar>(
         instance,
         Parametrization::Lateness { due },
         start,
+        session,
         probe,
         "parametric min-Lmax search",
     )
@@ -520,7 +740,8 @@ pub(crate) fn min_lmax_value<S: Scalar>(
 pub(crate) fn min_release_makespan_value<S: Scalar>(
     instance: &Instance<S>,
     releases: &[S],
-    mut probe: impl FnMut(&S) -> Result<Probe<S>, ScheduleError>,
+    session: &mut ProbeSession<S>,
+    mut probe: impl FnMut(&S, &mut ProbeSession<S>) -> Result<Probe<S>, ScheduleError>,
 ) -> Result<ParametricOutcome<S>, ScheduleError> {
     // Trivial lower bounds: no task finishes before rᵢ + hᵢ (singleton
     // roots), and the machine cannot beat the area bound measured from
@@ -540,6 +761,7 @@ pub(crate) fn min_release_makespan_value<S: Scalar>(
         instance,
         Parametrization::Releases { releases },
         start,
+        session,
         &mut probe,
         "parametric release-date Cmax search",
     )

@@ -31,10 +31,9 @@
 //! identical-machine results bit-for-bit because the transportation
 //! networks coincide structurally.
 
-use crate::algos::flow::FlowNetwork;
 use crate::algos::parametric::{
-    build_transport, min_lmax_value, saturation_slack, set_capacity, snapped_interval_rates,
-    violated_set_in, Probe, ViolatedSet,
+    min_lmax_value, saturation_slack, set_capacity, snapped_interval_rates, violated_set_in, Probe,
+    ProbeSession, ViolatedSet,
 };
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
@@ -56,6 +55,23 @@ pub fn flow_witness<S: Scalar>(
     instance: &Instance<S>,
     releases: Option<&[S]>,
     deadlines: &[S],
+) -> Result<ColumnSchedule<S>, ScheduleError> {
+    flow_witness_in(instance, releases, deadlines, &mut ProbeSession::new())
+}
+
+/// [`flow_witness`] solving through the caller's [`ProbeSession`]. When
+/// the session's last probe already solved these very deadlines (the
+/// usual hand-off from a parametric search that just accepted them), the
+/// warm solve finds nothing to repair or augment and the witness is read
+/// off the existing residual for free.
+///
+/// # Errors
+/// Same contract as [`flow_witness`].
+pub fn flow_witness_in<S: Scalar>(
+    instance: &Instance<S>,
+    releases: Option<&[S]>,
+    deadlines: &[S],
+    session: &mut ProbeSession<S>,
 ) -> Result<ColumnSchedule<S>, ScheduleError> {
     instance.validate()?;
     let n = instance.n();
@@ -82,14 +98,11 @@ pub fn flow_witness<S: Scalar>(
         });
     }
     let tol = Tolerance::<S>::for_instance(n);
-    let mut net = FlowNetwork::new(0, S::zero());
-    let layout = build_transport(instance, releases, deadlines, &mut net);
-    let flow = net.max_flow(layout.source, layout.sink);
+    let flow = session.solve(instance, releases, deadlines);
     let total_volume = instance.total_volume();
     if flow + saturation_slack(&total_volume) < total_volume {
         // Infeasible: surface the min-cut violated set as the certificate.
-        let side = net.min_cut_source_side(layout.source);
-        let tasks: Vec<usize> = (0..n).filter(|&i| side[i]).collect();
+        let tasks = session.min_cut_tasks(n);
         let first = tasks.first().copied().unwrap_or(0);
         let volume = S::sum(tasks.iter().map(|&i| instance.tasks[i].volume.clone()));
         let capacity = set_capacity(instance, &tasks, releases, deadlines);
@@ -102,10 +115,11 @@ pub fn flow_witness<S: Scalar>(
 
     // Shared per-(task, interval) snapped rates (see
     // `parametric::snapped_interval_rates`), packaged as columns.
+    let layout = session.layout();
     let m = layout.intervals.len();
     let mut col_rates: Vec<Vec<(TaskId, S)>> = vec![Vec::new(); m];
     let mut completions = vec![S::zero(); n];
-    let rates = snapped_interval_rates(instance, &layout, &net, &tol);
+    let rates = snapped_interval_rates(instance, layout, session.network(), &tol);
     for (i, pieces) in rates.into_iter().enumerate() {
         for (j, rate) in pieces {
             let (_, b) = &layout.intervals[j];
@@ -152,6 +166,19 @@ pub fn min_lmax_flow<S: Scalar>(
     instance: &Instance<S>,
     due: &[S],
 ) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
+    min_lmax_flow_in(instance, due, &mut ProbeSession::new())
+}
+
+/// [`min_lmax_flow`] running every probe — and the final witness solve —
+/// through the caller's [`ProbeSession`].
+///
+/// # Errors
+/// Same contract as [`min_lmax_flow`].
+pub fn min_lmax_flow_in<S: Scalar>(
+    instance: &Instance<S>,
+    due: &[S],
+    session: &mut ProbeSession<S>,
+) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
     instance.validate()?;
     if due.len() != instance.n() {
         return Err(ScheduleError::LengthMismatch {
@@ -187,17 +214,18 @@ pub fn min_lmax_flow<S: Scalar>(
             .map(|(d, h)| (d.clone() + l.clone()).max_of(h.clone()))
             .collect()
     };
-    // One flow arena across all probes (capacities rebuilt in place).
-    let mut net = FlowNetwork::new(0, S::zero());
-    let outcome = min_lmax_value(instance, due, |l| {
+    // Every probe runs through the session: the flow of probe k is the
+    // warm start of probe k + 1, and the accepted probe's residual is the
+    // witness solve.
+    let outcome = min_lmax_value(instance, due, session, |l, session| {
         Ok(
-            match violated_set_in(instance, None, &deadlines_at(l), &mut net)? {
+            match violated_set_in(instance, None, &deadlines_at(l), session)? {
                 None => Probe::Feasible,
                 Some(set) => Probe::Infeasible(Some(set)),
             },
         )
     })?;
-    let witness = flow_witness(instance, None, &deadlines_at(&outcome.value))?;
+    let witness = flow_witness_in(instance, None, &deadlines_at(&outcome.value), session)?;
     Ok((outcome.value, witness))
 }
 
@@ -316,7 +344,11 @@ pub fn greedy_related<S: Scalar>(
     }
     let tol = Tolerance::<S>::for_instance(n);
     let hs = heights(instance);
-    let mut net = FlowNetwork::new(0, S::zero());
+    // One session across the whole insertion sweep: within one task's
+    // completion search only that deadline moves (warm solves); when the
+    // prefix grows the topology changes and the session rebuilds cold
+    // automatically.
+    let mut session = ProbeSession::new();
     // The prefix instance grows in σ-order; `deadlines` is aligned to it.
     let mut prefix = Instance::on(instance.machine.clone(), Vec::new());
     let mut deadlines: Vec<S> = Vec::with_capacity(n);
@@ -328,7 +360,7 @@ pub fn greedy_related<S: Scalar>(
         let mut placed = false;
         for _ in 0..max_iters {
             deadlines.push(c.clone());
-            let cut = violated_set_in(&prefix, None, &deadlines, &mut net)?;
+            let cut = violated_set_in(&prefix, None, &deadlines, &mut session)?;
             deadlines.pop();
             let Some(set) = cut else {
                 placed = true;
@@ -355,12 +387,14 @@ pub fn greedy_related<S: Scalar>(
         }
         deadlines.push(c);
     }
-    // Deadlines back in original task order, then one witness flow.
+    // Deadlines back in original task order, then one witness flow (the
+    // prefix order differs from the task order, so this solve rebuilds —
+    // through the same arena).
     let mut by_task = vec![S::zero(); n];
     for (k, &id) in order.iter().enumerate() {
         by_task[id.0] = deadlines[k].clone();
     }
-    flow_witness(instance, None, &by_task)
+    flow_witness_in(instance, None, &by_task, &mut session)
 }
 
 #[cfg(test)]

@@ -18,10 +18,9 @@
 //! — the same contract as [`crate::algos::makespan::min_lmax`], with no
 //! bisection bracket anywhere.
 
-use crate::algos::flow::FlowNetwork;
 use crate::algos::parametric::{
-    build_transport, min_release_makespan_value, saturation_slack, set_capacity,
-    snapped_interval_rates, Probe, ViolatedSet,
+    min_release_makespan_value, saturation_slack, set_capacity, snapped_interval_rates, Probe,
+    ProbeSession, ViolatedSet,
 };
 use crate::error::ScheduleError;
 use crate::instance::Instance;
@@ -56,9 +55,9 @@ pub fn feasible_with_releases<S: Scalar>(
     releases: &[S],
     deadline: S,
 ) -> Result<bool, ScheduleError> {
-    let mut net = FlowNetwork::new(0, S::zero());
+    let mut session = ProbeSession::new();
     Ok(matches!(
-        build_flow_schedule(instance, releases, &deadline, &mut net)?,
+        build_flow_schedule(instance, releases, &deadline, &mut session)?,
         FlowOutcome::Witness(_)
     ))
 }
@@ -81,6 +80,20 @@ pub fn makespan_with_releases<S: Scalar>(
     instance: &Instance<S>,
     releases: &[S],
 ) -> Result<ReleaseSchedule<S>, ScheduleError> {
+    makespan_with_releases_in(instance, releases, &mut ProbeSession::new())
+}
+
+/// [`makespan_with_releases`] running its transportation probes through
+/// the caller's [`ProbeSession`] — the entry point for callers that meter
+/// the warm-start telemetry or pin the solve mode.
+///
+/// # Errors
+/// Same contract as [`makespan_with_releases`].
+pub fn makespan_with_releases_in<S: Scalar>(
+    instance: &Instance<S>,
+    releases: &[S],
+    session: &mut ProbeSession<S>,
+) -> Result<ReleaseSchedule<S>, ScheduleError> {
     instance.validate()?;
     check_releases(instance, releases)?;
     if instance.n() == 0 {
@@ -91,14 +104,13 @@ pub fn makespan_with_releases<S: Scalar>(
     }
     // Parametric search from the closed-form lower bounds (rᵢ + hᵢ and
     // the area bound from the earliest release) along violated-set roots.
-    // The feasibility oracle is the transportation flow itself: one Dinic
-    // run per probe yields either the witness (cached for the accepted
-    // deadline) or the min-cut certificate the search jumps from. All
-    // probes share one flow arena (capacities rebuilt in place).
+    // The feasibility oracle is the transportation flow itself: one flow
+    // solve per probe — warm-started from the previous probe's residual —
+    // yields either the witness (cached for the accepted deadline) or the
+    // min-cut certificate the search jumps from.
     let mut witness: Option<StepSchedule<S>> = None;
-    let mut net = FlowNetwork::new(0, S::zero());
-    let outcome = min_release_makespan_value(instance, releases, |deadline| {
-        match build_flow_schedule(instance, releases, deadline, &mut net)? {
+    let outcome = min_release_makespan_value(instance, releases, session, |deadline, session| {
+        match build_flow_schedule(instance, releases, deadline, session)? {
             FlowOutcome::Witness(w) => {
                 witness = Some(w);
                 Ok(Probe::Feasible)
@@ -132,17 +144,18 @@ fn check_releases<S: Scalar>(instance: &Instance<S>, releases: &[S]) -> Result<(
     Ok(())
 }
 
-/// Build the transportation network for `deadline` (into the reusable
-/// workspace `net`); return the witness schedule when the flow saturates
-/// all volumes and the min-cut violated set otherwise. The network is the
-/// speed-level construction of [`crate::algos::parametric`], so related
-/// machines are handled natively (identical machines get the single-level
-/// network the paper used).
+/// Solve the transportation flow for `deadline` through the probe
+/// `session` (warm-started from the previous probe where possible);
+/// return the witness schedule when the flow saturates all volumes and
+/// the min-cut violated set otherwise. The network is the speed-level
+/// construction of [`crate::algos::parametric`], so related machines are
+/// handled natively (identical machines get the single-level network the
+/// paper used).
 fn build_flow_schedule<S: Scalar>(
     instance: &Instance<S>,
     releases: &[S],
     deadline: &S,
-    net: &mut FlowNetwork<S>,
+    session: &mut ProbeSession<S>,
 ) -> Result<FlowOutcome<S>, ScheduleError> {
     instance.validate()?;
     check_releases(instance, releases)?;
@@ -170,24 +183,23 @@ fn build_flow_schedule<S: Scalar>(
     }
 
     let deadlines = vec![deadline.clone(); n];
-    let layout = build_transport(instance, Some(releases), &deadlines, net);
-    let flow = net.max_flow(layout.source, layout.sink);
+    let flow = session.solve(instance, Some(releases), &deadlines);
     // Saturation must be tight: the slack is the *unscaled* base tolerance
     // (relative part only, plus a vanishing absolute term — exactly zero
     // for exact scalars). A looser comparison here lets the Cmax search
     // accept deadlines that are short by more than the witness snap below
     // can absorb, which surfaces as capacity excess in validation.
     if flow + saturation_slack(&total_volume) < total_volume {
-        // The min cut of the very Dinic run that failed is the violated
+        // The min cut of the very flow solve that failed is the violated
         // set (tasks reachable from the source in the residual network).
-        let side = net.min_cut_source_side(layout.source);
-        return Ok(violated((0..n).filter(|&i| side[i]).collect()));
+        return Ok(violated(session.min_cut_tasks(n)));
     }
 
     // Extract the witness: the shared per-(task, interval) snapped rates
     // (see `parametric::snapped_interval_rates`), merged into maximal
     // constant-rate segments.
-    let rates = snapped_interval_rates(instance, &layout, net, &tol);
+    let layout = session.layout();
+    let rates = snapped_interval_rates(instance, layout, session.network(), &tol);
     let mut out = StepSchedule::empty(instance.p.clone(), n);
     for (i, pieces) in rates.into_iter().enumerate() {
         let mut segs: Vec<Segment<S>> = Vec::new();

@@ -6,6 +6,15 @@
 //! criterion's statistical machinery. Honors the `--test` flag cargo passes
 //! when compiling benches under `cargo test` by running each benchmark body
 //! exactly once.
+//!
+//! Two criterion CLI conventions are implemented so CI can run targeted,
+//! short measurement passes (`cargo bench -- --quick lmax/parametric`):
+//!
+//! * `--quick` — a reduced sampling plan (3 samples × 3 iterations
+//!   instead of 11 × 10), like criterion's flag of the same name;
+//! * positional arguments — substring **filters** on the
+//!   `group/label` benchmark id; benchmarks that match no filter are
+//!   skipped without running their body.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,6 +92,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        if !self.criterion.matches(&self.name, &id.label) {
+            return self;
+        }
         let mut b = Bencher {
             plan: self.criterion.plan(),
             last: None,
@@ -97,12 +109,16 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        let label = id.to_string();
+        if !self.criterion.matches(&self.name, &label) {
+            return self;
+        }
         let mut b = Bencher {
             plan: self.criterion.plan(),
             last: None,
         };
         f(&mut b);
-        self.criterion.report(&self.name, &id.to_string(), b.last);
+        self.criterion.report(&self.name, &label, b.last);
         self
     }
 
@@ -113,14 +129,32 @@ impl BenchmarkGroup<'_> {
 /// The benchmark driver.
 pub struct Criterion {
     test_mode: bool,
+    quick: bool,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Cargo invokes bench targets with `--test` under `cargo test` and
-        // with `--bench` under `cargo bench`.
-        let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode }
+        // with `--bench` under `cargo bench`; everything after `--` on the
+        // `cargo bench` command line arrives verbatim. Positional
+        // arguments are benchmark-id filters, like real criterion.
+        let mut test_mode = false;
+        let mut quick = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--quick" => quick = true,
+                a if a.starts_with('-') => {} // other harness flags: ignore
+                a => filters.push(a.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            quick,
+            filters,
+        }
     }
 }
 
@@ -128,9 +162,21 @@ impl Criterion {
     fn plan(&self) -> (usize, usize) {
         if self.test_mode {
             (1, 1)
+        } else if self.quick {
+            (3, 3)
         } else {
             (11, 10)
         }
+    }
+
+    /// `true` iff `group/label` passes the positional filters (no filters
+    /// = run everything).
+    fn matches(&self, group: &str, label: &str) -> bool {
+        if self.filters.is_empty() {
+            return true;
+        }
+        let id = format!("{group}/{label}");
+        self.filters.iter().any(|f| id.contains(f.as_str()))
     }
 
     fn report(&self, group: &str, label: &str, time: Option<Duration>) {
@@ -154,12 +200,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        let name = name.to_string();
+        if !self.matches(&name, "-") {
+            return self;
+        }
         let mut b = Bencher {
             plan: self.plan(),
             last: None,
         };
         f(&mut b);
-        let name = name.to_string();
         self.report(&name, "-", b.last);
         self
     }
@@ -196,9 +245,17 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn test_criterion(filters: &[&str], quick: bool) -> Criterion {
+        Criterion {
+            test_mode: !quick,
+            quick,
+            filters: filters.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
     #[test]
     fn bench_runs_and_reports() {
-        let mut c = Criterion { test_mode: true };
+        let mut c = test_criterion(&[], false);
         let mut g = c.benchmark_group("g");
         g.sample_size(10);
         let mut runs = 0u32;
@@ -210,6 +267,42 @@ mod tests {
         });
         g.finish();
         assert_eq!(runs, 1, "test mode runs the body once");
+    }
+
+    #[test]
+    fn filters_select_by_group_and_label_substring() {
+        let mut c = test_criterion(&["lmax/parametric"], false);
+        let mut hits = Vec::new();
+        {
+            let mut g = c.benchmark_group("lmax/parametric");
+            g.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, _| {
+                hits.push("lmax/8");
+                b.iter(|| 1)
+            });
+            g.finish();
+        }
+        {
+            let mut g = c.benchmark_group("wdeq");
+            g.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, _| {
+                hits.push("wdeq/8");
+                b.iter(|| 1)
+            });
+            g.finish();
+        }
+        assert_eq!(hits, vec!["lmax/8"], "non-matching benchmarks are skipped");
+    }
+
+    #[test]
+    fn quick_mode_shrinks_the_sampling_plan() {
+        let mut c = test_criterion(&[], true);
+        let mut runs = 0u32;
+        c.bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 3 * 3, "--quick runs 3 samples × 3 iterations");
+        assert_eq!(test_criterion(&[], false).plan(), (1, 1));
     }
 
     #[test]

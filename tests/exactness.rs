@@ -10,8 +10,11 @@
 //!   `==`, and the Lemma-2 certificate inequality holds exactly.
 
 use bigratio::Rational;
-use malleable::core::algos::makespan::min_lmax;
-use malleable::core::algos::releases::{feasible_with_releases, makespan_with_releases};
+use malleable::core::algos::makespan::{min_lmax, min_lmax_in};
+use malleable::core::algos::parametric::{ProbeSession, SolveMode};
+use malleable::core::algos::releases::{
+    feasible_with_releases, makespan_with_releases, makespan_with_releases_in,
+};
 use malleable::core::algos::waterfill::wf_feasible;
 use malleable::core::algos::waterfill_fast::wf_feasible_grouped;
 use malleable::core::algos::wdeq::{certificate_of, wdeq_run};
@@ -229,6 +232,127 @@ fn parametric_release_cmax_agrees_between_f64_and_rational_and_is_optimal() {
                 !feasible_with_releases(&exact, &rel_r, below).unwrap(),
                 "n={n} seed={seed}: Cmax − ε must be exactly infeasible"
             );
+        }
+    }
+}
+
+/// Instances the warm-start properties sweep: identical machines and a
+/// heterogeneous related profile, lifted exactly into rationals.
+fn warm_start_instances(seed: u64) -> Vec<(&'static str, Instance<Rational>)> {
+    let identical = generate(&Spec::PaperUniform { n: 6 }, seed);
+    let related = generate(
+        &Spec::PowerLawSpeeds {
+            n: 6,
+            machines: 4,
+            alpha: 1.0,
+        },
+        seed,
+    );
+    vec![
+        ("identical", identical.to_scalar()),
+        ("related", related.to_scalar()),
+    ]
+}
+
+#[test]
+fn warm_and_cold_flow_probes_agree_bit_exactly_at_rational() {
+    // Drive a warm-starting and a cold-restarting session through the
+    // same monotone-then-shrinking deadline sequence. At Rational with
+    // zero tolerance, every max-flow value and every min-cut source side
+    // must agree bit-exactly — the repaired residual is a different
+    // maximum flow, but the minimal min cut is unique, so the extracted
+    // violated sets cannot drift.
+    for seed in seed_batch(7000, 4) {
+        for (label, exact) in warm_start_instances(seed) {
+            let n = exact.n();
+            let base: Vec<Rational> = exact
+                .iter()
+                .map(|(id, t)| t.volume.clone() / exact.effective_delta(id))
+                .collect();
+            let mut warm = ProbeSession::<Rational>::with_mode(SolveMode::WarmStart);
+            let mut cold = ProbeSession::<Rational>::with_mode(SolveMode::ColdRestart);
+            for num in [1i64, 2, 3, 5, 2, 1] {
+                let factor = Rational::new(num, 2);
+                let deadlines: Vec<Rational> =
+                    base.iter().map(|d| d.clone() * factor.clone()).collect();
+                let vw = warm.solve(&exact, None, &deadlines);
+                let vc = cold.solve(&exact, None, &deadlines);
+                assert_eq!(
+                    vw, vc,
+                    "{label} seed={seed} ×{num}/2: warm flow value must equal cold"
+                );
+                assert_eq!(
+                    warm.min_cut_tasks(n),
+                    cold.min_cut_tasks(n),
+                    "{label} seed={seed} ×{num}/2: min-cut source sides must agree"
+                );
+            }
+            let t = warm.telemetry();
+            assert!(
+                t.warm_solves > 0,
+                "{label} seed={seed}: the sequence must exercise the warm path \
+                 ({t:?})"
+            );
+            assert_eq!(cold.telemetry().warm_solves, 0, "cold mode never warms");
+        }
+    }
+}
+
+#[test]
+fn warm_and_cold_lmax_optima_agree_bit_exactly_at_rational() {
+    // The end-to-end contract on both machine models: the warm-started
+    // and cold-restarted parametric Lmax searches return the *same
+    // rational* (not merely close), and both witnesses validate at zero
+    // tolerance.
+    for seed in seed_batch(7100, 4) {
+        for (label, exact) in warm_start_instances(seed) {
+            let due: Vec<Rational> = exact
+                .iter()
+                .enumerate()
+                .map(|(i, (id, t))| {
+                    let h = t.volume.clone() / exact.effective_delta(id);
+                    h * Rational::new(1 + (i as i64 % 4) * 2, 5)
+                })
+                .collect();
+            let mut warm = ProbeSession::with_mode(SolveMode::WarmStart);
+            let mut cold = ProbeSession::with_mode(SolveMode::ColdRestart);
+            let (lw, csw) = min_lmax_in(&exact, &due, &mut warm).unwrap();
+            let (lc, csc) = min_lmax_in(&exact, &due, &mut cold).unwrap();
+            assert_eq!(lw, lc, "{label} seed={seed}: warm Lmax must equal cold");
+            csw.validate_with(&exact, Tolerance::<Rational>::exact())
+                .unwrap();
+            csc.validate_with(&exact, Tolerance::<Rational>::exact())
+                .unwrap();
+            assert_eq!(
+                warm.telemetry().probes,
+                cold.telemetry().probes,
+                "{label} seed={seed}: identical trajectories probe identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_and_cold_release_cmax_agree_bit_exactly_at_rational() {
+    for seed in seed_batch(7200, 4) {
+        for (label, exact) in warm_start_instances(seed) {
+            let releases: Vec<Rational> = (0..exact.n())
+                .map(|i| Rational::new(7 * (i as i64 % 3), 10))
+                .collect();
+            let mut warm = ProbeSession::with_mode(SolveMode::WarmStart);
+            let mut cold = ProbeSession::with_mode(SolveMode::ColdRestart);
+            let rw = makespan_with_releases_in(&exact, &releases, &mut warm).unwrap();
+            let rc = makespan_with_releases_in(&exact, &releases, &mut cold).unwrap();
+            assert_eq!(
+                rw.cmax, rc.cmax,
+                "{label} seed={seed}: warm Cmax must equal cold"
+            );
+            rw.schedule
+                .validate_with(&exact, Tolerance::<Rational>::exact())
+                .unwrap();
+            rc.schedule
+                .validate_with(&exact, Tolerance::<Rational>::exact())
+                .unwrap();
         }
     }
 }
