@@ -5,18 +5,25 @@
 //! ```text
 //! bench_gate [--current PATH] [--baseline PATH]
 //!            [--wall-ratio X] [--wall-abs-us X] [--ratio-band X]
+//!            [--scaling PATH] [--scaling-exponent-max X]
 //!   --current      fresh sweep output (default results/BENCH_batch.json)
 //!   --baseline     checked-in reference (default results/BENCH_baseline.json)
 //!   --wall-ratio   per-policy wall-time multiplier band (default 10)
 //!   --wall-abs-us  absolute wall-time allowance in µs (default 200)
 //!   --ratio-band   relative band on mean/max bound ratios (default 0.05)
+//!   --scaling      a BENCH_parametric.json with a "scaling" ladder; each
+//!                  family's log–log wall-time exponent is fitted and gated
+//!   --scaling-exponent-max  fitted-exponent ceiling (default 1.2 — an
+//!                  O(n log n) curve fits just above 1, quadratic near 2)
 //! ```
 //!
 //! Band semantics live in [`malleable_bench::regression`]; this binary is
 //! the thin CLI: load, parse, compare, report, exit. A failure lists
 //! every violated band so one CI run surfaces all regressions at once.
 
-use malleable_bench::regression::{aggregates_from_json, regression_check, GateBands};
+use malleable_bench::regression::{
+    aggregates_from_json, regression_check, scaling_check, scaling_from_json, GateBands,
+};
 use malleable_bench::{arg_value, jsonin};
 use std::process::ExitCode;
 
@@ -49,7 +56,23 @@ fn run() -> Result<bool, String> {
     };
     let current = load(&current_path)?;
     let baseline = load(&baseline_path)?;
-    let report = regression_check(&current, &baseline, &bands);
+    let mut report = regression_check(&current, &baseline, &bands);
+    if let Some(scaling_path) = arg_value("--scaling") {
+        let max_exp = arg_f64("--scaling-exponent-max", 1.2)?;
+        let text = std::fs::read_to_string(&scaling_path)
+            .map_err(|e| format!("cannot read {scaling_path}: {e}"))?;
+        let doc = jsonin::parse(&text).map_err(|e| format!("{scaling_path}: {e}"))?;
+        let points = scaling_from_json(&doc).map_err(|e| format!("{scaling_path}: {e}"))?;
+        let sc = scaling_check(&points, max_exp);
+        println!(
+            "bench gate: {} scaling families fitted from {scaling_path} \
+             (exponent ceiling {max_exp})",
+            sc.compared
+        );
+        report.compared += sc.compared;
+        report.notes.extend(sc.notes);
+        report.failures.extend(sc.failures);
+    }
     println!(
         "bench gate: {} policies compared against {baseline_path} \
          (wall band {}x + {}µs, ratio band {}%)",

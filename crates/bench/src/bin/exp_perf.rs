@@ -15,21 +15,47 @@
 //!   bit-exactly at `Rational`);
 //! * warm-started probe sequences do strictly fewer total augmentation
 //!   passes (Dinic phases) than cold restarts — the headline speedup the
-//!   JSON records.
+//!   JSON records;
+//! * **wall-clock parity**: no configuration where the default
+//!   (`SolveMode::Auto`) arm is slower than the cold arm by more than 10%
+//!   plus a small absolute grace — the size gate must never lose.
+//!
+//! The binary also runs the **event-driven scaling ladder**: log-spaced
+//! instance sizes up to `n = 10⁵` (`10⁶` behind `--full`) through
+//! [`wdeq_completions`] and [`wf_feasible_grouped_with_work`], recording
+//! per-`n` wall time and event counts as the `"scaling"` section of
+//! `results/BENCH_parametric.json`. The fitted log–log wall-time exponent
+//! of every family must stay ≤ 1.2 (`bench_gate --scaling` re-checks the
+//! same bound in CI), and `n = 10⁵` must finish in under five seconds.
 //!
 //! ```text
-//! exp_perf [--n-max N]
-//!   --n-max   drop configurations with n > N (CI niceness; default: all)
+//! exp_perf [--n-max N] [--scale-max N] [--full]
+//!   --n-max      drop probe configurations with n > N (default: all)
+//!   --scale-max  cap the scaling ladder at n ≤ N (default 100000)
+//!   --full       extend the ladder to n = 10⁶
 //! ```
 
 use malleable_bench::arg_value;
-use malleable_bench::perf::{total_phases, write_parametric_json, ProbeRecord};
+use malleable_bench::perf::{
+    total_phases, write_parametric_json_with_scaling, ProbeRecord, ScalingRecord,
+};
+use malleable_bench::regression::fit_loglog_slope;
 use malleable_core::algos::makespan::min_lmax_in;
 use malleable_core::algos::parametric::{ProbeSession, SolveMode};
 use malleable_core::algos::releases::makespan_with_releases_in;
+use malleable_core::algos::waterfill_fast::wf_feasible_grouped_with_work;
+use malleable_core::algos::wdeq::wdeq_completions;
 use malleable_core::instance::Instance;
 use malleable_workloads::{generate, Spec};
 use std::time::Instant;
+
+/// Per-(config, mode) timing repetitions; the recorded wall time is the
+/// minimum (the counters are deterministic, so only the clock varies).
+const TIMING_REPS: usize = 3;
+
+/// Absolute wall-clock grace for the warm-vs-cold parity assertion, µs —
+/// scheduler jitter floor on sub-millisecond rows.
+const PARITY_GRACE_US: f64 = 50.0;
 
 /// One solver configuration: a labelled instance plus the search to run.
 struct Config {
@@ -151,37 +177,135 @@ fn configs(n_max: usize) -> Vec<Config> {
 
 fn run_one(config: &Config, mode: SolveMode) -> ProbeRecord {
     let mode_label = match mode {
-        SolveMode::WarmStart => "warm",
+        // `Auto` IS the warm arm now: it picks warm whenever the network is
+        // big enough to amortize the repair pass, cold otherwise.
+        SolveMode::Auto | SolveMode::WarmStart => "warm",
         SolveMode::ColdRestart => "cold",
     };
-    let mut session = ProbeSession::with_mode(mode);
-    let start = Instant::now();
-    let value = match &config.kind {
-        Kind::Lmax { due } => {
-            min_lmax_in(&config.instance, due, &mut session)
-                .unwrap_or_else(|e| panic!("{}: {e}", config.label))
-                .0
+    let mut best: Option<ProbeRecord> = None;
+    // One extra untimed iteration up front: the first solve of a fresh
+    // process pays allocator growth and first-touch page faults, which
+    // would bias whichever arm runs first by ~10% on sub-ms rows.
+    for rep in 0..=TIMING_REPS {
+        let mut session = ProbeSession::with_mode(mode);
+        let start = Instant::now();
+        let value = match &config.kind {
+            Kind::Lmax { due } => {
+                min_lmax_in(&config.instance, due, &mut session)
+                    .unwrap_or_else(|e| panic!("{}: {e}", config.label))
+                    .0
+            }
+            Kind::ReleaseCmax { releases } => {
+                makespan_with_releases_in(&config.instance, releases, &mut session)
+                    .unwrap_or_else(|e| panic!("{}: {e}", config.label))
+                    .cmax
+            }
+        };
+        let wall_us = start.elapsed().as_secs_f64() * 1e6;
+        if rep == 0 {
+            continue; // warmup iteration — not timed
         }
-        Kind::ReleaseCmax { releases } => {
-            makespan_with_releases_in(&config.instance, releases, &mut session)
-                .unwrap_or_else(|e| panic!("{}: {e}", config.label))
-                .cmax
-        }
-    };
-    let wall_us = start.elapsed().as_secs_f64() * 1e6;
-    ProbeRecord::from_telemetry(
-        &config.label,
-        mode_label,
-        session.telemetry(),
+        let rec = ProbeRecord::from_telemetry(
+            &config.label,
+            mode_label,
+            session.telemetry(),
+            wall_us,
+            value,
+        );
+        best = Some(match best {
+            Some(b) if b.wall_us <= rec.wall_us => b,
+            _ => rec,
+        });
+    }
+    best.expect("TIMING_REPS ≥ 1")
+}
+
+/// One scaling-curve point: min-of-reps wall time of `run` on a size-`n`
+/// instance, plus the event/work counter the run reports.
+fn scale_point(family: &str, n: usize, reps: usize, mut run: impl FnMut() -> u64) -> ScalingRecord {
+    let mut wall_us = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        events = run();
+        wall_us = wall_us.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    ScalingRecord {
+        family: family.into(),
+        n,
         wall_us,
-        value,
-    )
+        events,
+    }
+}
+
+/// Run the event-driven scaling ladder up to `scale_max` tasks and assert
+/// its acceptance bounds (n = 10⁵ under five seconds when reached; every
+/// family's fitted log–log exponent ≤ 1.2).
+fn scaling_ladder(scale_max: usize) -> Vec<ScalingRecord> {
+    let sizes = [
+        100usize, 316, 1000, 3162, 10_000, 31_623, 100_000, 1_000_000,
+    ];
+    let mut out = Vec::new();
+    for &n in sizes.iter().filter(|&&n| n <= scale_max) {
+        // Timing reps only where runs are cheap; one pass is already
+        // stable at ≥ 10⁵ events.
+        let reps = if n <= 10_000 { TIMING_REPS } else { 1 };
+        for (tag, spec) in [
+            ("paper-uniform", Spec::PaperUniform { n }),
+            ("powerlaw-volumes", Spec::PowerLawVolumes { n, alpha: 1.5 }),
+        ] {
+            let instance = generate(&spec, 42);
+            let wdeq = scale_point(&format!("wdeq/{tag}"), n, reps, || {
+                wdeq_completions(&instance)
+                    .unwrap_or_else(|e| panic!("wdeq/{tag}[n={n}]: {e}"))
+                    .events as u64
+            });
+            // The water-filling feasibility oracle replays the deadlines
+            // WDEQ just met, so the same instance exercises both lanes
+            // (and the result doubles as a cross-algorithm sanity check).
+            let deadlines = wdeq_completions(&instance)
+                .expect("checked above")
+                .completions;
+            let wf = scale_point(&format!("wf/{tag}"), n, reps, || {
+                let (ok, work) = wf_feasible_grouped_with_work(&instance, &deadlines)
+                    .unwrap_or_else(|e| panic!("wf/{tag}[n={n}]: {e}"));
+                assert!(ok, "wf/{tag}[n={n}]: WDEQ completions must be WF-feasible");
+                work
+            });
+            for r in [&wdeq, &wf] {
+                println!(
+                    "{:<26} {:>9} {:>12.1} {:>12}",
+                    r.family, r.n, r.wall_us, r.events
+                );
+            }
+            if n >= 100_000 {
+                for r in [&wdeq, &wf] {
+                    assert!(
+                        r.wall_us < 5e6,
+                        "{}[n={n}]: {:.1}µs breaks the five-second budget",
+                        r.family,
+                        r.wall_us
+                    );
+                }
+            }
+            out.push(wdeq);
+            out.push(wf);
+        }
+    }
+    out
 }
 
 fn main() {
     let n_max: usize = arg_value("--n-max")
         .and_then(|v| v.parse().ok())
         .unwrap_or(usize::MAX);
+    let scale_max: usize = if std::env::args().any(|a| a == "--full") {
+        1_000_000
+    } else {
+        arg_value("--scale-max")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100_000)
+    };
     let configs = configs(n_max);
     println!(
         "P0: parametric warm-start telemetry — {} configurations × 2 solve modes\n",
@@ -193,7 +317,7 @@ fn main() {
     );
     let mut records: Vec<ProbeRecord> = Vec::with_capacity(configs.len() * 2);
     for config in &configs {
-        let warm = run_one(config, SolveMode::WarmStart);
+        let warm = run_one(config, SolveMode::Auto);
         let cold = run_one(config, SolveMode::ColdRestart);
         // Same trajectory, same optimum: the f64 instantiations must agree
         // to float noise (the Rational property tests pin this bit-exactly).
@@ -208,6 +332,15 @@ fn main() {
             warm.probes, cold.probes,
             "{}: warm and cold must walk the same probe sequence",
             config.label
+        );
+        // Wall-clock parity: the mode-selection heuristic must never lose
+        // to a forced cold restart by more than noise.
+        assert!(
+            warm.wall_us <= cold.wall_us * 1.10 + PARITY_GRACE_US,
+            "{}: warm arm {:.1}µs vs cold {:.1}µs — the Auto size gate lost",
+            config.label,
+            warm.wall_us,
+            cold.wall_us
         );
         for r in [&warm, &cold] {
             println!(
@@ -242,7 +375,32 @@ fn main() {
         "at least one configuration must actually exercise the warm path"
     );
 
-    match write_parametric_json("BENCH_parametric", &records) {
+    println!(
+        "\nscaling ladder (n ≤ {scale_max}):\n{:<26} {:>9} {:>12} {:>12}",
+        "family", "n", "wall µs", "events"
+    );
+    let scaling = scaling_ladder(scale_max);
+    let mut families: Vec<&str> = scaling.iter().map(|s| s.family.as_str()).collect();
+    families.sort_unstable();
+    families.dedup();
+    for family in families {
+        let curve: Vec<(f64, f64)> = scaling
+            .iter()
+            .filter(|s| s.family == family)
+            .map(|s| (s.n as f64, s.wall_us))
+            .collect();
+        if curve.len() < 3 {
+            continue; // a truncated ladder (--scale-max) fits nothing
+        }
+        let b = fit_loglog_slope(&curve).expect("≥3 distinct sizes");
+        println!("{family}: fitted wall-time exponent {b:.3}");
+        assert!(
+            b <= 1.2,
+            "{family}: exponent {b:.3} > 1.2 — the event-driven curve bent"
+        );
+    }
+
+    match write_parametric_json_with_scaling("BENCH_parametric", &records, &scaling) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => {
             eprintln!("json write failed: {e}");

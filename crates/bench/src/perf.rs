@@ -66,6 +66,22 @@ impl ProbeRecord {
     }
 }
 
+/// One point on an event-driven scaling curve: `family` at size `n` took
+/// `wall_us` and processed `events` completion/pour events. A ladder of
+/// these (log-spaced `n`) is what [`crate::regression::fit_loglog_slope`]
+/// fits to police the asymptotic exponent in CI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRecord {
+    /// Curve label, e.g. `wdeq/paper-uniform` or `wf/powerlaw-volumes`.
+    pub family: String,
+    /// Instance size.
+    pub n: usize,
+    /// Wall time of one run, microseconds (min over repetitions).
+    pub wall_us: f64,
+    /// Completion events (WDEQ) or pour-work units (water-filling).
+    pub events: u64,
+}
+
 /// Total Dinic phases across all records of one mode.
 pub fn total_phases(records: &[ProbeRecord], mode: &str) -> u64 {
     records
@@ -85,11 +101,26 @@ pub fn total_augmentations(records: &[ProbeRecord], mode: &str) -> u64 {
 }
 
 /// Serialize the per-solver records plus the warm/cold totals as JSON to
-/// `results/<name>.json`.
+/// `results/<name>.json`. Equivalent to
+/// [`write_parametric_json_with_scaling`] with an empty scaling ladder.
 ///
 /// # Errors
 /// Propagates I/O errors.
 pub fn write_parametric_json(name: &str, records: &[ProbeRecord]) -> std::io::Result<PathBuf> {
+    write_parametric_json_with_scaling(name, records, &[])
+}
+
+/// Serialize probe records, warm/cold totals, and the event-driven
+/// scaling ladder (a `"scaling"` array, one object per `(family, n)`
+/// point) as JSON to `results/<name>.json`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_parametric_json_with_scaling(
+    name: &str,
+    records: &[ProbeRecord],
+    scaling: &[ScalingRecord],
+) -> std::io::Result<PathBuf> {
     use std::io::Write as _;
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
@@ -112,6 +143,19 @@ pub fn write_parametric_json(name: &str, records: &[ProbeRecord]) -> std::io::Re
             r.wall_us,
             r.value,
             if i + 1 < records.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"scaling\": [")?;
+    for (i, s) in scaling.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"family\": {}, \"n\": {}, \"wall_us\": {:.1}, \"events\": {}}}{}",
+            crate::batch::json_str(&s.family),
+            s.n,
+            s.wall_us,
+            s.events,
+            if i + 1 < scaling.len() { "," } else { "" }
         )?;
     }
     writeln!(f, "  ],")?;
@@ -162,7 +206,21 @@ mod tests {
     #[test]
     fn json_roundtrip_shape() {
         let rs = vec![rec("warm", 4), rec("cold", 9)];
-        let p = write_parametric_json("unit-test-parametric", &rs).unwrap();
+        let sc = vec![
+            ScalingRecord {
+                family: "wdeq/paper-uniform".into(),
+                n: 100,
+                wall_us: 42.0,
+                events: 100,
+            },
+            ScalingRecord {
+                family: "wdeq/paper-uniform".into(),
+                n: 1000,
+                wall_us: 500.5,
+                events: 1000,
+            },
+        ];
+        let p = write_parametric_json_with_scaling("unit-test-parametric", &rs, &sc).unwrap();
         let text = std::fs::read_to_string(&p).unwrap();
         assert!(text.contains("\"solvers\""));
         assert!(text.contains("\"warm_phases\": 4"));
@@ -174,6 +232,21 @@ mod tests {
                 .and_then(|t| t.get("warm_phases"))
                 .and_then(|x| x.as_f64()),
             Some(4.0)
+        );
+        let points = v.get("scaling").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].get("n").and_then(|x| x.as_f64()), Some(1000.0));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn empty_scaling_section_is_valid_json() {
+        let p = write_parametric_json("unit-test-parametric-empty", &[rec("warm", 1)]).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let v = crate::jsonin::parse(&text).unwrap();
+        assert_eq!(
+            v.get("scaling").and_then(|s| s.as_array()).map(|a| a.len()),
+            Some(0)
         );
         let _ = std::fs::remove_file(p);
     }

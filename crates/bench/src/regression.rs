@@ -27,6 +27,7 @@
 
 use crate::batch::PolicyAggregate;
 use crate::jsonin::Json;
+use crate::perf::ScalingRecord;
 
 /// Tolerance bands of the regression gate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,6 +171,108 @@ pub fn regression_check(
     report
 }
 
+/// Extract the `"scaling"` ladder from a parsed `BENCH_parametric.json`
+/// document. An absent section parses as an empty ladder (older baselines
+/// predate it); a present-but-malformed section is an error.
+///
+/// # Errors
+/// A description of the schema violation.
+pub fn scaling_from_json(doc: &Json) -> Result<Vec<ScalingRecord>, String> {
+    let Some(section) = doc.get("scaling") else {
+        return Ok(Vec::new());
+    };
+    let points = section.as_array().ok_or("\"scaling\" is not an array")?;
+    let mut out = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let num = |key: &str| -> Result<f64, String> {
+            p.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scaling #{i}: missing numeric \"{key}\""))
+        };
+        out.push(ScalingRecord {
+            family: p
+                .get("family")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("scaling #{i}: missing \"family\""))?
+                .to_string(),
+            n: num("n")? as usize,
+            wall_us: num("wall_us")?,
+            events: num("events")? as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Least-squares slope of `ln y` against `ln x` — the fitted exponent of
+/// a power law `y ∝ xᵇ`. Points with non-positive coordinates are
+/// skipped (a sub-microsecond wall reading carries no log information).
+/// Returns `None` with fewer than two usable distinct-`x` points.
+pub fn fit_loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let m = logs.len() as f64;
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / m;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / m;
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    if sxx <= f64::EPSILON {
+        return None; // all x equal — slope undefined
+    }
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    Some(sxy / sxx)
+}
+
+/// Check every scaling family's fitted wall-time exponent against
+/// `max_exponent`. An event-driven `O(n log n)` curve fits just above 1;
+/// a quadratic regression fits near 2 and is unmistakable on a log-spaced
+/// ladder. Families with fewer than three points are skipped with a note
+/// (two points fit a line exactly — no evidence of a trend).
+pub fn scaling_check(points: &[ScalingRecord], max_exponent: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let mut families: Vec<&str> = points.iter().map(|p| p.family.as_str()).collect();
+    families.dedup();
+    families.sort_unstable();
+    families.dedup();
+    for family in families {
+        let curve: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.family == family)
+            .map(|p| (p.n as f64, p.wall_us))
+            .collect();
+        if curve.len() < 3 {
+            report.notes.push(format!(
+                "{family}: only {} point(s) — exponent not fitted",
+                curve.len()
+            ));
+            continue;
+        }
+        match fit_loglog_slope(&curve) {
+            Some(b) => {
+                report.compared += 1;
+                if b > max_exponent {
+                    report.failures.push(format!(
+                        "{family}: fitted wall-time exponent {b:.3} exceeds the \
+                         {max_exponent:.2} band — the curve bends away from O(n log n)"
+                    ));
+                } else {
+                    report
+                        .notes
+                        .push(format!("{family}: exponent {b:.3} ≤ {max_exponent:.2}"));
+                }
+            }
+            None => report.notes.push(format!(
+                "{family}: degenerate curve (no positive-span points) — not fitted"
+            )),
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +355,85 @@ mod tests {
         let report = regression_check(&cur, &base, &GateBands::default());
         assert!(!report.passed());
         assert!(report.failures[0].contains("run count changed"));
+    }
+
+    fn ladder(family: &str, exponent: f64) -> Vec<ScalingRecord> {
+        [100usize, 316, 1000, 3162, 10000]
+            .iter()
+            .map(|&n| ScalingRecord {
+                family: family.into(),
+                n,
+                wall_us: 0.05 * (n as f64).powf(exponent),
+                events: n as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loglog_slope_recovers_known_exponents() {
+        let quad: Vec<(f64, f64)> = (1..=5).map(|k| (k as f64, (k * k) as f64)).collect();
+        assert!((fit_loglog_slope(&quad).unwrap() - 2.0).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = (1..=5).map(|k| (k as f64, 3.0 * k as f64)).collect();
+        assert!((fit_loglog_slope(&linear).unwrap() - 1.0).abs() < 1e-9);
+        // n log n fits barely above 1 on a decade ladder.
+        let nlogn: Vec<(f64, f64)> = [100.0f64, 1000.0, 10000.0, 100000.0]
+            .iter()
+            .map(|&n| (n, n * n.ln()))
+            .collect();
+        let b = fit_loglog_slope(&nlogn).unwrap();
+        assert!((1.0..1.2).contains(&b), "n log n exponent {b}");
+        // Degenerate inputs refuse to fit.
+        assert!(fit_loglog_slope(&[(1.0, 1.0)]).is_none());
+        assert!(fit_loglog_slope(&[(2.0, 1.0), (2.0, 9.0)]).is_none());
+        assert!(fit_loglog_slope(&[(1.0, 0.0), (2.0, -1.0)]).is_none());
+    }
+
+    #[test]
+    fn scaling_gate_passes_nlogn_fails_quadratic() {
+        let good = ladder("wdeq/paper-uniform", 1.05);
+        let report = scaling_check(&good, 1.2);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.compared, 1);
+
+        let mut mixed = good;
+        mixed.extend(ladder("wf/stairs", 1.9));
+        let report = scaling_check(&mixed, 1.2);
+        assert!(!report.passed());
+        assert_eq!(report.compared, 2);
+        assert!(report.failures[0].contains("wf/stairs"));
+        assert!(report.failures[0].contains("exponent"));
+    }
+
+    #[test]
+    fn short_curves_are_noted_not_fitted() {
+        let two: Vec<ScalingRecord> = ladder("wdeq/x", 2.5).into_iter().take(2).collect();
+        let report = scaling_check(&two, 1.2);
+        assert!(report.passed());
+        assert_eq!(report.compared, 0);
+        assert!(report.notes[0].contains("not fitted"));
+    }
+
+    #[test]
+    fn scaling_parses_from_the_writer_schema() {
+        let text = r#"{
+  "solvers": [],
+  "scaling": [
+    {"family": "wdeq/paper-uniform", "n": 100, "wall_us": 42.0, "events": 100},
+    {"family": "wdeq/paper-uniform", "n": 1000, "wall_us": 520.0, "events": 1000}
+  ],
+  "totals": {}
+}"#;
+        let doc = crate::jsonin::parse(text).unwrap();
+        let pts = scaling_from_json(&doc).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].n, 1000);
+        assert_eq!(pts[0].family, "wdeq/paper-uniform");
+        // Absent section (older baselines) is an empty ladder, not an error.
+        let old = crate::jsonin::parse(r#"{"solvers": []}"#).unwrap();
+        assert!(scaling_from_json(&old).unwrap().is_empty());
+        // Present-but-malformed is a described error.
+        let bad = crate::jsonin::parse(r#"{"scaling": [{"n": 5}]}"#).unwrap();
+        assert!(scaling_from_json(&bad).unwrap_err().contains("family"));
     }
 
     #[test]

@@ -82,6 +82,15 @@ pub struct FlowNetwork<S = f64> {
     edges: Vec<Edge<S>>,
     /// Adjacency: node → indices into `edges` (even = forward, odd = back).
     adj: Vec<Vec<usize>>,
+    /// Forward edges whose capacity was set below their routed flow since
+    /// the last solve — the only candidates the next warm repair must
+    /// visit. Augmentation never overfills an arc and repair only cancels
+    /// flow, so an arc can overflow *only* through
+    /// [`FlowNetwork::set_capacity`]; tracking them here turns the warm
+    /// repair's full edge scan into an O(#changed) drain (and a no-op on
+    /// the monotone capacity-growth sequences the parametric probes
+    /// produce).
+    overflowed: Vec<usize>,
     eps: S,
     stats: FlowStats,
 }
@@ -93,6 +102,7 @@ impl<S: Scalar> FlowNetwork<S> {
         FlowNetwork {
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
+            overflowed: Vec::new(),
             eps,
             stats: FlowStats::default(),
         }
@@ -111,6 +121,7 @@ impl<S: Scalar> FlowNetwork<S> {
     /// [`crate::algos::parametric`]).
     pub fn reset(&mut self, n: usize, eps: S) {
         self.edges.clear();
+        self.overflowed.clear();
         self.adj.truncate(n);
         for a in &mut self.adj {
             a.clear();
@@ -174,9 +185,9 @@ impl<S: Scalar> FlowNetwork<S> {
 
     /// Replace the capacity of forward edge `id`, **keeping the routed
     /// flow** — the entry point of the warm-start path. The edge may be
-    /// left overflowing (`flow > cap`); the next
-    /// [`FlowNetwork::max_flow_warm`] repairs it along decomposition paths
-    /// before re-augmenting.
+    /// left overflowing (`flow > cap`); it is remembered on a dirty list
+    /// and the next [`FlowNetwork::max_flow_warm`] repairs exactly the
+    /// remembered edges along decomposition paths before re-augmenting.
     ///
     /// # Panics
     /// Panics on a backward-edge id, an out-of-range id, or a negative
@@ -185,6 +196,9 @@ impl<S: Scalar> FlowNetwork<S> {
         assert!(id.is_multiple_of(2), "set_capacity takes forward edge ids");
         assert!(id < self.edges.len(), "bad edge id");
         assert!(!cap.is_negative(), "negative capacity");
+        if self.edges[id].flow.clone() - cap.clone() > self.eps {
+            self.overflowed.push(id);
+        }
         self.edges[id].cap = cap;
     }
 
@@ -258,9 +272,13 @@ impl<S: Scalar> FlowNetwork<S> {
     /// capacity reduction) along paths of the flow decomposition: an
     /// `s → u → e → v → t` path when the arc carries path flow, the
     /// containing cycle otherwise. Leaves a valid (conservation-respecting,
-    /// capacity-feasible) flow.
+    /// capacity-feasible) flow. Only the arcs the dirty list remembers can
+    /// overflow (see [`FlowNetwork::set_capacity`]), so the repair visits
+    /// those and nothing else — when no capacity dropped below its routed
+    /// flow this is free.
     fn repair_overflows(&mut self, s: usize, t: usize) {
-        for id in (0..self.edges.len()).step_by(2) {
+        let dirty = std::mem::take(&mut self.overflowed);
+        for id in dirty {
             loop {
                 let excess = self.edges[id].flow.clone() - self.edges[id].cap.clone();
                 if excess <= self.eps {
@@ -628,6 +646,29 @@ mod tests {
                 "minimal min cut is unique per max flow — must agree at ({at}, {bt})"
             );
         }
+    }
+
+    #[test]
+    fn capacity_growth_skips_repair_entirely() {
+        // Monotone growth never dirties an edge, so the warm path pays no
+        // repair work at all — the fast path the parametric probes ride.
+        let mut g = FlowNetwork::new(4, 1e-12);
+        let sa = g.add_edge(0, 1, 10.0);
+        let ab = g.add_edge(1, 2, 1.0);
+        let bt = g.add_edge(2, 3, 10.0);
+        assert!(close(g.max_flow(0, 3), 1.0));
+        let snap = g.stats();
+        g.set_capacity(sa, 12.0);
+        g.set_capacity(ab, 4.0);
+        g.set_capacity(bt, 12.0);
+        assert!(close(g.max_flow_warm(0, 3), 4.0));
+        assert_eq!(g.stats().since(&snap).repair_paths, 0);
+        // A decrease below the routed flow dirties exactly one edge and
+        // repairs it.
+        let snap = g.stats();
+        g.set_capacity(ab, 0.5);
+        assert!(close(g.max_flow_warm(0, 3), 0.5));
+        assert!(g.stats().since(&snap).repair_paths >= 1);
     }
 
     #[test]

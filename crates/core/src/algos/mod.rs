@@ -10,6 +10,7 @@
 //! | [`parametric`] | Exact threshold search over the transportation feasibility frontier (min-cut Newton iteration), speed-level aware |
 //! | [`related`] | Related-machines solvers: flow witnesses, heterogeneous `Lmax`, completion-time Greedy (Fotakis et al. 2019 model) |
 
+pub(crate) mod events;
 pub mod flow;
 pub mod greedy;
 pub mod makespan;

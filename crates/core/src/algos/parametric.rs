@@ -63,8 +63,37 @@
 use crate::algos::flow::{FlowNetwork, FlowStats};
 use crate::error::ScheduleError;
 use crate::instance::Instance;
-use crate::machine::LevelAccumulator;
+use crate::machine::{coalesce_levels, LevelAccumulator, SpeedLevel};
 use numkit::{Scalar, Tolerance};
+
+/// The machine's speed levels coalesced against this instance's task
+/// population ([`coalesce_levels`]): rank-preserving for every non-empty
+/// task subset, so the transportation networks, capacity integrals and
+/// constraint roots below use the thin profile interchangeably with the
+/// full one. Depends only on the instance — never on probed deadlines —
+/// which keeps the arc topology stable across a [`ProbeSession`].
+fn instance_levels<S: Scalar>(instance: &Instance<S>) -> Vec<SpeedLevel<S>> {
+    let full = instance.machine.levels();
+    if full.len() <= 1 || instance.n() == 0 {
+        return full;
+    }
+    let delta_min = instance
+        .tasks
+        .iter()
+        .map(|t| t.delta.clone())
+        .reduce(S::min_of)
+        .expect("n ≥ 1 checked above");
+    // Machine-count units (`min(δᵢ, count)`), NOT the rate cap
+    // `effective_delta` — level counts k_ℓ live on the count axis.
+    let count = instance.machine.count();
+    let delta_total = S::sum(
+        instance
+            .tasks
+            .iter()
+            .map(|t| t.delta.clone().min_of(count.clone())),
+    );
+    coalesce_levels(&full, &delta_min, &delta_total)
+}
 
 /// A violated task set extracted from an infeasible transportation flow:
 /// `volume > capacity` certifies infeasibility, and the members let the
@@ -121,6 +150,14 @@ pub(crate) struct TransportPlan<S> {
 /// capacitated `min(δᵢ, k_ℓ)·d_ℓ·Δt`, level arcs `k_ℓ·d_ℓ·Δt` — the
 /// Federgruen–Groenevelt construction, whose single-level instantiation
 /// is the paper's identical-machine network.
+///
+/// The level axis is **sparse**: the speed profile is coalesced against
+/// the task population first ([`instance_levels`]), so head runs every
+/// task saturates and tail runs no subset can saturate each cost one arc
+/// per interval instead of one per distinct speed, and zero-length
+/// intervals (possible only from `f64` boundary snapping) contribute no
+/// arcs at all. Both reductions are rank-preserving, so max-flow values
+/// and min cuts are unchanged — bit-exactly on exact scalars.
 pub(crate) fn transport_plan<S: Scalar>(
     instance: &Instance<S>,
     releases: Option<&[S]>,
@@ -150,7 +187,7 @@ pub(crate) fn transport_plan<S: Scalar>(
         .map(|w| (w[0].clone(), w[1].clone()))
         .collect();
     let m = intervals.len();
-    let levels = instance.machine.levels();
+    let levels = instance_levels(instance);
     let nl = levels.len();
 
     // Nodes: tasks 0..n, (interval × level) n..n+m·L, source, sink.
@@ -169,8 +206,8 @@ pub(crate) fn transport_plan<S: Scalar>(
         for (j, (a, b)) in intervals.iter().enumerate() {
             let released = r <= a.clone() + tol.abs.clone();
             let before_deadline = *b <= deadlines[i].clone() + tol.abs.clone();
-            if released && before_deadline {
-                let len = b.clone() - a.clone();
+            let len = b.clone() - a.clone();
+            if released && before_deadline && len.is_positive() {
                 let eids: Vec<usize> = caps
                     .iter()
                     .enumerate()
@@ -185,6 +222,9 @@ pub(crate) fn transport_plan<S: Scalar>(
     }
     for (j, (a, b)) in intervals.iter().enumerate() {
         let len = b.clone() - a.clone();
+        if !len.is_positive() {
+            continue;
+        }
         for (li, l) in levels.iter().enumerate() {
             arcs.push((
                 n + j * nl + li,
@@ -208,12 +248,25 @@ pub(crate) fn transport_plan<S: Scalar>(
     }
 }
 
+/// Networks below this arc count solve cold even in [`SolveMode::Auto`]:
+/// on small networks Dinic from zero flow beats the warm path's fixed
+/// bookkeeping (capacity rewrite + residual repair), and the crossover
+/// sits around a couple thousand arcs on the bench grid (the n = 32
+/// parametric configs have ~600 arcs and used to lose ~60% wall-clock to
+/// the warm path; n = 128 has ~8k arcs and wins warm).
+pub const WARM_ARC_THRESHOLD: usize = 2048;
+
 /// How a [`ProbeSession`] treats consecutive probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolveMode {
-    /// Repair the previous residual in place and re-augment whenever the
-    /// arc topology is unchanged (the production path).
+    /// Size-gated selection (the production default): probes on networks
+    /// with at least [`WARM_ARC_THRESHOLD`] arcs warm-start, smaller ones
+    /// solve cold — warm never loses wall-clock to cold for fixed-cost
+    /// bookkeeping reasons.
     #[default]
+    Auto,
+    /// Repair the previous residual in place and re-augment whenever the
+    /// arc topology is unchanged, regardless of network size.
     WarmStart,
     /// Rebuild and solve every probe from scratch (the reference path the
     /// warm solver is cross-checked and benchmarked against).
@@ -268,9 +321,10 @@ impl<S: Scalar> Default for ProbeSession<S> {
 }
 
 impl<S: Scalar> ProbeSession<S> {
-    /// A warm-starting session (the production default).
+    /// A session in [`SolveMode::Auto`] (the production default:
+    /// size-gated warm starts).
     pub fn new() -> Self {
-        Self::with_mode(SolveMode::WarmStart)
+        Self::with_mode(SolveMode::Auto)
     }
 
     /// A session with an explicit solve mode ([`SolveMode::ColdRestart`]
@@ -327,7 +381,12 @@ impl<S: Scalar> ProbeSession<S> {
     pub fn solve(&mut self, instance: &Instance<S>, releases: Option<&[S]>, deadlines: &[S]) -> S {
         let plan = transport_plan(instance, releases, deadlines);
         self.telemetry.probes += 1;
-        let warm_ok = self.mode == SolveMode::WarmStart
+        let want_warm = match self.mode {
+            SolveMode::ColdRestart => false,
+            SolveMode::WarmStart => true,
+            SolveMode::Auto => plan.arcs.len() >= WARM_ARC_THRESHOLD,
+        };
+        let warm_ok = want_warm
             && self.layout.is_some()
             && self.n_nodes == plan.n_nodes
             && self.arcs.len() == plan.arcs.len()
@@ -506,7 +565,7 @@ pub(crate) fn set_capacity<S: Scalar>(
         events.push((deadlines[i].clone(), delta, false));
     }
     events.sort_by(|a, b| a.0.total_cmp_s(&b.0));
-    let mut active = LevelAccumulator::new(&instance.machine);
+    let mut active = LevelAccumulator::from_levels(instance_levels(instance));
     let mut total = S::zero();
     let mut prev = S::zero();
     for (at, delta, enters) in events {
@@ -537,7 +596,7 @@ fn lmax_constraint_root<S: Scalar>(instance: &Instance<S>, due: &[S], set: &Viol
     let mut members: Vec<usize> = set.tasks.clone();
     members.sort_by(|&a, &b| due[a].total_cmp_s(&due[b]).then(a.cmp(&b)));
     // Suffix ranks f({members[k..]}) built back to front.
-    let mut acc = LevelAccumulator::new(&instance.machine);
+    let mut acc = LevelAccumulator::from_levels(instance_levels(instance));
     let mut suffix_rate = vec![S::zero(); members.len()];
     for k in (0..members.len()).rev() {
         acc.add(&instance.tasks[members[k]].delta);
@@ -574,7 +633,7 @@ fn release_constraint_root<S: Scalar>(
     let mut members: Vec<usize> = set.tasks.clone();
     members.sort_by(|&a, &b| releases[a].total_cmp_s(&releases[b]).then(a.cmp(&b)));
     // Capacity of the gaps between consecutive releases (prefix ranks).
-    let mut acc = LevelAccumulator::new(&instance.machine);
+    let mut acc = LevelAccumulator::from_levels(instance_levels(instance));
     let mut fixed = S::zero();
     for k in 0..members.len() - 1 {
         acc.add(&instance.tasks[members[k]].delta);

@@ -4,33 +4,378 @@
 //! The full Algorithm-2 implementation records an allocation per
 //! (task, column) pair — Θ(n²) output in the worst case, which is wasted
 //! work when only *feasibility* of a completion-time vector is needed
-//! (deadline checks, the parametric `Lmax` search, `Cmax` probing). This variant
-//! exploits Lemma 3's merging observation: after each pour, the raised
-//! columns form a single plateau, so the profile can be kept as **groups**
-//! of equal height. Each pour merges every group it covers into one, so
-//! group boundaries are created at most twice per task and destroyed once
-//! each — the total work is near-linear in practice (worst case still
-//! O(n²) on adversarial profiles, measured in the `waterfill` ablation
-//! bench).
+//! (deadline checks, the parametric `Lmax` search, `Cmax` probing).
+//!
+//! This oracle keeps the remaining-capacity profile in a **lazy segment
+//! tree over the columns in time order** (`WaterProfile`): each node
+//! aggregates `Σ lₖ`, `Σ lₖ·hₖ` and `min hₖ` over its span, with
+//! range-assign (the pour's plateau) and range-add (`+δᵢ` on the deep
+//! suffix) lazies. Lemma 3 keeps heights non-increasing in time, so the
+//! three regions a pour creates — untouched prefix, plateau, `+δ` suffix —
+//! are contiguous index ranges found by `O(log n)` descents on the `min h`
+//! aggregate, and the pour level itself is solved by bracketing the two
+//! monotone breakpoint families `{hₖ}` and `{hₖ+δᵢ}` with `O(log n)`
+//! evaluations of the filled volume `W(level)`. Every pour costs
+//! `O(log² n)` — the former grouped representation copied the whole group
+//! list per pour, which was `O(n²)` on adversarial staircase profiles
+//! (distinct heights that never merge); see the regression test
+//! `adversarial_staircase_does_near_linear_work`.
 //!
 //! Generic over the scalar, like the full algorithm: the exact
-//! instantiation turns the feasibility verdict into a certificate.
+//! instantiation turns the feasibility verdict into a certificate (all
+//! boundary descents and the pour-level equation are field operations).
 
-use crate::algos::waterfill::pour_level;
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
-use numkit::Scalar;
+use numkit::{Scalar, Tolerance};
 
-/// A maximal run of equal-height columns.
-#[derive(Debug, Clone)]
-struct Group<S> {
-    height: S,
-    len: S,
+/// The remaining-capacity water profile: a lazy segment tree over the
+/// columns in time order. Leaves are activated append-only (one column per
+/// distinct completion time); heights stay non-increasing in time
+/// (Lemma 3), which the boundary descents exploit but do not require.
+struct WaterProfile<S> {
+    /// Leaf slots (power of two).
+    size: usize,
+    /// Active columns.
+    len: usize,
+    /// Σ length over active leaves in the span.
+    sum_len: Vec<S>,
+    /// Σ length·height over active leaves in the span.
+    sum_lh: Vec<S>,
+    /// min height over active leaves (meaningless when `cnt == 0`).
+    min_h: Vec<S>,
+    /// Active leaves in the span.
+    cnt: Vec<usize>,
+    /// Pending height increment for the span.
+    add: Vec<S>,
+    /// Pending height assignment for the span (applied before `add`).
+    assign: Vec<Option<S>>,
+    /// Tree nodes visited, for the near-linear work regression test.
+    work: u64,
+}
+
+impl<S: Scalar> WaterProfile<S> {
+    fn with_capacity(columns: usize) -> Self {
+        let size = columns.max(1).next_power_of_two();
+        WaterProfile {
+            size,
+            len: 0,
+            sum_len: vec![S::zero(); 2 * size],
+            sum_lh: vec![S::zero(); 2 * size],
+            min_h: vec![S::zero(); 2 * size],
+            cnt: vec![0; 2 * size],
+            add: vec![S::zero(); 2 * size],
+            assign: vec![None; 2 * size],
+            work: 0,
+        }
+    }
+
+    fn apply_assign(&mut self, x: usize, v: S) {
+        self.sum_lh[x] = v.clone() * self.sum_len[x].clone();
+        self.min_h[x] = v.clone();
+        if x < self.size {
+            self.assign[x] = Some(v);
+            self.add[x] = S::zero();
+        }
+    }
+
+    fn apply_add(&mut self, x: usize, a: S) {
+        self.sum_lh[x] = self.sum_lh[x].clone() + a.clone() * self.sum_len[x].clone();
+        self.min_h[x] = self.min_h[x].clone() + a.clone();
+        if x < self.size {
+            match self.assign[x].take() {
+                Some(v) => self.assign[x] = Some(v + a),
+                None => self.add[x] = self.add[x].clone() + a,
+            }
+        }
+    }
+
+    fn push_down(&mut self, x: usize) {
+        if let Some(v) = self.assign[x].take() {
+            self.apply_assign(2 * x, v.clone());
+            self.apply_assign(2 * x + 1, v);
+        }
+        if !self.add[x].is_zero() {
+            let a = std::mem::replace(&mut self.add[x], S::zero());
+            self.apply_add(2 * x, a.clone());
+            self.apply_add(2 * x + 1, a);
+        }
+    }
+
+    fn pull(&mut self, x: usize) {
+        let (l, r) = (2 * x, 2 * x + 1);
+        self.sum_len[x] = self.sum_len[l].clone() + self.sum_len[r].clone();
+        self.sum_lh[x] = self.sum_lh[l].clone() + self.sum_lh[r].clone();
+        self.cnt[x] = self.cnt[l] + self.cnt[r];
+        self.min_h[x] = match (self.cnt[l] > 0, self.cnt[r] > 0) {
+            (true, true) => self.min_h[l].clone().min_of(self.min_h[r].clone()),
+            (true, false) => self.min_h[l].clone(),
+            _ => self.min_h[r].clone(),
+        };
+    }
+
+    /// Activate the next leaf as a fresh zero-height column of `length`.
+    fn append(&mut self, length: S) {
+        let leaf = self.len;
+        debug_assert!(leaf < self.size, "profile capacity exceeded");
+        // Push pending lazies down the root-to-leaf path, then write the
+        // leaf and pull the path back up.
+        let mut path = Vec::with_capacity(usize::BITS as usize);
+        let mut x = 1;
+        let (mut lo, mut hi) = (0, self.size);
+        while x < self.size {
+            self.work += 1;
+            path.push(x);
+            self.push_down(x);
+            let mid = (lo + hi) / 2;
+            if leaf < mid {
+                x *= 2;
+                hi = mid;
+            } else {
+                x = 2 * x + 1;
+                lo = mid;
+            }
+        }
+        self.sum_len[x] = length;
+        self.sum_lh[x] = S::zero();
+        self.min_h[x] = S::zero();
+        self.cnt[x] = 1;
+        for &p in path.iter().rev() {
+            self.pull(p);
+        }
+        self.len += 1;
+    }
+
+    /// Minimum height over the active columns (callers check `len > 0`).
+    fn min_height(&self) -> S {
+        self.min_h[1].clone()
+    }
+
+    /// First active index whose height is `< thr` (`strict`) or `≤ thr`,
+    /// or `len` when none qualifies.
+    fn first_below(&mut self, thr: &S, strict: bool) -> usize {
+        let qualifies = |h: &S| if strict { h < thr } else { h <= thr };
+        let mut x = 1;
+        if self.cnt[x] == 0 || !qualifies(&self.min_h[x]) {
+            return self.len;
+        }
+        let (mut lo, mut hi) = (0, self.size);
+        while x < self.size {
+            self.work += 1;
+            self.push_down(x);
+            let mid = (lo + hi) / 2;
+            let l = 2 * x;
+            if self.cnt[l] > 0 && qualifies(&self.min_h[l]) {
+                x = l;
+                hi = mid;
+            } else {
+                x = l + 1;
+                lo = mid;
+            }
+        }
+        lo
+    }
+
+    /// Height of the active column at `idx`.
+    fn height_at(&mut self, idx: usize) -> S {
+        debug_assert!(idx < self.len);
+        let mut x = 1;
+        let (mut lo, mut hi) = (0, self.size);
+        while x < self.size {
+            self.work += 1;
+            self.push_down(x);
+            let mid = (lo + hi) / 2;
+            if idx < mid {
+                x *= 2;
+                hi = mid;
+            } else {
+                x = 2 * x + 1;
+                lo = mid;
+            }
+        }
+        self.min_h[x].clone()
+    }
+
+    /// `(Σ length, Σ length·height)` over active columns in `[a, b)`.
+    fn range_sums(&mut self, a: usize, b: usize) -> (S, S) {
+        if a >= b {
+            return (S::zero(), S::zero());
+        }
+        self.range_sums_in(1, 0, self.size, a, b)
+    }
+
+    fn range_sums_in(&mut self, x: usize, lo: usize, hi: usize, a: usize, b: usize) -> (S, S) {
+        self.work += 1;
+        if b <= lo || hi <= a {
+            return (S::zero(), S::zero());
+        }
+        if a <= lo && hi <= b {
+            return (self.sum_len[x].clone(), self.sum_lh[x].clone());
+        }
+        self.push_down(x);
+        let mid = (lo + hi) / 2;
+        let (l1, s1) = self.range_sums_in(2 * x, lo, mid, a, b);
+        let (l2, s2) = self.range_sums_in(2 * x + 1, mid, hi, a, b);
+        (l1 + l2, s1 + s2)
+    }
+
+    /// Range update on `[a, b)`: assign height `v` or add `delta`.
+    fn range_apply(&mut self, a: usize, b: usize, op: &RangeOp<S>) {
+        if a >= b {
+            return;
+        }
+        self.range_apply_in(1, 0, self.size, a, b, op);
+    }
+
+    fn range_apply_in(
+        &mut self,
+        x: usize,
+        lo: usize,
+        hi: usize,
+        a: usize,
+        b: usize,
+        op: &RangeOp<S>,
+    ) {
+        self.work += 1;
+        if b <= lo || hi <= a {
+            return;
+        }
+        if a <= lo && hi <= b {
+            match op {
+                RangeOp::Assign(v) => self.apply_assign(x, v.clone()),
+                RangeOp::Add(d) => self.apply_add(x, d.clone()),
+            }
+            return;
+        }
+        self.push_down(x);
+        let mid = (lo + hi) / 2;
+        self.range_apply_in(2 * x, lo, mid, a, b, op);
+        self.range_apply_in(2 * x + 1, mid, hi, a, b, op);
+        self.pull(x);
+    }
+
+    /// The filled volume `W(level) = Σₖ lₖ·clamp(level − hₖ, 0, cap)`,
+    /// evaluated with the same tolerance thresholds the pour update uses.
+    fn filled_at(&mut self, level: &S, cap: &S, tol: &Tolerance<S>) -> S {
+        let a = self.first_below(&(level.clone() - tol.abs.clone()), true);
+        let b = self.first_below(&(level.clone() - cap.clone() - tol.abs.clone()), false);
+        let n = self.len;
+        let (lin_len, lin_lh) = self.range_sums(a, b);
+        let (deep_len, _) = self.range_sums(b, n);
+        level.clone() * lin_len - lin_lh + cap.clone() * deep_len
+    }
+
+    /// Pour `volume` at per-column cap `cap` with machine ceiling `p`:
+    /// find the minimal level `h ≤ p` with `W(h) + slack ≥ volume`, apply
+    /// the plateau/suffix update, and return the level — or `None` when
+    /// even `h = p` is not enough (Theorem 8: infeasible).
+    fn pour(&mut self, cap: &S, volume: &S, p: &S, tol: &Tolerance<S>) -> Option<S> {
+        let slack = tol.slack(volume.clone(), S::zero());
+        if self.len == 0 {
+            // No usable columns: only a zero volume fits.
+            return if *volume <= slack {
+                Some(S::zero())
+            } else {
+                None
+            };
+        }
+        if self.filled_at(p, cap, tol).clone() + slack.clone() < *volume {
+            return None;
+        }
+        let level = if *volume <= slack {
+            // Zero pour: the minimal level is the lowest breakpoint,
+            // matching the full algorithm's breakpoint walk.
+            self.min_height().min_of(p.clone())
+        } else {
+            let target = volume.clone() - slack.clone();
+            // Bracket the level between consecutive breakpoints of the two
+            // monotone families {hₖ} (enter linear regime) and {hₖ+cap}
+            // (saturate at cap), then solve the linear piece.
+            let (lo_a, up_a) = self.bracket_family(&target, cap, &S::zero(), tol);
+            let (lo_b, up_b) = self.bracket_family(&target, cap, cap, tol);
+            let lower = match (lo_a, lo_b) {
+                (Some(a), Some(b)) => Some(a.max_of(b)),
+                (a, b) => a.or(b),
+            };
+            let upper = match (up_a, up_b) {
+                (Some(a), Some(b)) => Some(a.min_of(b)),
+                (a, b) => a.or(b),
+            };
+            let upper = upper.expect("feasible pour has a breakpoint above its level");
+            match lower {
+                None => {
+                    // Every breakpoint already fills the target; the level
+                    // sits at (or below) the lowest breakpoint.
+                    self.min_height().min_of(p.clone())
+                }
+                Some(lower) => {
+                    let w_lo = self.filled_at(&lower, cap, tol);
+                    let w_up = self.filled_at(&upper, cap, tol);
+                    debug_assert!(w_up > w_lo, "bracket must straddle the target");
+                    let h = lower.clone()
+                        + (target.clone() - w_lo.clone()) * (upper.clone() - lower.clone())
+                            / (w_up - w_lo);
+                    h.min_of(p.clone())
+                }
+            }
+        };
+        // Apply the pour: untouched prefix | plateau at `level` | +cap
+        // suffix — the same thresholds the full algorithm's clamp uses.
+        let a = self.first_below(&(level.clone() - tol.abs.clone()), true);
+        let b = self.first_below(&(level.clone() - cap.clone() - tol.abs.clone()), false);
+        let n = self.len;
+        self.range_apply(a, b, &RangeOp::Assign(level.clone()));
+        self.range_apply(b, n, &RangeOp::Add(cap.clone()));
+        Some(level)
+    }
+
+    /// Bracket the pour level within one breakpoint family: breakpoints are
+    /// `h_j + offset` with `h_j` non-increasing in `j`. Returns the largest
+    /// family value with `W < target` (lower) and the smallest with
+    /// `W ≥ target` (upper); `None` for a side the family does not cover.
+    fn bracket_family(
+        &mut self,
+        target: &S,
+        cap: &S,
+        offset: &S,
+        tol: &Tolerance<S>,
+    ) -> (Option<S>, Option<S>) {
+        let n = self.len;
+        let value = |me: &mut Self, j: usize| me.height_at(j) + offset.clone();
+        let reaches = |me: &mut Self, j: usize| {
+            let v = value(me, j);
+            let w = me.filled_at(&v, cap, tol);
+            w >= *target
+        };
+        // `reaches` is monotone true→false in j (values descend with j).
+        if !reaches(self, 0) {
+            // Even the largest family value is below the level.
+            return (Some(value(self, 0)), None);
+        }
+        if reaches(self, n - 1) {
+            return (None, Some(value(self, n - 1)));
+        }
+        let (mut lo, mut hi) = (0usize, n - 1); // reaches(lo), !reaches(hi)
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if reaches(self, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (Some(value(self, hi)), Some(value(self, lo)))
+    }
+}
+
+enum RangeOp<S> {
+    Assign(S),
+    Add(S),
 }
 
 /// Feasibility of `completions` for `instance` (Theorem 8: equivalent to
 /// the existence of *any* valid schedule with those completion times),
-/// without materializing an allocation.
+/// without materializing an allocation. `O(log² n)` per task.
 ///
 /// # Errors
 /// Same input validation as [`crate::algos::waterfill::water_filling`].
@@ -38,96 +383,42 @@ pub fn wf_feasible_grouped<S: Scalar>(
     instance: &Instance<S>,
     completions: &[S],
 ) -> Result<bool, ScheduleError> {
+    wf_feasible_grouped_with_work(instance, completions).map(|(ok, _)| ok)
+}
+
+/// [`wf_feasible_grouped`] plus the number of segment-tree node visits the
+/// run performed — instrumentation for the near-linear-work regression
+/// tests and the scaling benchmarks.
+///
+/// # Errors
+/// Same input validation as [`wf_feasible_grouped`].
+pub fn wf_feasible_grouped_with_work<S: Scalar>(
+    instance: &Instance<S>,
+    completions: &[S],
+) -> Result<(bool, u64), ScheduleError> {
     let (order, tol) = crate::algos::waterfill::checked_completion_order(
         instance,
         completions,
         "grouped water-filling completion times",
     )?;
 
-    // Groups in time order (non-increasing heights, Lemma 3).
-    let mut groups: Vec<Group<S>> = Vec::with_capacity(16);
+    let mut profile = WaterProfile::<S>::with_capacity(order.len());
     let mut domain_end = S::zero();
-    // Scratch buffers reused across pours.
-    let mut heights: Vec<S> = Vec::new();
-    let mut lengths: Vec<S> = Vec::new();
-
     for &ti in &order {
         let c_i = &completions[ti];
         let cap = instance.effective_delta(TaskId(ti));
         let volume = &instance.tasks[ti].volume;
-        // New column for this completion time (height 0 ⇒ merges with a
-        // trailing zero-height group if present).
+        // New column for this completion time (skipped when the completion
+        // ties the previous one — zero-length columns hold no water).
         if *c_i > domain_end.clone() + tol.abs.clone() {
-            let extra = c_i.clone() - domain_end.clone();
-            match groups.last_mut() {
-                Some(g) if g.height.is_zero() => g.len = g.len.clone() + extra,
-                _ => groups.push(Group {
-                    height: S::zero(),
-                    len: extra,
-                }),
-            }
+            profile.append(c_i.clone() - domain_end.clone());
             domain_end = c_i.clone();
         }
-
-        heights.clear();
-        lengths.clear();
-        heights.extend(groups.iter().map(|g| g.height.clone()));
-        lengths.extend(groups.iter().map(|g| g.len.clone()));
-        let Some(level) = pour_level(&heights, &lengths, &cap, volume, &instance.p, &tol) else {
-            return Ok(false);
-        };
-
-        // Rebuild groups: untouched prefix | one merged plateau | +cap
-        // suffix. All three regions are contiguous in time because heights
-        // are non-increasing.
-        let mut next: Vec<Group<S>> = Vec::with_capacity(groups.len() + 2);
-        let mut plateau_len = S::zero();
-        for g in &groups {
-            if g.height.clone() + tol.abs.clone() >= level {
-                debug_assert!(
-                    !plateau_len.is_positive(),
-                    "untouched region must be a prefix"
-                );
-                next.push(g.clone());
-            } else if g.height.clone() + cap.clone() + tol.abs.clone() > level {
-                plateau_len = plateau_len + g.len.clone();
-            } else {
-                if plateau_len.is_positive() {
-                    push_group(&mut next, level.clone(), plateau_len.clone(), &tol);
-                    plateau_len = S::zero();
-                }
-                push_group(
-                    &mut next,
-                    g.height.clone() + cap.clone(),
-                    g.len.clone(),
-                    &tol,
-                );
-            }
+        if profile.pour(&cap, volume, &instance.p, &tol).is_none() {
+            return Ok((false, profile.work));
         }
-        if plateau_len.is_positive() {
-            push_group(&mut next, level.clone(), plateau_len, &tol);
-        }
-        groups = next;
-        debug_assert!(
-            groups
-                .windows(2)
-                .all(|w| w[0].height.clone() + tol.abs.clone() >= w[1].height),
-            "grouped profile must stay non-increasing"
-        );
     }
-    Ok(true)
-}
-
-fn push_group<S: Scalar>(
-    groups: &mut Vec<Group<S>>,
-    height: S,
-    len: S,
-    tol: &numkit::Tolerance<S>,
-) {
-    match groups.last_mut() {
-        Some(g) if tol.eq(g.height.clone(), height.clone()) => g.len = g.len.clone() + len,
-        _ => groups.push(Group { height, len }),
-    }
+    Ok((true, profile.work))
 }
 
 #[cfg(test)]
@@ -234,5 +525,32 @@ mod tests {
             .unwrap();
         let completions = wdeq_schedule(&inst);
         assert!(wf_feasible_grouped(&inst, completions.completion_times()).unwrap());
+    }
+
+    #[test]
+    fn adversarial_staircase_does_near_linear_work() {
+        // Distinct, never-merging heights: task i adds a fresh unit column
+        // and fills only it, to a height strictly between its neighbours'.
+        // The former grouped representation copied all O(n) groups on every
+        // pour (O(n²) total); the segment tree must stay near-linear.
+        let n: usize = 1 << 14;
+        let inst = Instance::builder(2.0)
+            .tasks((0..n).map(|i| {
+                let v = 0.25 + 0.5 * ((n - i) as f64) / n as f64;
+                (v, 1.0, 1.0)
+            }))
+            .build()
+            .unwrap();
+        let completions: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let (ok, work) = wf_feasible_grouped_with_work(&inst, &completions).unwrap();
+        assert!(ok);
+        let log2n = (usize::BITS - n.leading_zeros()) as usize;
+        let bound = 24 * n as u64 * (log2n * log2n) as u64;
+        assert!(
+            work <= bound,
+            "adversarial staircase work {work} exceeds near-linear bound {bound} \
+             (n² would be {})",
+            (n as u64) * (n as u64)
+        );
     }
 }

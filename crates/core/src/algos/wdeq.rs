@@ -14,16 +14,35 @@
 //! returns that per-run certificate, so every simulation carries its own
 //! machine-checkable approximation proof.
 //!
-//! The replay is generic over the scalar: the event times (minima of
-//! `remaining/rate` quotients) are field operations, so the exact
-//! instantiation produces exact completion times — and a certificate whose
-//! inequality holds with zero tolerance.
+//! # Event-driven replay
+//!
+//! The replay is driven by a completion-event priority structure instead of
+//! a per-event rescan of the active set. The key observation is that the
+//! fair-share rate per unit weight, `θ = P′/W′` (free capacity over the
+//! weight of equipartition-limited tasks), is **monotonically
+//! non-decreasing** along the run: a saturated completion returns `δᵢ` to
+//! `P′`, a limited completion removes `wᵢ` from `W′`, and promoting a task
+//! with `δᵢ/wᵢ ≤ θ` to saturation moves `θ` to `(P′−δᵢ)/(W′−wᵢ) ≥ θ`.
+//! Hence each task crosses from *limited* to *δ-saturated* at most once, in
+//! ascending `δᵢ/wᵢ` order — a monotone promotion pointer plus two lazy
+//! min-heaps (absolute finish times for saturated tasks, *virtual* finish
+//! times `v + rem/wᵢ` for limited ones, where `dv = dt·θ`) handle every
+//! event in `O(log n)`, for `O(n log n)` total in [`wdeq_completions`].
+//! [`wdeq_run`] materializes the column schedule on top of the same engine
+//! (output is `Θ(n·events)`, inherent to the column representation).
+//!
+//! All event times are field operations, so the exact instantiation
+//! produces exact completion times — and a certificate whose inequality
+//! holds with zero tolerance. [`wdeq_run_reference`] keeps the quadratic
+//! per-event rescan as an executable specification; the exact paths of the
+//! two implementations are checked bit-for-bit in `tests/exactness.rs`.
 //!
 //! This module contains the *closed-form clairvoyant replay* of the policy
 //! (fast, exact event times); `malleable-sim` re-implements WDEQ behind the
 //! genuinely non-clairvoyant `OnlinePolicy` interface and the two are
 //! checked against each other in integration tests.
 
+use crate::algos::events::EventHeap;
 use crate::bounds::mixed_bound;
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
@@ -42,6 +61,33 @@ pub struct WdeqRun<S = f64> {
     pub full_volumes: Vec<S>,
     /// Per task: volume processed while limited by the equipartition.
     pub limited_volumes: Vec<S>,
+}
+
+/// Completion times and the Lemma-2 volume split, without the column
+/// schedule — the `O(n log n)` lane for large instances, where the
+/// `Θ(n·events)` column output of [`wdeq_run`] would dominate.
+#[derive(Debug, Clone)]
+pub struct WdeqCompletions<S = f64> {
+    /// Completion time of each task.
+    pub completions: Vec<S>,
+    /// Per task: volume processed at full allocation (`min(δᵢ,P)`).
+    pub full_volumes: Vec<S>,
+    /// Per task: volume processed while limited by the equipartition.
+    pub limited_volumes: Vec<S>,
+    /// Number of completion events handled (distinct event times).
+    pub events: usize,
+}
+
+impl<S: Scalar> WdeqCompletions<S> {
+    /// WDEQ's achieved objective `Σ wᵢ Cᵢ`.
+    pub fn weighted_cost(&self, instance: &Instance<S>) -> S {
+        S::sum(
+            self.completions
+                .iter()
+                .zip(&instance.tasks)
+                .map(|(c, t)| c.clone() * t.weight.clone()),
+        )
+    }
 }
 
 /// The Lemma-2 certificate: `cost(WDEQ) ≤ 2 · value ≤ 2 · OPT`.
@@ -114,13 +160,28 @@ pub fn wdeq_allocation<S: Scalar>(entries: &[(S, S)], p: S) -> Vec<S> {
     rates
 }
 
-/// Run WDEQ to completion and return schedule plus volume split.
-///
-/// # Errors
-/// [`ScheduleError::InvalidInstance`] when the instance is malformed or a
-/// task has zero weight (a weightless task would starve forever under
-/// proportional sharing; exclude such tasks or give them ε weight).
-pub fn wdeq_run<S: Scalar>(instance: &Instance<S>) -> Result<WdeqRun<S>, ScheduleError> {
+/// A task's regime along the event-driven replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    /// Sharing `wᵢ·P′/W′` (below its cap).
+    Limited,
+    /// Clamped at `min(δᵢ, P)`.
+    Saturated,
+    /// Completed.
+    Done,
+}
+
+/// Everything the event engine produces; columns are only materialized when
+/// requested.
+struct EngineOutcome<S> {
+    completions: Vec<S>,
+    full_volumes: Vec<S>,
+    limited_volumes: Vec<S>,
+    events: usize,
+    columns: Vec<Column<S>>,
+}
+
+fn validate_for_wdeq<S: Scalar>(instance: &Instance<S>) -> Result<(), ScheduleError> {
     instance.validate()?;
     // The closed-form replay (and its Lemma-2 certificate) is proved for
     // identical machines; the related-machines equipartition is the
@@ -131,6 +192,274 @@ pub fn wdeq_run<S: Scalar>(instance: &Instance<S>) -> Result<WdeqRun<S>, Schedul
             reason: "WDEQ requires strictly positive weights".into(),
         });
     }
+    Ok(())
+}
+
+/// The event-driven replay (see the module docs for the invariants).
+fn drive<S: Scalar>(
+    instance: &Instance<S>,
+    collect_columns: bool,
+) -> Result<EngineOutcome<S>, ScheduleError> {
+    validate_for_wdeq(instance)?;
+    let tol = S::default_tolerance();
+    let n = instance.n();
+    let weights: Vec<S> = instance.tasks.iter().map(|t| t.weight.clone()).collect();
+    let volumes: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
+    let caps: Vec<S> = (0..n)
+        .map(|i| instance.effective_delta(TaskId(i)))
+        .collect();
+    // Completion-within-slack thresholds, matching the quadratic
+    // reference's `remaining ≤ tol.slack(volume, 0)` test (zero on exact
+    // scalars).
+    let slacks: Vec<S> = volumes
+        .iter()
+        .map(|v| tol.slack(v.clone(), S::zero()))
+        .collect();
+
+    // Promotion order: δ/w ascending, ties by id — the same order
+    // `wdeq_allocation` saturates its prefix in.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        numkit::scalar::ratio_cmp(&caps[a], &weights[a], &caps[b], &weights[b]).then(a.cmp(&b))
+    });
+
+    let mut regime = vec![Regime::Limited; n];
+    let mut completions = vec![S::zero(); n];
+    let mut full_volumes = vec![S::zero(); n];
+    let mut limited_volumes = vec![S::zero(); n];
+    let mut columns = Vec::new();
+
+    // P′ = free capacity (P minus the caps of saturated active tasks);
+    // W′ = total weight of limited active tasks.
+    let mut p_rem = instance.p.clone();
+    let mut w_rem = S::sum(weights.iter().cloned());
+    let mut sat_heap = EventHeap::with_capacity(n);
+    // Limited-completion keys are *static*: every task enters the run
+    // limited at v = 0 and its equipartition key V/w never changes, so the
+    // limited "heap" is a sorted cursor. Validity is monotone (Limited →
+    // Saturated/Done, never back), so skipped entries never revive and the
+    // cursor only moves forward — sequential memory, no sift traffic.
+    let lim_keys: Vec<S> = (0..n)
+        .map(|i| volumes[i].clone() / weights[i].clone())
+        .collect();
+    let mut lim_order: Vec<usize> = (0..n).collect();
+    lim_order.sort_by(|&a, &b| lim_keys[a].total_cmp_s(&lim_keys[b]).then(a.cmp(&b)));
+    let mut lim_cur = 0usize;
+    let mut ptr = 0usize;
+    let mut t_now = S::zero();
+    let mut v_now = S::zero();
+    let mut active_count = n;
+    let mut active: Vec<usize> = if collect_columns {
+        (0..n).collect()
+    } else {
+        Vec::new()
+    };
+    let mut events = 0usize;
+
+    // Advance the promotion pointer while the next limited task (in δ/w
+    // order) saturates under the current fair share. Runs after every
+    // event; θ = P′/W′ never decreases, so `ptr` never needs to back up.
+    macro_rules! promote {
+        () => {
+            while ptr < n {
+                let i = order[ptr];
+                if regime[i] == Regime::Done {
+                    ptr += 1;
+                    continue;
+                }
+                debug_assert_eq!(regime[i], Regime::Limited);
+                if w_rem.is_positive()
+                    && caps[i].clone() * w_rem.clone() <= weights[i].clone() * p_rem.clone()
+                {
+                    // Every task enters the run limited at v = 0, so its
+                    // equipartition-processed volume is wᵢ·v.
+                    let processed = weights[i].clone() * v_now.clone();
+                    let rem = tol.clamp_nonneg(volumes[i].clone() - processed);
+                    full_volumes[i] = rem.clone();
+                    limited_volumes[i] = volumes[i].clone() - rem.clone();
+                    regime[i] = Regime::Saturated;
+                    p_rem = p_rem - caps[i].clone();
+                    w_rem = w_rem - weights[i].clone();
+                    sat_heap.push(t_now.clone() + rem / caps[i].clone(), i);
+                    ptr += 1;
+                } else {
+                    break;
+                }
+            }
+        };
+    }
+
+    promote!();
+
+    while active_count > 0 {
+        // Earliest saturated finish (absolute time) vs earliest limited
+        // finish (virtual key mapped through dv = dt·P′/W′).
+        let sat_t = sat_heap
+            .peek_valid(|i| regime[i] == Regime::Saturated)
+            .map(|(k, _)| k.clone());
+        while lim_cur < n && regime[lim_order[lim_cur]] != Regime::Limited {
+            lim_cur += 1;
+        }
+        let lim_t = (lim_cur < n).then(|| {
+            // W′ > 0 here (a valid limited entry exists) and the
+            // promotion invariant keeps P′ > 0 whenever W′ > 0.
+            let vk = &lim_keys[lim_order[lim_cur]];
+            t_now.clone() + (vk.clone() - v_now.clone()) * w_rem.clone() / p_rem.clone()
+        });
+        let t_event = match (sat_t, lim_t) {
+            (Some(a), Some(b)) => {
+                if a.total_cmp_s(&b).is_le() {
+                    a
+                } else {
+                    b
+                }
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => unreachable!("every active task has a valid heap entry"),
+        };
+        // Float noise can predict an event marginally in the past; never
+        // run time backwards.
+        let t_event = t_event.max_of(t_now.clone());
+        let dt = t_event.clone() - t_now.clone();
+
+        if collect_columns && dt.is_positive() {
+            let col_rates: Vec<(TaskId, S)> = active
+                .iter()
+                .map(|&i| {
+                    let r = match regime[i] {
+                        Regime::Saturated => caps[i].clone(),
+                        Regime::Limited => (weights[i].clone() * p_rem.clone() / w_rem.clone())
+                            .min_of(caps[i].clone()),
+                        Regime::Done => unreachable!("completed tasks leave the active list"),
+                    };
+                    (TaskId(i), r)
+                })
+                .collect();
+            columns.push(Column {
+                start: t_now.clone(),
+                end: t_event.clone(),
+                rates: col_rates,
+            });
+        }
+
+        if w_rem.is_positive() {
+            v_now = v_now + dt.clone() * p_rem.clone() / w_rem.clone();
+        }
+        t_now = t_event;
+        events += 1;
+
+        // Pop every completion at (or within completion slack of) t_event.
+        let mut completed_any = false;
+        loop {
+            let Some((k, i)) = sat_heap
+                .peek_valid(|i| regime[i] == Regime::Saturated)
+                .map(|(k, i)| (k.clone(), i))
+            else {
+                break;
+            };
+            // remaining = (key − t)·δ ≤ slack ⇔ the reference's test.
+            if (k - t_now.clone()) * caps[i].clone() <= slacks[i] {
+                sat_heap.pop();
+                regime[i] = Regime::Done;
+                completions[i] = t_now.clone();
+                p_rem = p_rem + caps[i].clone();
+                active_count -= 1;
+                completed_any = true;
+            } else {
+                break;
+            }
+        }
+        loop {
+            while lim_cur < n && regime[lim_order[lim_cur]] != Regime::Limited {
+                lim_cur += 1;
+            }
+            if lim_cur >= n {
+                break;
+            }
+            let i = lim_order[lim_cur];
+            let vk = lim_keys[i].clone();
+            // remaining = (v_key − v)·w ≤ slack.
+            if (vk - v_now.clone()) * weights[i].clone() <= slacks[i] {
+                lim_cur += 1;
+                regime[i] = Regime::Done;
+                completions[i] = t_now.clone();
+                w_rem = w_rem - weights[i].clone();
+                // Never promoted: the whole volume was equipartition-limited.
+                limited_volumes[i] = volumes[i].clone();
+                active_count -= 1;
+                completed_any = true;
+            } else {
+                break;
+            }
+        }
+        debug_assert!(completed_any, "each WDEQ event completes ≥ 1 task");
+        if collect_columns {
+            active.retain(|&i| regime[i] != Regime::Done);
+        }
+        promote!();
+    }
+
+    Ok(EngineOutcome {
+        completions,
+        full_volumes,
+        limited_volumes,
+        events,
+        columns,
+    })
+}
+
+/// Run WDEQ to completion and return schedule plus volume split.
+///
+/// Event-driven: each completion event costs `O(log n)` to locate; the
+/// column output itself is `Θ(n·events)`. Use [`wdeq_completions`] when
+/// only completion times and the certificate split are needed.
+///
+/// # Errors
+/// [`ScheduleError::InvalidInstance`] when the instance is malformed or a
+/// task has zero weight (a weightless task would starve forever under
+/// proportional sharing; exclude such tasks or give them ε weight).
+pub fn wdeq_run<S: Scalar>(instance: &Instance<S>) -> Result<WdeqRun<S>, ScheduleError> {
+    let out = drive(instance, true)?;
+    Ok(WdeqRun {
+        schedule: ColumnSchedule {
+            p: instance.p.clone(),
+            completions: out.completions,
+            columns: out.columns,
+        },
+        full_volumes: out.full_volumes,
+        limited_volumes: out.limited_volumes,
+    })
+}
+
+/// The `O(n log n)` completions-only lane: WDEQ completion times, event
+/// count and the Lemma-2 volume split, without materializing columns.
+/// This is the entry point the large-`n` scaling benchmarks drive.
+///
+/// # Errors
+/// Same input validation as [`wdeq_run`].
+pub fn wdeq_completions<S: Scalar>(
+    instance: &Instance<S>,
+) -> Result<WdeqCompletions<S>, ScheduleError> {
+    let out = drive(instance, false)?;
+    Ok(WdeqCompletions {
+        completions: out.completions,
+        full_volumes: out.full_volumes,
+        limited_volumes: out.limited_volumes,
+        events: out.events,
+    })
+}
+
+/// The quadratic reference replay: recompute [`wdeq_allocation`] over the
+/// full active set at every completion event (`O(n²)` total). This is the
+/// executable specification the event-driven [`wdeq_run`] is checked
+/// against — bit-for-bit at `Rational` in `tests/exactness.rs` — and is
+/// kept verbatim for that purpose.
+///
+/// # Errors
+/// Same input validation as [`wdeq_run`].
+pub fn wdeq_run_reference<S: Scalar>(instance: &Instance<S>) -> Result<WdeqRun<S>, ScheduleError> {
+    validate_for_wdeq(instance)?;
     let tol = S::default_tolerance();
     let n = instance.n();
     let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
@@ -411,6 +740,14 @@ mod tests {
             wdeq_run(&inst),
             Err(ScheduleError::InvalidInstance { .. })
         ));
+        assert!(matches!(
+            wdeq_run_reference(&inst),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
+        assert!(matches!(
+            wdeq_completions(&inst),
+            Err(ScheduleError::InvalidInstance { .. })
+        ));
     }
 
     #[test]
@@ -461,6 +798,45 @@ mod tests {
     }
 
     #[test]
+    fn event_engine_matches_reference_on_f64_fixtures() {
+        for (p, tasks) in [
+            (4.0, vec![(8.0, 1.0, 2.0), (4.0, 2.0, 4.0), (2.0, 4.0, 1.0)]),
+            (1.0, vec![(0.3, 0.7, 0.4), (0.9, 0.2, 0.9), (0.5, 0.5, 0.2)]),
+            (2.0, vec![(1.0, 1.0, 2.0)]),
+            (
+                3.0,
+                vec![
+                    (2.0, 1.0, 2.0),
+                    (3.0, 1.0, 1.0),
+                    (1.0, 1.0, 3.0),
+                    (5.0, 2.0, 0.7),
+                ],
+            ),
+        ] {
+            let inst = Instance::builder(p).tasks(tasks).build().unwrap();
+            let fast = wdeq_run(&inst).unwrap();
+            let slow = wdeq_run_reference(&inst).unwrap();
+            assert_eq!(fast.schedule.columns.len(), slow.schedule.columns.len());
+            for (a, b) in fast
+                .schedule
+                .completions
+                .iter()
+                .zip(&slow.schedule.completions)
+            {
+                assert!((a - b).abs() < 1e-9, "completions diverge: {a} vs {b}");
+            }
+            for i in 0..inst.n() {
+                assert!((fast.full_volumes[i] - slow.full_volumes[i]).abs() < 1e-9);
+                assert!((fast.limited_volumes[i] - slow.limited_volumes[i]).abs() < 1e-9);
+            }
+            // The completions-only lane agrees with the full run.
+            let lane = wdeq_completions(&inst).unwrap();
+            assert_eq!(lane.completions, fast.schedule.completions);
+            assert_eq!(lane.events, fast.schedule.columns.len());
+        }
+    }
+
+    #[test]
     fn exact_rational_run_certifies_with_zero_tolerance() {
         let q = Rational::from_f64_exact;
         let inst = Instance::<Rational>::builder(q(4.0))
@@ -492,6 +868,29 @@ mod tests {
             .zip(&run.schedule.completions)
         {
             assert!((a - b.approx_f64()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_event_engine_is_bit_equal_to_reference() {
+        let q = Rational::from_f64_exact;
+        let inst = Instance::<Rational>::builder(q(4.0))
+            .task(q(8.0), q(1.0), q(2.0))
+            .task(q(4.0), q(2.0), q(4.0))
+            .task(q(2.0), q(4.0), q(1.0))
+            .task(q(5.0), q(1.0), q(3.0))
+            .build()
+            .unwrap();
+        let fast = wdeq_run(&inst).unwrap();
+        let slow = wdeq_run_reference(&inst).unwrap();
+        assert_eq!(fast.schedule.completions, slow.schedule.completions);
+        assert_eq!(fast.full_volumes, slow.full_volumes);
+        assert_eq!(fast.limited_volumes, slow.limited_volumes);
+        assert_eq!(fast.schedule.columns.len(), slow.schedule.columns.len());
+        for (a, b) in fast.schedule.columns.iter().zip(&slow.schedule.columns) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.rates, b.rates);
         }
     }
 }

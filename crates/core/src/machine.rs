@@ -352,6 +352,65 @@ impl<S: Scalar> fmt::Display for MachineModel<S> {
     }
 }
 
+/// Coalesce a speed-level profile against a task population, preserving
+/// the polymatroid rank `f(T) = Σ_ℓ min(k_ℓ, Σ_{i∈T} min(δᵢ, k_ℓ))·d_ℓ`
+/// for **every non-empty subset `T`** of that population. Two merges are
+/// rank-preserving (and exact — the only division cancels in every rank
+/// term):
+///
+/// * **Prefix rule** — a run of fast levels with `k_ℓ ≤ δ_min` (the
+///   population's smallest parallelism cap): every task saturates each
+///   such level, so any non-empty `T` extracts exactly `Σ k_ℓ·d_ℓ` from
+///   the run. Merge into one level `(k_last, Σ k_ℓ·d_ℓ / k_last)`.
+/// * **Suffix rule** — a run of wide levels with `k_ℓ ≥ Δ_total`
+///   (`Σᵢ min(δᵢ, count)`, the whole population's effective
+///   parallelism): no subset can saturate such a level, so each
+///   contributes `Σ_{i∈T} δ̂ᵢ · d_ℓ`. Merge into one level
+///   `(k_first, Σ d_ℓ)`.
+///
+/// Anything between the two runs is kept verbatim. The sparse
+/// transportation builder ([`crate::algos::parametric`]) runs every
+/// (interval × level) arc through this, shrinking related-machine
+/// networks whose speed profiles have long head/tail runs (power-law
+/// speeds with small-δ tasks collapse to O(1) levels) while identical
+/// machines (one level) pass through untouched.
+pub fn coalesce_levels<S: Scalar>(
+    levels: &[SpeedLevel<S>],
+    delta_min: &S,
+    delta_total: &S,
+) -> Vec<SpeedLevel<S>> {
+    // Maximal prefix with k_ℓ ≤ δ_min.
+    let mut p = 0;
+    while p < levels.len() && levels[p].count <= *delta_min {
+        p += 1;
+    }
+    // Maximal suffix with k_ℓ ≥ Δ_total, disjoint from the prefix.
+    let mut q = levels.len();
+    while q > p && levels[q - 1].count >= *delta_total {
+        q -= 1;
+    }
+    let mut out = Vec::with_capacity(levels.len().min(p.max(1) + (q - p) + 1));
+    if p >= 2 {
+        let total = S::sum(levels[..p].iter().map(|l| l.count.clone() * l.diff.clone()));
+        out.push(SpeedLevel {
+            count: levels[p - 1].count.clone(),
+            diff: total / levels[p - 1].count.clone(),
+        });
+    } else {
+        out.extend(levels[..p].iter().cloned());
+    }
+    out.extend(levels[p..q].iter().cloned());
+    if levels.len() - q >= 2 {
+        out.push(SpeedLevel {
+            count: levels[q].count.clone(),
+            diff: S::sum(levels[q..].iter().map(|l| l.diff.clone())),
+        });
+    } else {
+        out.extend(levels[q..].iter().cloned());
+    }
+    out
+}
+
 /// Incremental evaluator of the polymatroid rank
 /// `f(T) = Σ_ℓ min(k_ℓ, Σ_{i∈T} min(δᵢ, k_ℓ)) · d_ℓ` over a mutating task
 /// set `T` — the sweep/suffix accumulator of the parametric constraint
@@ -367,7 +426,12 @@ pub struct LevelAccumulator<S = f64> {
 impl<S: Scalar> LevelAccumulator<S> {
     /// An empty accumulator over the machine's levels.
     pub fn new(machine: &MachineModel<S>) -> Self {
-        let levels = machine.levels();
+        Self::from_levels(machine.levels())
+    }
+
+    /// An empty accumulator over an explicit (e.g. coalesced) level
+    /// profile.
+    pub fn from_levels(levels: Vec<SpeedLevel<S>>) -> Self {
         let acc = vec![S::zero(); levels.len()];
         LevelAccumulator { levels, acc }
     }
@@ -534,6 +598,99 @@ mod tests {
         let tol = numkit::Tolerance::exact();
         assert!(m.rates_feasible(&[(q(1.5), q(2.5)), (q(1.5), q(1.0))], &tol));
         assert!(!m.rates_feasible(&[(q(1.0), q(2.0)), (q(1.0), q(1.5))], &tol));
+    }
+
+    /// Rank `f(T)` of a delta subset via an accumulator over `levels`.
+    fn rank_of<S: numkit::Scalar>(levels: &[SpeedLevel<S>], deltas: &[S]) -> S {
+        let mut acc = LevelAccumulator::from_levels(levels.to_vec());
+        for d in deltas {
+            acc.add(d);
+        }
+        acc.rate()
+    }
+
+    #[test]
+    fn coalesce_merges_head_and_tail_runs() {
+        // Speeds 8,4,2,1,1,1,1,1 → levels (1,4),(2,2),(3,1),(8,1).
+        let m = related(&[8.0, 4.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let levels = m.levels();
+        assert_eq!(levels.len(), 4);
+        // δ_min = 2 merges the first two levels; Δ_total = 3 merges the
+        // last two.
+        let c = coalesce_levels(&levels, &2.0, &3.0);
+        assert_eq!(c.len(), 2);
+        assert_eq!((c[0].count, c[0].diff), (2.0, 4.0)); // (1·4 + 2·2)/2
+        assert_eq!((c[1].count, c[1].diff), (3.0, 2.0)); // d = 1 + 1
+                                                         // A single-level profile (identical machines) passes through.
+        let id = MachineModel::identical(4.0).levels();
+        assert_eq!(coalesce_levels(&id, &1.0, &100.0), id);
+    }
+
+    #[test]
+    fn coalesce_preserves_rank_on_random_subsets() {
+        // Deterministic LCG over speeds and deltas; every non-empty subset
+        // drawn must have identical rank on original vs coalesced levels.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        for trial in 0..50 {
+            let nm = 2 + (next() * 6.0) as usize;
+            let speeds: Vec<f64> = (0..nm)
+                .map(|_| (1.0 + (next() * 8.0).floor()) / 2.0)
+                .collect();
+            let m = MachineModel::related(speeds).unwrap();
+            let nt = 1 + (next() * 5.0) as usize;
+            let deltas: Vec<f64> = (0..nt)
+                .map(|_| (1.0 + (next() * 6.0).floor()) / 2.0)
+                .collect();
+            let count = m.count();
+            let dmin = deltas.iter().cloned().fold(f64::INFINITY, f64::min);
+            let dtot: f64 = deltas.iter().map(|d| d.min(count)).sum();
+            let levels = m.levels();
+            let coalesced = coalesce_levels(&levels, &dmin, &dtot);
+            assert!(coalesced.len() <= levels.len());
+            for mask in 1u32..(1 << nt) {
+                let sub: Vec<f64> = (0..nt)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| deltas[i])
+                    .collect();
+                let full = rank_of(&levels, &sub);
+                let thin = rank_of(&coalesced, &sub);
+                assert!(
+                    (full - thin).abs() < 1e-9,
+                    "trial {trial} mask {mask}: rank {full} vs {thin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalesce_is_exact_on_rationals() {
+        let q = Rational::from_f64_exact;
+        // Two δ = 3 tasks: the head run k ≤ 3 merges with a non-dyadic
+        // diff (19/6), which must cancel exactly in every rank term; the
+        // k = 6 tail level matches Δ_total = 6 but a 1-run stays as is.
+        let speeds = vec![q(7.0), q(5.0), q(2.0), q(1.5), q(1.0), q(0.5)];
+        let m = MachineModel::<Rational>::related(speeds).unwrap();
+        let levels = m.levels();
+        let deltas = [q(3.0), q(3.0)];
+        let coalesced = coalesce_levels(&levels, &q(3.0), &q(6.0));
+        assert!(coalesced.len() < levels.len());
+        for mask in 1u32..4 {
+            let sub: Vec<Rational> = (0..2)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| deltas[i].clone())
+                .collect();
+            assert_eq!(
+                rank_of(&levels, &sub),
+                rank_of(&coalesced, &sub),
+                "mask {mask}"
+            );
+        }
     }
 
     #[test]

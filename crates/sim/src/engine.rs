@@ -139,17 +139,20 @@ pub fn simulate<S: Scalar>(
     let mut columns = Vec::new();
     let mut now = S::zero();
     let mut events = 0usize;
+    // Scratch buffers reused across events: at n = 10⁵+ the per-event
+    // view rebuild dominates allocator traffic if each iteration starts
+    // from a fresh Vec.
+    let mut views: Vec<TaskView<S>> = Vec::with_capacity(n);
+    let mut done: Vec<usize> = Vec::new();
 
     while !active.is_empty() {
-        let views: Vec<TaskView<S>> = active
-            .iter()
-            .map(|&i| TaskView {
-                id: TaskId(i),
-                weight: instance.tasks[i].weight.clone(),
-                delta: instance.effective_delta(TaskId(i)),
-                processed: processed[i].clone(),
-            })
-            .collect();
+        views.clear();
+        views.extend(active.iter().map(|&i| TaskView {
+            id: TaskId(i),
+            weight: instance.tasks[i].weight.clone(),
+            delta: instance.effective_delta(TaskId(i)),
+            processed: processed[i].clone(),
+        }));
         let rates = policy.allocate(&now, &views, &instance.p);
         events += 1;
 
@@ -210,7 +213,7 @@ pub fn simulate<S: Scalar>(
                 .collect(),
         });
 
-        let mut done = Vec::new();
+        done.clear();
         for (k, &i) in active.iter().enumerate() {
             let inc = rates[k].clone() * dt.clone();
             processed[i] = processed[i].clone() + inc.clone();

@@ -99,6 +99,18 @@ pub enum Spec {
         /// Machine capacity.
         p: f64,
     },
+    /// **Large-n scaling family**: `P = 1`, Pareto volumes
+    /// `V = LO · u^{−1/α}` (capped six decades above the floor), uniform
+    /// weights and caps. Heavy tails stretch the completion-event horizon
+    /// so the event-driven schedulers see long sparse suffixes; the family
+    /// is the designated source for the `exp_perf` scaling ladder up to
+    /// `n = 10⁶`.
+    PowerLawVolumes {
+        /// Number of tasks.
+        n: usize,
+        /// Pareto shape (`α ≈ 1.5` typical; smaller = heavier tail).
+        alpha: f64,
+    },
     /// A master/worker code-distribution fleet (Figure 1): link capacities
     /// log-uniform over two decades, processing rates uniform, code sizes
     /// correlated with rates.
@@ -158,6 +170,7 @@ impl Spec {
             | Spec::ZipfWeights { n, .. }
             | Spec::BimodalVolumes { n, .. }
             | Spec::Stairs { n, .. }
+            | Spec::PowerLawVolumes { n, .. }
             | Spec::BandwidthFleet { n, .. }
             | Spec::PowerLawSpeeds { n, .. }
             | Spec::TwoTierCluster { n, .. }
@@ -191,6 +204,9 @@ impl Spec {
             Spec::ZipfWeights { .. } => Cow::Borrowed("zipf-weights"),
             Spec::BimodalVolumes { .. } => Cow::Borrowed("bimodal-volumes"),
             Spec::Stairs { .. } => Cow::Borrowed("stairs"),
+            Spec::PowerLawVolumes { alpha, .. } => {
+                Cow::Owned(format!("powerlaw-volumes[a={alpha}]"))
+            }
             Spec::BandwidthFleet { .. } => Cow::Borrowed("bandwidth-fleet"),
             Spec::PowerLawSpeeds {
                 machines, alpha, ..
@@ -340,6 +356,19 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                 })
                 .collect(),
         ),
+        Spec::PowerLawVolumes { n, alpha } => Instance::identical(
+            1.0,
+            (0..n)
+                .map(|_| {
+                    // Pareto(xₘ = LO, α) via inverse CDF, capped six decades
+                    // above the floor so a single draw cannot dominate the
+                    // horizon numerically.
+                    let u: f64 = rng.random_range(1e-9..1.0);
+                    let v = (LO * u.powf(-1.0 / alpha)).min(LO * 1e6);
+                    Task::new(v, rng.random_range(LO..1.0), rng.random_range(LO..1.0))
+                })
+                .collect(),
+        ),
         Spec::BandwidthFleet {
             n,
             server_bandwidth,
@@ -463,6 +492,7 @@ mod tests {
                 heavy_fraction: 0.1,
             },
             Spec::Stairs { n: 10, p: 16.0 },
+            Spec::PowerLawVolumes { n: 20, alpha: 1.5 },
             Spec::BandwidthFleet {
                 n: 5,
                 server_bandwidth: 1000.0,
@@ -583,6 +613,25 @@ mod tests {
         for w in inst.tasks.windows(2) {
             assert!(w[0].weight >= w[1].weight);
         }
+    }
+
+    #[test]
+    fn powerlaw_volumes_are_heavy_tailed_and_bounded() {
+        let spec = Spec::PowerLawVolumes {
+            n: 2000,
+            alpha: 1.5,
+        };
+        let inst = generate(&spec, 5);
+        assert_eq!(inst.p, 1.0);
+        let mut vols: Vec<f64> = inst.tasks.iter().map(|t| t.volume).collect();
+        for &v in &vols {
+            assert!((LO..=LO * 1e6).contains(&v));
+        }
+        vols.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Heavy tail: the max draw dwarfs the median by orders of magnitude.
+        assert!(vols[vols.len() - 1] > 50.0 * vols[vols.len() / 2]);
+        assert_eq!(generate(&spec, 5), generate(&spec, 5));
+        assert_eq!(spec.label(), "powerlaw-volumes[a=1.5]");
     }
 
     #[test]

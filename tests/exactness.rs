@@ -17,7 +17,9 @@ use malleable::core::algos::releases::{
 };
 use malleable::core::algos::waterfill::wf_feasible;
 use malleable::core::algos::waterfill_fast::wf_feasible_grouped;
-use malleable::core::algos::wdeq::{certificate_of, wdeq_run};
+use malleable::core::algos::wdeq::{
+    certificate_of, wdeq_completions, wdeq_run, wdeq_run_reference,
+};
 use malleable::prelude::*;
 use malleable::workloads::seed_batch;
 use numkit::{Scalar, Tolerance};
@@ -355,6 +357,123 @@ fn warm_and_cold_release_cmax_agree_bit_exactly_at_rational() {
                 .unwrap();
         }
     }
+}
+
+/// Assert the event-driven WDEQ lane reproduces the quadratic reference
+/// **bit-for-bit** at `Rational`: full schedule (column starts, ends, and
+/// per-task rates), completion times, and the Lemma-2 volume split — not
+/// just costs. The completions-only lane must match the full run, too.
+fn assert_wdeq_lanes_bit_equal(exact: &Instance<Rational>, ctx: &str) {
+    let fast = wdeq_run(exact).unwrap_or_else(|e| panic!("{ctx}: fast lane {e}"));
+    let slow = wdeq_run_reference(exact).unwrap_or_else(|e| panic!("{ctx}: reference {e}"));
+    assert_eq!(
+        fast.schedule.completions, slow.schedule.completions,
+        "{ctx}: completion times diverge"
+    );
+    assert_eq!(
+        fast.full_volumes, slow.full_volumes,
+        "{ctx}: saturated volume split diverges"
+    );
+    assert_eq!(
+        fast.limited_volumes, slow.limited_volumes,
+        "{ctx}: limited volume split diverges"
+    );
+    assert_eq!(
+        fast.schedule.columns.len(),
+        slow.schedule.columns.len(),
+        "{ctx}: event counts diverge"
+    );
+    for (k, (a, b)) in fast
+        .schedule
+        .columns
+        .iter()
+        .zip(&slow.schedule.columns)
+        .enumerate()
+    {
+        assert_eq!(a.start, b.start, "{ctx}: column {k} start");
+        assert_eq!(a.end, b.end, "{ctx}: column {k} end");
+        assert_eq!(a.rates, b.rates, "{ctx}: column {k} rates");
+    }
+    let lane = wdeq_completions(exact).unwrap();
+    assert_eq!(lane.completions, fast.schedule.completions, "{ctx}: lanes");
+    assert_eq!(lane.full_volumes, fast.full_volumes, "{ctx}: lane split");
+    assert_eq!(lane.events, fast.schedule.columns.len(), "{ctx}: events");
+}
+
+#[test]
+fn event_driven_wdeq_is_bit_exact_to_reference_at_rational() {
+    // Random identical-machine and heavy-tailed (power-law volume)
+    // instances: the event engine and the quadratic reference must be the
+    // same function at Rational.
+    for n in [2usize, 5, 9] {
+        for seed in seed_batch(7000 + n as u64, 5) {
+            for spec in [
+                Spec::PaperUniform { n },
+                Spec::PowerLawVolumes { n, alpha: 1.5 },
+            ] {
+                let exact = lift(&generate(&spec, seed));
+                assert_wdeq_lanes_bit_equal(&exact, &format!("{} seed={seed}", spec.label()));
+            }
+        }
+    }
+}
+
+#[test]
+fn wdeq_duplicate_finish_times_stay_bit_exact() {
+    let q = Rational::from_f64_exact;
+    // Four clones: equal V/w keys, all limited, one event completes all of
+    // them — the heap's id tie-break must walk the same order the
+    // reference's rescan does.
+    let clones = Instance::<Rational>::builder(q(1.0))
+        .tasks((0..4).map(|_| (q(1.0), q(1.0), q(0.4))))
+        .build()
+        .unwrap();
+    assert_wdeq_lanes_bit_equal(&clones, "four-clones");
+    let run = wdeq_run(&clones).unwrap();
+    assert!(
+        run.schedule.completions.windows(2).all(|w| w[0] == w[1]),
+        "clones must finish together"
+    );
+
+    // A saturated and a limited completion at the same instant, plus a
+    // straggler: collisions across the two event queues.
+    let collide = Instance::<Rational>::builder(q(3.0))
+        .task(q(2.0), q(1.0), q(1.0))
+        .task(q(4.0), q(2.0), q(3.0))
+        .task(q(2.0), q(1.0), q(1.0))
+        .task(q(6.0), q(1.0), q(2.0))
+        .build()
+        .unwrap();
+    assert_wdeq_lanes_bit_equal(&collide, "cross-queue-collision");
+
+    // Duplicate completion times feed the grouped water-filling oracle:
+    // grouped and ungrouped verdicts agree exactly on tied deadlines.
+    for inst in [&clones, &collide] {
+        let cs = wdeq_run(inst).unwrap().schedule.completions;
+        assert_eq!(
+            wf_feasible_grouped(inst, &cs).unwrap(),
+            wf_feasible(inst, &cs),
+            "grouped/ungrouped WF verdicts diverge on tied deadlines"
+        );
+    }
+}
+
+#[test]
+fn wdeq_zero_weight_rejected_identically_by_both_lanes() {
+    let q = Rational::from_f64_exact;
+    let inst = Instance::<Rational>::builder(q(1.0))
+        .task(q(1.0), q(0.0), q(0.5))
+        .task(q(1.0), q(1.0), q(0.5))
+        .build()
+        .unwrap();
+    let fast = wdeq_run(&inst);
+    let slow = wdeq_run_reference(&inst);
+    let lane = wdeq_completions(&inst);
+    // All three lanes refuse a weightless task (it would starve forever
+    // under equipartition), with the same error.
+    assert_eq!(format!("{:?}", fast), format!("{:?}", slow));
+    assert_eq!(format!("{:?}", fast), format!("{:?}", lane));
+    assert!(fast.is_err(), "zero weight must be rejected");
 }
 
 #[test]
