@@ -6,6 +6,7 @@
 //! bench_gate [--current PATH] [--baseline PATH]
 //!            [--wall-ratio X] [--wall-abs-us X] [--ratio-band X]
 //!            [--scaling PATH] [--scaling-exponent-max X]
+//!            [--scaling-exponent-max-exact X]
 //!   --current      fresh sweep output (default results/BENCH_batch.json)
 //!   --baseline     checked-in reference (default results/BENCH_baseline.json)
 //!   --wall-ratio   per-policy wall-time multiplier band (default 10)
@@ -15,6 +16,10 @@
 //!                  family's log–log wall-time exponent is fitted and gated
 //!   --scaling-exponent-max  fitted-exponent ceiling (default 1.2 — an
 //!                  O(n log n) curve fits just above 1, quadratic near 2)
+//!   --scaling-exponent-max-exact  ceiling for families tagged `-exact`
+//!                  (default 1.7 — exact-rational rungs pay growing
+//!                  per-operation cost; the fixed-limb fast path keeps
+//!                  them near 1.2, the all-heap lane fitted well above)
 //! ```
 //!
 //! Band semantics live in [`malleable_bench::regression`]; this binary is
@@ -59,14 +64,15 @@ fn run() -> Result<bool, String> {
     let mut report = regression_check(&current, &baseline, &bands);
     if let Some(scaling_path) = arg_value("--scaling") {
         let max_exp = arg_f64("--scaling-exponent-max", 1.2)?;
+        let max_exp_exact = arg_f64("--scaling-exponent-max-exact", 1.7)?;
         let text = std::fs::read_to_string(&scaling_path)
             .map_err(|e| format!("cannot read {scaling_path}: {e}"))?;
         let doc = jsonin::parse(&text).map_err(|e| format!("{scaling_path}: {e}"))?;
         let points = scaling_from_json(&doc).map_err(|e| format!("{scaling_path}: {e}"))?;
-        let sc = scaling_check(&points, max_exp);
+        let sc = scaling_check(&points, max_exp, max_exp_exact);
         println!(
             "bench gate: {} scaling families fitted from {scaling_path} \
-             (exponent ceiling {max_exp})",
+             (exponent ceiling {max_exp}, {max_exp_exact} for *-exact)",
             sc.compared
         );
         report.compared += sc.compared;

@@ -13,9 +13,13 @@
 //! related-capable policy subset.
 //!
 //! ```text
-//! exp_batch [--smoke] [--instances N] [--n N] [--policies a,b,c]
+//! exp_batch [--smoke] [--exact] [--instances N] [--n N] [--policies a,b,c]
 //!           [--seed S] [--time-budget-s T]
 //!   --smoke          tiny CI grid (identical + related cells)
+//!   --exact          additionally re-run the grid at bigratio::Rational
+//!                    and fail on any exact certificate violation
+//!                    (zero-tolerance validation, exact lower bounds,
+//!                    exact Lemma-2 factors)
 //!   --instances      seeds per family (default 50, --full 500)
 //!   --n              tasks per instance (default 20)
 //!   --policies       comma-separated registry names (default: all;
@@ -32,6 +36,7 @@
 //! assertion for the parametric solvers (on both machine models).
 
 use malleable_bench::batch::{summary_table, write_batch_json, write_records_csv, BatchGrid};
+use malleable_bench::certify::exact_certification;
 use malleable_bench::{arg_value, instance_count};
 use malleable_core::policy;
 use malleable_workloads::{seed_batch, Spec};
@@ -40,6 +45,7 @@ use std::time::Instant;
 fn main() {
     let t0 = Instant::now();
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let exact = std::env::args().any(|a| a == "--exact");
     let n: usize = arg_value("--n").and_then(|v| v.parse().ok()).unwrap_or(20);
     let base: u64 = arg_value("--seed")
         .and_then(|v| v.parse().ok())
@@ -208,6 +214,37 @@ fn main() {
         related_records > 0,
         "the sweep must include related-machines cells"
     );
+
+    // Exact certification pass: the same cells at bigratio::Rational,
+    // every guarantee checked with zero tolerance. Infeasible before the
+    // fixed-limb fast path made the exact lane ~10× faster.
+    if exact {
+        let exact_seeds: Vec<u64> = seed_batch(base ^ 0xE0, if smoke { 2 } else { 3 });
+        let (exact_records, violations) =
+            exact_certification(&identical_specs, &identical_names, &exact_seeds);
+        let (rel_records, rel_violations) =
+            exact_certification(&related_specs, &related_names, &exact_seeds);
+        let total = exact_records.len() + rel_records.len();
+        println!(
+            "\nexact certification: {} cells at Rational, {} violations",
+            total,
+            violations.len() + rel_violations.len()
+        );
+        for v in violations.iter().chain(&rel_violations) {
+            eprintln!("  EXACT VIOLATION {}: {}", v.cell, v.what);
+        }
+        assert!(
+            violations.is_empty() && rel_violations.is_empty(),
+            "exact certification failed on {} cell(s)",
+            violations.len() + rel_violations.len()
+        );
+        let exact_wall: f64 = exact_records
+            .iter()
+            .chain(&rel_records)
+            .map(|r| r.wall_us)
+            .sum();
+        println!("  exact lane wall time: {:.1} ms", exact_wall / 1e3);
+    }
 
     summary_table(&records).print();
     match write_records_csv("batch_eval", &records) {

@@ -28,18 +28,31 @@
 //! of every family must stay ≤ 1.2 (`bench_gate --scaling` re-checks the
 //! same bound in CI), and `n = 10⁵` must finish in under five seconds.
 //!
+//! The ladder also carries **exact-arithmetic rungs** (families tagged
+//! `-exact`, capped at `n ≤ 1000` by default): the same WDEQ sweep at
+//! `bigratio::Rational` on both a losslessly lifted `f64` instance and a
+//! quantized instance whose parameters are multiples of `1/64` (the
+//! realistic exact workload — small denominators throughout). Exact rungs
+//! get their own, looser exponent ceiling: per-operation cost grows with
+//! operand bit-length, so the curve legitimately sits above the float
+//! band (≈ 1.2 with the fixed-limb fast path, well above 1.5 on the old
+//! all-heap lane).
+//!
 //! ```text
-//! exp_perf [--n-max N] [--scale-max N] [--full]
-//!   --n-max      drop probe configurations with n > N (default: all)
-//!   --scale-max  cap the scaling ladder at n ≤ N (default 100000)
-//!   --full       extend the ladder to n = 10⁶
+//! exp_perf [--n-max N] [--scale-max N] [--scale-max-exact N] [--full]
+//!   --n-max            drop probe configurations with n > N (default: all)
+//!   --scale-max        cap the scaling ladder at n ≤ N (default 100000)
+//!   --scale-max-exact  cap the Rational rungs at n ≤ N (default 1000;
+//!                      0 skips the exact rungs entirely)
+//!   --full             extend the ladder to n = 10⁶
 //! ```
 
+use bigratio::Rational;
 use malleable_bench::arg_value;
 use malleable_bench::perf::{
     total_phases, write_parametric_json_with_scaling, ProbeRecord, ScalingRecord,
 };
-use malleable_bench::regression::fit_loglog_slope;
+use malleable_bench::regression::{fit_loglog_slope, EXACT_FAMILY_TAG};
 use malleable_core::algos::makespan::min_lmax_in;
 use malleable_core::algos::parametric::{ProbeSession, SolveMode};
 use malleable_core::algos::releases::makespan_with_releases_in;
@@ -295,6 +308,49 @@ fn scaling_ladder(scale_max: usize) -> Vec<ScalingRecord> {
     out
 }
 
+/// Quantize a generated `f64` instance onto the `1/64` grid at
+/// `Rational` — the realistic exact workload: every parameter is a small
+/// dyadic rational, so the fixed-limb fast path carries the whole run.
+fn quantized_instance(instance: &Instance) -> Instance<Rational> {
+    let q = |x: f64| Rational::new(((x * 64.0).round() as i64).max(1), 64);
+    Instance::builder(q(instance.p))
+        .tasks(
+            instance
+                .tasks
+                .iter()
+                .map(|t| (q(t.volume), q(t.weight), q(t.delta))),
+        )
+        .build()
+        .expect("quantized parameters stay positive")
+}
+
+/// The exact-arithmetic rungs of the scaling ladder: WDEQ at
+/// `bigratio::Rational` on the lifted and the quantized instance, capped
+/// at `exact_max` tasks. Families are tagged `-exact` so `bench_gate
+/// --scaling` holds them to the looser exact exponent ceiling.
+fn exact_scaling_rungs(exact_max: usize) -> Vec<ScalingRecord> {
+    let sizes = [100usize, 316, 1000, 3162];
+    let mut out = Vec::new();
+    for &n in sizes.iter().filter(|&&n| n <= exact_max) {
+        let float_inst = generate(&Spec::PaperUniform { n }, 42);
+        let lifted: Instance<Rational> = float_inst.to_scalar();
+        let quantized = quantized_instance(&float_inst);
+        for (tag, exact) in [("f64-lift", &lifted), ("quantized-64", &quantized)] {
+            let rec = scale_point(&format!("wdeq-exact/{tag}"), n, TIMING_REPS, || {
+                wdeq_completions(exact)
+                    .unwrap_or_else(|e| panic!("wdeq-exact/{tag}[n={n}]: {e}"))
+                    .events as u64
+            });
+            println!(
+                "{:<26} {:>9} {:>12.1} {:>12}",
+                rec.family, rec.n, rec.wall_us, rec.events
+            );
+            out.push(rec);
+        }
+    }
+    out
+}
+
 fn main() {
     let n_max: usize = arg_value("--n-max")
         .and_then(|v| v.parse().ok())
@@ -306,6 +362,9 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(100_000)
     };
+    let scale_max_exact: usize = arg_value("--scale-max-exact")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
     let configs = configs(n_max);
     println!(
         "P0: parametric warm-start telemetry — {} configurations × 2 solve modes\n",
@@ -379,11 +438,20 @@ fn main() {
         "\nscaling ladder (n ≤ {scale_max}):\n{:<26} {:>9} {:>12} {:>12}",
         "family", "n", "wall µs", "events"
     );
-    let scaling = scaling_ladder(scale_max);
+    let mut scaling = scaling_ladder(scale_max);
+    scaling.extend(exact_scaling_rungs(scale_max_exact));
     let mut families: Vec<&str> = scaling.iter().map(|s| s.family.as_str()).collect();
     families.sort_unstable();
     families.dedup();
     for family in families {
+        // Exact-rational rungs pay per-operation cost that grows with
+        // operand size; they get the same looser ceiling `bench_gate
+        // --scaling` applies (`--scaling-exponent-max-exact`).
+        let ceiling = if family.contains(EXACT_FAMILY_TAG) {
+            1.7
+        } else {
+            1.2
+        };
         let curve: Vec<(f64, f64)> = scaling
             .iter()
             .filter(|s| s.family == family)
@@ -395,8 +463,8 @@ fn main() {
         let b = fit_loglog_slope(&curve).expect("≥3 distinct sizes");
         println!("{family}: fitted wall-time exponent {b:.3}");
         assert!(
-            b <= 1.2,
-            "{family}: exponent {b:.3} > 1.2 — the event-driven curve bent"
+            b <= ceiling,
+            "{family}: exponent {b:.3} > {ceiling} — the curve bent"
         );
     }
 

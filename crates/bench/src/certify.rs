@@ -1,0 +1,226 @@
+//! Exact certification sweeps: the `--smoke` grid re-run at
+//! `bigratio::Rational`.
+//!
+//! Every cell lifts its generated `f64` instance into exact rationals
+//! ([`Instance::to_scalar`] is lossless — every finite double is a binary
+//! rational), runs the policy's `Rational` instantiation from the same
+//! registry, and checks the paper's guarantees with **zero tolerance**:
+//!
+//! * the schedule satisfies Definition 1 under [`Tolerance::exact`];
+//! * the cost is `≥ max(A(I), H(I))` exactly (nothing beats the squashed
+//!   lower bound);
+//! * when the policy carries a certificate, `cost ≤ factor · lower_bound`
+//!   exactly (WDEQ's Lemma-2 `≤ 2·OPT`, Theorem 4).
+//!
+//! Feasible in CI only since the fixed-limb fast path: the pure-BigInt
+//! exact lane was an order of magnitude slower.
+
+use bigratio::Rational;
+use malleable_core::bounds::{height_bound, squashed_area_bound};
+use malleable_core::instance::Instance;
+use malleable_core::policy;
+use malleable_workloads::{generate, Spec};
+use numkit::{Scalar, Tolerance};
+use std::time::Instant;
+
+/// One `(family, policy, seed)` exact-certification outcome.
+#[derive(Debug, Clone)]
+pub struct ExactRecord {
+    /// Workload family label.
+    pub family: String,
+    /// Registry policy name.
+    pub policy: String,
+    /// Instance seed.
+    pub seed: u64,
+    /// Task count.
+    pub n: usize,
+    /// Exact cost, reported approximately (the checks ran exactly).
+    pub cost: f64,
+    /// Exact `cost / max(A, H)` bound ratio, reported approximately.
+    pub bound_ratio: f64,
+    /// Exact certificate ratio when the policy carries one.
+    pub cert_ratio: Option<f64>,
+    /// Wall time of the exact policy run in microseconds.
+    pub wall_us: f64,
+}
+
+/// A violated exact guarantee (the sweep collects instead of panicking so
+/// a run can report *all* violations before failing).
+#[derive(Debug, Clone)]
+pub struct ExactViolation {
+    /// Offending cell.
+    pub cell: String,
+    /// Which guarantee broke and how.
+    pub what: String,
+}
+
+/// Run the exact certification sweep over `specs × seeds × policies`.
+///
+/// Returns all records plus any violations. Policies that reject an
+/// instance class by design (e.g. rate-space policies on related
+/// machines) must not appear in `names` — a policy error is a violation
+/// here, exactly as `BatchGrid` treats it on the float lane.
+pub fn exact_certification(
+    specs: &[Spec],
+    names: &[&str],
+    seeds: &[u64],
+) -> (Vec<ExactRecord>, Vec<ExactViolation>) {
+    let mut records = Vec::new();
+    let mut violations = Vec::new();
+    let two = Rational::from_int(2);
+    for spec in specs {
+        let family = format!("{spec:?}");
+        let family = family
+            .split_whitespace()
+            .next()
+            .unwrap_or("spec")
+            .to_string();
+        for &seed in seeds {
+            let float_inst = generate(spec, seed);
+            let exact: Instance<Rational> = float_inst.to_scalar();
+            let area = squashed_area_bound(&exact);
+            let height = height_bound(&exact);
+            let bound = area.clone().max_of(height.clone());
+            for name in names {
+                let cell = format!("{family}/{name}/seed={seed}");
+                let Some(p) = policy::by_name::<Rational>(name) else {
+                    violations.push(ExactViolation {
+                        cell,
+                        what: "unknown policy name".into(),
+                    });
+                    continue;
+                };
+                let start = Instant::now();
+                let run = match p.run(&exact) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        violations.push(ExactViolation {
+                            cell,
+                            what: format!("policy failed: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                let wall_us = start.elapsed().as_secs_f64() * 1e6;
+                // Zero-tolerance feasibility (Definition 1, exactly).
+                if let Err(e) = run
+                    .schedule
+                    .validate_with(&exact, Tolerance::<Rational>::exact())
+                {
+                    violations.push(ExactViolation {
+                        cell: cell.clone(),
+                        what: format!("exact validation failed: {e}"),
+                    });
+                }
+                let cost = run.schedule.weighted_completion_cost(&exact);
+                // Exact lower-bound soundness: cost ≥ max(A, H) with no
+                // epsilon to hide behind.
+                if cost < bound {
+                    violations.push(ExactViolation {
+                        cell: cell.clone(),
+                        what: format!(
+                            "cost {} beats the exact lower bound {}",
+                            cost.approx_f64(),
+                            bound.approx_f64()
+                        ),
+                    });
+                }
+                let mut cert_ratio = None;
+                if let Some(cert) = &run.certificate {
+                    // The certified factor holds exactly: cost ≤ f·LB.
+                    let limit = cert.factor.clone() * cert.lower_bound.clone();
+                    if cert.lower_bound.is_positive() && cost > limit {
+                        violations.push(ExactViolation {
+                            cell: cell.clone(),
+                            what: format!(
+                                "certificate violated exactly: cost {} > {} (factor {})",
+                                cost.approx_f64(),
+                                limit.approx_f64(),
+                                cert.factor.approx_f64()
+                            ),
+                        });
+                    }
+                    if cert.factor > two {
+                        violations.push(ExactViolation {
+                            cell: cell.clone(),
+                            what: format!(
+                                "certificate factor {} exceeds the Lemma-2 bound 2",
+                                cert.factor.approx_f64()
+                            ),
+                        });
+                    }
+                    cert_ratio = Some(cert.ratio(cost.clone()).approx_f64());
+                }
+                let bound_ratio = if bound.is_positive() {
+                    (cost.clone() / bound.clone()).approx_f64()
+                } else {
+                    1.0
+                };
+                records.push(ExactRecord {
+                    family: family.clone(),
+                    policy: name.to_string(),
+                    seed,
+                    n: exact.n(),
+                    cost: cost.approx_f64(),
+                    bound_ratio,
+                    cert_ratio,
+                    wall_us,
+                });
+            }
+        }
+    }
+    (records, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cells() -> (Vec<Spec>, Vec<&'static str>) {
+        (
+            vec![Spec::PaperUniform { n: 4 }],
+            vec!["wdeq", "greedy-smith"],
+        )
+    }
+
+    #[test]
+    fn exact_smoke_cell_is_clean() {
+        let (specs, names) = smoke_cells();
+        let (records, violations) = exact_certification(&specs, &names, &[1, 2]);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert!(r.bound_ratio >= 1.0 - 1e-12, "{r:?}");
+            if let Some(c) = r.cert_ratio {
+                assert!(c <= 2.0 + 1e-12, "{r:?}");
+            }
+        }
+        // WDEQ carries its Lemma-2 certificate on the exact lane too.
+        assert!(records
+            .iter()
+            .filter(|r| r.policy == "wdeq")
+            .all(|r| r.cert_ratio.is_some()));
+    }
+
+    #[test]
+    fn unknown_policy_is_a_violation() {
+        let (_, violations) =
+            exact_certification(&[Spec::PaperUniform { n: 3 }], &["no-such-policy"], &[7]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].what.contains("unknown"));
+    }
+
+    #[test]
+    fn related_machines_certify_exactly_too() {
+        let specs = vec![Spec::TwoTierCluster {
+            n: 4,
+            fast: 1,
+            slow: 3,
+            speedup: 4.0,
+        }];
+        let (records, violations) =
+            exact_certification(&specs, &["wdeq-related", "wf-related"], &[3]);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert_eq!(records.len(), 2);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`stats`] — summaries (mean/std/percentiles) over instance sweeps;
 //! * [`parallel`] — a crossbeam-channel work pool for embarrassingly
 //!   parallel seed sweeps (the §V-A campaign runs 40,000 LPs);
+//! * [`certify`] — the exact-certification sweep: the smoke grid re-run
+//!   at `bigratio::Rational` with zero-tolerance validation (CI-feasible
+//!   since the fixed-limb fast path);
 //! * [`csvout`] — plain CSV emission under `results/` so sweeps can be
 //!   re-plotted without re-running;
 //! * [`perf`] — warm-vs-cold parametric solver telemetry records and the
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod certify;
 pub mod csvout;
 pub mod jsonin;
 pub mod parallel;

@@ -1,0 +1,131 @@
+//! Regression surface for the two-tier `Rational` representation.
+//!
+//! Three operand regimes per operation:
+//! * `small` — both operands on the fixed-limb fast path and the result
+//!   stays there (the steady state of every exact scheduling run);
+//! * `boundary` — operands near the `i128` limit whose products straddle
+//!   the promotion boundary (add promotes, gcd still machine-word);
+//! * `promoted` — both operands on the heap lane (multi-hundred-bit
+//!   parts), the pre-existing slow path kept honest.
+
+use bigratio::{small::gcd_u128, BigInt, BigUint, Rational};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cmp::Ordering;
+use std::hint::black_box;
+
+/// Deterministic stream of small rationals with denominators ≤ 64
+/// (quantized workloads — the realistic exact-lane operands).
+fn small_operands() -> Vec<Rational> {
+    (0..64u64)
+        .map(|i| {
+            let n = (i as i64 * 37 + 11) % 1000 - 500;
+            let d = (i as i64 * 13) % 63 + 1;
+            Rational::new(if n == 0 { 1 } else { n }, d)
+        })
+        .collect()
+}
+
+/// Operands within a couple of bits of the `i128` magnitude limit:
+/// additions and multiplications promote, comparisons stay on the
+/// 256-bit widening path.
+fn boundary_operands() -> Vec<Rational> {
+    (0..64u64)
+        .map(|i| {
+            let num = BigInt::from_i128((i128::MAX >> 2) - i as i128 * 9973);
+            let den = BigUint::from_u128((u128::MAX >> 3) - i as u128 * 7919);
+            Rational::from_parts(num, den)
+        })
+        .collect()
+}
+
+/// Heap-lane operands: ~300-bit numerators and denominators.
+fn promoted_operands() -> Vec<Rational> {
+    (0..64u64)
+        .map(|i| {
+            let num = BigInt::from_biguint(
+                BigUint::one()
+                    .shl_bits(300)
+                    .add(&BigUint::from_u64(i * 2 + 1)),
+            );
+            let den = BigUint::one()
+                .shl_bits(290)
+                .add(&BigUint::from_u64(i * 6 + 3));
+            Rational::from_parts(num, den)
+        })
+        .collect()
+}
+
+fn bench_regime(c: &mut Criterion, name: &str, ops: &[Rational]) {
+    let mut g = c.benchmark_group(format!("bigratio/rational-{name}"));
+    g.sample_size(20);
+    g.bench_function("add", |b| {
+        b.iter(|| {
+            let mut acc = Rational::from_int(0);
+            for x in ops {
+                acc = acc + black_box(x.clone());
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("mul", |b| {
+        b.iter(|| {
+            let mut acc = Rational::from_int(1);
+            for x in ops {
+                acc = black_box(x.clone()) * black_box(x.clone());
+                acc = black_box(acc);
+            }
+            acc
+        })
+    });
+    g.bench_function("cmp", |b| {
+        b.iter(|| {
+            let mut lt = 0usize;
+            for w in ops.windows(2) {
+                if w[0].cmp(&w[1]) == Ordering::Less {
+                    lt += 1;
+                }
+            }
+            black_box(lt)
+        })
+    });
+    g.finish();
+}
+
+fn bench_gcd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bigratio/gcd");
+    g.sample_size(20);
+    // Machine-word binary GCD (normalization kernel of the fast path).
+    g.bench_function("binary-u128", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for i in 1..64u128 {
+                acc ^= gcd_u128(
+                    black_box((u128::MAX >> 2) - i * 104729),
+                    black_box(i * 7_919_919 + 3),
+                );
+            }
+            black_box(acc)
+        })
+    });
+    // Heap Euclid on ~300-bit operands (the promoted lane's kernel).
+    let a = BigUint::one()
+        .shl_bits(300)
+        .add(&BigUint::from_u64(123_457));
+    let b_ = BigUint::one()
+        .shl_bits(299)
+        .add(&BigUint::from_u64(987_653));
+    g.bench_function("euclid-300bit", |bch| {
+        bch.iter(|| black_box(black_box(&a).gcd(black_box(&b_))))
+    });
+    g.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_regime(c, "small", &small_operands());
+    bench_regime(c, "boundary", &boundary_operands());
+    bench_regime(c, "promoted", &promoted_operands());
+    bench_gcd(c);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

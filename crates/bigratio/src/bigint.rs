@@ -26,7 +26,7 @@ impl Sign {
         }
     }
 
-    fn mul(self, other: Sign) -> Sign {
+    pub(crate) fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
             (a, b) if a == b => Sign::Pos,
@@ -70,6 +70,21 @@ impl BigInt {
             Ordering::Less => BigInt {
                 sign: Sign::Neg,
                 mag: BigUint::from_u64(v.unsigned_abs()),
+            },
+        }
+    }
+
+    /// From a signed double word (`i128::MIN` included).
+    pub fn from_i128(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Pos,
+                mag: BigUint::from_u128(v as u128),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Neg,
+                mag: BigUint::from_u128(v.unsigned_abs()),
             },
         }
     }

@@ -361,16 +361,77 @@ impl BigUint {
         (BigUint::from_limbs(q), rem)
     }
 
-    /// Greatest common divisor (Euclid on magnitudes).
+    /// Number of trailing zero bits (0 for zero).
+    pub fn trailing_zeros(&self) -> u64 {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i as u64 * LIMB_BITS as u64 + l.trailing_zeros() as u64;
+            }
+        }
+        0
+    }
+
+    /// Greatest common divisor — Lehmer's algorithm (Knuth 4.5.2,
+    /// Algorithm L): each round simulates a run of Euclid steps on the
+    /// leading 126 bits in machine arithmetic, then applies the
+    /// accumulated 2×2 cofactor matrix to the full numbers with two
+    /// scalar multiplies. Tens of Euclid iterations collapse into one
+    /// multi-precision pass; word-sized operands finish on the binary
+    /// GCD. (The previous Euclid-by-`div_rem` loop paid a Knuth-D
+    /// division per quotient — almost always quotient 1 on the
+    /// similar-sized pairs rational normalization produces.)
     pub fn gcd(&self, other: &BigUint) -> BigUint {
         let mut a = self.clone();
         let mut b = other.clone();
-        while !b.is_zero() {
-            let r = a.div_rem(&b).1;
-            a = b;
-            b = r;
+        loop {
+            if a.cmp_mag(&b) == Ordering::Less {
+                std::mem::swap(&mut a, &mut b);
+            }
+            if b.is_zero() {
+                return a;
+            }
+            if let (Some(x), Some(y)) = (a.to_u128(), b.to_u128()) {
+                return BigUint::from_u128(crate::small::gcd_u128(x, y));
+            }
+            // Leading 126 bits of both numbers at the same scale (both
+            // fit i128 with headroom for the cofactor additions below).
+            let k = a.bits() - 126;
+            let mut x = a.shr_bits(k).to_u128().expect("126-bit head fits") as i128;
+            let mut y = b.shr_bits(k).to_u128().expect("b ≤ a at the same shift") as i128;
+            // Simulated Euclid with cofactors: x̂ = A·a₀ + B·b₀,
+            // ŷ = C·a₀ + D·b₀ on the truncated heads. A quotient is
+            // trusted only while it is the same for the two extreme
+            // completions of the truncated tail (Knuth's condition).
+            let (mut ca, mut cb, mut cc, mut cd): (i128, i128, i128, i128) = (1, 0, 0, 1);
+            loop {
+                if y + cc == 0 || y + cd == 0 {
+                    break;
+                }
+                let q = (x + ca) / (y + cc);
+                if q != (x + cb) / (y + cd) {
+                    break;
+                }
+                let (Some(qc), Some(qd), Some(qy)) =
+                    (q.checked_mul(cc), q.checked_mul(cd), q.checked_mul(y))
+                else {
+                    break;
+                };
+                (x, y) = (y, x - qy);
+                (ca, cc) = (cc, ca - qc);
+                (cb, cd) = (cd, cb - qd);
+            }
+            if cb == 0 {
+                // The heads admit no trusted quotient (huge quotient or
+                // immediate disagreement): one full-precision division.
+                let r = a.div_rem(&b).1;
+                a = std::mem::replace(&mut b, r);
+            } else {
+                let a_new = lehmer_combine(ca, cb, &a, &b);
+                let b_new = lehmer_combine(cc, cd, &a, &b);
+                a = a_new;
+                b = b_new;
+            }
         }
-        a
     }
 
     /// Exponentiation by squaring.
@@ -413,6 +474,20 @@ impl BigUint {
 fn normalize(limbs: &mut Vec<u64>) {
     while limbs.last() == Some(&0) {
         limbs.pop();
+    }
+}
+
+/// `p·a + q·b` for a Lehmer cofactor row — `p` and `q` never share a
+/// strict sign, and the row is nonnegative by the matrix invariant.
+fn lehmer_combine(p: i128, q: i128, a: &BigUint, b: &BigUint) -> BigUint {
+    let pa = a.mul(&BigUint::from_u128(p.unsigned_abs()));
+    let qb = b.mul(&BigUint::from_u128(q.unsigned_abs()));
+    if p >= 0 && q >= 0 {
+        pa.add(&qb)
+    } else if p >= 0 {
+        pa.checked_sub(&qb).expect("Lehmer row must be nonnegative")
+    } else {
+        qb.checked_sub(&pa).expect("Lehmer row must be nonnegative")
     }
 }
 
@@ -622,6 +697,49 @@ mod tests {
             let (_, r1) = big(a as u128).div_rem(&g);
             let (_, r2) = big(b as u128).div_rem(&g);
             prop_assert!(r1.is_zero() && r2.is_zero());
+        }
+
+        #[test]
+        fn prop_gcd_multiprecision_planted_factor(
+            limbs_a in proptest::collection::vec(any::<u64>(), 3..9),
+            limbs_b in proptest::collection::vec(any::<u64>(), 3..9),
+            limbs_g in proptest::collection::vec(any::<u64>(), 1..5))
+        {
+            // Exercise the Lehmer rounds: multi-limb operands with a
+            // planted common factor g. gcd(a·g, b·g) = gcd(a,b)·g must
+            // divide both, and the cofactors must be coprime after
+            // dividing it out.
+            let a = BigUint::from_limbs(limbs_a);
+            let b = BigUint::from_limbs(limbs_b);
+            let g = BigUint::from_limbs(limbs_g);
+            prop_assume!(!a.is_zero() && !b.is_zero() && !g.is_zero());
+            let (ag, bg) = (a.mul(&g), b.mul(&g));
+            let d = ag.gcd(&bg);
+            // d divides both inputs and is a multiple of the plant.
+            let (qa, ra) = ag.div_rem(&d);
+            let (qb, rb) = bg.div_rem(&d);
+            prop_assert!(ra.is_zero() && rb.is_zero());
+            let (_, rg) = d.div_rem(&g);
+            prop_assert!(rg.is_zero());
+            // Maximality: the cofactors share no further factor.
+            prop_assert_eq!(qa.gcd(&qb), BigUint::one());
+        }
+
+        #[test]
+        fn prop_gcd_matches_euclid_reference(
+            limbs_a in proptest::collection::vec(any::<u64>(), 1..7),
+            limbs_b in proptest::collection::vec(any::<u64>(), 1..7))
+        {
+            let a = BigUint::from_limbs(limbs_a);
+            let b = BigUint::from_limbs(limbs_b);
+            prop_assume!(!b.is_zero());
+            // Schoolbook Euclid as the oracle.
+            let (mut x, mut y) = (a.clone(), b.clone());
+            while !y.is_zero() {
+                let r = x.div_rem(&y).1;
+                x = std::mem::replace(&mut y, r);
+            }
+            prop_assert_eq!(a.gcd(&b), x);
         }
 
         #[test]

@@ -12,9 +12,15 @@
 //! * [`BigUint`] — magnitude arithmetic on little-endian `u64` limbs
 //!   (schoolbook multiply, Knuth Algorithm D division);
 //! * [`BigInt`] — sign + magnitude;
-//! * [`Rational`] — normalized fraction with positive denominator,
-//!   implementing [`numkit::Scalar`] so every generic algorithm in the stack
-//!   can run exactly.
+//! * [`SmallRational`] — fixed-limb (`i128`) rationals with binary-GCD
+//!   normalization and overflow-*checked* arithmetic: the stack-only fast
+//!   path;
+//! * [`Rational`] — normalized fraction with positive denominator, stored
+//!   inline as a [`SmallRational`] whenever the reduced parts fit and
+//!   promoted to the heap pair only past the `i128` boundary (results that
+//!   shrink demote back). Implements [`numkit::Scalar`] so every generic
+//!   algorithm in the stack can run exactly — and, since the fast path,
+//!   cheaply.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +28,9 @@
 pub mod bigint;
 pub mod biguint;
 pub mod rational;
+pub mod small;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
 pub use rational::Rational;
+pub use small::SmallRational;

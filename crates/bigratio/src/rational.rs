@@ -1,15 +1,29 @@
 //! Normalized rationals and their [`numkit::Scalar`] implementation.
+//!
+//! Two-tier representation: values whose reduced numerator and denominator
+//! magnitudes fit `i128` live inline as a [`SmallRational`] (stack-only,
+//! binary-GCD normalization, overflow-checked arithmetic); everything else
+//! promotes to the heap `BigInt`/`BigUint` pair. The invariant is
+//! *canonical*: a value that fits the small representation is **always**
+//! stored small — every constructor demotes, so arithmetic that shrinks a
+//! promoted value drops back to the fast path on the spot. `PartialEq`,
+//! `Ord` and `Hash` are nevertheless implemented value-wise (they agree
+//! across representations even for hand-built non-canonical values).
 
 use crate::bigint::{BigInt, Sign};
 use crate::biguint::BigUint;
+use crate::small::SmallRational;
 use numkit::Scalar;
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// An exact rational number `num / den`.
 ///
-/// Invariants: `den > 0`, `gcd(|num|, den) = 1`, and zero is `0/1`.
+/// Invariants: `den > 0`, `gcd(|num|, den) = 1`, and zero is `0/1`; values
+/// whose reduced parts fit two machine double-words are stored inline
+/// (see the module docs).
 ///
 /// ```
 /// use bigratio::Rational;
@@ -17,29 +31,79 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// let sum = third.clone() + third.clone() + third;
 /// assert_eq!(sum, Rational::from_int(1));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Rational {
-    num: BigInt,
-    den: BigUint,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Fixed-limb fast path (the overwhelmingly common case).
+    Small(SmallRational),
+    /// Heap fallback for values past the `i128` boundary.
+    Big { num: BigInt, den: BigUint },
 }
 
 impl Rational {
-    /// `n / d` from machine integers.
+    /// `n / d` from machine integers. Always lands on the fast path
+    /// (`i64` inputs reduce within the fixed limbs, `i64::MIN` included).
     ///
     /// # Panics
     /// Panics when `d == 0`.
+    #[inline]
     pub fn new(n: i64, d: i64) -> Self {
         assert!(d != 0, "Rational::new: zero denominator");
-        let sign_flip = d < 0;
-        let num = if sign_flip {
-            -BigInt::from_i64(n)
-        } else {
-            BigInt::from_i64(n)
-        };
-        Self::from_parts(num, BigUint::from_u64(d.unsigned_abs()))
+        let small = SmallRational::new_checked(n as i128, d as i128)
+            .expect("i64 inputs always fit the fixed limbs");
+        Rational::from_small(small)
     }
 
-    /// From big parts, normalizing.
+    /// `n / d` from double-word integers; promotes only when the
+    /// *reduced* parts exceed the fixed limbs (`i128::MIN` magnitudes
+    /// that do not cancel).
+    ///
+    /// # Panics
+    /// Panics when `d == 0`.
+    #[inline]
+    pub fn from_ratio_i128(n: i128, d: i128) -> Self {
+        assert!(d != 0, "Rational::from_ratio_i128: zero denominator");
+        match SmallRational::new_checked(n, d) {
+            Some(small) => Rational::from_small(small),
+            None => {
+                let sign_flip = d < 0;
+                let num = BigInt::from_i128(n);
+                let num = if sign_flip { -num } else { num };
+                Self::from_parts(num, BigUint::from_u128(d.unsigned_abs()))
+            }
+        }
+    }
+
+    /// Wrap an already-normalized small rational.
+    #[inline(always)]
+    pub fn from_small(small: SmallRational) -> Self {
+        Rational {
+            repr: Repr::Small(small),
+        }
+    }
+
+    /// The fixed-limb representation, when the value is on the fast path.
+    #[inline(always)]
+    pub fn as_small(&self) -> Option<SmallRational> {
+        match &self.repr {
+            Repr::Small(s) => Some(*s),
+            Repr::Big { .. } => None,
+        }
+    }
+
+    /// `true` iff the value is on the heap (promoted) representation —
+    /// exposed for tests and diagnostics.
+    #[inline]
+    pub fn is_promoted(&self) -> bool {
+        matches!(self.repr, Repr::Big { .. })
+    }
+
+    /// From big parts, normalizing (and demoting to the fixed limbs when
+    /// the reduced parts fit).
     ///
     /// # Panics
     /// Panics when `den` is zero.
@@ -48,38 +112,114 @@ impl Rational {
         if num.is_zero() {
             return Self::zero_();
         }
+        // Word-sized parts reduce on the machine-word binary GCD without
+        // touching the heap again.
+        if let (Some(nm), Some(dm)) = (num.magnitude().to_u128(), den.to_u128()) {
+            let g = crate::small::gcd_u128(nm, dm);
+            if let Some(small) = SmallRational::from_magnitudes(num.is_negative(), nm / g, dm / g) {
+                return Rational::from_small(small);
+            }
+            // 2¹²⁷ magnitudes that did not reduce: fall through to the
+            // heap path with the already-computed gcd.
+            let num_mag = BigUint::from_u128(nm / g);
+            return Rational {
+                repr: Repr::Big {
+                    num: BigInt::with_sign(num.sign(), num_mag),
+                    den: BigUint::from_u128(dm / g),
+                },
+            };
+        }
+        let g = num.magnitude().gcd(&den);
+        let (num_mag, _) = num.magnitude().div_rem(&g);
+        let (den, _) = den.div_rem(&g);
+        Self::from_coprime_big(BigInt::with_sign(num.sign(), num_mag), den)
+    }
+
+    /// Like [`Rational::from_parts`] but **never demotes** — the result
+    /// stays on the heap representation even when the value fits the
+    /// fixed limbs. Exists so tests can prove `Eq`/`Ord`/`Hash` agree
+    /// across representations of the same value; real code never wants
+    /// it.
+    #[doc(hidden)]
+    pub fn from_parts_nodemote(num: BigInt, den: BigUint) -> Self {
+        assert!(
+            !den.is_zero(),
+            "Rational::from_parts_nodemote: zero denominator"
+        );
         let g = num.magnitude().gcd(&den);
         let (num_mag, _) = num.magnitude().div_rem(&g);
         let (den, _) = den.div_rem(&g);
         Rational {
-            num: BigInt::with_sign(num.sign(), num_mag),
-            den,
+            repr: Repr::Big {
+                num: BigInt::with_sign(num.sign(), num_mag),
+                den,
+            },
         }
     }
 
-    fn zero_() -> Self {
-        Rational {
-            num: BigInt::zero(),
-            den: BigUint::one(),
+    /// Assemble from coprime big parts, demoting when they fit.
+    #[inline]
+    fn from_coprime_big(num: BigInt, den: BigUint) -> Self {
+        if let (Some(nm), Some(dm)) = (num.magnitude().to_u128(), den.to_u128()) {
+            if let Some(small) = SmallRational::from_magnitudes(num.is_negative(), nm, dm) {
+                return Rational::from_small(small);
+            }
         }
+        Rational {
+            repr: Repr::Big { num, den },
+        }
+    }
+
+    #[inline(always)]
+    fn zero_() -> Self {
+        Rational::from_small(SmallRational::zero())
     }
 
     /// Exact integer.
+    #[inline(always)]
     pub fn from_int(v: i64) -> Self {
-        Rational {
-            num: BigInt::from_i64(v),
-            den: BigUint::one(),
+        Rational::from_small(SmallRational::from_i64(v))
+    }
+
+    /// Exact double-word integer.
+    #[inline]
+    pub fn from_int_i128(v: i128) -> Self {
+        match SmallRational::new_checked(v, 1) {
+            Some(small) => Rational::from_small(small),
+            None => Rational {
+                repr: Repr::Big {
+                    num: BigInt::from_i128(v),
+                    den: BigUint::one(),
+                },
+            },
         }
     }
 
-    /// Numerator (signed, coprime with the denominator).
-    pub fn numer(&self) -> &BigInt {
-        &self.num
+    /// Numerator (signed, coprime with the denominator), materialized.
+    pub fn numer(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small(s) => BigInt::from_i128(s.num()),
+            Repr::Big { num, .. } => num.clone(),
+        }
     }
 
-    /// Denominator (positive, coprime with the numerator).
-    pub fn denom(&self) -> &BigUint {
-        &self.den
+    /// Denominator (positive, coprime with the numerator), materialized.
+    pub fn denom(&self) -> BigUint {
+        match &self.repr {
+            Repr::Small(s) => BigUint::from_u128(s.den() as u128),
+            Repr::Big { den, .. } => den.clone(),
+        }
+    }
+
+    /// Consume into `(numerator, denominator)` big parts.
+    fn into_big_parts(self) -> (BigInt, BigUint) {
+        match self.repr {
+            Repr::Small(s) => (
+                BigInt::from_i128(s.num()),
+                BigUint::from_u128(s.den() as u128),
+            ),
+            Repr::Big { num, den } => (num, den),
+        }
     }
 
     /// Multiplicative inverse.
@@ -87,10 +227,13 @@ impl Rational {
     /// # Panics
     /// Panics on zero.
     pub fn recip(&self) -> Self {
-        assert!(!self.num.is_zero(), "Rational::recip of zero");
-        Rational {
-            num: BigInt::with_sign(self.num.sign(), self.den.clone()),
-            den: self.num.magnitude().clone(),
+        assert!(!Scalar::is_zero(self), "Rational::recip of zero");
+        match &self.repr {
+            Repr::Small(s) => Rational::from_small(s.recip()),
+            Repr::Big { num, den } => Self::from_coprime_big(
+                BigInt::with_sign(num.sign(), den.clone()),
+                num.magnitude().clone(),
+            ),
         }
     }
 
@@ -114,6 +257,23 @@ impl Rational {
         } else {
             (frac | (1u64 << 52), exp_field - 1075)
         };
+        // Reduce by the power of two up front: the mantissa goes odd, so
+        // the parts below are already coprime.
+        let tz = mantissa.trailing_zeros() as i64;
+        let (mantissa, exp) = (mantissa >> tz, exp + tz);
+        let mant_bits = 64 - mantissa.leading_zeros() as i64;
+        if exp >= 0 && mant_bits + exp <= 127 {
+            let nm = (mantissa as u128) << exp;
+            if let Some(small) = SmallRational::from_magnitudes(neg, nm, 1) {
+                return Rational::from_small(small);
+            }
+        } else if exp < 0 && -exp <= 126 {
+            let small = SmallRational::from_magnitudes(neg, mantissa as u128, 1u128 << (-exp))
+                .expect("126-bit shifts fit the fixed limbs");
+            return Rational::from_small(small);
+        }
+        // Heap fallback: |exp| too large for the fixed limbs (deep
+        // subnormals) or the shifted mantissa past 127 bits.
         let mag = BigUint::from_u64(mantissa);
         let (num_mag, den) = if exp >= 0 {
             (mag.shl_bits(exp as u64), BigUint::one())
@@ -121,55 +281,93 @@ impl Rational {
             (mag, BigUint::one().shl_bits((-exp) as u64))
         };
         let sign = if neg { Sign::Neg } else { Sign::Pos };
-        Self::from_parts(BigInt::with_sign(sign, num_mag), den)
+        Self::from_coprime_big(BigInt::with_sign(sign, num_mag), den)
     }
 
     /// Approximate conversion to `f64`.
     ///
-    /// Numerator and denominator are truncated to their top 64 bits
+    /// On the fast path the machine quotient rounds once. On the heap
+    /// path, numerator and denominator are truncated to their top 64 bits
     /// *independently* (so tiny values like `53-bit / 900-bit` keep full
     /// numerator precision) and the dropped power-of-two exponents are
     /// re-applied afterwards. Exact whenever the value is representable.
     pub fn approx_f64(&self) -> f64 {
-        if self.num.is_zero() {
-            return 0.0;
-        }
-        let nshift = self.num.magnitude().bits().saturating_sub(64);
-        let dshift = self.den.bits().saturating_sub(64);
-        let n = self.num.magnitude().shr_bits(nshift).to_f64();
-        let d = self.den.shr_bits(dshift).to_f64();
-        let e = nshift as i64 - dshift as i64;
-        // q0 = n/d ∈ (2⁻⁶⁴, 2⁶⁴); the power-of-two rescale is exact within
-        // the double range and saturates to 0/∞ outside it.
-        let q = if e.unsigned_abs() > 2000 {
-            if e > 0 {
-                f64::INFINITY
-            } else {
-                0.0
+        match &self.repr {
+            Repr::Small(s) => s.to_f64(),
+            Repr::Big { num, den } => {
+                if num.is_zero() {
+                    return 0.0;
+                }
+                let nshift = num.magnitude().bits().saturating_sub(64);
+                let dshift = den.bits().saturating_sub(64);
+                let n = num.magnitude().shr_bits(nshift).to_f64();
+                let d = den.shr_bits(dshift).to_f64();
+                let e = nshift as i64 - dshift as i64;
+                // q0 = n/d ∈ (2⁻⁶⁴, 2⁶⁴); the power-of-two rescale is exact
+                // within the double range and saturates to 0/∞ outside it.
+                let q = if e.unsigned_abs() > 2000 {
+                    if e > 0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    }
+                } else {
+                    (n / d) * 2f64.powi(e as i32)
+                };
+                if num.is_negative() {
+                    -q
+                } else {
+                    q
+                }
             }
-        } else {
-            (n / d) * 2f64.powi(e as i32)
-        };
-        if self.num.is_negative() {
-            -q
-        } else {
-            q
         }
     }
 }
 
 impl Add for Rational {
     type Output = Rational;
+    #[inline]
     fn add(self, other: Rational) -> Rational {
-        // a/b + c/d = (ad + cb) / bd
-        let ad = &self.num * &BigInt::from_biguint(other.den.clone());
-        let cb = &other.num * &BigInt::from_biguint(self.den.clone());
-        Rational::from_parts(&ad + &cb, self.den.mul(&other.den))
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(r) = a.checked_add(*b) {
+                return Rational::from_small(r);
+            }
+        }
+        // Heap lane with Knuth 4.5.1 pre-reduction: g₁ = gcd(b, d) is
+        // large in accumulation chains (denominators share most factors),
+        // so t = a·(d/g₁) + c·(b/g₁) stays near max(b, d) instead of b·d,
+        // and the finishing gcd runs on g₁-sized operands.
+        let (an, ad) = self.into_big_parts();
+        let (bn, bd) = other.into_big_parts();
+        if an.is_zero() {
+            return Rational::from_coprime_big(bn, bd);
+        }
+        if bn.is_zero() {
+            return Rational::from_coprime_big(an, ad);
+        }
+        let g1 = ad.gcd(&bd);
+        if g1.is_one() {
+            // Coprime denominators: ad + cb over bd is already reduced.
+            let lhs = &an * &BigInt::from_biguint(bd.clone());
+            let rhs = &bn * &BigInt::from_biguint(ad.clone());
+            return Rational::from_coprime_big(&lhs + &rhs, ad.mul(&bd));
+        }
+        let (adp, _) = ad.div_rem(&g1); // b/g₁
+        let (bdp, _) = bd.div_rem(&g1); // d/g₁
+        let t = &(&an * &BigInt::from_biguint(bdp)) + &(&bn * &BigInt::from_biguint(adp.clone()));
+        if t.is_zero() {
+            return Self::zero_();
+        }
+        let g2 = t.magnitude().gcd(&g1);
+        let (num_mag, _) = t.magnitude().div_rem(&g2);
+        let (bd_red, _) = bd.div_rem(&g2);
+        Rational::from_coprime_big(BigInt::with_sign(t.sign(), num_mag), adp.mul(&bd_red))
     }
 }
 
 impl Sub for Rational {
     type Output = Rational;
+    #[inline]
     fn sub(self, other: Rational) -> Rational {
         self + (-other)
     }
@@ -177,35 +375,144 @@ impl Sub for Rational {
 
 impl Mul for Rational {
     type Output = Rational;
+    #[inline]
     fn mul(self, other: Rational) -> Rational {
-        Rational::from_parts(&self.num * &other.num, self.den.mul(&other.den))
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(r) = a.checked_mul(*b) {
+                return Rational::from_small(r);
+            }
+        }
+        // Heap lane with cross pre-reduction: numerators are coprime with
+        // their own denominators, so only the cross gcds g₁ = gcd(|a|, d)
+        // and g₂ = gcd(|c|, b) can cancel — the reduced product is
+        // coprime by construction, no post-normalization.
+        let (an, ad) = self.into_big_parts();
+        let (bn, bd) = other.into_big_parts();
+        if an.is_zero() || bn.is_zero() {
+            return Self::zero_();
+        }
+        let g1 = an.magnitude().gcd(&bd);
+        let g2 = bn.magnitude().gcd(&ad);
+        let (anr, _) = an.magnitude().div_rem(&g1);
+        let (bnr, _) = bn.magnitude().div_rem(&g2);
+        let (adr, _) = ad.div_rem(&g2);
+        let (bdr, _) = bd.div_rem(&g1);
+        Rational::from_coprime_big(
+            BigInt::with_sign(an.sign().mul(bn.sign()), anr.mul(&bnr)),
+            adr.mul(&bdr),
+        )
     }
 }
 
 impl Div for Rational {
     type Output = Rational;
+    #[inline]
     fn div(self, other: Rational) -> Rational {
-        assert!(!other.num.is_zero(), "Rational division by zero");
+        assert!(!Scalar::is_zero(&other), "Rational division by zero");
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(r) = a.checked_div(*b) {
+                return Rational::from_small(r);
+            }
+        }
         self * other.recip()
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
+    #[inline]
     fn neg(self) -> Rational {
-        Rational {
-            num: -self.num,
-            den: self.den,
+        match self.repr {
+            Repr::Small(s) => Rational::from_small(s.neg()),
+            Repr::Big { num, den } => Rational {
+                repr: Repr::Big { num: -num, den },
+            },
+        }
+    }
+}
+
+impl PartialEq for Rational {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a == b,
+            (Repr::Big { num: an, den: ad }, Repr::Big { num: bn, den: bd }) => {
+                an == bn && ad == bd
+            }
+            // Mixed representations: normalized forms are unique, so the
+            // heap side equals the small side iff its parts fit the limbs
+            // and match (canonical values never hit this arm; hand-built
+            // non-canonical ones still compare correctly).
+            (Repr::Small(s), Repr::Big { num, den }) | (Repr::Big { num, den }, Repr::Small(s)) => {
+                match (num.magnitude().to_u128(), den.to_u128()) {
+                    (Some(nm), Some(dm)) => {
+                        SmallRational::from_magnitudes(num.is_negative(), nm, dm) == Some(*s)
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+impl Eq for Rational {}
+
+/// Hash a magnitude as its normalized little-endian `u64` limbs
+/// (length-prefixed), so both representations of the same value write the
+/// same byte stream.
+fn hash_limbs<H: Hasher>(limbs: &[u64], state: &mut H) {
+    state.write_usize(limbs.len());
+    for &l in limbs {
+        state.write_u64(l);
+    }
+}
+
+fn hash_mag_u128<H: Hasher>(v: u128, state: &mut H) {
+    let lo = v as u64;
+    let hi = (v >> 64) as u64;
+    if hi != 0 {
+        hash_limbs(&[lo, hi], state);
+    } else if lo != 0 {
+        hash_limbs(&[lo], state);
+    } else {
+        hash_limbs(&[], state);
+    }
+}
+
+impl Hash for Rational {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match &self.repr {
+            Repr::Small(s) => {
+                state.write_i8(s.num().signum() as i8);
+                hash_mag_u128(s.num().unsigned_abs(), state);
+                hash_mag_u128(s.den() as u128, state);
+            }
+            Repr::Big { num, den } => {
+                let sign = match num.sign() {
+                    Sign::Neg => -1i8,
+                    Sign::Zero => 0,
+                    Sign::Pos => 1,
+                };
+                state.write_i8(sign);
+                hash_limbs(num.magnitude().limbs(), state);
+                hash_limbs(den.limbs(), state);
+            }
         }
     }
 }
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b vs c/d  (b,d > 0)  ⇔  ad vs cb
-        let ad = &self.num * &BigInt::from_biguint(other.den.clone());
-        let cb = &other.num * &BigInt::from_biguint(self.den.clone());
-        ad.cmp(&cb)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return a.cmp_small(b);
+        }
+        // a/b vs c/d  (b,d > 0)  ⇔  ad vs cb — heap cross products (at
+        // least one side is past the limbs, so the products are big
+        // anyway).
+        let (an, ad) = self.clone().into_big_parts();
+        let (bn, bd) = other.clone().into_big_parts();
+        let lhs = &an * &BigInt::from_biguint(bd);
+        let rhs = &bn * &BigInt::from_biguint(ad);
+        lhs.cmp(&rhs)
     }
 }
 
@@ -217,10 +524,21 @@ impl PartialOrd for Rational {
 
 impl fmt::Display for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.den.is_one() {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
+        match &self.repr {
+            Repr::Small(s) => {
+                if s.den() == 1 {
+                    write!(f, "{}", s.num())
+                } else {
+                    write!(f, "{}/{}", s.num(), s.den())
+                }
+            }
+            Repr::Big { num, den } => {
+                if den.is_one() {
+                    write!(f, "{num}")
+                } else {
+                    write!(f, "{num}/{den}")
+                }
+            }
         }
     }
 }
@@ -238,14 +556,22 @@ impl From<i64> for Rational {
 }
 
 impl Scalar for Rational {
+    #[inline(always)]
     fn zero() -> Self {
         Rational::zero_()
     }
+    #[inline(always)]
     fn one() -> Self {
-        Rational::from_int(1)
+        Rational::from_small(SmallRational::one())
     }
+    #[inline(always)]
     fn from_int(v: i64) -> Self {
         Rational::from_int(v)
+    }
+    /// Direct fixed-limb construction — no division, one binary GCD.
+    #[inline(always)]
+    fn from_ratio(n: i64, d: i64) -> Self {
+        Rational::new(n, d)
     }
     fn from_f64(v: f64) -> Self {
         Rational::from_f64_exact(v)
@@ -264,30 +590,57 @@ impl Scalar for Rational {
     fn total_cmp_s(&self, other: &Self) -> std::cmp::Ordering {
         self.cmp(other)
     }
+    #[inline(always)]
     fn is_zero(&self) -> bool {
-        self.num.is_zero()
+        match &self.repr {
+            Repr::Small(s) => s.is_zero(),
+            Repr::Big { num, .. } => num.is_zero(),
+        }
     }
+    #[inline(always)]
     fn is_positive(&self) -> bool {
-        self.num.is_positive()
+        match &self.repr {
+            Repr::Small(s) => s.num() > 0,
+            Repr::Big { num, .. } => num.is_positive(),
+        }
     }
+    #[inline(always)]
     fn is_negative(&self) -> bool {
-        self.num.is_negative()
+        match &self.repr {
+            Repr::Small(s) => s.num() < 0,
+            Repr::Big { num, .. } => num.is_negative(),
+        }
     }
     /// Exact floor via integer division (the trait default rounds through
-    /// `f64`, which would be wrong for values like `3 − 2⁻²⁰⁰`).
+    /// `f64`, which would be wrong for values like `3 − 2⁻²⁰⁰`). The fast
+    /// path is one Euclidean machine division.
     fn floor_s(&self) -> Self {
-        let den = BigInt::from_biguint(self.den.clone());
-        let (q, r) = self.num.div_rem(&den);
-        // `div_rem` truncates toward zero; floor shifts negatives down.
-        if self.num.is_negative() && !r.is_zero() {
-            Rational {
-                num: q - BigInt::one(),
-                den: BigUint::one(),
+        match &self.repr {
+            Repr::Small(s) => Rational::from_int_i128(s.floor_i128()),
+            Repr::Big { num, den } => {
+                let den_int = BigInt::from_biguint(den.clone());
+                let (q, r) = num.div_rem(&den_int);
+                // `div_rem` truncates toward zero; floor shifts negatives
+                // down.
+                if num.is_negative() && !r.is_zero() {
+                    Rational::from_coprime_big(q - BigInt::one(), BigUint::one())
+                } else {
+                    Rational::from_coprime_big(q, BigUint::one())
+                }
             }
-        } else {
-            Rational {
-                num: q,
-                den: BigUint::one(),
+        }
+    }
+    /// Exact ceiling; one machine division on the fast path.
+    fn ceil_s(&self) -> Self {
+        match &self.repr {
+            Repr::Small(s) => Rational::from_int_i128(s.ceil_i128()),
+            Repr::Big { .. } => {
+                let f = self.floor_s();
+                if f == *self {
+                    f
+                } else {
+                    f + Rational::from_int(1)
+                }
             }
         }
     }
@@ -329,9 +682,80 @@ mod tests {
     }
 
     #[test]
+    fn small_values_stay_on_the_fast_path() {
+        assert!(r(355, 113).as_small().is_some());
+        assert!(!r(355, 113).is_promoted());
+        let sum = r(1, 3) + r(1, 6);
+        assert!(!sum.is_promoted());
+        assert_eq!(sum, r(1, 2));
+    }
+
+    #[test]
+    fn overflow_promotes_and_shrinking_demotes() {
+        // 2¹²⁶ is small; squaring it must promote (2²⁵² needs the heap).
+        let big = Rational::from_parts(BigInt::one(), BigUint::one().shl_bits(126));
+        assert!(!big.is_promoted());
+        let sq = big.clone() * big.clone();
+        assert!(sq.is_promoted());
+        // Dividing back across the boundary demotes again.
+        let back = sq / big.clone();
+        assert!(!back.is_promoted());
+        assert_eq!(
+            back,
+            Rational::from_parts(BigInt::one(), BigUint::one().shl_bits(126))
+        );
+    }
+
+    #[test]
+    fn i64_min_edges() {
+        // i64::MIN magnitudes are perfectly representable in the limbs.
+        assert_eq!(Rational::new(i64::MIN, 1).to_string(), i64::MIN.to_string());
+        assert_eq!(Rational::new(i64::MIN, i64::MIN), Rational::from_int(1));
+        assert_eq!(Rational::new(i64::MIN, 2), Rational::new(i64::MIN / 2, 1));
+        assert_eq!(
+            Rational::new(1, i64::MIN) + Rational::new(1, i64::MIN),
+            Rational::new(-1, i64::MAX / 2 + 1)
+        );
+        assert_eq!(
+            -Rational::new(i64::MIN, 1),
+            Rational::new(i64::MIN, 1).abs()
+        );
+    }
+
+    #[test]
+    fn i128_min_edges() {
+        // 2¹²⁷ does not fit the signed limbs: must promote, not wrap.
+        let m = Rational::from_int_i128(i128::MIN);
+        assert!(m.is_promoted());
+        assert_eq!(m.to_string(), i128::MIN.to_string());
+        assert_eq!(-m.clone(), Rational::from_int_i128(i128::MIN).abs());
+        // ... and reducing constructions demote.
+        let half = Rational::from_ratio_i128(i128::MIN, 2);
+        assert!(!half.is_promoted());
+        assert_eq!(half, Rational::from_int_i128(i128::MIN / 2));
+        assert_eq!(
+            Rational::from_ratio_i128(i128::MIN, i128::MIN),
+            Rational::from_int(1)
+        );
+        // 1 / 2¹²⁷: the *denominator* is past the limbs.
+        let tiny = Rational::from_ratio_i128(1, i128::MIN);
+        assert!(tiny.is_promoted());
+        assert_eq!(
+            tiny.clone() * Rational::from_int_i128(i128::MIN),
+            Rational::from_int(1)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         let _ = r(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_i128_panics() {
+        let _ = Rational::from_ratio_i128(5, 0);
     }
 
     #[test]
@@ -348,6 +772,35 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn division_by_zero_panics() {
         let _ = r(1, 2) / Rational::from_int(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_promoted_then_demoted_zero_panics() {
+        // A zero produced on the heap lane (huge − huge) demotes to the
+        // canonical 0/1; dividing by it must still hit the guard.
+        let huge = Rational::from_parts(BigInt::one(), BigUint::one()).recip()
+            * Rational::from_parts(
+                BigInt::with_sign(Sign::Pos, BigUint::one().shl_bits(300)),
+                BigUint::one(),
+            );
+        let zero = huge.clone() - huge;
+        assert!(!zero.is_promoted());
+        assert!(Scalar::is_zero(&zero));
+        let _ = r(1, 2) / zero;
+    }
+
+    #[test]
+    fn promoted_then_demoted_zero_is_canonical() {
+        let huge = Rational::from_parts(
+            BigInt::with_sign(Sign::Pos, BigUint::one().shl_bits(200)),
+            BigUint::from_u64(3),
+        );
+        let zero = huge.clone() - huge;
+        assert!(!zero.is_promoted());
+        assert_eq!(zero, <Rational as Scalar>::zero());
+        assert!(!Scalar::is_positive(&zero) && !Scalar::is_negative(&zero));
+        assert_eq!(zero.to_string(), "0");
     }
 
     #[test]
@@ -376,7 +829,19 @@ mod tests {
 
     #[test]
     fn approx_f64_roundtrip() {
-        for v in [0.0, 1.5, -2.25, 1e-30, 123456.789, -1e30] {
+        for v in [
+            0.0,
+            1.5,
+            -2.25,
+            1e-30,
+            123456.789,
+            -1e30,
+            1e300,
+            -1e-300,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal: deep in heap-denominator land
+            f64::MAX,
+        ] {
             let q = Rational::from_f64_exact(v);
             assert_eq!(q.approx_f64(), v, "roundtrip failed for {v}");
         }
@@ -386,6 +851,12 @@ mod tests {
     fn recip() {
         assert_eq!(r(3, 4).recip(), r(4, 3));
         assert_eq!(r(-3, 4).recip(), r(-4, 3));
+        // Promoted values invert without leaving the heap lane wrongly.
+        let big = Rational::from_parts(BigInt::one(), BigUint::one().shl_bits(200));
+        assert!(big.is_promoted());
+        let inv = big.recip();
+        assert!(inv.is_promoted());
+        assert_eq!(inv.recip(), big);
     }
 
     #[test]
@@ -393,6 +864,7 @@ mod tests {
         assert!(<Rational as Scalar>::zero().is_zero());
         assert_eq!(<Rational as Scalar>::one(), Rational::from_int(1));
         assert_eq!(<Rational as Scalar>::from_int(-7), Rational::from_int(-7));
+        assert_eq!(<Rational as Scalar>::from_ratio(-7, 14), r(-1, 2));
         assert!(r(1, 3).is_positive());
         assert!(r(-1, 3).is_negative());
         assert_eq!(r(-1, 2).abs(), r(1, 2));
@@ -400,16 +872,18 @@ mod tests {
 
     #[test]
     fn grows_beyond_machine_precision() {
-        // Σ 1/k! style growth: denominators explode but stay exact.
+        // Σ 1/k! style growth past the fixed limbs: denominators explode
+        // but stay exact (35! ≈ 2¹³², which forces the heap lane).
         let mut acc = Rational::from_int(0);
         let mut den = Rational::from_int(1);
-        for k in 1..=25i64 {
+        for k in 1..=35i64 {
             den = den * Rational::from_int(k);
             acc = acc + den.clone().recip();
         }
         // e − 1 ≈ 1.718281828…
         assert!((acc.approx_f64() - (std::f64::consts::E - 1.0)).abs() < 1e-12);
-        assert!(acc.denom().bits() > 64, "should exceed one limb");
+        assert!(acc.denom().bits() > 128, "should exceed the fixed limbs");
+        assert!(acc.is_promoted());
     }
 
     proptest! {

@@ -1,0 +1,430 @@
+//! Fixed-limb small rationals: the stack-allocated fast path of
+//! [`Rational`](crate::Rational).
+//!
+//! A [`SmallRational`] is an `i128` numerator over a positive `i128`
+//! denominator, normalized (coprime, zero is `0/1`). Every operation is
+//! overflow-checked and returns `None` when a reduced result would not fit
+//! the fixed limbs — the caller promotes to the heap `BigInt`
+//! representation at that point. Normalization runs binary GCD on machine
+//! words (no allocation, no division loop), and additions/multiplications
+//! pre-reduce their cross factors (Knuth 4.5.1) so intermediate products
+//! overflow as rarely as possible.
+//!
+//! Comparisons never need promotion: the 128×128→256-bit cross products
+//! are formed with a widening schoolbook multiply on `u64` halves.
+//!
+//! Internal invariants (enforced by every constructor):
+//! * `den > 0`;
+//! * `gcd(|num|, den) = 1`, zero is `0/1`;
+//! * `num > i128::MIN` — magnitudes stay `≤ i128::MAX`, so negation can
+//!   never overflow.
+
+use std::cmp::Ordering;
+
+/// A normalized rational that fits in two machine double-words.
+///
+/// `Copy`, allocation-free, and only constructible in normalized form.
+/// Arithmetic is overflow-checked: `None` means "promote to the heap
+/// representation", never a wrong answer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SmallRational {
+    num: i128,
+    den: i128,
+}
+
+/// Binary GCD on unsigned machine words. `gcd(0, b) = b`, `gcd(a, 0) = a`.
+#[inline(always)]
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Full 128×128→256-bit product as `(hi, lo)` — schoolbook on `u64`
+/// halves, branch-free. Lexicographic comparison of the pairs compares
+/// the products.
+#[inline(always)]
+fn widening_mul_u128(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+const MAG_MAX: u128 = i128::MAX as u128;
+
+impl SmallRational {
+    /// Zero (`0/1`).
+    #[inline(always)]
+    pub const fn zero() -> Self {
+        SmallRational { num: 0, den: 1 }
+    }
+
+    /// One (`1/1`).
+    #[inline(always)]
+    pub const fn one() -> Self {
+        SmallRational { num: 1, den: 1 }
+    }
+
+    /// An exact machine integer.
+    #[inline(always)]
+    pub const fn from_i64(v: i64) -> Self {
+        SmallRational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+
+    /// Normalize `n / d`. Returns `None` when the *reduced* numerator or
+    /// denominator magnitude exceeds `i128::MAX` (only possible for
+    /// `i128::MIN` inputs that do not reduce).
+    ///
+    /// # Panics
+    /// Debug-asserts `d != 0`; the zero-denominator guard lives in
+    /// [`Rational`](crate::Rational)'s public constructors.
+    #[inline(always)]
+    pub fn new_checked(n: i128, d: i128) -> Option<Self> {
+        debug_assert!(d != 0, "SmallRational::new_checked: zero denominator");
+        if n == 0 {
+            return Some(Self::zero());
+        }
+        let neg = (n < 0) != (d < 0);
+        let (nm, dm) = (n.unsigned_abs(), d.unsigned_abs());
+        let g = gcd_u128(nm, dm);
+        Self::from_magnitudes(neg, nm / g, dm / g)
+    }
+
+    /// Assemble from coprime magnitudes; `None` when either exceeds the
+    /// signed range.
+    #[inline(always)]
+    pub(crate) fn from_magnitudes(neg: bool, num_mag: u128, den_mag: u128) -> Option<Self> {
+        if num_mag > MAG_MAX || den_mag > MAG_MAX {
+            return None;
+        }
+        let num = if neg {
+            -(num_mag as i128)
+        } else {
+            num_mag as i128
+        };
+        Some(SmallRational {
+            num,
+            den: den_mag as i128,
+        })
+    }
+
+    /// The signed numerator (coprime with the denominator).
+    #[inline(always)]
+    pub const fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// The positive denominator.
+    #[inline(always)]
+    pub const fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff zero.
+    #[inline(always)]
+    pub const fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Checked addition of normalized operands (Knuth 4.5.1: pre-reduce
+    /// the denominators by their GCD so cross products stay small, and
+    /// finish with one word GCD instead of a full renormalization).
+    #[inline(always)]
+    pub fn checked_add(self, other: Self) -> Option<Self> {
+        let (a, b, c, d) = (self.num, self.den, other.num, other.den);
+        let g1 = gcd_u128(b as u128, d as u128) as i128;
+        if g1 == 1 {
+            // Coprime denominators: ad + cb is already coprime with bd.
+            let num = a.checked_mul(d)?.checked_add(c.checked_mul(b)?)?;
+            if num == 0 {
+                return Some(Self::zero());
+            }
+            if num == i128::MIN {
+                return None;
+            }
+            let den = b.checked_mul(d)?;
+            Some(SmallRational { num, den })
+        } else {
+            let bp = b / g1;
+            let dp = d / g1;
+            let t = a.checked_mul(dp)?.checked_add(c.checked_mul(bp)?)?;
+            if t == 0 {
+                return Some(Self::zero());
+            }
+            // Only the shared factor g1 can survive into gcd(t, b·d').
+            let g2 = gcd_u128(t.unsigned_abs(), g1 as u128) as i128;
+            let num = t / g2;
+            if num == i128::MIN {
+                return None;
+            }
+            let den = bp.checked_mul(d / g2)?;
+            Some(SmallRational { num, den })
+        }
+    }
+
+    /// Checked subtraction.
+    #[inline(always)]
+    pub fn checked_sub(self, other: Self) -> Option<Self> {
+        self.checked_add(other.neg())
+    }
+
+    /// Checked multiplication, cross-reducing first (`gcd(|a|, d)` and
+    /// `gcd(|c|, b)`) so the products are as small as the result allows.
+    #[inline(always)]
+    pub fn checked_mul(self, other: Self) -> Option<Self> {
+        let (a, b, c, d) = (self.num, self.den, other.num, other.den);
+        if a == 0 || c == 0 {
+            return Some(Self::zero());
+        }
+        let g1 = gcd_u128(a.unsigned_abs(), d as u128) as i128;
+        let g2 = gcd_u128(c.unsigned_abs(), b as u128) as i128;
+        let num = (a / g1).checked_mul(c / g2)?;
+        if num == i128::MIN {
+            return None;
+        }
+        let den = (b / g2).checked_mul(d / g1)?;
+        Some(SmallRational { num, den })
+    }
+
+    /// Checked division.
+    ///
+    /// # Panics
+    /// Debug-asserts `other` is non-zero; the public guard lives in
+    /// [`Rational`](crate::Rational).
+    #[inline(always)]
+    pub fn checked_div(self, other: Self) -> Option<Self> {
+        debug_assert!(!other.is_zero(), "SmallRational::checked_div by zero");
+        self.checked_mul(other.recip())
+    }
+
+    /// Negation — infallible thanks to the `num > i128::MIN` invariant.
+    #[inline(always)]
+    pub const fn neg(self) -> Self {
+        SmallRational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse — infallible on non-zero values (magnitudes
+    /// just swap).
+    ///
+    /// # Panics
+    /// Debug-asserts the value is non-zero.
+    #[inline(always)]
+    pub const fn recip(self) -> Self {
+        debug_assert!(self.num != 0, "SmallRational::recip of zero");
+        if self.num < 0 {
+            SmallRational {
+                num: -self.den,
+                den: -self.num,
+            }
+        } else {
+            SmallRational {
+                num: self.den,
+                den: self.num,
+            }
+        }
+    }
+
+    /// Exact comparison without promotion: sign test, then the 256-bit
+    /// cross products `|a|·d` vs `|c|·b`.
+    #[inline(always)]
+    pub fn cmp_small(&self, other: &Self) -> Ordering {
+        let sa = self.num.signum();
+        let sb = other.num.signum();
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        if sa == 0 {
+            return Ordering::Equal;
+        }
+        let lhs = widening_mul_u128(self.num.unsigned_abs(), other.den as u128);
+        let rhs = widening_mul_u128(other.num.unsigned_abs(), self.den as u128);
+        let mag = lhs.cmp(&rhs);
+        if sa > 0 {
+            mag
+        } else {
+            mag.reverse()
+        }
+    }
+
+    /// Exact floor as a machine integer (`⌊num/den⌋`; Euclidean division
+    /// because `den > 0`).
+    #[inline(always)]
+    pub const fn floor_i128(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Exact ceiling as a machine integer.
+    #[inline(always)]
+    pub const fn ceil_i128(&self) -> i128 {
+        // −⌊−x⌋; safe because num > i128::MIN.
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Approximate `f64` value. Exact whenever the value is representable
+    /// (numerator and denominator each convert exactly below 2⁵³, and the
+    /// division then rounds once).
+    #[inline(always)]
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(n: i128, d: i128) -> SmallRational {
+        SmallRational::new_checked(n, d).expect("fits")
+    }
+
+    #[test]
+    fn normalization_and_signs() {
+        assert_eq!(s(2, 4), s(1, 2));
+        assert_eq!(s(-2, 4), s(1, -2));
+        assert_eq!(s(6, -4), s(-3, 2));
+        assert_eq!(s(0, 7), SmallRational::zero());
+        assert_eq!(s(5, 5), SmallRational::one());
+        assert_eq!(s(-7, 1).num(), -7);
+        assert_eq!(s(-7, 2).den(), 2);
+    }
+
+    #[test]
+    fn gcd_machine_words() {
+        assert_eq!(gcd_u128(0, 5), 5);
+        assert_eq!(gcd_u128(5, 0), 5);
+        assert_eq!(gcd_u128(48, 36), 12);
+        assert_eq!(gcd_u128(1 << 100, 1 << 64), 1 << 64);
+        assert_eq!(gcd_u128(u128::MAX, u128::MAX - 1), 1);
+    }
+
+    #[test]
+    fn arithmetic_small() {
+        assert_eq!(s(1, 2).checked_add(s(1, 3)), Some(s(5, 6)));
+        assert_eq!(s(1, 2).checked_sub(s(1, 3)), Some(s(1, 6)));
+        assert_eq!(s(2, 3).checked_mul(s(3, 4)), Some(s(1, 2)));
+        assert_eq!(s(1, 2).checked_div(s(1, 4)), Some(s(2, 1)));
+        assert_eq!(s(1, 2).checked_add(s(-1, 2)), Some(SmallRational::zero()));
+        assert_eq!(s(3, 4).recip(), s(4, 3));
+        assert_eq!(s(-3, 4).recip(), s(-4, 3));
+        assert_eq!(s(1, 3).neg(), s(-1, 3));
+    }
+
+    #[test]
+    fn overflow_promotes_not_wraps() {
+        let big = s(i128::MAX, 1);
+        assert_eq!(big.checked_add(s(1, 1)), None);
+        assert_eq!(big.checked_mul(s(2, 1)), None);
+        // Pre-reduction rescues results that do fit.
+        let half_max = s(i128::MAX / 2, 1);
+        assert_eq!(half_max.checked_mul(s(2, 1)), Some(s(i128::MAX - 1, 1)));
+        let deep_den = s(1, i128::MAX);
+        assert_eq!(deep_den.checked_mul(s(i128::MAX, 1)), Some(s(1, 1)));
+    }
+
+    #[test]
+    fn i128_min_inputs_reduce_or_refuse() {
+        // i128::MIN magnitudes are 2¹²⁷ — storable only after reduction.
+        assert_eq!(
+            SmallRational::new_checked(i128::MIN, 2),
+            Some(s(-(1i128 << 126), 1))
+        );
+        assert_eq!(
+            SmallRational::new_checked(i128::MIN, i128::MIN),
+            Some(SmallRational::one())
+        );
+        assert_eq!(SmallRational::new_checked(i128::MIN, 1), None);
+        assert_eq!(SmallRational::new_checked(1, i128::MIN), None);
+        assert_eq!(SmallRational::new_checked(i128::MIN, 3), None);
+    }
+
+    #[test]
+    fn cmp_without_promotion() {
+        assert_eq!(s(1, 3).cmp_small(&s(1, 2)), Ordering::Less);
+        assert_eq!(s(-1, 2).cmp_small(&s(-1, 3)), Ordering::Less);
+        assert_eq!(s(2, 6).cmp_small(&s(1, 3)), Ordering::Equal);
+        // Cross products overflow i128 but the 256-bit compare is exact.
+        let a = s(i128::MAX, i128::MAX - 1);
+        let b = s(i128::MAX - 1, i128::MAX - 2);
+        assert_eq!(a.cmp_small(&b), Ordering::Less);
+        assert_eq!(b.cmp_small(&a), Ordering::Greater);
+        assert_eq!(a.cmp_small(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil_machine() {
+        assert_eq!(s(7, 2).floor_i128(), 3);
+        assert_eq!(s(7, 2).ceil_i128(), 4);
+        assert_eq!(s(-7, 2).floor_i128(), -4);
+        assert_eq!(s(-7, 2).ceil_i128(), -3);
+        assert_eq!(s(6, 2).floor_i128(), 3);
+        assert_eq!(s(6, 2).ceil_i128(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_mul_match_naive(a in -1_000_000i64..1_000_000, b in 1i64..1_000_000,
+                                    c in -1_000_000i64..1_000_000, d in 1i64..1_000_000) {
+            let (a, b, c, d) = (a as i128, b as i128, c as i128, d as i128);
+            let x = s(a, b);
+            let y = s(c, d);
+            // Small operands never overflow the checked lane, and the
+            // results agree with the unreduced cross formulas.
+            let sum = x.checked_add(y).expect("small operands fit");
+            prop_assert_eq!(sum.cmp_small(&s(a * d + c * b, b * d)), Ordering::Equal);
+            let prod = x.checked_mul(y).expect("small operands fit");
+            prop_assert_eq!(prod.cmp_small(&s(a * c, b * d)), Ordering::Equal);
+        }
+
+        #[test]
+        fn prop_cmp_matches_wide_integers(a in any::<i64>(), b in 1i64.., c in any::<i64>(), d in 1i64..) {
+            let lhs = s(a as i128, b as i128);
+            let rhs = s(c as i128, d as i128);
+            let exact = (a as i128 * d as i128).cmp(&(c as i128 * b as i128));
+            prop_assert_eq!(lhs.cmp_small(&rhs), exact);
+        }
+
+        #[test]
+        fn prop_widening_mul_matches_splits(a_hi in any::<u64>(), a_lo in any::<u64>(),
+                                            b in any::<u64>()) {
+            // Against an exactly computable reference: b fits u64, so
+            // a·b = (a_hi·b) << 64 + a_lo·b with u128 intermediates.
+            let a = ((a_hi as u128) << 64) | a_lo as u128;
+            let (hi, lo) = widening_mul_u128(a, b as u128);
+            let low_part = a_lo as u128 * b as u128;
+            let high_part = a_hi as u128 * b as u128;
+            let expect_lo = low_part.wrapping_add(high_part << 64);
+            let expect_hi = (high_part >> 64) + (((low_part >> 64) + (high_part & ((1u128 << 64) - 1))) >> 64);
+            prop_assert_eq!((hi, lo), (expect_hi, expect_lo));
+        }
+    }
+}

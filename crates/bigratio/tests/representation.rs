@@ -1,0 +1,143 @@
+//! Cross-representation agreement: the fixed-limb fast path and the heap
+//! lane must be *observably identical* — same results, same ordering, same
+//! hashes — with promotion/demotion visible only through
+//! `Rational::is_promoted`.
+
+use bigratio::{BigInt, BigUint, Rational};
+use numkit::Scalar;
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn hash_of(r: &Rational) -> u64 {
+    let mut h = DefaultHasher::new();
+    r.hash(&mut h);
+    h.finish()
+}
+
+/// The same value built on the heap lane, demotion suppressed.
+fn as_big(n: i64, d: i64) -> Rational {
+    let sign_flip = d < 0;
+    let num = BigInt::from_i64(n);
+    let num = if sign_flip { -num } else { num };
+    Rational::from_parts_nodemote(num, BigUint::from_u64(d.unsigned_abs()))
+}
+
+proptest! {
+    /// Eq, Ord and Hash agree across representations of the same value.
+    #[test]
+    fn hash_eq_consistent_across_representations(n in any::<i64>(), d in 1i64..) {
+        let small = Rational::new(n, d);
+        let big = as_big(n, d);
+        prop_assert!(!small.is_promoted());
+        prop_assert!(big.is_promoted() || n == 0); // zero canonicalizes in from_parts_nodemote's gcd? keep the Eq checks regardless
+        prop_assert_eq!(small.clone(), big.clone());
+        prop_assert_eq!(big.clone(), small.clone());
+        prop_assert_eq!(small.cmp(&big), std::cmp::Ordering::Equal);
+        prop_assert_eq!(hash_of(&small), hash_of(&big));
+    }
+
+    /// A randomized operand stream produces bit-identical results whether
+    /// the inputs enter on the fast path or the (forced) heap lane.
+    #[test]
+    fn operand_streams_agree(ops in proptest::collection::vec(
+        (0u8..4, -10_000i64..10_000, 1i64..10_000), 1..40))
+    {
+        let mut fast = Rational::from_int(1);
+        let mut slow = Rational::from_parts_nodemote(BigInt::one(), BigUint::one());
+        for (op, n, d) in ops {
+            let x_fast = Rational::new(n, d);
+            let x_slow = as_big(n, d);
+            match op {
+                0 => { fast = fast + x_fast; slow = slow + x_slow; }
+                1 => { fast = fast - x_fast; slow = slow - x_slow; }
+                2 => { fast = fast * x_fast; slow = slow * x_slow; }
+                _ => {
+                    if !Scalar::is_zero(&x_fast) {
+                        fast = fast / x_fast;
+                        slow = slow / x_slow;
+                    }
+                }
+            }
+            prop_assert_eq!(fast.clone(), slow.clone());
+            prop_assert_eq!(hash_of(&fast), hash_of(&slow));
+            prop_assert_eq!(fast.numer(), slow.numer());
+            prop_assert_eq!(fast.denom(), slow.denom());
+        }
+    }
+
+    /// Construction promotes exactly when the reduced parts exceed the
+    /// fixed limbs, and arithmetic across the boundary round-trips.
+    #[test]
+    fn promotion_boundary_is_exact(shift in 100u64..140, k in 1u64..1000) {
+        // 2^shift / k reduces to odd-k denominator times a power of two;
+        // the reduced numerator magnitude decides the representation.
+        let v = Rational::from_parts(
+            BigInt::from_biguint(BigUint::one().shl_bits(shift)),
+            BigUint::from_u64(k),
+        );
+        let expect_small = v.numer().magnitude().bits() <= 127 && v.denom().bits() <= 127;
+        prop_assert_eq!(!v.is_promoted(), expect_small);
+
+        // Crossing the boundary by squaring, then returning by division,
+        // lands back on the fast path with the identical value.
+        let sq = v.clone() * v.clone();
+        let back = sq / v.clone();
+        prop_assert_eq!(back.clone(), v.clone());
+        prop_assert_eq!(back.is_promoted(), v.is_promoted());
+    }
+
+    /// floor/ceil/round agree between the fast path and the heap lane.
+    #[test]
+    fn rounding_agrees_across_representations(n in -100_000i64..100_000, d in 1i64..1000) {
+        let small = Rational::new(n, d);
+        let big = as_big(n, d);
+        prop_assert_eq!(small.floor_s(), big.floor_s());
+        prop_assert_eq!(small.ceil_s(), big.ceil_s());
+        prop_assert_eq!(small.round_s(), big.round_s());
+        prop_assert_eq!(small.approx_f64(), big.approx_f64());
+    }
+}
+
+#[test]
+fn boundary_straddling_exact_values() {
+    // i128::MAX as a rational is the largest fast-path integer.
+    let top = Rational::from_int_i128(i128::MAX);
+    assert!(!top.is_promoted());
+    // One more promotes; subtracting one demotes back.
+    let over = top.clone() + Rational::from_int(1);
+    assert!(over.is_promoted());
+    let back = over - Rational::from_int(1);
+    assert!(!back.is_promoted());
+    assert_eq!(back, top);
+
+    // Same straddle on the denominator side: 1/i128::MAX is small,
+    // halving it promotes (den 2·(2¹²⁷−1) > i128::MAX), doubling demotes.
+    let tiny = Rational::from_int_i128(i128::MAX).recip();
+    assert!(!tiny.is_promoted());
+    let half = tiny.clone() / Rational::from_int(2);
+    assert!(half.is_promoted());
+    let dbl = half * Rational::from_int(2);
+    assert!(!dbl.is_promoted());
+    assert_eq!(dbl, tiny);
+}
+
+#[test]
+fn hash_eq_for_promoted_values() {
+    use std::collections::HashSet;
+    // Promoted values participate in hash sets alongside demoted equals.
+    let big = Rational::from_parts(
+        BigInt::from_biguint(BigUint::one().shl_bits(200)),
+        BigUint::from_u64(3),
+    );
+    let mut set = HashSet::new();
+    set.insert(big.clone());
+    assert!(set.contains(&big));
+    // The same value reconstructed independently hashes identically.
+    let big2 = Rational::from_parts(
+        BigInt::from_biguint(BigUint::one().shl_bits(201)),
+        BigUint::from_u64(6),
+    );
+    assert!(set.contains(&big2));
+    assert_eq!(set.len(), 1);
+}

@@ -38,6 +38,19 @@ pub trait Scalar:
     fn one() -> Self;
     /// Exact conversion from a small integer.
     fn from_int(v: i64) -> Self;
+    /// Exact conversion from an integer ratio `n / d`.
+    ///
+    /// The default divides two [`Scalar::from_int`] lifts; exact fields
+    /// with a fixed-limb fast path override it to build the reduced value
+    /// directly (one machine GCD, no division).
+    ///
+    /// # Panics
+    /// Exact implementations panic when `d == 0`; `f64` follows IEEE and
+    /// returns an infinity.
+    #[inline]
+    fn from_ratio(n: i64, d: i64) -> Self {
+        Self::from_int(n) / Self::from_int(d)
+    }
     /// Conversion from `f64`.
     ///
     /// Implementations must be *exact* when the value is representable
@@ -152,8 +165,7 @@ pub trait Scalar:
     /// The nearest integer value (half-way cases round up).
     #[inline]
     fn round_s(&self) -> Self {
-        let half = Self::one() / Self::from_int(2);
-        (self.clone() + half).floor_s()
+        (self.clone() + Self::from_ratio(1, 2)).floor_s()
     }
 }
 
@@ -169,6 +181,10 @@ impl Scalar for f64 {
     #[inline]
     fn from_int(v: i64) -> Self {
         v as f64
+    }
+    #[inline]
+    fn from_ratio(n: i64, d: i64) -> Self {
+        n as f64 / d as f64
     }
     #[inline]
     fn from_f64(v: f64) -> Self {
@@ -258,6 +274,7 @@ mod tests {
         assert_eq!(f64::zero(), 0.0);
         assert_eq!(f64::one(), 1.0);
         assert_eq!(f64::from_int(-3), -3.0);
+        assert_eq!(f64::from_ratio(-3, 4), -0.75);
         assert!(Scalar::is_positive(&2.0f64));
         assert!(Scalar::is_negative(&-2.0f64));
         assert!(Scalar::is_zero(&0.0f64));
