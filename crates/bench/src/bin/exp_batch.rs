@@ -7,10 +7,12 @@
 //! `results/BENCH_batch.json` (the cross-PR perf trajectory), printing
 //! the per-(family, policy) summary table.
 //!
-//! Two grids run back to back: the identical-machine families over the
-//! full registry, and the **related-machines** families (power-law
-//! speeds, two-tier cluster, single-fast adversary) over the
-//! related-capable policy subset.
+//! Three grids run back to back: the identical-machine families over the
+//! full registry, the **related-machines** families (power-law speeds,
+//! two-tier cluster, single-fast adversary) over the related-capable
+//! policy subset, and the **capacity-oracle** families (restricted
+//! assignment, submodular coverage) over the same heterogeneous-capable
+//! subset.
 //!
 //! ```text
 //! exp_batch [--smoke] [--exact] [--instances N] [--n N] [--policies a,b,c]
@@ -158,27 +160,71 @@ fn main() {
         policy::related_capable()
     };
 
+    // Capacity-oracle grid: non-uniform rank functions beyond speed
+    // profiles — restricted assignment (bipartite matching rank) and
+    // submodular coverage (concave rank table) — over the same
+    // heterogeneous-capable policy subset.
+    let capacity_specs: Vec<Spec> = if smoke {
+        vec![
+            Spec::RestrictedAssignment {
+                n: 4,
+                machines: 3,
+                min_eligible: 1,
+            },
+            Spec::SubmodularCoverage { n: 4, machines: 3 },
+        ]
+    } else {
+        vec![
+            Spec::RestrictedAssignment {
+                n,
+                machines: 8,
+                min_eligible: 2,
+            },
+            Spec::SubmodularCoverage { n, machines: 8 },
+        ]
+    };
+    let capacity_names: Vec<&str> = if smoke {
+        vec![
+            "wdeq-related",
+            "greedy-lpt-related",
+            "greedy-eligibility-related",
+            "lmax-parametric-related",
+            "makespan-parametric",
+        ]
+    } else {
+        policy::related_capable()
+    };
+
     let mut identical_grid = BatchGrid::new().seeds(seeds.clone());
     for spec in &identical_specs {
         identical_grid = identical_grid.spec(spec.clone());
     }
     let identical_grid = identical_grid.named_policies(identical_names.iter().copied());
 
-    let mut related_grid = BatchGrid::new().seeds(seeds);
+    let mut related_grid = BatchGrid::new().seeds(seeds.clone());
     for spec in &related_specs {
         related_grid = related_grid.spec(spec.clone());
     }
     let related_grid = related_grid.named_policies(related_names.iter().copied());
 
+    let mut capacity_grid = BatchGrid::new().seeds(seeds);
+    for spec in &capacity_specs {
+        capacity_grid = capacity_grid.spec(spec.clone());
+    }
+    let capacity_grid = capacity_grid.named_policies(capacity_names.iter().copied());
+
     println!(
-        "B0: batch evaluation — {} identical policies × {} families + {} related policies × {} families, {instances} seeds each\n",
+        "B0: batch evaluation — {} identical policies × {} families + {} related policies × {} families + {} capacity policies × {} families, {instances} seeds each\n",
         identical_names.len(),
         identical_specs.len(),
         related_names.len(),
         related_specs.len(),
+        capacity_names.len(),
+        capacity_specs.len(),
     );
     let mut records = identical_grid.run();
     records.extend(related_grid.run());
+    records.extend(capacity_grid.run());
 
     // Soundness: nothing beats the combined lower bound, every
     // certificate holds, and every record is a finite, converged result
@@ -187,6 +233,7 @@ fn main() {
     // related cells run the same assertions — heterogeneous speeds
     // included.
     let mut related_records = 0usize;
+    let mut capacity_records = 0usize;
     for r in &records {
         assert!(
             r.cost.is_finite() && r.makespan.is_finite(),
@@ -209,10 +256,17 @@ fn main() {
         if r.policy.ends_with("-related") {
             related_records += 1;
         }
+        if r.family.starts_with("restricted") || r.family.starts_with("submodular") {
+            capacity_records += 1;
+        }
     }
     assert!(
         related_records > 0,
         "the sweep must include related-machines cells"
+    );
+    assert!(
+        capacity_records > 0,
+        "the sweep must include restricted-assignment/submodular capacity cells"
     );
 
     // Exact certification pass: the same cells at bigratio::Rational,
@@ -224,23 +278,29 @@ fn main() {
             exact_certification(&identical_specs, &identical_names, &exact_seeds);
         let (rel_records, rel_violations) =
             exact_certification(&related_specs, &related_names, &exact_seeds);
-        let total = exact_records.len() + rel_records.len();
+        let (cap_records, cap_violations) =
+            exact_certification(&capacity_specs, &capacity_names, &exact_seeds);
+        let total = exact_records.len() + rel_records.len() + cap_records.len();
+        let n_violations = violations.len() + rel_violations.len() + cap_violations.len();
         println!(
             "\nexact certification: {} cells at Rational, {} violations",
-            total,
-            violations.len() + rel_violations.len()
+            total, n_violations
         );
-        for v in violations.iter().chain(&rel_violations) {
+        for v in violations
+            .iter()
+            .chain(&rel_violations)
+            .chain(&cap_violations)
+        {
             eprintln!("  EXACT VIOLATION {}: {}", v.cell, v.what);
         }
         assert!(
-            violations.is_empty() && rel_violations.is_empty(),
-            "exact certification failed on {} cell(s)",
-            violations.len() + rel_violations.len()
+            n_violations == 0,
+            "exact certification failed on {n_violations} cell(s)"
         );
         let exact_wall: f64 = exact_records
             .iter()
             .chain(&rel_records)
+            .chain(&cap_records)
             .map(|r| r.wall_us)
             .sum();
         println!("  exact lane wall time: {:.1} ms", exact_wall / 1e3);

@@ -8,22 +8,35 @@
 //!
 //! ```text
 //! msched <instance-file> [--policy <name>] [--list-policies]
-//!                        [--speeds s1,s2,...] [--gantt] [--svg out.svg]
-//!                        [--normalize]
+//!                        [--speeds s1,s2,...] [--gains g1,g2,...]
+//!                        [--machines M --eligible "0,1;2;..."]
+//!                        [--gantt] [--svg out.svg] [--normalize]
 //! usage examples:
 //!   msched --list-policies
+//!   msched jobs.txt --list-policies          # adds a capability column
 //!   msched jobs.txt --policy wdeq --gantt
 //!   msched jobs.txt --policy greedy-smith --normalize
 //!   msched jobs.txt --policy optimal --svg plan.svg
 //!   msched jobs.txt --speeds 4,2,1 --policy wdeq-related
+//!   msched jobs.txt --machines 3 --eligible "0,1;2;0,2" --policy wdeq-related
 //! ```
 //!
-//! `--speeds` re-bases the instance onto related machines with the given
-//! per-machine speeds (capacity `P` becomes their sum); pick a
-//! related-capable policy (`wdeq-related`, `wf-related`,
-//! `greedy-smith-related`, `lmax-parametric-related`,
-//! `makespan-parametric`, …) — the identical-machine rate-space policies
-//! reject heterogeneous speed profiles.
+//! The re-basing flags swap the instance onto another capacity model —
+//! at most one of:
+//!
+//! * `--speeds s1,...` — related machines with the given speeds;
+//! * `--gains g1,...` — a submodular oracle with the given (non-increasing)
+//!   marginal gains;
+//! * `--machines M --eligible "l0;l1;..."` — restricted assignment on `M`
+//!   unit-speed machines, one comma-separated machine list per task.
+//!
+//! Pick a policy capable of the resulting model (`msched <file>
+//! --list-policies` shows which); the identical-machine rate-space
+//! policies reject heterogeneous oracles.
+//!
+//! Malformed flags and instance files are *input* errors: they print a
+//! pointed `error: …` line and exit with status 2 (scheduling failures
+//! keep status 1).
 //!
 //! `--algo` is accepted as a deprecated alias of `--policy`.
 
@@ -41,9 +54,12 @@ use numkit::Tolerance;
 use std::process::ExitCode;
 
 struct Args {
-    file: String,
+    file: Option<String>,
     policy: String,
     speeds: Option<Vec<f64>>,
+    gains: Option<Vec<f64>>,
+    restricted: Option<(usize, Vec<Vec<usize>>)>,
+    list: bool,
     gantt: bool,
     svg: Option<String>,
     normalize: bool,
@@ -51,7 +67,7 @@ struct Args {
 
 enum Parsed {
     Run(Args),
-    ListPolicies,
+    Help,
 }
 
 fn parse_args() -> Result<Parsed, String> {
@@ -59,6 +75,10 @@ fn parse_args() -> Result<Parsed, String> {
     let mut file = None;
     let mut policy = "wdeq".to_string();
     let mut speeds = None;
+    let mut gains = None;
+    let mut machines: Option<usize> = None;
+    let mut eligible: Option<Vec<Vec<usize>>> = None;
+    let mut list = false;
     let mut gantt = false;
     let mut svg = None;
     let mut normalize = false;
@@ -67,15 +87,29 @@ fn parse_args() -> Result<Parsed, String> {
             "--policy" | "--algo" => policy = args.next().ok_or("--policy needs a value")?,
             "--speeds" => {
                 let raw = args.next().ok_or("--speeds needs a comma-separated list")?;
-                let parsed: Result<Vec<f64>, _> =
-                    raw.split(',').map(|s| s.trim().parse::<f64>()).collect();
-                speeds = Some(parsed.map_err(|_| format!("unparsable --speeds {raw:?}"))?);
+                speeds = Some(parse_f64_list(&raw, "--speeds")?);
             }
-            "--list-policies" => return Ok(Parsed::ListPolicies),
+            "--gains" => {
+                let raw = args.next().ok_or("--gains needs a comma-separated list")?;
+                gains = Some(parse_f64_list(&raw, "--gains")?);
+            }
+            "--machines" => {
+                let raw = args.next().ok_or("--machines needs a machine count")?;
+                machines = Some(raw.parse::<usize>().map_err(|_| {
+                    format!("unparsable --machines {raw:?} (expected a positive integer)")
+                })?);
+            }
+            "--eligible" => {
+                let raw = args
+                    .next()
+                    .ok_or("--eligible needs per-task machine lists, e.g. \"0,1;2;0,2\"")?;
+                eligible = Some(parse_eligibility(&raw)?);
+            }
+            "--list-policies" => list = true,
             "--gantt" => gantt = true,
             "--svg" => svg = Some(args.next().ok_or("--svg needs a path")?),
             "--normalize" => normalize = true,
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--help" | "-h" => return Ok(Parsed::Help),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}\n{USAGE}"))
             }
@@ -86,32 +120,140 @@ fn parse_args() -> Result<Parsed, String> {
             }
         }
     }
+    let restricted = match (machines, eligible) {
+        (Some(m), Some(sets)) => {
+            if m == 0 {
+                return Err("--machines must be at least 1".into());
+            }
+            for (i, set) in sets.iter().enumerate() {
+                if let Some(&k) = set.iter().find(|&&k| k >= m) {
+                    return Err(format!(
+                        "--eligible task {i} names machine {k} but --machines {m} \
+                         only provides machines 0..{}",
+                        m - 1
+                    ));
+                }
+            }
+            Some((m, sets))
+        }
+        (Some(_), None) => {
+            return Err("--machines requires --eligible (per-task machine lists)".into())
+        }
+        (None, Some(_)) => return Err("--eligible requires --machines (the machine count)".into()),
+        (None, None) => None,
+    };
+    let rebases = usize::from(speeds.is_some())
+        + usize::from(gains.is_some())
+        + usize::from(restricted.is_some());
+    if rebases > 1 {
+        return Err(
+            "give at most one of --speeds, --gains, or --machines/--eligible (they \
+             select mutually exclusive capacity models)"
+                .into(),
+        );
+    }
+    if file.is_none() && !list {
+        return Err(format!("missing instance file\n{USAGE}"));
+    }
     Ok(Parsed::Run(Args {
-        file: file.ok_or_else(|| format!("missing instance file\n{USAGE}"))?,
+        file,
         policy,
         speeds,
+        gains,
+        restricted,
+        list,
         gantt,
         svg,
         normalize,
     }))
 }
 
-const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--speeds s1,s2,...] [--gantt] [--svg out.svg] [--normalize]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum;\n        --speeds re-bases onto related machines — use a related-capable policy)";
+fn parse_f64_list(raw: &str, flag: &str) -> Result<Vec<f64>, String> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("unparsable {flag} entry {:?} in {raw:?}", s.trim()))
+        })
+        .collect()
+}
 
-fn list_policies() {
-    println!("registered policies (malleable_core::policy):");
-    for p in policy::all::<f64>() {
-        println!(
-            "  {:<24} {:<16} {}",
-            p.name(),
-            format!("[{}]", p.clairvoyance()),
-            p.description()
-        );
+/// Parse `"0,1;2;0,2"` into per-task machine-index lists.
+fn parse_eligibility(raw: &str) -> Result<Vec<Vec<usize>>, String> {
+    raw.split(';')
+        .enumerate()
+        .map(|(i, part)| {
+            let set: Result<Vec<usize>, String> = part
+                .split(',')
+                .map(|s| s.trim())
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<usize>().map_err(|_| {
+                        format!("unparsable --eligible machine index {s:?} (task {i})")
+                    })
+                })
+                .collect();
+            let set = set?;
+            if set.is_empty() {
+                return Err(format!(
+                    "--eligible task {i} has an empty machine list (every task needs \
+                     at least one eligible machine)"
+                ));
+            }
+            Ok(set)
+        })
+        .collect()
+}
+
+const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--speeds s1,s2,...] [--gains g1,g2,...] [--machines M --eligible \"0,1;2;...\"] [--gantt] [--svg out.svg] [--normalize]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum;\n        --speeds/--gains/--machines+--eligible re-base onto another capacity model — use a capable policy)";
+
+/// Print the registry; with an instance in hand, add a column marking
+/// which policies can schedule its capacity model.
+fn list_policies(context: Option<&Instance>) {
+    match context {
+        Some(instance) => {
+            let capable = policy::capable_for(&instance.machine);
+            println!(
+                "registered policies (capability for machine model: {}):",
+                instance.machine
+            );
+            for p in policy::all::<f64>() {
+                println!(
+                    "  {:<26} {:<16} {:<4} {}",
+                    p.name(),
+                    format!("[{}]", p.clairvoyance()),
+                    if capable.contains(&p.name()) {
+                        "yes"
+                    } else {
+                        "no"
+                    },
+                    p.description()
+                );
+            }
+            println!(
+                "  {:<26} {:<16} {:<4} exact optimum over all n! completion orders (brute force, small n)",
+                "optimal",
+                "[clairvoyant]",
+                if instance.machine.uniform() { "yes" } else { "no" }
+            );
+        }
+        None => {
+            println!("registered policies (malleable_core::policy):");
+            for p in policy::all::<f64>() {
+                println!(
+                    "  {:<26} {:<16} {}",
+                    p.name(),
+                    format!("[{}]", p.clairvoyance()),
+                    p.description()
+                );
+            }
+            println!(
+                "  {:<26} {:<16} exact optimum over all n! completion orders (brute force, small n)",
+                "optimal", "[clairvoyant]"
+            );
+            println!("(pass an instance file alongside --list-policies for a capability column)");
+        }
     }
-    let (name, class) = ("optimal", "[clairvoyant]");
-    println!(
-        "  {name:<24} {class:<16} exact optimum over all n! completion orders (brute force, small n)"
-    );
 }
 
 fn schedule(instance: &Instance, name: &str) -> Result<(ColumnSchedule, String), String> {
@@ -140,48 +282,81 @@ fn schedule(instance: &Instance, name: &str) -> Result<(ColumnSchedule, String),
     Ok((run.schedule, note))
 }
 
+/// Load and re-base the instance per the capacity-model flags. All
+/// failures here are input errors (exit 2).
+fn load_instance(args: &Args) -> Result<Instance, String> {
+    let file = args.file.as_ref().expect("caller checked file presence");
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let mut instance = parse_instance(&text).map_err(|e| format!("bad instance file: {e}"))?;
+    if let Some(speeds) = &args.speeds {
+        let model =
+            MachineModel::related(speeds.clone()).map_err(|e| format!("bad --speeds: {e}"))?;
+        instance = instance
+            .with_machine(model)
+            .map_err(|e| format!("bad --speeds: {e}"))?;
+    }
+    if let Some(gains) = &args.gains {
+        // Constructed directly so validate() reports on the gains as given.
+        let model = MachineModel::Submodular {
+            gains: gains.clone(),
+        };
+        instance = instance
+            .with_machine(model)
+            .map_err(|e| format!("bad --gains: {e}"))?;
+    }
+    if let Some((m, sets)) = &args.restricted {
+        if sets.len() != instance.n() {
+            return Err(format!(
+                "--eligible gives {} machine lists but {file} has {} tasks \
+                 (one semicolon-separated list per task)",
+                sets.len(),
+                instance.n()
+            ));
+        }
+        let model = MachineModel::restricted(*m, sets.clone())
+            .map_err(|e| format!("bad --eligible: {e}"))?;
+        instance = instance
+            .with_machine(model)
+            .map_err(|e| format!("bad --eligible: {e}"))?;
+    }
+    Ok(instance)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Parsed::Run(a)) => a,
-        Ok(Parsed::ListPolicies) => {
-            list_policies();
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
         }
     };
-    let text = match std::fs::read_to_string(&args.file) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", args.file);
-            return ExitCode::FAILURE;
+    if args.list {
+        if args.file.is_none() {
+            list_policies(None);
+            return ExitCode::SUCCESS;
         }
-    };
-    let mut instance = match parse_instance(&text) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("bad instance file: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Some(speeds) = args.speeds {
-        let model = match MachineModel::related(speeds) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("bad --speeds: {e}");
-                return ExitCode::FAILURE;
+        return match load_instance(&args) {
+            Ok(instance) => {
+                list_policies(Some(&instance));
+                ExitCode::SUCCESS
             }
-        };
-        instance = match instance.with_machine(model) {
-            Ok(i) => i,
-            Err(e) => {
-                eprintln!("bad --speeds: {e}");
-                return ExitCode::FAILURE;
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
             }
         };
     }
+    let instance = match load_instance(&args) {
+        Ok(i) => i,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     println!("{instance}");
 
     let (mut cs, note) = match schedule(&instance, &args.policy) {

@@ -24,11 +24,16 @@ fn checked_in_baseline_parses_and_self_compares_clean() {
         "baseline must gate at least one policy"
     );
     // The smoke grid's parametric policies must be present: the gate is
-    // the guard against a frontier-search regression in particular.
+    // the guard against a frontier-search regression in particular. The
+    // two greedy capacity-model policies only run in the
+    // restricted/submodular grid, so requiring them proves that grid is
+    // actually reachable from the baseline-producing smoke run.
     for required in [
         "lmax-parametric",
         "makespan-parametric",
         "lmax-parametric-related",
+        "greedy-lpt-related",
+        "greedy-eligibility-related",
     ] {
         assert!(
             baseline.iter().any(|a| a.policy == required),

@@ -1,0 +1,148 @@
+//! End-to-end `msched` CLI contract: malformed capacity-model flags are
+//! *input* errors (pointed `error: …` message, exit status 2), while
+//! well-formed invocations schedule and exit 0, and `--list-policies`
+//! gains a capability column when an instance file is supplied.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+fn msched(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_msched"))
+        .args(args)
+        .output()
+        .expect("msched runs")
+}
+
+fn write_instance(dir: &std::path::Path, name: &str, body: &str) -> String {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create instance file");
+    f.write_all(body.as_bytes()).expect("write instance file");
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("msched-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tempdir");
+    dir
+}
+
+const THREE_TASKS: &str = "p 3\ntask 2 1 2\ntask 1 2 1\ntask 1 1 3\n";
+
+#[test]
+fn malformed_speeds_exit_2_with_pointed_message() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "three.txt", THREE_TASKS);
+    for bad in ["1,abc", "1,,2", "1,-2"] {
+        let out = msched(&[&file, "--speeds", bad]);
+        assert_eq!(out.status.code(), Some(2), "--speeds {bad}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.starts_with("error:"), "--speeds {bad}: {err}");
+        assert!(err.contains("--speeds"), "--speeds {bad}: {err}");
+    }
+}
+
+#[test]
+fn malformed_eligibility_exits_2_with_pointed_message() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "three2.txt", THREE_TASKS);
+    let cases: &[(&[&str], &str)] = &[
+        // --eligible without --machines.
+        (&["--eligible", "0;1;0,1"], "--machines"),
+        // --machines without --eligible.
+        (&["--machines", "2"], "--eligible"),
+        // Machine index out of range.
+        (&["--machines", "2", "--eligible", "0;5;0,1"], "machine 5"),
+        // Empty per-task list.
+        (
+            &["--machines", "2", "--eligible", "0;;1"],
+            "empty machine list",
+        ),
+        // Unparsable index.
+        (&["--machines", "2", "--eligible", "0;x;1"], "--eligible"),
+        // Wrong number of lists for the instance.
+        (&["--machines", "2", "--eligible", "0;1"], "3 tasks"),
+    ];
+    for (flags, needle) in cases {
+        let mut args = vec![file.as_str()];
+        args.extend_from_slice(flags);
+        let out = msched(&args);
+        assert_eq!(out.status.code(), Some(2), "{flags:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.starts_with("error:"), "{flags:?}: {err}");
+        assert!(err.contains(needle), "{flags:?} missing {needle:?}: {err}");
+    }
+}
+
+#[test]
+fn conflicting_rebase_flags_exit_2() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "three3.txt", THREE_TASKS);
+    let out = msched(&[
+        &file,
+        "--speeds",
+        "2,1",
+        "--machines",
+        "2",
+        "--eligible",
+        "0;1;0,1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("at most one"), "{err}");
+}
+
+#[test]
+fn bad_instance_file_exits_2() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "garbage.txt", "p 1\ntask nonsense\n");
+    let out = msched(&[&file]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).starts_with("error:"));
+}
+
+#[test]
+fn restricted_run_schedules_and_exits_0() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "three4.txt", THREE_TASKS);
+    let out = msched(&[
+        &file,
+        "--machines",
+        "3",
+        "--eligible",
+        "0,1;2;0,1,2",
+        "--policy",
+        "wdeq-related",
+    ]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wdeq-related"), "{stdout}");
+    assert!(stdout.contains("certified within"), "{stdout}");
+}
+
+#[test]
+fn list_policies_shows_capability_column_for_the_instance() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "three5.txt", THREE_TASKS);
+    // Heterogeneous instance: rate-space policies marked "no".
+    let out = msched(&[&file, "--speeds", "2,1", "--list-policies"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("capability"), "{stdout}");
+    for line in stdout.lines() {
+        if line.trim_start().starts_with("wdeq-related") {
+            assert!(line.contains("yes"), "{line}");
+        }
+        if line.trim_start().starts_with("wdeq ") {
+            assert!(line.contains("no"), "{line}");
+        }
+    }
+    // Without a file the plain listing still works.
+    let plain = msched(&["--list-policies"]);
+    assert_eq!(plain.status.code(), Some(0));
+    let plain_out = String::from_utf8_lossy(&plain.stdout);
+    assert!(
+        plain_out.contains("greedy-eligibility-related"),
+        "{plain_out}"
+    );
+}

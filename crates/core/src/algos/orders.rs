@@ -53,6 +53,18 @@ pub fn weighted_height_descending<S: Scalar>(instance: &Instance<S>) -> Vec<Task
     })
 }
 
+/// Volumes `Vᵢ` descending — the LPT analogue on raw work.
+pub fn volume_descending<S: Scalar>(instance: &Instance<S>) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| -inst.task(id).volume.clone())
+}
+
+/// Effective machine-count caps `min(δᵢ, f({i}))` ascending — the
+/// most-constrained task first. On restricted assignment this places the
+/// tasks with the fewest eligible machines before the flexible ones.
+pub fn count_cap_ascending<S: Scalar>(instance: &Instance<S>) -> Vec<TaskId> {
+    sorted_by_key(instance, |inst, id| inst.count_cap(id))
+}
+
 fn sorted_by_key<S: Scalar>(
     instance: &Instance<S>,
     key: impl Fn(&Instance<S>, TaskId) -> S,

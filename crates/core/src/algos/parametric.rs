@@ -63,7 +63,7 @@
 use crate::algos::flow::{FlowNetwork, FlowStats};
 use crate::error::ScheduleError;
 use crate::instance::Instance;
-use crate::machine::{coalesce_levels, LevelAccumulator, SpeedLevel};
+use crate::machine::{coalesce_levels, RankOracle, SpeedLevel};
 use numkit::{Scalar, Tolerance};
 
 /// The machine's speed levels coalesced against this instance's task
@@ -93,6 +93,18 @@ fn instance_levels<S: Scalar>(instance: &Instance<S>) -> Vec<SpeedLevel<S>> {
             .map(|t| t.delta.clone().min_of(count.clone())),
     );
     coalesce_levels(&full, &delta_min, &delta_total)
+}
+
+/// The incremental rank oracle the capacity sweeps and constraint roots
+/// run against: restricted assignment keeps task identities (matching
+/// rank), every level-decomposable model gets the coalesced profile of
+/// [`instance_levels`].
+fn instance_rank_oracle<S: Scalar>(instance: &Instance<S>) -> RankOracle<S> {
+    if instance.machine.restriction().is_some() {
+        RankOracle::for_machine(&instance.machine)
+    } else {
+        RankOracle::from_levels(instance_levels(instance))
+    }
 }
 
 /// A violated task set extracted from an infeasible transportation flow:
@@ -186,6 +198,9 @@ pub(crate) fn transport_plan<S: Scalar>(
         .windows(2)
         .map(|w| (w[0].clone(), w[1].clone()))
         .collect();
+    if instance.machine.restriction().is_some() {
+        return restricted_transport_plan(instance, releases, deadlines, intervals, tol);
+    }
     let m = intervals.len();
     let levels = instance_levels(instance);
     let nl = levels.len();
@@ -238,6 +253,93 @@ pub(crate) fn transport_plan<S: Scalar>(
         n_nodes: n + m * nl + 2,
         // The flow's ε is a fraction of the comparison tolerance (zero for
         // exact scalars — same convention as the release-date solver).
+        eps: tol.abs * S::from_f64(1e-3),
+        layout: TransportLayout {
+            intervals,
+            task_edges,
+            source: s,
+            sink: t_,
+        },
+    }
+}
+
+/// The restricted-assignment instantiation of [`transport_plan`]: instead
+/// of (interval × level) nodes, the network routes through per-machine
+/// interval nodes, with one *gate* node per (task, usable interval) that
+/// enforces the task's `min(δᵢ, |Eᵢ|)·Δt` absorption cap before the flow
+/// fans out to its eligible machines (unit speed ⇒ `Δt` capacity each).
+/// Max flow = `Σ_T`-wise matching-rank capacity, so min cuts certify
+/// violated sets exactly as in the level network. Nodes: tasks `0..n`,
+/// machine `(j, k)` at `n + j·m + k`, gates, then source and sink. Each
+/// task's gate arc is recorded in `task_edges`, so witness extraction
+/// ([`snapped_interval_rates`]) reads per-interval volumes unchanged.
+/// The topology depends only on instance data and the interval structure
+/// — warm starts across a [`ProbeSession`] work exactly as on levels.
+fn restricted_transport_plan<S: Scalar>(
+    instance: &Instance<S>,
+    releases: Option<&[S]>,
+    deadlines: &[S],
+    intervals: Vec<(S, S)>,
+    tol: Tolerance<S>,
+) -> TransportPlan<S> {
+    let n = instance.n();
+    let (m, eligible) = instance
+        .machine
+        .restriction()
+        .expect("caller checked restriction");
+    let zero = S::zero();
+    let release = |i: usize| releases.map_or_else(S::zero, |r| r[i].clone());
+    let ni = intervals.len();
+    // Usable intervals per task (released, before deadline, positive
+    // length) — computed up front so gate nodes can be counted before the
+    // source/sink ids are fixed.
+    let mut usable: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let r = release(i);
+        debug_assert!(r >= zero);
+        for (j, (a, b)) in intervals.iter().enumerate() {
+            let released = r.clone() <= a.clone() + tol.abs.clone();
+            let before_deadline = *b <= deadlines[i].clone() + tol.abs.clone();
+            let len = b.clone() - a.clone();
+            if released && before_deadline && len.is_positive() {
+                usable[i].push(j);
+            }
+        }
+    }
+    let n_gates: usize = usable.iter().map(Vec::len).sum();
+    let s = n + ni * m + n_gates;
+    let t_ = s + 1;
+    let mut arcs: Vec<(usize, usize, S)> = Vec::new();
+    let mut task_edges: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
+    let mut next_gate = n + ni * m;
+    for (i, task) in instance.tasks.iter().enumerate() {
+        arcs.push((s, i, task.volume.clone()));
+        let sets = &eligible[i];
+        let cap_count = task.delta.clone().min_of(S::from_int(sets.len() as i64));
+        for &j in &usable[i] {
+            let (a, b) = &intervals[j];
+            let len = b.clone() - a.clone();
+            let gate = next_gate;
+            next_gate += 1;
+            arcs.push((i, gate, cap_count.clone() * len.clone()));
+            task_edges[i].push((j, vec![2 * (arcs.len() - 1)]));
+            for &k in sets {
+                arcs.push((gate, n + j * m + k, len.clone()));
+            }
+        }
+    }
+    for (j, (a, b)) in intervals.iter().enumerate() {
+        let len = b.clone() - a.clone();
+        if !len.is_positive() {
+            continue;
+        }
+        for k in 0..m {
+            arcs.push((n + j * m + k, t_, len.clone()));
+        }
+    }
+    TransportPlan {
+        arcs,
+        n_nodes: t_ + 1,
         eps: tol.abs * S::from_f64(1e-3),
         layout: TransportLayout {
             intervals,
@@ -558,25 +660,25 @@ pub(crate) fn set_capacity<S: Scalar>(
 ) -> S {
     let release = |i: usize| releases.map_or_else(S::zero, |r| r[i].clone());
     // Events: task enters at its release, leaves at its deadline.
-    let mut events: Vec<(S, S, bool)> = Vec::with_capacity(2 * tasks.len());
+    let mut events: Vec<(S, usize, bool)> = Vec::with_capacity(2 * tasks.len());
     for &i in tasks {
-        let delta = instance.tasks[i].delta.clone();
-        events.push((release(i), delta.clone(), true));
-        events.push((deadlines[i].clone(), delta, false));
+        events.push((release(i), i, true));
+        events.push((deadlines[i].clone(), i, false));
     }
     events.sort_by(|a, b| a.0.total_cmp_s(&b.0));
-    let mut active = LevelAccumulator::from_levels(instance_levels(instance));
+    let mut active = instance_rank_oracle(instance);
     let mut total = S::zero();
     let mut prev = S::zero();
-    for (at, delta, enters) in events {
+    for (at, i, enters) in events {
         if at > prev {
             total = total + (at.clone() - prev.clone()) * active.rate();
             prev = at;
         }
+        let delta = &instance.tasks[i].delta;
         if enters {
-            active.add(&delta);
+            active.add_task(i, delta);
         } else {
-            active.sub(&delta);
+            active.sub_task(i, delta);
         }
     }
     total
@@ -596,10 +698,10 @@ fn lmax_constraint_root<S: Scalar>(instance: &Instance<S>, due: &[S], set: &Viol
     let mut members: Vec<usize> = set.tasks.clone();
     members.sort_by(|&a, &b| due[a].total_cmp_s(&due[b]).then(a.cmp(&b)));
     // Suffix ranks f({members[k..]}) built back to front.
-    let mut acc = LevelAccumulator::from_levels(instance_levels(instance));
+    let mut acc = instance_rank_oracle(instance);
     let mut suffix_rate = vec![S::zero(); members.len()];
     for k in (0..members.len()).rev() {
-        acc.add(&instance.tasks[members[k]].delta);
+        acc.add_task(members[k], &instance.tasks[members[k]].delta);
         suffix_rate[k] = acc.rate();
     }
     // λ-independent part: capacity of the gaps between consecutive due
@@ -633,14 +735,15 @@ fn release_constraint_root<S: Scalar>(
     let mut members: Vec<usize> = set.tasks.clone();
     members.sort_by(|&a, &b| releases[a].total_cmp_s(&releases[b]).then(a.cmp(&b)));
     // Capacity of the gaps between consecutive releases (prefix ranks).
-    let mut acc = LevelAccumulator::from_levels(instance_levels(instance));
+    let mut acc = instance_rank_oracle(instance);
     let mut fixed = S::zero();
     for k in 0..members.len() - 1 {
-        acc.add(&instance.tasks[members[k]].delta);
+        acc.add_task(members[k], &instance.tasks[members[k]].delta);
         let gap = releases[members[k + 1]].clone() - releases[members[k]].clone();
         fixed = fixed + gap * acc.rate();
     }
-    acc.add(&instance.tasks[members[members.len() - 1]].delta);
+    let last = members[members.len() - 1];
+    acc.add_task(last, &instance.tasks[last].delta);
     let slope = acc.rate();
     debug_assert!(
         slope.is_positive(),

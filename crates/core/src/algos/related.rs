@@ -37,7 +37,7 @@ use crate::algos::parametric::{
 };
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
-use crate::machine::LevelAccumulator;
+use crate::machine::{MachineModel, RankOracle};
 use crate::schedule::column::{Column, ColumnSchedule};
 use numkit::{Scalar, Tolerance};
 
@@ -272,10 +272,10 @@ fn anchored_constraint_root<S: Scalar>(
     };
     // rest[j] = fixed-only capacity over [t_j, ∞) (the tail past t_k has
     // no fixed survivors, so it contributes nothing).
-    let mut acc = LevelAccumulator::new(&instance.machine);
+    let mut acc = RankOracle::for_machine(&instance.machine);
     let mut rest = vec![S::zero(); k + 1];
     for j in (0..k).rev() {
-        acc.add(&instance.tasks[fixed[j]].delta);
+        acc.add_task(fixed[j], &instance.tasks[fixed[j]].delta);
         rest[j] = rest[j + 1].clone() + (t_at(j + 1) - t_at(j)) * acc.rate();
     }
     // Forward walk: `acc` now holds all fixed members (= segment 0's
@@ -289,7 +289,7 @@ fn anchored_constraint_root<S: Scalar>(
             // Clone instead of add/sub so f64 accumulator state stays
             // drift-free across segments (a + x − x need not equal a).
             let mut with_acc = acc.clone();
-            with_acc.add(&cur_delta);
+            with_acc.add_task(current, &cur_delta);
             with_acc.rate()
         };
         // cap_T at C = t_j, and its slope within this segment.
@@ -303,7 +303,7 @@ fn anchored_constraint_root<S: Scalar>(
         }
         if j < k {
             base = base + (t_at(j + 1) - t_at(j)) * with_cur;
-            acc.sub(&instance.tasks[fixed[j]].delta);
+            acc.sub_task(fixed[j], &instance.tasks[fixed[j]].delta);
         }
     }
     // Unreachable in exact arithmetic (the final segment's slope is the
@@ -350,11 +350,26 @@ pub fn greedy_related<S: Scalar>(
     // automatically.
     let mut session = ProbeSession::new();
     // The prefix instance grows in σ-order; `deadlines` is aligned to it.
+    // Eligibility sets are task-indexed, so a restricted machine must be
+    // re-indexed onto the σ-prefix as it grows.
+    let restricted = instance
+        .machine
+        .restriction()
+        .map(|(m, eligible)| (m, eligible.to_vec()));
     let mut prefix = Instance::on(instance.machine.clone(), Vec::new());
+    let mut prefix_eligible: Vec<Vec<usize>> = Vec::with_capacity(n);
     let mut deadlines: Vec<S> = Vec::with_capacity(n);
     let max_iters = 16 * (n + 4);
     for &id in order {
         prefix.tasks.push(instance.task(id).clone());
+        if let Some((m, eligible)) = &restricted {
+            prefix_eligible.push(eligible[id.0].clone());
+            prefix.machine = MachineModel::RestrictedAssignment {
+                m: *m,
+                eligible: prefix_eligible.clone(),
+            };
+            prefix.p = prefix.machine.capacity();
+        }
         let cur = prefix.n() - 1;
         let mut c = hs[id.0].clone();
         let mut placed = false;

@@ -66,13 +66,16 @@ pub fn squashed_area_of<S: Scalar>(p: S, mut vw: Vec<(S, S)>) -> S {
 }
 
 /// The height bound `H(I) = Σ wᵢ·hᵢ` with `hᵢ = Vᵢ/min(δᵢ, P)` on
-/// identical machines — and, on related machines, the tighter
-/// `hᵢ = Vᵢ/rate_cap(δᵢ)` (no task can outrun the fastest `δᵢ` machines):
-/// no task can finish before its minimal running time.
+/// identical machines — and, on heterogeneous capacity models, the tighter
+/// `hᵢ = Vᵢ/rate_cap_for(i, δᵢ)` (no task can outrun the fastest `δᵢ`
+/// machines it may use): no task can finish before its minimal running time.
 pub fn height_bound<S: Scalar>(instance: &Instance<S>) -> S {
-    S::sum(instance.tasks.iter().filter_map(|t| {
+    S::sum(instance.tasks.iter().enumerate().filter_map(|(i, t)| {
         if t.volume.is_positive() {
-            Some(t.weight.clone() * t.volume.clone() / instance.machine.rate_cap(t.delta.clone()))
+            Some(
+                t.weight.clone() * t.volume.clone()
+                    / instance.machine.rate_cap_for(i, t.delta.clone()),
+            )
         } else {
             None
         }
@@ -92,7 +95,7 @@ pub fn mixed_bound<S: Scalar>(instance: &Instance<S>, v1: &[S]) -> S {
     let tol = S::default_tolerance();
     let mut vw1 = Vec::with_capacity(instance.n());
     let mut h2_terms = Vec::with_capacity(instance.n());
-    for (t, a) in instance.tasks.iter().zip(v1) {
+    for (i, (t, a)) in instance.tasks.iter().zip(v1).enumerate() {
         assert!(
             tol.ge(a.clone(), S::zero()) && tol.le(a.clone(), t.volume.clone()),
             "split volume {a:?} outside [0, {:?}]",
@@ -102,7 +105,8 @@ pub fn mixed_bound<S: Scalar>(instance: &Instance<S>, v1: &[S]) -> S {
         let rest = t.volume.clone() - a.clone();
         vw1.push((a, t.weight.clone()));
         if rest.is_positive() {
-            h2_terms.push(t.weight.clone() * rest / instance.machine.rate_cap(t.delta.clone()));
+            h2_terms
+                .push(t.weight.clone() * rest / instance.machine.rate_cap_for(i, t.delta.clone()));
         }
     }
     squashed_area_of(instance.p.clone(), vw1) + S::sum(h2_terms)

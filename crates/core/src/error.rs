@@ -44,6 +44,20 @@ pub enum ScheduleError {
         /// Machine capacity.
         capacity: f64,
     },
+    /// A column's rate vector cannot be routed through the tasks'
+    /// eligibility sets on a restricted-assignment machine (some task
+    /// subset demands more than its eligible machines can jointly
+    /// deliver), even though every per-task cap and the total capacity
+    /// hold.
+    EligibilityExceeded {
+        /// Time of the violation.
+        at: f64,
+        /// Total allocated rate in the offending column.
+        total: f64,
+        /// Portion of that rate actually routable through the
+        /// eligibility sets.
+        routable: f64,
+    },
     /// A task's allocated area does not equal its volume `Vᵢ`.
     VolumeMismatch {
         /// Offending task.
@@ -123,6 +137,10 @@ impl fmt::Display for ScheduleError {
             } => write!(
                 f,
                 "allocation of {total} at t = {at} outside the speed-profile polymatroid (P = {capacity})"
+            ),
+            ScheduleError::EligibilityExceeded { at, total, routable } => write!(
+                f,
+                "allocation of {total} at t = {at} not routable through the eligibility sets (only {routable} fits)"
             ),
             ScheduleError::VolumeMismatch {
                 task,

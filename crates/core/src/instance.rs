@@ -163,16 +163,20 @@ impl<S: Scalar> Instance<S> {
 
     /// The *effective rate cap* of a task: `min(δᵢ, P)` on identical
     /// machines, `prefix(min(δᵢ, count))` on related machines (the total
-    /// speed of the fastest `δᵢ` machines).
+    /// speed of the fastest `δᵢ` machines), and `min(δᵢ, |Eᵢ|)` on
+    /// restricted assignment (the task's eligibility set caps it below
+    /// the global budget).
     pub fn effective_delta(&self, id: TaskId) -> S {
-        self.machine.rate_cap(self.task(id).delta.clone())
+        self.machine.rate_cap_for(id.0, self.task(id).delta.clone())
     }
 
     /// The *machine-count cap* `min(δᵢ, count)` — what count-space
     /// allocation rules share out (identical to [`Instance::effective_delta`]
-    /// on unit-speed machines).
+    /// on unit-speed machines). Per-task eligibility sets tighten it like
+    /// [`Instance::effective_delta`].
     pub fn count_cap(&self, id: TaskId) -> S {
-        self.machine.count_cap(self.task(id).delta.clone())
+        self.machine
+            .count_cap_for(id.0, self.task(id).delta.clone())
     }
 
     /// Guard for algorithms whose correctness needs identical (or
@@ -201,10 +205,12 @@ impl<S: Scalar> Instance<S> {
     /// non-negative weights; a consistent machine model.
     pub fn validate(&self) -> Result<(), ScheduleError> {
         let fail = |reason: String| Err(ScheduleError::InvalidInstance { reason });
+        // The machine model first: its messages are the pointed ones
+        // (every arm guarantees a positive finite capacity on success).
+        self.machine.validate()?;
         if !(self.p.is_finite() && self.p.is_positive()) {
             return fail(format!("P must be positive and finite, got {:?}", self.p));
         }
-        self.machine.validate()?;
         {
             let tol = S::default_tolerance();
             let cap = self.machine.capacity();
@@ -212,6 +218,16 @@ impl<S: Scalar> Instance<S> {
                 return fail(format!(
                     "capacity field P = {:?} disagrees with the machine model's {:?}",
                     self.p, cap
+                ));
+            }
+        }
+        if let Some((_, eligible)) = self.machine.restriction() {
+            if eligible.len() != self.n() {
+                return fail(format!(
+                    "restricted assignment carries {} eligibility sets for {} tasks; \
+                     every task needs exactly one",
+                    eligible.len(),
+                    self.n()
                 ));
             }
         }
@@ -300,7 +316,7 @@ impl<S: Scalar> Instance<S> {
 impl<S: Scalar> fmt::Display for Instance<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Instance: P = {}, n = {}", self.p.to_f64(), self.n())?;
-        if self.machine.is_related() {
+        if !matches!(self.machine, MachineModel::Identical { .. }) {
             writeln!(f, "  machine: {}", self.machine)?;
         }
         for (id, t) in self.iter() {
@@ -404,6 +420,32 @@ impl<S: Scalar> InstanceBuilder<S> {
         let mut speeds = speeds;
         speeds.sort_by(|a, b| b.total_cmp_s(a));
         self.machine = MachineModel::Related { speeds };
+        self
+    }
+
+    /// Switch the instance onto a submodular capacity oracle given its
+    /// rank table `f(1), …, f(m)` (monotonicity/concavity are validated
+    /// in `build`, via [`MachineModel::validate`]).
+    pub fn ranks(mut self, ranks: Vec<S>) -> Self {
+        let mut gains = Vec::with_capacity(ranks.len());
+        let mut prev = S::zero();
+        for r in ranks {
+            gains.push(r.clone() - prev.clone());
+            prev = r;
+        }
+        self.machine = MachineModel::Submodular { gains };
+        self
+    }
+
+    /// Switch the instance onto `m` unit-speed machines with per-task
+    /// eligibility sets (sorted/deduplicated here; validated in `build`).
+    /// `eligible` must align with the task list at build time.
+    pub fn restricted(mut self, m: usize, mut eligible: Vec<Vec<usize>>) -> Self {
+        for set in &mut eligible {
+            set.sort_unstable();
+            set.dedup();
+        }
+        self.machine = MachineModel::RestrictedAssignment { m, eligible };
         self
     }
 
@@ -521,6 +563,53 @@ mod tests {
         let mut inst = Instance::builder(2.0).task(1.0, 1.0, 1.0).build().unwrap();
         inst.p = 3.0; // drifts from machine.capacity()
         assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn submodular_builder_derives_capacity_from_rank_table() {
+        let inst = Instance::builder(0.0)
+            .task(1.0, 1.0, 2.0)
+            .ranks(vec![4.0, 6.0, 7.0])
+            .build()
+            .unwrap();
+        assert_eq!(inst.p, 7.0);
+        // f(min(δ, 3)) = f(2) = 6 — the gains act as virtual speeds.
+        assert_eq!(inst.effective_delta(TaskId(0)), 6.0);
+        // Non-concave rank tables are rejected at build.
+        assert!(Instance::builder(0.0)
+            .task(1.0, 1.0, 1.0)
+            .ranks(vec![1.0, 3.0])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn restricted_builder_validates_alignment_and_caps_per_task() {
+        let inst = Instance::builder(0.0)
+            .task(4.0, 1.0, 3.0)
+            .task(2.0, 1.0, 2.0)
+            .restricted(3, vec![vec![0, 1, 2], vec![2]])
+            .build()
+            .unwrap();
+        assert_eq!(inst.p, 3.0);
+        assert_eq!(inst.effective_delta(TaskId(0)), 3.0);
+        // Task 1 can only ever occupy machine 2, regardless of δ = 2.
+        assert_eq!(inst.effective_delta(TaskId(1)), 1.0);
+        assert_eq!(inst.count_cap(TaskId(1)), 1.0);
+        // Eligibility lists must align with the task list.
+        let err = Instance::builder(0.0)
+            .task(1.0, 1.0, 1.0)
+            .restricted(2, vec![vec![0], vec![1]])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("eligibility sets"));
+        // An empty eligibility set is a pointed machine-level error.
+        let err = Instance::builder(0.0)
+            .task(1.0, 1.0, 1.0)
+            .restricted(2, vec![vec![]])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("empty eligibility"));
     }
 
     #[test]

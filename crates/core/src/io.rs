@@ -18,8 +18,30 @@
 //! task 8.0 1.0 2.0
 //! ```
 //!
-//! [`write_instance`] and [`parse_instance`] round-trip exactly (values
-//! are printed with enough digits to reconstruct the same `f64`s).
+//! A submodular capacity oracle is given either as its rank table
+//! `f(1) … f(m)` (`ranks`, the human-facing form) or as the descending
+//! marginal gains the oracle stores internally (`gains`, what
+//! [`write_instance`] emits so the round-trip stays bit-exact):
+//!
+//! ```text
+//! ranks 4.0 6.0 7.0        # or equivalently: gains 4.0 2.0 1.0
+//! task 8.0 1.0 2.0
+//! ```
+//!
+//! A restricted-assignment instance declares `machines M` unit-speed
+//! machines and appends each task's eligibility set after an `on`
+//! marker (machine indices are 0-based):
+//!
+//! ```text
+//! machines 3
+//! task 8.0 1.0 2.0 on 0 1
+//! task 4.0 2.0 4.0 on 2
+//! ```
+//!
+//! Exactly one of `p` / `speeds` / `ranks` / `gains` / `machines` must
+//! appear. [`write_instance`] and [`parse_instance`] round-trip exactly
+//! (values are printed with enough digits to reconstruct the same
+//! `f64`s).
 
 use crate::error::ScheduleError;
 use crate::instance::{Instance, Task};
@@ -41,9 +63,33 @@ pub fn write_instance(instance: &Instance) -> String {
             }
             let _ = writeln!(out);
         }
+        MachineModel::Submodular { gains } => {
+            // The stored representation is the marginal gains; emitting
+            // them (rather than the cumulative rank table) keeps the
+            // round-trip bit-exact — float cumulative sums do not invert
+            // exactly under subtraction.
+            let _ = write!(out, "gains");
+            for g in gains {
+                let _ = write!(out, " {g:?}");
+            }
+            let _ = writeln!(out);
+        }
+        MachineModel::RestrictedAssignment { m, .. } => {
+            let _ = writeln!(out, "machines {m}");
+        }
     }
-    for t in &instance.tasks {
-        let _ = writeln!(out, "task {:?} {:?} {:?}", t.volume, t.weight, t.delta);
+    let eligible = instance.machine.restriction().map(|(_, e)| e);
+    for (i, t) in instance.tasks.iter().enumerate() {
+        let _ = write!(out, "task {:?} {:?} {:?}", t.volume, t.weight, t.delta);
+        if let Some(sets) = eligible {
+            if let Some(set) = sets.get(i) {
+                let _ = write!(out, " on");
+                for k in set {
+                    let _ = write!(out, " {k}");
+                }
+            }
+        }
+        let _ = writeln!(out);
     }
     out
 }
@@ -56,7 +102,10 @@ pub fn write_instance(instance: &Instance) -> String {
 pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
     let mut p: Option<f64> = None;
     let mut speeds: Option<Vec<f64>> = None;
+    let mut gains: Option<Vec<f64>> = None;
+    let mut machines: Option<usize> = None;
     let mut tasks = Vec::new();
+    let mut eligible: Vec<Option<Vec<usize>>> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -88,6 +137,48 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
                     return Err(bad("duplicate 'speeds' line"));
                 }
             }
+            "ranks" => {
+                let vs: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+                let vs = vs.map_err(|_| bad("unparsable rank value"))?;
+                if vs.is_empty() {
+                    return Err(bad("'ranks' needs at least one value"));
+                }
+                // Convert the cumulative table f(1..m) to marginal gains.
+                let gs = vs
+                    .iter()
+                    .scan(0.0, |prev, &f| {
+                        let g = f - *prev;
+                        *prev = f;
+                        Some(g)
+                    })
+                    .collect();
+                if gains.replace(gs).is_some() {
+                    return Err(bad("duplicate 'ranks'/'gains' line"));
+                }
+            }
+            "gains" => {
+                let vs: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+                let vs = vs.map_err(|_| bad("unparsable gain value"))?;
+                if vs.is_empty() {
+                    return Err(bad("'gains' needs at least one value"));
+                }
+                if gains.replace(vs).is_some() {
+                    return Err(bad("duplicate 'ranks'/'gains' line"));
+                }
+            }
+            "machines" => {
+                let m: usize = parts
+                    .next()
+                    .ok_or_else(|| bad("missing value after 'machines'"))?
+                    .parse()
+                    .map_err(|_| bad("unparsable machine count"))?;
+                if parts.next().is_some() {
+                    return Err(bad("trailing fields on machines line"));
+                }
+                if machines.replace(m).is_some() {
+                    return Err(bad("duplicate 'machines' line"));
+                }
+            }
             "task" => {
                 let mut field = |name: &str| -> Result<f64, ScheduleError> {
                     parts
@@ -99,8 +190,17 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
                 let volume = field("volume")?;
                 let weight = field("weight")?;
                 let delta = field("delta")?;
-                if parts.next().is_some() {
-                    return Err(bad("trailing fields on task line"));
+                match parts.next() {
+                    None => eligible.push(None),
+                    Some("on") => {
+                        let ks: Result<Vec<usize>, _> = parts.map(str::parse).collect();
+                        let ks = ks.map_err(|_| bad("unparsable machine index after 'on'"))?;
+                        if ks.is_empty() {
+                            return Err(bad("'on' needs at least one machine index"));
+                        }
+                        eligible.push(Some(ks));
+                    }
+                    Some(_) => return Err(bad("trailing fields on task line")),
                 }
                 tasks.push(Task::new(volume, weight, delta));
             }
@@ -109,18 +209,63 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
             }
         }
     }
-    match (p, speeds) {
-        (Some(_), Some(_)) => Err(ScheduleError::InvalidInstance {
-            reason: "give either a 'p' line or a 'speeds' line, not both".into(),
-        }),
-        (Some(p), None) => Instance::new(p, tasks),
-        (None, Some(speeds)) => {
+    let declared = [
+        p.is_some(),
+        speeds.is_some(),
+        gains.is_some(),
+        machines.is_some(),
+    ]
+    .iter()
+    .filter(|b| **b)
+    .count();
+    if declared > 1 {
+        return Err(ScheduleError::InvalidInstance {
+            reason: "give exactly one of 'p', 'speeds', 'ranks'/'gains', or 'machines'".into(),
+        });
+    }
+    if machines.is_none() {
+        if let Some(i) = eligible.iter().position(Option::is_some) {
+            return Err(ScheduleError::InvalidInstance {
+                reason: format!(
+                    "task {i} carries an 'on' eligibility list but no 'machines' line declares \
+                     a restricted-assignment instance"
+                ),
+            });
+        }
+    }
+    if let Some(m) = machines {
+        let sets: Result<Vec<Vec<usize>>, ScheduleError> = eligible
+            .into_iter()
+            .enumerate()
+            .map(|(i, set)| {
+                set.ok_or_else(|| ScheduleError::InvalidInstance {
+                    reason: format!(
+                        "task {i} is missing its 'on' eligibility list (required with 'machines')"
+                    ),
+                })
+            })
+            .collect();
+        let inst = Instance::on(MachineModel::restricted(m, sets?)?, tasks);
+        inst.validate()?;
+        return Ok(inst);
+    }
+    match (p, speeds, gains) {
+        (Some(p), None, None) => Instance::new(p, tasks),
+        (None, Some(speeds), None) => {
             let inst = Instance::on(MachineModel::related(speeds)?, tasks);
             inst.validate()?;
             Ok(inst)
         }
-        (None, None) => Err(ScheduleError::InvalidInstance {
-            reason: "missing 'p' (or 'speeds') line".into(),
+        (None, None, Some(gains)) => {
+            // Keep the parsed gains bit-exactly (cumulative sums do not
+            // invert exactly in floats); `validate` checks the stored
+            // gains for positivity and concavity directly.
+            let inst = Instance::on(MachineModel::Submodular { gains }, tasks);
+            inst.validate()?;
+            Ok(inst)
+        }
+        _ => Err(ScheduleError::InvalidInstance {
+            reason: "missing 'p' (or 'speeds'/'ranks'/'machines') line".into(),
         }),
     }
 }
@@ -189,5 +334,58 @@ mod tests {
     fn validation_still_applies() {
         // Parses fine, fails instance validation (zero volume).
         assert!(parse_instance("p 2\ntask 0 1 1\n").is_err());
+    }
+
+    #[test]
+    fn submodular_roundtrip_and_rank_table_form() {
+        let inst = Instance::builder(0.0)
+            .task(3.0, 1.0, 2.0)
+            .ranks(vec![4.0, 0.1 + 0.2 + 4.0, 4.5]) // non-round rank step
+            .build()
+            .unwrap();
+        let text = write_instance(&inst);
+        assert!(text.contains("gains"), "{text}");
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(inst, back);
+        // The human-facing rank-table form parses to the same oracle.
+        let from_ranks = parse_instance("ranks 4.0 6.0 7.0\ntask 3 1 2\n").unwrap();
+        let from_gains = parse_instance("gains 4.0 2.0 1.0\ntask 3 1 2\n").unwrap();
+        assert_eq!(from_ranks, from_gains);
+        // Non-concave tables are rejected with a pointed message.
+        assert!(parse_instance("ranks 1 3\ntask 1 1 1\n").is_err());
+        assert!(parse_instance("gains 1 2\ntask 1 1 1\n").is_err());
+    }
+
+    #[test]
+    fn restricted_assignment_roundtrip() {
+        let inst = Instance::builder(0.0)
+            .task(8.0, 1.0, 2.0)
+            .task(4.0, 2.0, 4.0)
+            .restricted(3, vec![vec![0, 1], vec![2]])
+            .build()
+            .unwrap();
+        let text = write_instance(&inst);
+        assert!(text.contains("machines 3"), "{text}");
+        assert!(text.contains("on 0 1"), "{text}");
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn restricted_assignment_errors_are_pointed() {
+        // 'on' without 'machines'.
+        let e = parse_instance("p 2\ntask 1 1 1 on 0\n").unwrap_err();
+        assert!(e.to_string().contains("no 'machines' line"), "{e}");
+        // 'machines' without per-task 'on'.
+        let e = parse_instance("machines 2\ntask 1 1 1\n").unwrap_err();
+        assert!(e.to_string().contains("missing its 'on'"), "{e}");
+        // Empty 'on' list.
+        let e = parse_instance("machines 2\ntask 1 1 1 on\n").unwrap_err();
+        assert!(e.to_string().contains("at least one machine index"), "{e}");
+        // Out-of-range machine index surfaces from machine validation.
+        assert!(parse_instance("machines 2\ntask 1 1 1 on 5\n").is_err());
+        // Mutual exclusion across all four declarations.
+        assert!(parse_instance("p 2\nmachines 2\ntask 1 1 1 on 0\n").is_err());
+        assert!(parse_instance("speeds 1 1\ngains 1 1\ntask 1 1 1\n").is_err());
     }
 }

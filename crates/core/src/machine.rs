@@ -33,6 +33,27 @@
 //! existing identical-machine code path is unchanged; `Related` with all
 //! speeds equal to one reproduces `Identical` exactly — the reduction the
 //! property tests pin down.
+//!
+//! ## The capacity oracle
+//!
+//! The algorithms never need the machines themselves — only the monotone
+//! submodular rank `f(T)` of task sets and its level decomposition. That
+//! contract is the [`CapacityOracle`] trait, with four instances:
+//!
+//! * [`MachineModel::Identical`] — `f(T) = min(Σ δ̂ᵢ, P)`, one level;
+//! * [`MachineModel::Related`] — the speed-profile prefix rank above;
+//! * [`MachineModel::Submodular`] — an explicit concave rank table
+//!   `f(1), …, f(m)` (Fotakis–Matuschke–Papadigenopoulos 2021,
+//!   "generalized malleable scheduling"). A symmetric concave rank is
+//!   exactly the prefix rank of its descending marginal gains
+//!   `gₖ = f(k) − f(k−1)`, so the instance stores the gains as *virtual
+//!   speeds* and shares every `Related` code path bit-for-bit;
+//! * [`MachineModel::RestrictedAssignment`] — `m` unit-speed machines
+//!   with a per-task eligibility set `Eᵢ`; `f(T)` is the bipartite
+//!   matching rank `maxflow(T → ∪Eᵢ)`, which is submodular but **not**
+//!   symmetric, so rank queries carry task identities
+//!   ([`RankOracle`], [`MachineModel::realize_assign`],
+//!   [`MachineModel::rates_feasible_assign`]).
 
 use crate::algos::flow::FlowNetwork;
 use crate::error::ScheduleError;
@@ -68,6 +89,69 @@ pub enum MachineModel<S = f64> {
         /// Per-machine speeds, fastest first, all strictly positive.
         speeds: Vec<S>,
     },
+    /// An explicit monotone concave rank table `f(1..=m)` (coverage-style
+    /// submodular processing speeds), stored as its descending marginal
+    /// gains `gₖ = f(k) − f(k−1)` — virtual speeds that reuse the whole
+    /// `Related` prefix/level machinery bit-for-bit. Build with
+    /// [`MachineModel::submodular`].
+    Submodular {
+        /// Marginal gains of the rank table, descending, all strictly
+        /// positive.
+        gains: Vec<S>,
+    },
+    /// `m` unit-speed machines with per-task eligibility sets: task `i`
+    /// may only occupy machines in `eligible[i]`. The rank of a task set
+    /// is the bipartite flow `f(T) = maxflow(T → ∪ᵢEᵢ)` — submodular but
+    /// task-identity-dependent, so the identity-aware query methods
+    /// ([`MachineModel::rate_cap_for`], [`MachineModel::realize_assign`],
+    /// [`MachineModel::rates_feasible_assign`], [`RankOracle`]) carry
+    /// task indices. Build with [`MachineModel::restricted`].
+    RestrictedAssignment {
+        /// Number of unit-speed machines.
+        m: usize,
+        /// `eligible[i]` = sorted machine indices task `i` may run on.
+        eligible: Vec<Vec<usize>>,
+    },
+}
+
+/// The monotone-submodular rank contract every machine model satisfies:
+/// rank of a fractional machine-count query, the Federgruen–Groenevelt
+/// level decomposition, and marginal gains. The flow/transport layers are
+/// written against this trait; [`MachineModel`] is its canonical (and
+/// currently only) implementor, keeping the enum's concrete methods as
+/// the zero-cost entry points.
+pub trait CapacityOracle<S: Scalar> {
+    /// Rank of a fractional machine-count query `x` — the concave
+    /// capacity function `f(x) = prefix(x)`, clamped into `[0, f(m)]`.
+    fn rank(&self, x: S) -> S;
+    /// Full rank `f(m)` — the total capacity.
+    fn full_rank(&self) -> S;
+    /// The level decomposition `(k_ℓ, d_ℓ)` of the (task-blind) rank:
+    /// `rank(x) = Σ_ℓ min(x, k_ℓ)·d_ℓ`. For restricted assignment this is
+    /// the eligibility-blind relaxation — identity-aware queries go
+    /// through [`RankOracle`].
+    fn rank_levels(&self) -> Vec<SpeedLevel<S>>;
+    /// Marginal gain `f(k) − f(k−1)` of the `k`-th machine (1-based).
+    fn marginal_gain(&self, k: usize) -> S;
+}
+
+impl<S: Scalar> CapacityOracle<S> for MachineModel<S> {
+    fn rank(&self, x: S) -> S {
+        self.prefix(x)
+    }
+
+    fn full_rank(&self) -> S {
+        self.capacity()
+    }
+
+    fn rank_levels(&self) -> Vec<SpeedLevel<S>> {
+        self.levels()
+    }
+
+    fn marginal_gain(&self, k: usize) -> S {
+        let k = S::from_int(k as i64);
+        self.prefix(k.clone()) - self.prefix(k - S::one())
+    }
 }
 
 impl<S: Scalar> MachineModel<S> {
@@ -85,6 +169,70 @@ impl<S: Scalar> MachineModel<S> {
     pub fn related(mut speeds: Vec<S>) -> Result<Self, ScheduleError> {
         speeds.sort_by(|a, b| b.total_cmp_s(a));
         let model = MachineModel::Related { speeds };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// A submodular-capacity model from an explicit rank table
+    /// `ranks = [f(1), …, f(m)]` (with `f(0) = 0` implied). The table must
+    /// be strictly increasing (monotone, positive gains) and concave
+    /// (descending gains); the model stores the marginal gains
+    /// `gₖ = f(k) − f(k−1)` as virtual speeds.
+    ///
+    /// # Errors
+    /// [`ScheduleError::InvalidInstance`] when the table is empty,
+    /// non-finite, non-increasing, or non-concave.
+    pub fn submodular(ranks: Vec<S>) -> Result<Self, ScheduleError> {
+        let fail = |reason: String| Err(ScheduleError::InvalidInstance { reason });
+        if ranks.is_empty() {
+            return fail("submodular rank table needs ≥ 1 entry".into());
+        }
+        let mut gains = Vec::with_capacity(ranks.len());
+        let mut prev = S::zero();
+        for (k, f) in ranks.iter().enumerate() {
+            if !(f.is_finite() && f.is_positive()) {
+                return fail(format!(
+                    "rank table entry f({}) must be finite and > 0, got {f:?}",
+                    k + 1
+                ));
+            }
+            let gain = f.clone() - prev.clone();
+            if !gain.is_positive() {
+                return fail(format!(
+                    "rank table must be strictly increasing: f({}) = {f:?} ≤ f({k}) = {prev:?}",
+                    k + 1
+                ));
+            }
+            if let Some(last) = gains.last() {
+                if gain > *last {
+                    return fail(format!(
+                        "rank table must be concave: gain at {} exceeds the previous gain",
+                        k + 1
+                    ));
+                }
+            }
+            gains.push(gain);
+            prev = f.clone();
+        }
+        Ok(MachineModel::Submodular { gains })
+    }
+
+    /// A restricted-assignment model: `m` unit-speed machines, task `i`
+    /// eligible exactly on `eligible[i]` (indices into `0..m`; each list
+    /// is sorted and deduplicated). The per-task lists must align with the
+    /// instance's task vector —
+    /// [`Instance::validate`](crate::instance::Instance::validate) checks
+    /// the length.
+    ///
+    /// # Errors
+    /// [`ScheduleError::InvalidInstance`] when `m = 0`, a list is empty
+    /// (that task could never run), or an index is out of range.
+    pub fn restricted(m: usize, mut eligible: Vec<Vec<usize>>) -> Result<Self, ScheduleError> {
+        for list in &mut eligible {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let model = MachineModel::RestrictedAssignment { m, eligible };
         model.validate()?;
         Ok(model)
     }
@@ -112,29 +260,114 @@ impl<S: Scalar> MachineModel<S> {
                     return fail("machine speeds must be sorted descending".into());
                 }
             }
+            MachineModel::Submodular { gains } => {
+                if gains.is_empty() {
+                    return fail("submodular rank table needs ≥ 1 entry".into());
+                }
+                for (j, g) in gains.iter().enumerate() {
+                    if !(g.is_finite() && g.is_positive()) {
+                        return fail(format!(
+                            "submodular marginal gain {j}: must be > 0, got {g:?}"
+                        ));
+                    }
+                }
+                if gains.windows(2).any(|w| w[0] < w[1]) {
+                    return fail("submodular rank table must be concave (descending gains)".into());
+                }
+            }
+            MachineModel::RestrictedAssignment { m, eligible } => {
+                if *m == 0 {
+                    return fail("restricted assignment needs ≥ 1 machine".into());
+                }
+                for (i, list) in eligible.iter().enumerate() {
+                    if list.is_empty() {
+                        return fail(format!(
+                            "task {i}: empty eligibility set — the task could never run"
+                        ));
+                    }
+                    if let Some(&k) = list.iter().find(|&&k| k >= *m) {
+                        return fail(format!(
+                            "task {i}: eligible machine index {k} out of range (m = {m})"
+                        ));
+                    }
+                    if list.windows(2).any(|w| w[0] >= w[1]) {
+                        return fail(format!(
+                            "task {i}: eligibility set must be sorted and duplicate-free"
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }
 
-    /// `true` iff this is a [`MachineModel::Related`] model.
+    /// `true` iff this model carries a heterogeneous-capable speed profile
+    /// ([`MachineModel::Related`] or its [`MachineModel::Submodular`]
+    /// virtual-speed twin).
     pub fn is_related(&self) -> bool {
-        matches!(self, MachineModel::Related { .. })
+        matches!(
+            self,
+            MachineModel::Related { .. } | MachineModel::Submodular { .. }
+        )
     }
 
-    /// Total processing capacity `P` (`m`, or `Σ sⱼ`).
+    /// The descending speed profile this model reduces to, when it has
+    /// one: the machine speeds (`Related`) or the marginal gains of the
+    /// rank table (`Submodular` — a concave rank *is* the prefix rank of
+    /// its gains). `None` for `Identical` (implicit `[1; m]`) and
+    /// `RestrictedAssignment` (rank is task-identity-dependent).
+    pub fn speed_profile(&self) -> Option<&[S]> {
+        match self {
+            MachineModel::Related { speeds } => Some(speeds),
+            MachineModel::Submodular { gains } => Some(gains),
+            _ => None,
+        }
+    }
+
+    /// The restricted-assignment data `(m, eligible)`, when this is a
+    /// [`MachineModel::RestrictedAssignment`] model.
+    pub fn restriction(&self) -> Option<(usize, &[Vec<usize>])> {
+        match self {
+            MachineModel::RestrictedAssignment { m, eligible } => Some((*m, eligible)),
+            _ => None,
+        }
+    }
+
+    /// Number of machines that appear in at least one eligibility set —
+    /// the full rank `f(all tasks)` of the restricted model (machines no
+    /// task may use contribute nothing).
+    fn active_machines(m: usize, eligible: &[Vec<usize>]) -> usize {
+        let mut used = vec![false; m];
+        for list in eligible {
+            for &k in list {
+                used[k] = true;
+            }
+        }
+        used.iter().filter(|u| **u).count()
+    }
+
+    /// Total processing capacity `P`: `m`, `Σ sⱼ`, the full rank `f(m)`,
+    /// or (restricted) the number of machines any task is eligible on.
     pub fn capacity(&self) -> S {
         match self {
             MachineModel::Identical { m } => m.clone(),
-            MachineModel::Related { speeds } => S::sum(speeds.iter().cloned()),
+            MachineModel::RestrictedAssignment { m, eligible } => {
+                S::from_int(Self::active_machines(*m, eligible) as i64)
+            }
+            _ => S::sum(self.speed_profile().expect("profile").iter().cloned()),
         }
     }
 
     /// Total machine count, in machine-count units (`m` for the identical
-    /// model, where count and capacity coincide).
+    /// model, where count and capacity coincide; for restricted
+    /// assignment, the machines any task may actually use).
     pub fn count(&self) -> S {
         match self {
             MachineModel::Identical { m } => m.clone(),
-            MachineModel::Related { speeds } => S::from_int(speeds.len() as i64),
+            MachineModel::RestrictedAssignment { m, eligible } => {
+                S::from_int(Self::active_machines(*m, eligible) as i64)
+            }
+            _ => S::from_int(self.speed_profile().expect("profile").len() as i64),
         }
     }
 
@@ -142,37 +375,59 @@ impl<S: Scalar> MachineModel<S> {
     pub fn n_machines(&self) -> Option<usize> {
         match self {
             MachineModel::Identical { .. } => None,
-            MachineModel::Related { speeds } => Some(speeds.len()),
+            MachineModel::RestrictedAssignment { m, .. } => Some(*m),
+            _ => Some(self.speed_profile().expect("profile").len()),
         }
     }
 
-    /// `true` iff all machines run at the same speed — the class on which
-    /// the paper's identical-machine algorithms remain exact (uniform
-    /// speeds are an identical machine up to time scaling).
+    /// `true` iff all machines run at the same speed and every task may
+    /// use every machine — the class on which the paper's
+    /// identical-machine algorithms remain exact (uniform speeds are an
+    /// identical machine up to time scaling). Restricted assignment is
+    /// uniform exactly when every eligibility set is complete, in which
+    /// case it degenerates to `Identical { m }` bit-for-bit.
     pub fn uniform(&self) -> bool {
         match self {
             MachineModel::Identical { .. } => true,
-            MachineModel::Related { speeds } => speeds.windows(2).all(|w| w[0] == w[1]),
+            MachineModel::RestrictedAssignment { m, eligible } => {
+                eligible.iter().all(|list| list.len() == *m)
+            }
+            _ => self
+                .speed_profile()
+                .expect("profile")
+                .windows(2)
+                .all(|w| w[0] == w[1]),
         }
     }
 
-    /// `true` iff every machine runs at exactly unit speed (machine-count
-    /// allocations *are* rates). `Related { speeds: [1; m] }` must behave
+    /// `true` iff machine-count allocations *are* rates for every task:
+    /// every machine runs at exactly unit speed and no eligibility
+    /// restriction bites. `Related { speeds: [1; m] }` and
+    /// `RestrictedAssignment` with complete eligibility must behave
     /// bit-for-bit like `Identical { m }`; this predicate is what the
     /// realization layer keys on.
     pub fn unit_speeds(&self) -> bool {
         match self {
             MachineModel::Identical { .. } => true,
-            MachineModel::Related { speeds } => speeds.iter().all(|s| *s == S::one()),
+            MachineModel::RestrictedAssignment { .. } => self.uniform(),
+            _ => self
+                .speed_profile()
+                .expect("profile")
+                .iter()
+                .all(|s| *s == S::one()),
         }
     }
 
     /// Total speed of the fastest `x` (fractional) machines — the concave
-    /// capacity function `prefix(x)`, clamped into `[0, capacity]`.
+    /// capacity function `prefix(x)`, clamped into `[0, capacity]`. For
+    /// restricted assignment this is the eligibility-blind relaxation
+    /// `min(x, capacity)`.
     pub fn prefix(&self, x: S) -> S {
         match self {
             MachineModel::Identical { m } => x.clamp_to(S::zero(), m.clone()),
-            MachineModel::Related { speeds } => {
+            MachineModel::RestrictedAssignment { .. } => x.clamp_to(S::zero(), self.capacity()),
+            _ => {
+                let speeds = self.speed_profile().expect("profile");
                 let mut remaining = x.max_of(S::zero());
                 let mut acc = S::zero();
                 for s in speeds {
@@ -190,11 +445,13 @@ impl<S: Scalar> MachineModel<S> {
 
     /// Maximal processing rate of a single task with parallelism cap
     /// `delta`: `prefix(min(delta, count))`. The identical-machine case is
-    /// the familiar `min(δ, P)`.
+    /// the familiar `min(δ, P)`. Restricted assignment additionally caps
+    /// each task by its eligibility set — use
+    /// [`MachineModel::rate_cap_for`] when the task index is known.
     pub fn rate_cap(&self, delta: S) -> S {
         match self {
             MachineModel::Identical { m } => delta.min_of(m.clone()),
-            MachineModel::Related { .. } => self.prefix(delta.min_of(self.count())),
+            _ => self.prefix(delta.min_of(self.count())),
         }
     }
 
@@ -204,17 +461,49 @@ impl<S: Scalar> MachineModel<S> {
         delta.min_of(self.count())
     }
 
+    /// Task-identity-aware rate cap: for restricted assignment,
+    /// `min(delta, |Eᵢ|)` (a task cannot outrun its eligible machines);
+    /// identical to [`MachineModel::rate_cap`] elsewhere.
+    pub fn rate_cap_for(&self, i: usize, delta: S) -> S {
+        match self.restriction() {
+            Some((_, eligible)) if i < eligible.len() => {
+                delta.min_of(S::from_int(eligible[i].len() as i64))
+            }
+            _ => self.rate_cap(delta),
+        }
+    }
+
+    /// Task-identity-aware count cap: for restricted assignment,
+    /// `min(delta, |Eᵢ|)`; identical to [`MachineModel::count_cap`]
+    /// elsewhere.
+    pub fn count_cap_for(&self, i: usize, delta: S) -> S {
+        match self.restriction() {
+            Some((_, eligible)) if i < eligible.len() => {
+                delta.min_of(S::from_int(eligible[i].len() as i64))
+            }
+            _ => self.count_cap(delta),
+        }
+    }
+
     /// The grouped speed levels (`k_ℓ`, `d_ℓ`), fastest level first. The
     /// identical model is a single level `(m, 1)`; so is
     /// `Related { speeds: [1; m] }`, which keeps the two transportation
-    /// networks structurally identical.
+    /// networks structurally identical. For restricted assignment this is
+    /// the eligibility-blind relaxation (one unit level of the active
+    /// machine count) — eligibility-aware layers use [`RankOracle`] and
+    /// the gate-arc transport branch instead.
     pub fn levels(&self) -> Vec<SpeedLevel<S>> {
         match self {
             MachineModel::Identical { m } => vec![SpeedLevel {
                 count: m.clone(),
                 diff: S::one(),
             }],
-            MachineModel::Related { speeds } => {
+            MachineModel::RestrictedAssignment { .. } => vec![SpeedLevel {
+                count: self.capacity(),
+                diff: S::one(),
+            }],
+            _ => {
+                let speeds = self.speed_profile().expect("profile");
                 let mut levels = Vec::new();
                 let mut i = 0;
                 while i < speeds.len() {
@@ -265,13 +554,76 @@ impl<S: Scalar> MachineModel<S> {
         rates
     }
 
+    /// Realize per-task machine-count shares as processing rates when the
+    /// task identities matter — the eligible-aware sibling of
+    /// [`MachineModel::realize`]. `entries` pairs each task's index with
+    /// its count share, **in priority order** (highest first).
+    ///
+    /// For restricted assignment the realization is the polymatroid
+    /// greedy: task `k`'s rate is the marginal bipartite-flow gain
+    /// `F_k − F_{k−1}`, where `F_k` is the max flow of the first `k`
+    /// tasks with source caps equal to their shares and unit arcs to
+    /// their eligible machines. The vector is lexicographically maximal
+    /// in priority order (the top task always realizes
+    /// `min(share, |Eᵢ|) > 0`, so replay never stalls) and feasible by
+    /// construction. Every other model delegates to
+    /// [`MachineModel::realize`] on the shares in order.
+    pub fn realize_assign(&self, entries: &[(usize, S)]) -> Vec<S> {
+        let Some((m, eligible)) = self.restriction() else {
+            let counts: Vec<S> = entries.iter().map(|(_, c)| c.clone()).collect();
+            return self.realize(&counts);
+        };
+        if self.unit_speeds() {
+            return entries.iter().map(|(_, c)| c.clone()).collect();
+        }
+        let mut rates = Vec::with_capacity(entries.len());
+        let mut prev = S::zero();
+        for k in 1..=entries.len() {
+            let flow = Self::restricted_flow(m, eligible, &entries[..k]);
+            rates.push((flow.clone() - prev).max_of(S::zero()));
+            prev = flow;
+        }
+        rates
+    }
+
+    /// Max bipartite flow of the given `(task index, demand)` entries on
+    /// `m` unit-speed machines with per-task eligibility — the restricted
+    /// rank of the demand vector.
+    fn restricted_flow(m: usize, eligible: &[Vec<usize>], entries: &[(usize, S)]) -> S {
+        let n = entries.len();
+        // Nodes: tasks 0..n, machines n..n+m, source, sink.
+        let s = n + m;
+        let t = n + m + 1;
+        let mut g = FlowNetwork::new(n + m + 2, S::zero());
+        let mut used = vec![false; m];
+        for (pos, (i, demand)) in entries.iter().enumerate() {
+            if !demand.is_positive() {
+                continue;
+            }
+            g.add_edge(s, pos, demand.clone());
+            for &k in eligible.get(*i).map(Vec::as_slice).unwrap_or(&[]) {
+                g.add_edge(pos, n + k, S::one());
+                used[k] = true;
+            }
+        }
+        for (k, u) in used.iter().enumerate() {
+            if *u {
+                g.add_edge(n + k, t, S::one());
+            }
+        }
+        g.max_flow(s, t)
+    }
+
     /// `true` iff the instantaneous rate vector is feasible on this
     /// machine, i.e. inside the polymatroid of the level decomposition.
     /// `entries` pairs each task's parallelism cap `δᵢ` with its rate.
     /// Decided by a single-interval transportation flow (exact for exact
     /// scalars, tolerance-guarded for `f64`). Identical/uniform machines
     /// don't need this (per-task caps plus `Σ ≤ P` are already complete
-    /// there); it exists for the related validation path.
+    /// there); it exists for the related validation path. Restricted
+    /// assignment needs task identities — use
+    /// [`MachineModel::rates_feasible_assign`] (this method checks only
+    /// the eligibility-blind relaxation there).
     pub fn rates_feasible(&self, entries: &[(S, S)], tol: &Tolerance<S>) -> bool {
         let levels = self.levels();
         let n = entries.len();
@@ -305,6 +657,49 @@ impl<S: Scalar> MachineModel<S> {
         flow + slack >= total
     }
 
+    /// The rank of a `(task index, demand)` vector: how much of the
+    /// demanded rate is simultaneously deliverable. On restricted
+    /// assignment this is the bipartite flow through the eligibility
+    /// sets; every other model clamps the total by the capacity
+    /// (identity-blind — per-δ caps are the caller's business there).
+    /// Used for diagnostics (the `routable` field of
+    /// [`ScheduleError::EligibilityExceeded`]).
+    pub fn restricted_rank(&self, entries: &[(usize, S)]) -> S {
+        match self.restriction() {
+            Some((m, eligible)) => Self::restricted_flow(m, eligible, entries),
+            None => S::sum(entries.iter().map(|(_, d)| d.clone())).min_of(self.capacity()),
+        }
+    }
+
+    /// Task-identity-aware feasibility of an instantaneous rate vector:
+    /// entries are `(task index, δᵢ, rate)`. For restricted assignment
+    /// this is the bipartite-flow check against the eligibility sets; all
+    /// other models delegate to [`MachineModel::rates_feasible`].
+    pub fn rates_feasible_assign(&self, entries: &[(usize, S, S)], tol: &Tolerance<S>) -> bool {
+        let Some((m, eligible)) = self.restriction() else {
+            let blind: Vec<(S, S)> = entries
+                .iter()
+                .map(|(_, d, r)| (d.clone(), r.clone()))
+                .collect();
+            return self.rates_feasible(&blind, tol);
+        };
+        let total = S::sum(entries.iter().map(|(_, _, r)| r.clone()));
+        if !total.is_positive() {
+            return true;
+        }
+        let demands: Vec<(usize, S)> = entries
+            .iter()
+            .map(|(i, delta, rate)| (*i, rate.clone().min_of(delta.clone().max_of(S::zero()))))
+            .collect();
+        let flow = Self::restricted_flow(m, eligible, &demands);
+        let routable = S::sum(demands.iter().map(|(_, d)| d.clone()));
+        let slack = tol.rel.clone() * total.clone() + tol.abs.clone();
+        // Every unit of rate must be routable: the flow must carry the
+        // full demand, and no rate may exceed its δ cap beyond slack.
+        let caps_ok = entries.iter().all(|(_, d, r)| tol.le(r.clone(), d.clone()));
+        caps_ok && routable.clone() + slack.clone() >= total && flow + slack >= routable
+    }
+
     /// Approximate `f64` image (reporting / float cross-checks; lossy for
     /// non-binary-rational exact values, like
     /// [`Instance::approx_f64`](crate::instance::Instance::approx_f64)).
@@ -314,6 +709,15 @@ impl<S: Scalar> MachineModel<S> {
             MachineModel::Related { speeds } => MachineModel::Related {
                 speeds: speeds.iter().map(Scalar::to_f64).collect(),
             },
+            MachineModel::Submodular { gains } => MachineModel::Submodular {
+                gains: gains.iter().map(Scalar::to_f64).collect(),
+            },
+            MachineModel::RestrictedAssignment { m, eligible } => {
+                MachineModel::RestrictedAssignment {
+                    m: *m,
+                    eligible: eligible.clone(),
+                }
+            }
         }
     }
 }
@@ -330,6 +734,15 @@ impl MachineModel<f64> {
             MachineModel::Related { speeds } => MachineModel::Related {
                 speeds: speeds.iter().map(|s| S2::from_f64(*s)).collect(),
             },
+            MachineModel::Submodular { gains } => MachineModel::Submodular {
+                gains: gains.iter().map(|g| S2::from_f64(*g)).collect(),
+            },
+            MachineModel::RestrictedAssignment { m, eligible } => {
+                MachineModel::RestrictedAssignment {
+                    m: *m,
+                    eligible: eligible.clone(),
+                }
+            }
         }
     }
 }
@@ -347,6 +760,22 @@ impl<S: Scalar> fmt::Display for MachineModel<S> {
                     write!(f, "{}", s.to_f64())?;
                 }
                 write!(f, "])")
+            }
+            MachineModel::Submodular { gains } => {
+                // Display the rank table f(1..m), not the stored gains.
+                write!(f, "submodular(f = [")?;
+                let mut acc = 0.0;
+                for (j, g) in gains.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    acc += g.to_f64();
+                    write!(f, "{acc}")?;
+                }
+                write!(f, "])")
+            }
+            MachineModel::RestrictedAssignment { m, eligible } => {
+                write!(f, "restricted(m = {m}, tasks = {})", eligible.len())
             }
         }
     }
@@ -459,6 +888,83 @@ impl<S: Scalar> LevelAccumulator<S> {
                 .zip(&self.levels)
                 .map(|(a, level)| a.clone().min_of(level.count.clone()) * level.diff.clone()),
         )
+    }
+}
+
+/// Task-identity-aware incremental rank evaluator — the oracle the
+/// parametric sweeps and constraint roots run against. Level-decomposable
+/// models use a [`LevelAccumulator`] (delta-only, O(levels) per update);
+/// restricted assignment keeps the active `(task, δ)` set and answers
+/// [`RankOracle::rate`] with a small bipartite max-flow over the
+/// eligibility sets. Either way `f(T)` is a monotone submodular rank, so
+/// the capacity integrals stay piecewise-affine in the parameter and the
+/// Newton roots of [`crate::algos::parametric`] remain valid.
+#[derive(Debug, Clone)]
+pub enum RankOracle<S = f64> {
+    /// Level-decomposition rank (identical / related / submodular).
+    Levels(LevelAccumulator<S>),
+    /// Bipartite matching rank over per-task eligibility sets.
+    Restricted {
+        /// Number of machines.
+        m: usize,
+        /// Per-task eligibility sets (task-indexed, like the model's).
+        eligible: Vec<Vec<usize>>,
+        /// The active `(task index, δ)` multiset.
+        active: Vec<(usize, S)>,
+    },
+}
+
+impl<S: Scalar> RankOracle<S> {
+    /// An empty oracle for the machine (uncoalesced levels).
+    pub fn for_machine(machine: &MachineModel<S>) -> Self {
+        match machine.restriction() {
+            Some((m, eligible)) => RankOracle::Restricted {
+                m,
+                eligible: eligible.to_vec(),
+                active: Vec::new(),
+            },
+            None => RankOracle::Levels(LevelAccumulator::new(machine)),
+        }
+    }
+
+    /// An empty level-decomposition oracle over an explicit (e.g.
+    /// coalesced) profile.
+    pub fn from_levels(levels: Vec<SpeedLevel<S>>) -> Self {
+        RankOracle::Levels(LevelAccumulator::from_levels(levels))
+    }
+
+    /// Add task `i` with parallelism cap `delta` to the active set.
+    pub fn add_task(&mut self, i: usize, delta: &S) {
+        match self {
+            RankOracle::Levels(acc) => acc.add(delta),
+            RankOracle::Restricted { active, .. } => active.push((i, delta.clone())),
+        }
+    }
+
+    /// Remove task `i` with parallelism cap `delta` from the active set.
+    pub fn sub_task(&mut self, i: usize, delta: &S) {
+        match self {
+            RankOracle::Levels(acc) => acc.sub(delta),
+            RankOracle::Restricted { active, .. } => {
+                if let Some(pos) = active.iter().position(|(j, _)| *j == i) {
+                    active.swap_remove(pos);
+                } else {
+                    debug_assert!(false, "sub_task({i}) without matching add_task");
+                }
+            }
+        }
+    }
+
+    /// The current rank `f(T)` of the active set.
+    pub fn rate(&self) -> S {
+        match self {
+            RankOracle::Levels(acc) => acc.rate(),
+            RankOracle::Restricted {
+                m,
+                eligible,
+                active,
+            } => MachineModel::restricted_flow(*m, eligible, active),
+        }
     }
 }
 
@@ -699,5 +1205,150 @@ mod tests {
             .to_string()
             .contains("identical"));
         assert!(related(&[2.0, 1.0]).to_string().contains("related"));
+        assert!(MachineModel::submodular(vec![2.0, 3.0])
+            .unwrap()
+            .to_string()
+            .contains("submodular(f = [2, 3])"));
+        assert!(MachineModel::<f64>::restricted(2, vec![vec![0], vec![1]])
+            .unwrap()
+            .to_string()
+            .contains("restricted"));
+    }
+
+    #[test]
+    fn submodular_constructor_validates_monotone_concave() {
+        // f = [3, 5, 6] → gains [3, 2, 1]: valid.
+        let m = MachineModel::submodular(vec![3.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.speed_profile(), Some(&[3.0, 2.0, 1.0][..]));
+        assert_eq!(m.capacity(), 6.0);
+        // Non-monotone and non-concave tables are rejected.
+        assert!(MachineModel::submodular(vec![3.0, 3.0]).is_err());
+        assert!(MachineModel::submodular(vec![1.0, 3.0]).is_err()); // gain grows
+        assert!(MachineModel::<f64>::submodular(vec![]).is_err());
+        assert!(MachineModel::submodular(vec![-1.0]).is_err());
+    }
+
+    #[test]
+    fn submodular_prefix_rank_of_speeds_matches_related_bitwise() {
+        // ranks = prefix sums of the speeds ⇒ gains = speeds exactly.
+        let speeds = [4.0, 2.0, 1.0];
+        let rel = related(&speeds);
+        let ranks: Vec<f64> = speeds
+            .iter()
+            .scan(0.0, |acc, s| {
+                *acc += s;
+                Some(*acc)
+            })
+            .collect();
+        let sub = MachineModel::submodular(ranks).unwrap();
+        assert_eq!(sub.speed_profile(), rel.speed_profile());
+        assert_eq!(sub.levels(), rel.levels());
+        assert_eq!(sub.capacity(), rel.capacity());
+        assert_eq!(sub.count(), rel.count());
+        for d in [0.5, 1.0, 1.5, 2.5, 4.0] {
+            assert_eq!(sub.rate_cap(d), rel.rate_cap(d));
+            assert_eq!(sub.prefix(d), rel.prefix(d));
+        }
+        assert_eq!(sub.realize(&[1.5, 1.0]), rel.realize(&[1.5, 1.0]));
+        assert!(sub.is_related() && !sub.uniform() && !sub.unit_speeds());
+        use super::CapacityOracle;
+        assert_eq!(sub.marginal_gain(1), 4.0);
+        assert_eq!(sub.marginal_gain(3), 1.0);
+        assert_eq!(sub.full_rank(), 7.0);
+    }
+
+    #[test]
+    fn restricted_constructor_and_degeneration() {
+        // Complete eligibility on 3 machines ≡ Identical{3}.
+        let all = MachineModel::<f64>::restricted(3, vec![vec![0, 1, 2]; 2]).unwrap();
+        assert!(all.uniform() && all.unit_speeds());
+        assert_eq!(all.capacity(), 3.0);
+        assert_eq!(all.count(), 3.0);
+        assert_eq!(all.n_machines(), Some(3));
+        assert_eq!(all.levels(), MachineModel::identical(3.0).levels());
+        assert_eq!(all.rate_cap_for(0, 5.0), 3.0);
+        assert_eq!(all.rate_cap_for(1, 2.0), 2.0);
+        // Rejections: empty set, out-of-range index, zero machines.
+        assert!(MachineModel::<f64>::restricted(3, vec![vec![]]).is_err());
+        assert!(MachineModel::<f64>::restricted(3, vec![vec![3]]).is_err());
+        assert!(MachineModel::<f64>::restricted(0, vec![]).is_err());
+        // Constructor sorts and dedups.
+        let m = MachineModel::<f64>::restricted(3, vec![vec![2, 0, 2]]).unwrap();
+        assert_eq!(m.restriction().unwrap().1[0], vec![0, 2]);
+    }
+
+    #[test]
+    fn restricted_capacity_counts_only_reachable_machines() {
+        // Machine 2 is nobody's: capacity is 2 of the 3 machines.
+        let m = MachineModel::<f64>::restricted(3, vec![vec![0], vec![0, 1]]).unwrap();
+        assert!(!m.uniform());
+        assert_eq!(m.capacity(), 2.0);
+        assert_eq!(m.rate_cap_for(0, 4.0), 1.0);
+        assert_eq!(m.rate_cap_for(1, 4.0), 2.0);
+        assert_eq!(m.count_cap_for(1, 0.5), 0.5);
+    }
+
+    #[test]
+    fn restricted_realize_assign_is_the_polymatroid_greedy() {
+        // Tasks 0 and 1 both eligible only on machine 0; task 2 on {1, 2}.
+        let m = MachineModel::<f64>::restricted(3, vec![vec![0], vec![0], vec![1, 2]]).unwrap();
+        // Priority order (0, 1, 2) with shares (1, 1, 2): task 0 takes
+        // machine 0 fully, task 1 is starved, task 2 gets both of its
+        // machines.
+        let r = m.realize_assign(&[(0, 1.0), (1, 1.0), (2, 2.0)]);
+        assert_eq!(r, vec![1.0, 0.0, 2.0]);
+        // Reversed priority: task 1 now wins machine 0.
+        let r = m.realize_assign(&[(1, 1.0), (0, 1.0), (2, 2.0)]);
+        assert_eq!(r, vec![1.0, 0.0, 2.0]);
+        // Fractional shares split the contested machine.
+        let r = m.realize_assign(&[(0, 0.25), (1, 0.5), (2, 0.5)]);
+        assert_eq!(r, vec![0.25, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn restricted_rates_feasible_assign() {
+        let tol = Tolerance::<f64>::default();
+        let m = MachineModel::<f64>::restricted(3, vec![vec![0], vec![0], vec![1, 2]]).unwrap();
+        // Machine 0 contested: total 1 across tasks 0, 1 is fine…
+        assert!(m.rates_feasible_assign(&[(0, 1.0, 0.5), (1, 1.0, 0.5), (2, 2.0, 2.0)], &tol));
+        // …but 1.5 over-concentrates even though Σ ≤ capacity.
+        assert!(!m.rates_feasible_assign(&[(0, 1.0, 1.0), (1, 1.0, 0.5), (2, 2.0, 1.0)], &tol));
+        // The blind relaxation would accept that vector.
+        assert!(m.rates_feasible(&[(1.0, 1.0), (1.0, 0.5), (2.0, 1.0)], &tol));
+    }
+
+    #[test]
+    fn rank_oracle_matches_hand_ranks() {
+        // Restricted: rank of {0} is 1, {0,1} still 1, {0,1,2} is 3.
+        let m = MachineModel::<f64>::restricted(3, vec![vec![0], vec![0], vec![1, 2]]).unwrap();
+        let mut o = RankOracle::for_machine(&m);
+        assert_eq!(o.rate(), 0.0);
+        o.add_task(0, &1.0);
+        assert_eq!(o.rate(), 1.0);
+        o.add_task(1, &1.0);
+        assert_eq!(o.rate(), 1.0);
+        o.add_task(2, &2.0);
+        assert_eq!(o.rate(), 3.0);
+        o.sub_task(1, &1.0);
+        assert_eq!(o.rate(), 3.0);
+        o.sub_task(0, &1.0);
+        assert_eq!(o.rate(), 2.0);
+        // Levels oracle degenerates to the accumulator.
+        let rel = related(&[2.0, 1.0, 1.0]);
+        let mut o = RankOracle::for_machine(&rel);
+        o.add_task(0, &1.0);
+        o.add_task(1, &1.0);
+        assert_eq!(o.rate(), 3.0);
+    }
+
+    #[test]
+    fn restricted_exact_rationals() {
+        let q = Rational::from_f64_exact;
+        let m = MachineModel::<Rational>::restricted(2, vec![vec![0], vec![0, 1]]).unwrap();
+        let r = m.realize_assign(&[(0, q(0.5)), (1, q(1.5))]);
+        assert_eq!(r, vec![q(0.5), q(1.5)]);
+        let tol = numkit::Tolerance::exact();
+        assert!(m.rates_feasible_assign(&[(0, q(1.0), q(0.5)), (1, q(2.0), q(1.5))], &tol));
+        assert!(!m.rates_feasible_assign(&[(0, q(1.0), q(1.0)), (1, q(2.0), q(1.5))], &tol));
     }
 }

@@ -22,7 +22,7 @@
 pub mod registry;
 pub mod rules;
 
-pub use registry::{all, by_name, names, related_capable};
+pub use registry::{all, by_name, capable_for, names, related_capable};
 pub use rules::{ActiveTask, AllocationRule};
 
 use crate::algos::greedy::{best_heuristic_greedy, greedy_schedule};
@@ -33,6 +33,7 @@ use crate::algos::releases::makespan_with_releases;
 use crate::algos::waterfill::water_filling;
 use crate::algos::waterfill_fast::wf_feasible_grouped;
 use crate::algos::wdeq::{certificate_of, wdeq_run};
+use crate::bounds::{combined_lower_bound, mixed_bound};
 use crate::error::ScheduleError;
 use crate::instance::{Instance, TaskId};
 use crate::schedule::column::ColumnSchedule;
@@ -480,6 +481,14 @@ impl<S: Scalar> SchedulingPolicy<S> for MakespanParametric {
 /// this coincides with WDEQ (machine counts are rates there); on related
 /// machines it is feasible by construction because the allocation is an
 /// actual machine assignment.
+///
+/// Every run carries a Lemma-2-style certificate: the replay records which
+/// volume each task processed while *capacity-limited* (its share met its
+/// rate cap) and feeds that split into the Lemma-1 mixed bound
+/// `A(I[V¹]) + H(I[V²]) ≤ OPT` — any split is a sound lower bound, so the
+/// certificate is machine-checked on heterogeneous models too. The factor
+/// 2 is the Theorem-4 guarantee (proved on identical machines, where this
+/// policy *is* WDEQ; observed on the related/submodular/restricted sweeps).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct WdeqRelated;
 
@@ -497,7 +506,15 @@ impl<S: Scalar> SchedulingPolicy<S> for WdeqRelated {
     }
 
     fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
-        rules::replay(instance, &rules::WdeqRule).map(plain)
+        let (schedule, limited) = rules::replay_with_split(instance, &rules::WdeqRule)?;
+        let lower_bound = mixed_bound(instance, &limited).max_of(combined_lower_bound(instance));
+        Ok(PolicyRun {
+            schedule,
+            certificate: Some(PolicyCertificate {
+                lower_bound,
+                factor: S::from_int(2),
+            }),
+        })
     }
 }
 
@@ -549,6 +566,58 @@ impl<S: Scalar> SchedulingPolicy<S> for GreedySmithRelated {
 
     fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
         greedy_related(instance, &orders::smith_order(instance)).map(plain)
+    }
+}
+
+/// **Greedy(LPT) on related machines**: the volume-descending analogue of
+/// [`GreedySmithRelated`] — the largest task claims the earliest feasible
+/// completion first, so big jobs anchor the frontier and small ones slot
+/// into the slack. Sound on every capacity model (identical, related,
+/// submodular, restricted).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyLptRelated;
+
+impl<S: Scalar> SchedulingPolicy<S> for GreedyLptRelated {
+    fn name(&self) -> &'static str {
+        "greedy-lpt-related"
+    }
+
+    fn description(&self) -> &'static str {
+        "greedy earliest-feasible completions, largest volume first, any capacity model"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        greedy_related(instance, &orders::volume_descending(instance)).map(plain)
+    }
+}
+
+/// **Greedy most-constrained-first**: tasks in ascending effective
+/// machine-count cap `min(δᵢ, f({i}))`, ties by id. On restricted
+/// assignment the tasks with the fewest eligible machines commit first,
+/// before flexible tasks soak up their capacity; on uniform models it
+/// degenerates to caps-ascending.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyEligibilityRelated;
+
+impl<S: Scalar> SchedulingPolicy<S> for GreedyEligibilityRelated {
+    fn name(&self) -> &'static str {
+        "greedy-eligibility-related"
+    }
+
+    fn description(&self) -> &'static str {
+        "greedy earliest-feasible completions, most-constrained task first"
+    }
+
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn run(&self, instance: &Instance<S>) -> Result<PolicyRun<S>, ScheduleError> {
+        greedy_related(instance, &orders::count_cap_ascending(instance)).map(plain)
     }
 }
 
@@ -706,6 +775,53 @@ mod tests {
         let closed = crate::algos::makespan::optimal_makespan(&e);
         let via_flow = SchedulingPolicy::<Rational>::schedule(&MakespanParametric, &e).unwrap();
         assert_eq!(via_flow.makespan(), closed);
+    }
+
+    #[test]
+    fn heterogeneous_capable_policies_schedule_every_capacity_model() {
+        use crate::machine::MachineModel;
+        let tasks = [(6.0, 1.0, 2.0), (4.0, 2.0, 3.0), (2.0, 4.0, 1.0)];
+        let machines = vec![
+            MachineModel::related(vec![2.0, 1.0, 1.0]).unwrap(),
+            MachineModel::submodular(vec![3.0, 5.0, 6.0]).unwrap(),
+            MachineModel::restricted(3, vec![vec![0, 1], vec![1, 2], vec![0]]).unwrap(),
+        ];
+        for machine in machines {
+            let mut b = Instance::builder(1.0);
+            for (v, w, d) in tasks {
+                b = b.task(v, w, d);
+            }
+            let i = b.build().unwrap().with_machine(machine).unwrap();
+            for name in registry::capable_for(&i.machine) {
+                let p = by_name::<f64>(name).unwrap();
+                let run = p
+                    .run(&i)
+                    .unwrap_or_else(|e| panic!("{name} failed on {}: {e}", i.machine));
+                run.schedule
+                    .validate(&i)
+                    .unwrap_or_else(|e| panic!("{name} invalid on {}: {e}", i.machine));
+                if let Some(cert) = run.certificate {
+                    let cost = run.schedule.weighted_completion_cost(&i);
+                    assert!(
+                        cert.lower_bound <= cost + 1e-9,
+                        "{name}: bound {} above cost {cost}",
+                        cert.lower_bound
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wdeq_related_certificate_is_sound_and_matches_wdeq_on_identical() {
+        let i = inst();
+        let run = SchedulingPolicy::<f64>::run(&WdeqRelated, &i).unwrap();
+        let cert = run.certificate.expect("wdeq-related carries a certificate");
+        let cost = run.schedule.weighted_completion_cost(&i);
+        assert!(cert.lower_bound <= cost + 1e-9);
+        assert!(cert.lower_bound >= combined_lower_bound(&i) - 1e-9);
+        assert!(cert.ratio(cost) <= cert.factor + 1e-6);
+        assert_eq!(cert.factor, 2.0);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! workspace means appending one constructor to [`all`].
 
 use super::{
-    BestHeuristicGreedy, GreedyPolicy, GreedySmithRelated, LmaxHeightDue, LmaxParametric,
-    LmaxParametricRelated, MakespanOptimal, MakespanParametric, OrderRule, RulePolicy,
-    SchedulingPolicy, WaterFillNormalForm, WaterFillRelated, Wdeq, WdeqRelated,
+    BestHeuristicGreedy, GreedyEligibilityRelated, GreedyLptRelated, GreedyPolicy,
+    GreedySmithRelated, LmaxHeightDue, LmaxParametric, LmaxParametricRelated, MakespanOptimal,
+    MakespanParametric, OrderRule, RulePolicy, SchedulingPolicy, WaterFillNormalForm,
+    WaterFillRelated, Wdeq, WdeqRelated,
 };
+use crate::machine::MachineModel;
 use crate::policy::rules::{DeqRule, PriorityRule, ShareNoRedistributionRule};
 use numkit::Scalar;
 
@@ -49,6 +51,8 @@ pub fn all<S: Scalar>() -> Vec<Box<dyn SchedulingPolicy<S>>> {
     v.push(Box::new(WdeqRelated));
     v.push(Box::new(WaterFillRelated));
     v.push(Box::new(GreedySmithRelated));
+    v.push(Box::new(GreedyLptRelated));
+    v.push(Box::new(GreedyEligibilityRelated));
     v.push(Box::new(LmaxParametricRelated));
     v
 }
@@ -68,8 +72,23 @@ pub fn related_capable() -> Vec<&'static str> {
         "wdeq-related",
         "wf-related",
         "greedy-smith-related",
+        "greedy-lpt-related",
+        "greedy-eligibility-related",
         "lmax-parametric-related",
     ]
+}
+
+/// The registry subset that can schedule instances on `machine`: every
+/// policy on uniform (identical-speed) models, the heterogeneous-capable
+/// family ([`related_capable`]) on related, submodular and
+/// restricted-assignment models. `msched --list-policies` and the grid
+/// sweeps use this to pair policies with instances.
+pub fn capable_for<S: Scalar>(machine: &MachineModel<S>) -> Vec<&'static str> {
+    if machine.uniform() {
+        names()
+    } else {
+        related_capable()
+    }
 }
 
 /// Look a policy up by its stable name, or `None` for unknown keys.
@@ -106,10 +125,25 @@ mod tests {
             "wdeq-related",
             "wf-related",
             "greedy-smith-related",
+            "greedy-lpt-related",
+            "greedy-eligibility-related",
             "lmax-parametric-related",
         ] {
             assert!(related_capable().contains(&name));
         }
+    }
+
+    #[test]
+    fn capable_for_matches_machine_uniformity() {
+        let identical = MachineModel::<f64>::identical(4.0);
+        assert_eq!(capable_for(&identical), names());
+        let related = MachineModel::related(vec![2.0, 1.0]).unwrap();
+        assert_eq!(capable_for(&related), related_capable());
+        let restricted = MachineModel::<f64>::restricted(2, vec![vec![0], vec![0, 1]]).unwrap();
+        assert_eq!(capable_for(&restricted), related_capable());
+        // Complete eligibility is uniform: the whole registry applies.
+        let complete = MachineModel::<f64>::restricted(2, vec![vec![0, 1], vec![0, 1]]).unwrap();
+        assert_eq!(capable_for(&complete), names());
     }
 
     #[test]

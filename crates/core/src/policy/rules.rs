@@ -169,12 +169,31 @@ pub fn replay<S: Scalar>(
     instance: &Instance<S>,
     rule: &dyn AllocationRule<S>,
 ) -> Result<ColumnSchedule<S>, ScheduleError> {
+    replay_with_split(instance, rule).map(|(schedule, _)| schedule)
+}
+
+/// [`replay`] that additionally tracks the Lemma-2 volume split: for each
+/// task, how much of its volume was processed while the rule allocated it
+/// **less than its cap** (the task was *limited* — capacity was the
+/// binding resource). The returned vector `V¹` satisfies
+/// `0 ≤ V¹ᵢ ≤ Vᵢ`, and by Lemma 1 any such split yields the sound lower
+/// bound `OPT ≥ A(I[V¹]) + H(I[V − V¹])`
+/// ([`crate::bounds::mixed_bound`]) — the per-run certificate the
+/// related-machines WDEQ policy reports.
+///
+/// # Errors
+/// Same contract as [`replay`].
+pub fn replay_with_split<S: Scalar>(
+    instance: &Instance<S>,
+    rule: &dyn AllocationRule<S>,
+) -> Result<(ColumnSchedule<S>, Vec<S>), ScheduleError> {
     instance.validate()?;
     let tol = Tolerance::<S>::for_instance(instance.n());
     let n = instance.n();
     let count = instance.machine.count();
     let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
     let mut processed = vec![S::zero(); n];
+    let mut limited = vec![S::zero(); n];
     let mut active: Vec<usize> = (0..n).collect();
     let mut completions = vec![S::zero(); n];
     let mut columns = Vec::with_capacity(n);
@@ -233,6 +252,11 @@ pub fn replay<S: Scalar>(
         let mut done = Vec::new();
         for (k, &i) in active.iter().enumerate() {
             let inc = rates[k].clone() * dt.clone();
+            // Volume processed while the share sat strictly below the
+            // cap is attributed to the "limited" side of the split.
+            if tol.lt(shares[k].clone(), views[k].cap.clone()) {
+                limited[i] = limited[i].clone() + inc.clone();
+            }
             processed[i] = processed[i].clone() + inc.clone();
             remaining[i] = remaining[i].clone() - inc;
             if remaining[i] <= tol.slack(instance.tasks[i].volume.clone(), S::zero()) {
@@ -246,17 +270,30 @@ pub fn replay<S: Scalar>(
         now = now + dt;
     }
 
-    Ok(ColumnSchedule {
-        p: instance.p.clone(),
-        completions,
-        columns,
-    })
+    // Clamp the split into [0, Vᵢ] so f64 accumulation drift can never
+    // push `mixed_bound` outside its admissible range (exact scalars are
+    // already exact).
+    for (l, t) in limited.iter_mut().zip(&instance.tasks) {
+        *l = l.clone().max_of(S::zero()).min_of(t.volume.clone());
+    }
+    Ok((
+        ColumnSchedule {
+            p: instance.p.clone(),
+            completions,
+            columns,
+        },
+        limited,
+    ))
 }
 
 /// Convert machine-count shares into processing rates: lay the active
 /// tasks out on the speed profile fastest-first, heaviest task first
 /// (ties by id). The identity on unit-speed machines, so the identical
-/// path is bit-exact.
+/// path is bit-exact. On restricted assignment the same priority order
+/// drives the polymatroid greedy [`MachineModel::realize_assign`]
+/// (crate::machine::MachineModel::realize_assign): each task's rate is
+/// its marginal routable flow given the higher-priority tasks — feasible
+/// by construction, and the top task always progresses.
 fn realize_shares<S: Scalar>(instance: &Instance<S>, active: &[usize], shares: &[S]) -> Vec<S> {
     if instance.machine.unit_speeds() {
         return shares.to_vec();
@@ -268,9 +305,22 @@ fn realize_shares<S: Scalar>(instance: &Instance<S>, active: &[usize], shares: &
             .total_cmp_s(&instance.tasks[active[a]].weight)
             .then(active[a].cmp(&active[b]))
     });
+    let mut rates = vec![S::zero(); active.len()];
+    if instance.machine.restriction().is_some() {
+        // Eligibility sets are task-indexed: hand the original ids along
+        // with the shares, in priority order.
+        let entries: Vec<(usize, S)> = pos
+            .iter()
+            .map(|&k| (active[k], shares[k].clone()))
+            .collect();
+        let realized = instance.machine.realize_assign(&entries);
+        for (slot, &k) in pos.iter().enumerate() {
+            rates[k] = realized[slot].clone();
+        }
+        return rates;
+    }
     let ordered: Vec<S> = pos.iter().map(|&k| shares[k].clone()).collect();
     let realized = instance.machine.realize(&ordered);
-    let mut rates = vec![S::zero(); active.len()];
     for (slot, &k) in pos.iter().enumerate() {
         rates[k] = realized[slot].clone();
     }
@@ -350,6 +400,58 @@ mod tests {
             replay(&i, &ShareNoRedistributionRule),
             Err(ScheduleError::InvalidInstance { .. })
         ));
+    }
+
+    #[test]
+    fn restricted_replay_validates_and_respects_eligibility() {
+        // Tasks 0, 1 contend for machine 0; task 2 owns {1, 2}.
+        let i = Instance::builder(0.0)
+            .task(2.0, 1.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .task(4.0, 1.0, 3.0)
+            .restricted(3, vec![vec![0], vec![0], vec![1, 2]])
+            .build()
+            .unwrap();
+        let rules: Vec<Box<dyn AllocationRule<f64>>> = vec![
+            Box::new(WdeqRule),
+            Box::new(DeqRule),
+            Box::new(PriorityRule),
+        ];
+        for r in rules {
+            let s = replay(&i, r.as_ref()).unwrap();
+            s.validate(&i)
+                .unwrap_or_else(|e| panic!("{}: {e}", r.name()));
+        }
+    }
+
+    #[test]
+    fn restricted_replay_exact_with_zero_tolerance() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        let i = Instance::<Rational>::builder(q(0.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .task(q(1.0), q(2.0), q(1.0))
+            .task(q(4.0), q(1.0), q(2.0))
+            .restricted(3, vec![vec![0], vec![0], vec![1, 2]])
+            .build()
+            .unwrap();
+        let s = replay(&i, &WdeqRule).unwrap();
+        s.validate(&i).unwrap(); // zero tolerance, eligibility included
+    }
+
+    #[test]
+    fn replay_split_partitions_each_volume() {
+        let i = inst();
+        let (s, limited) = replay_with_split(&i, &WdeqRule).unwrap();
+        let direct = replay(&i, &WdeqRule).unwrap();
+        assert_eq!(s, direct, "split tracking must not perturb the replay");
+        for (l, t) in limited.iter().zip(&i.tasks) {
+            assert!(*l >= 0.0 && *l <= t.volume + 1e-12, "split out of range");
+        }
+        // The mixed bound over the tracked split is a sound lower bound.
+        let lb = crate::bounds::mixed_bound(&i, &limited);
+        let cost = s.weighted_completion_cost(&i);
+        assert!(lb <= cost + 1e-9, "mixed bound {lb} above cost {cost}");
     }
 
     #[test]

@@ -223,24 +223,47 @@ impl<S: Scalar> ColumnSchedule<S> {
                     p: self.p.to_f64(),
                 });
             }
-            // On heterogeneous related machines, per-task caps plus the
-            // total are necessary but not sufficient: the rates must lie
-            // in the polymatroid of the speed profile (e.g. two δ = 1
-            // tasks on speeds (2, 1, 1) cannot both run at rate 2). The
-            // single-interval transportation flow decides it — exactly,
-            // for exact scalars.
+            // On heterogeneous machines, per-task caps plus the total are
+            // necessary but not sufficient: the rates must lie in the
+            // capacity oracle's polymatroid (e.g. two δ = 1 tasks on
+            // speeds (2, 1, 1) cannot both run at rate 2; two tasks
+            // eligible only on machine 0 cannot share more than rate 1).
+            // A single-interval flow decides it — exactly, for exact
+            // scalars. Restricted assignment carries task identities into
+            // the check; level-decomposable models are identity-blind.
             if !instance.machine.uniform() && col.len() > tol.abs && total.is_positive() {
-                let entries: Vec<(S, S)> = col
-                    .rates
-                    .iter()
-                    .map(|(t, r)| (instance.task(*t).delta.clone(), r.clone()))
-                    .collect();
-                if !instance.machine.rates_feasible(&entries, &tol) {
-                    return Err(ScheduleError::SpeedProfileExceeded {
-                        at: col.start.to_f64(),
-                        total: total.to_f64(),
-                        capacity: self.p.to_f64(),
-                    });
+                if instance.machine.restriction().is_some() {
+                    let entries: Vec<(usize, S, S)> = col
+                        .rates
+                        .iter()
+                        .map(|(t, r)| (t.0, instance.task(*t).delta.clone(), r.clone()))
+                        .collect();
+                    if !instance.machine.rates_feasible_assign(&entries, &tol) {
+                        let demands: Vec<(usize, S)> = col
+                            .rates
+                            .iter()
+                            .map(|(t, r)| (t.0, r.clone().max_of(S::zero())))
+                            .collect();
+                        let routable = instance.machine.restricted_rank(&demands);
+                        return Err(ScheduleError::EligibilityExceeded {
+                            at: col.start.to_f64(),
+                            total: total.to_f64(),
+                            routable: routable.to_f64(),
+                        });
+                    }
+                } else {
+                    let entries: Vec<(S, S)> = col
+                        .rates
+                        .iter()
+                        .map(|(t, r)| (instance.task(*t).delta.clone(), r.clone()))
+                        .collect();
+                    if !instance.machine.rates_feasible(&entries, &tol) {
+                        return Err(ScheduleError::SpeedProfileExceeded {
+                            at: col.start.to_f64(),
+                            total: total.to_f64(),
+                            capacity: self.p.to_f64(),
+                        });
+                    }
                 }
             }
         }
@@ -413,6 +436,47 @@ mod tests {
             rates: vec![],
         });
         s.validate(&inst()).unwrap();
+    }
+
+    #[test]
+    fn eligibility_violation_detected() {
+        // Tasks 0 and 1 are both eligible only on machine 0; task 2 owns
+        // {1, 2}. Total rate 3 fits P = 3 and every δ cap, but tasks 0
+        // and 1 together route at most 1 through machine 0.
+        let inst = Instance::builder(0.0)
+            .task(1.0, 1.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .restricted(3, vec![vec![0], vec![0], vec![1, 2]])
+            .build()
+            .unwrap();
+        let s = ColumnSchedule {
+            p: 3.0,
+            completions: vec![1.0, 1.0, 1.0],
+            columns: vec![Column {
+                start: 0.0,
+                end: 1.0,
+                rates: vec![(TaskId(0), 1.0), (TaskId(1), 1.0), (TaskId(2), 1.0)],
+            }],
+        };
+        match s.validate(&inst) {
+            Err(ScheduleError::EligibilityExceeded {
+                total, routable, ..
+            }) => {
+                assert!((total - 3.0).abs() < 1e-12);
+                assert!((routable - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected EligibilityExceeded, got {other:?}"),
+        }
+        // The same rates route cleanly once task 1 moves to machine 1.
+        let ok = Instance::builder(0.0)
+            .task(1.0, 1.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .task(1.0, 1.0, 1.0)
+            .restricted(3, vec![vec![0], vec![1], vec![1, 2]])
+            .build()
+            .unwrap();
+        s.validate(&ok).unwrap();
     }
 
     #[test]

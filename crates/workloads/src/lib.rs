@@ -155,6 +155,29 @@ pub enum Spec {
         /// Total number of machines (≥ 2).
         machines: usize,
     },
+    /// **Restricted assignment**: `machines` unit-speed machines, every
+    /// task eligible on a seeded random subset of at least `min_eligible`
+    /// of them. Integer caps `δ ∈ {1..|Eᵢ|}`; the capacity oracle is the
+    /// bipartite matching rank, so policies must route work through the
+    /// eligibility structure rather than a speed profile.
+    RestrictedAssignment {
+        /// Number of tasks.
+        n: usize,
+        /// Number of machines.
+        machines: usize,
+        /// Minimum eligibility-set size (clamped to `1..=machines`).
+        min_eligible: usize,
+    },
+    /// **Submodular coverage**: a concave rank table with geometric
+    /// marginal gains `g_k = (1 − 1/m)^{k−1}` — each extra machine covers
+    /// a `1/m` share of what remains (the classic coverage process). The
+    /// table is deterministic in `machines`; only the tasks are seeded.
+    SubmodularCoverage {
+        /// Number of tasks.
+        n: usize,
+        /// Number of machines (rank-table length).
+        machines: usize,
+    },
 }
 
 impl Spec {
@@ -174,7 +197,9 @@ impl Spec {
             | Spec::BandwidthFleet { n, .. }
             | Spec::PowerLawSpeeds { n, .. }
             | Spec::TwoTierCluster { n, .. }
-            | Spec::SingleFastMachine { n, .. } => n,
+            | Spec::SingleFastMachine { n, .. }
+            | Spec::RestrictedAssignment { n, .. }
+            | Spec::SubmodularCoverage { n, .. } => n,
         }
     }
 
@@ -188,6 +213,19 @@ impl Spec {
                 | Spec::TwoTierCluster { .. }
                 | Spec::SingleFastMachine { .. }
         )
+    }
+
+    /// `true` iff this family generates a non-uniform capacity oracle
+    /// (related speeds, submodular rank table or restricted assignment):
+    /// exactly the instances that the rate-space identical-machine
+    /// policies reject. Pair these with
+    /// `malleable_core::policy::related_capable` policies in grids.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.is_related()
+            || matches!(
+                self,
+                Spec::RestrictedAssignment { .. } | Spec::SubmodularCoverage { .. }
+            )
     }
 
     /// Short label for experiment tables. Parameterized heterogeneous
@@ -219,6 +257,14 @@ impl Spec {
             } => Cow::Owned(format!("two-tier[{fast}x{speedup}+{slow}x1]")),
             Spec::SingleFastMachine { machines, .. } => {
                 Cow::Owned(format!("single-fast[m={machines}]"))
+            }
+            Spec::RestrictedAssignment {
+                machines,
+                min_eligible,
+                ..
+            } => Cow::Owned(format!("restricted[m={machines},e>={min_eligible}]")),
+            Spec::SubmodularCoverage { machines, .. } => {
+                Cow::Owned(format!("submodular-coverage[m={machines}]"))
             }
         }
     }
@@ -407,6 +453,65 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
                     .collect(),
             )
         }
+        Spec::RestrictedAssignment {
+            n,
+            machines,
+            min_eligible,
+        } => {
+            assert!(machines >= 1, "need at least one machine");
+            let lo = min_eligible.clamp(1, machines);
+            let mut eligible = Vec::with_capacity(n);
+            let mut tasks = Vec::with_capacity(n);
+            let mut idx: Vec<usize> = (0..machines).collect();
+            for _ in 0..n {
+                let k = rng.random_range(lo..=machines);
+                // Partial Fisher–Yates: the first k entries are a uniform
+                // k-subset of the machines.
+                for s in 0..k {
+                    let j = rng.random_range(s..machines);
+                    idx.swap(s, j);
+                }
+                let mut set = idx[..k].to_vec();
+                set.sort_unstable();
+                eligible.push(set);
+                tasks.push(Task::new(
+                    rng.random_range(LO * machines as f64..machines as f64),
+                    rng.random_range(LO..1.0),
+                    rng.random_range(1..=k as u64) as f64,
+                ));
+            }
+            let machine =
+                MachineModel::restricted(machines, eligible).expect("non-empty eligibility");
+            Instance::on(machine, tasks)
+        }
+        Spec::SubmodularCoverage { n, machines } => {
+            assert!(machines >= 1, "need at least one machine");
+            // Rank table: cumulative sums of the coverage gains
+            // (1 − 1/m)^{k−1} — strictly increasing, strictly concave.
+            let decay = 1.0 - 1.0 / machines as f64;
+            let mut ranks = Vec::with_capacity(machines);
+            let mut total = 0.0;
+            let mut gain = 1.0;
+            for _ in 0..machines {
+                total += gain;
+                ranks.push(total);
+                gain *= decay;
+            }
+            let machine = MachineModel::submodular(ranks).expect("concave rank table");
+            let cap = machine.capacity();
+            Instance::on(
+                machine,
+                (0..n)
+                    .map(|_| {
+                        Task::new(
+                            rng.random_range(LO * cap..cap),
+                            rng.random_range(LO..1.0),
+                            rng.random_range(1..=machines as u64) as f64,
+                        )
+                    })
+                    .collect(),
+            )
+        }
     };
     debug_assert!(
         inst.validate().is_ok(),
@@ -557,6 +662,51 @@ mod tests {
         let p = speed_profile(&Spec::SingleFastMachine { n: 2, machines: 5 }).unwrap();
         assert_eq!(p[0], 4.0);
         assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn restricted_and_submodular_specs_generate_heterogeneous_oracles() {
+        let restricted = Spec::RestrictedAssignment {
+            n: 8,
+            machines: 4,
+            min_eligible: 2,
+        };
+        assert!(!restricted.is_related());
+        assert!(restricted.is_heterogeneous());
+        assert_eq!(restricted.label(), "restricted[m=4,e>=2]");
+        for seed in 0..5 {
+            let inst = generate(&restricted, seed);
+            inst.validate().unwrap();
+            assert_eq!(inst.n(), 8);
+            let (m, sets) = inst.machine.restriction().expect("restricted oracle");
+            assert_eq!(m, 4);
+            assert_eq!(sets.len(), 8);
+            for (set, t) in sets.iter().zip(&inst.tasks) {
+                assert!((2..=4).contains(&set.len()), "set {set:?}");
+                assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted/dedup {set:?}");
+                assert!(set.iter().all(|&k| k < 4));
+                assert_eq!(t.delta, t.delta.round());
+                assert!((1.0..=set.len() as f64).contains(&t.delta));
+            }
+        }
+        assert_eq!(generate(&restricted, 7), generate(&restricted, 7));
+        assert_ne!(generate(&restricted, 7), generate(&restricted, 8));
+
+        let submod = Spec::SubmodularCoverage { n: 8, machines: 4 };
+        assert!(!submod.is_related());
+        assert!(submod.is_heterogeneous());
+        assert_eq!(submod.label(), "submodular-coverage[m=4]");
+        for seed in 0..5 {
+            let inst = generate(&submod, seed);
+            inst.validate().unwrap();
+            assert_eq!(inst.n(), 8);
+            assert!(!inst.machine.uniform(), "coverage table is concave");
+            // Capacity is the full-coverage rank 1 + 3/4 + (3/4)² + (3/4)³.
+            let expected = 1.0 + 0.75 + 0.75 * 0.75 + 0.75 * 0.75 * 0.75;
+            assert!((inst.p - expected).abs() < 1e-12);
+        }
+        assert_eq!(generate(&submod, 7), generate(&submod, 7));
+        assert_ne!(generate(&submod, 7), generate(&submod, 8));
     }
 
     #[test]

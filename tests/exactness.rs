@@ -238,8 +238,10 @@ fn parametric_release_cmax_agrees_between_f64_and_rational_and_is_optimal() {
     }
 }
 
-/// Instances the warm-start properties sweep: identical machines and a
-/// heterogeneous related profile, lifted exactly into rationals.
+/// Instances the warm-start properties sweep: every capacity model —
+/// identical machines, a heterogeneous related profile, restricted
+/// assignment (gated transport topology), and a submodular rank table —
+/// lifted exactly into rationals.
 fn warm_start_instances(seed: u64) -> Vec<(&'static str, Instance<Rational>)> {
     let identical = generate(&Spec::PaperUniform { n: 6 }, seed);
     let related = generate(
@@ -250,9 +252,20 @@ fn warm_start_instances(seed: u64) -> Vec<(&'static str, Instance<Rational>)> {
         },
         seed,
     );
+    let restricted = generate(
+        &Spec::RestrictedAssignment {
+            n: 6,
+            machines: 4,
+            min_eligible: 2,
+        },
+        seed,
+    );
+    let submodular = generate(&Spec::SubmodularCoverage { n: 6, machines: 4 }, seed);
     vec![
         ("identical", identical.to_scalar()),
         ("related", related.to_scalar()),
+        ("restricted", restricted.to_scalar()),
+        ("submodular", submodular.to_scalar()),
     ]
 }
 

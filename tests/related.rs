@@ -87,6 +87,146 @@ fn unit_speed_reduction_is_bit_exact_for_every_registry_policy() {
 }
 
 #[test]
+fn submodular_prefix_rank_reduction_is_bit_exact_for_every_registry_policy() {
+    // A concave rank table that is exactly the prefix sums of a speed
+    // profile must behave **bit-identically** to `Related { speeds }`:
+    // the oracle stores the marginal gains as virtual speeds, so every
+    // policy, bound, and validator walks the same numbers. Rejections
+    // must match too (rate-space policies refuse both models).
+    type Fixture = (Vec<f64>, Vec<(f64, f64, f64)>);
+    let fixtures: Vec<Fixture> = vec![
+        (
+            vec![2.0, 1.0, 1.0],
+            vec![(8.0, 1.0, 2.0), (4.0, 2.0, 3.0), (2.0, 4.0, 1.0)],
+        ),
+        (
+            vec![4.0, 2.0, 1.0, 0.5],
+            vec![(2.0, 1.0, 1.0), (1.0, 2.0, 2.0), (1.5, 0.5, 4.0)],
+        ),
+        (vec![3.0, 1.0], vec![(1.0, 3.0, 1.0), (5.0, 1.0, 2.0)]),
+    ];
+    for (speeds, tasks) in fixtures {
+        let related = Instance::<Rational>::builder(Rational::from_int(0))
+            .tasks(tasks.iter().map(|&(v, w, d)| (q(v), q(w), q(d))))
+            .speeds(speeds.iter().map(|&s| q(s)).collect())
+            .build()
+            .unwrap();
+        let mut prefix = Rational::from_int(0);
+        let ranks: Vec<Rational> = speeds
+            .iter()
+            .map(|&s| {
+                prefix = prefix.clone() + q(s);
+                prefix.clone()
+            })
+            .collect();
+        let submodular = Instance::<Rational>::builder(Rational::from_int(0))
+            .tasks(tasks.iter().map(|&(v, w, d)| (q(v), q(w), q(d))))
+            .ranks(ranks)
+            .build()
+            .unwrap();
+        assert_eq!(related.p, submodular.p, "total capacity must agree");
+        for p in policy::all::<Rational>() {
+            match (p.run(&related), p.run(&submodular)) {
+                (Ok(a), Ok(b)) => {
+                    a.schedule.validate(&related).unwrap();
+                    b.schedule.validate(&submodular).unwrap(); // zero tolerance
+                    assert_eq!(
+                        a.schedule.completions,
+                        b.schedule.completions,
+                        "{}: submodular prefix-rank drifted from related",
+                        p.name()
+                    );
+                    assert_eq!(
+                        a.schedule.weighted_completion_cost(&related),
+                        b.schedule.weighted_completion_cost(&submodular),
+                        "{}: cost drift",
+                        p.name()
+                    );
+                    match (a.certificate, b.certificate) {
+                        (Some(ca), Some(cb)) => {
+                            assert_eq!(ca.lower_bound, cb.lower_bound, "{}", p.name());
+                            assert_eq!(ca.factor, cb.factor, "{}", p.name());
+                        }
+                        (None, None) => {}
+                        _ => panic!("{}: certificate presence diverged", p.name()),
+                    }
+                }
+                (Err(_), Err(_)) => {} // rate-space policies refuse both
+                (a, b) => panic!(
+                    "{}: outcome diverged — related ok={}, submodular ok={}",
+                    p.name(),
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+        assert_eq!(
+            squashed_area_bound(&related),
+            squashed_area_bound(&submodular)
+        );
+        assert_eq!(height_bound(&related), height_bound(&submodular));
+    }
+}
+
+#[test]
+fn complete_eligibility_restriction_is_bit_exact_to_identical() {
+    // `RestrictedAssignment` where every task may use every machine has
+    // the uniform rank `f(A) = |A|` — the oracle must degenerate to
+    // `Identical { m }` bit-exactly for every registry policy, identical-
+    // only ones included (complete eligibility *is* the uniform model).
+    type Fixture = (i64, Vec<(f64, f64, f64)>);
+    let fixtures: Vec<Fixture> = vec![
+        (4, vec![(8.0, 1.0, 2.0), (4.0, 2.0, 4.0), (2.0, 4.0, 1.0)]),
+        (2, vec![(2.0, 1.0, 1.0), (1.0, 2.0, 2.0), (1.5, 0.5, 3.0)]),
+        (3, vec![(1.0, 3.0, 1.0), (5.0, 1.0, 2.0)]),
+    ];
+    for (m, tasks) in fixtures {
+        let (identical, _) = twin_instances(m, &tasks);
+        let everyone: Vec<usize> = (0..m as usize).collect();
+        let restricted = Instance::<Rational>::builder(Rational::from_int(0))
+            .tasks(tasks.iter().map(|&(v, w, d)| (q(v), q(w), q(d))))
+            .restricted(m as usize, vec![everyone; tasks.len()])
+            .build()
+            .unwrap();
+        assert!(
+            restricted.machine.uniform(),
+            "complete eligibility is uniform"
+        );
+        assert_eq!(identical.p, restricted.p);
+        for p in policy::all::<Rational>() {
+            let a = p
+                .run(&identical)
+                .unwrap_or_else(|e| panic!("{} failed on identical: {e}", p.name()));
+            let b = p.run(&restricted).unwrap_or_else(|e| {
+                panic!(
+                    "{} failed on complete-eligibility restricted: {e}",
+                    p.name()
+                )
+            });
+            a.schedule.validate(&identical).unwrap();
+            b.schedule.validate(&restricted).unwrap(); // zero tolerance
+            assert_eq!(
+                a.schedule.completions,
+                b.schedule.completions,
+                "{}: complete-eligibility restricted drifted from identical",
+                p.name()
+            );
+            assert_eq!(
+                a.schedule.weighted_completion_cost(&identical),
+                b.schedule.weighted_completion_cost(&restricted),
+                "{}: cost drift",
+                p.name()
+            );
+        }
+        assert_eq!(
+            squashed_area_bound(&identical),
+            squashed_area_bound(&restricted)
+        );
+        assert_eq!(height_bound(&identical), height_bound(&restricted));
+    }
+}
+
+#[test]
 fn related_parametric_lmax_is_exact_with_zero_tolerance_witness() {
     // speeds (2, 1, 1): two δ = 1 tasks of volume 3 have pair-rank 3.
     let inst = Instance::<Rational>::builder(Rational::from_int(0))
