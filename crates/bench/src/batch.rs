@@ -244,6 +244,7 @@ impl BatchGrid {
             .enumerate()
             .flat_map(|(si, _)| self.seeds.iter().map(move |&seed| (si, seed)))
             .collect();
+        malleable_trace::gauge("batch.cells", cells.len() as u64);
         let rows = par_map(cells, |(si, seed)| self.eval_cell(si, seed, &resolved));
         rows.into_iter().flatten().collect()
     }
@@ -255,7 +256,14 @@ impl BatchGrid {
         resolved: &[(&str, Resolved)],
     ) -> Vec<EvalRecord> {
         let source = &self.sources[source_idx];
+        // One span per grid cell. Worker threads are spawned fresh per
+        // grid by `par_map`, so the per-thread buffers merge at the flush
+        // below (and again via TLS teardown when the scope joins).
+        let mut cell_sp =
+            malleable_trace::span_labeled("batch.cell", || format!("{} seed={seed}", source.label));
         let instance = (source.make)(seed);
+        cell_sp.arg("n", instance.n() as u64);
+        cell_sp.arg("seed", seed);
         let area = squashed_area_bound(&instance);
         let height = height_bound(&instance);
         let bound = area.max(height);
@@ -265,9 +273,11 @@ impl BatchGrid {
                 .cost
         });
         let tol = Tolerance::for_instance(instance.n());
-        resolved
+        let records = resolved
             .iter()
             .map(|(name, rp)| {
+                let mut policy_sp =
+                    malleable_trace::span_labeled("batch.policy", || (*name).to_string());
                 let start = Instant::now();
                 let (schedule, certificate) = match rp {
                     Resolved::Registry(p) => {
@@ -284,6 +294,7 @@ impl BatchGrid {
                     }
                 };
                 let wall_us = start.elapsed().as_secs_f64() * 1e6;
+                policy_sp.arg("wall_us", wall_us as u64);
                 let cost = schedule.weighted_completion_cost(&instance);
                 EvalRecord {
                     family: source.label.clone(),
@@ -302,7 +313,13 @@ impl BatchGrid {
                     wall_us,
                 }
             })
-            .collect()
+            .collect();
+        drop(cell_sp);
+        // Merge this worker's buffer into the session trace at the cell
+        // boundary — cheap when tracing is off, and it keeps long grids
+        // from holding megabytes of events per thread.
+        malleable_trace::flush_thread();
+        records
     }
 }
 

@@ -7,6 +7,7 @@
 //!            [--wall-ratio X] [--wall-abs-us X] [--ratio-band X]
 //!            [--scaling PATH] [--scaling-exponent-max X]
 //!            [--scaling-exponent-max-exact X]
+//!            [--counters] [--counters-current PATH] [--counters-baseline PATH]
 //!   --current      fresh sweep output (default results/BENCH_batch.json)
 //!   --baseline     checked-in reference (default results/BENCH_baseline.json)
 //!   --wall-ratio   per-policy wall-time multiplier band (default 10)
@@ -20,6 +21,14 @@
 //!                  (default 1.7 — exact-rational rungs pay growing
 //!                  per-operation cost; the fixed-limb fast path keeps
 //!                  them near 1.2, the all-heap lane fitted well above)
+//!   --counters     additionally compare the deterministic solver counters
+//!                  (probes, warm/cold splits, Dinic phases, augmenting
+//!                  and repair paths, scaling event counts) of a fresh
+//!                  BENCH_parametric.json against the checked-in counter
+//!                  baseline — exact match required, a grown counter
+//!                  fails, a shrunk one notes a baseline refresh
+//!   --counters-current   fresh run (default results/BENCH_parametric.json)
+//!   --counters-baseline  reference (default results/BENCH_parametric_baseline.json)
 //! ```
 //!
 //! Band semantics live in [`malleable_bench::regression`]; this binary is
@@ -27,7 +36,8 @@
 //! every violated band so one CI run surfaces all regressions at once.
 
 use malleable_bench::regression::{
-    aggregates_from_json, regression_check, scaling_check, scaling_from_json, GateBands,
+    aggregates_from_json, counters_check, counters_from_json, regression_check, scaling_check,
+    scaling_from_json, GateBands,
 };
 use malleable_bench::{arg_value, jsonin};
 use std::process::ExitCode;
@@ -78,6 +88,27 @@ fn run() -> Result<bool, String> {
         report.compared += sc.compared;
         report.notes.extend(sc.notes);
         report.failures.extend(sc.failures);
+    }
+    if std::env::args().any(|a| a == "--counters") {
+        let cur_path = arg_value("--counters-current")
+            .unwrap_or_else(|| "results/BENCH_parametric.json".to_string());
+        let base_path = arg_value("--counters-baseline")
+            .unwrap_or_else(|| "results/BENCH_parametric_baseline.json".to_string());
+        let load_counters = |path: &str| -> Result<_, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let doc = jsonin::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            counters_from_json(&doc).map_err(|e| format!("{path}: {e}"))
+        };
+        let cc = counters_check(&load_counters(&cur_path)?, &load_counters(&base_path)?);
+        println!(
+            "bench gate: {} deterministic counter rows compared against {base_path} \
+             (exact match — no noise band)",
+            cc.compared
+        );
+        report.compared += cc.compared;
+        report.notes.extend(cc.notes);
+        report.failures.extend(cc.failures);
     }
     println!(
         "bench gate: {} policies compared against {baseline_path} \

@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! exp_batch [--smoke] [--exact] [--instances N] [--n N] [--policies a,b,c]
-//!           [--seed S] [--time-budget-s T]
+//!           [--seed S] [--time-budget-s T] [--trace]
 //!   --smoke          tiny CI grid (identical + related cells)
 //!   --exact          additionally re-run the grid at bigratio::Rational
 //!                    and fail on any exact certificate violation
@@ -30,6 +30,11 @@
 //!   --time-budget-s  wall-clock gate for --smoke (default 300; the run
 //!                    fails if it exceeds the budget — the coarse CI
 //!                    perf-regression tripwire)
+//!   --trace          record a structured trace of the whole grid (one
+//!                    span per cell, nested per-policy and solver spans,
+//!                    per-thread buffers merged at flush) to
+//!                    results/TRACE_batch.json (Chrome trace format) and
+//!                    print the flamegraph summary
 //! ```
 //!
 //! Every record is re-checked against the squashed-area/height lower
@@ -75,6 +80,12 @@ fn main() {
     let policies: Vec<String> = arg_value("--policies")
         .map(|v| v.split(',').map(str::to_string).collect())
         .unwrap_or_else(|| policy::names().iter().map(|s| s.to_string()).collect());
+    // Start tracing before the grids spawn their worker threads: a thread
+    // snapshots the enabled flag when its buffer initializes, so the
+    // session must be live first.
+    let trace_session = std::env::args()
+        .any(|a| a == "--trace")
+        .then(malleable_trace::Session::start);
     let instances = if smoke { 2 } else { instance_count(50, 500) };
     let seeds = seed_batch(base, instances);
 
@@ -314,6 +325,23 @@ fn main() {
     match write_batch_json("BENCH_batch", &records) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("json write failed: {e}"),
+    }
+
+    if let Some(session) = trace_session {
+        let trace = session.finish();
+        if let Err(e) = trace.validate() {
+            eprintln!("trace validation failed: {e}");
+            std::process::exit(2);
+        }
+        let path = malleable_bench::csvout::results_dir().join("TRACE_batch.json");
+        match std::fs::write(&path, malleable_trace::chrome::to_chrome_json(&trace)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("trace write failed: {e}");
+                std::process::exit(2);
+            }
+        }
+        println!("\n{}", malleable_trace::flame::render_summary(&trace, 10));
     }
 
     // Coarse timing gate (smoke only): the first step toward the

@@ -39,18 +39,22 @@
 //! all-heap lane).
 //!
 //! ```text
-//! exp_perf [--n-max N] [--scale-max N] [--scale-max-exact N] [--full]
+//! exp_perf [--n-max N] [--scale-max N] [--scale-max-exact N] [--full] [--trace]
 //!   --n-max            drop probe configurations with n > N (default: all)
 //!   --scale-max        cap the scaling ladder at n ≤ N (default 100000)
 //!   --scale-max-exact  cap the Rational rungs at n ≤ N (default 1000;
 //!                      0 skips the exact rungs entirely)
 //!   --full             extend the ladder to n = 10⁶
+//!   --trace            record a structured trace of the whole run
+//!                      (every repetition attributed, not just min-wall)
+//!                      to results/TRACE_perf.json (Chrome trace format)
 //! ```
 
 use bigratio::Rational;
 use malleable_bench::arg_value;
 use malleable_bench::perf::{
-    total_phases, write_parametric_json_with_scaling, ProbeRecord, ScalingRecord,
+    min_wall_attributed, scale_point, total_phases, write_parametric_json_with_scaling,
+    ProbeRecord, ScalingRecord,
 };
 use malleable_bench::regression::{asymptotic_curve, fit_loglog_slope, EXACT_FAMILY_TAG};
 use malleable_core::algos::makespan::min_lmax_in;
@@ -231,60 +235,34 @@ fn run_one(config: &Config, mode: SolveMode) -> ProbeRecord {
         SolveMode::Auto | SolveMode::WarmStart => "warm",
         SolveMode::ColdRestart => "cold",
     };
-    let mut best: Option<ProbeRecord> = None;
-    // One extra untimed iteration up front: the first solve of a fresh
+    // Min-of-N with a leading untimed warmup (the first solve of a fresh
     // process pays allocator growth and first-touch page faults, which
-    // would bias whichever arm runs first by ~10% on sub-ms rows.
-    for rep in 0..=TIMING_REPS {
-        let mut session = ProbeSession::with_mode(mode);
-        let start = Instant::now();
-        let value = match &config.kind {
-            Kind::Lmax { due } => {
-                min_lmax_in(&config.instance, due, &mut session)
-                    .unwrap_or_else(|e| panic!("{}: {e}", config.label))
-                    .0
-            }
-            Kind::ReleaseCmax { releases } => {
-                makespan_with_releases_in(&config.instance, releases, &mut session)
-                    .unwrap_or_else(|e| panic!("{}: {e}", config.label))
-                    .cmax
-            }
-        };
-        let wall_us = start.elapsed().as_secs_f64() * 1e6;
-        if rep == 0 {
-            continue; // warmup iteration — not timed
-        }
-        let rec = ProbeRecord::from_telemetry(
-            &config.label,
-            mode_label,
-            session.telemetry(),
-            wall_us,
-            value,
-        );
-        best = Some(match best {
-            Some(b) if b.wall_us <= rec.wall_us => b,
-            _ => rec,
-        });
-    }
-    best.expect("TIMING_REPS ≥ 1")
-}
-
-/// One scaling-curve point: min-of-reps wall time of `run` on a size-`n`
-/// instance, plus the event/work counter the run reports.
-fn scale_point(family: &str, n: usize, reps: usize, mut run: impl FnMut() -> u64) -> ScalingRecord {
-    let mut wall_us = f64::INFINITY;
-    let mut events = 0;
-    for _ in 0..reps {
-        let start = Instant::now();
-        events = run();
-        wall_us = wall_us.min(start.elapsed().as_secs_f64() * 1e6);
-    }
-    ScalingRecord {
-        family: family.into(),
-        n,
-        wall_us,
-        events,
-    }
+    // would bias whichever arm runs first by ~10% on sub-ms rows). Every
+    // repetition — warmup and losers included — is attributed in the
+    // trace as a `perf.rep` span; only the JSON record keeps min-wall.
+    let (value, telemetry, wall_us) = min_wall_attributed(
+        &format!("{} {mode_label}", config.label),
+        TIMING_REPS,
+        || {
+            let mut session = ProbeSession::with_mode(mode);
+            let start = Instant::now();
+            let value = match &config.kind {
+                Kind::Lmax { due } => {
+                    min_lmax_in(&config.instance, due, &mut session)
+                        .unwrap_or_else(|e| panic!("{}: {e}", config.label))
+                        .0
+                }
+                Kind::ReleaseCmax { releases } => {
+                    makespan_with_releases_in(&config.instance, releases, &mut session)
+                        .unwrap_or_else(|e| panic!("{}: {e}", config.label))
+                        .cmax
+                }
+            };
+            let wall_us = start.elapsed().as_secs_f64() * 1e6;
+            (value, session.telemetry(), wall_us)
+        },
+    );
+    ProbeRecord::from_telemetry(&config.label, mode_label, telemetry, wall_us, value)
 }
 
 /// Run the event-driven scaling ladder up to `scale_max` tasks and assert
@@ -401,6 +379,11 @@ fn main() {
     let scale_max_exact: usize = arg_value("--scale-max-exact")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1000);
+    // Tracing must be live before the first solve so every `perf.rep`
+    // repetition — warmups and min-wall losers included — is attributed.
+    let trace_session = std::env::args()
+        .any(|a| a == "--trace")
+        .then(malleable_trace::Session::start);
     let configs = configs(n_max);
     println!(
         "P0: parametric warm-start telemetry — {} configurations × 2 solve modes\n",
@@ -512,5 +495,20 @@ fn main() {
             eprintln!("json write failed: {e}");
             std::process::exit(2);
         }
+    }
+
+    if let Some(session) = trace_session {
+        let trace = session.finish();
+        if let Err(e) = trace.validate() {
+            eprintln!("trace validation failed: {e}");
+            std::process::exit(2);
+        }
+        let path = malleable_bench::csvout::results_dir().join("TRACE_perf.json");
+        if let Err(e) = std::fs::write(&path, malleable_trace::chrome::to_chrome_json(&trace)) {
+            eprintln!("trace write failed: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {}", path.display());
+        println!("\n{}", malleable_trace::flame::render_summary(&trace, 10));
     }
 }

@@ -11,6 +11,7 @@
 //!                        [--speeds s1,s2,...] [--gains g1,g2,...]
 //!                        [--machines M --eligible "0,1;2;..."]
 //!                        [--gantt] [--svg out.svg] [--normalize]
+//!                        [--trace out.json]
 //! usage examples:
 //!   msched --list-policies
 //!   msched jobs.txt --list-policies          # adds a capability column
@@ -19,6 +20,7 @@
 //!   msched jobs.txt --policy optimal --svg plan.svg
 //!   msched jobs.txt --speeds 4,2,1 --policy wdeq-related
 //!   msched jobs.txt --machines 3 --eligible "0,1;2;0,2" --policy wdeq-related
+//!   msched jobs.txt --policy wdeq --trace trace.json   # Chrome trace of the solve
 //! ```
 //!
 //! The re-basing flags swap the instance onto another capacity model —
@@ -63,6 +65,7 @@ struct Args {
     gantt: bool,
     svg: Option<String>,
     normalize: bool,
+    trace: Option<String>,
 }
 
 enum Parsed {
@@ -82,6 +85,7 @@ fn parse_args() -> Result<Parsed, String> {
     let mut gantt = false;
     let mut svg = None;
     let mut normalize = false;
+    let mut trace = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--policy" | "--algo" => policy = args.next().ok_or("--policy needs a value")?,
@@ -109,6 +113,7 @@ fn parse_args() -> Result<Parsed, String> {
             "--gantt" => gantt = true,
             "--svg" => svg = Some(args.next().ok_or("--svg needs a path")?),
             "--normalize" => normalize = true,
+            "--trace" => trace = Some(args.next().ok_or("--trace needs an output path")?),
             "--help" | "-h" => return Ok(Parsed::Help),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}\n{USAGE}"))
@@ -165,6 +170,7 @@ fn parse_args() -> Result<Parsed, String> {
         gantt,
         svg,
         normalize,
+        trace,
     }))
 }
 
@@ -205,7 +211,7 @@ fn parse_eligibility(raw: &str) -> Result<Vec<Vec<usize>>, String> {
         .collect()
 }
 
-const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--speeds s1,s2,...] [--gains g1,g2,...] [--machines M --eligible \"0,1;2;...\"] [--gantt] [--svg out.svg] [--normalize]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum;\n        --speeds/--gains/--machines+--eligible re-base onto another capacity model — use a capable policy)";
+const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--speeds s1,s2,...] [--gains g1,g2,...] [--machines M --eligible \"0,1;2;...\"] [--gantt] [--svg out.svg] [--normalize] [--trace out.json]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum;\n        --speeds/--gains/--machines+--eligible re-base onto another capacity model — use a capable policy;\n        --trace records the solve as Chrome trace-event JSON — load it in Perfetto)";
 
 /// Print the registry; with an instance in hand, add a column marking
 /// which policies can schedule its capacity model.
@@ -359,6 +365,10 @@ fn main() -> ExitCode {
     };
     println!("{instance}");
 
+    let trace_session = args
+        .trace
+        .as_ref()
+        .map(|_| malleable_trace::Session::start());
     let (mut cs, note) = match schedule(&instance, &args.policy) {
         Ok(x) => x,
         Err(e) => {
@@ -374,6 +384,22 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let (Some(session), Some(path)) = (trace_session, &args.trace) {
+        let trace = session.finish();
+        if let Err(e) = trace.validate() {
+            eprintln!("trace validation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, malleable_trace::chrome::to_chrome_json(&trace)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {path} ({} events across {} thread(s))",
+            trace.len(),
+            trace.events_per_thread().len()
+        );
     }
 
     println!("policy: {note}");

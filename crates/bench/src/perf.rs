@@ -15,7 +15,9 @@
 
 use crate::csvout::results_dir;
 use malleable_core::algos::parametric::ProbeTelemetry;
+use malleable_trace::MetricSet;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Telemetry of one parametric solve under one solve mode.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +82,72 @@ pub struct ScalingRecord {
     pub wall_us: f64,
     /// Completion events (WDEQ) or pour-work units (water-filling).
     pub events: u64,
+}
+
+/// Min-of-N timing with full attribution: run `1 + reps` repetitions of
+/// one measurement (the first is an untimed warmup for allocator growth
+/// and first-touch faults), wrapping **every** repetition in a `perf.rep`
+/// span carrying its rep index, warmup flag, wall time, and the session's
+/// complete [`ProbeTelemetry`]. Returns the min-wall *timed* repetition
+/// for the JSON record.
+///
+/// This replaces the old inline min-of-N loops, which silently discarded
+/// the telemetry of the unselected runs — the record still keeps min-wall
+/// (counters are deterministic, only the clock varies), but the trace now
+/// attributes all of them.
+pub fn min_wall_attributed<T>(
+    label: &str,
+    reps: usize,
+    mut run: impl FnMut() -> (T, ProbeTelemetry, f64),
+) -> (T, ProbeTelemetry, f64) {
+    let mut best: Option<(T, ProbeTelemetry, f64)> = None;
+    for rep in 0..=reps {
+        let mut sp = malleable_trace::span_labeled("perf.rep", || label.to_string());
+        let (value, telemetry, wall_us) = run();
+        sp.arg("rep", rep as u64);
+        sp.arg("warmup", u64::from(rep == 0));
+        sp.arg("wall_us", wall_us as u64);
+        telemetry.attach(&mut sp);
+        drop(sp);
+        if rep == 0 {
+            continue; // warmup iteration — never selected
+        }
+        best = Some(match best {
+            Some(b) if b.2 <= wall_us => b,
+            _ => (value, telemetry, wall_us),
+        });
+    }
+    best.expect("reps ≥ 1")
+}
+
+/// One scaling-curve point: min-of-`reps` wall time of `run` on a
+/// size-`n` instance, plus the event/work counter the run reports. Every
+/// repetition is attributed as a `perf.rep` span (rep index, wall,
+/// events), mirroring [`min_wall_attributed`] for the event-driven lanes.
+pub fn scale_point(
+    family: &str,
+    n: usize,
+    reps: usize,
+    mut run: impl FnMut() -> u64,
+) -> ScalingRecord {
+    let mut wall_us = f64::INFINITY;
+    let mut events = 0;
+    for rep in 0..reps {
+        let mut sp = malleable_trace::span_labeled("perf.rep", || format!("{family} n={n}"));
+        let start = Instant::now();
+        events = run();
+        let rep_wall = start.elapsed().as_secs_f64() * 1e6;
+        sp.arg("rep", rep as u64);
+        sp.arg("wall_us", rep_wall as u64);
+        sp.arg("events", events);
+        wall_us = wall_us.min(rep_wall);
+    }
+    ScalingRecord {
+        family: family.into(),
+        n,
+        wall_us,
+        events,
+    }
 }
 
 /// Total Dinic phases across all records of one mode.

@@ -203,6 +203,121 @@ pub fn scaling_from_json(doc: &Json) -> Result<Vec<ScalingRecord>, String> {
     Ok(out)
 }
 
+/// The deterministic solver-counter fields of one `"solvers"` record —
+/// everything in a [`crate::perf::ProbeRecord`] except the clock and the
+/// optimum. On a fully seeded run these are exact integers, so the
+/// counter gate compares them with **no band at all**: any drift is a
+/// behavioral change, not noise.
+pub const COUNTER_FIELDS: &[&str] = &[
+    "probes",
+    "warm_solves",
+    "cold_rebuilds",
+    "phases",
+    "augmentations",
+    "repair_paths",
+];
+
+/// One row of deterministic counters: a `(solver, mode)` probe record or
+/// a `(family, n)` scaling point, keyed for exact comparison across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRow {
+    /// Row identity, e.g. `lmax/paper-uniform[n=32] [warm]` or
+    /// `scaling wdeq/paper-uniform [n=1000]`.
+    pub key: String,
+    /// `(field, value)` pairs, in [`COUNTER_FIELDS`] order for solver
+    /// rows, a single `events` entry for scaling rows.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Extract the deterministic counter rows from a parsed
+/// `BENCH_parametric.json` document: every `"solvers"` record's
+/// [`COUNTER_FIELDS`] plus every `"scaling"` point's event count.
+///
+/// # Errors
+/// A description of the schema violation.
+pub fn counters_from_json(doc: &Json) -> Result<Vec<CounterRow>, String> {
+    let solvers = doc
+        .get("solvers")
+        .and_then(Json::as_array)
+        .ok_or("missing \"solvers\" array")?;
+    let mut out = Vec::with_capacity(solvers.len());
+    for (i, s) in solvers.iter().enumerate() {
+        let name = |key: &str| -> Result<&str, String> {
+            s.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("solver #{i}: missing \"{key}\""))
+        };
+        let key = format!("{} [{}]", name("solver")?, name("mode")?);
+        let mut counters = Vec::with_capacity(COUNTER_FIELDS.len());
+        for &field in COUNTER_FIELDS {
+            let v = s
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("solver #{i}: missing numeric \"{field}\""))?;
+            counters.push((field.to_string(), v as u64));
+        }
+        out.push(CounterRow { key, counters });
+    }
+    for p in scaling_from_json(doc)? {
+        out.push(CounterRow {
+            key: format!("scaling {} [n={}]", p.family, p.n),
+            counters: vec![("events".to_string(), p.events)],
+        });
+    }
+    Ok(out)
+}
+
+/// Compare two sets of deterministic counter rows exactly. The solvers
+/// are seeded and the counters clock no time, so the bands are
+/// degenerate: a counter that *grew* is a failure (the solver does more
+/// work — extra probes, extra Dinic phases, a lost warm start); one that
+/// *shrank* is a note (an improvement the baseline should be refreshed
+/// to lock in). A baseline row missing from the current run fails (the
+/// run shape silently changed); new rows are notes.
+pub fn counters_check(current: &[CounterRow], baseline: &[CounterRow]) -> GateReport {
+    let mut report = GateReport::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.key == base.key) else {
+            report.failures.push(format!(
+                "{}: present in the counter baseline but missing from the current run",
+                base.key
+            ));
+            continue;
+        };
+        report.compared += 1;
+        for (field, base_v) in &base.counters {
+            let Some((_, cur_v)) = cur.counters.iter().find(|(f, _)| f == field) else {
+                report.failures.push(format!(
+                    "{}: counter \"{field}\" disappeared from the current run",
+                    base.key
+                ));
+                continue;
+            };
+            if cur_v > base_v {
+                report.failures.push(format!(
+                    "{}: {field} regressed — {cur_v} vs baseline {base_v} \
+                     (deterministic counters admit no noise band)",
+                    base.key
+                ));
+            } else if cur_v < base_v {
+                report.notes.push(format!(
+                    "{}: {field} improved ({cur_v} vs baseline {base_v}) — \
+                     refresh the counter baseline to lock it in",
+                    base.key
+                ));
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.key == cur.key) {
+            report
+                .notes
+                .push(format!("{}: new row not in the counter baseline", cur.key));
+        }
+    }
+    report
+}
+
 /// Least-squares slope of `ln y` against `ln x` — the fitted exponent of
 /// a power law `y ∝ xᵇ`. Points with non-positive coordinates are
 /// skipped (a sub-microsecond wall reading carries no log information).
@@ -527,6 +642,104 @@ mod tests {
         // Present-but-malformed is a described error.
         let bad = crate::jsonin::parse(r#"{"scaling": [{"n": 5}]}"#).unwrap();
         assert!(scaling_from_json(&bad).unwrap_err().contains("family"));
+    }
+
+    fn counter_row(key: &str, phases: u64) -> CounterRow {
+        CounterRow {
+            key: key.into(),
+            counters: vec![
+                ("probes".into(), 12),
+                ("phases".into(), phases),
+                ("augmentations".into(), 40),
+            ],
+        }
+    }
+
+    #[test]
+    fn identical_counters_pass_and_drift_splits_by_direction() {
+        let base = vec![
+            counter_row("lmax/a [warm]", 20),
+            counter_row("lmax/a [cold]", 30),
+        ];
+        let report = counters_check(&base, &base);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.compared, 2);
+        assert!(report.notes.is_empty());
+
+        // A grown counter is a hard failure …
+        let mut worse = base.clone();
+        worse[0].counters[1].1 = 21;
+        let report = counters_check(&worse, &base);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("phases regressed"));
+
+        // … a shrunk one is only a refresh note.
+        let mut better = base.clone();
+        better[1].counters[1].1 = 25;
+        let report = counters_check(&better, &base);
+        assert!(report.passed());
+        assert!(report.notes[0].contains("improved"));
+    }
+
+    #[test]
+    fn counter_shape_changes_fail_or_note() {
+        let base = vec![
+            counter_row("lmax/a [warm]", 20),
+            counter_row("lmax/b [warm]", 9),
+        ];
+        let cur = vec![
+            counter_row("lmax/a [warm]", 20),
+            counter_row("lmax/new [warm]", 1),
+        ];
+        let report = counters_check(&cur, &base);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("lmax/b"));
+        assert!(report.notes.iter().any(|n| n.contains("lmax/new")));
+
+        // A vanished field on a surviving row also fails.
+        let mut dropped = vec![counter_row("lmax/a [warm]", 20)];
+        dropped[0].counters.remove(1);
+        let report = counters_check(&dropped, &[counter_row("lmax/a [warm]", 20)]);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("disappeared"));
+    }
+
+    #[test]
+    fn counters_parse_from_the_writer_schema() {
+        let rs = vec![crate::perf::ProbeRecord {
+            solver: "lmax/test".into(),
+            mode: "warm",
+            probes: 7,
+            warm_solves: 5,
+            cold_rebuilds: 2,
+            phases: 19,
+            augmentations: 33,
+            repair_paths: 4,
+            wall_us: 123.4,
+            value: 2.5,
+        }];
+        let sc = vec![ScalingRecord {
+            family: "wdeq/paper-uniform".into(),
+            n: 1000,
+            wall_us: 500.0,
+            events: 1000,
+        }];
+        let p = crate::perf::write_parametric_json_with_scaling("unit-test-counters", &rs, &sc)
+            .unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let _ = std::fs::remove_file(p);
+        let rows = counters_from_json(&crate::jsonin::parse(&text).unwrap()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].key, "lmax/test [warm]");
+        assert_eq!(rows[0].counters.len(), COUNTER_FIELDS.len());
+        assert!(rows[0].counters.contains(&("phases".to_string(), 19)));
+        assert_eq!(rows[1].key, "scaling wdeq/paper-uniform [n=1000]");
+        assert_eq!(rows[1].counters, vec![("events".to_string(), 1000)]);
+        // Wall time and the optimum are deliberately NOT counter fields.
+        assert!(rows[0].counters.iter().all(|(f, _)| f != "wall_us"));
+        // Schema violations are described, not panicked on.
+        let bad = crate::jsonin::parse(r#"{"solvers": [{"solver": "x"}]}"#).unwrap();
+        assert!(counters_from_json(&bad).unwrap_err().contains("mode"));
     }
 
     #[test]

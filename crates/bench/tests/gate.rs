@@ -4,7 +4,10 @@
 //! regression is proven reachable, not hoped for.
 
 use malleable_bench::jsonin;
-use malleable_bench::regression::{aggregates_from_json, regression_check, GateBands};
+use malleable_bench::regression::{
+    aggregates_from_json, counters_check, counters_from_json, regression_check, CounterRow,
+    GateBands,
+};
 
 fn checked_in_baseline() -> Vec<malleable_bench::batch::PolicyAggregate> {
     let path = concat!(
@@ -69,6 +72,72 @@ fn synthetic_wall_time_regression_fails_against_the_checked_in_baseline() {
             .iter()
             .any(|f| f.contains("lmax-parametric") && f.contains("wall time")),
         "failure must name the regressed policy: {:?}",
+        report.failures
+    );
+}
+
+fn checked_in_counter_baseline() -> Vec<CounterRow> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_parametric_baseline.json"
+    );
+    let text = std::fs::read_to_string(path).expect("checked-in counter baseline must exist");
+    let doc = jsonin::parse(&text).expect("counter baseline must be valid JSON");
+    counters_from_json(&doc).expect("counter baseline must match the parametric schema")
+}
+
+#[test]
+fn checked_in_counter_baseline_parses_and_self_compares_clean() {
+    let baseline = checked_in_counter_baseline();
+    // Both arms of every configuration must be present — the counter gate
+    // exists above all to catch a lost warm start, which only shows as a
+    // warm-row phase count drifting up toward its cold row.
+    for mode in ["[warm]", "[cold]"] {
+        assert!(
+            baseline.iter().any(|r| r.key.ends_with(mode)),
+            "counter baseline must gate {mode} rows"
+        );
+    }
+    assert!(
+        baseline.iter().any(|r| r.key.starts_with("scaling ")),
+        "counter baseline must gate the scaling event counts"
+    );
+    let report = counters_check(&baseline, &baseline);
+    assert!(
+        report.passed(),
+        "self-comparison failed: {:?}",
+        report.failures
+    );
+    assert_eq!(report.compared, baseline.len());
+    assert!(report.notes.is_empty(), "exact self-compare emits no notes");
+}
+
+#[test]
+fn synthetic_counter_regression_fails_against_the_checked_in_baseline() {
+    let baseline = checked_in_counter_baseline();
+    let mut current = baseline.clone();
+    // One extra Dinic phase on one warm row — the shape of a warm start
+    // quietly degrading into a rebuild. Wall-time bands would never see
+    // it; the exact counter gate must.
+    let victim = current
+        .iter_mut()
+        .find(|r| r.key.ends_with("[warm]"))
+        .expect("baseline has warm rows");
+    let phases = victim
+        .counters
+        .iter_mut()
+        .find(|(f, _)| f == "phases")
+        .expect("warm rows carry a phases counter");
+    phases.1 += 1;
+    let key = victim.key.clone();
+    let report = counters_check(&current, &baseline);
+    assert!(!report.passed(), "a grown counter must fail the gate");
+    assert!(
+        report
+            .failures
+            .iter()
+            .any(|f| f.contains(&key) && f.contains("phases")),
+        "failure must name the regressed row and counter: {:?}",
         report.failures
     );
 }

@@ -17,6 +17,7 @@
 //! `eps = 0` and produces exact max-flow values — feasibility verdicts
 //! that are certificates.
 
+use malleable_trace::MetricSet;
 use numkit::Scalar;
 use std::collections::VecDeque;
 
@@ -54,24 +55,23 @@ pub struct FlowStats {
     pub repair_paths: u64,
 }
 
-impl FlowStats {
-    /// Component-wise difference since an earlier snapshot.
-    #[must_use]
-    pub fn since(&self, earlier: &FlowStats) -> FlowStats {
-        FlowStats {
-            phases: self.phases - earlier.phases,
-            augmentations: self.augmentations - earlier.augmentations,
-            repair_paths: self.repair_paths - earlier.repair_paths,
-        }
+/// `FlowStats` is a thin view over the unified counter registry: slot
+/// names are the canonical registry names, and the snapshot-and-subtract
+/// bookkeeping (`since`/`plus`) comes from the trait instead of being
+/// hand-rolled per struct.
+impl MetricSet for FlowStats {
+    const NAMES: &'static [&'static str] =
+        &["flow.phases", "flow.augmentations", "flow.repair_paths"];
+
+    fn get(&self, i: usize) -> u64 {
+        [self.phases, self.augmentations, self.repair_paths][i]
     }
 
-    /// Component-wise sum (aggregating across sessions).
-    #[must_use]
-    pub fn plus(&self, other: &FlowStats) -> FlowStats {
-        FlowStats {
-            phases: self.phases + other.phases,
-            augmentations: self.augmentations + other.augmentations,
-            repair_paths: self.repair_paths + other.repair_paths,
+    fn set(&mut self, i: usize, value: u64) {
+        match i {
+            0 => self.phases = value,
+            1 => self.augmentations = value,
+            _ => self.repair_paths = value,
         }
     }
 }
@@ -242,7 +242,13 @@ impl<S: Scalar> FlowNetwork<S> {
     /// Panics when `s == t` (builder misuse).
     pub fn max_flow(&mut self, s: usize, t: usize) -> S {
         assert_ne!(s, t, "source equals sink");
+        let snap = self.stats;
+        let mut sp = malleable_trace::span("flow.solve");
+        sp.arg("warm", 0);
         self.augment(s, t);
+        let delta = self.stats.since(&snap);
+        delta.attach(&mut sp);
+        delta.record();
         self.flow_value(s)
     }
 
@@ -263,8 +269,22 @@ impl<S: Scalar> FlowNetwork<S> {
     /// Panics when `s == t` (builder misuse).
     pub fn max_flow_warm(&mut self, s: usize, t: usize) -> S {
         assert_ne!(s, t, "source equals sink");
-        self.repair_overflows(s, t);
+        let snap = self.stats;
+        let mut sp = malleable_trace::span("flow.solve");
+        sp.arg("warm", 1);
+        {
+            let mut repair_sp = malleable_trace::span("flow.repair");
+            let repaired_before = self.stats.repair_paths;
+            self.repair_overflows(s, t);
+            repair_sp.arg(
+                "flow.repair_paths",
+                self.stats.repair_paths - repaired_before,
+            );
+        }
         self.augment(s, t);
+        let delta = self.stats.since(&snap);
+        delta.attach(&mut sp);
+        delta.record();
         self.flow_value(s)
     }
 
@@ -381,6 +401,8 @@ impl<S: Scalar> FlowNetwork<S> {
         loop {
             // BFS level graph.
             self.stats.phases += 1;
+            let mut phase_sp = malleable_trace::span("flow.dinic_phase");
+            let augmented_before = self.stats.augmentations;
             let mut level = vec![usize::MAX; n];
             level[s] = 0;
             let mut q = VecDeque::from([s]);
@@ -406,6 +428,7 @@ impl<S: Scalar> FlowNetwork<S> {
                 }
                 self.stats.augmentations += 1;
             }
+            phase_sp.arg("augmentations", self.stats.augmentations - augmented_before);
         }
     }
 

@@ -117,6 +117,8 @@ pub fn min_lmax_in<S: Scalar>(
     due: &[S],
     session: &mut ProbeSession<S>,
 ) -> Result<(S, ColumnSchedule<S>), ScheduleError> {
+    let mut sp = malleable_trace::span("solve.lmax");
+    sp.arg("n", instance.n() as u64);
     instance.validate()?;
     if due.len() != instance.n() {
         return Err(ScheduleError::LengthMismatch {

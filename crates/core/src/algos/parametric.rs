@@ -64,6 +64,7 @@ use crate::algos::flow::{FlowNetwork, FlowStats};
 use crate::error::ScheduleError;
 use crate::instance::Instance;
 use crate::machine::{coalesce_levels, RankOracle, SpeedLevel};
+use malleable_trace::MetricSet;
 use numkit::{Scalar, Tolerance};
 
 /// The machine's speed levels coalesced against this instance's task
@@ -390,6 +391,39 @@ pub struct ProbeTelemetry {
     pub flow: FlowStats,
 }
 
+/// `ProbeTelemetry` is a thin view over the unified counter registry: its
+/// own slots first, then the nested [`FlowStats`] slots, so one trait
+/// carries the whole probe-session counter surface (delta/sum/span-attach
+/// come from [`MetricSet`], not hand-rolled bookkeeping).
+impl MetricSet for ProbeTelemetry {
+    const NAMES: &'static [&'static str] = &[
+        "probe.probes",
+        "probe.warm_solves",
+        "probe.cold_rebuilds",
+        "flow.phases",
+        "flow.augmentations",
+        "flow.repair_paths",
+    ];
+
+    fn get(&self, i: usize) -> u64 {
+        match i {
+            0 => self.probes,
+            1 => self.warm_solves,
+            2 => self.cold_rebuilds,
+            _ => self.flow.get(i - 3),
+        }
+    }
+
+    fn set(&mut self, i: usize, value: u64) {
+        match i {
+            0 => self.probes = value,
+            1 => self.warm_solves = value,
+            2 => self.cold_rebuilds = value,
+            _ => self.flow.set(i - 3, value),
+        }
+    }
+}
+
 /// One reusable transportation-probe workspace: the [`FlowNetwork`]
 /// arena, the cached arc topology and residual of the last probe, and the
 /// layout/capacity bookkeeping — everything the three parametric
@@ -483,6 +517,9 @@ impl<S: Scalar> ProbeSession<S> {
     pub fn solve(&mut self, instance: &Instance<S>, releases: Option<&[S]>, deadlines: &[S]) -> S {
         let plan = transport_plan(instance, releases, deadlines);
         self.telemetry.probes += 1;
+        let mut sp = malleable_trace::span("probe.solve");
+        sp.arg("arcs", plan.arcs.len() as u64);
+        malleable_trace::counter("probe.probes", 1);
         let want_warm = match self.mode {
             SolveMode::ColdRestart => false,
             SolveMode::WarmStart => true,
@@ -498,12 +535,16 @@ impl<S: Scalar> ProbeSession<S> {
                 .zip(&plan.arcs)
                 .all(|(have, want)| have.0 == want.0 && have.1 == want.1);
         let value = if warm_ok {
+            sp.arg("warm", 1);
+            malleable_trace::counter("probe.warm_solves", 1);
             for (i, (_, _, cap)) in plan.arcs.iter().enumerate() {
                 self.net.set_capacity(2 * i, cap.clone());
             }
             self.telemetry.warm_solves += 1;
             self.net.max_flow_warm(plan.layout.source, plan.layout.sink)
         } else {
+            sp.arg("warm", 0);
+            malleable_trace::counter("probe.cold_rebuilds", 1);
             self.net.reset(plan.n_nodes, plan.eps.clone());
             for (from, to, cap) in &plan.arcs {
                 self.net.add_edge(*from, *to, cap.clone());
@@ -516,6 +557,9 @@ impl<S: Scalar> ProbeSession<S> {
         self.telemetry.flow = self.net.stats();
         #[cfg(debug_assertions)]
         if warm_ok {
+            // Keep the debug-only cold reference solve visually separate
+            // in the trace — its flow spans are verification, not work.
+            let _cc = malleable_trace::span("probe.cross_check");
             self.cross_check_cold(&plan, &value);
         }
         self.layout = Some(plan.layout);

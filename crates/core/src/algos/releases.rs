@@ -94,6 +94,8 @@ pub fn makespan_with_releases_in<S: Scalar>(
     releases: &[S],
     session: &mut ProbeSession<S>,
 ) -> Result<ReleaseSchedule<S>, ScheduleError> {
+    let mut sp = malleable_trace::span("solve.cmax");
+    sp.arg("n", instance.n() as u64);
     instance.validate()?;
     check_releases(instance, releases)?;
     if instance.n() == 0 {

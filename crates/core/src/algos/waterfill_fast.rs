@@ -402,8 +402,11 @@ pub fn wf_feasible_grouped_with_work<S: Scalar>(
         "grouped water-filling completion times",
     )?;
 
+    let mut sp = malleable_trace::span("wf.feasible");
+    sp.arg("n", order.len() as u64);
     let mut profile = WaterProfile::<S>::with_capacity(order.len());
     let mut domain_end = S::zero();
+    let mut feasible = true;
     for &ti in &order {
         let c_i = &completions[ti];
         let cap = instance.effective_delta(TaskId(ti));
@@ -415,10 +418,14 @@ pub fn wf_feasible_grouped_with_work<S: Scalar>(
             domain_end = c_i.clone();
         }
         if profile.pour(&cap, volume, &instance.p, &tol).is_none() {
-            return Ok((false, profile.work));
+            feasible = false;
+            break;
         }
     }
-    Ok((true, profile.work))
+    sp.arg("feasible", u64::from(feasible));
+    sp.arg("tree_visits", profile.work);
+    malleable_trace::counter("wf.tree_visits", profile.work);
+    Ok((feasible, profile.work))
 }
 
 #[cfg(test)]

@@ -203,6 +203,11 @@ fn drive<S: Scalar>(
     validate_for_wdeq(instance)?;
     let tol = S::default_tolerance();
     let n = instance.n();
+    // One span per run with aggregate counters — per-event spans at
+    // n ~ 10⁶ would dwarf the O(n log n) work they measure.
+    let mut sp = malleable_trace::span("wdeq.drive");
+    sp.arg("n", n as u64);
+    sp.arg("columns", u64::from(collect_columns));
     let weights: Vec<S> = instance.tasks.iter().map(|t| t.weight.clone()).collect();
     let volumes: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
     let caps: Vec<S> = (0..n)
@@ -255,6 +260,7 @@ fn drive<S: Scalar>(
         Vec::new()
     };
     let mut events = 0usize;
+    let mut regime_switches = 0u64;
 
     // Advance the promotion pointer while the next limited task (in δ/w
     // order) saturates under the current fair share. Runs after every
@@ -278,6 +284,7 @@ fn drive<S: Scalar>(
                     full_volumes[i] = rem.clone();
                     limited_volumes[i] = volumes[i].clone() - rem.clone();
                     regime[i] = Regime::Saturated;
+                    regime_switches += 1;
                     p_rem = p_rem - caps[i].clone();
                     w_rem = w_rem - weights[i].clone();
                     sat_heap.push(t_now.clone() + rem / caps[i].clone(), i);
@@ -400,6 +407,10 @@ fn drive<S: Scalar>(
         promote!();
     }
 
+    sp.arg("events", events as u64);
+    sp.arg("regime_switches", regime_switches);
+    malleable_trace::counter("wdeq.events", events as u64);
+    malleable_trace::counter("wdeq.regime_switches", regime_switches);
     Ok(EngineOutcome {
         completions,
         full_volumes,

@@ -1,0 +1,312 @@
+//! **Chrome trace-event JSON exporter** (and a structural validator for
+//! the files it writes).
+//!
+//! The output is the JSON Object Format of the Trace Event spec: a
+//! `traceEvents` array of duration (`B`/`E`) and counter (`C`) events,
+//! loadable in Perfetto (<https://ui.perfetto.dev>) or `about:tracing`.
+//! One event per line, which keeps the validator a simple line scanner —
+//! no JSON parser dependency on either side.
+//!
+//! Schema (each line of `traceEvents`):
+//!
+//! ```json
+//! {"name":"flow.solve","ph":"B","ts":12.345,"pid":1,"tid":3,"args":{"label":"..."}}
+//! {"name":"flow.solve","ph":"E","ts":14.101,"pid":1,"tid":3,"args":{"flow.phases":4}}
+//! {"name":"wdeq.events","ph":"C","ts":15.000,"pid":1,"tid":2,"args":{"wdeq.events":128}}
+//! ```
+//!
+//! `ts` is microseconds (fractional; nanosecond resolution) from the
+//! session anchor. `C` events carry the *running total* per counter name,
+//! so Perfetto's counter tracks plot cumulative work directly.
+
+use crate::{Event, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ts_us(ts_ns: u64) -> String {
+    format!("{:.3}", ts_ns as f64 / 1e3)
+}
+
+/// Serialise a [`Trace`] as Chrome trace-event JSON. Deterministic given
+/// the trace: spans in per-thread order, then counters in global timestamp
+/// order with running totals.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"malleable\"}}"
+            .to_string(),
+    );
+
+    let mut counter_events: Vec<(u64, u64, &'static str, u64)> = Vec::new();
+    for (tid, events) in trace.events_per_thread() {
+        for ev in events {
+            match ev {
+                Event::Begin { name, ts, label } => {
+                    let args = match label {
+                        Some(l) => format!("{{\"label\":\"{}\"}}", esc(l)),
+                        None => "{}".to_string(),
+                    };
+                    lines.push(format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\
+                         \"tid\":{tid},\"args\":{args}}}",
+                        ts_us(*ts),
+                    ));
+                }
+                Event::End { name, ts, args } => {
+                    let mut body = String::from("{");
+                    for (i, (k, v)) in args.iter().enumerate() {
+                        if i > 0 {
+                            body.push(',');
+                        }
+                        let _ = write!(body, "\"{k}\":{v}");
+                    }
+                    body.push('}');
+                    lines.push(format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\
+                         \"tid\":{tid},\"args\":{body}}}",
+                        ts_us(*ts),
+                    ));
+                }
+                Event::Counter { name, ts, delta } => {
+                    counter_events.push((*ts, tid, name, *delta));
+                }
+                Event::Gauge { name, ts, value } => {
+                    lines.push(format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                         \"tid\":{tid},\"args\":{{\"{name}\":{value}}}}}",
+                        ts_us(*ts),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Counters: one Perfetto track per name, plotted as the cumulative
+    // total in timestamp order across all threads.
+    counter_events.sort_by_key(|&(ts, tid, name, _)| (ts, tid, name));
+    let mut running: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (ts, tid, name, delta) in counter_events {
+        let total = running.entry(name).or_insert(0);
+        *total += delta;
+        lines.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+             \"tid\":{tid},\"args\":{{\"{name}\":{total}}}}}",
+            ts_us(ts),
+        ));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Statistics returned by [`validate_chrome_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// `ph:"B"` events.
+    pub begins: usize,
+    /// `ph:"E"` events.
+    pub ends: usize,
+    /// `ph:"C"` events.
+    pub counters: usize,
+    /// Distinct tids carrying duration events.
+    pub threads: usize,
+    /// Deepest span nesting on any thread.
+    pub max_depth: usize,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// Validate a Chrome trace file written by [`to_chrome_json`]: every line
+/// event must parse, spans must be balanced and properly nested per tid,
+/// and timestamps must be monotone non-decreasing per tid. This is the
+/// check CI runs against the `TRACE_*.json` artifacts.
+pub fn validate_chrome_json(text: &str) -> Result<ChromeStats, String> {
+    let mut stats = ChromeStats {
+        begins: 0,
+        ends: 0,
+        counters: 0,
+        threads: 0,
+        max_depth: 0,
+    };
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut saw_array = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end_matches(',').trim();
+        if line.contains("\"traceEvents\"") {
+            saw_array = true;
+            continue;
+        }
+        if !line.starts_with('{') || !line.contains("\"ph\"") {
+            continue;
+        }
+        let ph = field(line, "ph").ok_or_else(|| format!("line {}: no ph", lineno + 1))?;
+        if ph == "M" {
+            continue;
+        }
+        let name = field(line, "name")
+            .ok_or_else(|| format!("line {}: no name", lineno + 1))?
+            .to_string();
+        let ts: f64 = field(line, "ts")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("line {}: bad ts", lineno + 1))?;
+        let tid: u64 = field(line, "tid")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("line {}: bad tid", lineno + 1))?;
+
+        match ph {
+            "B" | "E" => {
+                let prev = last_ts.entry(tid).or_insert(ts);
+                if ts < *prev {
+                    return Err(format!(
+                        "line {}: tid {tid} timestamp went backwards ({ts} < {prev})",
+                        lineno + 1
+                    ));
+                }
+                *prev = ts;
+                let stack = stacks.entry(tid).or_default();
+                if ph == "B" {
+                    stats.begins += 1;
+                    stack.push(name);
+                    stats.max_depth = stats.max_depth.max(stack.len());
+                } else {
+                    stats.ends += 1;
+                    match stack.pop() {
+                        Some(open) if open == name => {}
+                        Some(open) => {
+                            return Err(format!(
+                                "line {}: tid {tid} end {name:?} does not match open {open:?}",
+                                lineno + 1
+                            ))
+                        }
+                        None => {
+                            return Err(format!(
+                                "line {}: tid {tid} end {name:?} with no open span",
+                                lineno + 1
+                            ))
+                        }
+                    }
+                }
+            }
+            "C" => stats.counters += 1,
+            other => return Err(format!("line {}: unknown ph {other:?}", lineno + 1)),
+        }
+    }
+
+    if !saw_array {
+        return Err("no traceEvents array found".to_string());
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: span {open:?} never closed"));
+        }
+    }
+    stats.threads = stacks.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, span, span_labeled, Session};
+
+    #[test]
+    fn export_roundtrip_validates() {
+        let session = Session::start();
+        {
+            let mut outer = span_labeled("batch.cell", || "paper-uniform seed=3".into());
+            outer.arg("n", 4);
+            {
+                let _inner = span("flow.solve");
+                counter("flow.phases", 2);
+            }
+        }
+        let trace = session.finish();
+        let json = to_chrome_json(&trace);
+        let stats = validate_chrome_json(&json).expect("valid chrome trace");
+        assert_eq!(stats.begins, 2);
+        assert_eq!(stats.ends, 2);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.max_depth, 2);
+        assert!(json.contains("\"label\":\"paper-uniform seed=3\""));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn counters_export_running_totals() {
+        let session = Session::start();
+        counter("w.x", 2);
+        counter("w.x", 3);
+        let trace = session.finish();
+        let json = to_chrome_json(&trace);
+        assert!(json.contains("{\"w.x\":2}"));
+        assert!(json.contains("{\"w.x\":5}"));
+    }
+
+    #[test]
+    fn validator_rejects_torn_and_backwards() {
+        let torn = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"ph\":\"B\",\"ts\":1.0,\"pid\":1,\"tid\":0,\"args\":{}}\n\
+            ]}";
+        assert!(validate_chrome_json(torn).is_err());
+        let backwards = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"ph\":\"B\",\"ts\":2.0,\"pid\":1,\"tid\":0,\"args\":{}},\n\
+            {\"name\":\"a\",\"ph\":\"E\",\"ts\":1.0,\"pid\":1,\"tid\":0,\"args\":{}}\n\
+            ]}";
+        assert!(validate_chrome_json(backwards).is_err());
+        let crossed = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"ph\":\"B\",\"ts\":1.0,\"pid\":1,\"tid\":0,\"args\":{}},\n\
+            {\"name\":\"b\",\"ph\":\"E\",\"ts\":2.0,\"pid\":1,\"tid\":0,\"args\":{}}\n\
+            ]}";
+        assert!(validate_chrome_json(crossed).is_err());
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let session = Session::start();
+        {
+            let _sp = span_labeled("l", || "quote \" backslash \\ tab\t".into());
+        }
+        let trace = session.finish();
+        let json = to_chrome_json(&trace);
+        assert!(json.contains("quote \\\" backslash \\\\ tab\\t"));
+        validate_chrome_json(&json).expect("escaped label still validates");
+    }
+}

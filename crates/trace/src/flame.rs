@@ -1,0 +1,189 @@
+//! **Self-contained text flamegraph / top-k-spans summary.**
+//!
+//! The second exporter: no browser required. Aggregates spans by their
+//! full call path (`solve.lmax;probe.solve;flow.solve`), renders the
+//! inclusive-time tree, the top-k span names by inclusive/self time, and
+//! the unified counter/gauge registry totals.
+
+use crate::{Event, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Default, Clone)]
+struct PathAgg {
+    count: u64,
+    incl_ns: u64,
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Aggregate spans by call path: map from `;`-joined path to
+/// `(count, inclusive_ns)`. Paths are per-thread; identical paths on
+/// different threads merge (the flamegraph is a work profile, not a
+/// timeline — the Chrome exporter keeps the per-thread view).
+fn aggregate(trace: &Trace) -> BTreeMap<String, PathAgg> {
+    let mut paths: BTreeMap<String, PathAgg> = BTreeMap::new();
+    for (_tid, events) in trace.events_per_thread() {
+        let mut stack: Vec<(&'static str, u64)> = Vec::new();
+        for ev in events {
+            match ev {
+                Event::Begin { name, ts, .. } => stack.push((name, *ts)),
+                Event::End { name, ts, .. } => {
+                    if let Some((open, t0)) = stack.pop() {
+                        debug_assert_eq!(open, *name);
+                        let mut path = String::new();
+                        for (frame, _) in &stack {
+                            path.push_str(frame);
+                            path.push(';');
+                        }
+                        path.push_str(name);
+                        let agg = paths.entry(path).or_default();
+                        agg.count += 1;
+                        agg.incl_ns += ts.saturating_sub(t0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    paths
+}
+
+/// Render the text summary: span tree with inclusive times, top-k span
+/// names by inclusive time (with self time), and the counter/gauge
+/// registry. Deterministic given the trace.
+pub fn render_summary(trace: &Trace, top_k: usize) -> String {
+    let paths = aggregate(trace);
+    let mut out = String::new();
+
+    let total_spans: u64 = paths.values().map(|a| a.count).sum();
+    let wall_ns = {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for (_tid, events) in trace.events_per_thread() {
+            for ev in events {
+                lo = lo.min(ev.ts());
+                hi = hi.max(ev.ts());
+            }
+        }
+        hi.saturating_sub(if lo == u64::MAX { 0 } else { lo })
+    };
+    let _ = writeln!(
+        out,
+        "trace summary: {} events, {} spans, {} threads, span {} ms",
+        trace.len(),
+        total_spans,
+        trace.events_per_thread().len(),
+        ms(wall_ns),
+    );
+
+    // Span tree. BTreeMap order sorts children directly after their
+    // parent prefix, so indentation by path depth renders the tree.
+    if !paths.is_empty() {
+        let _ = writeln!(out, "\nspan tree (inclusive ms · calls):");
+        for (path, agg) in &paths {
+            let depth = path.matches(';').count();
+            let name = path.rsplit(';').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "  {}{name}  {} ms · {}",
+                "  ".repeat(depth),
+                ms(agg.incl_ns),
+                agg.count,
+            );
+        }
+    }
+
+    // Top-k by span name: inclusive and self time aggregated across paths.
+    let mut incl_by_name: BTreeMap<&str, PathAgg> = BTreeMap::new();
+    let mut self_by_name: BTreeMap<&str, u64> = BTreeMap::new();
+    for (path, agg) in &paths {
+        let name = path.rsplit(';').next().unwrap_or(path);
+        let slot = incl_by_name.entry(name).or_default();
+        slot.count += agg.count;
+        slot.incl_ns += agg.incl_ns;
+        // Self time: inclusive minus the inclusive time of direct children.
+        let child_prefix = format!("{path};");
+        let children_ns: u64 = paths
+            .range(child_prefix.clone()..)
+            .take_while(|(p, _)| p.starts_with(&child_prefix))
+            .filter(|(p, _)| !p[child_prefix.len()..].contains(';'))
+            .map(|(_, a)| a.incl_ns)
+            .sum();
+        *self_by_name.entry(name).or_default() += agg.incl_ns.saturating_sub(children_ns);
+    }
+    if !incl_by_name.is_empty() {
+        let mut ranked: Vec<(&str, PathAgg)> =
+            incl_by_name.iter().map(|(k, v)| (*k, v.clone())).collect();
+        ranked.sort_by(|a, b| b.1.incl_ns.cmp(&a.1.incl_ns).then(a.0.cmp(b.0)));
+        let _ = writeln!(out, "\ntop spans (incl ms · self ms · calls):");
+        for (name, agg) in ranked.into_iter().take(top_k) {
+            let _ = writeln!(
+                out,
+                "  {name:<24} {:>10} {:>10} {:>8}",
+                ms(agg.incl_ns),
+                ms(*self_by_name.get(name).unwrap_or(&0)),
+                agg.count,
+            );
+        }
+    }
+
+    let counters = trace.counter_totals();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, total) in counters {
+            let _ = writeln!(out, "  {name:<24} {total:>12}");
+        }
+    }
+    let gauges = trace.gauge_finals();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges (final):");
+        for (name, value) in gauges {
+            let _ = writeln!(out, "  {name:<24} {value:>12}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, gauge, span, Session};
+
+    #[test]
+    fn summary_renders_tree_and_registry() {
+        let session = Session::start();
+        for _ in 0..3 {
+            let _outer = span("solve.lmax");
+            {
+                let _inner = span("probe.solve");
+                counter("flow.phases", 2);
+            }
+        }
+        gauge("batch.cells", 9);
+        let trace = session.finish();
+        let text = render_summary(&trace, 10);
+        assert!(text.contains("span tree"));
+        assert!(text.contains("solve.lmax"));
+        assert!(text.contains("probe.solve"));
+        assert!(text.contains("flow.phases"));
+        assert!(text.contains("6"), "counter total 6 expected:\n{text}");
+        assert!(text.contains("batch.cells"));
+        // The nested span appears indented under its parent.
+        let tree_line = text
+            .lines()
+            .find(|l| l.contains("probe.solve") && l.contains("ms"))
+            .expect("tree line");
+        assert!(tree_line.starts_with("    "), "nested span is indented");
+    }
+
+    #[test]
+    fn empty_trace_summary_is_harmless() {
+        let session = Session::start();
+        let trace = session.finish();
+        let text = render_summary(&trace, 5);
+        assert!(text.contains("0 events"));
+    }
+}

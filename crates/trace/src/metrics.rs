@@ -1,0 +1,131 @@
+//! **The unified counter registry.**
+//!
+//! [`MetricSet`] is the one API behind the solver telemetry structs: a
+//! metric set names its slots once and exposes indexed access, and the
+//! trait provides the bookkeeping every struct used to hand-roll —
+//! snapshot subtraction ([`MetricSet::since`]), accumulation
+//! ([`MetricSet::plus`]), span attachment ([`MetricSet::attach`]) and
+//! registry recording ([`MetricSet::record`]). `FlowStats` and
+//! `ProbeTelemetry` in `malleable-core` are thin views over this trait.
+
+use crate::Span;
+
+/// A fixed set of named monotone counters with indexed access.
+///
+/// Implementors provide only the slot names and the get/set pair; the
+/// delta/sum/export plumbing is shared. Slot order is the canonical
+/// wire order (span args and counter events are emitted in `NAMES` order).
+pub trait MetricSet: Default {
+    /// Canonical slot names, e.g. `["flow.phases", "flow.augmentations"]`.
+    const NAMES: &'static [&'static str];
+
+    /// Read slot `i` (indices follow `NAMES`).
+    fn get(&self, i: usize) -> u64;
+
+    /// Write slot `i` (indices follow `NAMES`).
+    fn set(&mut self, i: usize, value: u64);
+
+    /// Slot-wise difference `self - earlier` — the snapshot-and-subtract
+    /// idiom: snapshot before a solve, subtract after, get the delta.
+    /// Panics in debug builds if `earlier` exceeds `self` (counters are
+    /// monotone; a larger "earlier" means mismatched snapshots).
+    fn since(&self, earlier: &Self) -> Self {
+        let mut out = Self::default();
+        for i in 0..Self::NAMES.len() {
+            out.set(i, self.get(i) - earlier.get(i));
+        }
+        out
+    }
+
+    /// Slot-wise sum (aggregate deltas across solves).
+    fn plus(&self, other: &Self) -> Self {
+        let mut out = Self::default();
+        for i in 0..Self::NAMES.len() {
+            out.set(i, self.get(i) + other.get(i));
+        }
+        out
+    }
+
+    /// Sum over all slots (useful as a single-number "work" proxy).
+    fn total(&self) -> u64 {
+        (0..Self::NAMES.len()).map(|i| self.get(i)).sum()
+    }
+
+    /// Attach every slot as a span arg, in `NAMES` order.
+    fn attach(&self, span: &mut Span) {
+        for (i, name) in Self::NAMES.iter().enumerate() {
+            span.arg(name, self.get(i));
+        }
+    }
+
+    /// Record every non-zero slot into the session counter registry.
+    fn record(&self) {
+        for (i, name) in Self::NAMES.iter().enumerate() {
+            let v = self.get(i);
+            if v > 0 {
+                crate::counter(name, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default, Debug, PartialEq, Eq)]
+    struct Pair {
+        a: u64,
+        b: u64,
+    }
+
+    impl MetricSet for Pair {
+        const NAMES: &'static [&'static str] = &["t.a", "t.b"];
+        fn get(&self, i: usize) -> u64 {
+            [self.a, self.b][i]
+        }
+        fn set(&mut self, i: usize, value: u64) {
+            match i {
+                0 => self.a = value,
+                _ => self.b = value,
+            }
+        }
+    }
+
+    #[test]
+    fn since_plus_total() {
+        let before = Pair { a: 2, b: 10 };
+        let after = Pair { a: 5, b: 10 };
+        assert_eq!(after.since(&before), Pair { a: 3, b: 0 });
+        assert_eq!(before.plus(&after), Pair { a: 7, b: 20 });
+        assert_eq!(after.total(), 15);
+    }
+
+    #[test]
+    fn record_feeds_registry() {
+        let session = crate::Session::start();
+        Pair { a: 4, b: 0 }.record();
+        Pair { a: 1, b: 2 }.record();
+        let trace = session.finish();
+        let totals = trace.counter_totals();
+        assert_eq!(totals.get("t.a"), Some(&5));
+        assert_eq!(totals.get("t.b"), Some(&2));
+    }
+
+    #[test]
+    fn attach_emits_all_slots() {
+        let session = crate::Session::start();
+        {
+            let mut sp = crate::span("m");
+            Pair { a: 1, b: 0 }.attach(&mut sp);
+        }
+        let trace = session.finish();
+        let per_thread = trace.events_per_thread();
+        let events = per_thread.values().next().unwrap();
+        let found = events.iter().any(|e| {
+            matches!(e, crate::Event::End { args, .. }
+                if args == &[("t.a", 1), ("t.b", 0)])
+        });
+        assert!(found, "span args must list every slot in NAMES order");
+    }
+}

@@ -1,0 +1,68 @@
+//! The zero-cost claim, asserted: with no session active, the recording
+//! probes must not allocate and must not record. A counting global
+//! allocator measures the disabled-mode hot path directly.
+//!
+//! This file holds exactly one test — the allocation counter is
+//! process-global, and a sibling test running concurrently would pollute
+//! the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_mode_allocates_nothing_and_records_nothing() {
+    // Warm the thread-local buffer outside the measured window (first
+    // touch initialises the TLS slot itself, which is not the hot path).
+    {
+        let _sp = malleable_trace::span("warmup");
+        malleable_trace::counter("warmup", 1);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let mut sp = malleable_trace::span("flow.solve");
+        sp.arg("phases", i);
+        {
+            let _inner = malleable_trace::span_labeled("batch.cell", || {
+                // Never invoked while disabled — invoking it would allocate
+                // and fail the assertion below.
+                format!("cell {i}")
+            });
+            malleable_trace::counter("flow.augmentations", i);
+            malleable_trace::gauge("batch.cells", i);
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-mode probes must not allocate (got {} allocations)",
+        after - before
+    );
+
+    // ...and none of it was recorded: a fresh session starts empty.
+    let session = malleable_trace::Session::start();
+    let trace = session.finish();
+    assert!(trace.is_empty(), "disabled-mode activity leaked into trace");
+}
