@@ -20,7 +20,7 @@ use crate::csvout;
 use crate::parallel::par_map;
 use crate::table::{fnum, Table};
 use malleable_core::algos::waterfill::allocation_changes;
-use malleable_core::bounds::{height_bound, squashed_area_bound};
+use malleable_core::bounds::{arrival_height_bound, height_bound, squashed_area_bound};
 use malleable_core::policy;
 use malleable_core::{ColumnSchedule, Instance, ScheduleError};
 use malleable_opt::brute::optimal_schedule;
@@ -266,7 +266,14 @@ impl BatchGrid {
         cell_sp.arg("seed", seed);
         let area = squashed_area_bound(&instance);
         let height = height_bound(&instance);
-        let bound = area.max(height);
+        // On streaming instances, refine the combined bound with the
+        // release-time term Σ wᵢ(rᵢ + hᵢ): bound_ratio then reads as the
+        // empirical competitive ratio of an online policy.
+        let bound = if instance.has_arrivals() {
+            area.max(height).max(arrival_height_bound(&instance))
+        } else {
+            area.max(height)
+        };
         let opt_cost = (instance.n() <= self.opt_baseline_max_n).then(|| {
             optimal_schedule(&instance)
                 .unwrap_or_else(|e| panic!("opt baseline failed on seed {seed}: {e}"))

@@ -7,12 +7,17 @@
 //! `results/BENCH_batch.json` (the cross-PR perf trajectory), printing
 //! the per-(family, policy) summary table.
 //!
-//! Three grids run back to back: the identical-machine families over the
+//! Four grids run back to back: the identical-machine families over the
 //! full registry, the **related-machines** families (power-law speeds,
 //! two-tier cluster, single-fast adversary) over the related-capable
-//! policy subset, and the **capacity-oracle** families (restricted
+//! policy subset, the **capacity-oracle** families (restricted
 //! assignment, submodular coverage) over the same heterogeneous-capable
-//! subset.
+//! subset, and the **streaming-arrivals** families (Poisson releases,
+//! arrival waves) over the online-capable rules run through
+//! `malleable_sim`'s event-driven engine — their `bound_ratio` column is
+//! the empirical competitive ratio against the arrival-aware lower
+//! bound `max(A(I), H(I), Σ wᵢ(rᵢ+hᵢ))`, reported per policy as
+//! `<rule>@online`.
 //!
 //! ```text
 //! exp_batch [--smoke] [--exact] [--instances N] [--n N] [--policies a,b,c]
@@ -42,7 +47,9 @@
 //! whole registry, and a green smoke run doubles as the no-`Unconverged`
 //! assertion for the parametric solvers (on both machine models).
 
-use malleable_bench::batch::{summary_table, write_batch_json, write_records_csv, BatchGrid};
+use malleable_bench::batch::{
+    summary_table, write_batch_json, write_records_csv, BatchGrid, GridPolicy,
+};
 use malleable_bench::certify::exact_certification;
 use malleable_bench::{arg_value, instance_count};
 use malleable_core::policy;
@@ -206,6 +213,36 @@ fn main() {
         policy::related_capable()
     };
 
+    // Streaming-arrivals grid: release-time families over the
+    // online-capable rules, solved by the genuinely non-clairvoyant
+    // event-driven engine (tasks invisible before their release). The
+    // engine validates arrivals (check 6) on every run; `bound_ratio`
+    // against the arrival-aware bound is the empirical competitive ratio.
+    let streaming_specs: Vec<Spec> = if smoke {
+        vec![
+            Spec::PoissonArrivals { n: 6, rate: 1.0 },
+            Spec::ArrivalWaves {
+                n: 6,
+                waves: 3,
+                gap: 1.0,
+            },
+        ]
+    } else {
+        vec![
+            Spec::PoissonArrivals { n, rate: 1.0 },
+            Spec::PoissonArrivals { n, rate: 0.25 },
+            Spec::ArrivalWaves {
+                n,
+                waves: 4,
+                gap: 2.0,
+            },
+        ]
+    };
+    let online_names: Vec<String> = malleable_sim::policies::ONLINE_POLICY_NAMES
+        .iter()
+        .map(|name| format!("{name}@online"))
+        .collect();
+
     let mut identical_grid = BatchGrid::new().seeds(seeds.clone());
     for spec in &identical_specs {
         identical_grid = identical_grid.spec(spec.clone());
@@ -218,24 +255,47 @@ fn main() {
     }
     let related_grid = related_grid.named_policies(related_names.iter().copied());
 
-    let mut capacity_grid = BatchGrid::new().seeds(seeds);
+    let mut capacity_grid = BatchGrid::new().seeds(seeds.clone());
     for spec in &capacity_specs {
         capacity_grid = capacity_grid.spec(spec.clone());
     }
     let capacity_grid = capacity_grid.named_policies(capacity_names.iter().copied());
 
+    let mut streaming_grid = BatchGrid::new().seeds(seeds);
+    for spec in &streaming_specs {
+        streaming_grid = streaming_grid.spec(spec.clone());
+    }
+    for &name in malleable_sim::policies::ONLINE_POLICY_NAMES {
+        streaming_grid =
+            streaming_grid.policy(GridPolicy::custom(format!("{name}@online"), move |inst| {
+                let mut rule = malleable_sim::policies::by_name::<f64>(name)
+                    .expect("every registry name resolves");
+                malleable_sim::simulate(inst, rule.as_mut())
+                    .map(|run| run.schedule)
+                    .map_err(|e| match e {
+                        malleable_sim::SimError::Instance(inner) => inner,
+                        other => malleable_core::error::ScheduleError::InvalidInstance {
+                            reason: format!("online simulation failed: {other}"),
+                        },
+                    })
+            }));
+    }
+
     println!(
-        "B0: batch evaluation — {} identical policies × {} families + {} related policies × {} families + {} capacity policies × {} families, {instances} seeds each\n",
+        "B0: batch evaluation — {} identical policies × {} families + {} related policies × {} families + {} capacity policies × {} families + {} online policies × {} streaming families, {instances} seeds each\n",
         identical_names.len(),
         identical_specs.len(),
         related_names.len(),
         related_specs.len(),
         capacity_names.len(),
         capacity_specs.len(),
+        online_names.len(),
+        streaming_specs.len(),
     );
     let mut records = identical_grid.run();
     records.extend(related_grid.run());
     records.extend(capacity_grid.run());
+    records.extend(streaming_grid.run());
 
     // Soundness: nothing beats the combined lower bound, every
     // certificate holds, and every record is a finite, converged result
@@ -245,6 +305,7 @@ fn main() {
     // included.
     let mut related_records = 0usize;
     let mut capacity_records = 0usize;
+    let mut streaming_families = std::collections::BTreeSet::new();
     for r in &records {
         assert!(
             r.cost.is_finite() && r.makespan.is_finite(),
@@ -270,6 +331,9 @@ fn main() {
         if r.family.starts_with("restricted") || r.family.starts_with("submodular") {
             capacity_records += 1;
         }
+        if r.policy.ends_with("@online") {
+            streaming_families.insert(r.family.clone());
+        }
     }
     assert!(
         related_records > 0,
@@ -278,6 +342,13 @@ fn main() {
     assert!(
         capacity_records > 0,
         "the sweep must include restricted-assignment/submodular capacity cells"
+    );
+    // The finiteness and bound_ratio ≥ 1 checks above already ran on the
+    // online records, so this pins the coverage: at least two distinct
+    // arrival-time families produced finite empirical competitive ratios.
+    assert!(
+        streaming_families.len() >= 2,
+        "the sweep must include ≥ 2 streaming-arrival families, got {streaming_families:?}"
     );
 
     // Exact certification pass: the same cells at bigratio::Rational,

@@ -38,10 +38,31 @@
 //!
 //! Malformed flags and instance files are *input* errors: they print a
 //! pointed `error: …` line and exit with status 2 (scheduling failures
-//! keep status 1).
+//! keep status 1). Unknown subcommands and unknown flags are input
+//! errors too.
 //!
 //! `--algo` is accepted as a deprecated alias of `--policy`.
+//!
+//! ## Subcommands — the scheduler as a service
+//!
+//! Besides the batch mode above, `msched` fronts the long-running
+//! daemon in [`malleable_bench::serve`]:
+//!
+//! ```text
+//! msched serve    [--addr 127.0.0.1:7420] [--shards N] [--trace out.json]
+//! msched submit   <instance-file> [--addr A] [--tenant T] [--policy NAME]
+//! msched query    <ping|metrics|trace> [--addr A] [--tenant T]
+//! msched shutdown [--addr A]
+//! ```
+//!
+//! `serve` blocks until a client sends the `shutdown` verb, then drains
+//! in-flight solves and (with `--trace`) flushes a validated Chrome
+//! trace. `submit` uploads an instance file task-by-task to one tenant
+//! and requests a schedule; its `completes at` lines print `f64`s
+//! bit-exactly (`{:?}`), as does batch mode, so a daemon answer can be
+//! diffed against `msched <file> --policy X` byte-for-byte.
 
+use malleable_bench::serve;
 use malleable_core::algos::waterfill::water_filling;
 use malleable_core::bounds::{height_bound, squashed_area_bound};
 use malleable_core::instance::Instance;
@@ -211,7 +232,7 @@ fn parse_eligibility(raw: &str) -> Result<Vec<Vec<usize>>, String> {
         .collect()
 }
 
-const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--speeds s1,s2,...] [--gains g1,g2,...] [--machines M --eligible \"0,1;2;...\"] [--gantt] [--svg out.svg] [--normalize] [--trace out.json]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum;\n        --speeds/--gains/--machines+--eligible re-base onto another capacity model — use a capable policy;\n        --trace records the solve as Chrome trace-event JSON — load it in Perfetto)";
+const USAGE: &str = "usage: msched <instance-file> [--policy <name>] [--list-policies] [--speeds s1,s2,...] [--gains g1,g2,...] [--machines M --eligible \"0,1;2;...\"] [--gantt] [--svg out.svg] [--normalize] [--trace out.json]\n       msched serve [--addr 127.0.0.1:7420] [--shards N] [--trace out.json]\n       msched submit <instance-file> [--addr A] [--tenant T] [--policy <name>]\n       msched query <ping|metrics|trace> [--addr A] [--tenant T]\n       msched shutdown [--addr A]\n       (see --list-policies for the registry; 'optimal' adds the exact brute-force optimum;\n        --speeds/--gains/--machines+--eligible re-base onto another capacity model — use a capable policy;\n        --trace records the solve as Chrome trace-event JSON — load it in Perfetto)";
 
 /// Print the registry; with an instance in hand, add a column marking
 /// which policies can schedule its capacity model.
@@ -328,7 +349,351 @@ fn load_instance(args: &Args) -> Result<Instance, String> {
     Ok(instance)
 }
 
+/// Known daemon-mode subcommands, dispatched before batch-mode flag
+/// parsing ever sees the argument list.
+const SUBCOMMANDS: &[&str] = &["serve", "submit", "query", "shutdown"];
+
+/// Does a first positional argument look like an (attempted) subcommand
+/// rather than an instance-file path? Lowercase words without path
+/// separators or extensions qualify — but an existing file of that name
+/// always wins.
+fn subcommand_like(word: &str) -> bool {
+    !word.is_empty()
+        && !word.starts_with('-')
+        && word
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c == '-' || c == '_')
+        && !std::path::Path::new(word).exists()
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_cmd(&argv[1..]),
+        Some("submit") => return submit_cmd(&argv[1..]),
+        Some("query") => return query_cmd(&argv[1..]),
+        Some("shutdown") => return shutdown_cmd(&argv[1..]),
+        Some(word) if subcommand_like(word) => {
+            eprintln!(
+                "error: unknown subcommand {word:?} (known: {}; or pass an instance file)",
+                SUBCOMMANDS.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+        _ => {}
+    }
+    batch_main()
+}
+
+/// Shared `--addr`/`--tenant`/`--policy`-style flag parsing for the
+/// daemon-mode subcommands. Returns `(flags, positionals)`; any unknown
+/// flag is an input error.
+fn parse_subcommand_args(
+    name: &str,
+    args: &[String],
+    allowed: &[&str],
+) -> Result<(std::collections::BTreeMap<String, String>, Vec<String>), String> {
+    let mut flags = std::collections::BTreeMap::new();
+    let mut positionals = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(flag) = a.strip_prefix("--") {
+            if !allowed.contains(&flag) {
+                return Err(format!(
+                    "unknown flag --{flag} for msched {name} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            let value = it.next().ok_or(format!("--{flag} needs a value"))?;
+            flags.insert(flag.to_string(), value.clone());
+        } else if a.starts_with('-') {
+            return Err(format!("unknown flag {a} for msched {name}"));
+        } else {
+            positionals.push(a.clone());
+        }
+    }
+    Ok((flags, positionals))
+}
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7420";
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let (flags, positionals) =
+        match parse_subcommand_args("serve", args, &["addr", "shards", "trace"]) {
+            Ok(x) => x,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+    if let Some(extra) = positionals.first() {
+        eprintln!("error: msched serve takes no positional argument (got {extra:?})");
+        return ExitCode::from(2);
+    }
+    let shards = match flags.get("shards").map(|s| s.parse::<usize>()) {
+        None => 2,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("error: --shards needs a positive integer");
+            return ExitCode::from(2);
+        }
+    };
+    let config = serve::ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+        shards,
+        trace_path: flags.get("trace").cloned(),
+    };
+    // A bad bind address is an input error; failures after the daemon is
+    // up (trace flush, accept loop) are runtime errors.
+    let listener = match std::net::TcpListener::bind(&config.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            return ExitCode::from(2);
+        }
+    };
+    match serve::run_on(listener, &config) {
+        Ok(metrics) => {
+            println!(
+                "serve: drained after {} request(s) ({} submit(s), {} solve(s), \
+                 {} protocol error(s), {} solve error(s))",
+                metrics.requests,
+                metrics.submits,
+                metrics.solves,
+                metrics.protocol_errors,
+                metrics.solve_errors
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("serve failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit_cmd(args: &[String]) -> ExitCode {
+    let (flags, positionals) =
+        match parse_subcommand_args("submit", args, &["addr", "tenant", "policy"]) {
+            Ok(x) => x,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+    let file = match positionals.as_slice() {
+        [f] => f.clone(),
+        [] => {
+            eprintln!("error: msched submit needs an instance file");
+            return ExitCode::from(2);
+        }
+        _ => {
+            eprintln!("error: multiple instance files given");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let instance = match parse_instance(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: bad instance file: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let MachineModel::Identical { m: p } = instance.machine else {
+        eprintln!(
+            "error: msched submit only supports identical-machine instances \
+             (the daemon's tenant model is a single capacity P)"
+        );
+        return ExitCode::from(2);
+    };
+    let addr = flags.get("addr").map_or(DEFAULT_ADDR, String::as_str);
+    let tenant = flags.get("tenant").map_or("default", String::as_str);
+    let policy_name = flags.get("policy").map_or("wdeq", String::as_str);
+
+    match submit_and_schedule(addr, tenant, policy_name, p, &instance) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("submit failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Upload every task of `instance` to `tenant` and request a schedule,
+/// printing the daemon's answer in batch-mode format (bit-exact
+/// `completes at` lines).
+fn submit_and_schedule(
+    addr: &str,
+    tenant: &str,
+    policy_name: &str,
+    p: f64,
+    instance: &Instance,
+) -> Result<(), String> {
+    use malleable_bench::jsonin::Json;
+
+    let mut client = serve::Client::connect(addr)?;
+    let quoted = serve::protocol::json_string;
+    for (i, (id, task)) in instance.iter().enumerate() {
+        let mut line = format!(
+            "{{\"op\":\"submit\",\"tenant\":{},\"volume\":{:?},\"weight\":{:?},\"delta\":{:?}",
+            quoted(tenant),
+            task.volume,
+            task.weight,
+            task.delta
+        );
+        if i == 0 {
+            line.push_str(&format!(",\"p\":{p:?}"));
+        }
+        let arrival = instance.arrival(id);
+        if arrival > 0.0 {
+            line.push_str(&format!(",\"arrival\":{arrival:?}"));
+        }
+        line.push('}');
+        let resp = client.request(&line)?;
+        if resp.get("ok") != Some(&Json::Bool(true)) {
+            let why = resp
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("daemon rejected the task");
+            return Err(format!("{id}: {why}"));
+        }
+    }
+    println!(
+        "tenant {tenant}: {} task(s) submitted to {addr}",
+        instance.n()
+    );
+
+    let resp = client.request(&format!(
+        "{{\"op\":\"schedule\",\"tenant\":{},\"policy\":{}}}",
+        quoted(tenant),
+        quoted(policy_name)
+    ))?;
+    if resp.get("ok") != Some(&Json::Bool(true)) {
+        let why = resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("daemon could not schedule");
+        return Err(why.to_string());
+    }
+    let num = |key: &str| {
+        resp.get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("daemon response is missing {key:?}"))
+    };
+    let mode = resp
+        .get("mode")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    println!("policy: {policy_name} [{mode}]");
+    println!(
+        "Σ wᵢCᵢ = {:?}   makespan = {:?}",
+        num("cost")?,
+        num("makespan")?
+    );
+    println!(
+        "lower bound = {:?}   bound ratio = {:?}",
+        num("bound")?,
+        num("bound_ratio")?
+    );
+    let completions = resp
+        .get("completions")
+        .and_then(Json::as_array)
+        .ok_or("daemon response is missing \"completions\"")?;
+    for (i, c) in completions.iter().enumerate() {
+        let c = c
+            .as_f64()
+            .ok_or("daemon returned a non-numeric completion")?;
+        println!("  T{i} completes at {c:?}");
+    }
+    Ok(())
+}
+
+fn query_cmd(args: &[String]) -> ExitCode {
+    let (flags, positionals) = match parse_subcommand_args("query", args, &["addr", "tenant"]) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let verb = match positionals.as_slice() {
+        [v] if ["ping", "metrics", "trace"].contains(&v.as_str()) => v.clone(),
+        [v] => {
+            eprintln!("error: unknown query verb {v:?} (known: ping, metrics, trace)");
+            return ExitCode::from(2);
+        }
+        _ => {
+            eprintln!("error: msched query needs exactly one verb (ping, metrics, trace)");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = flags.get("addr").map_or(DEFAULT_ADDR, String::as_str);
+    let line = match flags.get("tenant") {
+        Some(t) if verb == "metrics" => {
+            format!(
+                "{{\"op\":\"metrics\",\"tenant\":{}}}",
+                serve::protocol::json_string(t)
+            )
+        }
+        Some(_) => {
+            eprintln!("error: --tenant only applies to msched query metrics");
+            return ExitCode::from(2);
+        }
+        None => format!("{{\"op\":{verb:?}}}"),
+    };
+    match serve::Client::connect(addr).and_then(|mut c| c.request_raw(&line)) {
+        Ok(raw) => {
+            println!("{raw}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("query failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn shutdown_cmd(args: &[String]) -> ExitCode {
+    let (flags, positionals) = match parse_subcommand_args("shutdown", args, &["addr"]) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(extra) = positionals.first() {
+        eprintln!("error: msched shutdown takes no positional argument (got {extra:?})");
+        return ExitCode::from(2);
+    }
+    let addr = flags.get("addr").map_or(DEFAULT_ADDR, String::as_str);
+    match serve::Client::connect(addr).and_then(|mut c| c.request_raw("{\"op\":\"shutdown\"}")) {
+        Ok(raw) => {
+            println!("{raw}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("shutdown failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn batch_main() -> ExitCode {
     let args = match parse_args() {
         Ok(Parsed::Run(a)) => a,
         Ok(Parsed::Help) => {
@@ -414,7 +779,9 @@ fn main() -> ExitCode {
         height_bound(&instance)
     );
     for (id, _) in instance.iter() {
-        println!("  {id} completes at {:.6}", cs.completion(id));
+        // `{:?}` round-trips f64 bit-exactly, so these lines diff cleanly
+        // against `msched submit` output for the same instance.
+        println!("  {id} completes at {:?}", cs.completion(id));
     }
 
     if args.gantt || args.svg.is_some() {

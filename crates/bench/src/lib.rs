@@ -24,7 +24,10 @@
 //!   files (no serde in the offline build);
 //! * [`regression`] — the CI bench-regression gate: per-policy tolerance
 //!   bands over `BENCH_batch.json` vs the checked-in baseline (the
-//!   `bench_gate` binary).
+//!   `bench_gate` binary);
+//! * [`serve`] — the `msched serve` daemon: a long-running scheduler
+//!   service with per-tenant instances, streaming arrivals, and a
+//!   newline-delimited JSON protocol over plain TCP.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +39,7 @@ pub mod jsonin;
 pub mod parallel;
 pub mod perf;
 pub mod regression;
+pub mod serve;
 pub mod stats;
 pub mod table;
 

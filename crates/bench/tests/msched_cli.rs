@@ -121,6 +121,70 @@ fn restricted_run_schedules_and_exits_0() {
 }
 
 #[test]
+fn unknown_subcommands_exit_2_with_a_pointed_error() {
+    for word in ["serv", "frobnicate", "sumbit"] {
+        let out = msched(&[word]);
+        assert_eq!(out.status.code(), Some(2), "{word}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.starts_with("error:"), "{word}: {err}");
+        assert!(err.contains("unknown subcommand"), "{word}: {err}");
+        assert!(
+            err.contains("serve"),
+            "{word}: {err} should list the known ones"
+        );
+    }
+}
+
+#[test]
+fn unknown_flags_exit_2_in_batch_and_daemon_modes() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "three6.txt", THREE_TASKS);
+    let cases: &[&[&str]] = &[
+        &[&file, "--frobnicate"],
+        &["serve", "--frobnicate", "x"],
+        &["submit", &file, "--frobnicate", "x"],
+        &["query", "ping", "--frobnicate", "x"],
+        &["shutdown", "--frobnicate", "x"],
+    ];
+    for args in cases {
+        let out = msched(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.starts_with("error:"), "{args:?}: {err}");
+        assert!(
+            err.contains("--frobnicate") || err.contains("unknown flag"),
+            "{args:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn daemon_mode_input_errors_exit_2() {
+    let dir = tempdir();
+    let file = write_instance(&dir, "three7.txt", THREE_TASKS);
+    let cases: &[(&[&str], &str)] = &[
+        (&["serve", "--shards", "0"], "--shards"),
+        (&["serve", "stray-positional"], "positional"),
+        (&["submit"], "instance file"),
+        (&["query", "frobnicate"], "unknown query verb"),
+        (&["query", "ping", "--tenant", "t"], "--tenant"),
+        (&["shutdown", "stray"], "positional"),
+    ];
+    for (args, needle) in cases {
+        let out = msched(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.starts_with("error:"), "{args:?}: {err}");
+        assert!(err.contains(needle), "{args:?} missing {needle:?}: {err}");
+    }
+    // A trailing second positional is still rejected in batch mode.
+    let second = write_instance(&dir, "three8.txt", THREE_TASKS);
+    let out = msched(&[&file, &second]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("multiple instance files"));
+}
+
+#[test]
 fn list_policies_shows_capability_column_for_the_instance() {
     let dir = tempdir();
     let file = write_instance(&dir, "three5.txt", THREE_TASKS);

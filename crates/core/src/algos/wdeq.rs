@@ -626,6 +626,7 @@ pub fn deq_schedule<S: Scalar>(instance: &Instance<S>) -> Result<ColumnSchedule<
             .map(|t| crate::instance::Task::new(t.volume.clone(), S::one(), t.delta.clone()))
             .collect(),
         machine: instance.machine.clone(),
+        arrivals: instance.arrivals.clone(),
     };
     let run = wdeq_run(&unit)?;
     Ok(ColumnSchedule {

@@ -67,6 +67,15 @@ pub enum ScheduleError {
         /// Required volume.
         required: f64,
     },
+    /// A task received allocation before its release (arrival) time.
+    AllocationBeforeArrival {
+        /// Offending task.
+        task: TaskId,
+        /// The task's release time.
+        arrival: f64,
+        /// Time at which an earlier allocation was found.
+        at: f64,
+    },
     /// A task received allocation after its recorded completion time.
     AllocationAfterCompletion {
         /// Offending task.
@@ -149,6 +158,10 @@ impl fmt::Display for ScheduleError {
             } => write!(
                 f,
                 "task {task} allocated area {allocated} ≠ volume {required}"
+            ),
+            ScheduleError::AllocationBeforeArrival { task, arrival, at } => write!(
+                f,
+                "task {task} allocated at t = {at} before arrival r = {arrival}"
             ),
             ScheduleError::AllocationAfterCompletion {
                 task,

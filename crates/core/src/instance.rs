@@ -75,6 +75,12 @@ pub struct Instance<S = f64> {
     /// The machine model (identical unit-speed processors by default;
     /// related machines carry per-machine speeds).
     pub machine: MachineModel<S>,
+    /// Optional release times `rᵢ` (streaming arrivals): task `i` may not
+    /// be allocated before `rᵢ`. `None` means every task is available at
+    /// `t = 0` — the paper's offline model — and is what every constructor
+    /// produces unless arrivals are set explicitly. When present the vector
+    /// aligns with `tasks` (one entry per task, validated).
+    pub arrivals: Option<Vec<S>>,
 }
 
 impl<S: Scalar> Instance<S> {
@@ -83,6 +89,7 @@ impl<S: Scalar> Instance<S> {
         InstanceBuilder {
             machine: MachineModel::identical(p),
             tasks: Vec::new(),
+            arrivals: None,
         }
     }
 
@@ -91,6 +98,7 @@ impl<S: Scalar> Instance<S> {
         InstanceBuilder {
             machine,
             tasks: Vec::new(),
+            arrivals: None,
         }
     }
 
@@ -108,6 +116,7 @@ impl<S: Scalar> Instance<S> {
             machine: MachineModel::identical(p.clone()),
             p,
             tasks,
+            arrivals: None,
         }
     }
 
@@ -118,7 +127,37 @@ impl<S: Scalar> Instance<S> {
             p: machine.capacity(),
             tasks,
             machine,
+            arrivals: None,
         }
+    }
+
+    /// Attach release times (one per task) and re-validate.
+    ///
+    /// # Errors
+    /// Propagates [`Instance::validate`] failures (length mismatch,
+    /// non-finite or negative arrival).
+    pub fn with_arrivals(mut self, arrivals: Vec<S>) -> Result<Self, ScheduleError> {
+        self.arrivals = Some(arrivals);
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// The release time of a task: its `arrivals` entry, or zero when the
+    /// instance carries none (the offline model).
+    pub fn arrival(&self, id: TaskId) -> S {
+        match &self.arrivals {
+            Some(r) => r[id.0].clone(),
+            None => S::zero(),
+        }
+    }
+
+    /// `true` iff the instance carries a strictly positive release time —
+    /// i.e. the offline algorithms (which assume everything is available at
+    /// `t = 0`) do not apply as-is.
+    pub fn has_arrivals(&self) -> bool {
+        self.arrivals
+            .as_ref()
+            .is_some_and(|r| r.iter().any(|a| a.is_positive()))
     }
 
     /// Replace the machine model, recomputing the capacity `p`, and
@@ -242,6 +281,20 @@ impl<S: Scalar> Instance<S> {
                 return fail(format!("task {i}: weight must be ≥ 0, got {:?}", t.weight));
             }
         }
+        if let Some(arrivals) = &self.arrivals {
+            if arrivals.len() != self.n() {
+                return Err(ScheduleError::LengthMismatch {
+                    what: "arrival times",
+                    expected: self.n(),
+                    found: arrivals.len(),
+                });
+            }
+            for (i, r) in arrivals.iter().enumerate() {
+                if !r.is_finite() || r.is_negative() {
+                    return fail(format!("task {i}: arrival must be ≥ 0, got {:?}", r));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -253,13 +306,18 @@ impl<S: Scalar> Instance<S> {
         // `p` is recomputed from the converted machine (not converted
         // directly) so the capacity-consistency invariant holds exactly
         // in the image, too.
-        Instance::on(
+        let mut image = Instance::on(
             self.machine.approx_f64(),
             self.tasks
                 .iter()
                 .map(|t| Task::new(t.volume.to_f64(), t.weight.to_f64(), t.delta.to_f64()))
                 .collect(),
-        )
+        );
+        image.arrivals = self
+            .arrivals
+            .as_ref()
+            .map(|r| r.iter().map(|a| a.to_f64()).collect());
+        image
     }
 
     /// The subinstance `I[V′]` of Definition 7: same machine and tasks but
@@ -320,13 +378,17 @@ impl<S: Scalar> fmt::Display for Instance<S> {
             writeln!(f, "  machine: {}", self.machine)?;
         }
         for (id, t) in self.iter() {
-            writeln!(
+            write!(
                 f,
                 "  {id}: V = {:.4}, w = {:.4}, δ = {:.4}",
                 t.volume.to_f64(),
                 t.weight.to_f64(),
                 t.delta.to_f64()
             )?;
+            if self.arrivals.is_some() {
+                write!(f, ", r = {:.4}", self.arrival(id).to_f64())?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -344,7 +406,7 @@ impl Instance<f64> {
         // `p` is recomputed from the lifted machine: the f64 capacity of
         // a related machine is a *rounded* speed sum, while the lifted
         // field demands the exact one (zero-tolerance consistency).
-        Instance::on(
+        let mut lifted = Instance::on(
             self.machine.to_scalar(),
             self.tasks
                 .iter()
@@ -356,7 +418,12 @@ impl Instance<f64> {
                     )
                 })
                 .collect(),
-        )
+        );
+        lifted.arrivals = self
+            .arrivals
+            .as_ref()
+            .map(|r| r.iter().map(|a| S2::from_f64(*a)).collect());
+        lifted
     }
 }
 
@@ -372,6 +439,14 @@ pub struct SubInstance<'a, S = f64> {
 impl<S: Scalar> SubInstance<'_, S> {
     /// Materialize as an owned [`Instance`] (zero-volume tasks dropped).
     pub fn to_instance(&self) -> Instance<S> {
+        // Arrivals stay aligned through the zero-volume filter.
+        let arrivals = self.base.arrivals.as_ref().map(|r| {
+            r.iter()
+                .zip(&self.volumes)
+                .filter(|(_, v)| v.is_positive())
+                .map(|(a, _)| a.clone())
+                .collect()
+        });
         Instance {
             p: self.base.p.clone(),
             tasks: self
@@ -383,6 +458,7 @@ impl<S: Scalar> SubInstance<'_, S> {
                 .map(|(t, v)| Task::new(v.clone(), t.weight.clone(), t.delta.clone()))
                 .collect(),
             machine: self.base.machine.clone(),
+            arrivals,
         }
     }
 }
@@ -391,6 +467,7 @@ impl<S: Scalar> SubInstance<'_, S> {
 pub struct InstanceBuilder<S = f64> {
     machine: MachineModel<S>,
     tasks: Vec<Task<S>>,
+    arrivals: Option<Vec<S>>,
 }
 
 impl<S: Scalar> InstanceBuilder<S> {
@@ -404,6 +481,13 @@ impl<S: Scalar> InstanceBuilder<S> {
     pub fn tasks<I: IntoIterator<Item = (S, S, S)>>(mut self, iter: I) -> Self {
         self.tasks
             .extend(iter.into_iter().map(|(v, w, d)| Task::new(v, w, d)));
+        self
+    }
+
+    /// Attach release times (one per task; alignment is validated at
+    /// build time).
+    pub fn arrivals(mut self, arrivals: Vec<S>) -> Self {
+        self.arrivals = Some(arrivals);
         self
     }
 
@@ -451,7 +535,8 @@ impl<S: Scalar> InstanceBuilder<S> {
 
     /// Validate and build.
     pub fn build(self) -> Result<Instance<S>, ScheduleError> {
-        let inst = Instance::on(self.machine, self.tasks);
+        let mut inst = Instance::on(self.machine, self.tasks);
+        inst.arrivals = self.arrivals;
         inst.validate()?;
         Ok(inst)
     }
@@ -610,6 +695,45 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("empty eligibility"));
+    }
+
+    #[test]
+    fn arrivals_validate_and_default_to_zero() {
+        let inst = demo();
+        assert!(!inst.has_arrivals());
+        assert_eq!(inst.arrival(TaskId(1)), 0.0);
+
+        let timed = Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0)
+            .task(4.0, 2.0, 4.0)
+            .arrivals(vec![0.0, 3.0])
+            .build()
+            .unwrap();
+        assert!(timed.has_arrivals());
+        assert_eq!(timed.arrival(TaskId(0)), 0.0);
+        assert_eq!(timed.arrival(TaskId(1)), 3.0);
+        // All-zero arrivals are carried but count as offline.
+        let zeroed = demo().with_arrivals(vec![0.0, 0.0, 0.0]).unwrap();
+        assert!(!zeroed.has_arrivals());
+
+        // Length, sign and finiteness are validated.
+        assert!(demo().with_arrivals(vec![1.0]).is_err());
+        assert!(demo().with_arrivals(vec![0.0, -1.0, 0.0]).is_err());
+        assert!(demo().with_arrivals(vec![0.0, f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn arrivals_survive_scalar_lifts_and_subinstances() {
+        let timed = demo().with_arrivals(vec![0.0, 2.0, 5.0]).unwrap();
+        let lifted: Instance<bigratio::Rational> = timed.to_scalar();
+        assert_eq!(lifted.arrival(TaskId(2)), bigratio::Rational::from_int(5));
+        let back = lifted.approx_f64();
+        assert_eq!(back.arrival(TaskId(2)), 5.0);
+        // Zero-volume filtering keeps arrivals aligned.
+        let sub = timed.subinstance(&[4.0, 0.0, 2.0]).unwrap().to_instance();
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.arrival(TaskId(1)), 5.0);
+        assert!(timed.to_string().contains("r = 2.0000"));
     }
 
     #[test]

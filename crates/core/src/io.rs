@@ -38,6 +38,16 @@
 //! task 4.0 2.0 4.0 on 2
 //! ```
 //!
+//! A streaming-arrival instance appends each task's release time after an
+//! `arrive` marker (before any `on` list; tasks without the marker arrive
+//! at `t = 0`):
+//!
+//! ```text
+//! p 4
+//! task 8.0 1.0 2.0 arrive 0.0
+//! task 4.0 2.0 4.0 arrive 3.5
+//! ```
+//!
 //! Exactly one of `p` / `speeds` / `ranks` / `gains` / `machines` must
 //! appear. [`write_instance`] and [`parse_instance`] round-trip exactly
 //! (values are printed with enough digits to reconstruct the same
@@ -81,6 +91,9 @@ pub fn write_instance(instance: &Instance) -> String {
     let eligible = instance.machine.restriction().map(|(_, e)| e);
     for (i, t) in instance.tasks.iter().enumerate() {
         let _ = write!(out, "task {:?} {:?} {:?}", t.volume, t.weight, t.delta);
+        if let Some(arrivals) = &instance.arrivals {
+            let _ = write!(out, " arrive {:?}", arrivals[i]);
+        }
         if let Some(sets) = eligible {
             if let Some(set) = sets.get(i) {
                 let _ = write!(out, " on");
@@ -106,6 +119,7 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
     let mut machines: Option<usize> = None;
     let mut tasks = Vec::new();
     let mut eligible: Vec<Option<Vec<usize>>> = Vec::new();
+    let mut arrivals: Vec<Option<f64>> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -190,7 +204,19 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
                 let volume = field("volume")?;
                 let weight = field("weight")?;
                 let delta = field("delta")?;
-                match parts.next() {
+                let mut next = parts.next();
+                if next == Some("arrive") {
+                    let r: f64 = parts
+                        .next()
+                        .ok_or_else(|| bad("missing value after 'arrive'"))?
+                        .parse()
+                        .map_err(|_| bad("unparsable arrival time"))?;
+                    arrivals.push(Some(r));
+                    next = parts.next();
+                } else {
+                    arrivals.push(None);
+                }
+                match next {
                     None => eligible.push(None),
                     Some("on") => {
                         let ks: Result<Vec<usize>, _> = parts.map(str::parse).collect();
@@ -246,28 +272,38 @@ pub fn parse_instance(text: &str) -> Result<Instance, ScheduleError> {
             })
             .collect();
         let inst = Instance::on(MachineModel::restricted(m, sets?)?, tasks);
-        inst.validate()?;
-        return Ok(inst);
+        return finish(inst, arrivals);
     }
     match (p, speeds, gains) {
-        (Some(p), None, None) => Instance::new(p, tasks),
-        (None, Some(speeds), None) => {
-            let inst = Instance::on(MachineModel::related(speeds)?, tasks);
-            inst.validate()?;
-            Ok(inst)
-        }
+        (Some(p), None, None) => finish(Instance::identical(p, tasks), arrivals),
+        (None, Some(speeds), None) => finish(
+            Instance::on(MachineModel::related(speeds)?, tasks),
+            arrivals,
+        ),
         (None, None, Some(gains)) => {
             // Keep the parsed gains bit-exactly (cumulative sums do not
             // invert exactly in floats); `validate` checks the stored
             // gains for positivity and concavity directly.
-            let inst = Instance::on(MachineModel::Submodular { gains }, tasks);
-            inst.validate()?;
-            Ok(inst)
+            finish(
+                Instance::on(MachineModel::Submodular { gains }, tasks),
+                arrivals,
+            )
         }
         _ => Err(ScheduleError::InvalidInstance {
             reason: "missing 'p' (or 'speeds'/'ranks'/'machines') line".into(),
         }),
     }
+}
+
+/// Attach parsed per-task arrivals (tasks without an `arrive` marker
+/// default to `t = 0`; the instance stays arrival-free when no line had
+/// one) and run the final validation pass.
+fn finish(mut inst: Instance, arrivals: Vec<Option<f64>>) -> Result<Instance, ScheduleError> {
+    if arrivals.iter().any(Option::is_some) {
+        inst.arrivals = Some(arrivals.into_iter().map(|a| a.unwrap_or(0.0)).collect());
+    }
+    inst.validate()?;
+    Ok(inst)
 }
 
 #[cfg(test)]
@@ -328,6 +364,35 @@ mod tests {
         // p and speeds are mutually exclusive; empty speeds rejected.
         assert!(parse_instance("p 2\nspeeds 1 1\ntask 1 1 1\n").is_err());
         assert!(parse_instance("speeds\ntask 1 1 1\n").is_err());
+    }
+
+    #[test]
+    fn arrivals_roundtrip_and_default_to_zero() {
+        let inst = Instance::builder(4.0)
+            .task(8.0, 1.0, 2.0)
+            .task(0.1 + 0.2, 2.0, 4.0)
+            .arrivals(vec![0.0, 0.1 + 0.7]) // non-round f64 arrival
+            .build()
+            .unwrap();
+        let text = write_instance(&inst);
+        assert!(text.contains("arrive"), "{text}");
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(inst, back);
+        // A task without the marker arrives at 0; mixing is allowed.
+        let mixed = parse_instance("p 2\ntask 1 1 1\ntask 1 1 1 arrive 2.5\n").unwrap();
+        assert_eq!(mixed.arrivals, Some(vec![0.0, 2.5]));
+        // 'arrive' composes with 'on' (arrive first).
+        let both = parse_instance("machines 2\ntask 1 1 1 arrive 1.0 on 0\n").unwrap();
+        assert_eq!(both.arrivals, Some(vec![1.0]));
+        // Errors: missing/unparsable value, negative arrival.
+        let e = parse_instance("p 2\ntask 1 1 1 arrive\n").unwrap_err();
+        assert!(
+            e.to_string().contains("missing value after 'arrive'"),
+            "{e}"
+        );
+        let e = parse_instance("p 2\ntask 1 1 1 arrive soon\n").unwrap_err();
+        assert!(e.to_string().contains("unparsable arrival"), "{e}");
+        assert!(parse_instance("p 2\ntask 1 1 1 arrive -1\n").is_err());
     }
 
     #[test]

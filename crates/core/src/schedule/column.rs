@@ -143,7 +143,9 @@ impl<S: Scalar> ColumnSchedule<S> {
     /// 3. per column, `Σᵢ dᵢ,ⱼ ≤ P`;
     /// 4. per task, `Σⱼ dᵢ,ⱼ·lⱼ = Vᵢ`;
     /// 5. no allocation after the recorded completion time, and the last
-    ///    allocation reaches it.
+    ///    allocation reaches it;
+    /// 6. when the instance carries arrival times, no allocation before
+    ///    the task's release.
     pub fn validate_with(
         &self,
         instance: &Instance<S>,
@@ -212,6 +214,18 @@ impl<S: Scalar> ColumnSchedule<S> {
                         completion: self.completions[task.0].to_f64(),
                         at: col.start.to_f64(),
                     });
+                }
+                // Allocation strictly before the task's release time
+                // (only when the instance carries arrivals).
+                if col.len() > tol.abs && *rate > tol.abs {
+                    let release = instance.arrival(*task);
+                    if release.is_positive() && !tol.ge(col.start.clone(), release.clone()) {
+                        return Err(ScheduleError::AllocationBeforeArrival {
+                            task: *task,
+                            arrival: release.to_f64(),
+                            at: col.start.to_f64(),
+                        });
+                    }
                 }
             }
             // Compensated for f64 (see Scalar::sum), exact for exact fields.
@@ -477,6 +491,47 @@ mod tests {
             .build()
             .unwrap();
         s.validate(&ok).unwrap();
+    }
+
+    #[test]
+    fn allocation_before_arrival_detected() {
+        // Same schedule, but T1 only arrives at t = 1: the [0,2] column
+        // allocates it too early.
+        let timed = inst().with_arrivals(vec![0.0, 1.0]).unwrap();
+        match valid_schedule().validate(&timed) {
+            Err(ScheduleError::AllocationBeforeArrival { task, arrival, .. }) => {
+                assert_eq!(task, TaskId(1));
+                assert_eq!(arrival, 1.0);
+            }
+            other => panic!("expected AllocationBeforeArrival, got {other:?}"),
+        }
+        // A schedule that waits for the arrival passes: T0 alone on [0,1],
+        // both at rate 1 on [1,2], T1 alone on [2,3].
+        let waiting = ColumnSchedule {
+            p: 2.0,
+            completions: vec![2.0, 3.0],
+            columns: vec![
+                Column {
+                    start: 0.0,
+                    end: 1.0,
+                    rates: vec![(TaskId(0), 1.0)],
+                },
+                Column {
+                    start: 1.0,
+                    end: 2.0,
+                    rates: vec![(TaskId(0), 1.0), (TaskId(1), 1.0)],
+                },
+                Column {
+                    start: 2.0,
+                    end: 3.0,
+                    rates: vec![(TaskId(1), 1.0)],
+                },
+            ],
+        };
+        waiting.validate(&timed).unwrap();
+        // All-zero arrivals change nothing.
+        let zeroed = inst().with_arrivals(vec![0.0, 0.0]).unwrap();
+        valid_schedule().validate(&zeroed).unwrap();
     }
 
     #[test]

@@ -3,9 +3,17 @@
 //! The engine owns the ground truth (remaining volumes) and exposes only
 //! observable state to the policy: task identity, weight, cap, the volume
 //! *already processed* and the current time. Allocation is recomputed at
-//! every completion event — the granularity the paper's malleable model
-//! works at (between completions, any constant allocation is equivalent to
-//! any other with the same per-column totals, by Theorem 3).
+//! every event — task completions, and (when the instance carries release
+//! times) task *arrivals* — the granularity the paper's malleable model
+//! works at (between events, any constant allocation is equivalent to any
+//! other with the same per-column totals, by Theorem 3).
+//!
+//! Streaming arrivals: an [`Instance`] with `arrivals` set releases each
+//! task at its `rᵢ`; the policy only ever sees released, unfinished tasks,
+//! and the engine cuts a fresh column at every release (so the executed
+//! schedule never allocates a task before it exists — validated by
+//! `ColumnSchedule::validate` against the same instance). Instances
+//! without arrivals take the exact same code path as before, bit for bit.
 //!
 //! Like the core algorithm stack, the engine is generic over
 //! [`numkit::Scalar`] with `f64` as the default: existing callers keep
@@ -114,12 +122,14 @@ impl<S: Scalar> SimResult<S> {
     }
 }
 
-/// Run `policy` on `instance` until all tasks complete.
+/// Run `policy` on `instance` until all tasks complete, honoring release
+/// times when the instance carries them (tasks become visible to the
+/// policy only once arrived; every arrival cuts a new column).
 ///
 /// # Errors
 /// [`SimError::PolicyViolation`] when the policy emits out-of-range rates,
-/// [`SimError::Stalled`] when no task progresses, or
-/// [`SimError::Instance`] for malformed instances.
+/// [`SimError::Stalled`] when no task progresses and nothing further
+/// arrives, or [`SimError::Instance`] for malformed instances.
 pub fn simulate<S: Scalar>(
     instance: &Instance<S>,
     policy: &mut dyn OnlinePolicy<S>,
@@ -132,9 +142,14 @@ pub fn simulate<S: Scalar>(
     instance.require_uniform_machine("the online simulation engine")?;
     let tol = Tolerance::<S>::for_instance(instance.n());
     let n = instance.n();
+    let arrivals: Vec<S> = (0..n).map(|i| instance.arrival(TaskId(i))).collect();
     let mut remaining: Vec<S> = instance.tasks.iter().map(|t| t.volume.clone()).collect();
     let mut processed: Vec<S> = vec![S::zero(); n];
-    let mut active: Vec<usize> = (0..n).collect();
+    // Tasks released at t = 0 start active; the rest wait in `pending`,
+    // kept pop-friendly (latest arrival first, ties by id).
+    let mut active: Vec<usize> = (0..n).filter(|&i| !arrivals[i].is_positive()).collect();
+    let mut pending: Vec<usize> = (0..n).filter(|&i| arrivals[i].is_positive()).collect();
+    pending.sort_by(|&a, &b| arrivals[b].total_cmp_s(&arrivals[a]).then(b.cmp(&a)));
     let mut completions = vec![S::zero(); n];
     let mut columns = Vec::new();
     let mut now = S::zero();
@@ -145,7 +160,27 @@ pub fn simulate<S: Scalar>(
     let mut views: Vec<TaskView<S>> = Vec::with_capacity(n);
     let mut done: Vec<usize> = Vec::new();
 
-    while !active.is_empty() {
+    while !active.is_empty() || !pending.is_empty() {
+        // Release everything that has arrived by `now`.
+        while let Some(&j) = pending.last() {
+            if arrivals[j] <= now {
+                active.push(pending.pop().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        // Nothing runnable: idle forward to the next arrival with an
+        // empty column (columns must stay contiguous from t = 0).
+        if active.is_empty() {
+            let j = *pending.last().expect("outer loop guarantees work left");
+            columns.push(Column {
+                start: now.clone(),
+                end: arrivals[j].clone(),
+                rates: vec![],
+            });
+            now = arrivals[j].clone();
+            continue;
+        }
         views.clear();
         views.extend(active.iter().map(|&i| TaskView {
             id: TaskId(i),
@@ -198,13 +233,30 @@ pub fn simulate<S: Scalar>(
             }
         }
         let dt = match dt {
-            Some(d) if d.is_finite() && d.is_positive() => d,
-            _ => return Err(SimError::Stalled { at: now.to_f64() }),
+            Some(d) if d.is_finite() && d.is_positive() => Some(d),
+            _ => None,
+        };
+        // The column ends at the earlier of the next completion and the
+        // next arrival; with neither in sight, the run is stalled. (After
+        // the release pass, any pending arrival is strictly in the
+        // future, so `step` is always positive.)
+        let next_arrival = pending.last().map(|&j| arrivals[j].clone());
+        let (step, end, arrival_cut) = match (dt, next_arrival) {
+            (Some(d), Some(na)) => {
+                if na < now.clone() + d.clone() {
+                    (na.clone() - now.clone(), na, true)
+                } else {
+                    (d.clone(), now.clone() + d, false)
+                }
+            }
+            (Some(d), None) => (d.clone(), now.clone() + d, false),
+            (None, Some(na)) => (na.clone() - now.clone(), na, true),
+            (None, None) => return Err(SimError::Stalled { at: now.to_f64() }),
         };
 
         columns.push(Column {
             start: now.clone(),
-            end: now.clone() + dt.clone(),
+            end: end.clone(),
             rates: active
                 .iter()
                 .zip(&rates)
@@ -215,18 +267,21 @@ pub fn simulate<S: Scalar>(
 
         done.clear();
         for (k, &i) in active.iter().enumerate() {
-            let inc = rates[k].clone() * dt.clone();
+            let inc = rates[k].clone() * step.clone();
             processed[i] = processed[i].clone() + inc.clone();
             remaining[i] = remaining[i].clone() - inc;
             if remaining[i] <= tol.slack(instance.tasks[i].volume.clone(), S::zero()) {
                 remaining[i] = S::zero();
-                completions[i] = now.clone() + dt.clone();
+                completions[i] = end.clone();
                 done.push(i);
             }
         }
-        debug_assert!(!done.is_empty(), "dt chosen as a completion time");
+        debug_assert!(
+            arrival_cut || !done.is_empty(),
+            "step chosen as a completion time"
+        );
         active.retain(|i| !done.contains(i));
-        now = now + dt;
+        now = end;
     }
 
     Ok(SimResult {
@@ -387,6 +442,90 @@ mod tests {
         let r = simulate(&i, &mut Even).unwrap();
         r.schedule.validate(&i).unwrap(); // zero tolerance
         assert_eq!(r.cost(&i), r.schedule.weighted_completion_cost(&i));
+    }
+
+    #[test]
+    fn arrivals_delay_visibility_and_cut_columns() {
+        // T0 (V=2, δ=1) at t = 0; T1 (V=1, δ=2) arrives at t = 1.
+        let timed = inst().with_arrivals(vec![0.0, 1.0]).unwrap();
+        let r = simulate(&timed, &mut FirstFit).unwrap();
+        r.schedule.validate(&timed).unwrap(); // includes the arrival check
+                                              // T0 runs alone on [0,1] (arrival cut), then both to completion:
+                                              // T0 finishes at 2, T1 (rate 1, the leftover capacity) at 2.
+        assert_eq!(r.schedule.completions, vec![2.0, 2.0]);
+        assert!(r.schedule.columns.len() >= 2);
+        assert_eq!(r.schedule.columns[0].end, 1.0);
+        assert_eq!(r.schedule.columns[0].rates.len(), 1);
+        // Offline solve of the same instance without arrivals differs:
+        // FirstFit would finish T1 at t = 0.5. The arrival delayed it.
+        let offline = simulate(&inst(), &mut FirstFit).unwrap();
+        assert_eq!(offline.schedule.completions, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn idle_gap_before_late_arrival_is_an_empty_column() {
+        // Single task arriving at t = 3: the engine idles [0,3], then runs
+        // it to completion at 5.
+        let late = Instance::builder(2.0)
+            .task(2.0, 1.0, 1.0)
+            .arrivals(vec![3.0])
+            .build()
+            .unwrap();
+        let r = simulate(&late, &mut FirstFit).unwrap();
+        r.schedule.validate(&late).unwrap();
+        assert_eq!(r.schedule.completions, vec![5.0]);
+        assert_eq!(r.schedule.columns[0].rates.len(), 0);
+        assert_eq!(r.schedule.columns[0].end, 3.0);
+    }
+
+    #[test]
+    fn stall_after_last_arrival_detected() {
+        let timed = inst().with_arrivals(vec![0.0, 1.0]).unwrap();
+        assert!(matches!(
+            simulate(&timed, &mut Lazy),
+            Err(SimError::Stalled { at }) if at >= 1.0
+        ));
+    }
+
+    #[test]
+    fn zero_arrivals_match_the_offline_path_bitwise() {
+        let zeroed = inst().with_arrivals(vec![0.0, 0.0]).unwrap();
+        let a = simulate(&inst(), &mut FirstFit).unwrap();
+        let b = simulate(&zeroed, &mut FirstFit).unwrap();
+        assert_eq!(a.schedule.completions, b.schedule.completions);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn exact_arrival_simulation_validates_at_zero_tolerance() {
+        use bigratio::Rational;
+        let q = Rational::from_f64_exact;
+        struct Even;
+        impl OnlinePolicy<Rational> for Even {
+            fn name(&self) -> &'static str {
+                "even"
+            }
+            fn allocate(
+                &mut self,
+                _: &Rational,
+                active: &[TaskView<Rational>],
+                p: &Rational,
+            ) -> Vec<Rational> {
+                let share = p.clone() / Rational::from_int(active.len() as i64);
+                active
+                    .iter()
+                    .map(|v| v.delta.clone().min_of(share.clone()))
+                    .collect()
+            }
+        }
+        let i = Instance::<Rational>::builder(q(3.0))
+            .task(q(2.0), q(1.0), q(1.0))
+            .task(q(1.0), q(2.0), q(3.0))
+            .arrivals(vec![q(0.0), q(0.5)])
+            .build()
+            .unwrap();
+        let r = simulate(&i, &mut Even).unwrap();
+        r.schedule.validate(&i).unwrap(); // zero tolerance, incl. arrivals
     }
 
     #[test]

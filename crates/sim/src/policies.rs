@@ -80,6 +80,24 @@ rule_adapter! {
     PriorityPolicy => PriorityRule
 }
 
+/// Names of every online-capable policy, in registry order. These are the
+/// policies that can run under [`crate::engine::simulate`] against
+/// streaming arrivals (the batch registry in `malleable_core::policy`
+/// also contains clairvoyant solvers that cannot).
+pub const ONLINE_POLICY_NAMES: &[&str] = &["wdeq", "deq", "share-no-redistribution", "priority"];
+
+/// Look up an online policy adapter by its rule name. Returns `None` for
+/// names not in [`ONLINE_POLICY_NAMES`].
+pub fn by_name<S: Scalar>(name: &str) -> Option<Box<dyn OnlinePolicy<S>>> {
+    match name {
+        "wdeq" => Some(Box::new(WdeqPolicy)),
+        "deq" => Some(Box::new(DeqPolicy)),
+        "share-no-redistribution" => Some(Box::new(UncappedSharePolicy)),
+        "priority" => Some(Box::new(PriorityPolicy)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +186,15 @@ mod tests {
         online.schedule.validate(&i).unwrap(); // zero tolerance
         let offline = replay(&i, &WdeqRule).unwrap();
         assert_eq!(online.schedule.completions, offline.completions);
+    }
+
+    #[test]
+    fn registry_resolves_every_listed_name() {
+        for name in ONLINE_POLICY_NAMES {
+            let p = by_name::<f64>(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(p.name(), *name);
+        }
+        assert!(by_name::<f64>("optimal").is_none());
     }
 
     #[test]

@@ -168,6 +168,30 @@ pub enum Spec {
         /// Minimum eligibility-set size (clamped to `1..=machines`).
         min_eligible: usize,
     },
+    /// **Streaming Poisson arrivals**: the §V-A uniform task mix on
+    /// `P = 1`, released by a Poisson process of intensity `rate`
+    /// (exponential inter-arrival times via inverse CDF). The canonical
+    /// bag-of-tasks online family (Gupta–Kumar–Singla setting on the
+    /// identical-machine special case).
+    PoissonArrivals {
+        /// Number of tasks.
+        n: usize,
+        /// Arrival intensity λ (tasks per unit time).
+        rate: f64,
+    },
+    /// **Streaming arrival waves**: the §V-A uniform task mix released in
+    /// `waves` equal bursts separated by `gap` time units — the bursty
+    /// tenant-submission shape (every wave re-triggers a full
+    /// re-allocation, the worst case for online policies that committed
+    /// capacity to earlier work).
+    ArrivalWaves {
+        /// Number of tasks.
+        n: usize,
+        /// Number of bursts (clamped to `1..=n`).
+        waves: usize,
+        /// Time between consecutive bursts.
+        gap: f64,
+    },
     /// **Submodular coverage**: a concave rank table with geometric
     /// marginal gains `g_k = (1 − 1/m)^{k−1}` — each extra machine covers
     /// a `1/m` share of what remains (the classic coverage process). The
@@ -199,8 +223,21 @@ impl Spec {
             | Spec::TwoTierCluster { n, .. }
             | Spec::SingleFastMachine { n, .. }
             | Spec::RestrictedAssignment { n, .. }
+            | Spec::PoissonArrivals { n, .. }
+            | Spec::ArrivalWaves { n, .. }
             | Spec::SubmodularCoverage { n, .. } => n,
         }
+    }
+
+    /// `true` iff this family generates instances with release times —
+    /// the streaming-arrival families. Pair these with the online
+    /// simulation engine (`malleable_sim::simulate`); the offline
+    /// registry policies would schedule tasks before they exist.
+    pub fn is_streaming(&self) -> bool {
+        matches!(
+            self,
+            Spec::PoissonArrivals { .. } | Spec::ArrivalWaves { .. }
+        )
     }
 
     /// `true` iff this family generates related (heterogeneous-speed)
@@ -263,6 +300,10 @@ impl Spec {
                 min_eligible,
                 ..
             } => Cow::Owned(format!("restricted[m={machines},e>={min_eligible}]")),
+            Spec::PoissonArrivals { rate, .. } => Cow::Owned(format!("poisson-arrivals[l={rate}]")),
+            Spec::ArrivalWaves { waves, gap, .. } => {
+                Cow::Owned(format!("arrival-waves[k={waves},gap={gap}]"))
+            }
             Spec::SubmodularCoverage { machines, .. } => {
                 Cow::Owned(format!("submodular-coverage[m={machines}]"))
             }
@@ -483,6 +524,54 @@ pub fn generate(spec: &Spec, seed: u64) -> Instance {
             let machine =
                 MachineModel::restricted(machines, eligible).expect("non-empty eligibility");
             Instance::on(machine, tasks)
+        }
+        Spec::PoissonArrivals { n, rate } => {
+            assert!(rate > 0.0, "arrival intensity must be positive");
+            let tasks = (0..n)
+                .map(|_| {
+                    Task::new(
+                        rng.random_range(LO..1.0),
+                        rng.random_range(LO..1.0),
+                        rng.random_range(LO..1.0),
+                    )
+                })
+                .collect();
+            // Exponential inter-arrivals via inverse CDF; the first task
+            // arrives at t = 0 so the engine never idles at the origin.
+            let mut t = 0.0;
+            let arrivals = (0..n)
+                .map(|i| {
+                    if i > 0 {
+                        let u: f64 = rng.random_range(1e-12..1.0);
+                        t -= u.ln() / rate;
+                    }
+                    t
+                })
+                .collect();
+            let mut inst = Instance::identical(1.0, tasks);
+            inst.arrivals = Some(arrivals);
+            inst
+        }
+        Spec::ArrivalWaves { n, waves, gap } => {
+            assert!(gap >= 0.0 && gap.is_finite(), "gap must be ≥ 0");
+            let waves = waves.clamp(1, n.max(1));
+            let tasks = (0..n)
+                .map(|_| {
+                    Task::new(
+                        rng.random_range(LO..1.0),
+                        rng.random_range(LO..1.0),
+                        rng.random_range(LO..1.0),
+                    )
+                })
+                .collect();
+            // Tasks split into `waves` equal bursts: task i belongs to
+            // wave ⌊i·waves/n⌋ and arrives at wave·gap.
+            let arrivals = (0..n)
+                .map(|i| (i * waves / n.max(1)) as f64 * gap)
+                .collect();
+            let mut inst = Instance::identical(1.0, tasks);
+            inst.arrivals = Some(arrivals);
+            inst
         }
         Spec::SubmodularCoverage { n, machines } => {
             assert!(machines >= 1, "need at least one machine");
@@ -707,6 +796,44 @@ mod tests {
         }
         assert_eq!(generate(&submod, 7), generate(&submod, 7));
         assert_ne!(generate(&submod, 7), generate(&submod, 8));
+    }
+
+    #[test]
+    fn streaming_specs_generate_valid_arrival_instances() {
+        let poisson = Spec::PoissonArrivals { n: 50, rate: 2.0 };
+        assert!(poisson.is_streaming());
+        assert!(!poisson.is_heterogeneous());
+        assert_eq!(poisson.label(), "poisson-arrivals[l=2]");
+        for seed in 0..5 {
+            let inst = generate(&poisson, seed);
+            inst.validate().unwrap();
+            assert!(inst.has_arrivals());
+            let r = inst.arrivals.as_ref().unwrap();
+            assert_eq!(r[0], 0.0);
+            // Arrivals are sorted and strictly increasing past the origin.
+            assert!(r.windows(2).all(|w| w[0] <= w[1]));
+            assert!(*r.last().unwrap() > 0.0);
+        }
+        assert_eq!(generate(&poisson, 7), generate(&poisson, 7));
+        assert_ne!(generate(&poisson, 7), generate(&poisson, 8));
+
+        let waves = Spec::ArrivalWaves {
+            n: 12,
+            waves: 3,
+            gap: 5.0,
+        };
+        assert!(waves.is_streaming());
+        assert_eq!(waves.label(), "arrival-waves[k=3,gap=5]");
+        let inst = generate(&waves, 4);
+        inst.validate().unwrap();
+        let r = inst.arrivals.as_ref().unwrap();
+        // 12 tasks in 3 bursts of 4 at t = 0, 5, 10.
+        assert_eq!(&r[0..4], &[0.0; 4]);
+        assert_eq!(&r[4..8], &[5.0; 4]);
+        assert_eq!(&r[8..12], &[10.0; 4]);
+        // Offline families carry no arrivals.
+        assert!(!Spec::PaperUniform { n: 3 }.is_streaming());
+        assert!(generate(&Spec::PaperUniform { n: 3 }, 1).arrivals.is_none());
     }
 
     #[test]
